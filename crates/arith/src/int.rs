@@ -1,0 +1,348 @@
+//! Signed arbitrary-precision integers on top of [`Natural`].
+
+use crate::Natural;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// The sign of an [`Int`]. Zero always carries [`Sign::Zero`], keeping the
+/// representation canonical so `Eq`/`Hash` can be derived.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+/// A signed arbitrary-precision integer.
+///
+/// ```
+/// use cqcount_arith::Int;
+/// let a = Int::from(-3i64);
+/// let b = Int::from(5i64);
+/// assert_eq!((a + b).to_string(), "2");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Int {
+    sign: Sign,
+    magnitude: Natural,
+}
+
+impl Int {
+    /// The value 0.
+    pub const ZERO: Int = Int {
+        sign: Sign::Zero,
+        magnitude: Natural::ZERO,
+    };
+    /// The value 1.
+    pub const ONE: Int = Int {
+        sign: Sign::Positive,
+        magnitude: Natural::ONE,
+    };
+
+    /// Builds an integer from a sign and magnitude, canonicalizing zero.
+    pub fn from_sign_magnitude(sign: Sign, magnitude: Natural) -> Int {
+        if magnitude.is_zero() {
+            Int::ZERO
+        } else {
+            assert!(sign != Sign::Zero, "nonzero magnitude with Sign::Zero");
+            Int { sign, magnitude }
+        }
+    }
+
+    /// The sign of this integer.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The absolute value.
+    pub fn magnitude(&self) -> &Natural {
+        &self.magnitude
+    }
+
+    /// Consumes `self`, returning the absolute value.
+    pub fn into_magnitude(self) -> Natural {
+        self.magnitude
+    }
+
+    /// Returns `true` iff this is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Returns `true` iff this is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// The value as an `i128` if it fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        let mag = self.magnitude.to_u128()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => i128::try_from(mag).ok(),
+            Sign::Negative => {
+                if mag == 1u128 << 127 {
+                    Some(i128::MIN)
+                } else {
+                    i128::try_from(mag).ok().map(|v| -v)
+                }
+            }
+        }
+    }
+
+    /// The value as an `f64` (approximate for large values).
+    pub fn to_f64(&self) -> f64 {
+        let m = self.magnitude.to_f64();
+        match self.sign {
+            Sign::Negative => -m,
+            _ => m,
+        }
+    }
+}
+
+impl From<Natural> for Int {
+    fn from(n: Natural) -> Int {
+        if n.is_zero() {
+            Int::ZERO
+        } else {
+            Int {
+                sign: Sign::Positive,
+                magnitude: n,
+            }
+        }
+    }
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Int {
+            fn from(v: $t) -> Int {
+                let m = Natural::from(v.unsigned_abs() as u128);
+                match v.cmp(&0) {
+                    Ordering::Less => Int { sign: Sign::Negative, magnitude: m },
+                    Ordering::Equal => Int::ZERO,
+                    Ordering::Greater => Int { sign: Sign::Positive, magnitude: m },
+                }
+            }
+        }
+    )*};
+}
+from_signed!(i8, i16, i32, i64, i128, isize);
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Int {
+            fn from(v: $t) -> Int {
+                Int::from(Natural::from(v))
+            }
+        }
+    )*};
+}
+from_unsigned!(u8, u16, u32, u64, u128, usize);
+
+impl Neg for Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        let sign = match self.sign {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        };
+        Int {
+            sign,
+            magnitude: self.magnitude,
+        }
+    }
+}
+
+impl Neg for &Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        -self.clone()
+    }
+}
+
+impl Add for &Int {
+    type Output = Int;
+    fn add(self, rhs: &Int) -> Int {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => Int {
+                sign: a,
+                magnitude: &self.magnitude + &rhs.magnitude,
+            },
+            _ => match self.magnitude.cmp(&rhs.magnitude) {
+                Ordering::Equal => Int::ZERO,
+                Ordering::Greater => Int {
+                    sign: self.sign,
+                    magnitude: &self.magnitude - &rhs.magnitude,
+                },
+                Ordering::Less => Int {
+                    sign: rhs.sign,
+                    magnitude: &rhs.magnitude - &self.magnitude,
+                },
+            },
+        }
+    }
+}
+
+impl Sub for &Int {
+    type Output = Int;
+    fn sub(self, rhs: &Int) -> Int {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &Int {
+    type Output = Int;
+    fn mul(self, rhs: &Int) -> Int {
+        let sign = match (self.sign, rhs.sign) {
+            (Sign::Zero, _) | (_, Sign::Zero) => return Int::ZERO,
+            (a, b) if a == b => Sign::Positive,
+            _ => Sign::Negative,
+        };
+        Int {
+            sign,
+            magnitude: &self.magnitude * &rhs.magnitude,
+        }
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Int {
+            type Output = Int;
+            fn $method(self, rhs: Int) -> Int {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Int> for Int {
+            type Output = Int;
+            fn $method(self, rhs: &Int) -> Int {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Int> for &Int {
+            type Output = Int;
+            fn $method(self, rhs: Int) -> Int {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+forward_binop!(Add, add);
+forward_binop!(Sub, sub);
+forward_binop!(Mul, mul);
+
+impl AddAssign<&Int> for Int {
+    fn add_assign(&mut self, rhs: &Int) {
+        *self = &*self + rhs;
+    }
+}
+impl AddAssign for Int {
+    fn add_assign(&mut self, rhs: Int) {
+        *self += &rhs;
+    }
+}
+
+impl PartialOrd for Int {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Int {
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn rank(s: Sign) -> i8 {
+            match s {
+                Sign::Negative => -1,
+                Sign::Zero => 0,
+                Sign::Positive => 1,
+            }
+        }
+        rank(self.sign).cmp(&rank(other.sign)).then_with(|| {
+            if self.sign == Sign::Negative {
+                other.magnitude.cmp(&self.magnitude)
+            } else {
+                self.magnitude.cmp(&other.magnitude)
+            }
+        })
+    }
+}
+
+impl fmt::Display for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Negative {
+            write!(f, "-")?;
+        }
+        fmt::Display::fmt(&self.magnitude, f)
+    }
+}
+
+impl fmt::Debug for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl Default for Int {
+    fn default() -> Self {
+        Int::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(v: i64) -> Int {
+        Int::from(v)
+    }
+
+    #[test]
+    fn signed_arithmetic_matches_i64() {
+        let cases = [-5i64, -1, 0, 1, 2, 7, -13];
+        for &a in &cases {
+            for &b in &cases {
+                assert_eq!((i(a) + i(b)).to_i128(), Some((a + b) as i128), "{a}+{b}");
+                assert_eq!((i(a) - i(b)).to_i128(), Some((a - b) as i128), "{a}-{b}");
+                assert_eq!((i(a) * i(b)).to_i128(), Some((a * b) as i128), "{a}*{b}");
+                assert_eq!(i(a).cmp(&i(b)), a.cmp(&b), "cmp {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn negation() {
+        assert_eq!(-i(5), i(-5));
+        assert_eq!(-i(0), i(0));
+        assert_eq!(-(-i(7)), i(7));
+    }
+
+    #[test]
+    fn zero_is_canonical() {
+        assert_eq!(i(3) + i(-3), Int::ZERO);
+        assert_eq!((i(3) + i(-3)).sign(), Sign::Zero);
+        assert!(!Int::ZERO.is_negative());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(i(-42).to_string(), "-42");
+        assert_eq!(i(0).to_string(), "0");
+        assert_eq!(i(17).to_string(), "17");
+    }
+
+    #[test]
+    fn i128_extremes() {
+        assert_eq!(Int::from(i128::MIN).to_i128(), Some(i128::MIN));
+        assert_eq!(Int::from(i128::MAX).to_i128(), Some(i128::MAX));
+        let too_big = Int::from(u128::MAX);
+        assert_eq!(too_big.to_i128(), None);
+    }
+}

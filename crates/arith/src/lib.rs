@@ -1,0 +1,29 @@
+//! Exact arbitrary-precision arithmetic for answer counting.
+//!
+//! Counting the answers to a conjunctive query can produce numbers far beyond
+//! `u64` (the count is bounded only by `|D|^{|free(Q)|}`), and the executable
+//! reduction of Lemma 5.10 in the paper solves Vandermonde linear systems,
+//! which requires exact rational arithmetic. This crate provides the three
+//! number types the rest of the workspace builds on:
+//!
+//! * [`Natural`] — an unsigned arbitrary-precision integer with an inline
+//!   `u128` fast path (most real counts are small; big instances promote to a
+//!   little-endian `u64`-limb representation transparently).
+//! * [`Int`] — a signed integer on top of [`Natural`].
+//! * [`Rational`] — an exact fraction of [`Int`] over [`Natural`], always kept
+//!   in lowest terms via binary GCD.
+//!
+//! The [`linalg`] module solves dense linear systems over [`Rational`]
+//! (Gaussian elimination with partial pivoting), which is what the
+//! interpolation step of Lemma 5.10 needs.
+//!
+//! Everything here is implemented from scratch; no external bignum crates.
+
+pub mod int;
+pub mod linalg;
+pub mod natural;
+pub mod rational;
+
+pub use int::Int;
+pub use natural::Natural;
+pub use rational::Rational;

@@ -1,0 +1,173 @@
+//! Exact dense linear algebra over [`Rational`].
+//!
+//! The counting slice reduction of Lemma 5.10 recovers the stratified counts
+//! `|N_{T,i}|` from oracle answers by solving a Vandermonde system
+//! `sum_i i^j · x_i = c_j`. This module provides the two entry points that
+//! proof needs: a general exact Gaussian elimination ([`solve`]) and a
+//! convenience wrapper for Vandermonde systems ([`solve_vandermonde`]).
+
+use crate::{Int, Rational};
+
+/// Error returned when a linear system has no unique solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SingularMatrix;
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular: no unique solution")
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+/// Solves `A x = b` exactly by Gaussian elimination with partial pivoting.
+///
+/// `a` is row-major and must be square with `a.len() == b.len()`.
+pub fn solve(a: &[Vec<Rational>], b: &[Rational]) -> Result<Vec<Rational>, SingularMatrix> {
+    let n = a.len();
+    assert!(a.iter().all(|row| row.len() == n), "matrix must be square");
+    assert_eq!(b.len(), n, "dimension mismatch");
+
+    // Augmented matrix.
+    let mut m: Vec<Vec<Rational>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, rhs)| {
+            let mut r = row.clone();
+            r.push(rhs.clone());
+            r
+        })
+        .collect();
+
+    for col in 0..n {
+        // Partial pivoting: any nonzero pivot keeps exact arithmetic correct;
+        // picking the largest magnitude keeps intermediate values smaller.
+        let pivot = (col..n)
+            .filter(|&r| !m[r][col].is_zero())
+            .max_by(|&r1, &r2| {
+                m[r1][col]
+                    .abs()
+                    .partial_cmp(&m[r2][col].abs())
+                    .expect("total order on rationals")
+            })
+            .ok_or(SingularMatrix)?;
+        m.swap(col, pivot);
+
+        let inv = m[col][col].recip();
+        for c in col..=n {
+            m[col][c] = &m[col][c] * &inv;
+        }
+        for r in 0..n {
+            if r != col && !m[r][col].is_zero() {
+                let factor = m[r][col].clone();
+                for c in col..=n {
+                    m[r][c] = &m[r][c] - &(&factor * &m[col][c]);
+                }
+            }
+        }
+    }
+
+    Ok(m.into_iter().map(|mut row| row.pop().unwrap()).collect())
+}
+
+/// Solves the Vandermonde system `sum_i nodes[i]^j · x_i = rhs[j]` for
+/// `j = 0..n`, i.e. `V x = rhs` with `V[j][i] = nodes[i]^j`.
+///
+/// The nodes must be pairwise distinct (otherwise the system is singular).
+pub fn solve_vandermonde(nodes: &[Int], rhs: &[Rational]) -> Result<Vec<Rational>, SingularMatrix> {
+    let n = nodes.len();
+    assert_eq!(rhs.len(), n, "dimension mismatch");
+    let mut matrix = vec![vec![Rational::ONE; n]; 1];
+    for j in 1..n {
+        let prev = matrix[j - 1].clone();
+        matrix.push(
+            prev.iter()
+                .zip(nodes)
+                .map(|(p, x)| p * &Rational::from(x.clone()))
+                .collect(),
+        );
+    }
+    solve(&matrix, rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64) -> Rational {
+        Rational::from(n)
+    }
+    fn rq(n: i64, d: i64) -> Rational {
+        Rational::new(Int::from(n), Int::from(d))
+    }
+
+    #[test]
+    fn solve_2x2() {
+        // x + y = 3 ; x - y = 1  =>  x = 2, y = 1
+        let a = vec![vec![r(1), r(1)], vec![r(1), r(-1)]];
+        let b = vec![r(3), r(1)];
+        assert_eq!(solve(&a, &b).unwrap(), vec![r(2), r(1)]);
+    }
+
+    #[test]
+    fn solve_with_rational_solution() {
+        // 2x = 1  =>  x = 1/2
+        let a = vec![vec![r(2)]];
+        assert_eq!(solve(&a, &[r(1)]).unwrap(), vec![rq(1, 2)]);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // First pivot position is zero; elimination must swap rows.
+        let a = vec![vec![r(0), r(1)], vec![r(1), r(0)]];
+        let b = vec![r(5), r(7)];
+        assert_eq!(solve(&a, &b).unwrap(), vec![r(7), r(5)]);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = vec![vec![r(1), r(2)], vec![r(2), r(4)]];
+        assert_eq!(solve(&a, &[r(1), r(2)]), Err(SingularMatrix));
+    }
+
+    #[test]
+    fn vandermonde_interpolation() {
+        // x_i such that sum_i i^j x_i = c_j with nodes 1,2,3.
+        // Choose x = (5, 0, 2); then
+        //   j=0: 5+0+2 = 7
+        //   j=1: 5+0+6 = 11
+        //   j=2: 5+0+18 = 23
+        let nodes = vec![Int::from(1i64), Int::from(2i64), Int::from(3i64)];
+        let rhs = vec![r(7), r(11), r(23)];
+        assert_eq!(
+            solve_vandermonde(&nodes, &rhs).unwrap(),
+            vec![r(5), r(0), r(2)]
+        );
+    }
+
+    #[test]
+    fn vandermonde_repeated_nodes_singular() {
+        let nodes = vec![Int::from(2i64), Int::from(2i64)];
+        assert_eq!(solve_vandermonde(&nodes, &[r(1), r(2)]), Err(SingularMatrix));
+    }
+
+    #[test]
+    fn larger_random_like_system_verifies() {
+        // 4x4 fixed system; verify A·x = b by substitution.
+        let a: Vec<Vec<Rational>> = vec![
+            vec![r(2), r(1), r(-1), r(3)],
+            vec![r(1), r(0), r(2), r(-1)],
+            vec![r(3), r(-2), r(1), r(0)],
+            vec![r(0), r(1), r(1), r(1)],
+        ];
+        let b = vec![r(10), r(3), r(4), r(6)];
+        let x = solve(&a, &b).unwrap();
+        for (row, rhs) in a.iter().zip(&b) {
+            let dot = row
+                .iter()
+                .zip(&x)
+                .fold(Rational::ZERO, |acc, (c, xi)| acc + c * xi);
+            assert_eq!(&dot, rhs);
+        }
+    }
+}

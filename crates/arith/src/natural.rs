@@ -1,0 +1,743 @@
+//! Unsigned arbitrary-precision integers.
+//!
+//! [`Natural`] stores values up to `u128::MAX` inline and transparently
+//! promotes to a little-endian `u64`-limb vector beyond that. All arithmetic
+//! is exact; subtraction panics on underflow (use [`Natural::checked_sub`] for
+//! the fallible form). The representation invariant is that the limb form is
+//! only used for values that do not fit in `u128`, so equality and hashing can
+//! be derived structurally.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Mul, MulAssign, Shl, Shr, Sub, SubAssign};
+
+/// An unsigned arbitrary-precision integer.
+///
+/// ```
+/// use cqcount_arith::Natural;
+/// let big = Natural::from(u128::MAX) * Natural::from(u128::MAX);
+/// assert_eq!(big.to_string(), "115792089237316195423570985008687907852589419931798687112530834793049593217025");
+/// assert_eq!(Natural::from(7u64) + Natural::from(5u64), Natural::from(12u64));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Natural(Repr);
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// Fast path: the value fits in a `u128`.
+    Small(u128),
+    /// Little-endian base-2^64 limbs; invariant: value > `u128::MAX`,
+    /// no trailing zero limbs (so `len() >= 3`).
+    Big(Vec<u64>),
+}
+
+impl Natural {
+    /// The value 0.
+    pub const ZERO: Natural = Natural(Repr::Small(0));
+    /// The value 1.
+    pub const ONE: Natural = Natural(Repr::Small(1));
+
+    /// Returns `true` iff this is zero.
+    pub fn is_zero(&self) -> bool {
+        matches!(self.0, Repr::Small(0))
+    }
+
+    /// Returns `true` iff this is one.
+    pub fn is_one(&self) -> bool {
+        matches!(self.0, Repr::Small(1))
+    }
+
+    /// Returns `true` iff the value is even.
+    pub fn is_even(&self) -> bool {
+        match &self.0 {
+            Repr::Small(v) => v & 1 == 0,
+            Repr::Big(l) => l[0] & 1 == 0,
+        }
+    }
+
+    /// The value as a `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match &self.0 {
+            Repr::Small(v) => Some(*v),
+            Repr::Big(_) => None,
+        }
+    }
+
+    /// The value as a `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        self.to_u128().and_then(|v| u64::try_from(v).ok())
+    }
+
+    /// The value as an `f64` (approximate for large values).
+    pub fn to_f64(&self) -> f64 {
+        match &self.0 {
+            Repr::Small(v) => *v as f64,
+            Repr::Big(l) => l
+                .iter()
+                .rev()
+                .fold(0.0f64, |acc, &limb| acc * 2f64.powi(64) + limb as f64),
+        }
+    }
+
+    /// Number of significant bits (0 for the value 0).
+    pub fn bit_len(&self) -> u32 {
+        match &self.0 {
+            Repr::Small(v) => 128 - v.leading_zeros(),
+            Repr::Big(l) => {
+                let top = *l.last().expect("Big repr is non-empty");
+                (l.len() as u32 - 1) * 64 + (64 - top.leading_zeros())
+            }
+        }
+    }
+
+    /// Number of trailing zero bits; `None` for the value 0.
+    pub fn trailing_zeros(&self) -> Option<u32> {
+        match &self.0 {
+            Repr::Small(0) => None,
+            Repr::Small(v) => Some(v.trailing_zeros()),
+            Repr::Big(l) => {
+                let (i, limb) = l
+                    .iter()
+                    .enumerate()
+                    .find(|(_, &x)| x != 0)
+                    .expect("Big repr value is nonzero");
+                Some(i as u32 * 64 + limb.trailing_zeros())
+            }
+        }
+    }
+
+    fn to_limbs(&self) -> Vec<u64> {
+        match &self.0 {
+            Repr::Small(v) => small_limbs(*v),
+            Repr::Big(l) => l.clone(),
+        }
+    }
+
+    fn from_limbs(mut limbs: Vec<u64>) -> Natural {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        match limbs.len() {
+            0 => Natural::ZERO,
+            1 => Natural(Repr::Small(limbs[0] as u128)),
+            2 => Natural(Repr::Small(limbs[0] as u128 | (limbs[1] as u128) << 64)),
+            _ => Natural(Repr::Big(limbs)),
+        }
+    }
+
+    /// Checked subtraction; `None` if `rhs > self`.
+    pub fn checked_sub(&self, rhs: &Natural) -> Option<Natural> {
+        match (&self.0, &rhs.0) {
+            (Repr::Small(a), Repr::Small(b)) => a.checked_sub(*b).map(Natural::from),
+            _ => {
+                if self < rhs {
+                    return None;
+                }
+                let mut a = self.to_limbs();
+                let b = rhs.to_limbs();
+                let mut borrow = 0u64;
+                for i in 0..a.len() {
+                    let bi = b.get(i).copied().unwrap_or(0);
+                    let (d1, o1) = a[i].overflowing_sub(bi);
+                    let (d2, o2) = d1.overflowing_sub(borrow);
+                    a[i] = d2;
+                    borrow = (o1 | o2) as u64;
+                }
+                debug_assert_eq!(borrow, 0, "underflow despite ordering check");
+                Some(Natural::from_limbs(a))
+            }
+        }
+    }
+
+    /// `self >> 1`, used by the binary GCD.
+    pub fn half(&self) -> Natural {
+        self.clone() >> 1
+    }
+
+    /// Greatest common divisor (binary GCD: needs only shifts and
+    /// subtraction, so it avoids implementing general long division).
+    pub fn gcd(&self, other: &Natural) -> Natural {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let a_tz = a.trailing_zeros().unwrap();
+        let b_tz = b.trailing_zeros().unwrap();
+        let shift = a_tz.min(b_tz);
+        a = a >> a_tz;
+        loop {
+            let tz = b.trailing_zeros().unwrap();
+            b = b >> tz;
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.checked_sub(&a).expect("b >= a after swap");
+            if b.is_zero() {
+                return a << shift;
+            }
+        }
+    }
+
+    /// `self^exp` by binary exponentiation.
+    pub fn pow(&self, mut exp: u32) -> Natural {
+        let mut base = self.clone();
+        let mut acc = Natural::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Division by a small divisor, returning `(quotient, remainder)`.
+    ///
+    /// Panics if `divisor == 0`. This is all the division the workspace
+    /// needs (decimal formatting and interpolation denominators).
+    pub fn divmod_small(&self, divisor: u64) -> (Natural, u64) {
+        assert!(divisor != 0, "division by zero");
+        match &self.0 {
+            Repr::Small(v) => (
+                Natural::from(v / divisor as u128),
+                (v % divisor as u128) as u64,
+            ),
+            Repr::Big(l) => {
+                let mut out = vec![0u64; l.len()];
+                let mut rem: u128 = 0;
+                for i in (0..l.len()).rev() {
+                    let cur = (rem << 64) | l[i] as u128;
+                    out[i] = (cur / divisor as u128) as u64;
+                    rem = cur % divisor as u128;
+                }
+                (Natural::from_limbs(out), rem as u64)
+            }
+        }
+    }
+
+    /// Returns `true` iff `divisor` divides `self` evenly.
+    pub fn divisible_by_small(&self, divisor: u64) -> bool {
+        self.divmod_small(divisor).1 == 0
+    }
+
+    /// General division, returning `(quotient, remainder)`.
+    ///
+    /// Implemented as binary shift-subtract long division: simple, exact, and
+    /// plenty fast for the few-hundred-bit values that arise in this
+    /// workspace (rational reduction in the Lemma 5.10 interpolation).
+    /// Panics if `divisor` is zero.
+    pub fn divmod(&self, divisor: &Natural) -> (Natural, Natural) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if let (Some(a), Some(b)) = (self.to_u128(), divisor.to_u128()) {
+            return (Natural::from(a / b), Natural::from(a % b));
+        }
+        if self < divisor {
+            return (Natural::ZERO, self.clone());
+        }
+        let self_bits = self.bit_len();
+        let div_bits = divisor.bit_len();
+        let mut rem = self.clone() >> (self_bits - div_bits + 1);
+        let mut quotient = Natural::ZERO;
+        // Bring in one bit of the dividend per step, MSB first.
+        for i in (0..self_bits - div_bits + 1).rev() {
+            let bit = (self.clone() >> i).is_even();
+            rem = (rem << 1)
+                + if bit {
+                    Natural::ZERO
+                } else {
+                    Natural::ONE
+                };
+            quotient = quotient << 1;
+            if let Some(r) = rem.checked_sub(divisor) {
+                rem = r;
+                quotient += Natural::ONE;
+            }
+        }
+        (quotient, rem)
+    }
+
+    /// Division known to be exact; panics if a nonzero remainder appears.
+    pub fn exact_div(&self, divisor: &Natural) -> Natural {
+        let (q, r) = self.divmod(divisor);
+        assert!(r.is_zero(), "exact_div with nonzero remainder");
+        q
+    }
+}
+
+fn small_limbs(v: u128) -> Vec<u64> {
+    let lo = v as u64;
+    let hi = (v >> 64) as u64;
+    if hi == 0 {
+        if lo == 0 {
+            vec![]
+        } else {
+            vec![lo]
+        }
+    } else {
+        vec![lo, hi]
+    }
+}
+
+fn add_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for i in 0..long.len() {
+        let s = long[i] as u128 + short.get(i).copied().unwrap_or(0) as u128 + carry as u128;
+        out.push(s as u64);
+        carry = (s >> 64) as u64;
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+fn mul_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return vec![];
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u64;
+        for (j, &bj) in b.iter().enumerate() {
+            let cur = out[i + j] as u128 + ai as u128 * bj as u128 + carry as u128;
+            out[i + j] = cur as u64;
+            carry = (cur >> 64) as u64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let cur = out[k] as u128 + carry as u128;
+            out[k] = cur as u64;
+            carry = (cur >> 64) as u64;
+            k += 1;
+        }
+    }
+    out
+}
+
+impl PartialOrd for Natural {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Natural {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (&self.0, &other.0) {
+            (Repr::Small(a), Repr::Small(b)) => a.cmp(b),
+            (Repr::Small(_), Repr::Big(_)) => Ordering::Less,
+            (Repr::Big(_), Repr::Small(_)) => Ordering::Greater,
+            (Repr::Big(a), Repr::Big(b)) => a
+                .len()
+                .cmp(&b.len())
+                .then_with(|| a.iter().rev().cmp(b.iter().rev())),
+        }
+    }
+}
+
+macro_rules! from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Natural {
+            fn from(v: $t) -> Natural {
+                Natural(Repr::Small(v as u128))
+            }
+        }
+    )*};
+}
+from_uint!(u8, u16, u32, u64, u128, usize);
+
+impl Add for &Natural {
+    type Output = Natural;
+    fn add(self, rhs: &Natural) -> Natural {
+        match (&self.0, &rhs.0) {
+            (Repr::Small(a), Repr::Small(b)) => match a.checked_add(*b) {
+                Some(s) => Natural(Repr::Small(s)),
+                None => Natural::from_limbs(add_limbs(&small_limbs(*a), &small_limbs(*b))),
+            },
+            _ => Natural::from_limbs(add_limbs(&self.to_limbs(), &rhs.to_limbs())),
+        }
+    }
+}
+
+impl Mul for &Natural {
+    type Output = Natural;
+    fn mul(self, rhs: &Natural) -> Natural {
+        match (&self.0, &rhs.0) {
+            (Repr::Small(a), Repr::Small(b)) => match a.checked_mul(*b) {
+                Some(p) => Natural(Repr::Small(p)),
+                None => Natural::from_limbs(mul_limbs(&small_limbs(*a), &small_limbs(*b))),
+            },
+            _ => Natural::from_limbs(mul_limbs(&self.to_limbs(), &rhs.to_limbs())),
+        }
+    }
+}
+
+impl Sub for &Natural {
+    type Output = Natural;
+    fn sub(self, rhs: &Natural) -> Natural {
+        self.checked_sub(rhs).expect("Natural subtraction underflow")
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Natural {
+            type Output = Natural;
+            fn $method(self, rhs: Natural) -> Natural {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Natural> for Natural {
+            type Output = Natural;
+            fn $method(self, rhs: &Natural) -> Natural {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Natural> for &Natural {
+            type Output = Natural;
+            fn $method(self, rhs: Natural) -> Natural {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+forward_binop!(Add, add);
+forward_binop!(Mul, mul);
+forward_binop!(Sub, sub);
+
+impl AddAssign<&Natural> for Natural {
+    fn add_assign(&mut self, rhs: &Natural) {
+        *self = &*self + rhs;
+    }
+}
+impl AddAssign for Natural {
+    fn add_assign(&mut self, rhs: Natural) {
+        *self += &rhs;
+    }
+}
+impl MulAssign<&Natural> for Natural {
+    fn mul_assign(&mut self, rhs: &Natural) {
+        *self = &*self * rhs;
+    }
+}
+impl MulAssign for Natural {
+    fn mul_assign(&mut self, rhs: Natural) {
+        *self *= &rhs;
+    }
+}
+impl SubAssign<&Natural> for Natural {
+    fn sub_assign(&mut self, rhs: &Natural) {
+        *self = &*self - rhs;
+    }
+}
+
+impl Shl<u32> for Natural {
+    type Output = Natural;
+    fn shl(self, shift: u32) -> Natural {
+        if self.is_zero() || shift == 0 {
+            return self;
+        }
+        if let Repr::Small(v) = self.0 {
+            if shift < 128 && v.leading_zeros() > shift {
+                return Natural(Repr::Small(v << shift));
+            }
+        }
+        let limbs = self.to_limbs();
+        let limb_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        let mut out = vec![0u64; limbs.len() + limb_shift + 1];
+        for (i, &l) in limbs.iter().enumerate() {
+            let wide = (l as u128) << bit_shift;
+            out[i + limb_shift] |= wide as u64;
+            out[i + limb_shift + 1] |= (wide >> 64) as u64;
+        }
+        Natural::from_limbs(out)
+    }
+}
+
+impl Shr<u32> for Natural {
+    type Output = Natural;
+    fn shr(self, shift: u32) -> Natural {
+        if self.is_zero() || shift == 0 {
+            return self;
+        }
+        match &self.0 {
+            Repr::Small(v) => {
+                if shift >= 128 {
+                    Natural::ZERO
+                } else {
+                    Natural(Repr::Small(v >> shift))
+                }
+            }
+            Repr::Big(limbs) => {
+                let limb_shift = (shift / 64) as usize;
+                let bit_shift = shift % 64;
+                if limb_shift >= limbs.len() {
+                    return Natural::ZERO;
+                }
+                let mut out = Vec::with_capacity(limbs.len() - limb_shift);
+                for i in limb_shift..limbs.len() {
+                    let mut v = limbs[i] >> bit_shift;
+                    if bit_shift > 0 {
+                        if let Some(&next) = limbs.get(i + 1) {
+                            v |= next << (64 - bit_shift);
+                        }
+                    }
+                    out.push(v);
+                }
+                Natural::from_limbs(out)
+            }
+        }
+    }
+}
+
+impl Sum for Natural {
+    fn sum<I: Iterator<Item = Natural>>(iter: I) -> Natural {
+        iter.fold(Natural::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl<'a> Sum<&'a Natural> for Natural {
+    fn sum<I: Iterator<Item = &'a Natural>>(iter: I) -> Natural {
+        iter.fold(Natural::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl Product for Natural {
+    fn product<I: Iterator<Item = Natural>>(iter: I) -> Natural {
+        iter.fold(Natural::ONE, |acc, x| acc * x)
+    }
+}
+
+impl fmt::Display for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match &self.0 {
+            Repr::Small(v) => v.to_string(),
+            Repr::Big(_) => {
+                // Peel 19 decimal digits at a time (10^19 < 2^64).
+                const CHUNK: u64 = 10_000_000_000_000_000_000;
+                let mut chunks = Vec::new();
+                let mut cur = self.clone();
+                while !cur.is_zero() {
+                    let (q, r) = cur.divmod_small(CHUNK);
+                    chunks.push(r);
+                    cur = q;
+                }
+                let mut s = chunks.pop().unwrap().to_string();
+                for c in chunks.into_iter().rev() {
+                    s.push_str(&format!("{c:019}"));
+                }
+                s
+            }
+        };
+        // pad() honours width/alignment flags from the caller
+        f.pad(&s)
+    }
+}
+
+impl fmt::Debug for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::str::FromStr for Natural {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(format!("invalid natural number literal: {s:?}"));
+        }
+        let ten = Natural::from(10u64);
+        let mut acc = Natural::ZERO;
+        for b in s.bytes() {
+            acc = acc * &ten + Natural::from((b - b'0') as u64);
+        }
+        Ok(acc)
+    }
+}
+
+impl Default for Natural {
+    fn default() -> Self {
+        Natural::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(n(2) + n(3), n(5));
+        assert_eq!(n(7) * n(6), n(42));
+        assert_eq!(n(10) - n(4), n(6));
+        assert!(n(3) < n(4));
+        assert!(n(4) <= n(4));
+        assert!(Natural::ZERO.is_zero());
+        assert!(Natural::ONE.is_one());
+    }
+
+    #[test]
+    fn promotion_on_overflow() {
+        let max = n(u128::MAX);
+        let big = &max + &Natural::ONE;
+        assert!(big.to_u128().is_none());
+        assert_eq!(big.to_string(), "340282366920938463463374607431768211456");
+        // and demotion back to the small representation
+        let back = big.checked_sub(&Natural::ONE).unwrap();
+        assert_eq!(back, max);
+        assert!(back.to_u128().is_some());
+    }
+
+    #[test]
+    fn big_multiplication_known_value() {
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+        let v = n(u128::MAX) * n(u128::MAX);
+        assert_eq!(
+            v.to_string(),
+            "115792089237316195423570985008687907852589419931798687112530834793049593217025"
+        );
+    }
+
+    #[test]
+    fn subtraction_underflow_is_checked() {
+        assert!(n(3).checked_sub(&n(4)).is_none());
+        assert_eq!(n(4).checked_sub(&n(4)), Some(Natural::ZERO));
+        let big = n(u128::MAX) + Natural::ONE;
+        assert_eq!(big.checked_sub(&big), Some(Natural::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = n(1) - n(2);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(n(1) << 130, n(4) * (n(1) << 128));
+        assert_eq!((n(1) << 130) >> 130, n(1));
+        assert_eq!((n(0b1011) >> 1), n(0b101));
+        assert_eq!(n(5) << 0, n(5));
+        assert_eq!((n(1) << 200) >> 300, Natural::ZERO);
+    }
+
+    #[test]
+    fn gcd_matches_euclid_on_small() {
+        fn euclid(mut a: u128, mut b: u128) -> u128 {
+            while b != 0 {
+                let t = a % b;
+                a = b;
+                b = t;
+            }
+            a
+        }
+        for (a, b) in [(12, 18), (0, 7), (7, 0), (1, 1), (48, 180), (1 << 40, 3 << 20)] {
+            assert_eq!(n(a).gcd(&n(b)), n(euclid(a, b)), "gcd({a},{b})");
+        }
+    }
+
+    #[test]
+    fn gcd_big_values() {
+        let a = n(1) << 200;
+        let b = n(1) << 150;
+        assert_eq!(a.gcd(&b), n(1) << 150);
+        // 21·2^200 and 14·2^100 = 7·2^101: gcd = 7·2^101
+        let c = (n(1) << 200) * n(21);
+        let d = (n(1) << 100) * n(14);
+        assert_eq!(c.gcd(&d), (n(1) << 101) * n(7));
+    }
+
+    #[test]
+    fn pow() {
+        assert_eq!(n(2).pow(10), n(1024));
+        assert_eq!(n(3).pow(0), n(1));
+        assert_eq!(n(0).pow(5), n(0));
+        assert_eq!(n(10).pow(40).to_string(), format!("1{}", "0".repeat(40)));
+    }
+
+    #[test]
+    fn divmod_small() {
+        let (q, r) = n(100).divmod_small(7);
+        assert_eq!((q, r), (n(14), 2));
+        let big = n(10).pow(50);
+        let (q, r) = big.divmod_small(3);
+        assert_eq!(r, 1);
+        assert_eq!(q * n(3) + n(1), n(10).pow(50));
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for s in ["0", "1", "18446744073709551616", "340282366920938463463374607431768211456"] {
+            let v: Natural = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert!("".parse::<Natural>().is_err());
+        assert!("12a".parse::<Natural>().is_err());
+    }
+
+    #[test]
+    fn ordering_across_representations() {
+        let small = n(5);
+        let big = n(1) << 200;
+        assert!(small < big);
+        assert!(big > small);
+        assert!(big.clone() >= big.clone());
+        let bigger = n(1) << 201;
+        assert!(big < bigger);
+    }
+
+    #[test]
+    fn bit_len_and_trailing_zeros() {
+        assert_eq!(Natural::ZERO.bit_len(), 0);
+        assert_eq!(n(1).bit_len(), 1);
+        assert_eq!(n(255).bit_len(), 8);
+        assert_eq!((n(1) << 200).bit_len(), 201);
+        assert_eq!(Natural::ZERO.trailing_zeros(), None);
+        assert_eq!((n(8)).trailing_zeros(), Some(3));
+        assert_eq!((n(1) << 200).trailing_zeros(), Some(200));
+    }
+
+    #[test]
+    fn divmod_general() {
+        // small/small
+        let (q, r) = n(100).divmod(&n(7));
+        assert_eq!((q, r), (n(14), n(2)));
+        // big/small and big/big with reconstruction checks
+        let a = n(10).pow(40) + n(123456789);
+        for d in [n(3), n(10).pow(10), n(10).pow(25) + n(17)] {
+            let (q, r) = a.divmod(&d);
+            assert!(r < d);
+            assert_eq!(q * &d + &r, a, "reconstruct a = q*d + r for d");
+        }
+        // divisor > dividend
+        let (q, r) = n(5).divmod(&(n(1) << 200));
+        assert_eq!((q, r), (Natural::ZERO, n(5)));
+        // exact division
+        let p = (n(1) << 100) * n(99);
+        assert_eq!(p.exact_div(&n(99)), n(1) << 100);
+    }
+
+    #[test]
+    fn sum_and_product() {
+        let vals = [n(1), n(2), n(3), n(4)];
+        assert_eq!(vals.iter().sum::<Natural>(), n(10));
+        assert_eq!(vals.into_iter().product::<Natural>(), n(24));
+    }
+}

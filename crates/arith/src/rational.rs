@@ -1,0 +1,322 @@
+//! Exact rational numbers, always kept in lowest terms.
+
+use crate::int::Sign;
+use crate::{Int, Natural};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// An exact rational number `numerator / denominator`.
+///
+/// Invariants: the denominator is strictly positive, and
+/// `gcd(|numerator|, denominator) = 1`, so `Eq`/`Hash` are structural.
+///
+/// ```
+/// use cqcount_arith::{Int, Rational};
+/// let third = Rational::new(Int::from(2), Int::from(6));
+/// assert_eq!(third.to_string(), "1/3");
+/// let one = &third * &Rational::from(Int::from(3));
+/// assert_eq!(one, Rational::ONE);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: Int,
+    den: Natural,
+}
+
+impl Rational {
+    /// The value 0.
+    pub const ZERO: Rational = Rational {
+        num: Int::ZERO,
+        den: Natural::ONE,
+    };
+    /// The value 1.
+    pub const ONE: Rational = Rational {
+        num: Int::ONE,
+        den: Natural::ONE,
+    };
+
+    /// Builds `num / den`, reducing to lowest terms. Panics if `den` is zero.
+    pub fn new(num: Int, den: Int) -> Rational {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let num = if den.is_negative() { -num } else { num };
+        Rational::reduced(num, den.into_magnitude())
+    }
+
+    fn reduced(num: Int, den: Natural) -> Rational {
+        if num.is_zero() {
+            return Rational::ZERO;
+        }
+        let g = num.magnitude().gcd(&den);
+        if g.is_one() {
+            Rational { num, den }
+        } else {
+            Rational {
+                num: Int::from_sign_magnitude(num.sign(), num.magnitude().exact_div(&g)),
+                den: den.exact_div(&g),
+            }
+        }
+    }
+
+    /// The (reduced, sign-carrying) numerator.
+    pub fn numerator(&self) -> &Int {
+        &self.num
+    }
+
+    /// The (reduced, strictly positive) denominator.
+    pub fn denominator(&self) -> &Natural {
+        &self.den
+    }
+
+    /// Returns `true` iff this is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` iff this is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Returns `true` iff the denominator is 1.
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// The value as an [`Int`] if it is an integer.
+    pub fn to_int(&self) -> Option<Int> {
+        self.is_integer().then(|| self.num.clone())
+    }
+
+    /// The multiplicative inverse. Panics on zero.
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rational {
+            num: Int::from_sign_magnitude(self.num.sign(), self.den.clone()),
+            den: self.num.magnitude().clone(),
+        }
+    }
+
+    /// The absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: Int::from_sign_magnitude(
+                if self.num.is_zero() {
+                    return Rational::ZERO;
+                } else {
+                    Sign::Positive
+                },
+                self.num.magnitude().clone(),
+            ),
+            den: self.den.clone(),
+        }
+    }
+
+    /// Approximate `f64` value (used only for pivot selection heuristics).
+    pub fn to_f64(&self) -> f64 {
+        self.num.to_f64() / self.den.to_f64()
+    }
+}
+
+impl From<Int> for Rational {
+    fn from(num: Int) -> Rational {
+        Rational {
+            num,
+            den: Natural::ONE,
+        }
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Rational {
+        Rational::from(Int::from(v))
+    }
+}
+
+impl From<Natural> for Rational {
+    fn from(v: Natural) -> Rational {
+        Rational::from(Int::from(v))
+    }
+}
+
+impl Add for &Rational {
+    type Output = Rational;
+    fn add(self, rhs: &Rational) -> Rational {
+        let num = &self.num * &Int::from(rhs.den.clone()) + &rhs.num * &Int::from(self.den.clone());
+        Rational::reduced(num, &self.den * &rhs.den)
+    }
+}
+
+impl Sub for &Rational {
+    type Output = Rational;
+    fn sub(self, rhs: &Rational) -> Rational {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &Rational {
+    type Output = Rational;
+    fn mul(self, rhs: &Rational) -> Rational {
+        Rational::reduced(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Div for &Rational {
+    type Output = Rational;
+    // division *is* multiplication by the reciprocal for rationals
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: &Rational) -> Rational {
+        self * &rhs.recip()
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &Rational) -> Rational {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Rational> for &Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+forward_binop!(Add, add);
+forward_binop!(Sub, sub);
+forward_binop!(Mul, mul);
+forward_binop!(Div, div);
+
+impl AddAssign<&Rational> for Rational {
+    fn add_assign(&mut self, rhs: &Rational) {
+        *self = &*self + rhs;
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0)
+        let lhs = &self.num * &Int::from(other.den.clone());
+        let rhs = &other.num * &Int::from(self.den.clone());
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(n: i64, d: i64) -> Rational {
+        Rational::new(Int::from(n), Int::from(d))
+    }
+
+    #[test]
+    fn reduction_and_sign_normalization() {
+        assert_eq!(q(2, 6), q(1, 3));
+        assert_eq!(q(-2, -6), q(1, 3));
+        assert_eq!(q(2, -6), q(-1, 3));
+        assert_eq!(q(0, 5), Rational::ZERO);
+        assert_eq!(q(4, 2).to_int(), Some(Int::from(2i64)));
+    }
+
+    #[test]
+    fn field_operations() {
+        assert_eq!(q(1, 2) + q(1, 3), q(5, 6));
+        assert_eq!(q(1, 2) - q(1, 3), q(1, 6));
+        assert_eq!(q(2, 3) * q(3, 4), q(1, 2));
+        assert_eq!(q(1, 2) / q(1, 4), q(2, 1));
+        assert_eq!(-q(1, 2), q(-1, 2));
+        assert_eq!(q(3, 7).recip(), q(7, 3));
+        assert_eq!(q(-3, 7).recip(), q(-7, 3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(q(1, 3) < q(1, 2));
+        assert!(q(-1, 2) < q(-1, 3));
+        assert!(q(-1, 2) < Rational::ZERO);
+        assert!(q(7, 7) == Rational::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = q(1, 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(q(1, 3).to_string(), "1/3");
+        assert_eq!(q(-4, 2).to_string(), "-2");
+        assert_eq!(Rational::ZERO.to_string(), "0");
+    }
+
+    #[test]
+    fn exactness_across_many_ops() {
+        // sum_{i=1..n} 1/(i(i+1)) = n/(n+1), a classic telescoping identity
+        let n = 30i64;
+        let mut acc = Rational::ZERO;
+        for i in 1..=n {
+            acc += &q(1, i * (i + 1));
+        }
+        assert_eq!(acc, q(n, n + 1));
+    }
+}

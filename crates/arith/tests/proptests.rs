@@ -1,0 +1,139 @@
+//! Property tests for the arbitrary-precision arithmetic, using `u128`
+//! arithmetic (and checked promotions) as the reference model.
+
+use cqcount_arith::{Int, Natural, Rational};
+use proptest::prelude::*;
+
+fn nat() -> impl Strategy<Value = (Natural, u128)> {
+    any::<u128>().prop_map(|v| (Natural::from(v), v))
+}
+
+/// Naturals that may exceed u128: built as a*2^s + b.
+fn big_nat() -> impl Strategy<Value = Natural> {
+    (any::<u128>(), 0u32..140, any::<u64>())
+        .prop_map(|(a, s, b)| (Natural::from(a) << s) + Natural::from(b))
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128((a, ar) in nat(), (b, br) in nat()) {
+        let sum = &a + &b;
+        match ar.checked_add(br) {
+            Some(s) => prop_assert_eq!(sum.to_u128(), Some(s)),
+            None => prop_assert!(sum.to_u128().is_none()),
+        }
+    }
+
+    #[test]
+    fn mul_matches_u128((a, ar) in nat(), (b, br) in nat()) {
+        let prod = &a * &b;
+        match ar.checked_mul(br) {
+            Some(p) => prop_assert_eq!(prod.to_u128(), Some(p)),
+            None => prop_assert!(prod.to_u128().is_none()),
+        }
+    }
+
+    #[test]
+    fn sub_matches_u128((a, ar) in nat(), (b, br) in nat()) {
+        prop_assert_eq!(
+            a.checked_sub(&b).map(|d| d.to_u128().unwrap()),
+            ar.checked_sub(br)
+        );
+    }
+
+    #[test]
+    fn cmp_matches_u128((a, ar) in nat(), (b, br) in nat()) {
+        prop_assert_eq!(a.cmp(&b), ar.cmp(&br));
+    }
+
+    #[test]
+    fn add_sub_roundtrip_big(a in big_nat(), b in big_nat()) {
+        let sum = &a + &b;
+        prop_assert_eq!(sum.checked_sub(&b), Some(a.clone()));
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn mul_distributes_big(a in big_nat(), b in big_nat(), c in big_nat()) {
+        prop_assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn divmod_reconstructs(a in big_nat(), b in big_nat()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.divmod(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q * &b + &r, a);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in big_nat(), b in big_nat()) {
+        let g = a.gcd(&b);
+        if !g.is_zero() {
+            prop_assert!(a.divmod(&g).1.is_zero());
+            prop_assert!(b.divmod(&g).1.is_zero());
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+    }
+
+    #[test]
+    fn shifts_roundtrip(a in big_nat(), s in 0u32..200) {
+        prop_assert_eq!((a.clone() << s) >> s, a);
+    }
+
+    #[test]
+    fn display_parse_roundtrip(a in big_nat()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Natural>().unwrap(), a);
+    }
+
+    #[test]
+    fn int_ring_laws(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
+        let (ia, ib, ic) = (Int::from(a), Int::from(b), Int::from(c));
+        prop_assert_eq!(&ia + &ib, &ib + &ia);
+        prop_assert_eq!(&ia * &ib, &ib * &ia);
+        prop_assert_eq!(&ia * (&ib + &ic), &ia * &ib + &ia * &ic);
+        prop_assert_eq!(&ia - &ia, Int::ZERO);
+        prop_assert_eq!(&ia + &(-&ia), Int::ZERO);
+    }
+
+    #[test]
+    fn rational_field_laws(
+        an in -100i64..100, ad in 1i64..50,
+        bn in -100i64..100, bd in 1i64..50,
+    ) {
+        let a = Rational::new(Int::from(an), Int::from(ad));
+        let b = Rational::new(Int::from(bn), Int::from(bd));
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) - &b, a.clone());
+        if !b.is_zero() {
+            prop_assert_eq!(&(&a / &b) * &b, a.clone());
+        }
+        if !a.is_zero() {
+            prop_assert_eq!(&a * &a.recip(), Rational::ONE);
+        }
+    }
+
+    #[test]
+    fn vandermonde_roundtrip(xs in proptest::collection::vec(-20i64..20, 1..5)) {
+        // distinct nodes 1..=n, arbitrary solution xs; build rhs then solve back.
+        let n = xs.len();
+        let nodes: Vec<Int> = (1..=n as i64).map(Int::from).collect();
+        let sol: Vec<Rational> = xs.iter().map(|&x| Rational::from(x)).collect();
+        let rhs: Vec<Rational> = (0..n)
+            .map(|j| {
+                (0..n).fold(Rational::ZERO, |acc, i| {
+                    let pow = (0..j).fold(Rational::ONE, |p, _| {
+                        p * Rational::from(Int::from((i + 1) as i64))
+                    });
+                    acc + &sol[i] * &pow
+                })
+            })
+            .collect();
+        let solved = cqcount_arith::linalg::solve_vandermonde(&nodes, &rhs).unwrap();
+        prop_assert_eq!(solved, sol);
+    }
+}

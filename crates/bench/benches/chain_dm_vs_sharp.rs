@@ -1,0 +1,39 @@
+//! E3 timing study: Durand–Mengel (width grows with the star size) vs the
+//! #-hypertree pipeline (width 1 after coring) on the Example A.2 chains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqcount_core::prelude::*;
+use cqcount_relational::Database;
+use cqcount_workloads::graphs::random_graph;
+use cqcount_workloads::paper::chain_query;
+
+fn chain_db() -> Database {
+    let g = random_graph(14, 0.35, 5);
+    let mut db = Database::new();
+    for &(u, v) in &g.edges {
+        let uu = db.value(&format!("n{u}"));
+        let vv = db.value(&format!("n{v}"));
+        db.add_tuple("r", vec![uu, vv]);
+        db.add_tuple("r", vec![vv, uu]);
+    }
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let db = chain_db();
+    let mut group = c.benchmark_group("chain_dm_vs_sharp");
+    group.sample_size(10);
+    for n in 2..=4usize {
+        let q = chain_query(n);
+        group.bench_with_input(BenchmarkId::new("durand_mengel", n), &q, |b, q| {
+            b.iter(|| count_durand_mengel(q, &db, 8).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sharp_pipeline", n), &q, |b, q| {
+            b.iter(|| count_via_sharp_decomposition(q, &db, 2).unwrap().0)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

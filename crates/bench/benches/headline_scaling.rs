@@ -1,0 +1,39 @@
+//! E10 timing study: the Theorem 1.3 headline — fixed bounded-#-htw query,
+//! growing database; the pipeline stays polynomial (near-linear) while
+//! enumeration grows with the number of embeddings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqcount_core::prelude::*;
+use cqcount_workloads::intro::{intro_instance, IntroScale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("headline_scaling");
+    group.sample_size(10);
+    for factor in [1usize, 4, 16] {
+        let scale = IntroScale {
+            workers: 25 * factor,
+            machines: 10 * factor,
+            projects: 6 * factor,
+            tasks: 15 * factor,
+            subtasks_per_task: 4,
+            resources: 8 * factor,
+        };
+        let (q, db) = intro_instance(&scale, 2026);
+        let tuples = db.total_tuples();
+        let sd = sharp_hypertree_decomposition(&q, 2).expect("width 2");
+        group.bench_with_input(
+            BenchmarkId::new("pipeline", tuples),
+            &(&sd, &db),
+            |b, (sd, db)| b.iter(|| count_with_decomposition(&sd.qprime, db, &sd.hypertree)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("brute", tuples),
+            &(&q, &db),
+            |b, (q, db)| b.iter(|| count_brute_force(q, db)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

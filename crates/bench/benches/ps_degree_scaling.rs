@@ -1,0 +1,60 @@
+//! E5 timing study: the Pichler–Skritek #-relation algorithm under
+//! different degree bounds (Theorem 6.2) — the width-1 HD2 with
+//! bound(D, HD2) = 2^h versus the merged HD2' with bound 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqcount_core::prelude::*;
+use cqcount_decomp::Hypertree;
+use cqcount_hypergraph::NodeSet;
+use cqcount_workloads::paper::{star_database, star_query};
+
+fn star_decompositions(h: usize) -> (Hypertree, Hypertree) {
+    let q = star_query(h);
+    let atom_sets: Vec<NodeSet> = q
+        .atoms()
+        .iter()
+        .map(|a| a.vars().iter().map(|v| v.node()).collect())
+        .collect();
+    let mut chi = vec![atom_sets[0].clone(), atom_sets[1].clone()];
+    let mut lambda = vec![vec![0usize], vec![1]];
+    let mut parent = vec![None, Some(0)];
+    for i in 0..h {
+        chi.push(atom_sets[2 + i].clone());
+        lambda.push(vec![2 + i]);
+        parent.push(Some(0));
+    }
+    let hd2 = Hypertree::from_parts(chi, lambda, parent);
+    let mut chi = vec![atom_sets[0].union(&atom_sets[1])];
+    let mut lambda = vec![vec![0usize, 1]];
+    let mut parent = vec![None];
+    for i in 0..h {
+        chi.push(atom_sets[2 + i].clone());
+        lambda.push(vec![2 + i]);
+        parent.push(Some(0));
+    }
+    (hd2, Hypertree::from_parts(chi, lambda, parent))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ps_degree_scaling");
+    group.sample_size(10);
+    for h in [2usize, 4, 6, 8] {
+        let q = star_query(h);
+        let db = star_database(h);
+        let (hd2, hd2p) = star_decompositions(h);
+        group.bench_with_input(
+            BenchmarkId::new("bound_m", h),
+            &(&q, &db, &hd2),
+            |b, (q, db, ht)| b.iter(|| count_pichler_skritek(q, db, ht)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bound_1", h),
+            &(&q, &db, &hd2p),
+            |b, (q, db, ht)| b.iter(|| count_pichler_skritek(q, db, ht)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,209 @@
+//! Width analysis and automatic algorithm selection — the front door a
+//! downstream user calls.
+
+use crate::brute::count_brute_force;
+use crate::hybrid::count_hybrid;
+use crate::pipeline::count_via_sharp_decomposition;
+use crate::sharp::sharp_hypertree_width;
+
+use cqcount_arith::Natural;
+use cqcount_query::{quantified_star_size, ConjunctiveQuery};
+use cqcount_relational::Database;
+
+/// Structural measurements of a query, for explainability and planning.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WidthReport {
+    /// Is the query hypergraph α-acyclic?
+    pub acyclic: bool,
+    /// Generalized hypertree width of `H_Q` (searched up to the cap).
+    pub ghw: Option<usize>,
+    /// `#`-hypertree width (Definition 1.2), searched up to the cap.
+    pub sharp_width: Option<usize>,
+    /// Quantified star size (Appendix A).
+    pub star_size: usize,
+    /// Number of atoms / variables / free variables.
+    pub atoms: usize,
+    /// Number of variables.
+    pub vars: usize,
+    /// Number of free variables.
+    pub free: usize,
+    /// The cap used for the width searches.
+    pub cap: usize,
+}
+
+impl WidthReport {
+    /// Analyzes `q`, searching widths up to `cap`.
+    pub fn analyze(q: &ConjunctiveQuery, cap: usize) -> WidthReport {
+        let h = q.hypergraph();
+        let resources = crate::sharp::atom_nodesets(q);
+        let ghw = cqcount_decomp::ghw_exact(&h, &resources, cap).map(|(w, _)| w);
+        WidthReport {
+            acyclic: cqcount_hypergraph::is_acyclic(&h),
+            ghw,
+            sharp_width: sharp_hypertree_width(q, cap),
+            star_size: quantified_star_size(q),
+            atoms: q.atoms().len(),
+            vars: q.vars_in_atoms().len(),
+            free: q.free().len(),
+            cap,
+        }
+    }
+}
+
+/// The algorithm the planner chose, with the evidence that justified it —
+/// returned by [`count_explain`] so callers (and the CLI) can show *why*.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Plan {
+    /// Bounded `#`-hypertree width: Theorem 1.3's polynomial pipeline.
+    SharpPipeline {
+        /// The witnessing `#`-hypertree width.
+        width: usize,
+    },
+    /// A hybrid `#ᵦ`-hypertree decomposition (Theorem 6.6).
+    Hybrid {
+        /// Structural width of the `Q[S̄]` decomposition.
+        width: usize,
+        /// The achieved degree bound.
+        bound: usize,
+        /// Names of the promoted (pseudo-free) variables.
+        promoted: Vec<String>,
+    },
+    /// No structural handle within the caps: enumeration.
+    BruteForce {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// Counts `|π_free(Q)(Q^D)|` with the cheapest applicable algorithm:
+///
+/// 1. bounded `#`-hypertree width (cap 3) → the Theorem 1.3 pipeline;
+/// 2. otherwise, a hybrid `#ᵦ`-decomposition with a small degree bound
+///    (Theorem 6.6) when one exists;
+/// 3. otherwise, brute-force enumeration.
+pub fn count_auto(q: &ConjunctiveQuery, db: &Database) -> Natural {
+    count_explain(q, db).0
+}
+
+/// Like [`count_auto`], also returning the [`Plan`] that produced the
+/// count.
+pub fn count_explain(q: &ConjunctiveQuery, db: &Database) -> (Natural, Plan) {
+    const WIDTH_CAP: usize = 3;
+    const DEGREE_CAP: usize = 8;
+    if let Some((n, sd)) = count_via_sharp_decomposition(q, db, WIDTH_CAP) {
+        return (n, Plan::SharpPipeline { width: sd.width });
+    }
+    if q.existential().len() < 16 {
+        if let Some((n, hd)) = count_hybrid(q, db, WIDTH_CAP, DEGREE_CAP) {
+            let promoted = hd
+                .sbar
+                .iter()
+                .filter(|v| !q.free().contains(v))
+                .map(|v| q.var_name(*v).to_owned())
+                .collect();
+            return (
+                n,
+                Plan::Hybrid {
+                    width: hd.sharp.width,
+                    bound: hd.bound,
+                    promoted,
+                },
+            );
+        }
+        (
+            count_brute_force(q, db),
+            Plan::BruteForce {
+                reason: format!(
+                    "#-hypertree width > {WIDTH_CAP} and no hybrid decomposition \
+                     with degree ≤ {DEGREE_CAP}"
+                ),
+            },
+        )
+    } else {
+        (
+            count_brute_force(q, db),
+            Plan::BruteForce {
+                reason: format!(
+                    "#-hypertree width > {WIDTH_CAP}; too many existential \
+                     variables for the hybrid search"
+                ),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqcount_query::parse_program;
+
+    #[test]
+    fn report_on_q0() {
+        let (q, _) = parse_program(
+            "ans(A, B, C) :- mw(A, B, I), wt(B, D), wi(B, E), pt(C, D), \
+             st(D, F), st(D, G), rr(G, H), rr(F, H), rr(D, H).",
+        )
+        .unwrap();
+        let r = WidthReport::analyze(&q.unwrap(), 3);
+        assert!(!r.acyclic);
+        assert_eq!(r.ghw, Some(2));
+        assert_eq!(r.sharp_width, Some(2));
+        assert_eq!(r.atoms, 9);
+        assert_eq!(r.vars, 9);
+        assert_eq!(r.free, 3);
+    }
+
+    #[test]
+    fn auto_agrees_with_brute_force() {
+        let cases = [
+            "r(a, b). r(b, c). ans(X) :- r(X, Y).",
+            "e(a, b). e(b, c). e(c, a). ans(X, Y) :- e(X, Y), e(Y, Z), e(Z, X).",
+            "r(y1, a). r(y1, b). r(y2, b). ans(X1, X2) :- r(Y, X1), r(Y, X2).",
+        ];
+        for src in cases {
+            let (q, db) = parse_program(src).unwrap();
+            let q = q.unwrap();
+            assert_eq!(count_auto(&q, &db), count_brute_force(&q, &db), "{src}");
+        }
+    }
+
+    #[test]
+    fn explain_picks_the_pipeline_for_bounded_width() {
+        let (q, db) = parse_program(
+            "r(a, b). r(b, c). ans(X) :- r(X, Y).",
+        )
+        .unwrap();
+        let (n, plan) = count_explain(&q.unwrap(), &db);
+        assert_eq!(n, 2u64.into());
+        assert_eq!(plan, Plan::SharpPipeline { width: 1 });
+    }
+
+    #[test]
+    fn explain_reports_hybrid_promotion() {
+        use cqcount_workloads::paper::{hybrid_database, hybrid_query};
+        // h = 3: #-htw = 4 > cap 3, hybrid width 2 with promoted Y's.
+        let q = hybrid_query(3);
+        let db = hybrid_database(3);
+        let (n, plan) = count_explain(&q, &db);
+        assert_eq!(n, 8u64.into());
+        match plan {
+            Plan::Hybrid { width, bound, promoted } => {
+                // the search minimizes the degree bound, not the width:
+                // any width ≤ cap with bound 1 is a valid outcome
+                assert!(width <= 3, "width {width}");
+                assert_eq!(bound, 1);
+                assert!(!promoted.is_empty());
+            }
+            other => panic!("expected hybrid plan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_star_size() {
+        let (q, _) = parse_program("ans(X1, X2) :- r(Y, X1), r(Y, X2).").unwrap();
+        let r = WidthReport::analyze(&q.unwrap(), 3);
+        assert!(r.acyclic);
+        assert_eq!(r.star_size, 2);
+        assert_eq!(r.sharp_width, Some(2)); // frontier {X1,X2} needs 2 atoms
+    }
+}

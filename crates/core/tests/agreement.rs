@@ -1,0 +1,183 @@
+//! The master correctness oracle: on random (query, database) instances,
+//! every counting algorithm in the crate must agree with brute-force
+//! enumeration.
+
+use cqcount_core::prelude::*;
+use cqcount_query::{ConjunctiveQuery, Term};
+use cqcount_relational::Database;
+use proptest::prelude::*;
+
+/// A random conjunctive query: up to 5 atoms over ≤ 6 variables, arities
+/// 1..3, relation names drawn from a small pool (so symbols repeat, which
+/// exercises the non-simple-query machinery), and a random free set.
+fn arb_query() -> impl Strategy<Value = ConjunctiveQuery> {
+    let atom = (0usize..4, proptest::collection::vec(0u32..6, 1..4));
+    (
+        proptest::collection::vec(atom, 1..6),
+        proptest::collection::vec(any::<bool>(), 6),
+    )
+        .prop_map(|(atoms, free_flags)| {
+            let mut q = ConjunctiveQuery::new();
+            let vars: Vec<_> = (0..6).map(|i| q.var(&format!("V{i}"))).collect();
+            for (rel, args) in atoms {
+                let terms = args.iter().map(|&a| Term::Var(vars[a as usize])).collect();
+                q.add_atom(&format!("r{}a{}", rel, args.len()), terms);
+            }
+            let free: Vec<_> = vars
+                .iter()
+                .zip(&free_flags)
+                .filter(|(_, &f)| f)
+                .map(|(&v, _)| v)
+                .collect();
+            q.set_free(free);
+            q
+        })
+}
+
+/// A random database over the same relation pool with a small domain.
+fn arb_database() -> impl Strategy<Value = Database> {
+    let fact = (0usize..4, proptest::collection::vec(0u32..4, 1..4));
+    proptest::collection::vec(fact, 0..25).prop_map(|facts| {
+        let mut db = Database::new();
+        for (rel, args) in facts {
+            let vals = args.iter().map(|a| db.value(&format!("c{a}"))).collect();
+            db.add_tuple(&format!("r{}a{}", rel, args.len()), vals);
+        }
+        db
+    })
+}
+
+/// Makes the database compatible with the query: every relation the query
+/// mentions exists with the right arity (fills missing ones with a couple
+/// of tuples so queries aren't trivially empty).
+fn align(q: &ConjunctiveQuery, db: &Database) -> Database {
+    let mut out = Database::new();
+    for a in q.atoms() {
+        out.ensure_relation(&a.rel, a.terms.len());
+    }
+    // copy compatible facts
+    for (name, rel) in db.relations() {
+        if let Some(existing) = out.relation(name) {
+            if existing.arity() != rel.arity() {
+                continue;
+            }
+        } else {
+            continue;
+        }
+        for t in rel.iter() {
+            let names: Vec<String> = t
+                .iter()
+                .map(|v| db.interner().name(*v).to_owned())
+                .collect();
+            let vals = names.iter().map(|n| out.value(n)).collect();
+            out.add_tuple(name, vals);
+        }
+    }
+    // seed any empty relation with a constant tuple and a diverse one
+    let rel_specs: Vec<(String, usize)> = q
+        .atoms()
+        .iter()
+        .map(|a| (a.rel.clone(), a.terms.len()))
+        .collect();
+    for (name, arity) in rel_specs {
+        if out.relation(&name).is_some_and(|r| r.is_empty()) {
+            let t1: Vec<_> = (0..arity).map(|_| out.value("c0")).collect();
+            out.add_tuple(&name, t1);
+            let t2: Vec<_> = (0..arity).map(|i| out.value(&format!("c{}", i % 3))).collect();
+            out.add_tuple(&name, t2);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn all_algorithms_agree(q in arb_query(), db in arb_database()) {
+        let db = align(&q, &db);
+        let expected = count_brute_force(&q, &db);
+
+        // Independent baseline.
+        prop_assert_eq!(count_via_full_join(&q, &db), expected.clone());
+
+        // Theorem 1.3 pipeline (always applicable at width ≤ #atoms).
+        let (n, sd) = count_via_sharp_decomposition(&q, &db, q.atoms().len().max(1))
+            .expect("width ≤ #atoms always suffices");
+        prop_assert_eq!(&n, &expected, "#-pipeline (width {})", sd.width);
+
+        // Pichler–Skritek over a plain GHD of the full query hypergraph.
+        let resources: Vec<cqcount_hypergraph::NodeSet> = q
+            .atoms()
+            .iter()
+            .map(|a| a.vars().iter().map(|v| v.node()).collect())
+            .collect();
+        let (_, ht) = cqcount_decomp::ghw_exact(&q.hypergraph(), &resources, q.atoms().len())
+            .expect("ghw ≤ #atoms");
+        prop_assert_eq!(count_pichler_skritek(&q, &db, &ht), expected.clone(), "PS");
+
+        // Durand–Mengel (may need larger width; always ≤ #atoms here since
+        // one bag with all atoms covers everything).
+        let dm = count_durand_mengel(&q, &db, q.atoms().len().max(1))
+            .expect("full-width DM decomposition exists");
+        prop_assert_eq!(dm, expected.clone(), "Durand–Mengel");
+
+        // Hybrid with unconstrained threshold.
+        let (hy, hd) = count_hybrid(&q, &db, q.atoms().len().max(1), usize::MAX)
+            .expect("hybrid with S̄ = free always exists at full width");
+        prop_assert_eq!(&hy, &expected, "hybrid (bound {})", hd.bound);
+
+        // Planner.
+        prop_assert_eq!(count_auto(&q, &db), expected.clone());
+
+        // Polynomial-delay enumeration: emits exactly the distinct answers.
+        let answers = enumerate_answers(&q, &db, q.atoms().len().max(1))
+            .expect("decomposition exists at full width");
+        prop_assert_eq!(
+            cqcount_arith::Natural::from(answers.len()),
+            expected.clone(),
+            "enumeration cardinality"
+        );
+        let free: Vec<cqcount_query::Var> = q.free().into_iter().collect();
+        let distinct: std::collections::BTreeSet<Vec<cqcount_relational::Value>> = answers
+            .iter()
+            .map(|a| free.iter().map(|v| a[v]).collect())
+            .collect();
+        prop_assert_eq!(
+            cqcount_arith::Natural::from(distinct.len()),
+            expected,
+            "enumeration emits no duplicates"
+        );
+    }
+
+    /// The #-relation algorithm with every variable free must equal the
+    /// acyclic join-count DP on the bag views.
+    #[test]
+    fn ps_all_free_equals_join_count(q in arb_query(), db in arb_database()) {
+        let db = align(&q, &db);
+        let all: Vec<_> = q.vars_in_atoms().into_iter().collect();
+        let qf = q.requantify(all);
+        prop_assert_eq!(
+            count_auto(&qf, &db),
+            count_brute_force(&qf, &db)
+        );
+    }
+
+    /// Monotonicity sanity: adding tuples never decreases the count.
+    #[test]
+    fn count_is_monotone_in_data(q in arb_query(), db in arb_database()) {
+        let small = align(&q, &db);
+        let mut big = small.clone();
+        // add one extra tuple to every relation
+        let specs: Vec<(String, usize)> = q
+            .atoms()
+            .iter()
+            .map(|a| (a.rel.clone(), a.terms.len()))
+            .collect();
+        for (name, arity) in specs {
+            let t: Vec<_> = (0..arity).map(|_| big.value("fresh")).collect();
+            big.add_tuple(&name, t);
+        }
+        prop_assert!(count_brute_force(&q, &small) <= count_brute_force(&q, &big));
+    }
+}

@@ -1,0 +1,249 @@
+//! Generalized hypertree decompositions and tree projections w.r.t. explicit
+//! view sets (Section 4).
+//!
+//! A width-`k` generalized hypertree decomposition of a hypergraph `H` with
+//! resource edges `R` (the atoms of the query) is a tree projection of `H`
+//! w.r.t. the view set `V^k` whose hyperedges are the unions of `k` resource
+//! edges — the two notions are interchangeable (Section 4). `λ` labels in
+//! the produced [`Hypertree`] are resource indices.
+
+use crate::tp::{decompose, Candidate};
+use crate::Hypertree;
+use cqcount_hypergraph::{Hypergraph, NodeSet};
+use std::collections::HashSet;
+
+/// All `k`-element index combinations of `0..n` for `k ≤ max_k`.
+pub(crate) fn combinations_upto(n: usize, max_k: usize) -> Vec<Vec<usize>> {
+    let mut out: Vec<Vec<usize>> = vec![vec![]];
+    let mut result = Vec::new();
+    for _ in 0..max_k {
+        let mut next = Vec::new();
+        for combo in &out {
+            let start = combo.last().map_or(0, |&l| l + 1);
+            for i in start..n {
+                let mut c = combo.clone();
+                c.push(i);
+                next.push(c);
+            }
+        }
+        result.extend(next.iter().cloned());
+        out = next;
+    }
+    result
+}
+
+/// Builds a candidate provider whose bags are subsets of unions of at most
+/// `k` of the given resource edges.
+fn union_candidates(
+    resources: Vec<NodeSet>,
+    k: usize,
+) -> impl FnMut(&NodeSet, &NodeSet) -> Vec<Candidate> {
+    let mut combos: Vec<(NodeSet, Vec<usize>, bool)> = combinations_upto(resources.len(), k)
+        .into_iter()
+        .map(|combo| {
+            let mut u = NodeSet::new();
+            for &i in &combo {
+                u.union_with(&resources[i]);
+            }
+            // Connected λ-sets materialize as joins with shared columns;
+            // disconnected ones are cross products. Preferring connected
+            // combos does not affect completeness, only which witness is
+            // found first — and the witness's evaluation cost.
+            let connected = is_connected_combo(&combo, &resources);
+            (u, combo, connected)
+        })
+        .collect();
+    // Connected combos first, so the per-`avail` dedup below keeps a
+    // connected witness whenever one generates the same bag universe.
+    combos.sort_by_key(|(_, combo, connected)| (!connected, combo.len()));
+    move |conn, comp| {
+        let allowed = conn.union(comp);
+        let mut seen: HashSet<NodeSet> = HashSet::new();
+        let mut out = Vec::new();
+        let mut keys = Vec::new();
+        for (union, combo, connected) in &combos {
+            let avail = union.intersection(&allowed);
+            if !conn.is_subset(&avail) || !seen.insert(avail.clone()) {
+                continue;
+            }
+            let free: Vec<u32> = avail.difference(conn).to_vec();
+            debug_assert!(free.len() < 31, "bag enumeration mask overflow");
+            for mask in 1u32..(1u32 << free.len()) {
+                let mut bag = conn.clone();
+                for (j, &x) in free.iter().enumerate() {
+                    if mask & (1 << j) != 0 {
+                        bag.insert(x);
+                    }
+                }
+                keys.push((!*connected, std::cmp::Reverse(bag.len()), combo.len()));
+                out.push((bag, combo.clone()));
+            }
+        }
+        // Try connected-λ, large bags first: they absorb more edges and
+        // evaluate cheaply; completeness does not depend on the order.
+        let mut idx: Vec<usize> = (0..out.len()).collect();
+        idx.sort_by_key(|&i| keys[i]);
+        idx.into_iter().map(|i| out[i].clone()).collect()
+    }
+}
+
+/// Whether the resource edges indexed by `combo` form a connected
+/// hypergraph (via pairwise intersections).
+fn is_connected_combo(combo: &[usize], resources: &[NodeSet]) -> bool {
+    if combo.len() <= 1 {
+        return true;
+    }
+    let mut reached = vec![false; combo.len()];
+    reached[0] = true;
+    let mut frontier = vec![0usize];
+    while let Some(i) = frontier.pop() {
+        for j in 0..combo.len() {
+            if !reached[j] && resources[combo[i]].intersects(&resources[combo[j]]) {
+                reached[j] = true;
+                frontier.push(j);
+            }
+        }
+    }
+    reached.into_iter().all(|r| r)
+}
+
+/// Searches for a width-`k` generalized hypertree decomposition of `cover`
+/// using `resources` as the `λ`-candidates.
+///
+/// `cover` may contain *more* hyperedges than the resources generate (e.g.
+/// the frontier hyperedges of a #-hypertree decomposition, Definition 1.2):
+/// every hyperedge of `cover` must fit in some bag, while bags must be
+/// covered by at most `k` resources.
+pub fn ghw_at_most(cover: &Hypergraph, resources: &[NodeSet], k: usize) -> Option<Hypertree> {
+    decompose(cover, union_candidates(resources.to_vec(), k))
+}
+
+/// The exact generalized hypertree width of `cover` w.r.t. `resources`,
+/// bounded by `max_k`. Returns the width and a witness.
+pub fn ghw_exact(
+    cover: &Hypergraph,
+    resources: &[NodeSet],
+    max_k: usize,
+) -> Option<(usize, Hypertree)> {
+    (1..=max_k).find_map(|k| ghw_at_most(cover, resources, k).map(|ht| (k, ht)))
+}
+
+/// Searches for a tree projection of `(h1, h2)`: bags are subsets of single
+/// `h2` hyperedges; `λ` holds the covering `h2` edge index.
+pub fn tree_projection(h1: &Hypergraph, h2: &Hypergraph) -> Option<Hypertree> {
+    let resources: Vec<NodeSet> = h2.edges().to_vec();
+    decompose(h1, union_candidates(resources, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(edges: &[&[u32]]) -> Hypergraph {
+        Hypergraph::from_edges(edges.iter().map(|e| e.iter().copied()))
+    }
+
+    #[test]
+    fn combinations() {
+        assert_eq!(combinations_upto(3, 1), vec![vec![0], vec![1], vec![2]]);
+        let c2 = combinations_upto(3, 2);
+        assert_eq!(c2.len(), 3 + 3);
+        assert!(c2.contains(&vec![0, 2]));
+        assert_eq!(combinations_upto(0, 2).len(), 0);
+    }
+
+    #[test]
+    fn acyclic_has_ghw_1() {
+        let g = h(&[&[0, 1], &[1, 2], &[1, 3, 4]]);
+        let (w, ht) = ghw_exact(&g, g.edges(), 3).unwrap();
+        assert_eq!(w, 1);
+        assert!(ht.verify_ghd(&g, g.edges()));
+    }
+
+    #[test]
+    fn cycle_has_ghw_2() {
+        let g = h(&[&[0, 1], &[1, 2], &[2, 3], &[3, 0]]);
+        let (w, ht) = ghw_exact(&g, g.edges(), 3).unwrap();
+        assert_eq!(w, 2);
+        assert!(ht.verify_ghd(&g, g.edges()));
+        assert!(ht.width() <= 2);
+    }
+
+    #[test]
+    fn q0_has_ghw_2() {
+        // Example 1.1 / Figure 2: hypertree width 2.
+        let g = h(&[
+            &[0, 1, 8],
+            &[1, 3],
+            &[1, 4],
+            &[2, 3],
+            &[3, 5],
+            &[3, 6],
+            &[6, 7],
+            &[5, 7],
+            &[3, 7],
+        ]);
+        let (w, ht) = ghw_exact(&g, g.edges(), 3).unwrap();
+        assert_eq!(w, 2);
+        assert!(ht.verify_ghd(&g, g.edges()));
+    }
+
+    #[test]
+    fn sharp_cover_extra_edges() {
+        // Example 4.1 / Figure 8: the 4-cycle Q1 with the frontier edge
+        // {A,C} = {0,2} added; still width 2 w.r.t. the cycle's atoms.
+        let atoms: Vec<NodeSet> =
+            vec![[0, 1].into(), [1, 2].into(), [2, 3].into(), [3, 0].into()];
+        let mut cover = Hypergraph::from_edges(atoms.iter().map(|e| e.iter()));
+        cover.add_edge([0, 2].into()); // frontier {A,C}
+        let (w, ht) = ghw_exact(&cover, &atoms, 3).unwrap();
+        assert_eq!(w, 2);
+        assert!(ht.covers_all_edges(&cover));
+        assert!(ht.lambda_covers_chi(&atoms));
+    }
+
+    #[test]
+    fn clique_needs_half_width() {
+        // K4 as binary edges: ghw(K4) = 2.
+        let mut edges = Vec::new();
+        for i in 0..4u32 {
+            for j in i + 1..4 {
+                edges.push(vec![i, j]);
+            }
+        }
+        let g = Hypergraph::from_edges(edges);
+        let (w, _) = ghw_exact(&g, g.edges(), 4).unwrap();
+        assert_eq!(w, 2);
+    }
+
+    #[test]
+    fn width_bound_respected() {
+        let g = h(&[&[0, 1], &[1, 2], &[2, 3], &[3, 0]]);
+        assert!(ghw_at_most(&g, g.edges(), 1).is_none());
+    }
+
+    #[test]
+    fn tree_projection_wrapper() {
+        let g = h(&[&[0, 1], &[1, 2], &[0, 2]]);
+        let views = h(&[&[0, 1, 2]]);
+        let ht = tree_projection(&g, &views).unwrap();
+        assert!(ht.covers_all_edges(&g));
+        let no_views = h(&[&[0, 1], &[1, 2]]);
+        assert!(tree_projection(&g, &no_views).is_none());
+    }
+
+    #[test]
+    fn biclique_has_ghw_n() {
+        // K_{2,2} as binary edges r(x_i, y_j): ghw = 2 (it is the 4-cycle);
+        // K_{3,3} has ghw 3 — checked as "not ≤ 2".
+        let mut edges = Vec::new();
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                edges.push(vec![i, 3 + j]);
+            }
+        }
+        let g = Hypergraph::from_edges(edges);
+        assert!(ghw_at_most(&g, g.edges(), 2).is_none());
+        assert!(ghw_at_most(&g, g.edges(), 3).is_some());
+    }
+}

@@ -1,0 +1,437 @@
+//! Hypertrees `⟨T, χ, λ⟩` (Appendix C of the paper; \[36\]).
+
+use cqcount_hypergraph::{is_acyclic, Hypergraph, NodeSet};
+
+/// A rooted hypertree (forest) `⟨T, χ, λ⟩` for a hypergraph / query.
+///
+/// Vertex `p` carries a bag `χ(p)` of variables and a label `λ(p)` listing
+/// the resources (atom indices, view indices — interpretation is up to the
+/// producer) that cover the bag. The structure stores parent/children links
+/// and a bottom-up order (children before parents), which is what every
+/// counting pass traverses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hypertree {
+    /// The bag `χ(p)` of each vertex.
+    pub chi: Vec<NodeSet>,
+    /// The cover label `λ(p)` of each vertex (resource indices).
+    pub lambda: Vec<Vec<usize>>,
+    /// Parent links (`None` for roots).
+    pub parent: Vec<Option<usize>>,
+    /// Children lists.
+    pub children: Vec<Vec<usize>>,
+    /// Roots (one per connected component of the decomposition forest).
+    pub roots: Vec<usize>,
+    /// Bottom-up order: children before parents.
+    pub order: Vec<usize>,
+}
+
+impl Hypertree {
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.chi.len()
+    }
+
+    /// Returns `true` iff the hypertree has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.chi.is_empty()
+    }
+
+    /// The width `max_p |λ(p)|`.
+    pub fn width(&self) -> usize {
+        self.lambda.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The decomposition hypergraph: one hyperedge per bag (the acyclic
+    /// hypergraph `Hₐ` witnessing a tree projection).
+    pub fn to_hypergraph(&self) -> Hypergraph {
+        let mut h = Hypergraph::new();
+        for bag in &self.chi {
+            h.add_edge(bag.clone());
+        }
+        h
+    }
+
+    /// All variables mentioned by some bag.
+    pub fn all_nodes(&self) -> NodeSet {
+        let mut out = NodeSet::new();
+        for bag in &self.chi {
+            out.union_with(bag);
+        }
+        out
+    }
+
+    /// Builds parent/children/roots/order from a parent array.
+    pub fn from_parts(
+        chi: Vec<NodeSet>,
+        lambda: Vec<Vec<usize>>,
+        parent: Vec<Option<usize>>,
+    ) -> Hypertree {
+        let n = chi.len();
+        assert_eq!(lambda.len(), n);
+        assert_eq!(parent.len(), n);
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut roots = Vec::new();
+        for (v, p) in parent.iter().enumerate() {
+            match p {
+                Some(p) => children[*p].push(v),
+                None => roots.push(v),
+            }
+        }
+        // Bottom-up order via DFS from the roots.
+        let mut order = Vec::with_capacity(n);
+        let mut stack: Vec<(usize, bool)> = roots.iter().map(|&r| (r, false)).collect();
+        while let Some((v, expanded)) = stack.pop() {
+            if expanded {
+                order.push(v);
+            } else {
+                stack.push((v, true));
+                for &c in &children[v] {
+                    stack.push((c, false));
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "parent array must be a forest");
+        Hypertree {
+            chi,
+            lambda,
+            parent,
+            children,
+            roots,
+            order,
+        }
+    }
+
+    /// Checks the structural conditions of a *generalized* hypertree
+    /// decomposition of `h` (conditions (1)–(2); condition (3)
+    /// `χ(p) ⊆ vars(λ(p))` is checked against `resource_nodes`, the node set
+    /// of each resource referenced by `λ`):
+    ///
+    /// 1. every hyperedge of `h` is contained in some bag;
+    /// 2. for every node, the vertices whose bag contains it induce a
+    ///    connected subtree;
+    /// 3. every bag is covered by the union of its `λ` resources.
+    pub fn verify_ghd(&self, h: &Hypergraph, resource_nodes: &[NodeSet]) -> bool {
+        self.covers_all_edges(h) && self.is_connected() && self.lambda_covers_chi(resource_nodes)
+    }
+
+    /// Condition (1): every hyperedge of `h` inside some bag.
+    pub fn covers_all_edges(&self, h: &Hypergraph) -> bool {
+        h.edges()
+            .iter()
+            .all(|e| self.chi.iter().any(|bag| e.is_subset(bag)))
+    }
+
+    /// Condition (2): connectedness of every node's occurrence set.
+    pub fn is_connected(&self) -> bool {
+        for x in self.all_nodes().iter() {
+            let holders: Vec<usize> = (0..self.len()).filter(|&p| self.chi[p].contains(x)).collect();
+            let internal = holders
+                .iter()
+                .filter(|&&p| self.parent[p].is_some_and(|q| self.chi[q].contains(x)))
+                .count();
+            if internal != holders.len() - 1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Condition (3): `χ(p) ⊆ nodes(λ(p))`.
+    pub fn lambda_covers_chi(&self, resource_nodes: &[NodeSet]) -> bool {
+        self.chi.iter().zip(&self.lambda).all(|(bag, lam)| {
+            let mut covered = NodeSet::new();
+            for &r in lam {
+                covered.union_with(&resource_nodes[r]);
+            }
+            bag.is_subset(&covered)
+        })
+    }
+
+    /// Condition (4) of full hypertree decompositions (the *descendant
+    /// condition*): `vars(λ(p)) ∩ χ(T_p) ⊆ χ(p)`.
+    pub fn satisfies_descendant_condition(&self, resource_nodes: &[NodeSet]) -> bool {
+        // χ(T_p) bottom-up.
+        let mut subtree = self.chi.clone();
+        for &v in &self.order {
+            for &c in &self.children[v] {
+                let child_nodes = subtree[c].clone();
+                subtree[v].union_with(&child_nodes);
+            }
+        }
+        (0..self.len()).all(|p| {
+            let mut lam_nodes = NodeSet::new();
+            for &r in &self.lambda[p] {
+                lam_nodes.union_with(&resource_nodes[r]);
+            }
+            lam_nodes.intersection(&subtree[p]).is_subset(&self.chi[p])
+        })
+    }
+
+    /// Returns `true` iff the bag hypergraph is acyclic (it always is for
+    /// trees produced by the solvers; exposed for verification in tests).
+    pub fn bags_acyclic(&self) -> bool {
+        is_acyclic(&self.to_hypergraph())
+    }
+
+    /// Normalizes the hypertree by repeatedly merging any vertex whose bag
+    /// is a subset of its parent's (or a child whose bag subsumes the
+    /// parent's) — the basic normalization step of normal-form hypertree
+    /// decompositions (\[60\], \[45\]): the result has at most as many vertices,
+    /// covers the same hyperedges, keeps connectedness, and its width never
+    /// increases beyond `max(|λ(p)| ∪ |λ(q)|)` of merged pairs (we keep the
+    /// *covering* vertex's `λ`, which stays sufficient because the surviving
+    /// bag is unchanged).
+    pub fn normalize(&self) -> Hypertree {
+        let mut chi = self.chi.clone();
+        let mut lambda = self.lambda.clone();
+        let mut parent = self.parent.clone();
+        let mut alive = vec![true; chi.len()];
+        loop {
+            let mut merged = false;
+            for v in 0..chi.len() {
+                if !alive[v] {
+                    continue;
+                }
+                let Some(mut p) = parent[v] else { continue };
+                while !alive[p] {
+                    p = parent[p].expect("dead vertex keeps a parent chain");
+                }
+                parent[v] = Some(p);
+                if chi[v].is_subset(&chi[p]) {
+                    // fold v into its parent: children re-attach to p
+                    alive[v] = false;
+                    merged = true;
+                } else if chi[p].is_subset(&chi[v]) {
+                    // v subsumes its parent: v takes p's place
+                    chi[p] = chi[v].clone();
+                    lambda[p] = lambda[v].clone();
+                    alive[v] = false;
+                    merged = true;
+                }
+            }
+            if !merged {
+                break;
+            }
+        }
+        // compact
+        let mut remap = vec![usize::MAX; chi.len()];
+        let mut new_chi = Vec::new();
+        let mut new_lambda = Vec::new();
+        for v in 0..chi.len() {
+            if alive[v] {
+                remap[v] = new_chi.len();
+                new_chi.push(chi[v].clone());
+                new_lambda.push(lambda[v].clone());
+            }
+        }
+        let new_parent: Vec<Option<usize>> = (0..chi.len())
+            .filter(|&v| alive[v])
+            .map(|v| {
+                let mut p = parent[v];
+                while let Some(pp) = p {
+                    if alive[pp] {
+                        return Some(remap[pp]);
+                    }
+                    p = parent[pp];
+                }
+                None
+            })
+            .collect();
+        Hypertree::from_parts(new_chi, new_lambda, new_parent)
+    }
+
+    /// Ensures every resource in `needed` appears in some `λ(p)` with
+    /// `resource_nodes[r] ⊆ χ(p)`, by attaching a fresh child
+    /// `χ = nodes(r), λ = {r}` under a vertex whose bag covers it — the
+    /// *completion* step in the proof of Theorem 6.2. Panics if some needed
+    /// resource is covered by no bag (not a decomposition of its query).
+    pub fn complete(&self, needed: &[usize], resource_nodes: &[NodeSet]) -> Hypertree {
+        let mut out = self.clone();
+        for &r in needed {
+            let present = out
+                .lambda
+                .iter()
+                .zip(&out.chi)
+                .any(|(lam, chi)| lam.contains(&r) && resource_nodes[r].is_subset(chi));
+            if present {
+                continue;
+            }
+            let host = (0..out.len())
+                .find(|&p| resource_nodes[r].is_subset(&out.chi[p]))
+                .expect("resource not covered by any bag: not a decomposition");
+            let new = out.len();
+            out.chi.push(resource_nodes[r].clone());
+            out.lambda.push(vec![r]);
+            out.parent.push(Some(host));
+            out.children.push(Vec::new());
+            out.children[host].push(new);
+        }
+        Hypertree::from_parts(out.chi, out.lambda, out.parent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 2's width-2 hypertree decomposition of Q0, transcribed.
+    /// Atom order: mw=0, wt=1, wi=2, pt=3, st(D,F)=4, st(D,G)=5,
+    /// rr(G,H)=6, rr(F,H)=7, rr(D,H)=8.
+    /// Vars: A=0,B=1,C=2,D=3,E=4,F=5,G=6,H=7,I=8.
+    fn q0_hd() -> (Hypertree, Hypergraph, Vec<NodeSet>) {
+        let atoms: Vec<NodeSet> = vec![
+            [0, 1, 8].into(),
+            [1, 3].into(),
+            [1, 4].into(),
+            [2, 3].into(),
+            [3, 5].into(),
+            [3, 6].into(),
+            [6, 7].into(),
+            [5, 7].into(),
+            [3, 7].into(),
+        ];
+        let h = Hypergraph::from_edges(atoms.iter().map(|e| e.iter()));
+        // root {mw}: {A,B,I}; children {wi}: {B,E} and {wt,pt}: {B,C,D};
+        // below the latter {rr(D,H), rr(F,H)}: {D,F,H} (also covers st(D,F))
+        // and below that {rr(D,H), rr(G,H)}: {D,G,H} (also covers st(D,G)).
+        let chi: Vec<NodeSet> = vec![
+            [0, 1, 8].into(), // 0 root mw
+            [1, 4].into(),    // 1 wi
+            [1, 2, 3].into(), // 2 wt+pt
+            [3, 5, 7].into(), // 3 rr(D,H)+rr(F,H)
+            [3, 6, 7].into(), // 4 rr(D,H)+rr(G,H)
+        ];
+        let lambda = vec![vec![0], vec![2], vec![1, 3], vec![8, 7], vec![8, 6]];
+        let parent = vec![None, Some(0), Some(0), Some(2), Some(3)];
+        (Hypertree::from_parts(chi, lambda, parent), h, atoms)
+    }
+
+    #[test]
+    fn q0_figure2_decomposition_verifies() {
+        let (ht, h, atoms) = q0_hd();
+        assert_eq!(ht.width(), 2);
+        assert!(ht.covers_all_edges(&h));
+        assert!(ht.is_connected());
+        assert!(ht.lambda_covers_chi(&atoms));
+        assert!(ht.verify_ghd(&h, &atoms));
+        assert!(ht.bags_acyclic());
+    }
+
+    #[test]
+    fn bottom_up_order() {
+        let (ht, _, _) = q0_hd();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; ht.len()];
+            for (i, &v) in ht.order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        for v in 0..ht.len() {
+            if let Some(p) = ht.parent[v] {
+                assert!(pos[v] < pos[p]);
+            }
+        }
+        assert_eq!(ht.roots, vec![0]);
+    }
+
+    #[test]
+    fn connectedness_violation_detected() {
+        // Bag 0 and bag 2 share node 9 but bag 1 between them lacks it.
+        let chi: Vec<NodeSet> = vec![[9, 1].into(), [1, 2].into(), [2, 9].into()];
+        let lambda = vec![vec![0], vec![0], vec![0]];
+        let parent = vec![None, Some(0), Some(1)];
+        let ht = Hypertree::from_parts(chi, lambda, parent);
+        assert!(!ht.is_connected());
+    }
+
+    #[test]
+    fn edge_cover_violation_detected() {
+        let (ht, _, _) = q0_hd();
+        let mut h2 = Hypergraph::new();
+        h2.add_edge([0, 7].into()); // {A, H} is inside no bag
+        assert!(!ht.covers_all_edges(&h2));
+    }
+
+    #[test]
+    fn completion_adds_missing_atoms() {
+        let (ht, h, atoms) = q0_hd();
+        // wt (atom 1) appears in λ of vertex 2; rr(D,H)=8 appears at 4.
+        // Ask for completion of all atoms: nothing covered-but-absent...
+        let complete = ht.complete(&(0..atoms.len()).collect::<Vec<_>>(), &atoms);
+        assert!(complete.covers_all_edges(&h));
+        assert!(complete.is_connected());
+        // every atom now sits in some λ with its vars inside χ
+        for (i, a) in atoms.iter().enumerate() {
+            assert!(
+                complete
+                    .lambda
+                    .iter()
+                    .zip(&complete.chi)
+                    .any(|(lam, chi)| lam.contains(&i) && a.is_subset(chi)),
+                "atom {i} not λ-placed"
+            );
+        }
+    }
+
+    #[test]
+    fn normalize_merges_subset_bags() {
+        // child bag ⊆ parent bag: merged away.
+        let chi: Vec<NodeSet> = vec![[0, 1, 2].into(), [1, 2].into(), [2, 3].into()];
+        let lambda = vec![vec![0], vec![0], vec![1]];
+        let parent = vec![None, Some(0), Some(1)];
+        let ht = Hypertree::from_parts(chi, lambda, parent);
+        let n = ht.normalize();
+        assert_eq!(n.len(), 2);
+        assert!(n.is_connected());
+        assert!(n.chi.contains(&[0, 1, 2].into()));
+        assert!(n.chi.contains(&[2, 3].into()));
+        // grandchild reattached to the root
+        assert_eq!(n.roots.len(), 1);
+    }
+
+    #[test]
+    fn normalize_child_subsumes_parent() {
+        let chi: Vec<NodeSet> = vec![[1, 2].into(), [0, 1, 2].into()];
+        let lambda = vec![vec![0], vec![1]];
+        let parent = vec![None, Some(0)];
+        let ht = Hypertree::from_parts(chi, lambda, parent);
+        let n = ht.normalize();
+        assert_eq!(n.len(), 1);
+        assert_eq!(n.chi[0], [0, 1, 2].into());
+        assert_eq!(n.lambda[0], vec![1]);
+    }
+
+    #[test]
+    fn normalize_preserves_validity_on_q0() {
+        let (ht, h, atoms) = q0_hd();
+        let n = ht.normalize();
+        assert!(n.covers_all_edges(&h));
+        assert!(n.is_connected());
+        assert!(n.lambda_covers_chi(&atoms));
+        assert!(n.len() <= ht.len());
+    }
+
+    #[test]
+    fn normalize_is_idempotent() {
+        let (ht, _, _) = q0_hd();
+        let n = ht.normalize();
+        assert_eq!(n.normalize().len(), n.len());
+    }
+
+    #[test]
+    fn descendant_condition() {
+        let (ht, _, atoms) = q0_hd();
+        // This particular transcription happens to satisfy it.
+        assert!(ht.satisfies_descendant_condition(&atoms));
+        // A designed violation: λ mentions an atom whose vars appear
+        // below but not in χ(p).
+        let chi: Vec<NodeSet> = vec![[1].into(), [1, 2].into()];
+        let lambda = vec![vec![1], vec![1]]; // resource 1 = {1,2}
+        let resources: Vec<NodeSet> = vec![[1].into(), [1, 2].into()];
+        let parent = vec![None, Some(0)];
+        let ht2 = Hypertree::from_parts(chi, lambda, parent);
+        // vars(λ(root)) = {1,2}; χ(T_root) = {1,2}; χ(root) = {1}: violated.
+        assert!(!ht2.satisfies_descendant_condition(&resources));
+    }
+}

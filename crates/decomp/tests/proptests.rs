@@ -1,0 +1,170 @@
+//! Property tests for the decomposition solvers.
+//!
+//! Treewidth is cross-checked against an independent brute-force reference:
+//! the minimum over all elimination orderings of the maximum clique created
+//! during elimination (exact for the tiny instances generated here).
+
+use cqcount_decomp::{
+    ghw_at_most, ghw_exact, hypertree_width_exact, treewidth_at_most, treewidth_exact,
+};
+use cqcount_hypergraph::{Hypergraph, NodeSet};
+use proptest::prelude::*;
+
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    proptest::collection::vec(proptest::collection::vec(0u32..6, 1..4), 1..7)
+        .prop_map(Hypergraph::from_edges)
+}
+
+/// Reference treewidth: min over elimination orders (exponential, n ≤ 6).
+fn treewidth_reference(h: &Hypergraph) -> usize {
+    let nodes: Vec<u32> = h.nodes().to_vec();
+    let n = nodes.len();
+    if n == 0 {
+        return 0;
+    }
+    // adjacency matrix of the primal graph
+    let index = |v: u32| nodes.iter().position(|&x| x == v).unwrap();
+    let mut adj = vec![vec![false; n]; n];
+    for e in h.edges() {
+        let vs: Vec<usize> = e.iter().map(index).collect();
+        for (i, &a) in vs.iter().enumerate() {
+            for &b in &vs[i + 1..] {
+                adj[a][b] = true;
+                adj[b][a] = true;
+            }
+        }
+    }
+    let mut best = usize::MAX;
+    let mut perm: Vec<usize> = (0..n).collect();
+    permute(&mut perm, 0, &mut |order| {
+        let mut g = adj.clone();
+        let mut alive = vec![true; n];
+        let mut width = 0usize;
+        for &v in order {
+            let nbrs: Vec<usize> = (0..n).filter(|&u| alive[u] && g[v][u]).collect();
+            width = width.max(nbrs.len());
+            for (i, &a) in nbrs.iter().enumerate() {
+                for &b in &nbrs[i + 1..] {
+                    g[a][b] = true;
+                    g[b][a] = true;
+                }
+            }
+            alive[v] = false;
+        }
+        best = best.min(width);
+    });
+    best
+}
+
+fn permute(items: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn treewidth_matches_elimination_reference(h in arb_hypergraph()) {
+        let reference = treewidth_reference(&h);
+        let (w, ht) = treewidth_exact(&h, 6).expect("treewidth ≤ n always exists");
+        prop_assert_eq!(w, reference);
+        prop_assert!(ht.covers_all_edges(&h));
+        prop_assert!(ht.is_connected());
+        prop_assert!(ht.bags_acyclic());
+        prop_assert!(ht.chi.iter().all(|b| b.len() <= w + 1));
+    }
+
+    #[test]
+    fn treewidth_monotone_in_k(h in arb_hypergraph(), k in 0usize..6) {
+        if treewidth_at_most(&h, k).is_some() {
+            prop_assert!(treewidth_at_most(&h, k + 1).is_some());
+        }
+    }
+
+    #[test]
+    fn ghw_witnesses_verify(h in arb_hypergraph(), k in 1usize..4) {
+        if let Some(ht) = ghw_at_most(&h, h.edges(), k) {
+            prop_assert!(ht.verify_ghd(&h, h.edges()));
+            prop_assert!(ht.width() <= k);
+            prop_assert!(ht.bags_acyclic());
+        }
+    }
+
+    #[test]
+    fn ghw_monotone_and_bounded_by_edge_count(h in arb_hypergraph()) {
+        let m = h.num_edges();
+        let (w, _) = ghw_exact(&h, h.edges(), m.max(1)).expect("ghw ≤ m");
+        prop_assert!(w <= m);
+        for k in w..m.max(1) {
+            prop_assert!(ghw_at_most(&h, h.edges(), k).is_some());
+        }
+        if w > 1 {
+            prop_assert!(ghw_at_most(&h, h.edges(), w - 1).is_none());
+        }
+    }
+
+    /// ghw ≤ tw + 1 is false in general, but tw ≤ (ghw)·(max edge size) - 1
+    /// and ghw = 1 iff acyclic; check the acyclicity characterization.
+    #[test]
+    fn ghw_one_iff_acyclic(h in arb_hypergraph()) {
+        let acyclic = cqcount_hypergraph::is_acyclic(&h);
+        let w1 = ghw_at_most(&h, h.edges(), 1).is_some();
+        prop_assert_eq!(acyclic, w1);
+    }
+
+    /// Hypertree width (descendant condition) dominates generalized
+    /// hypertree width, witnesses are genuine HDs, and ghw ≤ hw ≤ 3·ghw+1
+    /// ([40]'s approximation bound).
+    #[test]
+    fn hw_between_ghw_and_3ghw_plus_1(h in arb_hypergraph()) {
+        let m = h.num_edges().max(1);
+        let (ghw, _) = ghw_exact(&h, h.edges(), m).expect("ghw ≤ m");
+        let (hw, ht) = hypertree_width_exact(&h, h.edges(), m).expect("hw ≤ m");
+        prop_assert!(hw >= ghw, "hw {hw} < ghw {ghw}");
+        prop_assert!(hw <= 3 * ghw + 1, "hw {hw} > 3·{ghw}+1");
+        prop_assert!(ht.verify_ghd(&h, h.edges()));
+        prop_assert!(ht.satisfies_descendant_condition(h.edges()));
+    }
+
+    /// Normalization keeps witnesses valid and never grows them.
+    #[test]
+    fn normalization_preserves_validity(h in arb_hypergraph(), k in 1usize..4) {
+        if let Some(ht) = ghw_at_most(&h, h.edges(), k) {
+            let n = ht.normalize();
+            prop_assert!(n.len() <= ht.len());
+            prop_assert!(n.covers_all_edges(&h));
+            prop_assert!(n.is_connected());
+            prop_assert!(n.lambda_covers_chi(h.edges()));
+            prop_assert!(n.bags_acyclic());
+            // idempotent
+            prop_assert_eq!(n.normalize().len(), n.len());
+        }
+    }
+
+    /// The decomposition hypergraph of any witness is a tree projection:
+    /// covered by unions of ≤ k edges and covering h.
+    #[test]
+    fn witness_is_sandwich(h in arb_hypergraph()) {
+        if let Some(ht) = ghw_at_most(&h, h.edges(), 2) {
+            let ha = ht.to_hypergraph();
+            prop_assert!(h.reduced().covered_by(&ha));
+            // every bag within the union of its λ edges
+            for (bag, lam) in ht.chi.iter().zip(&ht.lambda) {
+                let mut u = NodeSet::new();
+                for &r in lam {
+                    u.union_with(&h.edges()[r]);
+                }
+                prop_assert!(bag.is_subset(&u));
+                prop_assert!(lam.len() <= 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! α-acyclicity and join trees.
+//!
+//! Two independent implementations are provided and cross-checked in tests:
+//! the GYO reduction ([`is_acyclic`]) and maximum-weight spanning forests of
+//! the intersection graph ([`join_forest`], Bernstein–Goodman: a hypergraph
+//! is α-acyclic iff a maximum-weight spanning forest of its intersection
+//! graph is a join forest, which is cheap to verify).
+
+use crate::{Hypergraph, NodeSet};
+
+/// Decides α-acyclicity by GYO reduction: repeatedly delete nodes occurring
+/// in a single hyperedge and hyperedges contained in another hyperedge; the
+/// hypergraph is acyclic iff everything can be eliminated.
+pub fn is_acyclic(h: &Hypergraph) -> bool {
+    let mut edges: Vec<Option<NodeSet>> = h.edges().iter().cloned().map(Some).collect();
+    loop {
+        let mut changed = false;
+
+        // Rule 1: remove nodes that occur in exactly one live edge.
+        let mut seen = NodeSet::new();
+        let mut twice = NodeSet::new();
+        for e in edges.iter().flatten() {
+            twice.union_with(&seen.intersection(e));
+            seen.union_with(e);
+        }
+        let lonely = seen.difference(&twice);
+        if !lonely.is_empty() {
+            for e in edges.iter_mut().flatten() {
+                let trimmed = e.difference(&lonely);
+                if &trimmed != e {
+                    *e = trimmed;
+                    changed = true;
+                }
+            }
+        }
+
+        // Rule 2: remove edges contained in another live edge (and empties).
+        for i in 0..edges.len() {
+            let Some(ei) = edges[i].clone() else { continue };
+            if ei.is_empty() {
+                edges[i] = None;
+                changed = true;
+                continue;
+            }
+            let absorbed = edges
+                .iter()
+                .enumerate()
+                .any(|(j, ej)| j != i && ej.as_ref().is_some_and(|ej| ei.is_subset(ej)));
+            if absorbed {
+                edges[i] = None;
+                changed = true;
+            }
+        }
+
+        if !changed {
+            return edges.iter().all(Option::is_none);
+        }
+    }
+}
+
+/// A rooted join forest over the hyperedges of a hypergraph.
+///
+/// Vertex `i` of the forest corresponds to edge `i` of the source hypergraph.
+/// `order` lists vertices with children before parents, which is the
+/// traversal every bottom-up counting pass needs.
+#[derive(Clone, Debug)]
+pub struct JoinForest {
+    /// `parent[i]` is the parent vertex of `i`, or `None` for roots.
+    pub parent: Vec<Option<usize>>,
+    /// Children lists, consistent with `parent`.
+    pub children: Vec<Vec<usize>>,
+    /// Root vertices, one per connected component.
+    pub roots: Vec<usize>,
+    /// Bottom-up order: every vertex appears after all of its children.
+    pub order: Vec<usize>,
+}
+
+impl JoinForest {
+    /// Number of vertices (= hyperedges of the source hypergraph).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` iff the forest has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Verifies the join-forest property w.r.t. `h`: for every node `X`, the
+    /// vertices whose edges contain `X` induce a connected subtree.
+    pub fn verify(&self, h: &Hypergraph) -> bool {
+        if self.len() != h.num_edges() {
+            return false;
+        }
+        for x in h.nodes().iter() {
+            let holders: Vec<usize> = (0..h.num_edges())
+                .filter(|&i| h.edges()[i].contains(x))
+                .collect();
+            if holders.is_empty() {
+                continue;
+            }
+            // In a forest, the subgraph induced by `holders` is connected iff
+            // it has exactly |holders| - 1 internal edges.
+            let internal = holders
+                .iter()
+                .filter(|&&i| {
+                    self.parent[i].is_some_and(|p| h.edges()[p].contains(x))
+                })
+                .count();
+            if internal != holders.len() - 1 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Builds a join forest for `h` if it is α-acyclic, `None` otherwise.
+pub fn join_forest(h: &Hypergraph) -> Option<JoinForest> {
+    let n = h.num_edges();
+    if n == 0 {
+        return Some(JoinForest {
+            parent: vec![],
+            children: vec![],
+            roots: vec![],
+            order: vec![],
+        });
+    }
+
+    // Kruskal maximum spanning forest over intersection weights.
+    let mut pairs: Vec<(usize, usize, usize)> = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            let w = h.edges()[i].intersection(&h.edges()[j]).len();
+            if w > 0 {
+                pairs.push((w, i, j));
+            }
+        }
+    }
+    pairs.sort_by_key(|&(w, _, _)| std::cmp::Reverse(w));
+
+    let mut uf = UnionFind::new(n);
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (_, i, j) in pairs {
+        if uf.union(i, j) {
+            adj[i].push(j);
+            adj[j].push(i);
+        }
+    }
+
+    // Root each component and collect a bottom-up order.
+    let mut parent = vec![None; n];
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut roots = Vec::new();
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        roots.push(start);
+        // Iterative DFS producing reverse-topological (bottom-up) order.
+        let mut stack = vec![start];
+        visited[start] = true;
+        let mut dfs_order = Vec::new();
+        while let Some(v) = stack.pop() {
+            dfs_order.push(v);
+            for &u in &adj[v] {
+                if !visited[u] {
+                    visited[u] = true;
+                    parent[u] = Some(v);
+                    children[v].push(u);
+                    stack.push(u);
+                }
+            }
+        }
+        order.extend(dfs_order.into_iter().rev());
+    }
+
+    let forest = JoinForest {
+        parent,
+        children,
+        roots,
+        order,
+    };
+    forest.verify(h).then_some(forest)
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            false
+        } else {
+            self.parent[ra] = rb;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Node;
+
+    fn h(edges: &[&[Node]]) -> Hypergraph {
+        Hypergraph::from_edges(edges.iter().map(|e| e.iter().copied()))
+    }
+
+    #[test]
+    fn empty_and_single_edge() {
+        assert!(is_acyclic(&Hypergraph::new()));
+        assert!(is_acyclic(&h(&[&[0, 1, 2]])));
+        assert!(join_forest(&h(&[&[0, 1, 2]])).is_some());
+    }
+
+    #[test]
+    fn path_is_acyclic() {
+        let g = h(&[&[0, 1], &[1, 2], &[2, 3]]);
+        assert!(is_acyclic(&g));
+        let f = join_forest(&g).unwrap();
+        assert!(f.verify(&g));
+        assert_eq!(f.roots.len(), 1);
+        assert_eq!(f.order.len(), 3);
+    }
+
+    #[test]
+    fn triangle_graph_is_cyclic() {
+        let g = h(&[&[0, 1], &[1, 2], &[0, 2]]);
+        assert!(!is_acyclic(&g));
+        assert!(join_forest(&g).is_none());
+    }
+
+    #[test]
+    fn triangle_with_covering_edge_is_acyclic() {
+        // α-acyclicity: adding the big edge {0,1,2} makes the triangle acyclic.
+        let g = h(&[&[0, 1], &[1, 2], &[0, 2], &[0, 1, 2]]);
+        assert!(is_acyclic(&g));
+        assert!(join_forest(&g).is_some());
+    }
+
+    #[test]
+    fn four_cycle_is_cyclic() {
+        let g = h(&[&[0, 1], &[1, 2], &[2, 3], &[3, 0]]);
+        assert!(!is_acyclic(&g));
+        assert!(join_forest(&g).is_none());
+    }
+
+    #[test]
+    fn star_query_is_acyclic() {
+        // Example C.1 shape: big guard edge plus satellite binary edges.
+        let g = h(&[&[0, 10, 11, 12], &[9, 10, 11, 12], &[1, 10], &[2, 11], &[3, 12]]);
+        assert!(is_acyclic(&g));
+        let f = join_forest(&g).unwrap();
+        assert!(f.verify(&g));
+    }
+
+    #[test]
+    fn disconnected_components_give_forest() {
+        let g = h(&[&[0, 1], &[2, 3]]);
+        assert!(is_acyclic(&g));
+        let f = join_forest(&g).unwrap();
+        assert_eq!(f.roots.len(), 2);
+        assert!(f.verify(&g));
+    }
+
+    #[test]
+    fn duplicate_edges_are_fine() {
+        let g = h(&[&[0, 1], &[0, 1], &[1, 2]]);
+        assert!(is_acyclic(&g));
+        let f = join_forest(&g).unwrap();
+        assert!(f.verify(&g));
+    }
+
+    #[test]
+    fn bottom_up_order_respects_children() {
+        let g = h(&[&[0, 1], &[1, 2], &[2, 3], &[1, 4]]);
+        let f = join_forest(&g).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; f.len()];
+            for (idx, &v) in f.order.iter().enumerate() {
+                p[v] = idx;
+            }
+            p
+        };
+        for v in 0..f.len() {
+            if let Some(p) = f.parent[v] {
+                assert!(pos[v] < pos[p], "child {v} must precede parent {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn gyo_and_mst_agree_on_tricky_cases() {
+        let cases: Vec<Hypergraph> = vec![
+            h(&[&[0, 1, 2], &[2, 3, 4], &[4, 5, 0]]),             // hyper-triangle: cyclic
+            h(&[&[0, 1, 2], &[1, 2, 3], &[2, 3, 4]]),             // overlapping path: acyclic
+            h(&[&[0, 1], &[1, 2], &[0, 2], &[0, 1, 2], &[2, 5]]), // covered triangle + tail
+            h(&[&[0], &[0, 1], &[1]]),                            // singletons
+        ];
+        for (i, g) in cases.iter().enumerate() {
+            assert_eq!(
+                is_acyclic(g),
+                join_forest(g).is_some(),
+                "case {i}: GYO vs MST disagree"
+            );
+        }
+    }
+}

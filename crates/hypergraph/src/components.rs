@@ -1,0 +1,177 @@
+//! `[W̄]`-components (Section 3.1).
+//!
+//! Two nodes are `[W̄]`-adjacent if some hyperedge contains both of them
+//! outside `W̄`; `[W̄]`-components are the maximal `[W̄]`-connected sets of
+//! nodes not in `W̄`. They partition the existential variables when
+//! `W̄ = free(Q)` and each component has a unique frontier (Theorem 3.7).
+
+use crate::{Hypergraph, Node, NodeSet};
+
+/// A `[W̄]`-component of a hypergraph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WComponent {
+    /// The nodes of the component (all outside `W̄`).
+    pub nodes: NodeSet,
+    /// Indices (into the source hypergraph's edge list) of the edges with at
+    /// least one node in the component — the `edges(C)` of Section 3.1.
+    pub touching_edges: Vec<usize>,
+}
+
+impl WComponent {
+    /// `nodes(edges(C))`: union of all edges touching the component.
+    pub fn edge_nodes(&self, h: &Hypergraph) -> NodeSet {
+        let mut out = NodeSet::new();
+        for &i in &self.touching_edges {
+            out.union_with(&h.edges()[i]);
+        }
+        out
+    }
+}
+
+/// Computes all `[wbar]`-components of `h`.
+///
+/// The result is deterministic: components are sorted by their minimum node.
+pub fn w_components(h: &Hypergraph, wbar: &NodeSet) -> Vec<WComponent> {
+    let outside: Vec<Node> = h.nodes().difference(wbar).to_vec();
+    if outside.is_empty() {
+        return vec![];
+    }
+    let index_of = |n: Node| outside.binary_search(&n).expect("node is outside wbar");
+
+    let mut uf: Vec<usize> = (0..outside.len()).collect();
+    fn find(uf: &mut [usize], mut x: usize) -> usize {
+        while uf[x] != x {
+            uf[x] = uf[uf[x]];
+            x = uf[x];
+        }
+        x
+    }
+
+    for e in h.edges() {
+        let visible = e.difference(wbar);
+        let mut it = visible.iter();
+        if let Some(first) = it.next() {
+            let fr = find(&mut uf, index_of(first));
+            for other in it {
+                let or = find(&mut uf, index_of(other));
+                uf[or] = fr;
+            }
+        }
+    }
+
+    // Collect classes in order of the representative's minimum node.
+    let mut comps: Vec<(Node, NodeSet)> = Vec::new();
+    let mut class_of = std::collections::HashMap::new();
+    for (i, &node) in outside.iter().enumerate() {
+        let root = find(&mut uf, i);
+        let idx = *class_of.entry(root).or_insert_with(|| {
+            comps.push((node, NodeSet::new()));
+            comps.len() - 1
+        });
+        comps[idx].1.insert(node);
+    }
+    comps.sort_by_key(|&(min, _)| min);
+
+    comps
+        .into_iter()
+        .map(|(_, nodes)| {
+            let touching_edges = (0..h.num_edges())
+                .filter(|&i| h.edges()[i].intersects(&nodes))
+                .collect();
+            WComponent {
+                nodes,
+                touching_edges,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(edges: &[&[Node]]) -> Hypergraph {
+        Hypergraph::from_edges(edges.iter().map(|e| e.iter().copied()))
+    }
+
+    /// The running example Q0 of the paper (Example 1.1) with the node ids
+    /// A=0, B=1, C=2, D=3, E=4, F=5, G=6, H=7, I=8.
+    fn q0() -> Hypergraph {
+        h(&[
+            &[0, 1, 8], // mw(A,B,I)
+            &[1, 3],    // wt(B,D)
+            &[1, 4],    // wi(B,E)
+            &[2, 3],    // pt(C,D)
+            &[3, 5],    // st(D,F)
+            &[3, 6],    // st(D,G)
+            &[6, 7],    // rr(G,H)
+            &[5, 7],    // rr(F,H)
+            &[3, 7],    // rr(D,H)
+        ])
+    }
+
+    #[test]
+    fn q0_free_components_match_paper() {
+        // Removing {A,B,C} splits Q0 into {I}, {E} and {D,F,G,H} (Sec. 1.2).
+        let comps = w_components(&q0(), &[0, 1, 2].into());
+        let node_sets: Vec<NodeSet> = comps.iter().map(|c| c.nodes.clone()).collect();
+        assert_eq!(
+            node_sets,
+            vec![
+                [3, 5, 6, 7].into(), // {D,F,G,H}
+                [4].into(),          // {E}
+                [8].into(),          // {I}
+            ]
+        );
+    }
+
+    #[test]
+    fn q0_example_3_2_component_of_a() {
+        // [{D,E,G}]-component of A is {A,B,I}, with edges mw, wt, wi touching.
+        let comps = w_components(&q0(), &[3, 4, 6].into());
+        let a_comp = comps
+            .iter()
+            .find(|c| c.nodes.contains(0))
+            .expect("component containing A");
+        assert_eq!(a_comp.nodes, [0, 1, 8].into());
+        assert_eq!(a_comp.touching_edges, vec![0, 1, 2]);
+        assert_eq!(a_comp.edge_nodes(&q0()), [0, 1, 3, 4, 8].into());
+    }
+
+    #[test]
+    fn empty_wbar_gives_hypergraph_components() {
+        let g = h(&[&[0, 1], &[2, 3]]);
+        let comps = w_components(&g, &NodeSet::new());
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].nodes, [0, 1].into());
+        assert_eq!(comps[1].nodes, [2, 3].into());
+    }
+
+    #[test]
+    fn all_nodes_in_wbar_gives_no_components() {
+        let g = h(&[&[0, 1]]);
+        assert!(w_components(&g, &[0, 1].into()).is_empty());
+    }
+
+    #[test]
+    fn components_partition_outside_nodes() {
+        let g = q0();
+        let wbar: NodeSet = [1, 3].into();
+        let comps = w_components(&g, &wbar);
+        let mut seen = NodeSet::new();
+        for c in &comps {
+            assert!(!c.nodes.intersects(&seen), "components must be disjoint");
+            assert!(!c.nodes.intersects(&wbar), "components avoid wbar");
+            seen.union_with(&c.nodes);
+        }
+        assert_eq!(seen, g.nodes().difference(&wbar));
+    }
+
+    #[test]
+    fn isolated_node_forms_own_component() {
+        let mut g = h(&[&[0, 1]]);
+        g.add_node(9);
+        let comps = w_components(&g, &NodeSet::new());
+        assert!(comps.iter().any(|c| c.nodes == [9].into()));
+    }
+}

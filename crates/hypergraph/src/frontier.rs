@@ -1,0 +1,174 @@
+//! Frontiers and the frontier hypergraph (Definition 3.3).
+//!
+//! For a node `Y` outside `W̄`, the frontier `Fr(Y, W̄, H)` is the set of
+//! `W̄`-nodes seen by the `[W̄]`-component of `Y`:
+//! `W̄ ∩ nodes(edges(C))` where `C` is the component containing `Y`. The
+//! frontier hypergraph `FH(Q', W̄)` has as hyperedges all frontiers plus the
+//! hyperedges of `H` already contained in `W̄`.
+
+use crate::components::w_components;
+use crate::{Hypergraph, Node, NodeSet};
+
+/// The frontier `Fr(Y, W̄, H)` of a single node (empty if `Y ∈ W̄`).
+pub fn frontier_of(h: &Hypergraph, y: Node, wbar: &NodeSet) -> NodeSet {
+    if wbar.contains(y) {
+        return NodeSet::new();
+    }
+    for c in w_components(h, wbar) {
+        if c.nodes.contains(y) {
+            return c.edge_nodes(h).intersection(wbar);
+        }
+    }
+    NodeSet::new()
+}
+
+/// The frontier hypergraph `FH(H, W̄)` of Definition 3.3.
+///
+/// Its node set is `nodes(H) ∪ W̄`; its hyperedges are the frontiers of all
+/// nodes of `H` (computed once per `[W̄]`-component, since all nodes of a
+/// component share the same frontier) plus every hyperedge of `H` contained
+/// in `W̄`. Empty frontiers are dropped (an empty hyperedge is covered by
+/// anything) and duplicates are deduplicated.
+pub fn frontier_hypergraph(h: &Hypergraph, wbar: &NodeSet) -> Hypergraph {
+    let mut edges: Vec<NodeSet> = Vec::new();
+    let mut push = |e: NodeSet| {
+        if !e.is_empty() && !edges.contains(&e) {
+            edges.push(e);
+        }
+    };
+
+    for c in w_components(h, wbar) {
+        push(c.edge_nodes(h).intersection(wbar));
+    }
+    for e in h.edges() {
+        if e.is_subset(wbar) {
+            push(e.clone());
+        }
+    }
+
+    let mut out = Hypergraph::new();
+    for e in edges {
+        out.add_edge(e);
+    }
+    for n in h.nodes().union(wbar).iter() {
+        out.add_node(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(edges: &[&[Node]]) -> Hypergraph {
+        Hypergraph::from_edges(edges.iter().map(|e| e.iter().copied()))
+    }
+
+    /// Q0 of Example 1.1: A=0, B=1, C=2, D=3, E=4, F=5, G=6, H=7, I=8.
+    fn q0() -> Hypergraph {
+        h(&[
+            &[0, 1, 8],
+            &[1, 3],
+            &[1, 4],
+            &[2, 3],
+            &[3, 5],
+            &[3, 6],
+            &[6, 7],
+            &[5, 7],
+            &[3, 7],
+        ])
+    }
+
+    #[test]
+    fn example_3_2_frontiers() {
+        // Fr(A, {D,E,G}) = {D,E} and Fr(H, {D,E,G}) = {D,G}.
+        let g = q0();
+        let wbar: NodeSet = [3, 4, 6].into();
+        assert_eq!(frontier_of(&g, 0, &wbar), [3, 4].into());
+        assert_eq!(frontier_of(&g, 7, &wbar), [3, 6].into());
+    }
+
+    #[test]
+    fn frontier_of_wbar_node_is_empty() {
+        let g = q0();
+        assert_eq!(frontier_of(&g, 3, &[3, 4, 6].into()), NodeSet::new());
+    }
+
+    #[test]
+    fn q0_frontier_hypergraph_matches_figure_1b() {
+        // FH(Q0, {A,B,C}): frontiers are {A,B} (for I), {B} (for E),
+        // {B,C} (for D,F,G,H); no hyperedge of Q0 is within {A,B,C}.
+        let g = q0();
+        let fh = frontier_hypergraph(&g, &[0, 1, 2].into());
+        let mut edges: Vec<NodeSet> = fh.edges().to_vec();
+        edges.sort();
+        let mut expected = vec![
+            NodeSet::from([0, 1]), // {A,B}
+            NodeSet::from([1]),    // {B}
+            NodeSet::from([1, 2]), // {B,C}
+        ];
+        expected.sort();
+        assert_eq!(edges, expected);
+    }
+
+    #[test]
+    fn colored_q0_includes_free_singletons() {
+        // color(Q0) adds singleton hyperedges {A},{B},{C}; those are covered
+        // by {A,B,C} and must appear in the frontier hypergraph.
+        let mut g = q0();
+        for v in [0, 1, 2] {
+            g.add_edge(NodeSet::singleton(v));
+        }
+        let fh = frontier_hypergraph(&g, &[0, 1, 2].into());
+        for v in [0u32, 1, 2] {
+            assert!(
+                fh.edges().contains(&NodeSet::singleton(v)),
+                "singleton {{{v}}} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn example_6_5_pseudo_free_d_shrinks_frontier() {
+        // With W̄ = {A,B,C,D}: components {E}, {I}, {F,G,H}.
+        // Fr(E)={B}, Fr(I)={A,B}, Fr(F/G/H)={D}; edges within W̄: {B,D},{C,D}.
+        // Figure 5(b): all frontier edges are subsets of original hyperedges.
+        let g = q0();
+        let wbar: NodeSet = [0, 1, 2, 3].into();
+        let fh = frontier_hypergraph(&g, &wbar);
+        let mut edges: Vec<NodeSet> = fh.edges().to_vec();
+        edges.sort();
+        let mut expected = vec![
+            NodeSet::from([0, 1]), // {A,B}
+            NodeSet::from([1]),    // {B}
+            NodeSet::from([1, 3]), // {B,D}
+            NodeSet::from([2, 3]), // {C,D}
+            NodeSet::from([3]),    // {D}
+        ];
+        expected.sort();
+        assert_eq!(edges, expected);
+        // The key consequence in the paper: the original hypergraph covers
+        // this frontier hypergraph, so no extra constraint is needed.
+        assert!(fh.covered_by(&g));
+        // ...whereas with W̄ = {A,B,C} it does not ({B,C} is not covered).
+        let fh_free = frontier_hypergraph(&g, &[0, 1, 2].into());
+        assert!(!fh_free.covered_by(&g));
+    }
+
+    #[test]
+    fn same_component_nodes_share_frontier() {
+        let g = q0();
+        let wbar: NodeSet = [0, 1, 2].into();
+        for y in [3u32, 5, 6, 7] {
+            assert_eq!(frontier_of(&g, y, &wbar), [1, 2].into(), "node {y}");
+        }
+    }
+
+    #[test]
+    fn frontier_hypergraph_nodes_include_wbar() {
+        let g = h(&[&[0, 1]]);
+        let fh = frontier_hypergraph(&g, &[5].into());
+        assert!(fh.nodes().contains(5));
+        assert!(fh.nodes().contains(0));
+    }
+}

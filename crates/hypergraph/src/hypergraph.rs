@@ -1,0 +1,237 @@
+//! Hypergraphs and the covers relation.
+
+use crate::{Node, NodeSet};
+use std::fmt;
+
+/// A hypergraph `(V, H)` over interned node ids.
+///
+/// The node universe is implicit: it is the union of the hyperedges plus any
+/// isolated nodes registered with [`Hypergraph::add_node`]. Duplicate
+/// hyperedges are allowed on input but deduplicated by [`Hypergraph::reduced`].
+///
+/// ```
+/// use cqcount_hypergraph::Hypergraph;
+/// let h = Hypergraph::from_edges([vec![0, 1], vec![1, 2]]);
+/// assert_eq!(h.num_edges(), 2);
+/// assert!(h.nodes().contains(2));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Hypergraph {
+    edges: Vec<NodeSet>,
+    nodes: NodeSet,
+}
+
+impl Hypergraph {
+    /// The empty hypergraph.
+    pub fn new() -> Hypergraph {
+        Hypergraph::default()
+    }
+
+    /// Builds a hypergraph from edge node-lists.
+    pub fn from_edges<I, E>(edges: I) -> Hypergraph
+    where
+        I: IntoIterator<Item = E>,
+        E: IntoIterator<Item = Node>,
+    {
+        let mut h = Hypergraph::new();
+        for e in edges {
+            h.add_edge(e.into_iter().collect());
+        }
+        h
+    }
+
+    /// Adds a hyperedge (empty edges are ignored: they carry no constraint
+    /// and are trivially covered).
+    pub fn add_edge(&mut self, edge: NodeSet) {
+        if edge.is_empty() {
+            return;
+        }
+        self.nodes.union_with(&edge);
+        self.edges.push(edge);
+    }
+
+    /// Registers a node even if no edge mentions it.
+    pub fn add_node(&mut self, node: Node) {
+        self.nodes.insert(node);
+    }
+
+    /// The set of nodes.
+    pub fn nodes(&self) -> &NodeSet {
+        &self.nodes
+    }
+
+    /// The hyperedges, in insertion order.
+    pub fn edges(&self) -> &[NodeSet] {
+        &self.edges
+    }
+
+    /// Number of hyperedges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Size of the largest hyperedge (0 if there are none).
+    pub fn max_edge_size(&self) -> usize {
+        self.edges.iter().map(NodeSet::len).max().unwrap_or(0)
+    }
+
+    /// The covers relation of Section 2: `self ≤ other` iff every hyperedge
+    /// of `self` is a subset of some hyperedge of `other`.
+    pub fn covered_by(&self, other: &Hypergraph) -> bool {
+        self.edges
+            .iter()
+            .all(|e| other.edges.iter().any(|f| e.is_subset(f)))
+    }
+
+    /// Returns `true` iff some hyperedge contains `set`.
+    pub fn covers_set(&self, set: &NodeSet) -> bool {
+        self.edges.iter().any(|e| set.is_subset(e))
+    }
+
+    /// The *reduction*: drops duplicate hyperedges and hyperedges strictly
+    /// contained in another hyperedge. Reduction preserves acyclicity, join
+    /// trees (up to attaching absorbed edges), the covers relation in both
+    /// directions, and `[W̄]`-components.
+    pub fn reduced(&self) -> Hypergraph {
+        let mut kept: Vec<NodeSet> = Vec::new();
+        // Sort by descending size so any absorbing edge is seen first.
+        let mut sorted: Vec<&NodeSet> = self.edges.iter().collect();
+        sorted.sort_by_key(|e| std::cmp::Reverse(e.len()));
+        for e in sorted {
+            if !kept.iter().any(|f| e.is_subset(f)) {
+                kept.push(e.clone());
+            }
+        }
+        Hypergraph {
+            edges: kept,
+            nodes: self.nodes.clone(),
+        }
+    }
+
+    /// The sub-hypergraph induced by intersecting every edge with `keep`
+    /// (empty intersections are dropped). Used e.g. to restrict a
+    /// decomposition to the free variables (proof of Theorem 3.7).
+    pub fn restrict(&self, keep: &NodeSet) -> Hypergraph {
+        let mut h = Hypergraph::new();
+        for e in &self.edges {
+            h.add_edge(e.intersection(keep));
+        }
+        h.nodes = self.nodes.intersection(keep);
+        h
+    }
+
+    /// Union of two hypergraphs (concatenates edge lists, unions nodes).
+    pub fn merge(&self, other: &Hypergraph) -> Hypergraph {
+        let mut h = self.clone();
+        for e in &other.edges {
+            h.add_edge(e.clone());
+        }
+        h.nodes.union_with(&other.nodes);
+        h
+    }
+
+    /// The edges that intersect `set` (the `edges(C)` operator of Sec. 3.1).
+    pub fn edges_touching(&self, set: &NodeSet) -> Vec<&NodeSet> {
+        self.edges.iter().filter(|e| e.intersects(set)).collect()
+    }
+}
+
+impl fmt::Display for Hypergraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(edges: &[&[Node]]) -> Hypergraph {
+        Hypergraph::from_edges(edges.iter().map(|e| e.iter().copied()))
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = h(&[&[0, 1, 2], &[2, 3]]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.max_edge_size(), 3);
+    }
+
+    #[test]
+    fn covers_relation() {
+        let small = h(&[&[0, 1], &[2]]);
+        let big = h(&[&[0, 1, 2]]);
+        assert!(small.covered_by(&big));
+        assert!(!big.covered_by(&small));
+        // reflexivity
+        assert!(small.covered_by(&small));
+        // transitivity witness
+        let mid = h(&[&[0, 1], &[1, 2]]);
+        assert!(mid.covered_by(&big));
+    }
+
+    #[test]
+    fn covers_set() {
+        let g = h(&[&[0, 1, 2], &[3, 4]]);
+        assert!(g.covers_set(&[1, 2].into()));
+        assert!(!g.covers_set(&[2, 3].into()));
+        assert!(g.covers_set(&NodeSet::new()));
+    }
+
+    #[test]
+    fn reduction_drops_subsumed() {
+        let g = h(&[&[0, 1], &[0, 1, 2], &[1], &[0, 1, 2], &[3]]);
+        let r = g.reduced();
+        assert_eq!(r.num_edges(), 2); // {0,1,2} and {3}
+        assert!(r.covers_set(&[0, 1, 2].into()));
+        assert!(r.covers_set(&[3].into()));
+        // reduction preserves the node universe
+        assert_eq!(r.nodes(), g.nodes());
+    }
+
+    #[test]
+    fn restriction() {
+        let g = h(&[&[0, 1, 2], &[2, 3], &[4]]);
+        let r = g.restrict(&[0, 2, 3].into());
+        assert_eq!(r.num_edges(), 2); // {0,2}, {2,3}; {4} vanishes
+        assert_eq!(r.nodes(), &[0, 2, 3].into());
+    }
+
+    #[test]
+    fn isolated_nodes_and_empty_edges() {
+        let mut g = Hypergraph::new();
+        g.add_node(7);
+        g.add_edge(NodeSet::new()); // ignored
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_nodes(), 1);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let a = h(&[&[0, 1]]);
+        let b = h(&[&[1, 2]]);
+        let m = a.merge(&b);
+        assert_eq!(m.num_edges(), 2);
+        assert_eq!(m.num_nodes(), 3);
+    }
+
+    #[test]
+    fn edges_touching() {
+        let g = h(&[&[0, 1], &[1, 2], &[3]]);
+        let touching = g.edges_touching(&[1].into());
+        assert_eq!(touching.len(), 2);
+    }
+}

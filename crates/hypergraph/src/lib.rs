@@ -1,0 +1,36 @@
+//! Hypergraph machinery for structural decomposition methods.
+//!
+//! This crate implements the combinatorial substrate of the paper:
+//!
+//! * [`NodeSet`] — a compact bitset over interned node ids, the workhorse for
+//!   every hyperedge / bag / separator manipulation;
+//! * [`Hypergraph`] — hypergraphs with the *covers* relation `≤` of Section 2
+//!   ("each hyperedge of H₁ is contained in at least one hyperedge of H₂");
+//! * [`acyclic`] — α-acyclicity via GYO reduction and join-tree construction
+//!   via maximum-weight spanning trees (Bernstein–Goodman), plus join-tree
+//!   verification;
+//! * [`components`] — `[W̄]`-adjacency, `[W̄]`-connectivity and
+//!   `[W̄]`-components (Section 3.1);
+//! * [`frontier`] — frontiers `Fr(Y, W̄, H)` and the frontier hypergraph
+//!   `FH(Q', W̄)` of Definition 3.3;
+//! * [`primal`] — primal (Gaifman) graphs, maximum independent sets (used by
+//!   the quantified star size of Appendix A) and clique helpers.
+//!
+//! Nodes are plain `u32` ids; callers (the query crate) keep the mapping from
+//! variables to ids.
+
+pub mod acyclic;
+pub mod components;
+pub mod frontier;
+pub mod hypergraph;
+pub mod nodeset;
+pub mod primal;
+
+pub use acyclic::{is_acyclic, join_forest, JoinForest};
+pub use components::{w_components, WComponent};
+pub use frontier::{frontier_hypergraph, frontier_of};
+pub use hypergraph::Hypergraph;
+pub use nodeset::NodeSet;
+
+/// An interned node (variable) identifier.
+pub type Node = u32;

@@ -1,0 +1,283 @@
+//! A compact, normalized bitset over node ids.
+
+use crate::Node;
+use std::fmt;
+
+/// A set of nodes backed by 64-bit blocks.
+///
+/// The representation is normalized (no trailing zero blocks), so equality
+/// and hashing are structural. All set operations are linear in the number
+/// of blocks, which is tiny for query-sized node universes.
+///
+/// ```
+/// use cqcount_hypergraph::NodeSet;
+/// let a: NodeSet = [1, 3, 5].into_iter().collect();
+/// let b: NodeSet = [3, 5, 9].into_iter().collect();
+/// assert_eq!(a.intersection(&b), [3, 5].into_iter().collect());
+/// assert!(a.intersection(&b).is_subset(&a));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct NodeSet {
+    blocks: Vec<u64>,
+}
+
+impl NodeSet {
+    /// The empty set.
+    pub fn new() -> NodeSet {
+        NodeSet { blocks: Vec::new() }
+    }
+
+    /// The set `{0, 1, ..., n-1}`.
+    pub fn full(n: u32) -> NodeSet {
+        let mut s = NodeSet::new();
+        for i in 0..n {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Builds a set from a single node.
+    pub fn singleton(node: Node) -> NodeSet {
+        let mut s = NodeSet::new();
+        s.insert(node);
+        s
+    }
+
+    fn normalize(&mut self) {
+        while self.blocks.last() == Some(&0) {
+            self.blocks.pop();
+        }
+    }
+
+    /// Inserts a node; returns `true` if it was not already present.
+    pub fn insert(&mut self, node: Node) -> bool {
+        let (b, bit) = (node as usize / 64, node as usize % 64);
+        if b >= self.blocks.len() {
+            self.blocks.resize(b + 1, 0);
+        }
+        let fresh = self.blocks[b] & (1 << bit) == 0;
+        self.blocks[b] |= 1 << bit;
+        fresh
+    }
+
+    /// Removes a node; returns `true` if it was present.
+    pub fn remove(&mut self, node: Node) -> bool {
+        let (b, bit) = (node as usize / 64, node as usize % 64);
+        if b >= self.blocks.len() {
+            return false;
+        }
+        let present = self.blocks[b] & (1 << bit) != 0;
+        self.blocks[b] &= !(1 << bit);
+        self.normalize();
+        present
+    }
+
+    /// Membership test.
+    pub fn contains(&self, node: Node) -> bool {
+        let (b, bit) = (node as usize / 64, node as usize % 64);
+        self.blocks.get(b).is_some_and(|w| w & (1 << bit) != 0)
+    }
+
+    /// Number of nodes in the set.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &NodeSet) -> NodeSet {
+        let (long, short) = if self.blocks.len() >= other.blocks.len() {
+            (&self.blocks, &other.blocks)
+        } else {
+            (&other.blocks, &self.blocks)
+        };
+        let mut blocks = long.clone();
+        for (i, w) in short.iter().enumerate() {
+            blocks[i] |= w;
+        }
+        NodeSet { blocks }
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        if other.blocks.len() > self.blocks.len() {
+            self.blocks.resize(other.blocks.len(), 0);
+        }
+        for (i, w) in other.blocks.iter().enumerate() {
+            self.blocks[i] |= w;
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &NodeSet) -> NodeSet {
+        let n = self.blocks.len().min(other.blocks.len());
+        let mut blocks: Vec<u64> = (0..n).map(|i| self.blocks[i] & other.blocks[i]).collect();
+        while blocks.last() == Some(&0) {
+            blocks.pop();
+        }
+        NodeSet { blocks }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &NodeSet) -> NodeSet {
+        let mut blocks = self.blocks.clone();
+        for (i, w) in other.blocks.iter().enumerate().take(blocks.len()) {
+            blocks[i] &= !w;
+        }
+        while blocks.last() == Some(&0) {
+            blocks.pop();
+        }
+        NodeSet { blocks }
+    }
+
+    /// Returns `true` iff `self ⊆ other`.
+    pub fn is_subset(&self, other: &NodeSet) -> bool {
+        if self.blocks.len() > other.blocks.len() {
+            return false;
+        }
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Returns `true` iff the sets share at least one node.
+    pub fn intersects(&self, other: &NodeSet) -> bool {
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates over the nodes in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Node> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(i, &block)| {
+            let mut w = block;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros();
+                    w &= w - 1;
+                    Some(i as u32 * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// The smallest node, if any.
+    pub fn first(&self) -> Option<Node> {
+        self.iter().next()
+    }
+
+    /// Collects the nodes into a sorted vector.
+    pub fn to_vec(&self) -> Vec<Node> {
+        self.iter().collect()
+    }
+}
+
+impl FromIterator<Node> for NodeSet {
+    fn from_iter<I: IntoIterator<Item = Node>>(iter: I) -> NodeSet {
+        let mut s = NodeSet::new();
+        for n in iter {
+            s.insert(n);
+        }
+        s
+    }
+}
+
+impl<const N: usize> From<[Node; N]> for NodeSet {
+    fn from(nodes: [Node; N]) -> NodeSet {
+        nodes.into_iter().collect()
+    }
+}
+
+impl From<&[Node]> for NodeSet {
+    fn from(nodes: &[Node]) -> NodeSet {
+        nodes.iter().copied().collect()
+    }
+}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = NodeSet::new();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert!(s.insert(200)); // multi-block
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(s.contains(200));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn normalization_makes_eq_structural() {
+        let mut a = NodeSet::new();
+        a.insert(300);
+        a.remove(300);
+        assert_eq!(a, NodeSet::new());
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: NodeSet = [0, 1, 64, 128].into();
+        let b: NodeSet = [1, 64, 200].into();
+        assert_eq!(a.union(&b), [0, 1, 64, 128, 200].into());
+        assert_eq!(a.intersection(&b), [1, 64].into());
+        assert_eq!(a.difference(&b), [0, 128].into());
+        assert_eq!(b.difference(&a), [200].into());
+        assert!(a.intersection(&b).is_subset(&a));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&NodeSet::singleton(7)));
+    }
+
+    #[test]
+    fn subset_with_different_lengths() {
+        let small: NodeSet = [1, 2].into();
+        let big: NodeSet = [1, 2, 500].into();
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert!(NodeSet::new().is_subset(&small));
+        assert!(small.is_subset(&small));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let s: NodeSet = [128, 5, 63, 64, 0].into();
+        assert_eq!(s.to_vec(), vec![0, 5, 63, 64, 128]);
+        assert_eq!(s.first(), Some(0));
+        assert_eq!(NodeSet::new().first(), None);
+    }
+
+    #[test]
+    fn full_set() {
+        let s = NodeSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(0) && s.contains(69) && !s.contains(70));
+    }
+
+    #[test]
+    fn union_with_grows() {
+        let mut a: NodeSet = [1].into();
+        a.union_with(&[300].into());
+        assert_eq!(a, [1, 300].into());
+    }
+}

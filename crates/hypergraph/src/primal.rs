@@ -1,0 +1,155 @@
+//! Primal (Gaifman) graphs and small exact graph algorithms.
+//!
+//! The quantified star size of Appendix A is the size of a maximum
+//! independent set inside a frontier, measured in the primal graph of the
+//! query; the Section 5 hardness machinery manipulates `graph(Q)`. Queries
+//! are small, so exact branch-and-bound is the right tool here.
+
+use crate::{Hypergraph, Node, NodeSet};
+
+/// The primal graph of a hypergraph: nodes are the hypergraph's nodes, and
+/// two nodes are adjacent iff some hyperedge contains both.
+#[derive(Clone, Debug)]
+pub struct PrimalGraph {
+    nodes: NodeSet,
+    /// Dense adjacency indexed by node id.
+    adj: Vec<NodeSet>,
+}
+
+impl PrimalGraph {
+    /// Builds the primal graph of `h`.
+    pub fn of(h: &Hypergraph) -> PrimalGraph {
+        let max = h.nodes().iter().max().map_or(0, |m| m as usize + 1);
+        let mut adj = vec![NodeSet::new(); max];
+        for e in h.edges() {
+            for u in e.iter() {
+                let mut others = e.clone();
+                others.remove(u);
+                adj[u as usize].union_with(&others);
+            }
+        }
+        PrimalGraph {
+            nodes: h.nodes().clone(),
+            adj,
+        }
+    }
+
+    /// The node set.
+    pub fn nodes(&self) -> &NodeSet {
+        &self.nodes
+    }
+
+    /// Neighbours of `v`.
+    pub fn neighbours(&self, v: Node) -> &NodeSet {
+        &self.adj[v as usize]
+    }
+
+    /// Returns `true` iff `u` and `v` are adjacent.
+    pub fn adjacent(&self, u: Node, v: Node) -> bool {
+        self.adj
+            .get(u as usize)
+            .is_some_and(|n| n.contains(v))
+    }
+
+    /// Returns `true` iff `set` is a clique.
+    pub fn is_clique(&self, set: &NodeSet) -> bool {
+        let vs = set.to_vec();
+        vs.iter()
+            .enumerate()
+            .all(|(i, &u)| vs[i + 1..].iter().all(|&v| self.adjacent(u, v)))
+    }
+
+    /// Returns `true` iff `set` is an independent set.
+    pub fn is_independent(&self, set: &NodeSet) -> bool {
+        set.iter().all(|u| !self.adj[u as usize].intersects(set))
+    }
+
+    /// Size of a maximum independent set within `candidates`, by
+    /// branch-and-bound (exact; exponential in `|candidates|`, which is a
+    /// frontier of a fixed query in our use).
+    pub fn max_independent_set(&self, candidates: &NodeSet) -> usize {
+        fn bb(g: &PrimalGraph, remaining: NodeSet, current: usize, best: &mut usize) {
+            if current + remaining.len() <= *best {
+                return; // cannot beat the incumbent
+            }
+            let Some(v) = remaining.first() else {
+                *best = (*best).max(current);
+                return;
+            };
+            // Branch 1: take v (drop v and its neighbours).
+            let mut without_v_and_nbrs = remaining.clone();
+            without_v_and_nbrs.remove(v);
+            let taken = without_v_and_nbrs.difference(&g.adj[v as usize]);
+            bb(g, taken, current + 1, best);
+            // Branch 2: skip v.
+            let mut skip = remaining;
+            skip.remove(v);
+            bb(g, skip, current, best);
+        }
+        let mut best = 0;
+        bb(self, candidates.clone(), 0, &mut best);
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(edges: &[&[Node]]) -> Hypergraph {
+        Hypergraph::from_edges(edges.iter().map(|e| e.iter().copied()))
+    }
+
+    #[test]
+    fn adjacency_from_hyperedges() {
+        let g = PrimalGraph::of(&h(&[&[0, 1, 2], &[2, 3]]));
+        assert!(g.adjacent(0, 1));
+        assert!(g.adjacent(0, 2));
+        assert!(g.adjacent(2, 3));
+        assert!(!g.adjacent(0, 3));
+        assert!(!g.adjacent(1, 3));
+    }
+
+    #[test]
+    fn hyperedges_become_cliques() {
+        let g = PrimalGraph::of(&h(&[&[0, 1, 2, 3]]));
+        assert!(g.is_clique(&[0, 1, 2, 3].into()));
+        assert!(g.is_clique(&[1, 3].into()));
+        assert!(g.is_clique(&NodeSet::new()));
+    }
+
+    #[test]
+    fn independence() {
+        let g = PrimalGraph::of(&h(&[&[0, 1], &[1, 2], &[2, 3]]));
+        assert!(g.is_independent(&[0, 2].into()));
+        assert!(g.is_independent(&[0, 3].into()));
+        assert!(!g.is_independent(&[0, 1].into()));
+    }
+
+    #[test]
+    fn mis_on_path() {
+        // Path 0-1-2-3-4: MIS = {0,2,4}, size 3.
+        let g = PrimalGraph::of(&h(&[&[0, 1], &[1, 2], &[2, 3], &[3, 4]]));
+        assert_eq!(g.max_independent_set(g.nodes()), 3);
+    }
+
+    #[test]
+    fn mis_on_clique_is_one() {
+        let g = PrimalGraph::of(&h(&[&[0, 1, 2, 3, 4]]));
+        assert_eq!(g.max_independent_set(g.nodes()), 1);
+    }
+
+    #[test]
+    fn mis_restricted_to_candidates() {
+        let g = PrimalGraph::of(&h(&[&[0, 1], &[1, 2], &[2, 3], &[3, 4]]));
+        // Only 1 and 3 allowed: they are non-adjacent, so MIS = 2.
+        assert_eq!(g.max_independent_set(&[1, 3].into()), 2);
+        assert_eq!(g.max_independent_set(&NodeSet::new()), 0);
+    }
+
+    #[test]
+    fn mis_on_two_triangles() {
+        let g = PrimalGraph::of(&h(&[&[0, 1, 2], &[3, 4, 5]]));
+        assert_eq!(g.max_independent_set(g.nodes()), 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the hypergraph toolkit.
+
+use cqcount_hypergraph::{
+    frontier_hypergraph, frontier_of, is_acyclic, join_forest, w_components, Hypergraph, NodeSet,
+};
+use proptest::prelude::*;
+
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    // Up to 8 nodes, up to 8 edges of size 1..4.
+    proptest::collection::vec(proptest::collection::vec(0u32..8, 1..4), 0..8)
+        .prop_map(Hypergraph::from_edges)
+}
+
+fn arb_nodeset() -> impl Strategy<Value = NodeSet> {
+    proptest::collection::vec(0u32..8, 0..6).prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    /// GYO reduction and the spanning-forest join-tree construction are two
+    /// independent acyclicity deciders; they must always agree.
+    #[test]
+    fn gyo_agrees_with_join_forest(h in arb_hypergraph()) {
+        let gyo = is_acyclic(&h);
+        let forest = join_forest(&h);
+        prop_assert_eq!(gyo, forest.is_some());
+        if let Some(f) = forest {
+            prop_assert!(f.verify(&h));
+        }
+    }
+
+    /// Reduction preserves acyclicity.
+    #[test]
+    fn reduction_preserves_acyclicity(h in arb_hypergraph()) {
+        prop_assert_eq!(is_acyclic(&h), is_acyclic(&h.reduced()));
+    }
+
+    /// Reduction preserves the covers relation in both directions.
+    #[test]
+    fn reduction_preserves_covering(h in arb_hypergraph()) {
+        let r = h.reduced();
+        prop_assert!(h.covered_by(&r));
+        prop_assert!(r.covered_by(&h));
+    }
+
+    /// [W̄]-components partition the nodes outside W̄.
+    #[test]
+    fn components_partition(h in arb_hypergraph(), wbar in arb_nodeset()) {
+        let comps = w_components(&h, &wbar);
+        let mut seen = NodeSet::new();
+        for c in &comps {
+            prop_assert!(!c.nodes.is_empty());
+            prop_assert!(!c.nodes.intersects(&wbar));
+            prop_assert!(!c.nodes.intersects(&seen));
+            seen.union_with(&c.nodes);
+        }
+        prop_assert_eq!(seen, h.nodes().difference(&wbar));
+    }
+
+    /// All nodes of one [W̄]-component share the same frontier, and the
+    /// frontier is always a subset of W̄.
+    #[test]
+    fn frontier_constant_on_components(h in arb_hypergraph(), wbar in arb_nodeset()) {
+        for c in w_components(&h, &wbar) {
+            let mut iter = c.nodes.iter();
+            let first = frontier_of(&h, iter.next().unwrap(), &wbar);
+            prop_assert!(first.is_subset(&wbar));
+            for y in iter {
+                prop_assert_eq!(frontier_of(&h, y, &wbar), first.clone());
+            }
+        }
+    }
+
+    /// Every hyperedge of the frontier hypergraph is a subset of W̄, and the
+    /// frontier hypergraph of W̄ = all nodes is exactly the sub-W̄ edges.
+    #[test]
+    fn frontier_hypergraph_edges_in_wbar(h in arb_hypergraph(), wbar in arb_nodeset()) {
+        let fh = frontier_hypergraph(&h, &wbar);
+        for e in fh.edges() {
+            prop_assert!(e.is_subset(&wbar));
+        }
+    }
+
+    /// With every node free there are no existential components, so the
+    /// frontier hypergraph is the (deduplicated) original edge set.
+    #[test]
+    fn frontier_hypergraph_all_free(h in arb_hypergraph()) {
+        let fh = frontier_hypergraph(&h, h.nodes());
+        prop_assert!(fh.covered_by(&h));
+        prop_assert!(h.covered_by(&fh) || h.num_edges() == 0);
+    }
+
+    /// Enlarging W̄ (Section 6 intuition: promoting existential variables to
+    /// pseudo-free) never enlarges another node's frontier beyond W̄ — more
+    /// precisely, frontiers w.r.t. a larger W̄' restricted to the old W̄ are
+    /// contained in the old frontier.
+    #[test]
+    fn growing_wbar_shrinks_restricted_frontiers(
+        h in arb_hypergraph(),
+        wbar in arb_nodeset(),
+        extra in arb_nodeset(),
+    ) {
+        let bigger = wbar.union(&extra);
+        for y in h.nodes().difference(&bigger).iter() {
+            let old = frontier_of(&h, y, &wbar);
+            let new = frontier_of(&h, y, &bigger);
+            prop_assert!(new.intersection(&wbar).is_subset(&old));
+        }
+    }
+
+    /// covers is reflexive and transitive on the generated instances.
+    #[test]
+    fn covers_preorder(a in arb_hypergraph(), b in arb_hypergraph(), c in arb_hypergraph()) {
+        prop_assert!(a.covered_by(&a));
+        if a.covered_by(&b) && b.covered_by(&c) {
+            prop_assert!(a.covered_by(&c));
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Colorings `color(Q)` and `fullcolor(Q)` (Sections 3.1 and 5.3).
+//!
+//! `color(Q)` adds a fresh unary atom `r_X(X)` for every free variable `X`;
+//! `fullcolor(Q)` does so for *every* variable. Because the relation symbol
+//! is private to the variable, any homomorphism of the colored query must
+//! fix the colored variables — which is what makes cores of `color(Q)`
+//! retain all output variables and their relevant substructure.
+
+use crate::{Atom, ConjunctiveQuery, Term};
+
+/// The reserved relation-name prefix of coloring atoms. The parser never
+/// produces identifiers containing `@`, so collisions are impossible.
+pub const COLOR_PREFIX: &str = "@color@";
+
+/// Returns `true` iff `atom` is a coloring atom.
+pub fn is_coloring_atom(atom: &Atom) -> bool {
+    atom.rel.starts_with(COLOR_PREFIX)
+}
+
+/// `color(Q)`: `Q` plus one atom `r_X(X)` per free variable `X`.
+pub fn color(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let mut out = q.clone();
+    for v in q.free() {
+        let rel = format!("{COLOR_PREFIX}{}", q.var_name(v));
+        out.add_atom(&rel, vec![Term::Var(v)]);
+    }
+    out
+}
+
+/// `fullcolor(Q)`: `Q` plus one atom `r_X(X)` per variable `X` occurring in
+/// the query.
+pub fn fullcolor(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let mut out = q.clone();
+    for v in q.vars_in_atoms() {
+        let rel = format!("{COLOR_PREFIX}{}", q.var_name(v));
+        out.add_atom(&rel, vec![Term::Var(v)]);
+    }
+    out
+}
+
+/// Removes every coloring atom (the "uncolored version" used in the proof of
+/// Theorem 3.7).
+pub fn uncolor(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let mut out = q.clone();
+    let keep: Vec<usize> = (0..q.atoms().len())
+        .filter(|&i| !is_coloring_atom(&q.atoms()[i]))
+        .collect();
+    out = out.sub_query(&keep);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hom::has_homomorphism;
+
+    fn t(v: crate::Var) -> Term {
+        Term::Var(v)
+    }
+
+    #[test]
+    fn color_adds_one_atom_per_free_var() {
+        let mut q = ConjunctiveQuery::new();
+        let (a, x) = (q.var("A"), q.var("X"));
+        q.add_atom("r", vec![t(a), t(x)]);
+        q.set_free([a]);
+        let c = color(&q);
+        assert_eq!(c.atoms().len(), 2);
+        assert!(is_coloring_atom(&c.atoms()[1]));
+        assert_eq!(c.atoms()[1].rel, "@color@A");
+        // free set unchanged
+        assert_eq!(c.free(), q.free());
+    }
+
+    #[test]
+    fn fullcolor_colors_everything() {
+        let mut q = ConjunctiveQuery::new();
+        let (a, x) = (q.var("A"), q.var("X"));
+        q.add_atom("r", vec![t(a), t(x)]);
+        q.set_free([a]);
+        let fc = fullcolor(&q);
+        assert_eq!(fc.atoms().len(), 3);
+        assert_eq!(
+            fc.atoms().iter().filter(|a| is_coloring_atom(a)).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn uncolor_inverts_color() {
+        let mut q = ConjunctiveQuery::new();
+        let (a, x) = (q.var("A"), q.var("X"));
+        q.add_atom("r", vec![t(a), t(x)]);
+        q.set_free([a]);
+        assert_eq!(uncolor(&color(&q)), q);
+        assert_eq!(uncolor(&fullcolor(&q)), q);
+    }
+
+    #[test]
+    fn coloring_blocks_free_variable_collapse() {
+        // r(A,X), r(B,X) with A,B free: uncolored, A and B can collapse;
+        // colored, they cannot.
+        let mut q = ConjunctiveQuery::new();
+        let (a, b, x) = (q.var("A"), q.var("B"), q.var("X"));
+        q.add_atom("r", vec![t(a), t(x)]);
+        q.add_atom("r", vec![t(b), t(x)]);
+        q.set_free([a, b]);
+        // uncolored folding: drop the second atom
+        let folded = q.sub_query(&[0]);
+        assert!(has_homomorphism(&q, &folded));
+        // colored folding impossible: @color@B has no image in colored folded
+        let colored = color(&q);
+        let colored_folded = color(&folded);
+        assert!(!has_homomorphism(&colored, &colored_folded));
+    }
+}

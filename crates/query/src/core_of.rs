@@ -1,0 +1,251 @@
+//! Cores of conjunctive queries.
+//!
+//! A core is a minimal substructure `Q'` of `Q` admitting a homomorphism
+//! `Q → Q'` (Section 2). We provide the exact greedy computation (correct on
+//! every input, exponential worst case through the homomorphism test) and
+//! the Lemma 4.3 polynomial-time computation, which replaces the
+//! NP-hard homomorphism test with a pairwise-consistency check over the
+//! width-`k` view set and is correct whenever the cores have generalized
+//! hypertree width at most `k`.
+
+use crate::canonical::{atom_bindings, canonical_database};
+use crate::hom::has_homomorphism;
+use crate::ConjunctiveQuery;
+use cqcount_relational::consistency::pairwise_consistency;
+use cqcount_relational::Bindings;
+use std::collections::BTreeMap;
+
+/// Returns `true` iff the two queries are homomorphically equivalent.
+pub fn is_hom_equivalent(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    has_homomorphism(q1, q2) && has_homomorphism(q2, q1)
+}
+
+/// Greedy core computation with a pluggable "is there a homomorphism from
+/// `full` into `candidate`" test.
+fn core_with<F>(q: &ConjunctiveQuery, mut hom_exists: F) -> ConjunctiveQuery
+where
+    F: FnMut(&ConjunctiveQuery, &ConjunctiveQuery) -> bool,
+{
+    let mut current = q.clone();
+    loop {
+        let n = current.atoms().len();
+        let mut shrunk = false;
+        for i in 0..n {
+            let keep: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+            let candidate = current.sub_query(&keep);
+            // It suffices to find a homomorphism from the *original* query:
+            // every substructure reached this way is homomorphically
+            // equivalent to Q, and all cores are isomorphic (Section 2).
+            if hom_exists(&current, &candidate) {
+                current = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return current;
+        }
+    }
+}
+
+/// The exact core of `q` (greedy atom removal with exact homomorphism
+/// tests). To compute the paper's colored core, pass `color(q)`.
+pub fn core_exact(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    core_with(q, has_homomorphism)
+}
+
+/// Lemma 4.3: core computation in polynomial time via pairwise consistency
+/// over the width-`k` view set `V_Q^k`.
+///
+/// For each candidate sub-query `Q_c` (one atom removed), the homomorphism
+/// test `Q → Q_c` is decided by evaluating the views of `V_Q^k` (joins of at
+/// most `k` query atoms) over the canonical database of `Q_c` and enforcing
+/// pairwise consistency: the answer is "yes" iff no view becomes empty.
+///
+/// This is *correct* whenever the cores of `q` have generalized hypertree
+/// width at most `k` (the promise of Lemma 4.3); outside the promise it may
+/// keep atoms a core would drop, never the other way round: the procedure
+/// only removes an atom when a homomorphism certainly exists... in fact local
+/// consistency can overapproximate, so outside the promise the result may be
+/// *smaller* than a genuine equivalent sub-query. Use within the promise.
+pub fn core_via_consistency(q: &ConjunctiveQuery, k: usize) -> ConjunctiveQuery {
+    core_with(q, |full, candidate| {
+        hom_via_consistency(full, candidate, k)
+    })
+}
+
+/// Decides (under the width-`k` promise) whether a homomorphism
+/// `from → to` exists, by local consistency on the view set `V_from^k`
+/// evaluated over the canonical database of `to`.
+pub fn hom_via_consistency(from: &ConjunctiveQuery, to: &ConjunctiveQuery, k: usize) -> bool {
+    let db = canonical_database(to);
+    // Per-atom bindings (the query views). An empty atom binding means no
+    // homomorphism regardless of consistency.
+    let atom_views: Vec<Bindings> = from
+        .atoms()
+        .iter()
+        .map(|a| atom_bindings(a, &db))
+        .collect();
+    if atom_views.iter().any(Bindings::is_empty) {
+        return false;
+    }
+    // Views for every subset of at most k atoms. Generating subsets of size
+    // exactly k plus the singletons is equivalent for consistency purposes;
+    // we generate all sizes 1..=k for robustness on tiny queries.
+    let mut views: Vec<Bindings> = Vec::new();
+    let n = atom_views.len();
+    let mut stack: Vec<(usize, usize, Bindings)> = vec![(0, 0, Bindings::unit())];
+    while let Some((start, size, acc)) = stack.pop() {
+        if size > 0 {
+            views.push(acc.clone());
+        }
+        if size == k {
+            continue;
+        }
+        for i in start..n {
+            let joined = acc.join(&atom_views[i]);
+            stack.push((i + 1, size + 1, joined));
+        }
+    }
+    pairwise_consistency(&mut views)
+}
+
+/// Like [`core_exact`] but also reports the homomorphism-witnessed mapping
+/// from removed-atom variables (useful for explaining simplifications).
+pub fn core_exact_with_hom(
+    q: &ConjunctiveQuery,
+) -> (ConjunctiveQuery, BTreeMap<crate::Var, crate::Term>) {
+    let core = core_exact(q);
+    let hom = crate::hom::find_homomorphism(q, &core, &BTreeMap::new())
+        .expect("a query always maps onto its core");
+    (core, hom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::color;
+    use crate::{Term, Var};
+
+    fn t(v: Var) -> Term {
+        Term::Var(v)
+    }
+
+    /// Example 1.1 / 3.4: Q0 with free {A,B,C}.
+    fn q0() -> ConjunctiveQuery {
+        let mut q = ConjunctiveQuery::new();
+        let (a, b, c) = (q.var("A"), q.var("B"), q.var("C"));
+        let (d, e, f) = (q.var("D"), q.var("E"), q.var("F"));
+        let (g, h, i) = (q.var("G"), q.var("H"), q.var("I"));
+        q.add_atom("mw", vec![t(a), t(b), t(i)]);
+        q.add_atom("wt", vec![t(b), t(d)]);
+        q.add_atom("wi", vec![t(b), t(e)]);
+        q.add_atom("pt", vec![t(c), t(d)]);
+        q.add_atom("st", vec![t(d), t(f)]);
+        q.add_atom("st", vec![t(d), t(g)]);
+        q.add_atom("rr", vec![t(g), t(h)]);
+        q.add_atom("rr", vec![t(f), t(h)]);
+        q.add_atom("rr", vec![t(d), t(h)]);
+        q.set_free([a, b, c]);
+        q
+    }
+
+    #[test]
+    fn q0_colored_core_drops_g_branch() {
+        // Example 3.4: a core of color(Q0) loses {D,G} and {G,H} (or the
+        // symmetric {D,F},{F,H} pair); variable G (or F) disappears.
+        let core = core_exact(&color(&q0()));
+        assert_eq!(core.atoms().len(), 7 + 3); // 7 query atoms + 3 colors
+        let vars = core.vars_in_atoms();
+        assert_eq!(vars.len(), 8); // one of F/G gone
+        assert!(is_hom_equivalent(&core, &color(&q0())));
+    }
+
+    #[test]
+    fn core_of_core_is_fixed() {
+        let c = core_exact(&color(&q0()));
+        assert_eq!(core_exact(&c).atoms().len(), c.atoms().len());
+    }
+
+    #[test]
+    fn biclique_core_collapses_to_single_atom() {
+        // Appendix A, Q2^n: conj of r(X_i, Y_j) with all vars existential;
+        // the core is a single atom.
+        let mut q = ConjunctiveQuery::new();
+        let xs: Vec<Var> = (0..3).map(|i| q.var(&format!("X{i}"))).collect();
+        let ys: Vec<Var> = (0..3).map(|i| q.var(&format!("Y{i}"))).collect();
+        for &x in &xs {
+            for &y in &ys {
+                q.add_atom("r", vec![t(x), t(y)]);
+            }
+        }
+        q.set_free([]);
+        let core = core_exact(&color(&q));
+        assert_eq!(core.atoms().len(), 1);
+    }
+
+    #[test]
+    fn consistency_core_matches_exact_on_small_instances() {
+        {
+            let q = color(&q0());
+            let exact = core_exact(&q);
+            let lemma43 = core_via_consistency(&q, 2);
+            assert_eq!(exact.atoms().len(), lemma43.atoms().len());
+            assert!(is_hom_equivalent(&exact, &lemma43));
+        }
+    }
+
+    #[test]
+    fn hom_via_consistency_agrees_with_exact_on_acyclic() {
+        // Acyclic targets keep local consistency complete at k = 1..2.
+        let mut path2 = ConjunctiveQuery::new();
+        let (a, b, c) = (path2.var("A"), path2.var("B"), path2.var("C"));
+        path2.add_atom("r", vec![t(a), t(b)]);
+        path2.add_atom("r", vec![t(b), t(c)]);
+        let mut path1 = ConjunctiveQuery::new();
+        let (x, y) = (path1.var("X"), path1.var("Y"));
+        path1.add_atom("r", vec![t(x), t(y)]);
+        assert_eq!(
+            hom_via_consistency(&path2, &path1, 2),
+            has_homomorphism(&path2, &path1)
+        );
+        assert_eq!(
+            hom_via_consistency(&path1, &path2, 2),
+            has_homomorphism(&path1, &path2)
+        );
+    }
+
+    #[test]
+    fn chain_example_a2_core() {
+        // Example A.2: Q1^n has colored core dropping the Y-chain onto the
+        // X-chain except the last Y. For n = 3:
+        // atoms r(Xi,Yi) i=1..3, r(Xi,Xi+1) i=1..2, r(Yi,Yi+1) i=1..2.
+        let mut q = ConjunctiveQuery::new();
+        let xs: Vec<Var> = (1..=3).map(|i| q.var(&format!("X{i}"))).collect();
+        let ys: Vec<Var> = (1..=3).map(|i| q.var(&format!("Y{i}"))).collect();
+        for i in 0..3 {
+            q.add_atom("r", vec![t(xs[i]), t(ys[i])]);
+        }
+        for i in 0..2 {
+            q.add_atom("r", vec![t(xs[i]), t(xs[i + 1])]);
+            q.add_atom("r", vec![t(ys[i]), t(ys[i + 1])]);
+        }
+        q.set_free(xs.clone());
+        let core = core_exact(&color(&q));
+        // Paper: core keeps r(Xn,Yn), the X-chain and the colors; Y1..Yn-1
+        // vanish (Yi -> Xi+1).
+        let core_vars = core.vars_in_atoms();
+        assert!(core_vars.contains(&ys[2]));
+        assert!(!core_vars.contains(&ys[0]));
+        assert!(!core_vars.contains(&ys[1]));
+        // 3 colors + X-chain (2) + r(X3,Y3) = 6 atoms
+        assert_eq!(core.atoms().len(), 6);
+    }
+
+    #[test]
+    fn cores_preserve_free_variables() {
+        let q = q0();
+        let core = core_exact(&color(&q));
+        assert_eq!(core.free(), q.free());
+    }
+}

@@ -1,0 +1,369 @@
+//! The conjunctive-query representation.
+
+use cqcount_hypergraph::{Hypergraph, NodeSet};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A query variable, identified by a dense id local to its query.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The hypergraph node corresponding to this variable.
+    pub fn node(self) -> u32 {
+        self.0
+    }
+}
+
+/// A term: a variable or a (named) constant.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Term {
+    /// A query variable.
+    Var(Var),
+    /// A constant, stored by name; interned against a database at
+    /// evaluation time (and mapped to itself by homomorphisms).
+    Const(String),
+}
+
+impl Term {
+    /// The variable inside, if any.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+/// An atom `r(t₁, ..., tρ)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Atom {
+    /// The relation symbol.
+    pub rel: String,
+    /// The argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// The distinct variables of the atom, in first-occurrence order.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        for t in &self.terms {
+            if let Term::Var(v) = t {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A conjunctive query `∃X̄ r₁(u₁) ∧ ... ∧ r_m(u_m)` with an explicit set of
+/// free (output) variables.
+///
+/// Variables carry printable names through an internal table; two queries
+/// compare equal when their atom lists and free sets agree.
+///
+/// ```
+/// use cqcount_query::{ConjunctiveQuery, Term};
+/// let mut q = ConjunctiveQuery::new();
+/// let a = q.var("A");
+/// let x = q.var("X");
+/// q.add_atom("r", vec![Term::Var(a), Term::Var(x)]);
+/// q.set_free([a]);
+/// assert_eq!(q.free().len(), 1);
+/// assert_eq!(q.existential().len(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConjunctiveQuery {
+    var_names: Vec<String>,
+    atoms: Vec<Atom>,
+    free: BTreeSet<Var>,
+}
+
+impl Default for ConjunctiveQuery {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConjunctiveQuery {
+    /// An empty query (no atoms, no variables).
+    pub fn new() -> ConjunctiveQuery {
+        ConjunctiveQuery {
+            var_names: Vec::new(),
+            atoms: Vec::new(),
+            free: BTreeSet::new(),
+        }
+    }
+
+    /// Interns a variable by name (idempotent).
+    pub fn var(&mut self, name: &str) -> Var {
+        if let Some(i) = self.var_names.iter().position(|n| n == name) {
+            return Var(i as u32);
+        }
+        self.var_names.push(name.to_owned());
+        Var(self.var_names.len() as u32 - 1)
+    }
+
+    /// The printable name of a variable.
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.var_names[v.0 as usize]
+    }
+
+    /// Looks up a variable by name without interning.
+    pub fn find_var(&self, name: &str) -> Option<Var> {
+        self.var_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Var(i as u32))
+    }
+
+    /// Number of variable ids ever interned (including ones that may no
+    /// longer occur in any atom).
+    pub fn var_table_len(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Adds an atom.
+    pub fn add_atom(&mut self, rel: &str, terms: Vec<Term>) {
+        self.atoms.push(Atom {
+            rel: rel.to_owned(),
+            terms,
+        });
+    }
+
+    /// Marks variables as free (output). Variables not mentioned are
+    /// existential.
+    pub fn set_free<I: IntoIterator<Item = Var>>(&mut self, vars: I) {
+        self.free = vars.into_iter().collect();
+    }
+
+    /// The atoms.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Removes the atom at `index`, returning it. Free variables are kept
+    /// as declared (cores never lose colored free variables).
+    pub fn remove_atom(&mut self, index: usize) -> Atom {
+        self.atoms.remove(index)
+    }
+
+    /// All variables occurring in some atom, ascending.
+    pub fn vars_in_atoms(&self) -> BTreeSet<Var> {
+        self.atoms.iter().flat_map(|a| a.vars()).collect()
+    }
+
+    /// The free (output) variables that actually occur in the query.
+    pub fn free(&self) -> BTreeSet<Var> {
+        let occurring = self.vars_in_atoms();
+        self.free.intersection(&occurring).copied().collect()
+    }
+
+    /// The declared free set (even variables that no atom mentions).
+    pub fn declared_free(&self) -> &BTreeSet<Var> {
+        &self.free
+    }
+
+    /// The existentially quantified variables.
+    pub fn existential(&self) -> BTreeSet<Var> {
+        self.vars_in_atoms()
+            .difference(&self.free)
+            .copied()
+            .collect()
+    }
+
+    /// The free variables as a hypergraph node set.
+    pub fn free_nodes(&self) -> NodeSet {
+        self.free().iter().map(|v| v.node()).collect()
+    }
+
+    /// The query hypergraph `H_Q`: one hyperedge per atom over its variables.
+    pub fn hypergraph(&self) -> Hypergraph {
+        let mut h = Hypergraph::new();
+        for a in &self.atoms {
+            h.add_edge(a.vars().iter().map(|v| v.node()).collect());
+        }
+        h
+    }
+
+    /// `Q[S̄]` (Section 6): same atoms, `free(Q[S̄]) = S̄`.
+    pub fn requantify<I: IntoIterator<Item = Var>>(&self, free: I) -> ConjunctiveQuery {
+        let mut q = self.clone();
+        q.set_free(free);
+        q
+    }
+
+    /// Returns `true` iff every atom uses a distinct relation symbol
+    /// (the paper's *simple* queries).
+    pub fn is_simple(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        self.atoms.iter().all(|a| seen.insert(&a.rel))
+    }
+
+    /// `simple(Q)` (Section 5.4): rename relation symbols so every atom has
+    /// its own. The i-th atom over symbol `r` becomes `r#i`.
+    pub fn to_simple(&self) -> ConjunctiveQuery {
+        let mut q = self.clone();
+        for (i, a) in q.atoms.iter_mut().enumerate() {
+            a.rel = format!("{}#{}", a.rel, i);
+        }
+        q
+    }
+
+    /// The maximum atom arity.
+    pub fn max_arity(&self) -> usize {
+        self.atoms.iter().map(|a| a.terms.len()).max().unwrap_or(0)
+    }
+
+    /// A size measure `‖Q‖`: total number of term occurrences.
+    pub fn size(&self) -> usize {
+        self.atoms.iter().map(|a| a.terms.len()).sum()
+    }
+
+    /// Keeps only atoms whose index satisfies `keep` (used by core search).
+    pub fn sub_query(&self, keep: &[usize]) -> ConjunctiveQuery {
+        let mut q = self.clone();
+        q.atoms = keep.iter().map(|&i| self.atoms[i].clone()).collect();
+        q
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let free = self.free();
+        write!(f, "ans(")?;
+        for (i, v) in free.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.var_name(*v))?;
+        }
+        write!(f, ") :- ")?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}(", a.rel)?;
+            for (j, t) in a.terms.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                match t {
+                    Term::Var(v) => write!(f, "{}", self.var_name(*v))?,
+                    Term::Const(c) => write!(f, "{c}")?,
+                }
+            }
+            write!(f, ")")?;
+        }
+        write!(f, ".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q0() -> ConjunctiveQuery {
+        // Example 1.1 (the paper's running query).
+        let mut q = ConjunctiveQuery::new();
+        let (a, b, c) = (q.var("A"), q.var("B"), q.var("C"));
+        let (d, e, f) = (q.var("D"), q.var("E"), q.var("F"));
+        let (g, h, i) = (q.var("G"), q.var("H"), q.var("I"));
+        let t = Term::Var;
+        q.add_atom("mw", vec![t(a), t(b), t(i)]);
+        q.add_atom("wt", vec![t(b), t(d)]);
+        q.add_atom("wi", vec![t(b), t(e)]);
+        q.add_atom("pt", vec![t(c), t(d)]);
+        q.add_atom("st", vec![t(d), t(f)]);
+        q.add_atom("st", vec![t(d), t(g)]);
+        q.add_atom("rr", vec![t(g), t(h)]);
+        q.add_atom("rr", vec![t(f), t(h)]);
+        q.add_atom("rr", vec![t(d), t(h)]);
+        q.set_free([a, b, c]);
+        q
+    }
+
+    #[test]
+    fn var_interning() {
+        let mut q = ConjunctiveQuery::new();
+        let a = q.var("A");
+        assert_eq!(q.var("A"), a);
+        assert_ne!(q.var("B"), a);
+        assert_eq!(q.var_name(a), "A");
+        assert_eq!(q.find_var("B"), Some(Var(1)));
+        assert_eq!(q.find_var("Z"), None);
+    }
+
+    #[test]
+    fn q0_structure() {
+        let q = q0();
+        assert_eq!(q.atoms().len(), 9);
+        assert_eq!(q.free().len(), 3);
+        assert_eq!(q.existential().len(), 6);
+        assert_eq!(q.max_arity(), 3);
+        assert!(!q.is_simple()); // st and rr repeat
+        assert_eq!(q.size(), 3 + 8 * 2);
+    }
+
+    #[test]
+    fn q0_hypergraph_matches_figure_1a() {
+        let h = q0().hypergraph();
+        assert_eq!(h.num_edges(), 9);
+        assert_eq!(h.num_nodes(), 9);
+        assert!(h.covers_set(&[0, 1, 8].into())); // {A,B,I}
+        assert!(!h.covers_set(&[1, 2].into())); // B,C not directly linked
+    }
+
+    #[test]
+    fn requantify() {
+        let q = q0();
+        let d = q.find_var("D").unwrap();
+        let mut bigger: Vec<Var> = q.free().into_iter().collect();
+        bigger.push(d);
+        let q2 = q.requantify(bigger);
+        assert_eq!(q2.free().len(), 4);
+        assert_eq!(q2.atoms(), q.atoms());
+    }
+
+    #[test]
+    fn to_simple_renames_everything() {
+        let s = q0().to_simple();
+        assert!(s.is_simple());
+        assert_eq!(s.atoms().len(), 9);
+        assert!(s.atoms()[4].rel.starts_with("st#"));
+    }
+
+    #[test]
+    fn free_ignores_vanished_vars() {
+        let mut q = ConjunctiveQuery::new();
+        let a = q.var("A");
+        let b = q.var("B");
+        q.add_atom("r", vec![Term::Var(a)]);
+        q.set_free([a, b]);
+        // B occurs in no atom: it is declared free but not "free()" per
+        // vars(Q) ∩ free.
+        assert_eq!(q.free().len(), 1);
+        assert_eq!(q.declared_free().len(), 2);
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let q = q0();
+        let s = q.to_string();
+        assert!(s.starts_with("ans(A, B, C) :- mw(A, B, I)"));
+        assert!(s.ends_with("rr(D, H)."));
+    }
+
+    #[test]
+    fn atom_vars_dedup_repeated() {
+        let mut q = ConjunctiveQuery::new();
+        let x = q.var("X");
+        q.add_atom("r", vec![Term::Var(x), Term::Var(x), Term::Const("c".into())]);
+        assert_eq!(q.atoms()[0].vars(), vec![x]);
+        let h = q.hypergraph();
+        assert_eq!(h.num_nodes(), 1);
+    }
+}

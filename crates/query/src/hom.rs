@@ -1,0 +1,422 @@
+//! Backtracking homomorphism solver.
+//!
+//! Homomorphisms between query structures drive core computation (Section 2)
+//! and the Section 5 machinery; homomorphisms from a query into a database
+//! are exactly its solutions. Constants map to themselves; variables map to
+//! terms (query targets) or values (database targets).
+
+use crate::{Atom, ConjunctiveQuery, Term, Var};
+use cqcount_relational::{Database, Value};
+use std::collections::BTreeMap;
+
+/// Orders atom indices so that each atom (after the first) shares as many
+/// variables as possible with the previously chosen ones — cheap heuristic
+/// that maximizes propagation during backtracking.
+fn connectivity_order(atoms: &[Atom]) -> Vec<usize> {
+    let n = atoms.len();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut bound: Vec<Var> = Vec::new();
+    let mut order = Vec::with_capacity(n);
+    while !remaining.is_empty() {
+        let (pos, &best) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &i)| {
+                let vars = atoms[i].vars();
+                let shared = vars.iter().filter(|v| bound.contains(v)).count();
+                // prefer high overlap, then many variables (more pruning)
+                (shared, vars.len())
+            })
+            .expect("remaining nonempty");
+        order.push(best);
+        for v in atoms[best].vars() {
+            if !bound.contains(&v) {
+                bound.push(v);
+            }
+        }
+        remaining.remove(pos);
+    }
+    order
+}
+
+/// Searches for a homomorphism from `from` to `to`, extending the partial
+/// assignment `fixed`. Returns the total assignment on the variables of
+/// `from` occurring in atoms, or `None`.
+pub fn find_homomorphism(
+    from: &ConjunctiveQuery,
+    to: &ConjunctiveQuery,
+    fixed: &BTreeMap<Var, Term>,
+) -> Option<BTreeMap<Var, Term>> {
+    let order = connectivity_order(from.atoms());
+    let mut assignment = fixed.clone();
+    if search(from, to, &order, 0, &mut assignment) {
+        Some(assignment)
+    } else {
+        None
+    }
+}
+
+/// Returns `true` iff a homomorphism from `from` to `to` exists.
+pub fn has_homomorphism(from: &ConjunctiveQuery, to: &ConjunctiveQuery) -> bool {
+    find_homomorphism(from, to, &BTreeMap::new()).is_some()
+}
+
+/// Enumerates *all* homomorphisms from `from` to `to` (as assignments over
+/// the atom variables of `from`). Exponential; for the small queries of the
+/// Section 5 machinery (automorphism groups, Lemma 5.10).
+pub fn enumerate_homomorphisms(
+    from: &ConjunctiveQuery,
+    to: &ConjunctiveQuery,
+) -> Vec<BTreeMap<Var, Term>> {
+    let order = connectivity_order(from.atoms());
+    let mut out = Vec::new();
+    let mut assignment = BTreeMap::new();
+    enumerate_search(from, to, &order, 0, &mut assignment, &mut out);
+    out
+}
+
+fn enumerate_search(
+    from: &ConjunctiveQuery,
+    to: &ConjunctiveQuery,
+    order: &[usize],
+    depth: usize,
+    assignment: &mut BTreeMap<Var, Term>,
+    out: &mut Vec<BTreeMap<Var, Term>>,
+) {
+    let Some(&atom_idx) = order.get(depth) else {
+        out.push(assignment.clone());
+        return;
+    };
+    let atom = &from.atoms()[atom_idx];
+    for candidate in to.atoms() {
+        if candidate.rel != atom.rel || candidate.terms.len() != atom.terms.len() {
+            continue;
+        }
+        let mut added: Vec<Var> = Vec::new();
+        let mut ok = true;
+        for (src, dst) in atom.terms.iter().zip(&candidate.terms) {
+            match src {
+                Term::Const(c) => {
+                    if !matches!(dst, Term::Const(d) if d == c) {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match assignment.get(v) {
+                    Some(img) => {
+                        if img != dst {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        assignment.insert(*v, dst.clone());
+                        added.push(*v);
+                    }
+                },
+            }
+        }
+        if ok {
+            enumerate_search(from, to, order, depth + 1, assignment, out);
+            if added.is_empty() {
+                // Fully bound atom: any further matching candidate would
+                // reproduce identical assignments.
+                return;
+            }
+        }
+        for v in added {
+            assignment.remove(&v);
+        }
+    }
+}
+
+fn search(
+    from: &ConjunctiveQuery,
+    to: &ConjunctiveQuery,
+    order: &[usize],
+    depth: usize,
+    assignment: &mut BTreeMap<Var, Term>,
+) -> bool {
+    let Some(&atom_idx) = order.get(depth) else {
+        return true;
+    };
+    let atom = &from.atoms()[atom_idx];
+    for candidate in to.atoms() {
+        if candidate.rel != atom.rel || candidate.terms.len() != atom.terms.len() {
+            continue;
+        }
+        // Try mapping this atom onto the candidate, recording new bindings.
+        let mut added: Vec<Var> = Vec::new();
+        let mut ok = true;
+        for (src, dst) in atom.terms.iter().zip(&candidate.terms) {
+            match src {
+                Term::Const(c) => {
+                    // h(c) = c: the image term must be the same constant.
+                    if !matches!(dst, Term::Const(d) if d == c) {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match assignment.get(v) {
+                    Some(img) => {
+                        if img != dst {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        assignment.insert(*v, dst.clone());
+                        added.push(*v);
+                    }
+                },
+            }
+        }
+        if ok && search(from, to, order, depth + 1, assignment) {
+            return true;
+        }
+        for v in added {
+            assignment.remove(&v);
+        }
+    }
+    false
+}
+
+/// Invokes `visit` with every homomorphism from `q` into `db` (every
+/// solution in `Q^D`, as assignments over the atom variables). Returns early
+/// if `visit` returns `false`.
+///
+/// Constants that the database has never interned make the query
+/// unsatisfiable (no homomorphism maps them anywhere).
+pub fn for_each_homomorphism_to_db<F>(q: &ConjunctiveQuery, db: &Database, mut visit: F)
+where
+    F: FnMut(&BTreeMap<Var, Value>) -> bool,
+{
+    let order = connectivity_order(q.atoms());
+    let mut assignment: BTreeMap<Var, Value> = BTreeMap::new();
+    db_search(q, db, &order, 0, &mut assignment, &mut visit);
+}
+
+fn db_search<F>(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    order: &[usize],
+    depth: usize,
+    assignment: &mut BTreeMap<Var, Value>,
+    visit: &mut F,
+) -> bool
+where
+    F: FnMut(&BTreeMap<Var, Value>) -> bool,
+{
+    let Some(&atom_idx) = order.get(depth) else {
+        return visit(assignment);
+    };
+    let atom = &q.atoms()[atom_idx];
+    let Some(rel) = db.relation(&atom.rel) else {
+        return true; // relation absent: empty, no solutions below
+    };
+    if rel.arity() != atom.terms.len() {
+        return true;
+    }
+    'tuple: for tuple in rel.iter() {
+        let mut added: Vec<Var> = Vec::new();
+        for (i, t) in atom.terms.iter().enumerate() {
+            match t {
+                Term::Const(c) => match db.interner().get(c) {
+                    Some(v) if v == tuple[i] => {}
+                    _ => {
+                        for v in added {
+                            assignment.remove(&v);
+                        }
+                        continue 'tuple;
+                    }
+                },
+                Term::Var(var) => match assignment.get(var) {
+                    Some(&bound) => {
+                        if bound != tuple[i] {
+                            for v in added {
+                                assignment.remove(&v);
+                            }
+                            continue 'tuple;
+                        }
+                    }
+                    None => {
+                        assignment.insert(*var, tuple[i]);
+                        added.push(*var);
+                    }
+                },
+            }
+        }
+        let keep_going = db_search(q, db, order, depth + 1, assignment, visit);
+        for v in added {
+            assignment.remove(&v);
+        }
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
+/// Materializes all homomorphisms from `q` into `db`.
+pub fn enumerate_homomorphisms_to_db(
+    q: &ConjunctiveQuery,
+    db: &Database,
+) -> Vec<BTreeMap<Var, Value>> {
+    let mut out = Vec::new();
+    for_each_homomorphism_to_db(q, db, |h| {
+        out.push(h.clone());
+        true
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Var) -> Term {
+        Term::Var(v)
+    }
+
+    /// Path query: r(X1, X2), r(X2, X3).
+    fn path(n: usize) -> ConjunctiveQuery {
+        let mut q = ConjunctiveQuery::new();
+        let vars: Vec<Var> = (0..=n).map(|i| q.var(&format!("X{i}"))).collect();
+        for w in vars.windows(2) {
+            q.add_atom("r", vec![t(w[0]), t(w[1])]);
+        }
+        q
+    }
+
+    /// Triangle: r(X,Y), r(Y,Z), r(Z,X).
+    fn triangle() -> ConjunctiveQuery {
+        let mut q = ConjunctiveQuery::new();
+        let (x, y, z) = (q.var("X"), q.var("Y"), q.var("Z"));
+        q.add_atom("r", vec![t(x), t(y)]);
+        q.add_atom("r", vec![t(y), t(z)]);
+        q.add_atom("r", vec![t(z), t(x)]);
+        q
+    }
+
+    /// Self-loop: r(X,X).
+    fn self_loop() -> ConjunctiveQuery {
+        let mut q = ConjunctiveQuery::new();
+        let x = q.var("X");
+        q.add_atom("r", vec![t(x), t(x)]);
+        q
+    }
+
+    #[test]
+    fn path_maps_into_self_loop() {
+        assert!(has_homomorphism(&path(5), &self_loop()));
+        assert!(has_homomorphism(&triangle(), &self_loop()));
+        // But not conversely: the loop needs r(a,a) in the path, absent.
+        assert!(!has_homomorphism(&self_loop(), &path(5)));
+    }
+
+    #[test]
+    fn directed_paths_are_cores() {
+        // Directed paths do not fold: P2 -> P1 would need h(X1) to be both
+        // the head and the tail of the single edge.
+        assert!(!has_homomorphism(&path(2), &path(1)));
+        assert!(has_homomorphism(&path(1), &path(2)));
+        assert!(has_homomorphism(&path(2), &path(7)));
+    }
+
+    #[test]
+    fn triangle_does_not_map_to_path() {
+        assert!(!has_homomorphism(&triangle(), &path(3)));
+        // but path maps into triangle (walk around it)
+        assert!(has_homomorphism(&path(4), &triangle()));
+    }
+
+    #[test]
+    fn constants_must_match() {
+        let mut q1 = ConjunctiveQuery::new();
+        let x = q1.var("X");
+        q1.add_atom("r", vec![t(x), Term::Const("a".into())]);
+        let mut q2 = ConjunctiveQuery::new();
+        let y = q2.var("Y");
+        q2.add_atom("r", vec![t(y), Term::Const("a".into())]);
+        assert!(has_homomorphism(&q1, &q2));
+        let mut q3 = ConjunctiveQuery::new();
+        let z = q3.var("Z");
+        q3.add_atom("r", vec![t(z), Term::Const("b".into())]);
+        assert!(!has_homomorphism(&q1, &q3));
+    }
+
+    #[test]
+    fn fixed_assignment_respected() {
+        // Map the single edge r(X0,X1) into the 2-path a->b->c.
+        let p1 = path(1);
+        let p2 = path(2);
+        let x0 = p1.find_var("X0").unwrap();
+        // Pinning X0 to the path's end fails: no edge leaves it.
+        let end = p2.find_var("X2").unwrap();
+        let mut fixed = BTreeMap::new();
+        fixed.insert(x0, t(end));
+        assert!(find_homomorphism(&p1, &p2, &fixed).is_none());
+        // Pinning X0 to the start works.
+        let start = p2.find_var("X0").unwrap();
+        let mut fixed2 = BTreeMap::new();
+        fixed2.insert(x0, t(start));
+        let h = find_homomorphism(&p1, &p2, &fixed2).unwrap();
+        assert_eq!(h.get(&x0), Some(&t(start)));
+    }
+
+    #[test]
+    fn db_enumeration_counts_paths() {
+        let mut db = Database::new();
+        // a->b, b->c, a->c : 2-paths are (a,b,c); plus... r(X,Y),r(Y,Z)
+        db.add_fact("r", &["a", "b"]);
+        db.add_fact("r", &["b", "c"]);
+        db.add_fact("r", &["a", "c"]);
+        let q = path(2);
+        let homs = enumerate_homomorphisms_to_db(&q, &db);
+        assert_eq!(homs.len(), 1); // only a->b->c
+    }
+
+    #[test]
+    fn db_enumeration_with_constants_and_repeats() {
+        let mut db = Database::new();
+        db.add_fact("r", &["a", "a"]);
+        db.add_fact("r", &["a", "b"]);
+        let mut q = ConjunctiveQuery::new();
+        let x = q.var("X");
+        q.add_atom("r", vec![t(x), t(x)]); // self loop
+        assert_eq!(enumerate_homomorphisms_to_db(&q, &db).len(), 1);
+        let mut q2 = ConjunctiveQuery::new();
+        let y = q2.var("Y");
+        q2.add_atom("r", vec![Term::Const("a".into()), t(y)]);
+        assert_eq!(enumerate_homomorphisms_to_db(&q2, &db).len(), 2);
+        // unknown constant: no solutions
+        let mut q3 = ConjunctiveQuery::new();
+        let z = q3.var("Z");
+        q3.add_atom("r", vec![Term::Const("zzz".into()), t(z)]);
+        assert_eq!(enumerate_homomorphisms_to_db(&q3, &db).len(), 0);
+    }
+
+    #[test]
+    fn early_termination() {
+        let mut db = Database::new();
+        for i in 0..10 {
+            db.add_fact("r", &[&format!("a{i}"), &format!("b{i}")]);
+        }
+        let mut q = ConjunctiveQuery::new();
+        let (x, y) = (q.var("X"), q.var("Y"));
+        q.add_atom("r", vec![t(x), t(y)]);
+        let mut seen = 0;
+        for_each_homomorphism_to_db(&q, &db, |_| {
+            seen += 1;
+            seen < 3
+        });
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn missing_relation_means_no_solutions() {
+        let db = Database::new();
+        let q = path(1);
+        assert!(enumerate_homomorphisms_to_db(&q, &db).is_empty());
+    }
+}

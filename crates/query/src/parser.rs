@@ -1,0 +1,418 @@
+//! A datalog-style text format for queries and databases.
+//!
+//! ```text
+//! % facts: all-lowercase (or numeric) arguments
+//! mw(m1, w1, 40).
+//! wt(w1, t7).
+//!
+//! % the query: head lists the free variables; identifiers starting with an
+//! % uppercase letter (or underscore) are variables
+//! ans(A, B, C) :- mw(A, B, I), wt(B, D), wi(B, E), pt(C, D).
+//! ```
+//!
+//! `%` and `#` start line comments. A program may contain any number of
+//! facts and at most one rule. Constants in rule bodies are allowed.
+
+use crate::{ConjunctiveQuery, Term};
+use cqcount_relational::Database;
+use std::fmt;
+
+/// A parse error with 1-based line/column information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Turnstile, // :-
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'%') | Some(b'#') => {
+                    while let Some(b) = self.bump() {
+                        if b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Option<(Token, usize, usize)>, ParseError> {
+        self.skip_trivia();
+        let (line, col) = (self.line, self.col);
+        let Some(b) = self.peek() else {
+            return Ok(None);
+        };
+        let tok = match b {
+            b'(' => {
+                self.bump();
+                Token::LParen
+            }
+            b')' => {
+                self.bump();
+                Token::RParen
+            }
+            b',' => {
+                self.bump();
+                Token::Comma
+            }
+            b'.' => {
+                self.bump();
+                Token::Dot
+            }
+            b':' => {
+                self.bump();
+                if self.peek() == Some(b'-') {
+                    self.bump();
+                    Token::Turnstile
+                } else {
+                    return Err(self.error("expected '-' after ':'"));
+                }
+            }
+            b if b.is_ascii_alphanumeric() || b == b'_' => {
+                let start = self.pos;
+                while self
+                    .peek()
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+                {
+                    self.bump();
+                }
+                Token::Ident(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+            }
+            other => {
+                return Err(self.error(format!("unexpected character {:?}", other as char)));
+            }
+        };
+        Ok(Some((tok, line, col)))
+    }
+}
+
+fn is_variable_name(name: &str) -> bool {
+    name.starts_with(|c: char| c.is_ascii_uppercase() || c == '_')
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error_at(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self
+            .tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or((1, 1), |&(_, l, c)| (l, c));
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Token) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t == want => Ok(()),
+            other => Err(self.error_at(format!("expected {want:?}, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.error_at(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Parses `name(arg, ..., arg)`, returning the name and raw arg names.
+    fn atom(&mut self) -> Result<(String, Vec<String>), ParseError> {
+        let name = self.ident()?;
+        self.expect(Token::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                args.push(self.ident()?);
+                match self.next() {
+                    Some(Token::Comma) => continue,
+                    Some(Token::RParen) => break,
+                    other => {
+                        return Err(self.error_at(format!("expected ',' or ')', found {other:?}")))
+                    }
+                }
+            }
+        } else {
+            self.next();
+        }
+        Ok((name, args))
+    }
+}
+
+/// Parses a full program: any number of facts and at most one rule.
+pub fn parse_program(src: &str) -> Result<(Option<ConjunctiveQuery>, Database), ParseError> {
+    let mut lexer = Lexer::new(src);
+    let mut tokens = Vec::new();
+    while let Some(t) = lexer.next_token()? {
+        tokens.push(t);
+    }
+    let mut p = Parser { tokens, pos: 0 };
+
+    let mut db = Database::new();
+    let mut query: Option<ConjunctiveQuery> = None;
+
+    while p.peek().is_some() {
+        let (head_name, head_args) = p.atom()?;
+        match p.peek() {
+            Some(Token::Dot) => {
+                p.next();
+                // A fact: all arguments must be constants.
+                if let Some(bad) = head_args.iter().find(|a| is_variable_name(a)) {
+                    return Err(p.error_at(format!(
+                        "facts must be ground, found variable {bad:?} in {head_name}"
+                    )));
+                }
+                let refs: Vec<&str> = head_args.iter().map(String::as_str).collect();
+                db.add_fact(&head_name, &refs);
+            }
+            Some(Token::Turnstile) => {
+                p.next();
+                if query.is_some() {
+                    return Err(p.error_at("a program may contain at most one rule"));
+                }
+                let mut q = ConjunctiveQuery::new();
+                let mut free = Vec::new();
+                for a in &head_args {
+                    if !is_variable_name(a) {
+                        return Err(
+                            p.error_at(format!("head argument {a:?} must be a variable"))
+                        );
+                    }
+                    free.push(q.var(a));
+                }
+                // Body atoms.
+                loop {
+                    let (rel, args) = p.atom()?;
+                    let terms = args
+                        .iter()
+                        .map(|a| {
+                            if is_variable_name(a) {
+                                Term::Var(q.var(a))
+                            } else {
+                                Term::Const(a.clone())
+                            }
+                        })
+                        .collect();
+                    q.add_atom(&rel, terms);
+                    match p.next() {
+                        Some(Token::Comma) => continue,
+                        Some(Token::Dot) => break,
+                        other => {
+                            return Err(
+                                p.error_at(format!("expected ',' or '.', found {other:?}"))
+                            )
+                        }
+                    }
+                }
+                for v in &free {
+                    if !q.vars_in_atoms().contains(v) {
+                        return Err(p.error_at(format!(
+                            "head variable {:?} does not occur in the body",
+                            q.var_name(*v)
+                        )));
+                    }
+                }
+                q.set_free(free);
+                query = Some(q);
+            }
+            other => return Err(p.error_at(format!("expected '.' or ':-', found {other:?}"))),
+        }
+    }
+
+    Ok((query, db))
+}
+
+/// Parses a single rule.
+pub fn parse_query(src: &str) -> Result<ConjunctiveQuery, ParseError> {
+    let (q, _) = parse_program(src)?;
+    q.ok_or(ParseError {
+        message: "no rule found".into(),
+        line: 1,
+        col: 1,
+    })
+}
+
+/// Parses facts only.
+pub fn parse_database(src: &str) -> Result<Database, ParseError> {
+    let (q, db) = parse_program(src)?;
+    if q.is_some() {
+        return Err(ParseError {
+            message: "unexpected rule in database input".into(),
+            line: 1,
+            col: 1,
+        });
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_q0() {
+        let q = parse_query(
+            "ans(A, B, C) :- mw(A, B, I), wt(B, D), wi(B, E), pt(C, D), \
+             st(D, F), st(D, G), rr(G, H), rr(F, H), rr(D, H).",
+        )
+        .unwrap();
+        assert_eq!(q.atoms().len(), 9);
+        assert_eq!(q.free().len(), 3);
+        assert_eq!(q.existential().len(), 6);
+    }
+
+    #[test]
+    fn parse_program_with_facts_and_rule() {
+        let src = "
+            % the data
+            edge(a, b).
+            edge(b, c).
+            # another comment style
+            ans(X) :- edge(X, Y), edge(Y, Z).
+        ";
+        let (q, db) = parse_program(src).unwrap();
+        let q = q.unwrap();
+        assert_eq!(db.relation("edge").unwrap().len(), 2);
+        assert_eq!(q.free().len(), 1);
+        assert_eq!(q.atoms().len(), 2);
+    }
+
+    #[test]
+    fn constants_in_body() {
+        let q = parse_query("ans(X) :- r(X, alice), s(X, 42).").unwrap();
+        assert!(matches!(&q.atoms()[0].terms[1], Term::Const(c) if c == "alice"));
+        assert!(matches!(&q.atoms()[1].terms[1], Term::Const(c) if c == "42"));
+    }
+
+    #[test]
+    fn underscore_prefix_is_variable() {
+        let q = parse_query("ans(X) :- r(X, _tmp).").unwrap();
+        assert_eq!(q.vars_in_atoms().len(), 2);
+    }
+
+    #[test]
+    fn zero_arity_atoms() {
+        let q = parse_query("ans(X) :- r(X), marker().").unwrap();
+        assert_eq!(q.atoms()[1].terms.len(), 0);
+    }
+
+    #[test]
+    fn errors() {
+        // variable in fact
+        assert!(parse_database("edge(X, b).").is_err());
+        // head var missing from body
+        assert!(parse_query("ans(Z) :- r(X, Y).").is_err());
+        // constant in head
+        assert!(parse_query("ans(a) :- r(a, X).").is_err());
+        // two rules
+        assert!(parse_program("a(X) :- r(X). b(Y) :- r(Y).").is_err());
+        // garbage
+        assert!(parse_program("r(a) :- ").is_err());
+        assert!(parse_program("?!").is_err());
+        // lone ':'
+        assert!(parse_program("a(X) : r(X).").is_err());
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_database("edge(a, b).\nedge(X, c).").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("ground"));
+    }
+
+    #[test]
+    fn roundtrip_via_display() {
+        let q = parse_query("ans(A) :- r(A, B), s(B, c0).").unwrap();
+        let q2 = parse_query(&q.to_string()).unwrap();
+        assert_eq!(q.atoms(), q2.atoms());
+        assert_eq!(q.free(), q2.free());
+    }
+}

@@ -1,0 +1,114 @@
+//! Quantified star size (Durand–Mengel, recast as in Appendix A).
+//!
+//! The quantified star size of `Q` is the maximum, over existential
+//! variables `Y`, of the size of a maximum independent set (in the primal
+//! graph of `Q`) contained in the frontier `Fr(Y, free(Q), H_Q)`.
+
+use crate::ConjunctiveQuery;
+use cqcount_hypergraph::primal::PrimalGraph;
+use cqcount_hypergraph::w_components;
+
+/// Computes the quantified star size of `q` (0 if there are no existential
+/// variables). Exponential in the frontier sizes (exact MIS), which are
+/// bounded by the fixed query.
+pub fn quantified_star_size(q: &ConjunctiveQuery) -> usize {
+    let h = q.hypergraph();
+    let free = q.free_nodes();
+    let primal = PrimalGraph::of(&h);
+    w_components(&h, &free)
+        .into_iter()
+        .map(|c| primal.max_independent_set(&c.edge_nodes(&h).intersection(&free)))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Term, Var};
+
+    fn t(v: Var) -> Term {
+        Term::Var(v)
+    }
+
+    #[test]
+    fn no_existential_vars_means_zero() {
+        let mut q = ConjunctiveQuery::new();
+        let (a, b) = (q.var("A"), q.var("B"));
+        q.add_atom("r", vec![t(a), t(b)]);
+        q.set_free([a, b]);
+        assert_eq!(quantified_star_size(&q), 0);
+    }
+
+    #[test]
+    fn simple_star() {
+        // r(Y, X1), r(Y, X2), r(Y, X3) with X1..X3 free and pairwise
+        // non-adjacent: star size 3.
+        let mut q = ConjunctiveQuery::new();
+        let y = q.var("Y");
+        let xs: Vec<Var> = (1..=3).map(|i| q.var(&format!("X{i}"))).collect();
+        for &x in &xs {
+            q.add_atom("r", vec![t(y), t(x)]);
+        }
+        q.set_free(xs);
+        assert_eq!(quantified_star_size(&q), 3);
+    }
+
+    #[test]
+    fn guarded_star_has_size_one() {
+        // Adding a guard atom g(X1,X2,X3) makes the frontier a clique.
+        let mut q = ConjunctiveQuery::new();
+        let y = q.var("Y");
+        let xs: Vec<Var> = (1..=3).map(|i| q.var(&format!("X{i}"))).collect();
+        for &x in &xs {
+            q.add_atom("r", vec![t(y), t(x)]);
+        }
+        q.add_atom("g", vec![t(xs[0]), t(xs[1]), t(xs[2])]);
+        q.set_free(xs);
+        assert_eq!(quantified_star_size(&q), 1);
+    }
+
+    #[test]
+    fn example_a2_star_size_is_ceil_n_half() {
+        // Q1^n of Example A.2: quantified star size = ⌈n/2⌉.
+        for n in 2..=5usize {
+            let mut q = ConjunctiveQuery::new();
+            let xs: Vec<Var> = (1..=n).map(|i| q.var(&format!("X{i}"))).collect();
+            let ys: Vec<Var> = (1..=n).map(|i| q.var(&format!("Y{i}"))).collect();
+            for i in 0..n {
+                q.add_atom("r", vec![t(xs[i]), t(ys[i])]);
+            }
+            for i in 0..n - 1 {
+                q.add_atom("r", vec![t(xs[i]), t(xs[i + 1])]);
+                q.add_atom("r", vec![t(ys[i]), t(ys[i + 1])]);
+            }
+            q.set_free(xs);
+            assert_eq!(quantified_star_size(&q), n.div_ceil(2), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn example_c1_star_query_full_frontier() {
+        // Q2^h of Example C.1: every existential's frontier is all of
+        // {X0..Xh}; the X_i are pairwise non-adjacent, so star size = h+1.
+        let h = 3;
+        let mut q = ConjunctiveQuery::new();
+        let x0 = q.var("X0");
+        let xs: Vec<Var> = (1..=h).map(|i| q.var(&format!("X{i}"))).collect();
+        let y0 = q.var("Y0");
+        let ys: Vec<Var> = (1..=h).map(|i| q.var(&format!("Y{i}"))).collect();
+        let mut r_terms = vec![t(x0)];
+        r_terms.extend(ys.iter().map(|&y| t(y)));
+        q.add_atom("r", r_terms);
+        let mut s_terms = vec![t(y0)];
+        s_terms.extend(ys.iter().map(|&y| t(y)));
+        q.add_atom("s", s_terms);
+        for i in 0..h {
+            q.add_atom(&format!("w{}", i + 1), vec![t(xs[i]), t(ys[i])]);
+        }
+        let mut free = vec![x0];
+        free.extend(&xs);
+        q.set_free(free);
+        assert_eq!(quantified_star_size(&q), h + 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! Fuzz-style property tests for the parser: no panics on arbitrary input,
+//! and display/parse round-trips on generated programs.
+
+use cqcount_query::{parse_program, parse_query, ConjunctiveQuery, Term};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser must never panic, whatever bytes arrive.
+    #[test]
+    fn parser_never_panics(src in "\\PC{0,200}") {
+        let _ = parse_program(&src);
+    }
+
+    /// ...including near-miss inputs built from the token alphabet.
+    #[test]
+    fn parser_never_panics_tokenish(
+        parts in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "ans", "r", "s", "X", "Y", "a", "b", "42", "_t",
+                "(", ")", ",", ".", ":-", ":", "%", "#", " ", "\n",
+            ]),
+            0..40,
+        )
+    ) {
+        let src: String = parts.concat();
+        let _ = parse_program(&src);
+    }
+
+    /// Generated well-formed programs parse, and display → parse is a
+    /// fixpoint for the query.
+    #[test]
+    fn wellformed_roundtrip(
+        atoms in proptest::collection::vec(
+            (0usize..3, proptest::collection::vec(0usize..4, 1..4)),
+            1..5,
+        ),
+        free_mask in 0u32..16,
+    ) {
+        let mut q = ConjunctiveQuery::new();
+        let vars: Vec<_> = (0..4).map(|i| q.var(&format!("V{i}"))).collect();
+        for (rel, args) in &atoms {
+            let terms = args.iter().map(|&a| Term::Var(vars[a])).collect();
+            q.add_atom(&format!("r{}a{}", rel, args.len()), terms);
+        }
+        let used = q.vars_in_atoms();
+        let free: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .filter(|(i, v)| free_mask & (1 << i) != 0 && used.contains(v))
+            .map(|(_, &v)| v)
+            .collect();
+        q.set_free(free);
+        let printed = q.to_string();
+        let parsed = parse_query(&printed).expect("display output parses");
+        // Variable ids depend on interning order (head first in the
+        // parser), so compare the printed forms, which are id-free.
+        prop_assert_eq!(parsed.to_string(), printed);
+        prop_assert_eq!(parsed.atoms().len(), q.atoms().len());
+        prop_assert_eq!(parsed.free().len(), q.free().len());
+    }
+
+    /// Programs of random facts always parse into consistent databases.
+    #[test]
+    fn fact_lists_parse(
+        facts in proptest::collection::vec(
+            (0usize..3, proptest::collection::vec(0usize..5, 1..4)),
+            0..20,
+        )
+    ) {
+        let mut src = String::new();
+        for (rel, args) in &facts {
+            let names: Vec<String> = args.iter().map(|a| format!("c{a}")).collect();
+            src.push_str(&format!("f{}a{}({}).\n", rel, args.len(), names.join(", ")));
+        }
+        let db = cqcount_query::parse_database(&src).expect("facts parse");
+        let total: usize = db.relations().map(|(_, r)| r.len()).sum();
+        prop_assert!(total <= facts.len());
+    }
+}

@@ -1,0 +1,197 @@
+//! Counting slice reductions (Definition 5.1) and their composition
+//! (Theorem 5.4), executable.
+//!
+//! A counting slice reduction from `Q[S]` to `Q'[S']` answers
+//! `Q(s, y)` with an FPT computation that may query an oracle for
+//! `Q'(t, z)` on a finite target set `T ⊆ S'`. Here both sides are
+//! concrete `#CQ` slices, so a [`CountingSliceReduction`] is: a source
+//! query, a finite list of target queries, and a procedure mapping a source
+//! database plus a target-oracle to the source count.
+//!
+//! [`ParsimoniousReduction`]s lift into the framework (Proposition 5.3),
+//! and Lemma 5.10 is packaged as [`lemma_5_10_reduction`] — a genuinely
+//! *counting* (non-parsimonious) reduction: it combines many oracle
+//! answers through interpolation and inclusion–exclusion.
+
+use crate::fullcolor::count_fullcolor_via_oracle;
+use crate::oracle::CountOracle;
+use crate::slice::ParsimoniousReduction;
+use cqcount_arith::Natural;
+use cqcount_query::color::fullcolor;
+use cqcount_query::ConjunctiveQuery;
+use cqcount_relational::Database;
+use std::rc::Rc;
+
+/// The oracle interface handed to a reduction: `answer(target_index, db)`.
+pub type TargetOracle<'a> = dyn FnMut(usize, &Database) -> Natural + 'a;
+
+type ComputeFn = dyn Fn(&Database, &mut TargetOracle) -> Natural;
+
+/// An executable counting slice reduction between `#CQ` slices.
+#[derive(Clone)]
+pub struct CountingSliceReduction {
+    /// The query whose answers are being counted.
+    pub source: ConjunctiveQuery,
+    /// The finite target set `T` the oracle may be queried on.
+    pub targets: Vec<ConjunctiveQuery>,
+    compute: Rc<ComputeFn>,
+}
+
+impl CountingSliceReduction {
+    /// Builds a reduction from its parts.
+    pub fn new(
+        source: ConjunctiveQuery,
+        targets: Vec<ConjunctiveQuery>,
+        compute: impl Fn(&Database, &mut TargetOracle) -> Natural + 'static,
+    ) -> CountingSliceReduction {
+        CountingSliceReduction {
+            source,
+            targets,
+            compute: Rc::new(compute),
+        }
+    }
+
+    /// Counts `|source(db)|` through the oracle.
+    pub fn count(&self, db: &Database, oracle: &mut TargetOracle) -> Natural {
+        (self.compute)(db, oracle)
+    }
+
+    /// Counts using a concrete counting function as the oracle.
+    pub fn count_with(
+        &self,
+        db: &Database,
+        mut counter: impl FnMut(&ConjunctiveQuery, &Database) -> Natural,
+    ) -> Natural {
+        let targets = self.targets.clone();
+        let mut oracle = move |i: usize, d: &Database| counter(&targets[i], d);
+        self.count(db, &mut oracle)
+    }
+
+    /// Proposition 5.3: every parsimonious slice reduction is a counting
+    /// slice reduction (one oracle call, identity on the count).
+    pub fn from_parsimonious(p: &ParsimoniousReduction) -> CountingSliceReduction {
+        let p = p.clone();
+        let transform = p.clone();
+        CountingSliceReduction {
+            source: p.source.clone(),
+            targets: vec![p.target.clone()],
+            compute: Rc::new(move |db, oracle| oracle(0, &transform.transform(db))),
+        }
+    }
+
+    /// Theorem 5.4: composition. `self`'s targets must all appear (in
+    /// order) as the sources of `next`, i.e. `next[i].source == targets[i]`;
+    /// the result's targets are the union of the `next[i]` targets.
+    pub fn then(&self, next: &[CountingSliceReduction]) -> CountingSliceReduction {
+        assert_eq!(next.len(), self.targets.len(), "one reduction per target");
+        for (t, n) in self.targets.iter().zip(next) {
+            assert_eq!(t.atoms(), n.source.atoms(), "target/source mismatch");
+        }
+        // Flatten the target sets, remembering each child's offset.
+        let mut targets = Vec::new();
+        let mut offsets = Vec::new();
+        for n in next {
+            offsets.push(targets.len());
+            targets.extend(n.targets.iter().cloned());
+        }
+        let first = self.compute.clone();
+        let children: Vec<Rc<ComputeFn>> = next.iter().map(|n| n.compute.clone()).collect();
+        CountingSliceReduction {
+            source: self.source.clone(),
+            targets,
+            compute: Rc::new(move |db, oracle| {
+                // Answer the first reduction's oracle queries by running
+                // the matching child reduction against the outer oracle.
+                // (The borrow dance: children capture the outer oracle per
+                // call.)
+                let children = children.clone();
+                let offsets = offsets.clone();
+                let mut inner = |i: usize, d: &Database| -> Natural {
+                    let off = offsets[i];
+                    let mut routed =
+                        |j: usize, dd: &Database| -> Natural { oracle(off + j, dd) };
+                    (children[i])(d, &mut routed)
+                };
+                first(db, &mut inner)
+            }),
+        }
+    }
+}
+
+/// Lemma 5.10 as a counting slice reduction: source `fullcolor(q)`, single
+/// target `q`. Preconditions as in
+/// [`count_fullcolor_via_oracle`] (constant-free, `color(q)` a core).
+pub fn lemma_5_10_reduction(q: &ConjunctiveQuery) -> CountingSliceReduction {
+    let source = fullcolor(q);
+    let q_owned = q.clone();
+    CountingSliceReduction::new(source, vec![q.clone()], move |db, oracle| {
+        let mut wrapped = CountOracle::new(|_qq: &ConjunctiveQuery, d: &Database| oracle(0, d));
+        count_fullcolor_via_oracle(&q_owned, db, &mut wrapped)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::{obs_5_19_graph, obs_5_20_deletion};
+    use cqcount_core::count_brute_force;
+    use cqcount_query::parse_program;
+    use cqcount_workloads::random::{random_database, RandomDbConfig};
+
+    fn q(src: &str) -> ConjunctiveQuery {
+        parse_program(src).unwrap().0.unwrap()
+    }
+
+    #[test]
+    fn parsimonious_lifts() {
+        let query = q("ans(X) :- r(X, Y, Z), s(Z, W).");
+        let p = obs_5_19_graph(&query);
+        let c = CountingSliceReduction::from_parsimonious(&p);
+        for seed in 0..3 {
+            let b = random_database(&c.source, &RandomDbConfig { domain: 3, tuples_per_rel: 4 }, seed);
+            let via = c.count_with(&b, count_brute_force);
+            assert_eq!(via, count_brute_force(&c.source, &b));
+        }
+    }
+
+    #[test]
+    fn lemma_5_10_as_counting_reduction() {
+        let query = q("ans(X, Z) :- r(X, Y), r(Y, Z).");
+        let red = lemma_5_10_reduction(&query);
+        assert_eq!(red.targets.len(), 1);
+        // Input: a B-structure with full colors.
+        let (_, mut b) = parse_program("r(a, b). r(b, c). r(c, a).").unwrap();
+        for v in query.vars_in_atoms() {
+            for val in ["a", "b", "c"] {
+                let vv = b.value(val);
+                b.add_tuple(
+                    &crate::fullcolor::color_relation_name(&query, v),
+                    vec![vv],
+                );
+            }
+        }
+        let via = red.count_with(&b, count_brute_force);
+        assert_eq!(via, count_brute_force(&red.source, &b));
+    }
+
+    #[test]
+    fn composition_theorem_5_4() {
+        // Chain: sub(graph(Q)) → graph(Q) → Q, all through the framework.
+        let query = q("ans(X) :- r(X, Y, Z).");
+        let g_red = CountingSliceReduction::from_parsimonious(&obs_5_19_graph(&query));
+        let gq = g_red.source.clone();
+        let del = CountingSliceReduction::from_parsimonious(&obs_5_20_deletion(&gq, &[0, 1]));
+        let chain = del.then(std::slice::from_ref(&g_red));
+        assert_eq!(chain.targets.len(), 1);
+        assert_eq!(chain.targets[0].atoms(), query.atoms());
+        for seed in 0..3 {
+            let b = random_database(
+                &chain.source,
+                &RandomDbConfig { domain: 3, tuples_per_rel: 4 },
+                seed,
+            );
+            let via = chain.count_with(&b, count_brute_force);
+            assert_eq!(via, count_brute_force(&chain.source, &b), "seed {seed}");
+        }
+    }
+}

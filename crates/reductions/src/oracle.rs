@@ -1,0 +1,66 @@
+//! Counting-oracle plumbing for the slice reductions.
+
+use cqcount_arith::Natural;
+use cqcount_query::ConjunctiveQuery;
+use cqcount_relational::Database;
+
+/// Statistics about oracle usage (the "cost" of a counting slice reduction
+/// is measured in oracle calls on instances of bounded size).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Number of `count(Q, ·)` invocations.
+    pub calls: usize,
+    /// Total tuples across all databases passed to the oracle.
+    pub total_tuples: usize,
+    /// Largest database passed (in tuples).
+    pub max_tuples: usize,
+}
+
+/// A `count(Q, ·)` oracle with call accounting.
+pub struct CountOracle<'a> {
+    counter: Box<dyn FnMut(&ConjunctiveQuery, &Database) -> Natural + 'a>,
+    stats: OracleStats,
+}
+
+impl<'a> CountOracle<'a> {
+    /// Wraps any counting function as an oracle.
+    pub fn new(f: impl FnMut(&ConjunctiveQuery, &Database) -> Natural + 'a) -> CountOracle<'a> {
+        CountOracle {
+            counter: Box::new(f),
+            stats: OracleStats::default(),
+        }
+    }
+
+    /// Invokes the oracle.
+    pub fn count(&mut self, q: &ConjunctiveQuery, db: &Database) -> Natural {
+        self.stats.calls += 1;
+        let t = db.total_tuples();
+        self.stats.total_tuples += t;
+        self.stats.max_tuples = self.stats.max_tuples.max(t);
+        (self.counter)(q, db)
+    }
+
+    /// Usage statistics so far.
+    pub fn stats(&self) -> &OracleStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqcount_core::count_brute_force;
+    use cqcount_query::parse_program;
+
+    #[test]
+    fn oracle_counts_calls() {
+        let (q, db) = parse_program("r(a, b). ans(X) :- r(X, Y).").unwrap();
+        let q = q.unwrap();
+        let mut o = CountOracle::new(count_brute_force);
+        assert_eq!(o.count(&q, &db), 1u64.into());
+        assert_eq!(o.count(&q, &db), 1u64.into());
+        assert_eq!(o.stats().calls, 2);
+        assert_eq!(o.stats().total_tuples, 2);
+        assert_eq!(o.stats().max_tuples, 1);
+    }
+}

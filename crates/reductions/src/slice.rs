@@ -1,0 +1,585 @@
+//! Parsimonious slice reductions (Definition 5.2), as executable database
+//! transformations — plus the concrete constructions the trichotomy proof
+//! composes: Observation 5.19 (`graph(Q)`), Observation 5.20 (closure under
+//! atom deletion) and Lemma 5.25 (the frontier-query reduction at the heart
+//! of the hardness proof).
+//!
+//! A [`ParsimoniousReduction`] carries a *source* query, a *target* query
+//! and a database transformation with `|source(B)| = |target(r(B))|` for
+//! every database `B` of the source vocabulary. Reductions compose
+//! (Theorem 5.4's transitivity, specialized to the parsimonious case).
+
+use cqcount_hypergraph::{frontier_hypergraph, w_components, NodeSet};
+use cqcount_query::{ConjunctiveQuery, Term, Var};
+use cqcount_relational::{Database, Relation, Value};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// An executable parsimonious slice reduction between two concrete queries:
+/// for every database `B`, `|source(B)| = |target(transform(B))|`.
+#[derive(Clone)]
+pub struct ParsimoniousReduction {
+    /// The query whose answers are being counted.
+    pub source: ConjunctiveQuery,
+    /// The query the counting is delegated to.
+    pub target: ConjunctiveQuery,
+    transform: Rc<dyn Fn(&Database) -> Database>,
+}
+
+impl ParsimoniousReduction {
+    /// Builds a reduction from its parts.
+    pub fn new(
+        source: ConjunctiveQuery,
+        target: ConjunctiveQuery,
+        transform: impl Fn(&Database) -> Database + 'static,
+    ) -> ParsimoniousReduction {
+        ParsimoniousReduction {
+            source,
+            target,
+            transform: Rc::new(transform),
+        }
+    }
+
+    /// Applies the database transformation.
+    pub fn transform(&self, db: &Database) -> Database {
+        (self.transform)(db)
+    }
+
+    /// Composes two reductions (`self` first, then `next`); `next.source`
+    /// must equal `self.target`.
+    pub fn then(&self, next: &ParsimoniousReduction) -> ParsimoniousReduction {
+        assert_eq!(
+            self.target.atoms(),
+            next.source.atoms(),
+            "composition requires matching intermediate query"
+        );
+        let first = self.transform.clone();
+        let second = next.transform.clone();
+        ParsimoniousReduction {
+            source: self.source.clone(),
+            target: next.target.clone(),
+            transform: Rc::new(move |db| second(&first(db))),
+        }
+    }
+}
+
+/// The primal-graph query `graph(Q)` of Observation 5.19: one fresh binary
+/// atom `pe_i(u, v)` per primal-graph edge, same free variables.
+pub fn graph_query(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let mut out = ConjunctiveQuery::new();
+    let vars: BTreeMap<Var, Var> = q
+        .vars_in_atoms()
+        .into_iter()
+        .map(|v| (v, out.var(q.var_name(v))))
+        .collect();
+    let primal = cqcount_hypergraph::primal::PrimalGraph::of(&q.hypergraph());
+    let mut i = 0;
+    let nodes: Vec<Var> = q.vars_in_atoms().into_iter().collect();
+    for (ai, &u) in nodes.iter().enumerate() {
+        for &v in &nodes[ai + 1..] {
+            if primal.adjacent(u.node(), v.node()) {
+                out.add_atom(&format!("pe{i}"), vec![Term::Var(vars[&u]), Term::Var(vars[&v])]);
+                i += 1;
+            }
+        }
+    }
+    out.set_free(q.free().into_iter().map(|v| vars[&v]));
+    out
+}
+
+/// Observation 5.19: reduces counting for `graph(Q)` to counting for `Q` —
+/// the database transformation simulates each binary edge relation with the
+/// atoms of `Q`: `r^B` contains the tuples whose projections to every
+/// primal-edge pair are allowed by the corresponding `pe` relation.
+///
+/// `q` must be *simple* (distinct relation symbols) and constant-free.
+pub fn obs_5_19_graph(q: &ConjunctiveQuery) -> ParsimoniousReduction {
+    assert!(q.is_simple(), "Observation 5.19 requires a simple query");
+    let gq = graph_query(q);
+    let q_atoms = q.clone();
+    // Map a variable pair to its pe-relation name (in graph_query order).
+    let primal = cqcount_hypergraph::primal::PrimalGraph::of(&q.hypergraph());
+    let nodes: Vec<Var> = q.vars_in_atoms().into_iter().collect();
+    let mut pe_name: BTreeMap<(Var, Var), String> = BTreeMap::new();
+    let mut i = 0;
+    for (ai, &u) in nodes.iter().enumerate() {
+        for &v in &nodes[ai + 1..] {
+            if primal.adjacent(u.node(), v.node()) {
+                pe_name.insert((u, v), format!("pe{i}"));
+                pe_name.insert((v, u), format!("pe{i}")); // reversed lookup
+                i += 1;
+            }
+        }
+    }
+    let pe_order: BTreeMap<(Var, Var), bool> = {
+        // whether (u,v) is the stored orientation
+        let mut m = BTreeMap::new();
+        for (ai, &u) in nodes.iter().enumerate() {
+            for &v in &nodes[ai + 1..] {
+                if primal.adjacent(u.node(), v.node()) {
+                    m.insert((u, v), true);
+                    m.insert((v, u), false);
+                }
+            }
+        }
+        m
+    };
+
+    let transform = move |bprime: &Database| -> Database {
+        let mut out = Database::new();
+        // active domain of B'
+        let mut domain: Vec<String> = Vec::new();
+        for (_, rel) in bprime.relations() {
+            for t in rel.iter() {
+                for v in t.iter() {
+                    let name = bprime.interner().name(*v).to_owned();
+                    if !domain.contains(&name) {
+                        domain.push(name);
+                    }
+                }
+            }
+        }
+        let allowed = |u: Var, v: Var, bu: &str, bv: &str| -> bool {
+            let Some(rel_name) = pe_name.get(&(u, v)) else {
+                return true;
+            };
+            let Some(rel) = bprime.relation(rel_name) else {
+                return false;
+            };
+            let (a, b) = if pe_order[&(u, v)] { (bu, bv) } else { (bv, bu) };
+            match (bprime.interner().get(a), bprime.interner().get(b)) {
+                (Some(av), Some(bv)) => rel.contains(&[av, bv]),
+                _ => false,
+            }
+        };
+        for atom in q_atoms.atoms() {
+            let vars = atom.vars();
+            out.ensure_relation(&atom.rel, atom.terms.len());
+            // enumerate assignments of the atom's distinct vars over domain
+            let k = vars.len();
+            let mut choice = vec![0usize; k];
+            if domain.is_empty() {
+                continue;
+            }
+            loop {
+                let assignment: Vec<&str> =
+                    choice.iter().map(|&c| domain[c].as_str()).collect();
+                let ok = (0..k).all(|a| {
+                    (a + 1..k).all(|b| allowed(vars[a], vars[b], assignment[a], assignment[b]))
+                });
+                if ok {
+                    let tuple: Vec<Value> = atom
+                        .terms
+                        .iter()
+                        .map(|t| match t {
+                            Term::Var(v) => {
+                                let pos = vars.iter().position(|x| x == v).unwrap();
+                                out.value(assignment[pos])
+                            }
+                            Term::Const(_) => unreachable!("constant-free"),
+                        })
+                        .collect();
+                    out.add_tuple(&atom.rel, tuple);
+                }
+                // next multi-index
+                let mut p = 0;
+                loop {
+                    if p == k {
+                        break;
+                    }
+                    choice[p] += 1;
+                    if choice[p] < domain.len() {
+                        break;
+                    }
+                    choice[p] = 0;
+                    p += 1;
+                }
+                if p == k {
+                    break;
+                }
+            }
+        }
+        out
+    };
+    ParsimoniousReduction::new(gq, q.clone(), transform)
+}
+
+/// Observation 5.20: reduces counting for a sub-query `Q'` (atoms deleted)
+/// to counting for `Q`: fill every deleted atom's relation with all tuples
+/// over the active domain.
+pub fn obs_5_20_deletion(q: &ConjunctiveQuery, kept: &[usize]) -> ParsimoniousReduction {
+    let sub = q.sub_query(kept);
+    let q_full = q.clone();
+    let q_ret = q.clone();
+    let kept: Vec<usize> = kept.to_vec();
+    let transform = move |bprime: &Database| -> Database {
+        let mut out = Database::new();
+        let mut domain: Vec<String> = Vec::new();
+        for (_, rel) in bprime.relations() {
+            for t in rel.iter() {
+                for v in t.iter() {
+                    let name = bprime.interner().name(*v).to_owned();
+                    if !domain.contains(&name) {
+                        domain.push(name);
+                    }
+                }
+            }
+        }
+        // copy kept relations
+        for (name, rel) in bprime.relations() {
+            out.ensure_relation(name, rel.arity());
+            for t in rel.iter() {
+                let vals = t
+                    .iter()
+                    .map(|v| {
+                        let n = bprime.interner().name(*v).to_owned();
+                        out.value(&n)
+                    })
+                    .collect();
+                out.add_tuple(name, vals);
+            }
+        }
+        // fill deleted atoms' relations with domain^arity
+        for (i, atom) in q_full.atoms().iter().enumerate() {
+            if kept.contains(&i) {
+                continue;
+            }
+            let arity = atom.terms.len();
+            out.ensure_relation(&atom.rel, arity);
+            let mut full = Relation::new(arity);
+            let mut choice = vec![0usize; arity];
+            if domain.is_empty() {
+                continue;
+            }
+            loop {
+                let tuple: Vec<Value> =
+                    choice.iter().map(|&c| out.value(&domain[c])).collect();
+                full.insert(tuple);
+                let mut p = 0;
+                loop {
+                    if p == arity {
+                        break;
+                    }
+                    choice[p] += 1;
+                    if choice[p] < domain.len() {
+                        break;
+                    }
+                    choice[p] = 0;
+                    p += 1;
+                }
+                if p == arity {
+                    break;
+                }
+            }
+            out.set_relation(&atom.rel, full);
+        }
+        out
+    };
+    ParsimoniousReduction::new(sub, q_ret, transform)
+}
+
+/// The frontier query of `Q`: a quantifier-free simple query with one atom
+/// `fh_i(ē)` per hyperedge of `FH(Q, free(Q))` (Lemma 5.25's `Q'`).
+pub fn frontier_query(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let fh = frontier_hypergraph(&q.hypergraph(), &q.free_nodes());
+    let mut out = ConjunctiveQuery::new();
+    let mut free = Vec::new();
+    for v in q.free() {
+        let nv = out.var(q.var_name(v));
+        free.push(nv);
+    }
+    for (i, e) in fh.edges().iter().enumerate() {
+        let terms: Vec<Term> = e
+            .iter()
+            .map(|n| Term::Var(out.var(q.var_name(Var(n)))))
+            .collect();
+        out.add_atom(&format!("fh{i}"), terms);
+    }
+    out.set_free(free);
+    out
+}
+
+/// Lemma 5.25's construction: reduces counting for the frontier query of a
+/// simple, constant-free `Q` to counting for `Q` itself. Every
+/// `[free]`-component's variables get the encoded frontier-assignments as
+/// their domain; atoms touching a component pin the free variables to the
+/// encoded values; atoms over free variables only read the corresponding
+/// frontier relation directly.
+pub fn lemma_5_25_frontier(q: &ConjunctiveQuery) -> ParsimoniousReduction {
+    assert!(q.is_simple(), "Lemma 5.25 requires a simple query");
+    let fq = frontier_query(q);
+    let q_owned = q.clone();
+
+    // Map each frontier-hypergraph edge to its fh relation name, and each
+    // component to its frontier edge.
+    let h = q.hypergraph();
+    let free_nodes = q.free_nodes();
+    let fh = frontier_hypergraph(&h, &free_nodes);
+    let fh_names: Vec<(NodeSet, String)> = fh
+        .edges()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.clone(), format!("fh{i}")))
+        .collect();
+    let components = w_components(&h, &free_nodes);
+
+    let transform = move |bprime: &Database| -> Database {
+        let mut out = Database::new();
+        let q = &q_owned;
+        // For each component: frontier edge, its fh relation rows, encoded
+        // constants.
+        struct CompInfo {
+            vars: NodeSet,
+            frontier: Vec<u32>, // sorted frontier nodes
+            rows: Vec<Vec<String>>,
+        }
+        let infos: Vec<CompInfo> = components
+            .iter()
+            .enumerate()
+            .map(|(ci, c)| {
+                let frontier_set = c.edge_nodes(&q.hypergraph()).intersection(&free_nodes);
+                let frontier = frontier_set.to_vec();
+                let rows: Vec<Vec<String>> = if frontier.is_empty() {
+                    vec![vec![]]
+                } else {
+                    let name = &fh_names
+                        .iter()
+                        .find(|(e, _)| *e == frontier_set)
+                        .expect("frontier edge present")
+                        .1;
+                    bprime
+                        .relation(name)
+                        .map(|rel| {
+                            rel.iter()
+                                .map(|t| {
+                                    // fh atom terms are in NodeSet iteration
+                                    // order (sorted), matching `frontier`.
+                                    t.iter()
+                                        .map(|v| bprime.interner().name(*v).to_owned())
+                                        .collect()
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default()
+                };
+                let _ = ci;
+                CompInfo {
+                    vars: c.nodes.clone(),
+                    frontier,
+                    rows,
+                }
+            })
+            .collect();
+
+        for atom in q.atoms() {
+            let vars = atom.vars();
+            out.ensure_relation(&atom.rel, atom.terms.len());
+            let existential: Vec<Var> = vars
+                .iter()
+                .copied()
+                .filter(|v| !free_nodes.contains(v.node()))
+                .collect();
+            if existential.is_empty() {
+                // Atom over free vars only: its edge is in FH; copy rows.
+                let edge: NodeSet = vars.iter().map(|v| v.node()).collect();
+                let name = &fh_names
+                    .iter()
+                    .find(|(e, _)| *e == edge)
+                    .expect("free atom edge in FH")
+                    .1;
+                if let Some(rel) = bprime.relation(name) {
+                    // fh atom columns are sorted by node id; map positions.
+                    let sorted: Vec<Var> = edge.iter().map(Var).collect();
+                    for t in rel.iter() {
+                        let value_of = |v: &Var| -> String {
+                            let pos = sorted.iter().position(|x| x == v).unwrap();
+                            bprime.interner().name(t[pos]).to_owned()
+                        };
+                        let tuple: Vec<Value> = atom
+                            .terms
+                            .iter()
+                            .map(|term| match term {
+                                Term::Var(v) => {
+                                    let s = value_of(v);
+                                    out.value(&s)
+                                }
+                                Term::Const(_) => unreachable!("constant-free"),
+                            })
+                            .collect();
+                        out.add_tuple(&atom.rel, tuple);
+                    }
+                }
+                continue;
+            }
+            // Atom touches exactly one component.
+            let ci = infos
+                .iter()
+                .position(|info| info.vars.contains(existential[0].node()))
+                .expect("existential var in a component");
+            let info = &infos[ci];
+            for (ri, row) in info.rows.iter().enumerate() {
+                let enc = format!("comp{ci}@t{ri}");
+                let tuple: Vec<Value> = atom
+                    .terms
+                    .iter()
+                    .map(|term| match term {
+                        Term::Var(v) => {
+                            if info.vars.contains(v.node()) {
+                                out.value(&enc)
+                            } else {
+                                // free var: pinned to the encoded value
+                                let pos = info
+                                    .frontier
+                                    .iter()
+                                    .position(|&f| f == v.node())
+                                    .expect("free var of the atom is in the frontier");
+                                let s = row[pos].clone();
+                                out.value(&s)
+                            }
+                        }
+                        Term::Const(_) => unreachable!("constant-free"),
+                    })
+                    .collect();
+                out.add_tuple(&atom.rel, tuple);
+            }
+        }
+        out
+    };
+    ParsimoniousReduction::new(fq, q.clone(), transform)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqcount_core::count_brute_force;
+    use cqcount_query::parse_program;
+    use cqcount_workloads::random::{random_database, RandomDbConfig};
+
+    fn verify(red: &ParsimoniousReduction, bprime: &Database) {
+        let b = red.transform(bprime);
+        assert_eq!(
+            count_brute_force(&red.source, bprime),
+            count_brute_force(&red.target, &b),
+            "parsimonious equality violated"
+        );
+    }
+
+    fn q(src: &str) -> ConjunctiveQuery {
+        parse_program(src).unwrap().0.unwrap()
+    }
+
+    #[test]
+    fn graph_query_shape() {
+        let query = q("ans(X) :- r(X, Y, Z), s(Z, W).");
+        let g = graph_query(&query);
+        // primal edges: XY XZ YZ ZW = 4 atoms, all binary, free {X}
+        assert_eq!(g.atoms().len(), 4);
+        assert!(g.atoms().iter().all(|a| a.terms.len() == 2));
+        assert_eq!(g.free().len(), 1);
+    }
+
+    #[test]
+    fn obs_5_19_counts_match() {
+        let query = q("ans(X) :- r(X, Y, Z), s(Z, W).");
+        let red = obs_5_19_graph(&query);
+        for seed in 0..4 {
+            let bprime = random_database(
+                &red.source,
+                &RandomDbConfig { domain: 3, tuples_per_rel: 4 },
+                seed,
+            );
+            verify(&red, &bprime);
+        }
+    }
+
+    #[test]
+    fn obs_5_20_counts_match() {
+        let query = q("ans(X) :- r(X, Y), s(Y, Z), t(Z, X).");
+        // delete atom t: kept = {0, 1}
+        let red = obs_5_20_deletion(&query, &[0, 1]);
+        assert_eq!(red.source.atoms().len(), 2);
+        for seed in 0..4 {
+            let bprime = random_database(
+                &red.source,
+                &RandomDbConfig { domain: 3, tuples_per_rel: 5 },
+                seed,
+            );
+            verify(&red, &bprime);
+        }
+    }
+
+    #[test]
+    fn frontier_query_shape() {
+        // ans(X1,X2) :- r(Y,X1), s(Y,X2): frontier of {Y} is {X1,X2}.
+        let query = q("ans(X1, X2) :- r(Y, X1), s(Y, X2).");
+        let fq = frontier_query(&query);
+        assert_eq!(fq.atoms().len(), 1);
+        assert_eq!(fq.atoms()[0].terms.len(), 2);
+        assert!(fq.existential().is_empty());
+    }
+
+    #[test]
+    fn lemma_5_25_star() {
+        let query = q("ans(X1, X2) :- r(Y, X1), s(Y, X2).");
+        let red = lemma_5_25_frontier(&query);
+        for seed in 0..5 {
+            let bprime = random_database(
+                &red.source,
+                &RandomDbConfig { domain: 4, tuples_per_rel: 6 },
+                seed,
+            );
+            verify(&red, &bprime);
+        }
+    }
+
+    #[test]
+    fn lemma_5_25_multiple_components_and_free_atoms() {
+        // Two components ({Y}, {Z}) plus an atom over free vars only.
+        let query = q("ans(X1, X2) :- r(Y, X1), s(Z, X2), e(X1, X2).");
+        let red = lemma_5_25_frontier(&query);
+        // The frontier query has atoms for {X1}, {X2} and {X1,X2}.
+        assert_eq!(red.source.atoms().len(), 3);
+        for seed in 0..5 {
+            let bprime = random_database(
+                &red.source,
+                &RandomDbConfig { domain: 3, tuples_per_rel: 5 },
+                seed,
+            );
+            verify(&red, &bprime);
+        }
+    }
+
+    #[test]
+    fn lemma_5_25_bigger_frontier() {
+        // Component {Y1,Y2} with frontier {X1,X2,X3}.
+        let query = q("ans(X1, X2, X3) :- r(Y1, X1), u(Y1, Y2), s(Y2, X2), t(Y2, X3).");
+        let red = lemma_5_25_frontier(&query);
+        for seed in 0..4 {
+            let bprime = random_database(
+                &red.source,
+                &RandomDbConfig { domain: 3, tuples_per_rel: 8 },
+                seed,
+            );
+            verify(&red, &bprime);
+        }
+    }
+
+    #[test]
+    fn composition() {
+        // graph(Q) → Q composed with deletion: count for a sub-query of
+        // graph(Q) via Q.
+        let query = q("ans(X) :- r(X, Y, Z).");
+        let g_red = obs_5_19_graph(&query); // graph(Q) → Q
+        let gq = g_red.source.clone();
+        let del = obs_5_20_deletion(&gq, &[0, 1]); // sub(graph(Q)) → graph(Q)
+        let chain = del.then(&g_red);
+        for seed in 0..3 {
+            let bprime = random_database(
+                &chain.source,
+                &RandomDbConfig { domain: 3, tuples_per_rel: 4 },
+                seed,
+            );
+            verify(&chain, &bprime);
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! Sets of substitutions and the relational algebra of Section 2.
+//!
+//! A [`Bindings`] value is a set of substitutions `θ : cols → Values` over a
+//! fixed, sorted column list — the paper's sets `S` of substitutions with
+//! domain `W`. The operations are exactly those the paper uses: natural join
+//! `S₁ ⋈ S₂`, semijoin `S₁ ⋉ S₂ = π_{W₁}(S₁ ⋈ S₂)`, projection `π_W`, and
+//! selection `σ_θ`.
+//!
+//! The representation is canonical (columns ascending, rows sorted and
+//! deduplicated), so `Bindings` values can be compared, hashed and used as
+//! the `#`-relation elements of the Pichler–Skritek algorithm (Figure 13).
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::{Col, Relation, Tuple, Value};
+
+/// A term in an atom evaluation: a column (variable) or a constant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColTerm {
+    /// A variable, identified by its column id.
+    Var(Col),
+    /// A constant value.
+    Const(Value),
+}
+
+/// A set of substitutions over a sorted column list.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Bindings {
+    cols: Vec<Col>,
+    /// Sorted, deduplicated rows; `rows[i][j]` is the value of `cols[j]`.
+    rows: Vec<Tuple>,
+}
+
+impl Bindings {
+    /// The unit: zero columns, one (empty) substitution. Identity for ⋈.
+    pub fn unit() -> Bindings {
+        Bindings {
+            cols: vec![],
+            rows: vec![Box::new([])],
+        }
+    }
+
+    /// No substitutions at all over the given columns.
+    pub fn empty(mut cols: Vec<Col>) -> Bindings {
+        cols.sort_unstable();
+        cols.dedup();
+        Bindings { cols, rows: vec![] }
+    }
+
+    /// Builds a bindings set from a column list and rows (one value per
+    /// column, in the order given). Columns are sorted, rows permuted
+    /// accordingly, then sorted and deduplicated.
+    ///
+    /// Panics on duplicate columns or row arity mismatch.
+    pub fn from_rows(cols: Vec<Col>, rows: Vec<Vec<Value>>) -> Bindings {
+        let mut order: Vec<usize> = (0..cols.len()).collect();
+        order.sort_unstable_by_key(|&i| cols[i]);
+        let sorted_cols: Vec<Col> = order.iter().map(|&i| cols[i]).collect();
+        assert!(
+            sorted_cols.windows(2).all(|w| w[0] < w[1]),
+            "duplicate columns in Bindings::from_rows"
+        );
+        let mut out: Vec<Tuple> = rows
+            .into_iter()
+            .map(|r| {
+                assert_eq!(r.len(), order.len(), "row arity mismatch");
+                order.iter().map(|&i| r[i]).collect()
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        Bindings {
+            cols: sorted_cols,
+            rows: out,
+        }
+    }
+
+    /// Evaluates an atom `r(t₁, ..., tρ)` against a stored relation:
+    /// constants are matched, repeated variables force equality, and the
+    /// result is the set of substitutions over the atom's distinct columns.
+    ///
+    /// Panics if `terms.len() != relation.arity()`.
+    pub fn from_atom(relation: &Relation, terms: &[ColTerm]) -> Bindings {
+        assert_eq!(terms.len(), relation.arity(), "atom arity mismatch");
+        // First occurrence position of each distinct column.
+        let mut cols: Vec<Col> = Vec::new();
+        let mut first_pos: Vec<usize> = Vec::new();
+        for (i, t) in terms.iter().enumerate() {
+            if let ColTerm::Var(c) = t {
+                if !cols.contains(c) {
+                    cols.push(*c);
+                    first_pos.push(i);
+                }
+            }
+        }
+        let mut rows = Vec::new();
+        'tuple: for tup in relation.iter() {
+            for (i, t) in terms.iter().enumerate() {
+                match t {
+                    ColTerm::Const(v) => {
+                        if tup[i] != *v {
+                            continue 'tuple;
+                        }
+                    }
+                    ColTerm::Var(c) => {
+                        // Repeated variable: must match its first occurrence.
+                        let fp = first_pos[cols.iter().position(|x| x == c).unwrap()];
+                        if tup[i] != tup[fp] {
+                            continue 'tuple;
+                        }
+                    }
+                }
+            }
+            rows.push(first_pos.iter().map(|&p| tup[p]).collect());
+        }
+        Bindings::from_rows(cols, rows)
+    }
+
+    /// The (sorted) column list.
+    pub fn cols(&self) -> &[Col] {
+        &self.cols
+    }
+
+    /// The canonical (sorted) rows.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Number of substitutions.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` iff there are no substitutions.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Returns `true` iff the given row (in column order) is present.
+    pub fn contains(&self, row: &[Value]) -> bool {
+        self.rows.binary_search_by(|t| t.as_ref().cmp(row)).is_ok()
+    }
+
+    /// Positions in `self.cols` of the columns shared with `other`.
+    fn shared_positions(&self, other: &Bindings) -> (Vec<usize>, Vec<usize>) {
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.cols.len() && j < other.cols.len() {
+            match self.cols[i].cmp(&other.cols[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    left.push(i);
+                    right.push(j);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        (left, right)
+    }
+
+    fn key_of(row: &Tuple, positions: &[usize]) -> Vec<Value> {
+        positions.iter().map(|&p| row[p]).collect()
+    }
+
+    /// Natural join `self ⋈ other`.
+    pub fn join(&self, other: &Bindings) -> Bindings {
+        let (lpos, rpos) = self.shared_positions(other);
+        // Index the smaller side.
+        if other.rows.len() < self.rows.len() {
+            return other.join(self);
+        }
+        let mut index: FxHashMap<Vec<Value>, Vec<&Tuple>> = FxHashMap::default();
+        for row in &other.rows {
+            index
+                .entry(Self::key_of(row, &rpos))
+                .or_default()
+                .push(row);
+        }
+        // Output columns: union, with a merge plan.
+        let mut out_cols: Vec<Col> = self.cols.clone();
+        let extra_positions: Vec<usize> = (0..other.cols.len())
+            .filter(|p| !rpos.contains(p))
+            .collect();
+        out_cols.extend(extra_positions.iter().map(|&p| other.cols[p]));
+        let col_order: Vec<usize> = {
+            let mut order: Vec<usize> = (0..out_cols.len()).collect();
+            order.sort_unstable_by_key(|&i| out_cols[i]);
+            order
+        };
+        let mut rows = Vec::new();
+        for lrow in &self.rows {
+            if let Some(matches) = index.get(&Self::key_of(lrow, &lpos)) {
+                for rrow in matches {
+                    let combined: Vec<Value> = lrow
+                        .iter()
+                        .copied()
+                        .chain(extra_positions.iter().map(|&p| rrow[p]))
+                        .collect();
+                    let tuple: Tuple = col_order.iter().map(|&i| combined[i]).collect();
+                    rows.push(tuple);
+                }
+            }
+        }
+        rows.sort_unstable();
+        rows.dedup();
+        let sorted_cols: Vec<Col> = col_order.iter().map(|&i| out_cols[i]).collect();
+        Bindings {
+            cols: sorted_cols,
+            rows,
+        }
+    }
+
+    /// Semijoin `self ⋉ other = π_{cols(self)}(self ⋈ other)`.
+    pub fn semijoin(&self, other: &Bindings) -> Bindings {
+        let (lpos, rpos) = self.shared_positions(other);
+        if lpos.is_empty() {
+            // No shared columns: keep everything iff `other` is nonempty.
+            return if other.is_empty() {
+                Bindings {
+                    cols: self.cols.clone(),
+                    rows: vec![],
+                }
+            } else {
+                self.clone()
+            };
+        }
+        let keys: FxHashSet<Vec<Value>> = other
+            .rows
+            .iter()
+            .map(|r| Self::key_of(r, &rpos))
+            .collect();
+        let rows = self
+            .rows
+            .iter()
+            .filter(|r| keys.contains(&Self::key_of(r, &lpos)))
+            .cloned()
+            .collect();
+        Bindings {
+            cols: self.cols.clone(),
+            rows,
+        }
+    }
+
+    /// Projection `π_keep(self)` (columns not present are ignored).
+    pub fn project(&self, keep: &[Col]) -> Bindings {
+        let positions: Vec<usize> = (0..self.cols.len())
+            .filter(|&i| keep.contains(&self.cols[i]))
+            .collect();
+        let mut rows: Vec<Tuple> = self
+            .rows
+            .iter()
+            .map(|r| positions.iter().map(|&p| r[p]).collect())
+            .collect();
+        rows.sort_unstable();
+        rows.dedup();
+        Bindings {
+            cols: positions.iter().map(|&p| self.cols[p]).collect(),
+            rows,
+        }
+    }
+
+    /// Selection `σ_{col = value}`.
+    pub fn select_eq(&self, col: Col, value: Value) -> Bindings {
+        let Some(pos) = self.cols.iter().position(|&c| c == col) else {
+            return self.clone();
+        };
+        Bindings {
+            cols: self.cols.clone(),
+            rows: self
+                .rows
+                .iter()
+                .filter(|r| r[pos] == value)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Selection by a full sub-tuple over a set of columns: keeps the rows
+    /// whose projection onto `sel.cols` equals `sel`'s single row. This is
+    /// the paper's `σ_θ(S)`.
+    pub fn select_theta(&self, theta_cols: &[Col], theta: &[Value]) -> Bindings {
+        let positions: Vec<usize> = theta_cols
+            .iter()
+            .map(|c| {
+                self.cols
+                    .iter()
+                    .position(|x| x == c)
+                    .expect("theta column not present")
+            })
+            .collect();
+        Bindings {
+            cols: self.cols.clone(),
+            rows: self
+                .rows
+                .iter()
+                .filter(|r| positions.iter().zip(theta).all(|(&p, v)| r[p] == *v))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Groups the rows by their projection onto `group_cols ∩ cols`,
+    /// returning `(key, σ_key(self))` pairs — the initialization step
+    /// `R_p⁰ = { σ_θ(r_p) | θ ∈ π_F(r_p) }` of Figure 13.
+    pub fn partition_by(&self, group_cols: &[Col]) -> Vec<(Tuple, Bindings)> {
+        let positions: Vec<usize> = (0..self.cols.len())
+            .filter(|&i| group_cols.contains(&self.cols[i]))
+            .collect();
+        let mut groups: FxHashMap<Tuple, Vec<Tuple>> = FxHashMap::default();
+        let mut key_order: Vec<Tuple> = Vec::new();
+        for row in &self.rows {
+            let key: Tuple = positions.iter().map(|&p| row[p]).collect();
+            match groups.entry(key.clone()) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().push(row.clone());
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(vec![row.clone()]);
+                    key_order.push(key);
+                }
+            }
+        }
+        key_order.sort_unstable();
+        key_order
+            .into_iter()
+            .map(|k| {
+                let rows = groups.remove(&k).unwrap();
+                (
+                    k,
+                    Bindings {
+                        cols: self.cols.clone(),
+                        rows, // already sorted: subsequence of sorted rows
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(id: u32) -> Value {
+        Value(id)
+    }
+
+    fn b(cols: &[Col], rows: &[&[u32]]) -> Bindings {
+        Bindings::from_rows(
+            cols.to_vec(),
+            rows.iter().map(|r| r.iter().map(|&x| v(x)).collect()).collect(),
+        )
+    }
+
+    #[test]
+    fn canonicalization() {
+        // Columns get sorted and rows permuted to match.
+        let x = Bindings::from_rows(vec![2, 1], vec![vec![v(20), v(10)]]);
+        assert_eq!(x.cols(), &[1, 2]);
+        assert_eq!(x.rows()[0].as_ref(), &[v(10), v(20)]);
+        // Duplicate rows collapse.
+        let y = b(&[1], &[&[5], &[5], &[6]]);
+        assert_eq!(y.len(), 2);
+    }
+
+    #[test]
+    fn unit_and_empty() {
+        let u = Bindings::unit();
+        assert_eq!(u.len(), 1);
+        let r = b(&[1, 2], &[&[1, 2], &[3, 4]]);
+        assert_eq!(u.join(&r), r);
+        let e = Bindings::empty(vec![1]);
+        assert!(e.is_empty());
+        assert!(e.join(&r).is_empty());
+    }
+
+    #[test]
+    fn join_on_shared_column() {
+        let l = b(&[1, 2], &[&[1, 10], &[2, 20]]);
+        let r = b(&[2, 3], &[&[10, 100], &[10, 101], &[30, 300]]);
+        let j = l.join(&r);
+        assert_eq!(j.cols(), &[1, 2, 3]);
+        assert_eq!(j.len(), 2);
+        assert!(j.contains(&[v(1), v(10), v(100)]));
+        assert!(j.contains(&[v(1), v(10), v(101)]));
+    }
+
+    #[test]
+    fn join_is_commutative() {
+        let l = b(&[1, 2], &[&[1, 10], &[2, 20], &[3, 10]]);
+        let r = b(&[2, 3], &[&[10, 100], &[20, 200]]);
+        assert_eq!(l.join(&r), r.join(&l));
+    }
+
+    #[test]
+    fn cartesian_product_when_disjoint() {
+        let l = b(&[1], &[&[1], &[2]]);
+        let r = b(&[2], &[&[10], &[20], &[30]]);
+        assert_eq!(l.join(&r).len(), 6);
+    }
+
+    #[test]
+    fn semijoin() {
+        let l = b(&[1, 2], &[&[1, 10], &[2, 20], &[3, 30]]);
+        let r = b(&[2], &[&[10], &[30]]);
+        let s = l.semijoin(&r);
+        assert_eq!(s.cols(), &[1, 2]);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&[v(1), v(10)]) && s.contains(&[v(3), v(30)]));
+        // ⋉ equals π(⋈)
+        assert_eq!(s, l.join(&r).project(&[1, 2]));
+    }
+
+    #[test]
+    fn semijoin_no_shared_cols() {
+        let l = b(&[1], &[&[1]]);
+        assert_eq!(l.semijoin(&b(&[2], &[&[9]])), l);
+        assert!(l.semijoin(&Bindings::empty(vec![2])).is_empty());
+    }
+
+    #[test]
+    fn project() {
+        let x = b(&[1, 2, 3], &[&[1, 10, 100], &[1, 10, 101], &[2, 20, 200]]);
+        let p = x.project(&[1, 2]);
+        assert_eq!(p.cols(), &[1, 2]);
+        assert_eq!(p.len(), 2);
+        // projecting to nothing yields unit iff nonempty
+        let all = x.project(&[]);
+        assert_eq!(all, Bindings::unit());
+        assert_eq!(Bindings::empty(vec![1]).project(&[]).len(), 0);
+    }
+
+    #[test]
+    fn select() {
+        let x = b(&[1, 2], &[&[1, 10], &[2, 20]]);
+        assert_eq!(x.select_eq(1, v(1)).len(), 1);
+        assert_eq!(x.select_eq(9, v(1)), x); // absent column: no-op
+        let t = x.select_theta(&[1, 2], &[v(2), v(20)]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn from_atom_with_constants_and_repeats() {
+        let r = Relation::from_rows(vec![
+            vec![v(1), v(1), v(5)],
+            vec![v(1), v(2), v(5)],
+            vec![v(2), v(2), v(7)],
+        ]);
+        // r(X, X, 5): repeated variable + constant
+        let out = Bindings::from_atom(&r, &[ColTerm::Var(0), ColTerm::Var(0), ColTerm::Const(v(5))]);
+        assert_eq!(out.cols(), &[0]);
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&[v(1)]));
+    }
+
+    #[test]
+    fn partition_by_groups() {
+        let x = b(&[1, 2], &[&[1, 10], &[1, 11], &[2, 20]]);
+        let parts = x.partition_by(&[1]);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].0.as_ref(), &[v(1)]);
+        assert_eq!(parts[0].1.len(), 2);
+        assert_eq!(parts[1].1.len(), 1);
+        // partitioning by no columns returns one group with everything
+        let whole = x.partition_by(&[]);
+        assert_eq!(whole.len(), 1);
+        assert_eq!(whole[0].1, x);
+    }
+}

@@ -1,0 +1,134 @@
+//! Databases: named relations over a shared constant interner.
+
+use crate::fxhash::FxHashMap;
+use crate::{Interner, Relation, Value};
+
+/// A database instance `D` (Section 2): a finite relational structure whose
+/// universe is the set of interned constants.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    values: Interner,
+    relations: FxHashMap<String, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// The constant interner.
+    pub fn interner(&self) -> &Interner {
+        &self.values
+    }
+
+    /// Mutable access to the constant interner.
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.values
+    }
+
+    /// Interns a constant name.
+    pub fn value(&mut self, name: &str) -> Value {
+        self.values.intern(name)
+    }
+
+    /// Interns the decimal form of `n`.
+    pub fn value_u64(&mut self, n: u64) -> Value {
+        self.values.intern_u64(n)
+    }
+
+    /// Adds a ground atom `rel(values...)`, creating the relation on first
+    /// use. Panics if the arity conflicts with earlier tuples.
+    pub fn add_tuple(&mut self, rel: &str, values: Vec<Value>) {
+        let arity = values.len();
+        self.relations
+            .entry(rel.to_owned())
+            .or_insert_with(|| Relation::new(arity))
+            .insert(values);
+    }
+
+    /// Convenience: adds a ground atom with named constants.
+    pub fn add_fact(&mut self, rel: &str, names: &[&str]) {
+        let vals = names.iter().map(|n| self.values.intern(n)).collect();
+        self.add_tuple(rel, vals);
+    }
+
+    /// Registers an empty relation of the given arity (so that queries over
+    /// it are well-defined and evaluate to the empty set).
+    pub fn ensure_relation(&mut self, rel: &str, arity: usize) {
+        self.relations
+            .entry(rel.to_owned())
+            .or_insert_with(|| Relation::new(arity));
+    }
+
+    /// Replaces (or installs) an entire relation.
+    pub fn set_relation(&mut self, rel: &str, relation: Relation) {
+        self.relations.insert(rel.to_owned(), relation);
+    }
+
+    /// Looks up a relation.
+    pub fn relation(&self, rel: &str) -> Option<&Relation> {
+        self.relations.get(rel)
+    }
+
+    /// Iterates over `(name, relation)` pairs (unordered).
+    pub fn relations(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        self.relations.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The largest relation cardinality `m` (Theorem 6.2's parameter).
+    pub fn max_relation_size(&self) -> usize {
+        self.relations.values().map(Relation::len).max().unwrap_or(0)
+    }
+
+    /// Total number of tuples across all relations (a proxy for ‖D‖).
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facts_and_lookup() {
+        let mut db = Database::new();
+        db.add_fact("edge", &["a", "b"]);
+        db.add_fact("edge", &["b", "c"]);
+        db.add_fact("edge", &["a", "b"]); // duplicate
+        let r = db.relation("edge").unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(db.relation("missing").is_none());
+        let a = db.interner().get("a").unwrap();
+        let b = db.interner().get("b").unwrap();
+        assert!(r.contains(&[a, b]));
+    }
+
+    #[test]
+    fn ensure_relation_creates_empty() {
+        let mut db = Database::new();
+        db.ensure_relation("r", 3);
+        assert_eq!(db.relation("r").unwrap().arity(), 3);
+        assert!(db.relation("r").unwrap().is_empty());
+    }
+
+    #[test]
+    fn sizes() {
+        let mut db = Database::new();
+        db.add_fact("r", &["1", "2"]);
+        db.add_fact("r", &["3", "4"]);
+        db.add_fact("s", &["1"]);
+        assert_eq!(db.max_relation_size(), 2);
+        assert_eq!(db.total_tuples(), 3);
+    }
+
+    #[test]
+    fn set_relation_replaces() {
+        let mut db = Database::new();
+        db.add_fact("r", &["x"]);
+        db.set_relation("r", Relation::new(2));
+        assert_eq!(db.relation("r").unwrap().arity(), 2);
+        assert!(db.relation("r").unwrap().is_empty());
+    }
+}

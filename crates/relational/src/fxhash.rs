@@ -1,0 +1,97 @@
+//! A small, fast, non-cryptographic hasher (the classic "FxHash" mix used by
+//! rustc). Joins, semijoins and consistency fixpoints hash millions of short
+//! tuples; the default SipHash is measurably slower there and HashDoS
+//! resistance is irrelevant for an analytical engine. Hand-rolled (~30
+//! lines) to keep the workspace dependency-free.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash mixing hasher: multiply-rotate per word.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write(b"hello world");
+        b.write(b"hello world");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinguishes_inputs() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(1);
+        b.write_u64(2);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_works() {
+        let mut m: FxHashMap<Vec<u32>, usize> = FxHashMap::default();
+        m.insert(vec![1, 2, 3], 1);
+        m.insert(vec![1, 2, 4], 2);
+        assert_eq!(m.get(&vec![1, 2, 3]), Some(&1));
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -1,0 +1,119 @@
+//! Key discovery (functional dependencies by position), the data-side
+//! signal behind Example 1.5 / Section 6: "if some (often all) existential
+//! variables are functionally determined by keys ... the technique may
+//! freely use them as if they were free variables".
+
+use crate::fxhash::FxHashMap;
+use crate::{Relation, Tuple};
+
+/// Returns `true` iff the positions `key` functionally determine the whole
+/// tuple in `rel` (no two tuples agree on `key` but differ elsewhere).
+pub fn positions_are_key(rel: &Relation, key: &[usize]) -> bool {
+    let mut seen: FxHashMap<Tuple, &Tuple> = FxHashMap::default();
+    for t in rel.iter() {
+        let k: Tuple = key.iter().map(|&p| t[p]).collect();
+        match seen.get(&k) {
+            Some(prev) if *prev != t => return false,
+            Some(_) => {}
+            None => {
+                seen.insert(k, t);
+            }
+        }
+    }
+    true
+}
+
+/// All *minimal* keys of `rel` (position sets): key sets such that no
+/// proper subset is a key. Exponential in the arity, which is bounded for
+/// database schemas. An empty relation has the empty key; a relation whose
+/// tuples are all equal does too.
+pub fn minimal_keys(rel: &Relation) -> Vec<Vec<usize>> {
+    let arity = rel.arity();
+    let mut keys: Vec<Vec<usize>> = Vec::new();
+    // Breadth-first by subset size guarantees minimality by construction.
+    for size in 0..=arity {
+        let mut candidates: Vec<Vec<usize>> = Vec::new();
+        subsets_of_size(arity, size, &mut candidates);
+        for cand in candidates {
+            if keys.iter().any(|k| k.iter().all(|p| cand.contains(p))) {
+                continue; // a subset is already a key
+            }
+            if positions_are_key(rel, &cand) {
+                keys.push(cand);
+            }
+        }
+    }
+    keys
+}
+
+fn subsets_of_size(n: usize, size: usize, out: &mut Vec<Vec<usize>>) {
+    fn rec(start: usize, n: usize, size: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == size {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..n {
+            cur.push(i);
+            rec(i + 1, n, size, cur, out);
+            cur.pop();
+        }
+    }
+    rec(0, n, size, &mut Vec::new(), out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    fn rel(rows: &[&[u32]]) -> Relation {
+        Relation::from_rows(
+            rows.iter()
+                .map(|r| r.iter().map(|&x| Value(x)).collect())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn single_column_key() {
+        // first column determines the rest
+        let r = rel(&[&[1, 10], &[2, 20], &[3, 10]]);
+        assert!(positions_are_key(&r, &[0]));
+        assert!(!positions_are_key(&r, &[1])); // 10 maps to 1 and 3
+        assert_eq!(minimal_keys(&r), vec![vec![0]]);
+    }
+
+    #[test]
+    fn composite_key() {
+        // third column constant, so only {0,1} determines the tuple
+        let r = rel(&[&[1, 1, 5], &[1, 2, 5], &[2, 1, 5]]);
+        assert!(!positions_are_key(&r, &[0]));
+        assert!(!positions_are_key(&r, &[1]));
+        assert!(!positions_are_key(&r, &[2]));
+        assert!(positions_are_key(&r, &[0, 1]));
+        assert_eq!(minimal_keys(&r), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn several_minimal_keys() {
+        // both columns are keys independently
+        let r = rel(&[&[1, 10], &[2, 20]]);
+        let keys = minimal_keys(&r);
+        assert!(keys.contains(&vec![0]));
+        assert!(keys.contains(&vec![1]));
+        assert_eq!(keys.len(), 2);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        // empty relation: the empty set is a key
+        let empty = Relation::new(2);
+        assert_eq!(minimal_keys(&empty), vec![Vec::<usize>::new()]);
+        // single tuple: empty key again
+        let single = rel(&[&[5, 6]]);
+        assert_eq!(minimal_keys(&single), vec![Vec::<usize>::new()]);
+        // whole tuple needed
+        let r = rel(&[&[1, 1], &[1, 2], &[2, 1]]);
+        assert_eq!(minimal_keys(&r), vec![vec![0, 1]]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Positional relations: sets of tuples of a fixed arity.
+
+use crate::fxhash::FxHashSet;
+use crate::{Tuple, Value};
+
+/// A relation instance `r^D ⊆ D^ρ` (Section 2): a *set* of tuples of a fixed
+/// arity. Insertion deduplicates; iteration order is insertion order of the
+/// first occurrence, which keeps generated workloads deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct Relation {
+    arity: usize,
+    tuples: Vec<Tuple>,
+    index: FxHashSet<Tuple>,
+}
+
+impl Relation {
+    /// An empty relation of the given arity.
+    pub fn new(arity: usize) -> Relation {
+        Relation {
+            arity,
+            tuples: Vec::new(),
+            index: FxHashSet::default(),
+        }
+    }
+
+    /// Builds a relation from rows (arity taken from the first row).
+    ///
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows<I>(rows: I) -> Relation
+    where
+        I: IntoIterator<Item = Vec<Value>>,
+    {
+        let mut it = rows.into_iter().peekable();
+        let arity = it.peek().map_or(0, Vec::len);
+        let mut r = Relation::new(arity);
+        for row in it {
+            r.insert(row);
+        }
+        r
+    }
+
+    /// The arity `ρ`.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Inserts a tuple; returns `true` if it was new. Panics on arity
+    /// mismatch.
+    pub fn insert(&mut self, tuple: Vec<Value>) -> bool {
+        assert_eq!(tuple.len(), self.arity, "arity mismatch");
+        let t: Tuple = tuple.into_boxed_slice();
+        if self.index.insert(t.clone()) {
+            self.tuples.push(t);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &[Value]) -> bool {
+        self.index.contains(tuple)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Returns `true` iff the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterates over the tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// The set of values occurring anywhere in the relation (its active
+    /// domain contribution).
+    pub fn active_domain(&self) -> FxHashSet<Value> {
+        self.tuples.iter().flat_map(|t| t.iter().copied()).collect()
+    }
+
+    /// Intersection with another relation of the same arity.
+    pub fn intersect(&self, other: &Relation) -> Relation {
+        assert_eq!(self.arity, other.arity, "arity mismatch");
+        let mut out = Relation::new(self.arity);
+        for t in &self.tuples {
+            if other.contains(t) {
+                out.insert(t.to_vec());
+            }
+        }
+        out
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity && self.index == other.index
+    }
+}
+impl Eq for Relation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(id: u32) -> Value {
+        Value(id)
+    }
+
+    #[test]
+    fn insert_dedup() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(vec![v(1), v(2)]));
+        assert!(!r.insert(vec![v(1), v(2)]));
+        assert!(r.insert(vec![v(2), v(1)]));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[v(1), v(2)]));
+        assert!(!r.contains(&[v(3), v(3)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let mut r = Relation::new(2);
+        r.insert(vec![v(1)]);
+    }
+
+    #[test]
+    fn from_rows() {
+        let r = Relation::from_rows(vec![vec![v(1), v(2)], vec![v(1), v(2)], vec![v(3), v(4)]]);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn set_equality_ignores_order() {
+        let a = Relation::from_rows(vec![vec![v(1)], vec![v(2)]]);
+        let b = Relation::from_rows(vec![vec![v(2)], vec![v(1)]]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn intersect() {
+        let a = Relation::from_rows(vec![vec![v(1)], vec![v(2)], vec![v(3)]]);
+        let b = Relation::from_rows(vec![vec![v(2)], vec![v(3)], vec![v(4)]]);
+        let i = a.intersect(&b);
+        assert_eq!(i.len(), 2);
+        assert!(i.contains(&[v(2)]) && i.contains(&[v(3)]));
+    }
+
+    #[test]
+    fn active_domain() {
+        let r = Relation::from_rows(vec![vec![v(1), v(2)], vec![v(2), v(3)]]);
+        let dom = r.active_domain();
+        assert_eq!(dom.len(), 3);
+    }
+}

@@ -1,0 +1,111 @@
+//! Interned constants.
+
+use crate::fxhash::FxHashMap;
+use std::fmt;
+
+/// An interned constant of the universe `U` (Section 2). Comparison and
+/// hashing are O(1); the owning [`Interner`] recovers the printable name.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Value(pub u32);
+
+impl Value {
+    /// The raw id.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A string interner mapping constant names to dense [`Value`] ids.
+#[derive(Clone, Default, Debug)]
+pub struct Interner {
+    names: Vec<String>,
+    map: FxHashMap<String, u32>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Interns `name`, returning its (stable) value id.
+    pub fn intern(&mut self, name: &str) -> Value {
+        if let Some(&id) = self.map.get(name) {
+            return Value(id);
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.map.insert(name.to_owned(), id);
+        Value(id)
+    }
+
+    /// Interns the decimal form of `n` (convenient for generated data).
+    pub fn intern_u64(&mut self, n: u64) -> Value {
+        self.intern(&n.to_string())
+    }
+
+    /// Looks up a name without interning.
+    pub fn get(&self, name: &str) -> Option<Value> {
+        self.map.get(name).map(|&id| Value(id))
+    }
+
+    /// The printable name of a value.
+    pub fn name(&self, v: Value) -> &str {
+        &self.names[v.0 as usize]
+    }
+
+    /// Number of interned values.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all interned values.
+    pub fn values(&self) -> impl Iterator<Item = Value> {
+        (0..self.names.len() as u32).map(Value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("alpha"), a);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.name(a), "alpha");
+        assert_eq!(i.get("beta"), Some(b));
+        assert_eq!(i.get("gamma"), None);
+    }
+
+    #[test]
+    fn numeric_interning() {
+        let mut i = Interner::new();
+        let v = i.intern_u64(42);
+        assert_eq!(i.name(v), "42");
+        assert_eq!(i.intern("42"), v);
+    }
+
+    #[test]
+    fn values_iterates_all() {
+        let mut i = Interner::new();
+        i.intern("x");
+        i.intern("y");
+        assert_eq!(i.values().count(), 2);
+    }
+}

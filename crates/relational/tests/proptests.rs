@@ -1,0 +1,149 @@
+//! Property tests for the relational algebra, checked against naive
+//! nested-loop reference implementations.
+
+use cqcount_relational::{Bindings, Value};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+type Row = BTreeMap<u32, u32>; // col -> value, the reference model
+
+fn arb_bindings(cols: Vec<u32>) -> impl Strategy<Value = (Bindings, BTreeSet<Vec<u32>>)> {
+    let n = cols.len();
+    proptest::collection::vec(proptest::collection::vec(0u32..4, n), 0..12).prop_map(move |rows| {
+        let set: BTreeSet<Vec<u32>> = rows.iter().cloned().collect();
+        let b = Bindings::from_rows(
+            cols.clone(),
+            set.iter()
+                .map(|r| r.iter().map(|&x| Value(x)).collect())
+                .collect(),
+        );
+        (b, set)
+    })
+}
+
+fn to_model(cols: &[u32], rows: &BTreeSet<Vec<u32>>) -> BTreeSet<Row> {
+    rows.iter()
+        .map(|r| cols.iter().copied().zip(r.iter().copied()).collect())
+        .collect()
+}
+
+fn model_of(b: &Bindings) -> BTreeSet<Row> {
+    b.rows()
+        .iter()
+        .map(|r| {
+            b.cols()
+                .iter()
+                .copied()
+                .zip(r.iter().map(|v| v.0))
+                .collect()
+        })
+        .collect()
+}
+
+fn compatible(a: &Row, b: &Row) -> bool {
+    a.iter().all(|(k, v)| b.get(k).is_none_or(|w| w == v))
+}
+
+fn merge(a: &Row, b: &Row) -> Row {
+    let mut out = a.clone();
+    for (k, v) in b {
+        out.insert(*k, *v);
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn join_matches_nested_loop(
+        (l, lm) in arb_bindings(vec![0, 1]),
+        (r, rm) in arb_bindings(vec![1, 2]),
+    ) {
+        let got = model_of(&l.join(&r));
+        let lmod = to_model(&[0, 1], &lm);
+        let rmod = to_model(&[1, 2], &rm);
+        let mut expect = BTreeSet::new();
+        for a in &lmod {
+            for b in &rmod {
+                if compatible(a, b) {
+                    expect.insert(merge(a, b));
+                }
+            }
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn join_disjoint_is_product(
+        (l, lm) in arb_bindings(vec![0]),
+        (r, rm) in arb_bindings(vec![5]),
+    ) {
+        prop_assert_eq!(l.join(&r).len(), lm.len() * rm.len());
+    }
+
+    #[test]
+    fn semijoin_is_projected_join(
+        (l, _) in arb_bindings(vec![0, 1]),
+        (r, _) in arb_bindings(vec![1, 2]),
+    ) {
+        prop_assert_eq!(l.semijoin(&r), l.join(&r).project(l.cols()));
+    }
+
+    #[test]
+    fn join_commutative_associative(
+        (a, _) in arb_bindings(vec![0, 1]),
+        (b, _) in arb_bindings(vec![1, 2]),
+        (c, _) in arb_bindings(vec![0, 2]),
+    ) {
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+    }
+
+    #[test]
+    fn project_is_idempotent_and_monotone((a, _) in arb_bindings(vec![0, 1, 2])) {
+        let p = a.project(&[0, 2]);
+        prop_assert_eq!(p.project(&[0, 2]), p.clone());
+        prop_assert!(p.len() <= a.len());
+        let pp = p.project(&[0]);
+        prop_assert_eq!(a.project(&[0]), pp);
+    }
+
+    #[test]
+    fn partition_reassembles((a, _) in arb_bindings(vec![0, 1])) {
+        let parts = a.partition_by(&[0]);
+        let total: usize = parts.iter().map(|(_, p)| p.len()).sum();
+        prop_assert_eq!(total, a.len());
+        // every part selects to itself
+        for (key, part) in &parts {
+            let key_vals: Vec<Value> = key.to_vec();
+            prop_assert_eq!(&part.select_theta(&[0], &key_vals), part);
+        }
+    }
+
+    #[test]
+    fn degree_bounds((a, _) in arb_bindings(vec![0, 1])) {
+        let d = a.degree_wrt(&[0]);
+        prop_assert!(d <= a.len());
+        let groups = a.partition_by(&[0]);
+        let max = groups.iter().map(|(_, g)| g.len()).max().unwrap_or(0);
+        prop_assert_eq!(d, max);
+    }
+
+    #[test]
+    fn pairwise_consistency_sound(
+        (a, _) in arb_bindings(vec![0, 1]),
+        (b, _) in arb_bindings(vec![1, 2]),
+    ) {
+        // After the fixpoint, every surviving tuple of each view joins with
+        // some tuple of the other view (pairwise consistency definition).
+        let mut views = vec![a.clone(), b.clone()];
+        let ok = cqcount_relational::consistency::pairwise_consistency(&mut views);
+        if ok {
+            for t in views[0].rows() {
+                let single = Bindings::from_rows(views[0].cols().to_vec(), vec![t.to_vec()]);
+                prop_assert!(!single.join(&views[1]).is_empty());
+            }
+        }
+        // And it never changes the join result.
+        prop_assert_eq!(a.join(&b), views[0].join(&views[1]));
+    }
+}

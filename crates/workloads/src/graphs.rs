@@ -1,0 +1,151 @@
+//! Graph workloads for the Section 5 reductions: random graphs, clique
+//! queries and direct clique counting (the ground truth for
+//! `#Clique → #CQ`).
+
+use cqcount_arith::Natural;
+use cqcount_query::{ConjunctiveQuery, Term, Var};
+use cqcount_relational::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A simple undirected graph on `0..n`.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// Number of vertices.
+    pub n: usize,
+    /// Undirected edges `u < v`, deduplicated.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl Graph {
+    /// Adjacency test.
+    pub fn adjacent(&self, u: u32, v: u32) -> bool {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.contains(&(a, b))
+    }
+
+    /// The symmetric edge relation as a database (`e(u,v)` and `e(v,u)`).
+    pub fn to_database(&self) -> Database {
+        let mut db = Database::new();
+        db.ensure_relation("e", 2);
+        for &(u, v) in &self.edges {
+            let a = db.value(&format!("n{u}"));
+            let b = db.value(&format!("n{v}"));
+            db.add_tuple("e", vec![a, b]);
+            db.add_tuple("e", vec![b, a]);
+        }
+        db
+    }
+}
+
+/// An Erdős–Rényi graph `G(n, p)`, seeded.
+pub fn random_graph(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..n as u32 {
+        for v in u + 1..n as u32 {
+            if rng.gen_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph { n, edges }
+}
+
+/// The clique query: `ans(X₁..Xₖ) :- ⋀_{i<j} e(Xᵢ, Xⱼ)`. On a loop-free
+/// symmetric edge relation its answers are exactly the ordered `k`-cliques,
+/// so `count = (#cliques) · k!`. This is the query family of the Section 5
+/// hardness reductions (unbounded treewidth as `k` grows).
+pub fn clique_query(k: usize) -> ConjunctiveQuery {
+    assert!(k >= 2);
+    let mut q = ConjunctiveQuery::new();
+    let xs: Vec<Var> = (1..=k).map(|i| q.var(&format!("X{i}"))).collect();
+    for i in 0..k {
+        for j in i + 1..k {
+            q.add_atom("e", vec![Term::Var(xs[i]), Term::Var(xs[j])]);
+        }
+    }
+    q.set_free(xs);
+    q
+}
+
+/// Counts `k`-cliques directly by ordered backtracking over ascending
+/// vertex tuples — the independent ground truth.
+pub fn count_cliques_direct(g: &Graph, k: usize) -> Natural {
+    fn extend(g: &Graph, clique: &mut Vec<u32>, k: usize, count: &mut u64) {
+        if clique.len() == k {
+            *count += 1;
+            return;
+        }
+        let start = clique.last().map_or(0, |&l| l + 1);
+        for v in start..g.n as u32 {
+            if clique.iter().all(|&u| g.adjacent(u, v)) {
+                clique.push(v);
+                extend(g, clique, k, count);
+                clique.pop();
+            }
+        }
+    }
+    let mut count = 0;
+    extend(g, &mut Vec::new(), k, &mut count);
+    Natural::from(count)
+}
+
+/// `k!` as a [`Natural`] (ordered vs unordered clique conversion).
+pub fn factorial(k: usize) -> Natural {
+    (1..=k as u64).map(Natural::from).product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> Graph {
+        Graph {
+            n: 4,
+            edges: vec![(0, 1), (0, 2), (1, 2), (2, 3)],
+        }
+    }
+
+    #[test]
+    fn direct_clique_counts() {
+        let g = triangle_plus_pendant();
+        assert_eq!(count_cliques_direct(&g, 2), Natural::from(4u64)); // edges
+        assert_eq!(count_cliques_direct(&g, 3), Natural::from(1u64)); // triangle
+        assert_eq!(count_cliques_direct(&g, 4), Natural::ZERO);
+    }
+
+    #[test]
+    fn clique_query_counts_ordered_cliques() {
+        use cqcount_query::hom::enumerate_homomorphisms_to_db;
+        let g = triangle_plus_pendant();
+        let db = g.to_database();
+        for k in 2..=3 {
+            let q = clique_query(k);
+            let homs = enumerate_homomorphisms_to_db(&q, &db);
+            let expected = count_cliques_direct(&g, k) * factorial(k);
+            assert_eq!(Natural::from(homs.len()), expected, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn random_graph_is_deterministic() {
+        let a = random_graph(10, 0.5, 42);
+        let b = random_graph(10, 0.5, 42);
+        assert_eq!(a.edges, b.edges);
+        let c = random_graph(10, 0.5, 43);
+        assert_ne!(a.edges, c.edges);
+    }
+
+    #[test]
+    fn density_extremes() {
+        assert!(random_graph(8, 0.0, 1).edges.is_empty());
+        assert_eq!(random_graph(8, 1.0, 1).edges.len(), 28);
+    }
+
+    #[test]
+    fn factorial_values() {
+        assert_eq!(factorial(0), Natural::ONE);
+        assert_eq!(factorial(4), Natural::from(24u64));
+    }
+}

@@ -1,0 +1,177 @@
+//! A realistic rendition of the introduction's scenario (Example 1.1 /
+//! Example 1.5): machines assigned to workers, workers on tasks, projects
+//! made of tasks, subtasks and shared resources — with the degree profile
+//! the paper motivates (each worker on few tasks, each project with few
+//! main tasks, but many subtasks and resources).
+
+use crate::paper::q0_query;
+use cqcount_query::ConjunctiveQuery;
+use cqcount_relational::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale knobs for [`intro_instance`].
+#[derive(Clone, Debug)]
+pub struct IntroScale {
+    /// Number of workers.
+    pub workers: usize,
+    /// Number of machines.
+    pub machines: usize,
+    /// Number of projects.
+    pub projects: usize,
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Subtasks per task.
+    pub subtasks_per_task: usize,
+    /// Resources per task (shared pool).
+    pub resources: usize,
+}
+
+impl Default for IntroScale {
+    fn default() -> Self {
+        IntroScale {
+            workers: 30,
+            machines: 12,
+            projects: 8,
+            tasks: 20,
+            subtasks_per_task: 5,
+            resources: 10,
+        }
+    }
+}
+
+/// Generates `(Q0, D)`: the Example 1.1 query over a plausible instance.
+/// Degree profile per Example 1.5: `deg(B, wt)` and `deg(C, pt)` stay small
+/// (1–2 tasks per worker, 1–3 tasks per project) while subtasks and
+/// resource requirements fan out.
+pub fn intro_instance(scale: &IntroScale, seed: u64) -> (ConjunctiveQuery, Database) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+
+    // Machine assignments: each machine to 1..3 workers, with hours.
+    for m in 0..scale.machines {
+        let k = rng.gen_range(1..=3usize);
+        for _ in 0..k {
+            let w = rng.gen_range(0..scale.workers);
+            let hours = rng.gen_range(1..200u32);
+            let row = vec![
+                db.value(&format!("machine{m}")),
+                db.value(&format!("worker{w}")),
+                db.value(&format!("h{hours}")),
+            ];
+            db.add_tuple("mw", row);
+        }
+    }
+    // Worker info (a key: one info row per worker).
+    for w in 0..scale.workers {
+        let row = vec![
+            db.value(&format!("worker{w}")),
+            db.value(&format!("info{w}")),
+        ];
+        db.add_tuple("wi", row);
+    }
+    // Worker→task: 1..2 tasks per worker (quasi-key, Example 1.5).
+    for w in 0..scale.workers {
+        let k = rng.gen_range(1..=2usize);
+        for _ in 0..k {
+            let t = rng.gen_range(0..scale.tasks);
+            let row = vec![
+                db.value(&format!("worker{w}")),
+                db.value(&format!("task{t}")),
+            ];
+            db.add_tuple("wt", row);
+        }
+    }
+    // Project→task: 1..3 main tasks per project.
+    for p in 0..scale.projects {
+        let k = rng.gen_range(1..=3usize);
+        for _ in 0..k {
+            let t = rng.gen_range(0..scale.tasks);
+            let row = vec![
+                db.value(&format!("project{p}")),
+                db.value(&format!("task{t}")),
+            ];
+            db.add_tuple("pt", row);
+        }
+    }
+    // Task→subtask: fan-out; subtasks are tasks too (st, and they require
+    // resources via rr).
+    for t in 0..scale.tasks {
+        for s in 0..scale.subtasks_per_task {
+            let row = vec![
+                db.value(&format!("task{t}")),
+                db.value(&format!("sub{t}_{s}")),
+            ];
+            db.add_tuple("st", row);
+        }
+    }
+    // Resource requirements: every task and subtask requires 1..3 resources;
+    // to give Q0 solutions, a task and its subtasks share one resource.
+    for t in 0..scale.tasks {
+        let shared = rng.gen_range(0..scale.resources);
+        let task = format!("task{t}");
+        let res = format!("res{shared}");
+        let row = vec![db.value(&task), db.value(&res)];
+        db.add_tuple("rr", row);
+        for s in 0..scale.subtasks_per_task {
+            let sub = format!("sub{t}_{s}");
+            let row = vec![db.value(&sub), db.value(&res)];
+            db.add_tuple("rr", row);
+            // plus some noise resources
+            if rng.gen_bool(0.4) {
+                let extra = rng.gen_range(0..scale.resources);
+                let row = vec![db.value(&sub), db.value(&format!("res{extra}"))];
+                db.add_tuple("rr", row);
+            }
+        }
+    }
+
+    (q0_query(), db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_is_deterministic_and_nonempty() {
+        let (q, db) = intro_instance(&IntroScale::default(), 7);
+        let (_, db2) = intro_instance(&IntroScale::default(), 7);
+        assert_eq!(db.total_tuples(), db2.total_tuples());
+        assert_eq!(q.atoms().len(), 9);
+        for rel in ["mw", "wt", "wi", "pt", "st", "rr"] {
+            assert!(
+                db.relation(rel).is_some_and(|r| !r.is_empty()),
+                "{rel} empty"
+            );
+        }
+    }
+
+    #[test]
+    fn degree_profile_matches_example_1_5() {
+        let (_, db) = intro_instance(&IntroScale::default(), 7);
+        // wt: ≤ 2 tasks per worker; pt: ≤ 3 tasks per project.
+        use cqcount_relational::{Bindings, ColTerm};
+        let wt = Bindings::from_atom(
+            db.relation("wt").unwrap(),
+            &[ColTerm::Var(0), ColTerm::Var(1)],
+        );
+        assert!(wt.degree_wrt(&[0]) <= 2);
+        let pt = Bindings::from_atom(
+            db.relation("pt").unwrap(),
+            &[ColTerm::Var(0), ColTerm::Var(1)],
+        );
+        assert!(pt.degree_wrt(&[0]) <= 3);
+    }
+
+    #[test]
+    fn instance_has_solutions() {
+        let (q, db) = intro_instance(&IntroScale::default(), 7);
+        let mut found = false;
+        cqcount_query::hom::for_each_homomorphism_to_db(&q, &db, |_| {
+            found = true;
+            false
+        });
+        assert!(found, "the generated instance should admit solutions");
+    }
+}

@@ -1,0 +1,17 @@
+//! Query and database families: every worked example of the paper as a
+//! generator, a realistic rendition of the introduction's
+//! machines/workers/projects scenario, random instances, and the graph
+//! workloads behind the Section 5 reductions.
+
+pub mod graphs;
+pub mod intro;
+pub mod paper;
+pub mod random;
+
+pub use graphs::{clique_query, count_cliques_direct, random_graph, Graph};
+pub use intro::intro_instance;
+pub use paper::{
+    biclique_query, chain_query, hybrid_database, hybrid_query, q0_query, q1_cycle_query,
+    star_database, star_query,
+};
+pub use random::{random_database, random_query, RandomCqConfig, RandomDbConfig};

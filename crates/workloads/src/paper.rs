@@ -1,0 +1,286 @@
+//! The paper's worked-example families, as parameterized generators.
+
+use cqcount_query::{ConjunctiveQuery, Term, Var};
+use cqcount_relational::Database;
+
+fn t(v: Var) -> Term {
+    Term::Var(v)
+}
+
+/// Example 1.1: the running query `Q0` over the machines/workers/projects
+/// schema, with `free(Q0) = {A, B, C}`.
+pub fn q0_query() -> ConjunctiveQuery {
+    let mut q = ConjunctiveQuery::new();
+    let (a, b, c) = (q.var("A"), q.var("B"), q.var("C"));
+    let (d, e, f) = (q.var("D"), q.var("E"), q.var("F"));
+    let (g, h, i) = (q.var("G"), q.var("H"), q.var("I"));
+    q.add_atom("mw", vec![t(a), t(b), t(i)]);
+    q.add_atom("wt", vec![t(b), t(d)]);
+    q.add_atom("wi", vec![t(b), t(e)]);
+    q.add_atom("pt", vec![t(c), t(d)]);
+    q.add_atom("st", vec![t(d), t(f)]);
+    q.add_atom("st", vec![t(d), t(g)]);
+    q.add_atom("rr", vec![t(g), t(h)]);
+    q.add_atom("rr", vec![t(f), t(h)]);
+    q.add_atom("rr", vec![t(d), t(h)]);
+    q.set_free([a, b, c]);
+    q
+}
+
+/// Example 4.1: the 4-cycle `Q1 = ∃B,D s1(A,B) ∧ s2(B,C) ∧ s3(C,D) ∧
+/// s4(D,A)` with `free = {A, C}`. Its `#`-hypertree width is 2 (Figure 8).
+pub fn q1_cycle_query() -> ConjunctiveQuery {
+    let mut q = ConjunctiveQuery::new();
+    let (a, b, c, d) = (q.var("A"), q.var("B"), q.var("C"), q.var("D"));
+    q.add_atom("s1", vec![t(a), t(b)]);
+    q.add_atom("s2", vec![t(b), t(c)]);
+    q.add_atom("s3", vec![t(c), t(d)]);
+    q.add_atom("s4", vec![t(d), t(a)]);
+    q.set_free([a, c]);
+    q
+}
+
+/// Example A.2: the chain family `Q1ⁿ` with atoms `r(Xᵢ,Yᵢ)`,
+/// `r(Xᵢ,Xᵢ₊₁)`, `r(Yᵢ,Yᵢ₊₁)` and `free = {X₁..Xₙ}`. Quantified star size
+/// `⌈n/2⌉` (unbounded in `n`) yet `#`-hypertree width 1 after coring.
+pub fn chain_query(n: usize) -> ConjunctiveQuery {
+    assert!(n >= 1);
+    let mut q = ConjunctiveQuery::new();
+    let xs: Vec<Var> = (1..=n).map(|i| q.var(&format!("X{i}"))).collect();
+    let ys: Vec<Var> = (1..=n).map(|i| q.var(&format!("Y{i}"))).collect();
+    for i in 0..n {
+        q.add_atom("r", vec![t(xs[i]), t(ys[i])]);
+    }
+    for i in 0..n - 1 {
+        q.add_atom("r", vec![t(xs[i]), t(xs[i + 1])]);
+        q.add_atom("r", vec![t(ys[i]), t(ys[i + 1])]);
+    }
+    q.set_free(xs);
+    q
+}
+
+/// Appendix A: the biclique family `Q2ⁿ = ∃X̄,Ȳ ⋀ᵢⱼ r(Xᵢ, Yⱼ)` with no free
+/// variables. Generalized hypertree width `n`, `#`-hypertree width 1 (the
+/// core is a single atom).
+pub fn biclique_query(n: usize) -> ConjunctiveQuery {
+    let mut q = ConjunctiveQuery::new();
+    let xs: Vec<Var> = (0..n).map(|i| q.var(&format!("X{i}"))).collect();
+    let ys: Vec<Var> = (0..n).map(|i| q.var(&format!("Y{i}"))).collect();
+    for &x in &xs {
+        for &y in &ys {
+            q.add_atom("r", vec![t(x), t(y)]);
+        }
+    }
+    q.set_free([]);
+    q
+}
+
+/// Example C.1: the star query
+/// `Q2ʰ = ∃Ȳ r(X₀,Y₁..Yₕ) ∧ s(Y₀,Y₁..Yₕ) ∧ ⋀ᵢ wᵢ(Xᵢ,Yᵢ)` with
+/// `free = {X₀..Xₕ}`. Acyclic (hypertree width 1), `#`-hypertree width
+/// `h+1` (the frontier is the full set of free variables).
+pub fn star_query(h: usize) -> ConjunctiveQuery {
+    assert!(h >= 1);
+    let mut q = ConjunctiveQuery::new();
+    let x0 = q.var("X0");
+    let xs: Vec<Var> = (1..=h).map(|i| q.var(&format!("X{i}"))).collect();
+    let y0 = q.var("Y0");
+    let ys: Vec<Var> = (1..=h).map(|i| q.var(&format!("Y{i}"))).collect();
+    let mut r_terms = vec![t(x0)];
+    r_terms.extend(ys.iter().map(|&y| t(y)));
+    q.add_atom("r", r_terms);
+    let mut s_terms = vec![t(y0)];
+    s_terms.extend(ys.iter().map(|&y| t(y)));
+    q.add_atom("s", s_terms);
+    for (i, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+        q.add_atom(&format!("w{}", i + 1), vec![t(x), t(y)]);
+    }
+    let mut free = vec![x0];
+    free.extend(xs);
+    q.set_free(free);
+    q
+}
+
+/// The database `D₂` of Example C.1/C.2 (Figure 12(b)): the `Y` columns
+/// enumerate the binary encodings of `0..2ʰ`, `X₀` keys `r`, and each `wᵢ`
+/// maps two constants onto the two bit values. `bound(D₂, HD₂) = 2ʰ` for
+/// the width-1 decomposition rooted at `r` (relation `s` has `2ʰ`
+/// extensions of the empty free tuple), yet merging `r` and `s` into one
+/// vertex drops the degree to 1 (Example C.2).
+pub fn star_database(h: usize) -> Database {
+    let m = 1usize << h;
+    let mut db = Database::new();
+    for i in 0..m {
+        let bits: Vec<_> = (0..h)
+            .map(|j| db.value(&format!("b{}", (i >> j) & 1)))
+            .collect();
+        let mut r_row = vec![db.value(&format!("x{i}"))];
+        r_row.extend(bits.iter().copied());
+        db.add_tuple("r", r_row);
+        let mut s_row = vec![db.value(&format!("y{i}"))];
+        s_row.extend(bits);
+        db.add_tuple("s", s_row);
+    }
+    for j in 1..=h {
+        for bit in 0..2u32 {
+            let row = vec![
+                db.value(&format!("u{j}_{bit}")),
+                db.value(&format!("b{bit}")),
+            ];
+            db.add_tuple(&format!("w{j}"), row);
+        }
+    }
+    db
+}
+
+/// The number of answers of `star_query(h)` on `star_database(h)`: each of
+/// the `2ʰ` values of `X₀` extends uniquely.
+pub fn star_expected_count(h: usize) -> u64 {
+    1u64 << h
+}
+
+/// Example 6.3: the hybrid family
+/// `Q̄2ʰ = ∃Ȳ,Z r̄(X₀,Y₁..Yₕ,Z) ∧ s(Y₀..Yₕ) ∧ ⋀ᵢ wᵢ(Xᵢ,Yᵢ) ∧ v(Z,X₁)`.
+/// Unbounded `#`-generalized hypertree width as a class (the frontier is a
+/// clique on all free variables) and degree value `m` for every plain
+/// decomposition — yet a width-2 `#₁`-hypertree decomposition exists with
+/// `S̄ = free ∪ {Y₀..Yₕ}` (Example 6.5).
+pub fn hybrid_query(h: usize) -> ConjunctiveQuery {
+    assert!(h >= 1);
+    let mut q = ConjunctiveQuery::new();
+    let x0 = q.var("X0");
+    let xs: Vec<Var> = (1..=h).map(|i| q.var(&format!("X{i}"))).collect();
+    let y0 = q.var("Y0");
+    let ys: Vec<Var> = (1..=h).map(|i| q.var(&format!("Y{i}"))).collect();
+    let z = q.var("Z");
+    let mut r_terms = vec![t(x0)];
+    r_terms.extend(ys.iter().map(|&y| t(y)));
+    r_terms.push(t(z));
+    q.add_atom("rbar", r_terms);
+    let mut s_terms = vec![t(y0)];
+    s_terms.extend(ys.iter().map(|&y| t(y)));
+    q.add_atom("s", s_terms);
+    for (i, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+        q.add_atom(&format!("w{}", i + 1), vec![t(x), t(y)]);
+    }
+    q.add_atom("v", vec![t(z), t(xs[0])]);
+    let mut free = vec![x0];
+    free.extend(xs);
+    q.set_free(free);
+    q
+}
+
+/// The database `D̄2ᵐ` of Example 6.3 with `m = 2ʰ` values for `Z`.
+pub fn hybrid_database(h: usize) -> Database {
+    hybrid_database_scaled(h, 1usize << h)
+}
+
+/// Example 6.3 decoupled: `D̄2` with an independent `Z`-domain size
+/// (the example's class ranges over all pairs `(h, m)`). Like
+/// [`star_database`], but `r̄` carries an extra `Z` column ranging over all
+/// `z_count` values (so every answer has `z_count` extensions to `Z`), and
+/// `v(Z, X₁)` pairs every `Z` with every `X₁`-value. Growing `z_count`
+/// grows the data — and the cost of enumeration — while the number of
+/// answers stays `2ʰ`.
+pub fn hybrid_database_scaled(h: usize, z_count: usize) -> Database {
+    let m = 1usize << h;
+    let mut db = Database::new();
+    for i in 0..m {
+        let bits: Vec<_> = (0..h)
+            .map(|j| db.value(&format!("b{}", (i >> j) & 1)))
+            .collect();
+        for zj in 0..z_count {
+            let mut row = vec![db.value(&format!("x{i}"))];
+            row.extend(bits.iter().copied());
+            row.push(db.value(&format!("z{zj}")));
+            db.add_tuple("rbar", row);
+        }
+        let mut s_row = vec![db.value(&format!("y{i}"))];
+        s_row.extend(bits);
+        db.add_tuple("s", s_row);
+    }
+    for j in 1..=h {
+        for bit in 0..2u32 {
+            let row = vec![
+                db.value(&format!("u{j}_{bit}")),
+                db.value(&format!("b{bit}")),
+            ];
+            db.add_tuple(&format!("w{j}"), row);
+        }
+    }
+    for zj in 0..z_count {
+        for bit in 0..2u32 {
+            let row = vec![
+                db.value(&format!("z{zj}")),
+                db.value(&format!("u1_{bit}")),
+            ];
+            db.add_tuple("v", row);
+        }
+    }
+    db
+}
+
+/// The number of answers of `hybrid_query(h)` on `hybrid_database(h)`:
+/// `2ʰ` (each `X₀` forces the bits; `Z` is projected away).
+pub fn hybrid_expected_count(h: usize) -> u64 {
+    1u64 << h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q0_shape() {
+        let q = q0_query();
+        assert_eq!(q.atoms().len(), 9);
+        assert_eq!(q.free().len(), 3);
+    }
+
+    #[test]
+    fn chain_shapes() {
+        for n in 1..=4 {
+            let q = chain_query(n);
+            assert_eq!(q.atoms().len(), n + 2 * (n - 1));
+            assert_eq!(q.free().len(), n);
+        }
+    }
+
+    #[test]
+    fn biclique_shape() {
+        let q = biclique_query(3);
+        assert_eq!(q.atoms().len(), 9);
+        assert!(q.free().is_empty());
+    }
+
+    #[test]
+    fn star_instances_count_correctly() {
+        use cqcount_query::hom::enumerate_homomorphisms_to_db;
+        for h in 1..=3 {
+            let q = star_query(h);
+            let db = star_database(h);
+            // distinct free projections == homomorphism count here
+            // (extensions are unique), both equal 2^h.
+            let homs = enumerate_homomorphisms_to_db(&q, &db);
+            assert_eq!(homs.len() as u64, star_expected_count(h), "h = {h}");
+        }
+    }
+
+    #[test]
+    fn hybrid_instances_have_m_answers_with_m_z_extensions() {
+        use cqcount_query::hom::enumerate_homomorphisms_to_db;
+        let h = 2;
+        let q = hybrid_query(h);
+        let db = hybrid_database(h);
+        let homs = enumerate_homomorphisms_to_db(&q, &db);
+        let m = 1usize << h;
+        // every answer has exactly m extensions to Z
+        assert_eq!(homs.len(), m * m);
+        let free: Vec<_> = q.free().into_iter().collect();
+        let distinct: std::collections::HashSet<Vec<_>> = homs
+            .iter()
+            .map(|hm| free.iter().map(|v| hm[v]).collect())
+            .collect();
+        assert_eq!(distinct.len() as u64, hybrid_expected_count(h));
+    }
+}

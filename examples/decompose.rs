@@ -1,0 +1,136 @@
+//! Structural analysis tool: parse a query (from a file, or the built-in
+//! Q0), print its core, frontier hypergraph, widths and a `#`-hypertree
+//! decomposition as an ASCII tree.
+//!
+//! Run with: `cargo run --example decompose [path/to/query.cq]`
+
+use cqcount::prelude::*;
+use std::fmt::Write as _;
+
+fn main() {
+    let src = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => "ans(A, B, C) :- mw(A, B, I), wt(B, D), wi(B, E), pt(C, D), \
+                 st(D, F), st(D, G), rr(G, H), rr(F, H), rr(D, H)."
+            .to_owned(),
+    };
+    let q = match parse_query(&src) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("query: {q}");
+    println!(
+        "variables: {} ({} free), atoms: {}\n",
+        q.vars_in_atoms().len(),
+        q.free().len(),
+        q.atoms().len()
+    );
+
+    let report = WidthReport::analyze(&q, 4);
+    println!("α-acyclic:            {}", report.acyclic);
+    println!("ghw (≤4 search):      {}", fmt_width(report.ghw));
+    println!("#-hypertree width:    {}", fmt_width(report.sharp_width));
+    println!("quantified star size: {}", report.star_size);
+    if let Some((dm_w, star)) = count_free_dm(&q) {
+        println!("Durand–Mengel width:  {dm_w} (star size {star})");
+    }
+    println!();
+
+    let Some(sd) = (1..=4).find_map(|k| {
+        cqcount::core::sharp::sharp_hypertree_decomposition(&q, k)
+    }) else {
+        println!("no #-hypertree decomposition of width ≤ 4 found");
+        return;
+    };
+
+    println!(
+        "core of color(Q): kept {}/{} atoms → Q' = {}",
+        sd.qprime.atoms().len(),
+        q.atoms().len(),
+        sd.qprime
+    );
+    println!("frontier hypergraph FH(Q', free): {}", show_edges(&q, &sd.frontier));
+    println!("\nwidth-{} #-hypertree decomposition:", sd.width);
+    print_tree(&q, &sd);
+}
+
+fn fmt_width(w: Option<usize>) -> String {
+    w.map_or("> 4".to_owned(), |v| v.to_string())
+}
+
+fn count_free_dm(q: &ConjunctiveQuery) -> Option<(usize, usize)> {
+    cqcount::core::durand_mengel::durand_mengel_width(q, 6)
+}
+
+fn show_edges(q: &ConjunctiveQuery, h: &Hypergraph) -> String {
+    let mut out = String::from("{ ");
+    for (i, e) in h.edges().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let names: Vec<&str> = e.iter().map(|n| q.var_name(Var(n))).collect();
+        let _ = write!(out, "{{{}}}", names.join(","));
+    }
+    out.push_str(" }");
+    out
+}
+
+fn print_tree(q: &ConjunctiveQuery, sd: &cqcount::core::sharp::SharpDecomposition) {
+    let ht = &sd.hypertree;
+    fn rec(
+        q: &ConjunctiveQuery,
+        sd: &cqcount::core::sharp::SharpDecomposition,
+        v: usize,
+        prefix: &str,
+        last: bool,
+    ) {
+        let ht = &sd.hypertree;
+        let bag: Vec<&str> = ht.chi[v].iter().map(|n| q.var_name(Var(n))).collect();
+        let atoms: Vec<String> = ht.lambda[v]
+            .iter()
+            .map(|&a| {
+                let atom = &sd.qprime.atoms()[a];
+                let args: Vec<String> = atom
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Var(v) => q.var_name(*v).to_owned(),
+                        Term::Const(c) => c.clone(),
+                    })
+                    .collect();
+                format!("{}({})", atom.rel, args.join(","))
+            })
+            .collect();
+        let connector = if ht.parent[v].is_none() {
+            ""
+        } else if last {
+            "└── "
+        } else {
+            "├── "
+        };
+        println!(
+            "{prefix}{connector}χ = {{{}}}   λ = {{{}}}",
+            bag.join(","),
+            atoms.join(", ")
+        );
+        let child_prefix = if ht.parent[v].is_none() {
+            String::new()
+        } else {
+            format!("{prefix}{}", if last { "    " } else { "│   " })
+        };
+        let kids = &ht.children[v];
+        for (i, &c) in kids.iter().enumerate() {
+            rec(q, sd, c, &child_prefix, i + 1 == kids.len());
+        }
+    }
+    for &root in &ht.roots {
+        rec(q, sd, root, "", true);
+    }
+}

@@ -1,0 +1,63 @@
+//! # cqcount — counting solutions to conjunctive queries
+//!
+//! A from-scratch Rust reproduction of *Counting Solutions to Conjunctive
+//! Queries: Structural and Hybrid Tractability* (Chen, Greco, Mengel,
+//! Scarcello; PODS 2014 / journal version 2023).
+//!
+//! This facade re-exports the whole workspace; see the member crates for
+//! the details:
+//!
+//! * [`arith`] — exact big integers and rationals;
+//! * [`hypergraph`] — acyclicity, components, frontiers;
+//! * [`relational`] — the in-memory relational engine;
+//! * [`query`] — conjunctive queries, homomorphisms, cores, colorings;
+//! * [`decomp`] — tree projections and (generalized / weighted /
+//!   fractional) hypertree decompositions;
+//! * [`core`] — the counting algorithms and `#`-hypertree decompositions;
+//! * [`workloads`] — the paper's instance families and random generators;
+//! * [`reductions`] — the executable Section 5 reductions.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cqcount::prelude::*;
+//!
+//! // Parse a database and a query (head variables are the output).
+//! let (q, db) = cqcount::query::parse_program("
+//!     works_on(alice, db_project). works_on(alice, ml_project).
+//!     works_on(bob, db_project).
+//!     uses(db_project, postgres). uses(ml_project, torch).
+//!     ans(W) :- works_on(W, P), uses(P, T).
+//! ").unwrap();
+//! let q = q.unwrap();
+//!
+//! // How many distinct workers W have a project that uses some tool?
+//! assert_eq!(count_auto(&q, &db), 2u64.into());
+//!
+//! // Structural analysis per the paper.
+//! let report = WidthReport::analyze(&q, 3);
+//! assert!(report.acyclic);
+//! assert_eq!(report.sharp_width, Some(1));
+//! ```
+
+pub use cqcount_arith as arith;
+pub use cqcount_core as core;
+pub use cqcount_decomp as decomp;
+pub use cqcount_hypergraph as hypergraph;
+pub use cqcount_query as query;
+pub use cqcount_reductions as reductions;
+pub use cqcount_relational as relational;
+pub use cqcount_workloads as workloads;
+
+/// Everything a downstream user typically needs.
+pub mod prelude {
+    pub use cqcount_arith::{Int, Natural, Rational};
+    pub use cqcount_core::prelude::*;
+    pub use cqcount_decomp::{ghw_exact, treewidth_exact, Hypertree};
+    pub use cqcount_hypergraph::{frontier_hypergraph, is_acyclic, Hypergraph, NodeSet};
+    pub use cqcount_query::{
+        color, core_exact, parse_database, parse_program, parse_query, quantified_star_size,
+        ConjunctiveQuery, Term, Var,
+    };
+    pub use cqcount_relational::{Bindings, Database, Relation, Value};
+}

@@ -1,0 +1,153 @@
+//! End-to-end tests of the `cqcount` command-line binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cqcount"))
+}
+
+fn sample_file(contents: &str) -> tempfile::TempPath {
+    let mut f = tempfile::NamedTempFile::new().expect("temp file");
+    f.write_all(contents.as_bytes()).unwrap();
+    f.into_temp_path()
+}
+
+mod tempfile {
+    //! A 20-line stand-in for the `tempfile` crate (keeping the workspace
+    //! dependency-free): unique files under the target tmp dir, deleted on
+    //! drop.
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    pub struct NamedTempFile(std::fs::File, PathBuf);
+    pub struct TempPath(PathBuf);
+
+    impl NamedTempFile {
+        pub fn new() -> std::io::Result<NamedTempFile> {
+            let dir = std::env::temp_dir();
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = dir.join(format!("cqcount-test-{}-{n}.cq", std::process::id()));
+            Ok(NamedTempFile(std::fs::File::create(&path)?, path))
+        }
+        pub fn into_temp_path(self) -> TempPath {
+            TempPath(self.1)
+        }
+    }
+    impl std::io::Write for NamedTempFile {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.write(buf)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.0.flush()
+        }
+    }
+    impl TempPath {
+        pub fn to_str(&self) -> &str {
+            self.0.to_str().unwrap()
+        }
+    }
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+}
+
+const SAMPLE: &str = "
+    edge(a, b). edge(b, c). edge(a, c). edge(c, d).
+    ans(X) :- edge(X, Y), edge(Y, Z).
+";
+
+#[test]
+fn count_all_algorithms_agree() {
+    let f = sample_file(SAMPLE);
+    let mut answers = Vec::new();
+    for alg in ["auto", "brute", "join", "pipeline", "hybrid", "dm"] {
+        let out = bin()
+            .args(["count", f.to_str(), "--alg", alg])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{alg}: {:?}", out);
+        answers.push(String::from_utf8_lossy(&out.stdout).trim().to_owned());
+    }
+    assert!(answers.iter().all(|a| a == "2"), "{answers:?}");
+}
+
+#[test]
+fn analyze_reports_widths() {
+    let f = sample_file(SAMPLE);
+    let out = bin().args(["analyze", f.to_str()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("#-hypertree width:    1"), "{text}");
+    assert!(text.contains("α-acyclic:            true"), "{text}");
+}
+
+#[test]
+fn enumerate_lists_answers() {
+    let f = sample_file(SAMPLE);
+    let out = bin().args(["enumerate", f.to_str()]).output().unwrap();
+    assert!(out.status.success());
+    let mut lines: Vec<&str> = std::str::from_utf8(&out.stdout)
+        .unwrap()
+        .lines()
+        .collect();
+    lines.sort_unstable();
+    assert_eq!(lines, vec!["a", "b"]);
+    // limit
+    let out = bin()
+        .args(["enumerate", f.to_str(), "--limit", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 1);
+}
+
+#[test]
+fn errors_are_reported() {
+    // missing file
+    let out = bin().args(["count", "/nonexistent.cq"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+    // unknown command
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    // parse error propagates with location
+    let f = sample_file("edge(X, b).");
+    let out = bin().args(["count", f.to_str()]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("ground"));
+    // width cap error
+    let f2 = sample_file(
+        "r(x, y1, y2). s(y0, y1, y2). w1(x1, y1). w2(x2, y2).
+         ans(X0, X1, X2) :- r(X0, Y1, Y2), s(Y0, Y1, Y2), w1(X1, Y1), w2(X2, Y2).",
+    );
+    let out = bin()
+        .args(["count", f2.to_str(), "--alg", "pipeline", "--max-width", "2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("width"));
+}
+
+#[test]
+fn explain_prints_the_plan() {
+    let f = sample_file(SAMPLE);
+    let out = bin()
+        .args(["count", f.to_str(), "--explain"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("plan: #-hypertree pipeline, width 1"), "{err}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().args(["help"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage"));
+}

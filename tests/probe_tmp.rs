@@ -1,0 +1,13 @@
+use cqcount::core::sharp::sharp_hypertree_width;
+use cqcount::query::parse_query;
+
+#[test]
+fn wide_atom_width() {
+    // single atom with 33 variables, all free: #-htw is trivially 1
+    let vars: Vec<String> = (0..33).map(|i| format!("X{i}")).collect();
+    let src = format!("ans({}) :- r({}).", vars.join(", "), vars.join(", "));
+    let q = parse_query(&src).unwrap();
+    let w = std::panic::catch_unwind(|| sharp_hypertree_width(&q, 2));
+    println!("width = {w:?}");
+    assert_eq!(w.ok().flatten(), Some(1));
+}

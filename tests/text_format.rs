@@ -1,0 +1,74 @@
+//! Integration tests of the text-format front door: parse a whole program,
+//! analyze, decompose and count — the path a CLI user takes.
+
+use cqcount::prelude::*;
+
+const PROGRAM: &str = "
+    % Example 1.1's schema with a slightly larger instance.
+    mw(press, ada, 40).  mw(lathe, ada, 10).  mw(press, bo, 25).
+    mw(mill, dee, 8).    mw(drill, cy, 12).
+    wt(ada, etl).  wt(bo, etl).  wt(cy, ui).  wt(dee, etl). wt(dee, ui).
+    wi(ada, s). wi(bo, j). wi(cy, j). wi(dee, s).
+    pt(atlas, etl). pt(atlas, ui). pt(borealis, etl). pt(caldera, ui).
+    st(etl, extract). st(etl, load). st(ui, wireframe). st(ui, usability).
+    rr(extract, cluster). rr(load, cluster). rr(etl, cluster).
+    rr(wireframe, figma). rr(usability, figma). rr(ui, figma).
+    ans(A, B, C) :- mw(A, B, I), wt(B, D), wi(B, E), pt(C, D),
+                    st(D, F), st(D, G), rr(G, H), rr(F, H), rr(D, H).
+";
+
+#[test]
+fn parse_analyze_count() {
+    let (q, db) = parse_program(PROGRAM).unwrap();
+    let q = q.unwrap();
+    assert_eq!(q.atoms().len(), 9);
+    assert_eq!(db.relation("rr").unwrap().len(), 6);
+
+    let report = WidthReport::analyze(&q, 3);
+    assert_eq!(report.sharp_width, Some(2));
+
+    let brute = count_brute_force(&q, &db);
+    let (structural, sd) = count_via_sharp_decomposition(&q, &db, 3).unwrap();
+    assert_eq!(structural, brute);
+    assert_eq!(sd.width, 2);
+    assert_eq!(count_auto(&q, &db), brute);
+}
+
+#[test]
+fn display_roundtrip_preserves_count() {
+    let (q, db) = parse_program(PROGRAM).unwrap();
+    let q = q.unwrap();
+    let q2 = parse_query(&q.to_string()).unwrap();
+    assert_eq!(count_brute_force(&q, &db), count_brute_force(&q2, &db));
+}
+
+#[test]
+fn database_only_and_query_only() {
+    let db = parse_database("r(a, b). r(b, c).").unwrap();
+    assert_eq!(db.relation("r").unwrap().len(), 2);
+    let q = parse_query("ans(X) :- r(X, Y).").unwrap();
+    assert_eq!(count_brute_force(&q, &db), 2u64.into());
+}
+
+#[test]
+fn constants_in_queries_work_end_to_end() {
+    let (q, db) = parse_program(
+        "r(a, b). r(a, c). r(b, c).
+         ans(Y) :- r(a, Y).",
+    )
+    .unwrap();
+    let q = q.unwrap();
+    assert_eq!(count_brute_force(&q, &db), 2u64.into());
+    assert_eq!(count_auto(&q, &db), 2u64.into());
+}
+
+#[test]
+fn repeated_variables_in_atoms() {
+    let (q, db) = parse_program(
+        "r(a, a). r(a, b). r(b, b). r(c, a).
+         ans(X) :- r(X, X).",
+    )
+    .unwrap();
+    let q = q.unwrap();
+    assert_eq!(count_auto(&q, &db), 2u64.into());
+}
