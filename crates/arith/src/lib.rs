@@ -22,6 +22,7 @@
 pub mod int;
 pub mod linalg;
 pub mod natural;
+pub mod prng;
 pub mod rational;
 
 pub use int::Int;

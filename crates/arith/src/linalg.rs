@@ -54,14 +54,15 @@ pub fn solve(a: &[Vec<Rational>], b: &[Rational]) -> Result<Vec<Rational>, Singu
         m.swap(col, pivot);
 
         let inv = m[col][col].recip();
-        for c in col..=n {
-            m[col][c] = &m[col][c] * &inv;
+        for cell in &mut m[col][col..=n] {
+            *cell = &*cell * &inv;
         }
         for r in 0..n {
             if r != col && !m[r][col].is_zero() {
                 let factor = m[r][col].clone();
-                for c in col..=n {
-                    m[r][c] = &m[r][c] - &(&factor * &m[col][c]);
+                let pivot_row = m[col][col..=n].to_vec();
+                for (cell, p) in m[r][col..=n].iter_mut().zip(&pivot_row) {
+                    *cell = &*cell - &(&factor * p);
                 }
             }
         }
@@ -148,7 +149,10 @@ mod tests {
     #[test]
     fn vandermonde_repeated_nodes_singular() {
         let nodes = vec![Int::from(2i64), Int::from(2i64)];
-        assert_eq!(solve_vandermonde(&nodes, &[r(1), r(2)]), Err(SingularMatrix));
+        assert_eq!(
+            solve_vandermonde(&nodes, &[r(1), r(2)]),
+            Err(SingularMatrix)
+        );
     }
 
     #[test]

@@ -137,11 +137,11 @@ impl Natural {
                 let mut a = self.to_limbs();
                 let b = rhs.to_limbs();
                 let mut borrow = 0u64;
-                for i in 0..a.len() {
+                for (i, limb) in a.iter_mut().enumerate() {
                     let bi = b.get(i).copied().unwrap_or(0);
-                    let (d1, o1) = a[i].overflowing_sub(bi);
+                    let (d1, o1) = limb.overflowing_sub(bi);
                     let (d2, o2) = d1.overflowing_sub(borrow);
-                    a[i] = d2;
+                    *limb = d2;
                     borrow = (o1 | o2) as u64;
                 }
                 debug_assert_eq!(borrow, 0, "underflow despite ordering check");
@@ -249,12 +249,7 @@ impl Natural {
         // Bring in one bit of the dividend per step, MSB first.
         for i in (0..self_bits - div_bits + 1).rev() {
             let bit = (self.clone() >> i).is_even();
-            rem = (rem << 1)
-                + if bit {
-                    Natural::ZERO
-                } else {
-                    Natural::ONE
-                };
+            rem = (rem << 1) + if bit { Natural::ZERO } else { Natural::ONE };
             quotient = quotient << 1;
             if let Some(r) = rem.checked_sub(divisor) {
                 rem = r;
@@ -290,8 +285,8 @@ fn add_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
     let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     let mut out = Vec::with_capacity(long.len() + 1);
     let mut carry = 0u64;
-    for i in 0..long.len() {
-        let s = long[i] as u128 + short.get(i).copied().unwrap_or(0) as u128 + carry as u128;
+    for (i, &limb) in long.iter().enumerate() {
+        let s = limb as u128 + short.get(i).copied().unwrap_or(0) as u128 + carry as u128;
         out.push(s as u64);
         carry = (s >> 64) as u64;
     }
@@ -387,7 +382,8 @@ impl Mul for &Natural {
 impl Sub for &Natural {
     type Output = Natural;
     fn sub(self, rhs: &Natural) -> Natural {
-        self.checked_sub(rhs).expect("Natural subtraction underflow")
+        self.checked_sub(rhs)
+            .expect("Natural subtraction underflow")
     }
 }
 
@@ -648,7 +644,14 @@ mod tests {
             }
             a
         }
-        for (a, b) in [(12, 18), (0, 7), (7, 0), (1, 1), (48, 180), (1 << 40, 3 << 20)] {
+        for (a, b) in [
+            (12, 18),
+            (0, 7),
+            (7, 0),
+            (1, 1),
+            (48, 180),
+            (1 << 40, 3 << 20),
+        ] {
             assert_eq!(n(a).gcd(&n(b)), n(euclid(a, b)), "gcd({a},{b})");
         }
     }
@@ -684,7 +687,12 @@ mod tests {
 
     #[test]
     fn display_and_parse_roundtrip() {
-        for s in ["0", "1", "18446744073709551616", "340282366920938463463374607431768211456"] {
+        for s in [
+            "0",
+            "1",
+            "18446744073709551616",
+            "340282366920938463463374607431768211456",
+        ] {
             let v: Natural = s.parse().unwrap();
             assert_eq!(v.to_string(), s);
         }

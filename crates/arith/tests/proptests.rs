@@ -1,126 +1,203 @@
 //! Property tests for the arbitrary-precision arithmetic, using `u128`
-//! arithmetic (and checked promotions) as the reference model.
+//! arithmetic (and checked promotions) as the reference model. Cases are
+//! generated with the workspace PRNG (`cqcount_arith::prng`) from fixed
+//! seeds; the `exhaustive-tests` feature raises the case count.
 
+use cqcount_arith::prng::Rng;
 use cqcount_arith::{Int, Natural, Rational};
-use proptest::prelude::*;
 
-fn nat() -> impl Strategy<Value = (Natural, u128)> {
-    any::<u128>().prop_map(|v| (Natural::from(v), v))
+const CASES: u64 = if cfg!(feature = "exhaustive-tests") {
+    4096
+} else {
+    256
+};
+
+fn nat(rng: &mut Rng) -> (Natural, u128) {
+    let v = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+    (Natural::from(v), v)
 }
 
-/// Naturals that may exceed u128: built as a*2^s + b.
-fn big_nat() -> impl Strategy<Value = Natural> {
-    (any::<u128>(), 0u32..140, any::<u64>())
-        .prop_map(|(a, s, b)| (Natural::from(a) << s) + Natural::from(b))
+/// Naturals that may exceed u128: built as a·2^s + b.
+fn big_nat(rng: &mut Rng) -> Natural {
+    let a = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+    let s = rng.range_u32(0, 140);
+    let b = rng.next_u64();
+    (Natural::from(a) << s) + Natural::from(b)
 }
 
-proptest! {
-    #[test]
-    fn add_matches_u128((a, ar) in nat(), (b, br) in nat()) {
+#[test]
+fn add_matches_u128() {
+    let mut rng = Rng::seed_from_u64(0x01);
+    for _ in 0..CASES {
+        let (a, ar) = nat(&mut rng);
+        let (b, br) = nat(&mut rng);
         let sum = &a + &b;
         match ar.checked_add(br) {
-            Some(s) => prop_assert_eq!(sum.to_u128(), Some(s)),
-            None => prop_assert!(sum.to_u128().is_none()),
+            Some(s) => assert_eq!(sum.to_u128(), Some(s)),
+            None => assert!(sum.to_u128().is_none()),
         }
     }
+}
 
-    #[test]
-    fn mul_matches_u128((a, ar) in nat(), (b, br) in nat()) {
+#[test]
+fn mul_matches_u128() {
+    let mut rng = Rng::seed_from_u64(0x02);
+    for _ in 0..CASES {
+        let (a, ar) = nat(&mut rng);
+        let (b, br) = nat(&mut rng);
         let prod = &a * &b;
         match ar.checked_mul(br) {
-            Some(p) => prop_assert_eq!(prod.to_u128(), Some(p)),
-            None => prop_assert!(prod.to_u128().is_none()),
+            Some(p) => assert_eq!(prod.to_u128(), Some(p)),
+            None => assert!(prod.to_u128().is_none()),
         }
     }
+}
 
-    #[test]
-    fn sub_matches_u128((a, ar) in nat(), (b, br) in nat()) {
-        prop_assert_eq!(
+#[test]
+fn sub_matches_u128() {
+    let mut rng = Rng::seed_from_u64(0x03);
+    for _ in 0..CASES {
+        let (a, ar) = nat(&mut rng);
+        let (b, br) = nat(&mut rng);
+        assert_eq!(
             a.checked_sub(&b).map(|d| d.to_u128().unwrap()),
             ar.checked_sub(br)
         );
     }
+}
 
-    #[test]
-    fn cmp_matches_u128((a, ar) in nat(), (b, br) in nat()) {
-        prop_assert_eq!(a.cmp(&b), ar.cmp(&br));
+#[test]
+fn cmp_matches_u128() {
+    let mut rng = Rng::seed_from_u64(0x04);
+    for _ in 0..CASES {
+        let (a, ar) = nat(&mut rng);
+        let (b, br) = nat(&mut rng);
+        assert_eq!(a.cmp(&b), ar.cmp(&br));
     }
+}
 
-    #[test]
-    fn add_sub_roundtrip_big(a in big_nat(), b in big_nat()) {
+#[test]
+fn add_sub_roundtrip_big() {
+    let mut rng = Rng::seed_from_u64(0x05);
+    for _ in 0..CASES {
+        let a = big_nat(&mut rng);
+        let b = big_nat(&mut rng);
         let sum = &a + &b;
-        prop_assert_eq!(sum.checked_sub(&b), Some(a.clone()));
-        prop_assert_eq!(&a + &b, &b + &a);
+        assert_eq!(sum.checked_sub(&b), Some(a.clone()));
+        assert_eq!(&a + &b, &b + &a);
     }
+}
 
-    #[test]
-    fn mul_distributes_big(a in big_nat(), b in big_nat(), c in big_nat()) {
-        prop_assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
-        prop_assert_eq!(&a * &b, &b * &a);
+#[test]
+fn mul_distributes_big() {
+    let mut rng = Rng::seed_from_u64(0x06);
+    for _ in 0..CASES {
+        let a = big_nat(&mut rng);
+        let b = big_nat(&mut rng);
+        let c = big_nat(&mut rng);
+        assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
+        assert_eq!(&a * &b, &b * &a);
     }
+}
 
-    #[test]
-    fn divmod_reconstructs(a in big_nat(), b in big_nat()) {
-        prop_assume!(!b.is_zero());
+#[test]
+fn divmod_reconstructs() {
+    let mut rng = Rng::seed_from_u64(0x07);
+    for _ in 0..CASES {
+        let a = big_nat(&mut rng);
+        let b = big_nat(&mut rng);
+        if b.is_zero() {
+            continue;
+        }
         let (q, r) = a.divmod(&b);
-        prop_assert!(r < b);
-        prop_assert_eq!(q * &b + &r, a);
+        assert!(r < b);
+        assert_eq!(q * &b + &r, a);
     }
+}
 
-    #[test]
-    fn gcd_divides_both(a in big_nat(), b in big_nat()) {
+#[test]
+fn gcd_divides_both() {
+    let mut rng = Rng::seed_from_u64(0x08);
+    for _ in 0..CASES {
+        let a = big_nat(&mut rng);
+        let b = big_nat(&mut rng);
         let g = a.gcd(&b);
         if !g.is_zero() {
-            prop_assert!(a.divmod(&g).1.is_zero());
-            prop_assert!(b.divmod(&g).1.is_zero());
+            assert!(a.divmod(&g).1.is_zero());
+            assert!(b.divmod(&g).1.is_zero());
         } else {
-            prop_assert!(a.is_zero() && b.is_zero());
+            assert!(a.is_zero() && b.is_zero());
         }
     }
+}
 
-    #[test]
-    fn shifts_roundtrip(a in big_nat(), s in 0u32..200) {
-        prop_assert_eq!((a.clone() << s) >> s, a);
+#[test]
+fn shifts_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x09);
+    for _ in 0..CASES {
+        let a = big_nat(&mut rng);
+        let s = rng.range_u32(0, 200);
+        assert_eq!((a.clone() << s) >> s, a);
     }
+}
 
-    #[test]
-    fn display_parse_roundtrip(a in big_nat()) {
+#[test]
+fn display_parse_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x0A);
+    for _ in 0..CASES {
+        let a = big_nat(&mut rng);
         let s = a.to_string();
-        prop_assert_eq!(s.parse::<Natural>().unwrap(), a);
+        assert_eq!(s.parse::<Natural>().unwrap(), a);
     }
+}
 
-    #[test]
-    fn int_ring_laws(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
+#[test]
+fn int_ring_laws() {
+    let mut rng = Rng::seed_from_u64(0x0B);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            rng.next_u64() as i64,
+            rng.next_u64() as i64,
+            rng.next_u64() as i64,
+        );
         let (ia, ib, ic) = (Int::from(a), Int::from(b), Int::from(c));
-        prop_assert_eq!(&ia + &ib, &ib + &ia);
-        prop_assert_eq!(&ia * &ib, &ib * &ia);
-        prop_assert_eq!(&ia * (&ib + &ic), &ia * &ib + &ia * &ic);
-        prop_assert_eq!(&ia - &ia, Int::ZERO);
-        prop_assert_eq!(&ia + &(-&ia), Int::ZERO);
+        assert_eq!(&ia + &ib, &ib + &ia);
+        assert_eq!(&ia * &ib, &ib * &ia);
+        assert_eq!(&ia * (&ib + &ic), &ia * &ib + &ia * &ic);
+        assert_eq!(&ia - &ia, Int::ZERO);
+        assert_eq!(&ia + &(-&ia), Int::ZERO);
     }
+}
 
-    #[test]
-    fn rational_field_laws(
-        an in -100i64..100, ad in 1i64..50,
-        bn in -100i64..100, bd in 1i64..50,
-    ) {
+#[test]
+fn rational_field_laws() {
+    let mut rng = Rng::seed_from_u64(0x0C);
+    for _ in 0..CASES {
+        let an = rng.range_i64(-100, 100);
+        let ad = rng.range_i64(1, 50);
+        let bn = rng.range_i64(-100, 100);
+        let bd = rng.range_i64(1, 50);
         let a = Rational::new(Int::from(an), Int::from(ad));
         let b = Rational::new(Int::from(bn), Int::from(bd));
-        prop_assert_eq!(&a + &b, &b + &a);
-        prop_assert_eq!(&a * &b, &b * &a);
-        prop_assert_eq!(&(&a + &b) - &b, a.clone());
+        assert_eq!(&a + &b, &b + &a);
+        assert_eq!(&a * &b, &b * &a);
+        assert_eq!(&(&a + &b) - &b, a.clone());
         if !b.is_zero() {
-            prop_assert_eq!(&(&a / &b) * &b, a.clone());
+            assert_eq!(&(&a / &b) * &b, a.clone());
         }
         if !a.is_zero() {
-            prop_assert_eq!(&a * &a.recip(), Rational::ONE);
+            assert_eq!(&a * &a.recip(), Rational::ONE);
         }
     }
+}
 
-    #[test]
-    fn vandermonde_roundtrip(xs in proptest::collection::vec(-20i64..20, 1..5)) {
+#[test]
+fn vandermonde_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x0D);
+    for _ in 0..CASES.min(64) {
         // distinct nodes 1..=n, arbitrary solution xs; build rhs then solve back.
-        let n = xs.len();
+        let n = rng.range_usize(1, 5);
+        let xs: Vec<i64> = (0..n).map(|_| rng.range_i64(-20, 20)).collect();
         let nodes: Vec<Int> = (1..=n as i64).map(Int::from).collect();
         let sol: Vec<Rational> = xs.iter().map(|&x| Rational::from(x)).collect();
         let rhs: Vec<Rational> = (0..n)
@@ -134,6 +211,6 @@ proptest! {
             })
             .collect();
         let solved = cqcount_arith::linalg::solve_vandermonde(&nodes, &rhs).unwrap();
-        prop_assert_eq!(solved, sol);
+        assert_eq!(solved, sol);
     }
 }

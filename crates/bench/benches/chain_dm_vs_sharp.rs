@@ -1,7 +1,7 @@
 //! E3 timing study: Durand–Mengel (width grows with the star size) vs the
 //! #-hypertree pipeline (width 1 after coring) on the Example A.2 chains.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqcount_bench::BenchGroup;
 use cqcount_core::prelude::*;
 use cqcount_relational::Database;
 use cqcount_workloads::graphs::random_graph;
@@ -19,21 +19,17 @@ fn chain_db() -> Database {
     db
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let db = chain_db();
-    let mut group = c.benchmark_group("chain_dm_vs_sharp");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("chain_dm_vs_sharp");
     for n in 2..=4usize {
         let q = chain_query(n);
-        group.bench_with_input(BenchmarkId::new("durand_mengel", n), &q, |b, q| {
-            b.iter(|| count_durand_mengel(q, &db, 8).unwrap())
+        group.bench("durand_mengel", n, || {
+            count_durand_mengel(&q, &db, 8).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("sharp_pipeline", n), &q, |b, q| {
-            b.iter(|| count_via_sharp_decomposition(q, &db, 2).unwrap().0)
+        group.bench("sharp_pipeline", n, || {
+            count_via_sharp_decomposition(&q, &db, 2).unwrap().0
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

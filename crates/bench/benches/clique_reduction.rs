@@ -2,24 +2,18 @@
 //! k-cliques through the clique query grows with k (the W[1] frontier of
 //! Theorem 1.6), while direct enumeration is cheap on sparse graphs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqcount_bench::BenchGroup;
 use cqcount_reductions::count_cliques_via_cq_with;
 use cqcount_workloads::graphs::{count_cliques_direct, random_graph};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let g = random_graph(14, 0.5, 2026);
-    let mut group = c.benchmark_group("clique_reduction");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("clique_reduction");
     for k in 2..=4usize {
-        group.bench_with_input(BenchmarkId::new("direct", k), &k, |b, &k| {
-            b.iter(|| count_cliques_direct(&g, k))
-        });
-        group.bench_with_input(BenchmarkId::new("via_cq", k), &k, |b, &k| {
-            b.iter(|| count_cliques_via_cq_with(&g, k, cqcount_core::count_brute_force))
+        group.bench("direct", k, || count_cliques_direct(&g, k));
+        group.bench("via_cq", k, || {
+            count_cliques_via_cq_with(&g, k, cqcount_core::count_brute_force)
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

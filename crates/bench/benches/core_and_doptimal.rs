@@ -1,24 +1,16 @@
 //! E9 timing study: exact core computation vs the Lemma 4.3
 //! consistency-based computation on the chain family's colorings.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqcount_bench::BenchGroup;
 use cqcount_query::{color, core_exact, core_via_consistency};
 use cqcount_workloads::paper::chain_query;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("core_computation");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("core_computation");
     for n in 2..=4usize {
         let q = color(&chain_query(n));
-        group.bench_with_input(BenchmarkId::new("exact", n), &q, |b, q| {
-            b.iter(|| core_exact(q))
-        });
-        group.bench_with_input(BenchmarkId::new("lemma_4_3", n), &q, |b, q| {
-            b.iter(|| core_via_consistency(q, 2))
-        });
+        group.bench("exact", n, || core_exact(&q));
+        group.bench("lemma_4_3", n, || core_via_consistency(&q, 2));
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

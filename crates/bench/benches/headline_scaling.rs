@@ -2,13 +2,12 @@
 //! growing database; the pipeline stays polynomial (near-linear) while
 //! enumeration grows with the number of embeddings.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqcount_bench::BenchGroup;
 use cqcount_core::prelude::*;
 use cqcount_workloads::intro::{intro_instance, IntroScale};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("headline_scaling");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("headline_scaling");
     for factor in [1usize, 4, 16] {
         let scale = IntroScale {
             workers: 25 * factor,
@@ -21,19 +20,10 @@ fn bench(c: &mut Criterion) {
         let (q, db) = intro_instance(&scale, 2026);
         let tuples = db.total_tuples();
         let sd = sharp_hypertree_decomposition(&q, 2).expect("width 2");
-        group.bench_with_input(
-            BenchmarkId::new("pipeline", tuples),
-            &(&sd, &db),
-            |b, (sd, db)| b.iter(|| count_with_decomposition(&sd.qprime, db, &sd.hypertree)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("brute", tuples),
-            &(&q, &db),
-            |b, (q, db)| b.iter(|| count_brute_force(q, db)),
-        );
+        group.bench("pipeline", tuples, || {
+            count_with_decomposition(&sd.qprime, &db, &sd.hypertree)
+        });
+        group.bench("brute", tuples, || count_brute_force(&q, &db));
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,33 +1,23 @@
 //! E6 timing study: hybrid #₁-counting (Theorem 6.6) vs brute force on the
 //! Example 6.3 family, with data growing at a fixed query.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqcount_bench::BenchGroup;
 use cqcount_core::prelude::*;
 use cqcount_workloads::paper::{hybrid_database, hybrid_database_scaled, hybrid_query};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let h = 3;
     let q = hybrid_query(h);
     // One-time search (fixed query class).
     let hd = hybrid_decomposition(&q, &hybrid_database(h), 2, usize::MAX).expect("width 2");
-    let mut group = c.benchmark_group("hybrid_vs_structural");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("hybrid_vs_structural");
     for z_count in [32usize, 128, 512] {
         let db = hybrid_database_scaled(h, z_count);
         let tuples = db.total_tuples();
-        group.bench_with_input(
-            BenchmarkId::new("hybrid_count", tuples),
-            &(&q, &db),
-            |b, (q, db)| b.iter(|| cqcount_core::hybrid::count_hybrid_with(q, db, &hd)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("brute_force", tuples),
-            &(&q, &db),
-            |b, (q, db)| b.iter(|| count_brute_force(q, db)),
-        );
+        group.bench("hybrid_count", tuples, || {
+            cqcount_core::hybrid::count_hybrid_with(&q, &db, &hd)
+        });
+        group.bench("brute_force", tuples, || count_brute_force(&q, &db));
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

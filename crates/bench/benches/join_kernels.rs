@@ -1,0 +1,128 @@
+//! Microbenchmarks for the relational join/semijoin kernels: the
+//! allocation-free sort-merge kernels (sequential and on the worker pool)
+//! against the straw-man hash join they replaced. Emits a machine-readable
+//! `BENCH_join_kernels.json` at the workspace root alongside the table.
+
+use cqcount_arith::prng::Rng;
+use cqcount_bench::{bench_ns, fmt_duration, print_table};
+use cqcount_relational::algebra::join_hash_baseline;
+use cqcount_relational::{Bindings, Value};
+use std::time::Duration;
+
+struct Case {
+    kernel: &'static str,
+    rows: usize,
+    threads: usize,
+    ns_per_op: f64,
+}
+
+/// Two relations joining on their (shared, canonical-prefix) first column,
+/// domain ≈ rows so each key matches O(1) partners.
+fn instance(rows: usize, seed: u64) -> (Bindings, Bindings) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let domain = rows as u32;
+    let mk = |rng: &mut Rng, cols: Vec<u32>| {
+        let data: Vec<Vec<Value>> = (0..rows)
+            .map(|_| {
+                (0..cols.len())
+                    .map(|_| Value(rng.range_u32(0, domain)))
+                    .collect()
+            })
+            .collect();
+        Bindings::from_rows(cols, data)
+    };
+    (mk(&mut rng, vec![0, 1]), mk(&mut rng, vec![0, 2]))
+}
+
+fn main() {
+    let hw_threads = cqcount_exec::default_thread_count();
+    // Always record a genuine multi-lane configuration, even on single-core
+    // hosts (there the N-thread rows measure pool overhead, not speedup).
+    let par_threads = if hw_threads > 1 { hw_threads } else { 8 };
+
+    let mut cases: Vec<Case> = Vec::new();
+    for rows in [1_000usize, 10_000, 100_000] {
+        let (left, right) = instance(rows, 0xBEEF + rows as u64);
+
+        cases.push(Case {
+            kernel: "join_hash_baseline",
+            rows,
+            threads: 1,
+            ns_per_op: bench_ns(|| {
+                std::hint::black_box(join_hash_baseline(&left, &right));
+            }),
+        });
+        for threads in [1, par_threads] {
+            cases.push(Case {
+                kernel: "join",
+                rows,
+                threads,
+                ns_per_op: cqcount_exec::with_threads(threads, || {
+                    bench_ns(|| {
+                        std::hint::black_box(left.join(&right));
+                    })
+                }),
+            });
+            cases.push(Case {
+                kernel: "semijoin",
+                rows,
+                threads,
+                ns_per_op: cqcount_exec::with_threads(threads, || {
+                    bench_ns(|| {
+                        std::hint::black_box(left.semijoin(&right));
+                    })
+                }),
+            });
+        }
+    }
+
+    println!("\n### bench: join_kernels (hardware threads: {hw_threads})\n");
+    let rows: Vec<Vec<String>> = cases
+        .iter()
+        .map(|c| {
+            vec![
+                c.kernel.to_string(),
+                c.rows.to_string(),
+                c.threads.to_string(),
+                fmt_duration(Duration::from_nanos(c.ns_per_op as u64)),
+            ]
+        })
+        .collect();
+    print_table(&["kernel", "rows", "threads", "time/op"], &rows);
+
+    for rows in [1_000usize, 10_000, 100_000] {
+        let ns_of = |kernel: &str, threads: usize| {
+            cases
+                .iter()
+                .find(|c| c.kernel == kernel && c.rows == rows && c.threads == threads)
+                .map(|c| c.ns_per_op)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "rows {rows}: sort-merge vs hash baseline {:.2}x (1 thread), {par_threads}-thread join {:.2}x vs 1-thread",
+            ns_of("join_hash_baseline", 1) / ns_of("join", 1),
+            ns_of("join", 1) / ns_of("join", par_threads),
+        );
+    }
+
+    // Hand-rolled JSON (no serde in the dependency graph).
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"join_kernels\",\n");
+    json.push_str(&format!("  \"hardware_threads\": {hw_threads},\n"));
+    json.push_str("  \"unit\": \"ns_per_op\",\n");
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"rows\": {}, \"threads\": {}, \"ns_per_op\": {:.0}}}{}\n",
+            c.kernel,
+            c.rows,
+            c.threads,
+            c.ns_per_op,
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_join_kernels.json");
+    std::fs::write(out, &json).expect("write BENCH_join_kernels.json");
+    println!("\nwrote {out}");
+}

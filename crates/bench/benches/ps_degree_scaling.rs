@@ -2,7 +2,7 @@
 //! different degree bounds (Theorem 6.2) — the width-1 HD2 with
 //! bound(D, HD2) = 2^h versus the merged HD2' with bound 1.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqcount_bench::BenchGroup;
 use cqcount_core::prelude::*;
 use cqcount_decomp::Hypertree;
 use cqcount_hypergraph::NodeSet;
@@ -35,26 +35,14 @@ fn star_decompositions(h: usize) -> (Hypertree, Hypertree) {
     (hd2, Hypertree::from_parts(chi, lambda, parent))
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ps_degree_scaling");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("ps_degree_scaling");
     for h in [2usize, 4, 6, 8] {
         let q = star_query(h);
         let db = star_database(h);
         let (hd2, hd2p) = star_decompositions(h);
-        group.bench_with_input(
-            BenchmarkId::new("bound_m", h),
-            &(&q, &db, &hd2),
-            |b, (q, db, ht)| b.iter(|| count_pichler_skritek(q, db, ht)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("bound_1", h),
-            &(&q, &db, &hd2p),
-            |b, (q, db, ht)| b.iter(|| count_pichler_skritek(q, db, ht)),
-        );
+        group.bench("bound_m", h, || count_pichler_skritek(&q, &db, &hd2));
+        group.bench("bound_1", h, || count_pichler_skritek(&q, &db, &hd2p));
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

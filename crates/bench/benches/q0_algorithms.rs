@@ -1,13 +1,12 @@
 //! E1 timing study: every counting algorithm on the Q0 intro instance
 //! (Figures 1-4/7; Example 1.1).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqcount_bench::BenchGroup;
 use cqcount_core::prelude::*;
 use cqcount_workloads::intro::{intro_instance, IntroScale};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("q0_algorithms");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("q0_algorithms");
     for factor in [1usize, 2, 4] {
         let scale = IntroScale {
             workers: 25 * factor,
@@ -22,24 +21,11 @@ fn bench(c: &mut Criterion) {
         // One decomposition for the pipeline benchmark (the paper's
         // setting: the query class is fixed, data varies).
         let sd = sharp_hypertree_decomposition(&q, 2).expect("width 2");
-        group.bench_with_input(
-            BenchmarkId::new("sharp_pipeline", tuples),
-            &(&sd, &db),
-            |b, (sd, db)| b.iter(|| count_with_decomposition(&sd.qprime, db, &sd.hypertree)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("brute_force", tuples),
-            &(&q, &db),
-            |b, (q, db)| b.iter(|| count_brute_force(q, db)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("full_join", tuples),
-            &(&q, &db),
-            |b, (q, db)| b.iter(|| count_via_full_join(q, db)),
-        );
+        group.bench("sharp_pipeline", tuples, || {
+            count_with_decomposition(&sd.qprime, &db, &sd.hypertree)
+        });
+        group.bench("brute_force", tuples, || count_brute_force(&q, &db));
+        group.bench("full_join", tuples, || count_via_full_join(&q, &db));
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -80,15 +80,19 @@ fn named_edges(q: &ConjunctiveQuery, h: &cqcount_hypergraph::Hypergraph) -> Stri
 /// E1 — Figures 1–4/7, Examples 1.1 & 3.x: Q0's frontier hypergraph, core,
 /// width, and algorithm agreement on a realistic instance.
 fn e1() {
-    banner("E1", "Q0: frontier hypergraph, colored core, #-htw (Figures 1-4, 7)");
+    banner(
+        "E1",
+        "Q0: frontier hypergraph, colored core, #-htw (Figures 1-4, 7)",
+    );
     let q = q0_query();
     let sd = sharp_hypertree_decomposition(&q, 2).expect("width 2");
     println!("query: {q}");
     println!("paper: frontier hyperedges {{A,B}} {{B}} {{B,C}} (Figure 1b)");
-    println!("ours:  frontier hyperedges {}", named_edges(&q, &sd.frontier));
     println!(
-        "paper: core of color(Q0) drops the redundant st/rr branch (7 of 9 atoms remain)"
+        "ours:  frontier hyperedges {}",
+        named_edges(&q, &sd.frontier)
     );
+    println!("paper: core of color(Q0) drops the redundant st/rr branch (7 of 9 atoms remain)");
     println!(
         "ours:  core keeps {} of {} atoms; vars {} of {}",
         sd.qprime.atoms().len(),
@@ -110,25 +114,39 @@ fn e1() {
     let (q, db) = intro_instance(&IntroScale::default(), 2026);
     let mut rows = Vec::new();
     let (n_bf, t) = timed(|| count_brute_force(&q, &db));
-    rows.push(vec!["brute force".into(), n_bf.to_string(), fmt_duration(t)]);
+    rows.push(vec![
+        "brute force".into(),
+        n_bf.to_string(),
+        fmt_duration(t),
+    ]);
     let (n_fj, t) = timed(|| count_via_full_join(&q, &db));
     rows.push(vec!["full join".into(), n_fj.to_string(), fmt_duration(t)]);
     let (res, t) = timed(|| count_via_sharp_decomposition(&q, &db, 2).unwrap());
-    rows.push(vec!["#-pipeline (Thm 1.3)".into(), res.0.to_string(), fmt_duration(t)]);
+    rows.push(vec![
+        "#-pipeline (Thm 1.3)".into(),
+        res.0.to_string(),
+        fmt_duration(t),
+    ]);
     let (res2, t) = timed(|| count_hybrid(&q, &db, 2, usize::MAX).unwrap());
     rows.push(vec![
         format!("hybrid (bound {})", res2.1.bound),
         res2.0.to_string(),
         fmt_duration(t),
     ]);
-    println!("\ncounts on the intro instance ({} tuples):", db.total_tuples());
+    println!(
+        "\ncounts on the intro instance ({} tuples):",
+        db.total_tuples()
+    );
     print_table(&["algorithm", "count", "time"], &rows);
     assert!(n_bf == n_fj && n_bf == res.0 && n_bf == res2.0);
 }
 
 /// E2 — Example 4.1 / Figure 8: the 4-cycle Q1.
 fn e2() {
-    banner("E2", "Q1 (4-cycle): frontier {A,C}, #-htw = 2 (Example 4.1, Figure 8)");
+    banner(
+        "E2",
+        "Q1 (4-cycle): frontier {A,C}, #-htw = 2 (Example 4.1, Figure 8)",
+    );
     let q = q1_cycle_query();
     let sd = sharp_hypertree_decomposition(&q, 2).expect("width 2");
     println!("query: {q}");
@@ -140,12 +158,11 @@ fn e2() {
     );
     // counts on a random cycle instance
     let mut db = Database::new();
-    use rand::{Rng, SeedableRng};
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut rng = cqcount_arith::prng::Rng::seed_from_u64(7);
     for rel in ["s1", "s2", "s3", "s4"] {
         for _ in 0..40 {
-            let u = rng.gen_range(0..12u32);
-            let v = rng.gen_range(0..12u32);
+            let u = rng.range_u32(0, 12);
+            let v = rng.range_u32(0, 12);
             let uu = db.value(&format!("v{u}"));
             let vv = db.value(&format!("v{v}"));
             db.add_tuple(rel, vec![uu, vv]);
@@ -193,14 +210,25 @@ fn e3() {
         ]);
     }
     print_table(
-        &["n", "star size", "DM width", "#-htw", "t(DM)", "t(#-pipeline)", "count"],
+        &[
+            "n",
+            "star size",
+            "DM width",
+            "#-htw",
+            "t(DM)",
+            "t(#-pipeline)",
+            "count",
+        ],
         &rows,
     );
 }
 
 /// E4 — Appendix A: bicliques Q2^n — ghw = n, #-htw = 1.
 fn e4() {
-    banner("E4", "Biclique family Q2^n: ghw = n, #-htw = 1 (Appendix A)");
+    banner(
+        "E4",
+        "Biclique family Q2^n: ghw = n, #-htw = 1 (Appendix A)",
+    );
     let mut rows = Vec::new();
     for n in 1..=3usize {
         let q = biclique_query(n);
@@ -279,7 +307,15 @@ fn e5() {
         ]);
     }
     print_table(
-        &["h", "m", "bound(HD2)", "bound(HD2')", "t(PS, HD2)", "t(PS, HD2')", "count"],
+        &[
+            "h",
+            "m",
+            "bound(HD2)",
+            "bound(HD2')",
+            "t(PS, HD2)",
+            "t(PS, HD2')",
+            "count",
+        ],
         &rows,
     );
 }
@@ -306,7 +342,14 @@ fn e6() {
             format!("2 (bound {})", hd.bound),
         ]);
     }
-    print_table(&["h", "#-htw (paper: h+1)", "hybrid width (paper: 2, bound 1)"], &rows);
+    print_table(
+        &[
+            "h",
+            "#-htw (paper: h+1)",
+            "hybrid width (paper: 2, bound 1)",
+        ],
+        &rows,
+    );
 
     // Data scaling at fixed h: the query is fixed, so the decomposition
     // search is a one-time cost; compare per-instance counting.
@@ -314,8 +357,7 @@ fn e6() {
     let q = hybrid_query(h);
     println!("\ndata scaling at fixed h = {h} (search amortized once per query class):");
     let db0 = hybrid_database(h);
-    let (hd, t_search) =
-        timed(|| hybrid_decomposition(&q, &db0, 2, usize::MAX).expect("hybrid"));
+    let (hd, t_search) = timed(|| hybrid_decomposition(&q, &db0, 2, usize::MAX).expect("hybrid"));
     let (_, t_guided) = timed(|| {
         cqcount_core::hybrid::hybrid_decomposition_guided(&q, &db0, 2, usize::MAX)
             .expect("guided hybrid")
@@ -328,8 +370,7 @@ fn e6() {
     let mut rows = Vec::new();
     for z_count in [8usize, 32, 128, 512, 2048] {
         let db = hybrid_database_scaled(h, z_count);
-        let (n_hy, t_hy) =
-            timed(|| cqcount_core::hybrid::count_hybrid_with(&q, &db, &hd));
+        let (n_hy, t_hy) = timed(|| cqcount_core::hybrid::count_hybrid_with(&q, &db, &hd));
         let (n_bf, t_bf) = timed(|| count_brute_force(&q, &db));
         assert_eq!(n_hy, n_bf);
         assert_eq!(n_hy, hybrid_expected_count(h).into());
@@ -345,15 +386,17 @@ fn e6() {
 
 /// E7 — Section 5: the #Clique → #CQ reduction in action.
 fn e7() {
-    banner("E7", "#Clique via #CQ (Theorem 1.6 hardness direction, Section 5)");
+    banner(
+        "E7",
+        "#Clique via #CQ (Theorem 1.6 hardness direction, Section 5)",
+    );
     let g = random_graph(14, 0.5, 2026);
     println!("G(14, 0.5): {} edges\n", g.edges.len());
     let mut rows = Vec::new();
     for k in 2..=5usize {
         let (direct, t_d) = timed(|| count_cliques_direct(&g, k));
-        let (via, t_r) = timed(|| {
-            cqcount_reductions::count_cliques_via_cq_with(&g, k, count_brute_force)
-        });
+        let (via, t_r) =
+            timed(|| cqcount_reductions::count_cliques_via_cq_with(&g, k, count_brute_force));
         assert_eq!(direct, via);
         let q = cqcount_workloads::graphs::clique_query(k);
         let w = WidthReport::analyze(&q, 4);
@@ -367,14 +410,24 @@ fn e7() {
         ]);
     }
     print_table(
-        &["k", "#cliques", "via #CQ", "t(direct)", "t(reduction)", "#-htw of clique query"],
+        &[
+            "k",
+            "#cliques",
+            "via #CQ",
+            "t(direct)",
+            "t(reduction)",
+            "#-htw of clique query",
+        ],
         &rows,
     );
 }
 
 /// E8 — Lemma 5.10 (+ Claim 5.16): the counting slice reduction executed.
 fn e8() {
-    banner("E8", "Lemma 5.10 executable: fullcolor counts from a count(Q,·) oracle");
+    banner(
+        "E8",
+        "Lemma 5.10 executable: fullcolor counts from a count(Q,·) oracle",
+    );
     let cases = [
         "ans(X) :- r(X, Y).",
         "ans(X, Z) :- r(X, Y), r(Y, Z).",
@@ -385,7 +438,14 @@ fn e8() {
     for src in cases {
         let q = cqcount_query::parse_query(src).unwrap();
         let qs = q.to_simple();
-        let b = random_database(&qs, &RandomDbConfig { domain: 3, tuples_per_rel: 6 }, 11);
+        let b = random_database(
+            &qs,
+            &RandomDbConfig {
+                domain: 3,
+                tuples_per_rel: 6,
+            },
+            11,
+        );
         let (_, bhat) = simple_to_general(&q, &qs, &b);
         let direct = count_brute_force(&qs, &b);
         let mut oracle = CountOracle::new(count_brute_force);
@@ -400,7 +460,13 @@ fn e8() {
         ]);
     }
     print_table(
-        &["query Q̂ (counting simple(Q̂))", "direct", "via oracle", "oracle calls", "time"],
+        &[
+            "query Q̂ (counting simple(Q̂))",
+            "direct",
+            "via oracle",
+            "oracle calls",
+            "time",
+        ],
         &rows,
     );
 }
@@ -408,7 +474,10 @@ fn e8() {
 /// E9 — Lemma 4.3 and Theorem C.5: polynomial cores and D-optimal
 /// decompositions.
 fn e9() {
-    banner("E9", "Poly-time cores (Lemma 4.3) and D-optimal decompositions (Thm C.5)");
+    banner(
+        "E9",
+        "Poly-time cores (Lemma 4.3) and D-optimal decompositions (Thm C.5)",
+    );
     println!("cores of color(Q) for the chain family — exact vs local-consistency:\n");
     let mut rows = Vec::new();
     for n in 2..=5usize {
@@ -424,7 +493,10 @@ fn e9() {
             fmt_duration(t_c),
         ]);
     }
-    print_table(&["n", "atoms", "core atoms", "t(exact)", "t(Lemma 4.3)"], &rows);
+    print_table(
+        &["n", "atoms", "core atoms", "t(exact)", "t(Lemma 4.3)"],
+        &rows,
+    );
 
     println!("\nD-optimal decomposition on the star instance (Example C.2):");
     println!("paper: every width-1 HD has bound m; widening to width 2 reaches bound 1\n");
@@ -472,15 +544,22 @@ fn e9() {
         ]);
     }
     print_table(
-        &["h", "m", "bound (width-1 HD2)", "bound (D-optimal)", "opt width", "t(search)"],
+        &[
+            "h",
+            "m",
+            "bound (width-1 HD2)",
+            "bound (D-optimal)",
+            "opt width",
+            "t(search)",
+        ],
         &rows,
     );
 }
 
 fn combos_upto(sets: &[NodeSet], k: usize) -> Vec<(NodeSet, Vec<usize>)> {
     let mut out = Vec::new();
-    for i in 0..sets.len() {
-        out.push((sets[i].clone(), vec![i]));
+    for (i, s) in sets.iter().enumerate() {
+        out.push((s.clone(), vec![i]));
     }
     if k >= 2 {
         for i in 0..sets.len() {
@@ -494,7 +573,10 @@ fn combos_upto(sets: &[NodeSet], k: usize) -> Vec<(NodeSet, Vec<usize>)> {
 
 /// E10 — the Theorem 1.3 headline: fixed bounded-#-htw query, growing data.
 fn e10() {
-    banner("E10", "Headline scaling: #-pipeline vs enumeration as |D| grows (Theorem 1.3)");
+    banner(
+        "E10",
+        "Headline scaling: #-pipeline vs enumeration as |D| grows (Theorem 1.3)",
+    );
     let mut rows = Vec::new();
     for factor in [1usize, 2, 4, 8, 16] {
         let scale = IntroScale {
@@ -519,7 +601,13 @@ fn e10() {
         ]);
     }
     print_table(
-        &["|D| (tuples)", "count", "t(#-pipeline)", "t(brute)", "t(full join)"],
+        &[
+            "|D| (tuples)",
+            "count",
+            "t(#-pipeline)",
+            "t(brute)",
+            "t(full join)",
+        ],
         &rows,
     );
 }
@@ -528,7 +616,10 @@ fn e10() {
 /// connected-λ candidate ordering in the GHW search, and hypertree
 /// normalization before evaluation.
 fn e11() {
-    banner("E11", "Ablations: candidate ordering and decomposition normalization");
+    banner(
+        "E11",
+        "Ablations: candidate ordering and decomposition normalization",
+    );
     // (a) connected-λ-first ordering vs naive ordering: both find a width-2
     // witness for Q0; the witness quality differs, which shows up in the
     // pipeline's evaluation time (bag views built from disconnected λ are
@@ -620,7 +711,10 @@ fn e11() {
 /// (Section 1.1's companion problem) and union-of-CQ counting (the
 /// follow-up line \[18,19\] in the paper's bibliography).
 fn e12() {
-    banner("E12", "Extensions: polynomial-delay enumeration and union counting");
+    banner(
+        "E12",
+        "Extensions: polynomial-delay enumeration and union counting",
+    );
     let (q, db) = intro_instance(&IntroScale::default(), 2026);
     let sd = sharp_hypertree_decomposition(&q, 2).unwrap();
     // Delay measurement: time to the first answer vs total enumeration.
@@ -666,7 +760,10 @@ fn e12() {
 /// frontier width (W[1]-equivalent — counting collapses to the decision
 /// problem), (3) unbounded frontier width (#W[1]-hard).
 fn e13() {
-    banner("E13", "The trichotomy's three classes side by side (Theorem 1.6)");
+    banner(
+        "E13",
+        "The trichotomy's three classes side by side (Theorem 1.6)",
+    );
     let g = random_graph(13, 0.5, 99);
     let db = g.to_database();
     println!("class 1 — chains Q1^n (bounded #-htw = 1): poly counting\n");
@@ -681,17 +778,11 @@ fn e13() {
         let mut q2 = cqcount_workloads::graphs::clique_query(k);
         q2.set_free([]);
         let w2 = sharp_hypertree_width(&q2, k);
-        let fh2 = cqcount_hypergraph::frontier_hypergraph(
-            &q2.hypergraph(),
-            &q2.free_nodes(),
-        );
+        let fh2 = cqcount_hypergraph::frontier_hypergraph(&q2.hypergraph(), &q2.free_nodes());
         // class 3 representative: free clique query: frontier hypergraph =
         // the clique itself → unbounded width; counting is #W[1]-hard.
         let q3 = cqcount_workloads::graphs::clique_query(k);
-        let fh3 = cqcount_hypergraph::frontier_hypergraph(
-            &q3.hypergraph(),
-            &q3.free_nodes(),
-        );
+        let fh3 = cqcount_hypergraph::frontier_hypergraph(&q3.hypergraph(), &q3.free_nodes());
         let fh3_tw = cqcount_decomp::treewidth_exact(&fh3, k).map(|(w, _)| w);
         let (c2, t2) = timed(|| count_brute_force(&q2, &db));
         let (c3, t3) = timed(|| count_brute_force(&q3, &db));

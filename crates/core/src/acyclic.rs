@@ -36,8 +36,7 @@ pub fn count_acyclic_full(views: &[Bindings]) -> Option<Natural> {
         return Some(Natural::ZERO);
     }
 
-    count_over_tree(&reduced, &forest.parent, &forest.children, &forest.order)
-        .into()
+    count_over_tree(&reduced, &forest.parent, &forest.children, &forest.order).into()
 }
 
 /// The DP core, reusable with an externally supplied tree (the pipeline
@@ -153,7 +152,10 @@ mod tests {
             b(&[2, 3], &[&[10, 100], &[10, 101], &[20, 200]]),
         ];
         assert_eq!(count_acyclic_full(&views), Some(3u64.into()));
-        assert_eq!(count_acyclic_full(&views).unwrap(), brute_join_count(&views));
+        assert_eq!(
+            count_acyclic_full(&views).unwrap(),
+            brute_join_count(&views)
+        );
     }
 
     #[test]

@@ -41,21 +41,12 @@ pub fn count_brute_force(q: &ConjunctiveQuery, db: &Database) -> Natural {
 pub fn count_via_full_join(q: &ConjunctiveQuery, db: &Database) -> Natural {
     let mut acc = Bindings::unit();
     // Greedy connected order: join next the atom sharing most columns.
-    let mut remaining: Vec<Bindings> = q
-        .atoms()
-        .iter()
-        .map(|a| atom_bindings(a, db))
-        .collect();
+    let mut remaining: Vec<Bindings> = q.atoms().iter().map(|a| atom_bindings(a, db)).collect();
     while !remaining.is_empty() {
         let (idx, _) = remaining
             .iter()
             .enumerate()
-            .max_by_key(|(_, b)| {
-                b.cols()
-                    .iter()
-                    .filter(|c| acc.cols().contains(c))
-                    .count()
-            })
+            .max_by_key(|(_, b)| b.cols().iter().filter(|c| acc.cols().contains(c)).count())
             .expect("nonempty");
         let next = remaining.swap_remove(idx);
         acc = acc.join(&next);

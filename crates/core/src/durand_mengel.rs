@@ -37,11 +37,7 @@ pub fn durand_mengel_width(q: &ConjunctiveQuery, max_k: usize) -> Option<(usize,
 /// pipeline over the uncored decomposition. Correct whenever the
 /// decomposition exists; the width (and hence the cost) is governed by
 /// `ghw · starsize` instead of the `#`-hypertree width.
-pub fn count_durand_mengel(
-    q: &ConjunctiveQuery,
-    db: &Database,
-    max_k: usize,
-) -> Option<Natural> {
+pub fn count_durand_mengel(q: &ConjunctiveQuery, db: &Database, max_k: usize) -> Option<Natural> {
     let (_, ht) = durand_mengel_decomposition(q, max_k)?;
     Some(count_with_decomposition(q, db, &ht))
 }
@@ -54,7 +50,12 @@ mod tests {
 
     fn chain_query(n: usize) -> String {
         let mut src = String::from("ans(");
-        src.push_str(&(1..=n).map(|i| format!("X{i}")).collect::<Vec<_>>().join(", "));
+        src.push_str(
+            &(1..=n)
+                .map(|i| format!("X{i}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
         src.push_str(") :- ");
         let mut atoms = Vec::new();
         for i in 1..=n {

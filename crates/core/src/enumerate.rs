@@ -19,12 +19,7 @@ use std::collections::BTreeMap;
 /// calling `visit` for each; stop early by returning `false`. Requires a
 /// `#`-hypertree decomposition of width ≤ `max_k`; returns `false` if none
 /// exists (and visits nothing), `true` otherwise.
-pub fn for_each_answer<F>(
-    q: &ConjunctiveQuery,
-    db: &Database,
-    max_k: usize,
-    visit: F,
-) -> bool
+pub fn for_each_answer<F>(q: &ConjunctiveQuery, db: &Database, max_k: usize, visit: F) -> bool
 where
     F: FnMut(&BTreeMap<Var, Value>) -> bool,
 {

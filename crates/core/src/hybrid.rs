@@ -38,12 +38,22 @@ pub struct HybridDecomposition {
 fn sbar_views(
     sd: &SharpDecomposition,
     db: &Database,
-) -> (Vec<Bindings>, Vec<Option<usize>>, Vec<Vec<usize>>, Vec<usize>) {
+) -> (
+    Vec<Bindings>,
+    Vec<Option<usize>>,
+    Vec<Vec<usize>>,
+    Vec<usize>,
+) {
     let (complete, mut views) = crate::ps::completed_views(&sd.qprime, db, &sd.hypertree);
     full_reduce(&mut views, &complete.parent, &complete.order);
     let sbar_cols: Vec<u32> = sd.qprime.free().iter().map(|v| v.node()).collect();
     let projected: Vec<Bindings> = views.iter().map(|v| v.project(&sbar_cols)).collect();
-    (projected, complete.parent, complete.children, complete.order)
+    (
+        projected,
+        complete.parent,
+        complete.children,
+        complete.order,
+    )
 }
 
 /// Computes the degree value of a candidate `⟨HD, S̄⟩` w.r.t. the *original*
@@ -76,7 +86,10 @@ pub fn hybrid_decomposition(
     let free_cols: Vec<u32> = free.iter().map(|v| v.node()).collect();
     let existential: Vec<Var> = q.existential().into_iter().collect();
     let mut best: Option<HybridDecomposition> = None;
-    assert!(existential.len() < 20, "hybrid search: too many existential variables");
+    assert!(
+        existential.len() < 20,
+        "hybrid search: too many existential variables"
+    );
     for mask in 0u32..(1 << existential.len()) {
         let mut sbar: BTreeSet<Var> = free.iter().copied().collect();
         for (i, &v) in existential.iter().enumerate() {
@@ -92,7 +105,11 @@ pub fn hybrid_decomposition(
         let bound = degree_of(&sd, db, &free_cols);
         if bound <= b && best.as_ref().is_none_or(|cur| bound < cur.bound) {
             let done = bound <= 1;
-            best = Some(HybridDecomposition { sbar, sharp: sd, bound });
+            best = Some(HybridDecomposition {
+                sbar,
+                sharp: sd,
+                bound,
+            });
             if done {
                 break; // cannot do better than degree ≤ 1
             }
@@ -112,7 +129,9 @@ pub fn key_determined_variables(q: &ConjunctiveQuery, db: &Database) -> BTreeSet
     loop {
         let mut grew = false;
         for atom in q.atoms() {
-            let Some(rel) = db.relation(&atom.rel) else { continue };
+            let Some(rel) = db.relation(&atom.rel) else {
+                continue;
+            };
             if rel.arity() != atom.terms.len() {
                 continue;
             }
@@ -163,7 +182,11 @@ pub fn hybrid_decomposition_guided(
             let free_cols: Vec<u32> = q.free().iter().map(|v| v.node()).collect();
             let bound = degree_of(&sd, db, &free_cols);
             if bound <= b {
-                return Some(HybridDecomposition { sbar, sharp: sd, bound });
+                return Some(HybridDecomposition {
+                    sbar,
+                    sharp: sd,
+                    bound,
+                });
             }
         }
     }

@@ -38,7 +38,9 @@ pub fn count_with_decomposition(
         return Natural::ZERO;
     }
     let free_cols: Vec<u32> = qprime.free().iter().map(|v| v.node()).collect();
-    let projected: Vec<Bindings> = views.iter().map(|v| v.project(&free_cols)).collect();
+    // Step 3: each [free]-component's view projects independently — fan the
+    // per-vertex projections out over the pool.
+    let projected: Vec<Bindings> = cqcount_exec::par_map(&views, |v| v.project(&free_cols));
     count_over_tree(
         &projected,
         &complete.parent,
@@ -96,7 +98,11 @@ pub fn count_with_views(
         }
         lambda.push(lam);
     }
-    let ht = Hypertree::from_parts(sd.hypertree.chi.clone(), lambda, sd.hypertree.parent.clone());
+    let ht = Hypertree::from_parts(
+        sd.hypertree.chi.clone(),
+        lambda,
+        sd.hypertree.parent.clone(),
+    );
     Some(count_with_decomposition(&sd.qprime, db, &ht))
 }
 

@@ -169,10 +169,7 @@ mod tests {
 
     #[test]
     fn explain_picks_the_pipeline_for_bounded_width() {
-        let (q, db) = parse_program(
-            "r(a, b). r(b, c). ans(X) :- r(X, Y).",
-        )
-        .unwrap();
+        let (q, db) = parse_program("r(a, b). r(b, c). ans(X) :- r(X, Y).").unwrap();
         let (n, plan) = count_explain(&q.unwrap(), &db);
         assert_eq!(n, 2u64.into());
         assert_eq!(plan, Plan::SharpPipeline { width: 1 });
@@ -187,7 +184,11 @@ mod tests {
         let (n, plan) = count_explain(&q, &db);
         assert_eq!(n, 8u64.into());
         match plan {
-            Plan::Hybrid { width, bound, promoted } => {
+            Plan::Hybrid {
+                width,
+                bound,
+                promoted,
+            } => {
                 // the search minimizes the degree bound, not the width:
                 // any width ≤ cap with bound 1 is a valid outcome
                 assert!(width <= 3, "width {width}");

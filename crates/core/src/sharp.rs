@@ -103,7 +103,11 @@ pub fn all_cores(q: &ConjunctiveQuery) -> Vec<ConjunctiveQuery> {
                 stack.push(smaller);
             }
         }
-        if minimal && !cores.iter().any(|c: &ConjunctiveQuery| c.atoms() == sub.atoms()) {
+        if minimal
+            && !cores
+                .iter()
+                .any(|c: &ConjunctiveQuery| c.atoms() == sub.atoms())
+        {
             cores.push(sub);
         }
     }
@@ -140,16 +144,17 @@ pub fn sharp_decomposition_wrt_views(
 /// Materializes the per-vertex relations `r_p = π_{χ(p)}(⋈_{a ∈ λ(p)} a^D)`
 /// of a decomposition whose `λ` indexes `q`'s atoms.
 pub fn bag_views(q: &ConjunctiveQuery, db: &Database, ht: &Hypertree) -> Vec<Bindings> {
-    (0..ht.len())
-        .map(|p| {
-            let mut acc = Bindings::unit();
-            for &ai in &ht.lambda[p] {
-                acc = acc.join(&atom_bindings(&q.atoms()[ai], db));
-            }
-            let chi_cols: Vec<u32> = ht.chi[p].to_vec();
-            acc.project(&chi_cols)
-        })
-        .collect()
+    // One independent join-then-project per tree vertex: fan the vertices
+    // out over the pool (results come back in vertex order).
+    let vertices: Vec<usize> = (0..ht.len()).collect();
+    cqcount_exec::par_map(&vertices, |&p| {
+        let mut acc = Bindings::unit();
+        for &ai in &ht.lambda[p] {
+            acc = acc.join(&atom_bindings(&q.atoms()[ai], db));
+        }
+        let chi_cols: Vec<u32> = ht.chi[p].to_vec();
+        acc.project(&chi_cols)
+    })
 }
 
 #[cfg(test)]
@@ -200,7 +205,10 @@ mod tests {
         for n in 2..=4usize {
             let mut src = String::from("ans(");
             src.push_str(
-                &(1..=n).map(|i| format!("X{i}")).collect::<Vec<_>>().join(", "),
+                &(1..=n)
+                    .map(|i| format!("X{i}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
             );
             src.push_str(") :- ");
             let mut atoms = Vec::new();
@@ -238,10 +246,9 @@ mod tests {
     fn star_c1_needs_full_width() {
         // Example C.1: Q2^h is acyclic but its frontier is {X0..Xh}; it is
         // not #-covered w.r.t. V^k for k < h+1... with h = 2: width 3 needed.
-        let q = parse_query(
-            "ans(X0, X1, X2) :- r(X0, Y1, Y2), s(Y0, Y1, Y2), w1(X1, Y1), w2(X2, Y2).",
-        )
-        .unwrap();
+        let q =
+            parse_query("ans(X0, X1, X2) :- r(X0, Y1, Y2), s(Y0, Y1, Y2), w1(X1, Y1), w2(X2, Y2).")
+                .unwrap();
         assert_eq!(sharp_hypertree_width(&q, 5), Some(3));
     }
 

@@ -60,9 +60,7 @@ impl UnionQuery {
         assert!(!subset.is_empty());
         let mut out = ConjunctiveQuery::new();
         // Shared output variables O0..O{arity-1}.
-        let outs: Vec<Var> = (0..self.arity)
-            .map(|i| out.var(&format!("O{i}")))
-            .collect();
+        let outs: Vec<Var> = (0..self.arity).map(|i| out.var(&format!("O{i}"))).collect();
         for (si, &qi) in subset.iter().enumerate() {
             let q = &self.disjuncts[qi];
             let free: Vec<Var> = q.free().into_iter().collect();
@@ -92,21 +90,32 @@ impl UnionQuery {
 
 /// Counts `|⋃ᵢ π_free(Qᵢ)(Qᵢ^D)|` by inclusion–exclusion over the
 /// disjuncts, counting every intersection with the automatic planner.
+///
+/// The `2^r − 1` subset counts are independent: they fan out over the
+/// worker pool, and the signed sum is folded in ascending mask order, so
+/// the total never depends on scheduling.
 pub fn count_union(u: &UnionQuery, db: &Database) -> Natural {
     let r = u.disjuncts().len();
     assert!(r < 20, "too many disjuncts for inclusion–exclusion");
-    let mut total = Int::ZERO;
-    for mask in 1u32..(1 << r) {
+    let masks: Vec<u32> = (1u32..(1 << r)).collect();
+    let signed: Vec<Int> = cqcount_exec::par_map(&masks, |&mask| {
         let subset: Vec<usize> = (0..r).filter(|i| mask & (1 << i) != 0).collect();
         let conj = u.conjoin(&subset);
         let count = Int::from(count_auto(&conj, db));
         if subset.len() % 2 == 1 {
-            total += &count;
+            count
         } else {
-            total += &(-count);
+            -count
         }
+    });
+    let mut total = Int::ZERO;
+    for count in &signed {
+        total += count;
     }
-    assert!(!total.is_negative(), "inclusion–exclusion went negative: bug");
+    assert!(
+        !total.is_negative(),
+        "inclusion–exclusion went negative: bug"
+    );
     total.into_magnitude()
 }
 
@@ -136,10 +145,7 @@ mod tests {
 
     #[test]
     fn union_of_two_overlapping() {
-        let db = cqcount_query::parse_database(
-            "r(a, x). r(b, y). s(b, u). s(c, v).",
-        )
-        .unwrap();
+        let db = cqcount_query::parse_database("r(a, x). r(b, y). s(b, u). s(c, v).").unwrap();
         let u = UnionQuery::new(vec![q("ans(X) :- r(X, Y)."), q("ans(X) :- s(X, Y).")]);
         // answers: {a, b} ∪ {b, c} = {a, b, c}
         assert_eq!(count_union(&u, &db), 3u64.into());
@@ -156,14 +162,8 @@ mod tests {
 
     #[test]
     fn binary_output_positional_alignment() {
-        let db = cqcount_query::parse_database(
-            "e(a, b). e(b, c). f(a, b). f(c, d).",
-        )
-        .unwrap();
-        let u = UnionQuery::new(vec![
-            q("ans(X, Y) :- e(X, Y)."),
-            q("ans(U, V) :- f(U, V)."),
-        ]);
+        let db = cqcount_query::parse_database("e(a, b). e(b, c). f(a, b). f(c, d).").unwrap();
+        let u = UnionQuery::new(vec![q("ans(X, Y) :- e(X, Y)."), q("ans(U, V) :- f(U, V).")]);
         // {(a,b),(b,c)} ∪ {(a,b),(c,d)} = 3
         assert_eq!(count_union(&u, &db), 3u64.into());
         assert_eq!(count_union(&u, &db), brute_union(&u, &db));
@@ -171,10 +171,8 @@ mod tests {
 
     #[test]
     fn three_way_union_inclusion_exclusion() {
-        let db = cqcount_query::parse_database(
-            "r(a). r(b). s(b). s(c). t(c). t(a). t(d).",
-        )
-        .unwrap();
+        let db =
+            cqcount_query::parse_database("r(a). r(b). s(b). s(c). t(c). t(a). t(d).").unwrap();
         let u = UnionQuery::new(vec![
             q("ans(X) :- r(X)."),
             q("ans(X) :- s(X)."),
@@ -187,14 +185,9 @@ mod tests {
 
     #[test]
     fn union_with_existentials_and_projection() {
-        let db = cqcount_query::parse_database(
-            "r(a, x). r(a, y). r(b, x). s(x, 1). p(b). p(c).",
-        )
-        .unwrap();
-        let u = UnionQuery::new(vec![
-            q("ans(X) :- r(X, Y), s(Y, Z)."),
-            q("ans(X) :- p(X)."),
-        ]);
+        let db = cqcount_query::parse_database("r(a, x). r(a, y). r(b, x). s(x, 1). p(b). p(c).")
+            .unwrap();
+        let u = UnionQuery::new(vec![q("ans(X) :- r(X, Y), s(Y, Z)."), q("ans(X) :- p(X).")]);
         // first: X with r(X,Y),s(Y,_): {a, b}; second: {b, c} → 3
         assert_eq!(count_union(&u, &db), 3u64.into());
         assert_eq!(count_union(&u, &db), brute_union(&u, &db));
@@ -208,11 +201,23 @@ mod tests {
         for seed in 0..10u64 {
             // Two random disjuncts forced to 1 output variable.
             let mut d1 = random_query(
-                &RandomCqConfig { atoms: 3, vars: 4, max_arity: 2, rels: 2, free_prob: 0.0 },
+                &RandomCqConfig {
+                    atoms: 3,
+                    vars: 4,
+                    max_arity: 2,
+                    rels: 2,
+                    free_prob: 0.0,
+                },
                 seed,
             );
             let mut d2 = random_query(
-                &RandomCqConfig { atoms: 3, vars: 4, max_arity: 2, rels: 2, free_prob: 0.0 },
+                &RandomCqConfig {
+                    atoms: 3,
+                    vars: 4,
+                    max_arity: 2,
+                    rels: 2,
+                    free_prob: 0.0,
+                },
                 seed + 100,
             );
             let v1 = d1.vars_in_atoms().into_iter().next().unwrap();

@@ -68,11 +68,7 @@ impl ViewSet {
     /// `π_S(⋈ of a greedy atom cover of S)` — sound and complete, hence
     /// legal.
     pub fn standard_extension(&self, q: &ConjunctiveQuery, db: &Database) -> Vec<Bindings> {
-        let atom_views: Vec<Bindings> = q
-            .atoms()
-            .iter()
-            .map(|a| atom_bindings(a, db))
-            .collect();
+        let atom_views: Vec<Bindings> = q.atoms().iter().map(|a| atom_bindings(a, db)).collect();
         let atom_scopes: Vec<NodeSet> = q
             .atoms()
             .iter()
@@ -116,12 +112,7 @@ impl ViewSet {
     /// Condition (ii) is verified by enumerating the solutions — this is a
     /// *testing* facility (legality is semantic), not part of the counting
     /// path.
-    pub fn is_legal(
-        &self,
-        q: &ConjunctiveQuery,
-        db: &Database,
-        relations: &[Bindings],
-    ) -> bool {
+    pub fn is_legal(&self, q: &ConjunctiveQuery, db: &Database, relations: &[Bindings]) -> bool {
         assert_eq!(relations.len(), self.views.len());
         // (i) query views ⊆ atom evaluations
         for (i, (name, vars)) in self.views.iter().enumerate() {
@@ -143,11 +134,7 @@ impl ViewSet {
         let mut ok = true;
         for_each_homomorphism_to_db(q, db, |h| {
             for ((_, vars), rel) in self.views.iter().zip(relations) {
-                let row: Vec<_> = rel
-                    .cols()
-                    .iter()
-                    .map(|c| h[&Var(*c)])
-                    .collect();
+                let row: Vec<_> = rel.cols().iter().map(|c| h[&Var(*c)]).collect();
                 let _ = vars;
                 if !rel.contains(&row) {
                     ok = false;
@@ -199,11 +186,7 @@ pub fn count_with_view_set(
             }
         }
     }
-    full_reduce(
-        &mut bag_views,
-        &sd.hypertree.parent,
-        &sd.hypertree.order,
-    );
+    full_reduce(&mut bag_views, &sd.hypertree.parent, &sd.hypertree.order);
     if bag_views.iter().any(Bindings::is_empty) {
         return Some((Natural::ZERO, sd));
     }
@@ -252,12 +235,8 @@ mod tests {
         let vs = ViewSet::for_query(&q);
         let mut rels = vs.standard_extension(&q, &db);
         // Drop a tuple from the first query view: misses solutions.
-        let keep: Vec<Vec<cqcount_relational::Value>> = rels[0]
-            .rows()
-            .iter()
-            .skip(1)
-            .map(|t| t.to_vec())
-            .collect();
+        let keep: Vec<Vec<cqcount_relational::Value>> =
+            rels[0].rows().iter().skip(1).map(|t| t.to_vec()).collect();
         rels[0] = Bindings::from_rows(rels[0].cols().to_vec(), keep);
         assert!(!vs.is_legal(&q, &db, &rels));
     }

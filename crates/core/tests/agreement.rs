@@ -1,50 +1,52 @@
 //! The master correctness oracle: on random (query, database) instances,
 //! every counting algorithm in the crate must agree with brute-force
-//! enumeration.
+//! enumeration. Instances come from the workspace PRNG under fixed seeds;
+//! `exhaustive-tests` raises the case count.
 
+use cqcount_arith::prng::Rng;
 use cqcount_core::prelude::*;
 use cqcount_query::{ConjunctiveQuery, Term};
 use cqcount_relational::Database;
-use proptest::prelude::*;
+
+const CASES: usize = if cfg!(feature = "exhaustive-tests") {
+    384
+} else {
+    96
+};
 
 /// A random conjunctive query: up to 5 atoms over ≤ 6 variables, arities
 /// 1..3, relation names drawn from a small pool (so symbols repeat, which
 /// exercises the non-simple-query machinery), and a random free set.
-fn arb_query() -> impl Strategy<Value = ConjunctiveQuery> {
-    let atom = (0usize..4, proptest::collection::vec(0u32..6, 1..4));
-    (
-        proptest::collection::vec(atom, 1..6),
-        proptest::collection::vec(any::<bool>(), 6),
-    )
-        .prop_map(|(atoms, free_flags)| {
-            let mut q = ConjunctiveQuery::new();
-            let vars: Vec<_> = (0..6).map(|i| q.var(&format!("V{i}"))).collect();
-            for (rel, args) in atoms {
-                let terms = args.iter().map(|&a| Term::Var(vars[a as usize])).collect();
-                q.add_atom(&format!("r{}a{}", rel, args.len()), terms);
-            }
-            let free: Vec<_> = vars
-                .iter()
-                .zip(&free_flags)
-                .filter(|(_, &f)| f)
-                .map(|(&v, _)| v)
-                .collect();
-            q.set_free(free);
-            q
-        })
+fn arb_query(rng: &mut Rng) -> ConjunctiveQuery {
+    let mut q = ConjunctiveQuery::new();
+    let vars: Vec<_> = (0..6).map(|i| q.var(&format!("V{i}"))).collect();
+    let atoms = rng.range_usize(1, 6);
+    for _ in 0..atoms {
+        let rel = rng.range_usize(0, 4);
+        let arity = rng.range_usize(1, 4);
+        let terms = (0..arity)
+            .map(|_| Term::Var(vars[rng.range_usize(0, 6)]))
+            .collect();
+        q.add_atom(&format!("r{rel}a{arity}"), terms);
+    }
+    let free: Vec<_> = vars.iter().filter(|_| rng.chance(0.5)).copied().collect();
+    q.set_free(free);
+    q
 }
 
 /// A random database over the same relation pool with a small domain.
-fn arb_database() -> impl Strategy<Value = Database> {
-    let fact = (0usize..4, proptest::collection::vec(0u32..4, 1..4));
-    proptest::collection::vec(fact, 0..25).prop_map(|facts| {
-        let mut db = Database::new();
-        for (rel, args) in facts {
-            let vals = args.iter().map(|a| db.value(&format!("c{a}"))).collect();
-            db.add_tuple(&format!("r{}a{}", rel, args.len()), vals);
-        }
-        db
-    })
+fn arb_database(rng: &mut Rng) -> Database {
+    let mut db = Database::new();
+    let facts = rng.range_usize(0, 25);
+    for _ in 0..facts {
+        let rel = rng.range_usize(0, 4);
+        let arity = rng.range_usize(1, 4);
+        let vals = (0..arity)
+            .map(|_| db.value(&format!("c{}", rng.range_u32(0, 4))))
+            .collect();
+        db.add_tuple(&format!("r{rel}a{arity}"), vals);
+    }
+    db
 }
 
 /// Makes the database compatible with the query: every relation the query
@@ -83,28 +85,30 @@ fn align(q: &ConjunctiveQuery, db: &Database) -> Database {
         if out.relation(&name).is_some_and(|r| r.is_empty()) {
             let t1: Vec<_> = (0..arity).map(|_| out.value("c0")).collect();
             out.add_tuple(&name, t1);
-            let t2: Vec<_> = (0..arity).map(|i| out.value(&format!("c{}", i % 3))).collect();
+            let t2: Vec<_> = (0..arity)
+                .map(|i| out.value(&format!("c{}", i % 3)))
+                .collect();
             out.add_tuple(&name, t2);
         }
     }
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn all_algorithms_agree(q in arb_query(), db in arb_database()) {
-        let db = align(&q, &db);
+#[test]
+fn all_algorithms_agree() {
+    let mut rng = Rng::seed_from_u64(0x51);
+    for case in 0..CASES {
+        let q = arb_query(&mut rng);
+        let db = align(&q, &arb_database(&mut rng));
         let expected = count_brute_force(&q, &db);
 
         // Independent baseline.
-        prop_assert_eq!(count_via_full_join(&q, &db), expected.clone());
+        assert_eq!(count_via_full_join(&q, &db), expected, "case {case}");
 
         // Theorem 1.3 pipeline (always applicable at width ≤ #atoms).
         let (n, sd) = count_via_sharp_decomposition(&q, &db, q.atoms().len().max(1))
             .expect("width ≤ #atoms always suffices");
-        prop_assert_eq!(&n, &expected, "#-pipeline (width {})", sd.width);
+        assert_eq!(n, expected, "#-pipeline (width {}) case {case}", sd.width);
 
         // Pichler–Skritek over a plain GHD of the full query hypergraph.
         let resources: Vec<cqcount_hypergraph::NodeSet> = q
@@ -114,59 +118,68 @@ proptest! {
             .collect();
         let (_, ht) = cqcount_decomp::ghw_exact(&q.hypergraph(), &resources, q.atoms().len())
             .expect("ghw ≤ #atoms");
-        prop_assert_eq!(count_pichler_skritek(&q, &db, &ht), expected.clone(), "PS");
+        assert_eq!(
+            count_pichler_skritek(&q, &db, &ht),
+            expected,
+            "PS case {case}"
+        );
 
         // Durand–Mengel (may need larger width; always ≤ #atoms here since
         // one bag with all atoms covers everything).
         let dm = count_durand_mengel(&q, &db, q.atoms().len().max(1))
             .expect("full-width DM decomposition exists");
-        prop_assert_eq!(dm, expected.clone(), "Durand–Mengel");
+        assert_eq!(dm, expected, "Durand–Mengel case {case}");
 
         // Hybrid with unconstrained threshold.
         let (hy, hd) = count_hybrid(&q, &db, q.atoms().len().max(1), usize::MAX)
             .expect("hybrid with S̄ = free always exists at full width");
-        prop_assert_eq!(&hy, &expected, "hybrid (bound {})", hd.bound);
+        assert_eq!(hy, expected, "hybrid (bound {}) case {case}", hd.bound);
 
         // Planner.
-        prop_assert_eq!(count_auto(&q, &db), expected.clone());
+        assert_eq!(count_auto(&q, &db), expected, "case {case}");
 
         // Polynomial-delay enumeration: emits exactly the distinct answers.
         let answers = enumerate_answers(&q, &db, q.atoms().len().max(1))
             .expect("decomposition exists at full width");
-        prop_assert_eq!(
+        assert_eq!(
             cqcount_arith::Natural::from(answers.len()),
-            expected.clone(),
-            "enumeration cardinality"
+            expected,
+            "enumeration cardinality case {case}"
         );
         let free: Vec<cqcount_query::Var> = q.free().into_iter().collect();
         let distinct: std::collections::BTreeSet<Vec<cqcount_relational::Value>> = answers
             .iter()
             .map(|a| free.iter().map(|v| a[v]).collect())
             .collect();
-        prop_assert_eq!(
+        assert_eq!(
             cqcount_arith::Natural::from(distinct.len()),
             expected,
-            "enumeration emits no duplicates"
+            "enumeration emits no duplicates case {case}"
         );
     }
+}
 
-    /// The #-relation algorithm with every variable free must equal the
-    /// acyclic join-count DP on the bag views.
-    #[test]
-    fn ps_all_free_equals_join_count(q in arb_query(), db in arb_database()) {
-        let db = align(&q, &db);
+/// The #-relation algorithm with every variable free must equal the
+/// acyclic join-count DP on the bag views.
+#[test]
+fn ps_all_free_equals_join_count() {
+    let mut rng = Rng::seed_from_u64(0x52);
+    for _ in 0..CASES {
+        let q = arb_query(&mut rng);
+        let db = align(&q, &arb_database(&mut rng));
         let all: Vec<_> = q.vars_in_atoms().into_iter().collect();
         let qf = q.requantify(all);
-        prop_assert_eq!(
-            count_auto(&qf, &db),
-            count_brute_force(&qf, &db)
-        );
+        assert_eq!(count_auto(&qf, &db), count_brute_force(&qf, &db));
     }
+}
 
-    /// Monotonicity sanity: adding tuples never decreases the count.
-    #[test]
-    fn count_is_monotone_in_data(q in arb_query(), db in arb_database()) {
-        let small = align(&q, &db);
+/// Monotonicity sanity: adding tuples never decreases the count.
+#[test]
+fn count_is_monotone_in_data() {
+    let mut rng = Rng::seed_from_u64(0x53);
+    for _ in 0..CASES {
+        let q = arb_query(&mut rng);
+        let small = align(&q, &arb_database(&mut rng));
         let mut big = small.clone();
         // add one extra tuple to every relation
         let specs: Vec<(String, usize)> = q
@@ -178,6 +191,33 @@ proptest! {
             let t: Vec<_> = (0..arity).map(|_| big.value("fresh")).collect();
             big.add_tuple(&name, t);
         }
-        prop_assert!(count_brute_force(&q, &small) <= count_brute_force(&q, &big));
+        assert!(count_brute_force(&q, &small) <= count_brute_force(&q, &big));
+    }
+}
+
+/// The ISSUE's end-to-end determinism properties: the full counting
+/// pipeline returns identical results (count, width, and decomposition
+/// shape) whether run sequentially or on a multi-lane pool, and two
+/// parallel runs are identical to each other.
+#[test]
+fn sharp_pipeline_deterministic_across_threads() {
+    let mut rng = Rng::seed_from_u64(0x54);
+    for case in 0..CASES.min(32) {
+        let q = arb_query(&mut rng);
+        let db = align(&q, &arb_database(&mut rng));
+        let cap = q.atoms().len().max(1);
+        let run = || count_via_sharp_decomposition(&q, &db, cap);
+
+        let seq = cqcount_exec::with_threads(1, run);
+        let par1 = cqcount_exec::with_threads(8, run);
+        let par2 = cqcount_exec::with_threads(8, run);
+
+        let unpack = |r: Option<(cqcount_arith::Natural, _)>| {
+            r.map(|(n, sd): (_, cqcount_core::SharpDecomposition)| (n, sd.width))
+        };
+        let (s, p1, p2) = (unpack(seq), unpack(par1), unpack(par2));
+        // parallel runs are mutually identical AND match the sequential run
+        assert_eq!(p1, p2, "two parallel runs diverged, case {case}");
+        assert_eq!(s, p1, "sequential vs parallel diverged, case {case}");
     }
 }

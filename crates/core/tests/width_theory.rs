@@ -1,34 +1,35 @@
 //! Property tests for the width-comparison theory of Appendix A
-//! (Theorem A.3, Lemma A.4, Corollary A.5) and Remark 4.4.
+//! (Theorem A.3, Lemma A.4, Corollary A.5) and Remark 4.4. Instances come
+//! from the workspace PRNG under fixed seeds; `exhaustive-tests` raises the
+//! case count.
 
+use cqcount_arith::prng::Rng;
 use cqcount_core::prelude::*;
 use cqcount_query::color::{color, uncolor};
 use cqcount_query::core_of::core_exact;
 use cqcount_query::{quantified_star_size, ConjunctiveQuery, Term};
-use proptest::prelude::*;
 
-fn arb_query() -> impl Strategy<Value = ConjunctiveQuery> {
-    let atom = (0usize..3, proptest::collection::vec(0u32..5, 1..4));
-    (
-        proptest::collection::vec(atom, 1..5),
-        proptest::collection::vec(any::<bool>(), 5),
-    )
-        .prop_map(|(atoms, free_flags)| {
-            let mut q = ConjunctiveQuery::new();
-            let vars: Vec<_> = (0..5).map(|i| q.var(&format!("V{i}"))).collect();
-            for (rel, args) in atoms {
-                let terms = args.iter().map(|&a| Term::Var(vars[a as usize])).collect();
-                q.add_atom(&format!("r{}a{}", rel, args.len()), terms);
-            }
-            let free: Vec<_> = vars
-                .iter()
-                .zip(&free_flags)
-                .filter(|(_, &f)| f)
-                .map(|(&v, _)| v)
-                .collect();
-            q.set_free(free);
-            q
-        })
+const CASES: usize = if cfg!(feature = "exhaustive-tests") {
+    192
+} else {
+    48
+};
+
+fn arb_query(rng: &mut Rng) -> ConjunctiveQuery {
+    let mut q = ConjunctiveQuery::new();
+    let vars: Vec<_> = (0..5).map(|i| q.var(&format!("V{i}"))).collect();
+    let atoms = rng.range_usize(1, 5);
+    for _ in 0..atoms {
+        let rel = rng.range_usize(0, 3);
+        let arity = rng.range_usize(1, 4);
+        let terms = (0..arity)
+            .map(|_| Term::Var(vars[rng.range_usize(0, 5)]))
+            .collect();
+        q.add_atom(&format!("r{rel}a{arity}"), terms);
+    }
+    let free: Vec<_> = vars.iter().filter(|_| rng.chance(0.5)).copied().collect();
+    q.set_free(free);
+    q
 }
 
 fn ghw_of(q: &ConjunctiveQuery, cap: usize) -> Option<usize> {
@@ -40,74 +41,90 @@ fn ghw_of(q: &ConjunctiveQuery, cap: usize) -> Option<usize> {
     cqcount_decomp::ghw_exact(&q.hypergraph(), &resources, cap).map(|(w, _)| w)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Lemma A.4: the cores of the colorings of queries with #-htw ≤ k have
-    /// ghw ≤ k and quantified star size ≤ k.
-    #[test]
-    fn lemma_a4_core_widths_bounded_by_sharp_width(q in arb_query()) {
+/// Lemma A.4: the cores of the colorings of queries with #-htw ≤ k have
+/// ghw ≤ k and quantified star size ≤ k.
+#[test]
+fn lemma_a4_core_widths_bounded_by_sharp_width() {
+    let mut rng = Rng::seed_from_u64(0x61);
+    for _ in 0..CASES {
+        let q = arb_query(&mut rng);
         let cap = q.atoms().len().max(1);
         let sharp = sharp_hypertree_width(&q, cap).expect("width ≤ #atoms");
         let qprime = uncolor(&core_exact(&color(&q)));
         let core_ghw = ghw_of(&qprime, cap).expect("ghw of core exists");
-        prop_assert!(core_ghw <= sharp, "ghw(core) {core_ghw} > #-htw {sharp}");
+        assert!(core_ghw <= sharp, "ghw(core) {core_ghw} > #-htw {sharp}");
         let core_star = quantified_star_size(&qprime);
-        prop_assert!(core_star <= sharp, "star(core) {core_star} > #-htw {sharp}");
+        assert!(core_star <= sharp, "star(core) {core_star} > #-htw {sharp}");
     }
+}
 
-    /// Theorem A.3 (quantitative direction): #-htw ≤ ghw(core) · star(core)
-    /// — via the constructed decomposition; we check the weaker product
-    /// bound on the core.
-    #[test]
-    fn theorem_a3_product_bound(q in arb_query()) {
+/// Theorem A.3 (quantitative direction): #-htw ≤ ghw(core) · star(core)
+/// — via the constructed decomposition; we check the weaker product
+/// bound on the core.
+#[test]
+fn theorem_a3_product_bound() {
+    let mut rng = Rng::seed_from_u64(0x62);
+    for _ in 0..CASES {
+        let q = arb_query(&mut rng);
         let cap = q.atoms().len().max(1);
         let sharp = sharp_hypertree_width(&q, cap).expect("exists");
         let qprime = uncolor(&core_exact(&color(&q)));
         let core_ghw = ghw_of(&qprime, cap).unwrap();
         let core_star = quantified_star_size(&qprime).max(1);
-        prop_assert!(
+        assert!(
             sharp <= core_ghw * core_star,
             "#-htw {sharp} > ghw(core)·star(core) = {core_ghw}·{core_star}"
         );
     }
+}
 
-    /// The Durand–Mengel width (no coring) is never smaller than the
-    /// paper's width (which cores first): Example A.2's separation is the
-    /// strict case.
-    #[test]
-    fn dm_width_dominates_sharp_width(q in arb_query()) {
+/// The Durand–Mengel width (no coring) is never smaller than the
+/// paper's width (which cores first): Example A.2's separation is the
+/// strict case.
+#[test]
+fn dm_width_dominates_sharp_width() {
+    let mut rng = Rng::seed_from_u64(0x63);
+    for _ in 0..CASES {
+        let q = arb_query(&mut rng);
         let cap = q.atoms().len().max(1);
         let sharp = sharp_hypertree_width(&q, cap).expect("exists");
         if let Some((dm, _)) = durand_mengel_width(&q, cap) {
-            prop_assert!(dm >= sharp, "DM {dm} < #-htw {sharp}");
+            assert!(dm >= sharp, "DM {dm} < #-htw {sharp}");
         }
     }
+}
 
-    /// Remark 4.4: fractional hypertree width ≤ generalized hypertree width
-    /// (an integral cover is a fractional one).
-    #[test]
-    fn fhw_at_most_ghw(q in arb_query()) {
+/// Remark 4.4: fractional hypertree width ≤ generalized hypertree width
+/// (an integral cover is a fractional one).
+#[test]
+fn fhw_at_most_ghw() {
+    let mut rng = Rng::seed_from_u64(0x64);
+    for _ in 0..CASES {
+        let q = arb_query(&mut rng);
         let cap = q.atoms().len().max(1);
         let h = q.hypergraph();
         if h.num_nodes() == 0 || h.num_nodes() > 8 {
-            return Ok(());
+            continue;
         }
         let ghw = ghw_of(&q, cap).unwrap();
         let k = cqcount_arith::Rational::from(ghw as i64);
-        prop_assert!(
+        assert!(
             cqcount_decomp::fractional_hypertree_width_at_most(&h, k).is_some(),
             "fhw must be ≤ ghw = {ghw}"
         );
     }
+}
 
-    /// The width search is monotone: #-htw found at k implies found at k+1.
-    #[test]
-    fn sharp_width_monotone(q in arb_query()) {
+/// The width search is monotone: #-htw found at k implies found at k+1.
+#[test]
+fn sharp_width_monotone() {
+    let mut rng = Rng::seed_from_u64(0x65);
+    for _ in 0..CASES {
+        let q = arb_query(&mut rng);
         let cap = q.atoms().len().max(1);
         let w = sharp_hypertree_width(&q, cap).unwrap();
         for k in w..=cap {
-            prop_assert!(sharp_hypertree_decomposition(&q, k).is_some());
+            assert!(sharp_hypertree_decomposition(&q, k).is_some());
         }
     }
 }

@@ -65,14 +65,15 @@ pub fn simplex_max(a: &[Vec<Rational>], b: &[Rational], c: &[Rational]) -> Optio
         };
         // Pivot.
         let inv = t[pivot_row][enter].recip();
-        for j in 0..cols {
-            t[pivot_row][j] = &t[pivot_row][j] * &inv;
+        for cell in &mut t[pivot_row][..cols] {
+            *cell = &*cell * &inv;
         }
         for i in 0..=m {
             if i != pivot_row && !t[i][enter].is_zero() {
                 let factor = t[i][enter].clone();
-                for j in 0..cols {
-                    t[i][j] = &t[i][j] - &(&factor * &t[pivot_row][j]);
+                let pivot = t[pivot_row][..cols].to_vec();
+                for (cell, p) in t[i][..cols].iter_mut().zip(&pivot) {
+                    *cell = &*cell - &(&factor * p);
                 }
             }
         }
@@ -87,10 +88,7 @@ pub fn fractional_edge_cover_number(target: &NodeSet, edges: &[NodeSet]) -> Opti
         return Some(Rational::ZERO);
     }
     let nodes: Vec<u32> = target.to_vec();
-    if nodes
-        .iter()
-        .any(|&v| !edges.iter().any(|e| e.contains(v)))
-    {
+    if nodes.iter().any(|&v| !edges.iter().any(|e| e.contains(v))) {
         return None;
     }
     // Dual: max Σ y_v s.t. for each edge e: Σ_{v ∈ e ∩ target} y_v ≤ 1.
@@ -127,7 +125,10 @@ fn fractional_candidates(
     let mut rho_cache: HashMap<NodeSet, Option<Rational>> = HashMap::new();
     move |conn, comp| {
         let free: Vec<u32> = comp.to_vec();
-        assert!(free.len() < 26, "fractional candidate enumeration too large");
+        assert!(
+            free.len() < 26,
+            "fractional candidate enumeration too large"
+        );
         let mut out = Vec::new();
         for mask in 1u64..(1u64 << free.len()) {
             let mut bag = conn.clone();
@@ -201,10 +202,7 @@ mod tests {
         // costs 3/2 fractionally (1/2 each), 2 integrally.
         let edges: Vec<NodeSet> = vec![[0, 1].into(), [1, 2].into(), [0, 2].into()];
         let target: NodeSet = [0, 1, 2].into();
-        assert_eq!(
-            fractional_edge_cover_number(&target, &edges),
-            Some(q(3, 2))
-        );
+        assert_eq!(fractional_edge_cover_number(&target, &edges), Some(q(3, 2)));
     }
 
     #[test]

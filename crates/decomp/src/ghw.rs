@@ -32,42 +32,68 @@ pub(crate) fn combinations_upto(n: usize, max_k: usize) -> Vec<Vec<usize>> {
     result
 }
 
+/// Exhaustive sub-bag enumeration is only attempted up to this many free
+/// vertices per candidate universe (2^f bags); beyond it, only the maximal
+/// bag is emitted so wide atoms degrade gracefully instead of overflowing.
+const MAX_ENUM_FREE: usize = 20;
+
 /// Builds a candidate provider whose bags are subsets of unions of at most
 /// `k` of the given resource edges.
 fn union_candidates(
     resources: Vec<NodeSet>,
     k: usize,
 ) -> impl FnMut(&NodeSet, &NodeSet) -> Vec<Candidate> {
-    let mut combos: Vec<(NodeSet, Vec<usize>, bool)> = combinations_upto(resources.len(), k)
-        .into_iter()
-        .map(|combo| {
+    // The per-combo union + connectivity analysis is embarrassingly
+    // parallel and pays for itself once `C(n, k)` gets into the thousands.
+    let all_combos = combinations_upto(resources.len(), k);
+    let mut combos: Vec<(NodeSet, Vec<usize>, bool)> =
+        cqcount_exec::par_map(&all_combos, |combo| {
             let mut u = NodeSet::new();
-            for &i in &combo {
+            for &i in combo {
                 u.union_with(&resources[i]);
             }
             // Connected λ-sets materialize as joins with shared columns;
             // disconnected ones are cross products. Preferring connected
             // combos does not affect completeness, only which witness is
             // found first — and the witness's evaluation cost.
-            let connected = is_connected_combo(&combo, &resources);
-            (u, combo, connected)
-        })
-        .collect();
+            let connected = is_connected_combo(combo, &resources);
+            (u, combo.clone(), connected)
+        });
     // Connected combos first, so the per-`avail` dedup below keeps a
     // connected witness whenever one generates the same bag universe.
     combos.sort_by_key(|(_, combo, connected)| (!connected, combo.len()));
     move |conn, comp| {
         let allowed = conn.union(comp);
+        // Dedup the available-universe sets sequentially (the `seen` state
+        // is order-dependent by design: first — most connected — wins) ...
         let mut seen: HashSet<NodeSet> = HashSet::new();
-        let mut out = Vec::new();
-        let mut keys = Vec::new();
+        let mut kept: Vec<(NodeSet, &Vec<usize>, bool)> = Vec::new();
         for (union, combo, connected) in &combos {
             let avail = union.intersection(&allowed);
             if !conn.is_subset(&avail) || !seen.insert(avail.clone()) {
                 continue;
             }
+            kept.push((avail, combo, *connected));
+        }
+        // ... then expand every kept universe into its candidate bags in
+        // parallel; flattening in `kept` order keeps the result (and hence
+        // the decomposition search) deterministic.
+        let expanded = cqcount_exec::par_map(&kept, |(avail, combo, connected)| {
             let free: Vec<u32> = avail.difference(conn).to_vec();
-            debug_assert!(free.len() < 31, "bag enumeration mask overflow");
+            let mut out = Vec::new();
+            let mut keys = Vec::new();
+            if free.len() > MAX_ENUM_FREE {
+                // 2^f sub-bags is infeasible here; fall back to the maximal
+                // bag, which is always a valid candidate (it is what the
+                // reduced normal form of det-k-decomp uses). The search
+                // stays sound — witnesses are verified downstream — it just
+                // no longer explores strict sub-bags of enormous universes.
+                let mut bag = conn.clone();
+                bag.union_with(avail);
+                keys.push((!*connected, std::cmp::Reverse(bag.len()), combo.len()));
+                out.push((bag, (*combo).clone()));
+                return (out, keys);
+            }
             for mask in 1u32..(1u32 << free.len()) {
                 let mut bag = conn.clone();
                 for (j, &x) in free.iter().enumerate() {
@@ -76,8 +102,15 @@ fn union_candidates(
                     }
                 }
                 keys.push((!*connected, std::cmp::Reverse(bag.len()), combo.len()));
-                out.push((bag, combo.clone()));
+                out.push((bag, (*combo).clone()));
             }
+            (out, keys)
+        });
+        let mut out = Vec::new();
+        let mut keys = Vec::new();
+        for (o, k) in expanded {
+            out.extend(o);
+            keys.extend(k);
         }
         // Try connected-λ, large bags first: they absorb more edges and
         // evaluate cheaply; completeness does not depend on the order.
@@ -192,8 +225,7 @@ mod tests {
     fn sharp_cover_extra_edges() {
         // Example 4.1 / Figure 8: the 4-cycle Q1 with the frontier edge
         // {A,C} = {0,2} added; still width 2 w.r.t. the cycle's atoms.
-        let atoms: Vec<NodeSet> =
-            vec![[0, 1].into(), [1, 2].into(), [2, 3].into(), [3, 0].into()];
+        let atoms: Vec<NodeSet> = vec![[0, 1].into(), [1, 2].into(), [2, 3].into(), [3, 0].into()];
         let mut cover = Hypergraph::from_edges(atoms.iter().map(|e| e.iter()));
         cover.add_edge([0, 2].into()); // frontier {A,C}
         let (w, ht) = ghw_exact(&cover, &atoms, 3).unwrap();

@@ -124,7 +124,9 @@ impl Hypertree {
     /// Condition (2): connectedness of every node's occurrence set.
     pub fn is_connected(&self) -> bool {
         for x in self.all_nodes().iter() {
-            let holders: Vec<usize> = (0..self.len()).filter(|&p| self.chi[p].contains(x)).collect();
+            let holders: Vec<usize> = (0..self.len())
+                .filter(|&p| self.chi[p].contains(x))
+                .collect();
             let internal = holders
                 .iter()
                 .filter(|&&p| self.parent[p].is_some_and(|q| self.chi[q].contains(x)))

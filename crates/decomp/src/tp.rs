@@ -109,8 +109,7 @@ fn flatten(forest: Vec<BagTree>) -> Hypertree {
     let mut chi = Vec::new();
     let mut lambda = Vec::new();
     let mut parent = Vec::new();
-    let mut stack: Vec<(BagTree, Option<usize>)> =
-        forest.into_iter().map(|t| (t, None)).collect();
+    let mut stack: Vec<(BagTree, Option<usize>)> = forest.into_iter().map(|t| (t, None)).collect();
     while let Some((node, par)) = stack.pop() {
         let idx = chi.len();
         chi.push(node.bag);

@@ -27,9 +27,9 @@ fn sized_candidates(k: usize) -> impl FnMut(&NodeSet, &NodeSet) -> Vec<Candidate
             if used == room {
                 continue;
             }
-            for i in start..free.len() {
+            for (i, &node) in free.iter().enumerate().skip(start) {
                 let mut next = bag.clone();
-                next.insert(free[i]);
+                next.insert(node);
                 stack.push((i + 1, next, used + 1));
             }
         }

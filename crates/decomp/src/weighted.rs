@@ -207,17 +207,13 @@ mod tests {
         // Path 0-1-2; cost = 100 for bags containing node 1 together with
         // both neighbours, else |bag|. The minimizer avoids the big bag.
         let g = h(&[&[0, 1], &[1, 2]]);
-        let (ht, cost) = decompose_min_cost(
-            &g,
-            union_provider(g.edges().to_vec(), 2),
-            |bag, _| {
-                if bag.len() == 3 {
-                    Natural::from(100u64)
-                } else {
-                    Natural::from(bag.len() as u64)
-                }
-            },
-        )
+        let (ht, cost) = decompose_min_cost(&g, union_provider(g.edges().to_vec(), 2), |bag, _| {
+            if bag.len() == 3 {
+                Natural::from(100u64)
+            } else {
+                Natural::from(bag.len() as u64)
+            }
+        })
         .unwrap();
         assert!(ht.covers_all_edges(&g));
         assert!(ht.is_connected());
@@ -228,11 +224,9 @@ mod tests {
     #[test]
     fn min_cost_uses_big_bag_when_cheaper() {
         let g = h(&[&[0, 1], &[1, 2]]);
-        let (ht, cost) = decompose_min_cost(
-            &g,
-            union_provider(g.edges().to_vec(), 2),
-            |_, lam| Natural::from(10u64 * lam.len() as u64),
-        )
+        let (ht, cost) = decompose_min_cost(&g, union_provider(g.edges().to_vec(), 2), |_, lam| {
+            Natural::from(10u64 * lam.len() as u64)
+        })
         .unwrap();
         // Cheapest: single-atom bags cost 10 each. One bag can't cover both
         // edges (λ of one atom), so expect ≥ 2 vertices, total 20.
@@ -244,8 +238,9 @@ mod tests {
     fn infeasible_returns_none() {
         let g = h(&[&[0, 1, 2]]);
         let resources: Vec<NodeSet> = vec![[0, 1].into()];
-        assert!(decompose_min_cost(&g, union_provider(resources, 1), |_, _| Natural::ONE)
-            .is_none());
+        assert!(
+            decompose_min_cost(&g, union_provider(resources, 1), |_, _| Natural::ONE).is_none()
+        );
     }
 
     #[test]
@@ -253,9 +248,10 @@ mod tests {
         // 4-cycle with k=2: a single bag {0,1,2,3} (union of two opposite
         // edges) covers everything, so the vertex-count minimum is 1.
         let g = h(&[&[0, 1], &[1, 2], &[2, 3], &[3, 0]]);
-        let (ht, cost) =
-            decompose_min_cost(&g, union_provider(g.edges().to_vec(), 2), |_, _| Natural::ONE)
-                .unwrap();
+        let (ht, cost) = decompose_min_cost(&g, union_provider(g.edges().to_vec(), 2), |_, _| {
+            Natural::ONE
+        })
+        .unwrap();
         assert_eq!(cost, Natural::ONE);
         assert!(ht.covers_all_edges(&g));
     }

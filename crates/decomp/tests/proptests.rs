@@ -3,16 +3,27 @@
 //! Treewidth is cross-checked against an independent brute-force reference:
 //! the minimum over all elimination orderings of the maximum clique created
 //! during elimination (exact for the tiny instances generated here).
+//! Instances come from the workspace PRNG under fixed seeds;
+//! `exhaustive-tests` raises the case count.
 
+use cqcount_arith::prng::Rng;
 use cqcount_decomp::{
     ghw_at_most, ghw_exact, hypertree_width_exact, treewidth_at_most, treewidth_exact,
 };
 use cqcount_hypergraph::{Hypergraph, NodeSet};
-use proptest::prelude::*;
 
-fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
-    proptest::collection::vec(proptest::collection::vec(0u32..6, 1..4), 1..7)
-        .prop_map(Hypergraph::from_edges)
+const CASES: usize = if cfg!(feature = "exhaustive-tests") {
+    512
+} else {
+    64
+};
+
+fn arb_hypergraph(rng: &mut Rng) -> Hypergraph {
+    let edges = rng.range_usize(1, 7);
+    Hypergraph::from_edges((0..edges).map(|_| {
+        let size = rng.range_usize(1, 4);
+        (0..size).map(|_| rng.range_u32(0, 6)).collect::<Vec<_>>()
+    }))
 }
 
 /// Reference treewidth: min over elimination orders (exponential, n ≤ 6).
@@ -68,103 +79,157 @@ fn permute(items: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn treewidth_matches_elimination_reference(h in arb_hypergraph()) {
+#[test]
+fn treewidth_matches_elimination_reference() {
+    let mut rng = Rng::seed_from_u64(0x41);
+    for _ in 0..CASES {
+        let h = arb_hypergraph(&mut rng);
         let reference = treewidth_reference(&h);
         let (w, ht) = treewidth_exact(&h, 6).expect("treewidth ≤ n always exists");
-        prop_assert_eq!(w, reference);
-        prop_assert!(ht.covers_all_edges(&h));
-        prop_assert!(ht.is_connected());
-        prop_assert!(ht.bags_acyclic());
-        prop_assert!(ht.chi.iter().all(|b| b.len() <= w + 1));
+        assert_eq!(w, reference);
+        assert!(ht.covers_all_edges(&h));
+        assert!(ht.is_connected());
+        assert!(ht.bags_acyclic());
+        assert!(ht.chi.iter().all(|b| b.len() <= w + 1));
     }
+}
 
-    #[test]
-    fn treewidth_monotone_in_k(h in arb_hypergraph(), k in 0usize..6) {
+#[test]
+fn treewidth_monotone_in_k() {
+    let mut rng = Rng::seed_from_u64(0x42);
+    for _ in 0..CASES {
+        let h = arb_hypergraph(&mut rng);
+        let k = rng.range_usize(0, 6);
         if treewidth_at_most(&h, k).is_some() {
-            prop_assert!(treewidth_at_most(&h, k + 1).is_some());
+            assert!(treewidth_at_most(&h, k + 1).is_some());
         }
     }
+}
 
-    #[test]
-    fn ghw_witnesses_verify(h in arb_hypergraph(), k in 1usize..4) {
+#[test]
+fn ghw_witnesses_verify() {
+    let mut rng = Rng::seed_from_u64(0x43);
+    for _ in 0..CASES {
+        let h = arb_hypergraph(&mut rng);
+        let k = rng.range_usize(1, 4);
         if let Some(ht) = ghw_at_most(&h, h.edges(), k) {
-            prop_assert!(ht.verify_ghd(&h, h.edges()));
-            prop_assert!(ht.width() <= k);
-            prop_assert!(ht.bags_acyclic());
+            assert!(ht.verify_ghd(&h, h.edges()));
+            assert!(ht.width() <= k);
+            assert!(ht.bags_acyclic());
         }
     }
+}
 
-    #[test]
-    fn ghw_monotone_and_bounded_by_edge_count(h in arb_hypergraph()) {
+#[test]
+fn ghw_monotone_and_bounded_by_edge_count() {
+    let mut rng = Rng::seed_from_u64(0x44);
+    for _ in 0..CASES {
+        let h = arb_hypergraph(&mut rng);
         let m = h.num_edges();
         let (w, _) = ghw_exact(&h, h.edges(), m.max(1)).expect("ghw ≤ m");
-        prop_assert!(w <= m);
+        assert!(w <= m);
         for k in w..m.max(1) {
-            prop_assert!(ghw_at_most(&h, h.edges(), k).is_some());
+            assert!(ghw_at_most(&h, h.edges(), k).is_some());
         }
         if w > 1 {
-            prop_assert!(ghw_at_most(&h, h.edges(), w - 1).is_none());
+            assert!(ghw_at_most(&h, h.edges(), w - 1).is_none());
         }
     }
+}
 
-    /// ghw ≤ tw + 1 is false in general, but tw ≤ (ghw)·(max edge size) - 1
-    /// and ghw = 1 iff acyclic; check the acyclicity characterization.
-    #[test]
-    fn ghw_one_iff_acyclic(h in arb_hypergraph()) {
+/// ghw ≤ tw + 1 is false in general, but tw ≤ (ghw)·(max edge size) - 1
+/// and ghw = 1 iff acyclic; check the acyclicity characterization.
+#[test]
+fn ghw_one_iff_acyclic() {
+    let mut rng = Rng::seed_from_u64(0x45);
+    for _ in 0..CASES {
+        let h = arb_hypergraph(&mut rng);
         let acyclic = cqcount_hypergraph::is_acyclic(&h);
         let w1 = ghw_at_most(&h, h.edges(), 1).is_some();
-        prop_assert_eq!(acyclic, w1);
+        assert_eq!(acyclic, w1);
     }
+}
 
-    /// Hypertree width (descendant condition) dominates generalized
-    /// hypertree width, witnesses are genuine HDs, and ghw ≤ hw ≤ 3·ghw+1
-    /// ([40]'s approximation bound).
-    #[test]
-    fn hw_between_ghw_and_3ghw_plus_1(h in arb_hypergraph()) {
+/// Hypertree width (descendant condition) dominates generalized
+/// hypertree width, witnesses are genuine HDs, and ghw ≤ hw ≤ 3·ghw+1
+/// ([40]'s approximation bound).
+#[test]
+fn hw_between_ghw_and_3ghw_plus_1() {
+    let mut rng = Rng::seed_from_u64(0x46);
+    for _ in 0..CASES {
+        let h = arb_hypergraph(&mut rng);
         let m = h.num_edges().max(1);
         let (ghw, _) = ghw_exact(&h, h.edges(), m).expect("ghw ≤ m");
         let (hw, ht) = hypertree_width_exact(&h, h.edges(), m).expect("hw ≤ m");
-        prop_assert!(hw >= ghw, "hw {hw} < ghw {ghw}");
-        prop_assert!(hw <= 3 * ghw + 1, "hw {hw} > 3·{ghw}+1");
-        prop_assert!(ht.verify_ghd(&h, h.edges()));
-        prop_assert!(ht.satisfies_descendant_condition(h.edges()));
+        assert!(hw >= ghw, "hw {hw} < ghw {ghw}");
+        assert!(hw <= 3 * ghw + 1, "hw {hw} > 3·{ghw}+1");
+        assert!(ht.verify_ghd(&h, h.edges()));
+        assert!(ht.satisfies_descendant_condition(h.edges()));
     }
+}
 
-    /// Normalization keeps witnesses valid and never grows them.
-    #[test]
-    fn normalization_preserves_validity(h in arb_hypergraph(), k in 1usize..4) {
+/// Normalization keeps witnesses valid and never grows them.
+#[test]
+fn normalization_preserves_validity() {
+    let mut rng = Rng::seed_from_u64(0x47);
+    for _ in 0..CASES {
+        let h = arb_hypergraph(&mut rng);
+        let k = rng.range_usize(1, 4);
         if let Some(ht) = ghw_at_most(&h, h.edges(), k) {
             let n = ht.normalize();
-            prop_assert!(n.len() <= ht.len());
-            prop_assert!(n.covers_all_edges(&h));
-            prop_assert!(n.is_connected());
-            prop_assert!(n.lambda_covers_chi(h.edges()));
-            prop_assert!(n.bags_acyclic());
+            assert!(n.len() <= ht.len());
+            assert!(n.covers_all_edges(&h));
+            assert!(n.is_connected());
+            assert!(n.lambda_covers_chi(h.edges()));
+            assert!(n.bags_acyclic());
             // idempotent
-            prop_assert_eq!(n.normalize().len(), n.len());
+            assert_eq!(n.normalize().len(), n.len());
         }
     }
+}
 
-    /// The decomposition hypergraph of any witness is a tree projection:
-    /// covered by unions of ≤ k edges and covering h.
-    #[test]
-    fn witness_is_sandwich(h in arb_hypergraph()) {
+/// The decomposition hypergraph of any witness is a tree projection:
+/// covered by unions of ≤ k edges and covering h.
+#[test]
+fn witness_is_sandwich() {
+    let mut rng = Rng::seed_from_u64(0x48);
+    for _ in 0..CASES {
+        let h = arb_hypergraph(&mut rng);
         if let Some(ht) = ghw_at_most(&h, h.edges(), 2) {
             let ha = ht.to_hypergraph();
-            prop_assert!(h.reduced().covered_by(&ha));
+            assert!(h.reduced().covered_by(&ha));
             // every bag within the union of its λ edges
             for (bag, lam) in ht.chi.iter().zip(&ht.lambda) {
                 let mut u = NodeSet::new();
                 for &r in lam {
                     u.union_with(&h.edges()[r]);
                 }
-                prop_assert!(bag.is_subset(&u));
-                prop_assert!(lam.len() <= 2);
+                assert!(bag.is_subset(&u));
+                assert!(lam.len() <= 2);
             }
+        }
+    }
+}
+
+/// Decomposition search is deterministic across thread counts: the
+/// parallel candidate-λ exploration must yield the same witness tree as
+/// the sequential path.
+#[test]
+fn ghw_deterministic_across_thread_counts() {
+    let mut rng = Rng::seed_from_u64(0x49);
+    for _ in 0..CASES.min(24) {
+        let h = arb_hypergraph(&mut rng);
+        let seq = cqcount_exec::with_threads(1, || ghw_exact(&h, h.edges(), 3));
+        let par = cqcount_exec::with_threads(8, || ghw_exact(&h, h.edges(), 3));
+        match (seq, par) {
+            (Some((ws, hts)), Some((wp, htp))) => {
+                assert_eq!(ws, wp);
+                assert_eq!(hts.chi, htp.chi);
+                assert_eq!(hts.lambda, htp.lambda);
+                assert_eq!(hts.parent, htp.parent);
+            }
+            (None, None) => {}
+            (s, p) => panic!("divergent outcomes: seq={s:?} par={p:?}"),
         }
     }
 }

@@ -1,0 +1,244 @@
+//! `cqcount-exec`: a dependency-free parallel execution layer.
+//!
+//! Everything here is built on `std` only — no rayon, no crossbeam — so the
+//! workspace stays buildable in a sealed container. The public surface is
+//! deliberately tiny:
+//!
+//! * [`par_map`] — map a function over a slice, results in input order;
+//! * [`par_chunks`] — map a function over contiguous chunks of a slice,
+//!   chunk results in offset order;
+//! * [`with_threads`] — force a thread count for the duration of a closure
+//!   (used by the seq-vs-par agreement tests);
+//! * [`current_threads`] / [`default_thread_count`] — introspection.
+//!
+//! Thread count resolution: the `CQCOUNT_THREADS` environment variable if
+//! set (clamped to ≥ 1), otherwise [`std::thread::available_parallelism`].
+//! With one thread every helper degrades to a plain sequential loop on the
+//! calling thread — no pool, no locks — which is the reference semantics
+//! the parallel paths are required to reproduce byte-for-byte.
+//!
+//! Determinism: results are written into pre-allocated per-task slots and
+//! reassembled in input order, so the *values* returned by `par_map` and
+//! `par_chunks` never depend on scheduling. Callers that fold results must
+//! fold in slot order (they receive a `Vec` in that order, so the natural
+//! left fold is already deterministic).
+
+mod pool;
+
+pub use pool::Pool;
+
+use std::sync::{Mutex, OnceLock};
+
+/// Resolves the default worker count: `CQCOUNT_THREADS` if set and ≥ 1,
+/// else the machine's available parallelism, else 1.
+pub fn default_thread_count() -> usize {
+    if let Ok(v) = std::env::var("CQCOUNT_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The process-wide pool, created on first use with [`default_thread_count`].
+fn global_pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool::new(default_thread_count()))
+}
+
+thread_local! {
+    /// Per-thread override installed by [`with_threads`]. A stack so that
+    /// nested overrides restore correctly.
+    static OVERRIDE: std::cell::RefCell<Vec<OverridePool>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+enum OverridePool {
+    Sequential,
+    Owned(std::sync::Arc<Pool>),
+}
+
+/// The number of execution lanes the *next* parallel call on this thread
+/// will use.
+pub fn current_threads() -> usize {
+    OVERRIDE.with(|o| match o.borrow().last() {
+        Some(OverridePool::Sequential) => 1,
+        Some(OverridePool::Owned(p)) => p.threads(),
+        None => global_pool().threads(),
+    })
+}
+
+/// Runs `f` with all parallel helpers on this thread pinned to `threads`
+/// lanes. `threads == 1` forces the pure sequential path (no pool at all);
+/// larger counts spin up a temporary pool torn down when `f` returns.
+///
+/// This is how the agreement tests compare `CQCOUNT_THREADS=1` semantics
+/// against a parallel run inside a single process.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let entry = if threads <= 1 {
+        OverridePool::Sequential
+    } else {
+        OverridePool::Owned(std::sync::Arc::new(Pool::new(threads)))
+    };
+    OVERRIDE.with(|o| o.borrow_mut().push(entry));
+    struct PopGuard;
+    impl Drop for PopGuard {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| {
+                o.borrow_mut().pop();
+            });
+        }
+    }
+    let _guard = PopGuard;
+    f()
+}
+
+fn run_on_current<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+    let over = OVERRIDE.with(|o| match o.borrow().last() {
+        Some(OverridePool::Sequential) => Some(None),
+        Some(OverridePool::Owned(p)) => Some(Some(std::sync::Arc::clone(p))),
+        None => None,
+    });
+    match over {
+        Some(None) => {
+            for t in tasks {
+                t();
+            }
+        }
+        Some(Some(pool)) => pool.run_scoped(tasks),
+        None => global_pool().run_scoped(tasks),
+    }
+}
+
+/// Maps `f` over `items` in parallel; `out[i] == f(&items[i])`, always.
+///
+/// Items are grouped into contiguous blocks (a few blocks per lane) so the
+/// per-task overhead stays negligible even for cheap `f`.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let threads = current_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let blocks = (threads * 4).min(items.len());
+    let block_len = items.len().div_ceil(blocks);
+    let blocks = items.len().div_ceil(block_len);
+    let slots: Vec<Mutex<Vec<R>>> = (0..blocks).map(|_| Mutex::new(Vec::new())).collect();
+    let f = &f;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+        .iter()
+        .enumerate()
+        .map(|(b, slot)| {
+            let start = b * block_len;
+            let end = ((b + 1) * block_len).min(items.len());
+            Box::new(move || {
+                let out: Vec<R> = items[start..end].iter().map(f).collect();
+                *slot.lock().unwrap() = out;
+            }) as _
+        })
+        .collect();
+    run_on_current(tasks);
+    slots
+        .into_iter()
+        .flat_map(|s| s.into_inner().unwrap())
+        .collect()
+}
+
+/// Splits `items` into contiguous chunks of at least `min_chunk` elements
+/// (one chunk per lane when the slice is large enough) and maps `f` over
+/// each; `f` receives the chunk's starting offset and the chunk itself.
+/// Results come back in offset order.
+pub fn par_chunks<T: Sync, R: Send>(
+    items: &[T],
+    min_chunk: usize,
+    f: impl Fn(usize, &[T]) -> R + Sync,
+) -> Vec<R> {
+    let threads = current_threads();
+    let min_chunk = min_chunk.max(1);
+    if threads <= 1 || items.len() <= min_chunk {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        return vec![f(0, items)];
+    }
+    let chunks = (items.len().div_ceil(min_chunk)).min(threads * 2);
+    let chunk_len = items.len().div_ceil(chunks);
+    let chunks = items.len().div_ceil(chunk_len);
+    let slots: Vec<Mutex<Option<R>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
+    let f = &f;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+        .iter()
+        .enumerate()
+        .map(|(c, slot)| {
+            let start = c * chunk_len;
+            let end = ((c + 1) * chunk_len).min(items.len());
+            Box::new(move || {
+                *slot.lock().unwrap() = Some(f(start, &items[start..end]));
+            }) as _
+        })
+        .collect();
+    run_on_current(tasks);
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("chunk task completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let got = with_threads(4, || par_map(&items, |x| x * x));
+        let want: Vec<u64> = items.iter().map(|x| x * x).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_map_sequential_override_matches() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq = with_threads(1, || par_map(&items, |x| x + 7));
+        let par = with_threads(8, || par_map(&items, |x| x + 7));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_chunks_covers_every_element_once() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let sums = with_threads(4, || {
+            par_chunks(&items, 64, |_, chunk| chunk.iter().sum::<u64>())
+        });
+        assert_eq!(sums.iter().sum::<u64>(), items.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn par_chunks_offsets_are_sorted_and_contiguous() {
+        let items: Vec<u8> = vec![0; 5000];
+        let spans = with_threads(3, || {
+            par_chunks(&items, 10, |off, chunk| (off, chunk.len()))
+        });
+        let mut expect = 0usize;
+        for (off, len) in spans {
+            assert_eq!(off, expect);
+            expect += len;
+        }
+        assert_eq!(expect, items.len());
+    }
+
+    #[test]
+    fn with_threads_nests_and_restores() {
+        with_threads(4, || {
+            assert_eq!(current_threads(), 4);
+            with_threads(1, || assert_eq!(current_threads(), 1));
+            assert_eq!(current_threads(), 4);
+        });
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(with_threads(4, || par_map(&empty, |x| *x)).is_empty());
+        assert!(with_threads(4, || par_chunks(&empty, 8, |_, c| c.len())).is_empty());
+    }
+}

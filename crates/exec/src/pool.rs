@@ -1,0 +1,313 @@
+//! The scoped worker pool: work-stealing deques over plain std primitives.
+//!
+//! Topology: one global injector queue plus one deque per worker. A worker
+//! pops its own deque from the back (LIFO, cache-hot), steals from other
+//! workers' deques from the front (FIFO, coarse-grained), and falls back to
+//! the injector. Tasks submitted from outside the pool land in the
+//! injector; tasks submitted *by a worker* (nested parallelism) land in
+//! that worker's own deque, which is what makes the stealing real.
+//!
+//! Scoped execution: [`Pool::run_scoped`] erases the lifetime of the
+//! submitted closures (they only borrow data owned by the caller's stack
+//! frame) and blocks until every task has completed — while blocked, the
+//! submitting thread *helps* drain tasks, so nested `par_map` calls from
+//! inside a worker cannot deadlock the pool. The completion latch is what
+//! makes the lifetime erasure sound: no task outlives `run_scoped`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A unit of work. Lifetimes are erased in `run_scoped`; the latch
+/// guarantees no task survives the scope that borrowed its environment.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Arc<Latch> {
+        Arc::new(Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+        })
+    }
+
+    fn count_down(&self) {
+        let mut left = self.remaining.lock().unwrap();
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        *self.remaining.lock().unwrap() == 0
+    }
+
+    /// Waits briefly for completion; returns `true` when the latch hit 0.
+    fn wait_a_little(&self) -> bool {
+        let left = self.remaining.lock().unwrap();
+        if *left == 0 {
+            return true;
+        }
+        let (left, _) = self
+            .done
+            .wait_timeout(left, Duration::from_millis(1))
+            .unwrap();
+        *left == 0
+    }
+}
+
+struct Shared {
+    injector: Mutex<VecDeque<Task>>,
+    /// One stealable deque per worker thread.
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Wakes sleeping workers when work arrives.
+    wake: Condvar,
+    sleep_lock: Mutex<()>,
+    shutdown: AtomicBool,
+    /// Round-robin steal origin so thieves don't all hammer worker 0.
+    steal_hint: AtomicUsize,
+}
+
+impl Shared {
+    /// Grabs one task: own deque (back) → steal (front) → injector.
+    fn find_task(&self, own: Option<usize>) -> Option<Task> {
+        if let Some(me) = own {
+            if let Some(t) = self.deques[me].lock().unwrap().pop_back() {
+                return Some(t);
+            }
+        }
+        let n = self.deques.len();
+        if n > 0 {
+            let start = self.steal_hint.fetch_add(1, Ordering::Relaxed) % n;
+            for k in 0..n {
+                let victim = (start + k) % n;
+                if Some(victim) == own {
+                    continue;
+                }
+                if let Some(t) = self.deques[victim].lock().unwrap().pop_front() {
+                    return Some(t);
+                }
+            }
+        }
+        self.injector.lock().unwrap().pop_front()
+    }
+}
+
+thread_local! {
+    /// Set inside pool workers: (shared-state identity, worker index).
+    static WORKER: std::cell::RefCell<Option<(usize, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// A fixed-size worker pool. `threads == 1` means "no worker threads":
+/// every submission runs inline on the calling thread, in order — the
+/// guaranteed-sequential mode behind `CQCOUNT_THREADS=1`.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl Pool {
+    /// Builds a pool driving `threads` lanes of execution. One of the lanes
+    /// is the submitting thread itself (it helps while waiting), so
+    /// `threads - 1` OS worker threads are spawned.
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let workers = threads - 1;
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            wake: Condvar::new(),
+            sleep_lock: Mutex::new(()),
+            shutdown: AtomicBool::new(false),
+            steal_hint: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cqcount-worker-{i}"))
+                    .spawn(move || worker_loop(shared, i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// The number of execution lanes (worker threads + the caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `tasks` to completion. Tasks may borrow from the caller's
+    /// frame: this function does not return until every task has run, and
+    /// the calling thread helps execute queued tasks while it waits.
+    ///
+    /// Completion order is arbitrary; callers get determinism by writing
+    /// results into per-task slots (as [`crate::par_map`] does), never by
+    /// relying on execution order.
+    pub fn run_scoped<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        if self.threads == 1 {
+            for t in tasks {
+                t();
+            }
+            return;
+        }
+        let latch = Latch::new(tasks.len());
+        let me = WORKER.with(|w| match *w.borrow() {
+            Some((pool_id, idx)) if pool_id == Arc::as_ptr(&self.shared) as usize => Some(idx),
+            _ => None,
+        });
+        {
+            // Erase the scope lifetime: sound because we hold the latch
+            // open until every task has finished executing.
+            let erased: Vec<Task> = tasks
+                .into_iter()
+                .map(|t| {
+                    let latch = Arc::clone(&latch);
+                    let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                        t();
+                        latch.count_down();
+                    });
+                    // SAFETY: `wrapped` only borrows data that outlives the
+                    // wait loop below; `run_scoped` blocks until the latch
+                    // reports all wrapped tasks done.
+                    unsafe {
+                        std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(wrapped)
+                    }
+                })
+                .collect();
+            match me {
+                // Nested submission from a worker: feed its own deque so
+                // idle siblings can steal from the front while the worker
+                // chews the back.
+                Some(idx) => self.shared.deques[idx].lock().unwrap().extend(erased),
+                None => self.shared.injector.lock().unwrap().extend(erased),
+            }
+            self.shared.wake.notify_all();
+        }
+        // Help until everything in this scope has completed.
+        loop {
+            if let Some(task) = self.shared.find_task(me) {
+                task();
+                continue;
+            }
+            if latch.is_done() || latch.wait_a_little() {
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    WORKER.with(|w| *w.borrow_mut() = Some((Arc::as_ptr(&shared) as usize, index)));
+    loop {
+        if let Some(task) = shared.find_task(Some(index)) {
+            task();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let guard = shared.sleep_lock.lock().unwrap();
+        // Re-check under the lock to avoid sleeping through a wake-up.
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = shared
+            .wake
+            .wait_timeout(guard, Duration::from_millis(1))
+            .unwrap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_pool_runs_inline_in_order() {
+        let pool = Pool::new(1);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+        pool.run_scoped(tasks); // empty is fine
+        let log = Mutex::new(Vec::new());
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..5)
+            .map(|i| {
+                let log = &log;
+                Box::new(move || log.lock().unwrap().push(i)) as _
+            })
+            .collect();
+        pool.run_scoped(tasks);
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn parallel_pool_completes_all_tasks() {
+        let pool = Pool::new(4);
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..100)
+            .map(|_| {
+                let c = &counter;
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) as _
+            })
+            .collect();
+        pool.run_scoped(tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn nested_submission_does_not_deadlock() {
+        let pool = Pool::new(2);
+        let hits = AtomicUsize::new(0);
+        let outer: Vec<Box<dyn FnOnce() + Send>> = (0..4)
+            .map(|_| {
+                let pool = &pool;
+                let hits = &hits;
+                Box::new(move || {
+                    let inner: Vec<Box<dyn FnOnce() + Send>> = (0..8)
+                        .map(|_| {
+                            Box::new(move || {
+                                hits.fetch_add(1, Ordering::SeqCst);
+                            }) as _
+                        })
+                        .collect();
+                    pool.run_scoped(inner);
+                }) as _
+            })
+            .collect();
+        pool.run_scoped(outer);
+        assert_eq!(hits.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn pool_drop_joins_workers() {
+        let pool = Pool::new(3);
+        drop(pool); // must not hang
+    }
+}

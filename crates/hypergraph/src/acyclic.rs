@@ -103,9 +103,7 @@ impl JoinForest {
             // it has exactly |holders| - 1 internal edges.
             let internal = holders
                 .iter()
-                .filter(|&&i| {
-                    self.parent[i].is_some_and(|p| h.edges()[p].contains(x))
-                })
+                .filter(|&&i| self.parent[i].is_some_and(|p| h.edges()[p].contains(x)))
                 .count();
             if internal != holders.len() - 1 {
                 return false;
@@ -265,7 +263,13 @@ mod tests {
     #[test]
     fn star_query_is_acyclic() {
         // Example C.1 shape: big guard edge plus satellite binary edges.
-        let g = h(&[&[0, 10, 11, 12], &[9, 10, 11, 12], &[1, 10], &[2, 11], &[3, 12]]);
+        let g = h(&[
+            &[0, 10, 11, 12],
+            &[9, 10, 11, 12],
+            &[1, 10],
+            &[2, 11],
+            &[3, 12],
+        ]);
         assert!(is_acyclic(&g));
         let f = join_forest(&g).unwrap();
         assert!(f.verify(&g));
@@ -309,10 +313,10 @@ mod tests {
     #[test]
     fn gyo_and_mst_agree_on_tricky_cases() {
         let cases: Vec<Hypergraph> = vec![
-            h(&[&[0, 1, 2], &[2, 3, 4], &[4, 5, 0]]),             // hyper-triangle: cyclic
-            h(&[&[0, 1, 2], &[1, 2, 3], &[2, 3, 4]]),             // overlapping path: acyclic
+            h(&[&[0, 1, 2], &[2, 3, 4], &[4, 5, 0]]), // hyper-triangle: cyclic
+            h(&[&[0, 1, 2], &[1, 2, 3], &[2, 3, 4]]), // overlapping path: acyclic
             h(&[&[0, 1], &[1, 2], &[0, 2], &[0, 1, 2], &[2, 5]]), // covered triangle + tail
-            h(&[&[0], &[0, 1], &[1]]),                            // singletons
+            h(&[&[0], &[0, 1], &[1]]),                // singletons
         ];
         for (i, g) in cases.iter().enumerate() {
             assert_eq!(

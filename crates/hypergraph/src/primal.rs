@@ -46,9 +46,7 @@ impl PrimalGraph {
 
     /// Returns `true` iff `u` and `v` are adjacent.
     pub fn adjacent(&self, u: Node, v: Node) -> bool {
-        self.adj
-            .get(u as usize)
-            .is_some_and(|n| n.contains(v))
+        self.adj.get(u as usize).is_some_and(|n| n.contains(v))
     }
 
     /// Returns `true` iff `set` is a clique.

@@ -1,118 +1,166 @@
-//! Property tests for the hypergraph toolkit.
+//! Property tests for the hypergraph toolkit, generated with the workspace
+//! PRNG from fixed seeds; `exhaustive-tests` raises the case count.
 
+use cqcount_arith::prng::Rng;
 use cqcount_hypergraph::{
     frontier_hypergraph, frontier_of, is_acyclic, join_forest, w_components, Hypergraph, NodeSet,
 };
-use proptest::prelude::*;
 
-fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+const CASES: usize = if cfg!(feature = "exhaustive-tests") {
+    2048
+} else {
+    256
+};
+
+fn arb_hypergraph(rng: &mut Rng) -> Hypergraph {
     // Up to 8 nodes, up to 8 edges of size 1..4.
-    proptest::collection::vec(proptest::collection::vec(0u32..8, 1..4), 0..8)
-        .prop_map(Hypergraph::from_edges)
+    let edges = rng.range_usize(0, 8);
+    Hypergraph::from_edges((0..edges).map(|_| {
+        let size = rng.range_usize(1, 4);
+        (0..size).map(|_| rng.range_u32(0, 8)).collect::<Vec<_>>()
+    }))
 }
 
-fn arb_nodeset() -> impl Strategy<Value = NodeSet> {
-    proptest::collection::vec(0u32..8, 0..6).prop_map(|v| v.into_iter().collect())
+fn arb_nodeset(rng: &mut Rng) -> NodeSet {
+    let size = rng.range_usize(0, 6);
+    (0..size).map(|_| rng.range_u32(0, 8)).collect()
 }
 
-proptest! {
-    /// GYO reduction and the spanning-forest join-tree construction are two
-    /// independent acyclicity deciders; they must always agree.
-    #[test]
-    fn gyo_agrees_with_join_forest(h in arb_hypergraph()) {
+/// GYO reduction and the spanning-forest join-tree construction are two
+/// independent acyclicity deciders; they must always agree.
+#[test]
+fn gyo_agrees_with_join_forest() {
+    let mut rng = Rng::seed_from_u64(0x21);
+    for _ in 0..CASES {
+        let h = arb_hypergraph(&mut rng);
         let gyo = is_acyclic(&h);
         let forest = join_forest(&h);
-        prop_assert_eq!(gyo, forest.is_some());
+        assert_eq!(gyo, forest.is_some());
         if let Some(f) = forest {
-            prop_assert!(f.verify(&h));
+            assert!(f.verify(&h));
         }
     }
+}
 
-    /// Reduction preserves acyclicity.
-    #[test]
-    fn reduction_preserves_acyclicity(h in arb_hypergraph()) {
-        prop_assert_eq!(is_acyclic(&h), is_acyclic(&h.reduced()));
+/// Reduction preserves acyclicity.
+#[test]
+fn reduction_preserves_acyclicity() {
+    let mut rng = Rng::seed_from_u64(0x22);
+    for _ in 0..CASES {
+        let h = arb_hypergraph(&mut rng);
+        assert_eq!(is_acyclic(&h), is_acyclic(&h.reduced()));
     }
+}
 
-    /// Reduction preserves the covers relation in both directions.
-    #[test]
-    fn reduction_preserves_covering(h in arb_hypergraph()) {
+/// Reduction preserves the covers relation in both directions.
+#[test]
+fn reduction_preserves_covering() {
+    let mut rng = Rng::seed_from_u64(0x23);
+    for _ in 0..CASES {
+        let h = arb_hypergraph(&mut rng);
         let r = h.reduced();
-        prop_assert!(h.covered_by(&r));
-        prop_assert!(r.covered_by(&h));
+        assert!(h.covered_by(&r));
+        assert!(r.covered_by(&h));
     }
+}
 
-    /// [W̄]-components partition the nodes outside W̄.
-    #[test]
-    fn components_partition(h in arb_hypergraph(), wbar in arb_nodeset()) {
+/// [W̄]-components partition the nodes outside W̄.
+#[test]
+fn components_partition() {
+    let mut rng = Rng::seed_from_u64(0x24);
+    for _ in 0..CASES {
+        let h = arb_hypergraph(&mut rng);
+        let wbar = arb_nodeset(&mut rng);
         let comps = w_components(&h, &wbar);
         let mut seen = NodeSet::new();
         for c in &comps {
-            prop_assert!(!c.nodes.is_empty());
-            prop_assert!(!c.nodes.intersects(&wbar));
-            prop_assert!(!c.nodes.intersects(&seen));
+            assert!(!c.nodes.is_empty());
+            assert!(!c.nodes.intersects(&wbar));
+            assert!(!c.nodes.intersects(&seen));
             seen.union_with(&c.nodes);
         }
-        prop_assert_eq!(seen, h.nodes().difference(&wbar));
+        assert_eq!(seen, h.nodes().difference(&wbar));
     }
+}
 
-    /// All nodes of one [W̄]-component share the same frontier, and the
-    /// frontier is always a subset of W̄.
-    #[test]
-    fn frontier_constant_on_components(h in arb_hypergraph(), wbar in arb_nodeset()) {
+/// All nodes of one [W̄]-component share the same frontier, and the
+/// frontier is always a subset of W̄.
+#[test]
+fn frontier_constant_on_components() {
+    let mut rng = Rng::seed_from_u64(0x25);
+    for _ in 0..CASES {
+        let h = arb_hypergraph(&mut rng);
+        let wbar = arb_nodeset(&mut rng);
         for c in w_components(&h, &wbar) {
             let mut iter = c.nodes.iter();
             let first = frontier_of(&h, iter.next().unwrap(), &wbar);
-            prop_assert!(first.is_subset(&wbar));
+            assert!(first.is_subset(&wbar));
             for y in iter {
-                prop_assert_eq!(frontier_of(&h, y, &wbar), first.clone());
+                assert_eq!(frontier_of(&h, y, &wbar), first.clone());
             }
         }
     }
+}
 
-    /// Every hyperedge of the frontier hypergraph is a subset of W̄, and the
-    /// frontier hypergraph of W̄ = all nodes is exactly the sub-W̄ edges.
-    #[test]
-    fn frontier_hypergraph_edges_in_wbar(h in arb_hypergraph(), wbar in arb_nodeset()) {
+/// Every hyperedge of the frontier hypergraph is a subset of W̄, and the
+/// frontier hypergraph of W̄ = all nodes is exactly the sub-W̄ edges.
+#[test]
+fn frontier_hypergraph_edges_in_wbar() {
+    let mut rng = Rng::seed_from_u64(0x26);
+    for _ in 0..CASES {
+        let h = arb_hypergraph(&mut rng);
+        let wbar = arb_nodeset(&mut rng);
         let fh = frontier_hypergraph(&h, &wbar);
         for e in fh.edges() {
-            prop_assert!(e.is_subset(&wbar));
+            assert!(e.is_subset(&wbar));
         }
     }
+}
 
-    /// With every node free there are no existential components, so the
-    /// frontier hypergraph is the (deduplicated) original edge set.
-    #[test]
-    fn frontier_hypergraph_all_free(h in arb_hypergraph()) {
+/// With every node free there are no existential components, so the
+/// frontier hypergraph is the (deduplicated) original edge set.
+#[test]
+fn frontier_hypergraph_all_free() {
+    let mut rng = Rng::seed_from_u64(0x27);
+    for _ in 0..CASES {
+        let h = arb_hypergraph(&mut rng);
         let fh = frontier_hypergraph(&h, h.nodes());
-        prop_assert!(fh.covered_by(&h));
-        prop_assert!(h.covered_by(&fh) || h.num_edges() == 0);
+        assert!(fh.covered_by(&h));
+        assert!(h.covered_by(&fh) || h.num_edges() == 0);
     }
+}
 
-    /// Enlarging W̄ (Section 6 intuition: promoting existential variables to
-    /// pseudo-free) never enlarges another node's frontier beyond W̄ — more
-    /// precisely, frontiers w.r.t. a larger W̄' restricted to the old W̄ are
-    /// contained in the old frontier.
-    #[test]
-    fn growing_wbar_shrinks_restricted_frontiers(
-        h in arb_hypergraph(),
-        wbar in arb_nodeset(),
-        extra in arb_nodeset(),
-    ) {
+/// Enlarging W̄ (Section 6 intuition: promoting existential variables to
+/// pseudo-free) never enlarges another node's frontier beyond W̄ — more
+/// precisely, frontiers w.r.t. a larger W̄' restricted to the old W̄ are
+/// contained in the old frontier.
+#[test]
+fn growing_wbar_shrinks_restricted_frontiers() {
+    let mut rng = Rng::seed_from_u64(0x28);
+    for _ in 0..CASES {
+        let h = arb_hypergraph(&mut rng);
+        let wbar = arb_nodeset(&mut rng);
+        let extra = arb_nodeset(&mut rng);
         let bigger = wbar.union(&extra);
         for y in h.nodes().difference(&bigger).iter() {
             let old = frontier_of(&h, y, &wbar);
             let new = frontier_of(&h, y, &bigger);
-            prop_assert!(new.intersection(&wbar).is_subset(&old));
+            assert!(new.intersection(&wbar).is_subset(&old));
         }
     }
+}
 
-    /// covers is reflexive and transitive on the generated instances.
-    #[test]
-    fn covers_preorder(a in arb_hypergraph(), b in arb_hypergraph(), c in arb_hypergraph()) {
-        prop_assert!(a.covered_by(&a));
+/// covers is reflexive and transitive on the generated instances.
+#[test]
+fn covers_preorder() {
+    let mut rng = Rng::seed_from_u64(0x29);
+    for _ in 0..CASES {
+        let a = arb_hypergraph(&mut rng);
+        let b = arb_hypergraph(&mut rng);
+        let c = arb_hypergraph(&mut rng);
+        assert!(a.covered_by(&a));
         if a.covered_by(&b) && b.covered_by(&c) {
-            prop_assert!(a.covered_by(&c));
+            assert!(a.covered_by(&c));
         }
     }
 }

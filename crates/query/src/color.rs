@@ -80,10 +80,7 @@ mod tests {
         q.set_free([a]);
         let fc = fullcolor(&q);
         assert_eq!(fc.atoms().len(), 3);
-        assert_eq!(
-            fc.atoms().iter().filter(|a| is_coloring_atom(a)).count(),
-            2
-        );
+        assert_eq!(fc.atoms().iter().filter(|a| is_coloring_atom(a)).count(), 2);
     }
 
     #[test]

@@ -69,9 +69,7 @@ pub fn core_exact(q: &ConjunctiveQuery) -> ConjunctiveQuery {
 /// consistency can overapproximate, so outside the promise the result may be
 /// *smaller* than a genuine equivalent sub-query. Use within the promise.
 pub fn core_via_consistency(q: &ConjunctiveQuery, k: usize) -> ConjunctiveQuery {
-    core_with(q, |full, candidate| {
-        hom_via_consistency(full, candidate, k)
-    })
+    core_with(q, |full, candidate| hom_via_consistency(full, candidate, k))
 }
 
 /// Decides (under the width-`k` promise) whether a homomorphism
@@ -81,11 +79,7 @@ pub fn hom_via_consistency(from: &ConjunctiveQuery, to: &ConjunctiveQuery, k: us
     let db = canonical_database(to);
     // Per-atom bindings (the query views). An empty atom binding means no
     // homomorphism regardless of consistency.
-    let atom_views: Vec<Bindings> = from
-        .atoms()
-        .iter()
-        .map(|a| atom_bindings(a, &db))
-        .collect();
+    let atom_views: Vec<Bindings> = from.atoms().iter().map(|a| atom_bindings(a, &db)).collect();
     if atom_views.iter().any(Bindings::is_empty) {
         return false;
     }
@@ -102,8 +96,8 @@ pub fn hom_via_consistency(from: &ConjunctiveQuery, to: &ConjunctiveQuery, k: us
         if size == k {
             continue;
         }
-        for i in start..n {
-            let joined = acc.join(&atom_views[i]);
+        for (i, view) in atom_views.iter().enumerate().take(n).skip(start) {
+            let joined = acc.join(view);
             stack.push((i + 1, size + 1, joined));
         }
     }

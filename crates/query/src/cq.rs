@@ -361,7 +361,10 @@ mod tests {
     fn atom_vars_dedup_repeated() {
         let mut q = ConjunctiveQuery::new();
         let x = q.var("X");
-        q.add_atom("r", vec![Term::Var(x), Term::Var(x), Term::Const("c".into())]);
+        q.add_atom(
+            "r",
+            vec![Term::Var(x), Term::Var(x), Term::Const("c".into())],
+        );
         assert_eq!(q.atoms()[0].vars(), vec![x]);
         let h = q.hypergraph();
         assert_eq!(h.num_nodes(), 1);

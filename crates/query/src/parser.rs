@@ -30,7 +30,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -262,9 +266,7 @@ pub fn parse_program(src: &str) -> Result<(Option<ConjunctiveQuery>, Database), 
                 let mut free = Vec::new();
                 for a in &head_args {
                     if !is_variable_name(a) {
-                        return Err(
-                            p.error_at(format!("head argument {a:?} must be a variable"))
-                        );
+                        return Err(p.error_at(format!("head argument {a:?} must be a variable")));
                     }
                     free.push(q.var(a));
                 }
@@ -286,9 +288,7 @@ pub fn parse_program(src: &str) -> Result<(Option<ConjunctiveQuery>, Database), 
                         Some(Token::Comma) => continue,
                         Some(Token::Dot) => break,
                         other => {
-                            return Err(
-                                p.error_at(format!("expected ',' or '.', found {other:?}"))
-                            )
+                            return Err(p.error_at(format!("expected ',' or '.', found {other:?}")))
                         }
                     }
                 }

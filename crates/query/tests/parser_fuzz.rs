@@ -1,49 +1,73 @@
 //! Fuzz-style property tests for the parser: no panics on arbitrary input,
-//! and display/parse round-trips on generated programs.
+//! and display/parse round-trips on generated programs. Inputs are drawn
+//! from the workspace PRNG under fixed seeds; `exhaustive-tests` raises the
+//! case count.
 
+use cqcount_arith::prng::Rng;
 use cqcount_query::{parse_program, parse_query, ConjunctiveQuery, Term};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const CASES: usize = if cfg!(feature = "exhaustive-tests") {
+    4096
+} else {
+    256
+};
 
-    /// The parser must never panic, whatever bytes arrive.
-    #[test]
-    fn parser_never_panics(src in "\\PC{0,200}") {
+/// The parser must never panic, whatever bytes arrive.
+#[test]
+fn parser_never_panics() {
+    let mut rng = Rng::seed_from_u64(0x31);
+    for _ in 0..CASES {
+        let len = rng.range_usize(0, 201);
+        let src: String = (0..len)
+            .map(|_| {
+                // Printable-ish chars plus the occasional exotic code point.
+                match rng.range_u32(0, 20) {
+                    0 => '\n',
+                    1 => 'λ',
+                    2 => '→',
+                    _ => char::from_u32(rng.range_u32(0x20, 0x7F)).unwrap(),
+                }
+            })
+            .collect();
         let _ = parse_program(&src);
     }
+}
 
-    /// ...including near-miss inputs built from the token alphabet.
-    #[test]
-    fn parser_never_panics_tokenish(
-        parts in proptest::collection::vec(
-            proptest::sample::select(vec![
-                "ans", "r", "s", "X", "Y", "a", "b", "42", "_t",
-                "(", ")", ",", ".", ":-", ":", "%", "#", " ", "\n",
-            ]),
-            0..40,
-        )
-    ) {
-        let src: String = parts.concat();
+/// ...including near-miss inputs built from the token alphabet.
+#[test]
+fn parser_never_panics_tokenish() {
+    const ALPHABET: &[&str] = &[
+        "ans", "r", "s", "X", "Y", "a", "b", "42", "_t", "(", ")", ",", ".", ":-", ":", "%", "#",
+        " ", "\n",
+    ];
+    let mut rng = Rng::seed_from_u64(0x32);
+    for _ in 0..CASES {
+        let parts = rng.range_usize(0, 40);
+        let src: String = (0..parts)
+            .map(|_| ALPHABET[rng.range_usize(0, ALPHABET.len())])
+            .collect();
         let _ = parse_program(&src);
     }
+}
 
-    /// Generated well-formed programs parse, and display → parse is a
-    /// fixpoint for the query.
-    #[test]
-    fn wellformed_roundtrip(
-        atoms in proptest::collection::vec(
-            (0usize..3, proptest::collection::vec(0usize..4, 1..4)),
-            1..5,
-        ),
-        free_mask in 0u32..16,
-    ) {
+/// Generated well-formed programs parse, and display → parse is a
+/// fixpoint for the query.
+#[test]
+fn wellformed_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x33);
+    for _ in 0..CASES {
         let mut q = ConjunctiveQuery::new();
         let vars: Vec<_> = (0..4).map(|i| q.var(&format!("V{i}"))).collect();
-        for (rel, args) in &atoms {
-            let terms = args.iter().map(|&a| Term::Var(vars[a])).collect();
-            q.add_atom(&format!("r{}a{}", rel, args.len()), terms);
+        let atoms = rng.range_usize(1, 5);
+        for _ in 0..atoms {
+            let rel = rng.range_usize(0, 3);
+            let arity = rng.range_usize(1, 4);
+            let terms = (0..arity)
+                .map(|_| Term::Var(vars[rng.range_usize(0, 4)]))
+                .collect();
+            q.add_atom(&format!("r{rel}a{arity}"), terms);
         }
+        let free_mask = rng.range_u32(0, 16);
         let used = q.vars_in_atoms();
         let free: Vec<_> = vars
             .iter()
@@ -56,26 +80,29 @@ proptest! {
         let parsed = parse_query(&printed).expect("display output parses");
         // Variable ids depend on interning order (head first in the
         // parser), so compare the printed forms, which are id-free.
-        prop_assert_eq!(parsed.to_string(), printed);
-        prop_assert_eq!(parsed.atoms().len(), q.atoms().len());
-        prop_assert_eq!(parsed.free().len(), q.free().len());
+        assert_eq!(parsed.to_string(), printed);
+        assert_eq!(parsed.atoms().len(), q.atoms().len());
+        assert_eq!(parsed.free().len(), q.free().len());
     }
+}
 
-    /// Programs of random facts always parse into consistent databases.
-    #[test]
-    fn fact_lists_parse(
-        facts in proptest::collection::vec(
-            (0usize..3, proptest::collection::vec(0usize..5, 1..4)),
-            0..20,
-        )
-    ) {
+/// Programs of random facts always parse into consistent databases.
+#[test]
+fn fact_lists_parse() {
+    let mut rng = Rng::seed_from_u64(0x34);
+    for _ in 0..CASES {
+        let count = rng.range_usize(0, 20);
         let mut src = String::new();
-        for (rel, args) in &facts {
-            let names: Vec<String> = args.iter().map(|a| format!("c{a}")).collect();
-            src.push_str(&format!("f{}a{}({}).\n", rel, args.len(), names.join(", ")));
+        for _ in 0..count {
+            let rel = rng.range_usize(0, 3);
+            let arity = rng.range_usize(1, 4);
+            let names: Vec<String> = (0..arity)
+                .map(|_| format!("c{}", rng.range_usize(0, 5)))
+                .collect();
+            src.push_str(&format!("f{rel}a{arity}({}).\n", names.join(", ")));
         }
         let db = cqcount_query::parse_database(&src).expect("facts parse");
         let total: usize = db.relations().map(|(_, r)| r.len()).sum();
-        prop_assert!(total <= facts.len());
+        assert!(total <= count);
     }
 }

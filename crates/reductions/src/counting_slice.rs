@@ -108,8 +108,7 @@ impl CountingSliceReduction {
                 let offsets = offsets.clone();
                 let mut inner = |i: usize, d: &Database| -> Natural {
                     let off = offsets[i];
-                    let mut routed =
-                        |j: usize, dd: &Database| -> Natural { oracle(off + j, dd) };
+                    let mut routed = |j: usize, dd: &Database| -> Natural { oracle(off + j, dd) };
                     (children[i])(d, &mut routed)
                 };
                 first(db, &mut inner)
@@ -148,7 +147,14 @@ mod tests {
         let p = obs_5_19_graph(&query);
         let c = CountingSliceReduction::from_parsimonious(&p);
         for seed in 0..3 {
-            let b = random_database(&c.source, &RandomDbConfig { domain: 3, tuples_per_rel: 4 }, seed);
+            let b = random_database(
+                &c.source,
+                &RandomDbConfig {
+                    domain: 3,
+                    tuples_per_rel: 4,
+                },
+                seed,
+            );
             let via = c.count_with(&b, count_brute_force);
             assert_eq!(via, count_brute_force(&c.source, &b));
         }
@@ -164,10 +170,7 @@ mod tests {
         for v in query.vars_in_atoms() {
             for val in ["a", "b", "c"] {
                 let vv = b.value(val);
-                b.add_tuple(
-                    &crate::fullcolor::color_relation_name(&query, v),
-                    vec![vv],
-                );
+                b.add_tuple(&crate::fullcolor::color_relation_name(&query, v), vec![vv]);
             }
         }
         let via = red.count_with(&b, count_brute_force);
@@ -187,7 +190,10 @@ mod tests {
         for seed in 0..3 {
             let b = random_database(
                 &chain.source,
-                &RandomDbConfig { domain: 3, tuples_per_rel: 4 },
+                &RandomDbConfig {
+                    domain: 3,
+                    tuples_per_rel: 4,
+                },
                 seed,
             );
             let via = chain.count_with(&b, count_brute_force);

@@ -36,10 +36,7 @@ pub fn free_automorphism_count(q: &ConjunctiveQuery) -> usize {
     for h in enumerate_homomorphisms(q, q) {
         // Bijective on the variables ⇒ automorphism (finite structure).
         let image: BTreeSet<&Term> = h.values().collect();
-        let var_image: BTreeSet<Var> = image
-            .iter()
-            .filter_map(|t| t.as_var())
-            .collect();
+        let var_image: BTreeSet<Var> = image.iter().filter_map(|t| t.as_var()).collect();
         let maps_free_to_free = free
             .iter()
             .all(|v| h[v].as_var().is_some_and(|img| q.free().contains(&img)));
@@ -122,7 +119,11 @@ pub fn count_fullcolor_via_oracle(
             .to_int()
             .expect("stratified counts are integers");
         // inclusion–exclusion sign (-1)^{f - |T|}
-        let sign = if (f - t_set.len()).is_multiple_of(2) { 1i64 } else { -1 };
+        let sign = if (f - t_set.len()).is_multiple_of(2) {
+            1i64
+        } else {
+            -1
+        };
         n_prime += &(Int::from(sign) * &n_t);
     }
 
@@ -179,12 +180,7 @@ fn blowup_structure(
                     .enumerate()
                     .map(|(i, &x)| {
                         let val_name = b.interner().name(tuple[i]);
-                        out.value(&format!(
-                            "p@{}#{}@{}",
-                            q.var_name(x),
-                            choice[i],
-                            val_name
-                        ))
+                        out.value(&format!("p@{}#{}@{}", q.var_name(x), choice[i], val_name))
                     })
                     .collect();
                 out.add_tuple(&atom.rel, row);

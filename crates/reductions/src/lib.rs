@@ -28,8 +28,8 @@ pub use counting_slice::{lemma_5_10_reduction, CountingSliceReduction, TargetOra
 pub use fullcolor::{count_fullcolor_via_oracle, free_automorphism_count};
 pub use oracle::{CountOracle, OracleStats};
 pub use simple::simple_to_general;
-pub use thm_c4::thm_c4_gadget;
 pub use slice::{
     frontier_query, graph_query, lemma_5_25_frontier, obs_5_19_graph, obs_5_20_deletion,
     ParsimoniousReduction,
 };
+pub use thm_c4::thm_c4_gadget;

@@ -16,9 +16,12 @@ pub struct OracleStats {
     pub max_tuples: usize,
 }
 
+/// The boxed counting function an oracle wraps.
+type Counter<'a> = Box<dyn FnMut(&ConjunctiveQuery, &Database) -> Natural + 'a>;
+
 /// A `count(Q, ·)` oracle with call accounting.
 pub struct CountOracle<'a> {
-    counter: Box<dyn FnMut(&ConjunctiveQuery, &Database) -> Natural + 'a>,
+    counter: Counter<'a>,
     stats: OracleStats,
 }
 

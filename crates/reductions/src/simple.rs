@@ -21,7 +21,11 @@ pub fn simple_to_general(
     qs: &ConjunctiveQuery,
     b: &Database,
 ) -> (ConjunctiveQuery, Database) {
-    assert_eq!(qhat.atoms().len(), qs.atoms().len(), "atom lists must align");
+    assert_eq!(
+        qhat.atoms().len(),
+        qs.atoms().len(),
+        "atom lists must align"
+    );
     let mut out = Database::new();
     let pair = |db: &mut Database, var_name: &str, val_name: &str| {
         db.value(&format!("p@{var_name}@{val_name}"))
@@ -74,7 +78,9 @@ mod tests {
     use super::*;
     use cqcount_core::count_brute_force;
     use cqcount_query::parse_program;
-    use cqcount_workloads::random::{random_database, random_query, RandomCqConfig, RandomDbConfig};
+    use cqcount_workloads::random::{
+        random_database, random_query, RandomCqConfig, RandomDbConfig,
+    };
 
     fn check(qhat: &ConjunctiveQuery, b_src: Option<&str>) {
         let qs = qhat.to_simple();
@@ -131,8 +137,10 @@ mod tests {
         // facts for e#0 and e#1 differ: the simple query is genuinely more
         // general than the original.
         let mut b = Database::new();
-        for (rel, pairs) in [("e#0", vec![("a", "b"), ("b", "a"), ("b", "c")]),
-                             ("e#1", vec![("b", "a"), ("c", "b")])] {
+        for (rel, pairs) in [
+            ("e#0", vec![("a", "b"), ("b", "a"), ("b", "c")]),
+            ("e#1", vec![("b", "a"), ("c", "b")]),
+        ] {
             for (u, v) in pairs {
                 let uu = b.value(u);
                 let vv = b.value(v);
@@ -140,10 +148,7 @@ mod tests {
             }
         }
         let (fc, bhat) = simple_to_general(&q, &qs, &b);
-        assert_eq!(
-            count_brute_force(&qs, &b),
-            count_brute_force(&fc, &bhat)
-        );
+        assert_eq!(count_brute_force(&qs, &b), count_brute_force(&fc, &bhat));
         assert_eq!(count_brute_force(&qs, &b), 2u64.into()); // X ∈ {a, b}
     }
 }

@@ -78,7 +78,10 @@ pub fn graph_query(q: &ConjunctiveQuery) -> ConjunctiveQuery {
     for (ai, &u) in nodes.iter().enumerate() {
         for &v in &nodes[ai + 1..] {
             if primal.adjacent(u.node(), v.node()) {
-                out.add_atom(&format!("pe{i}"), vec![Term::Var(vars[&u]), Term::Var(vars[&v])]);
+                out.add_atom(
+                    &format!("pe{i}"),
+                    vec![Term::Var(vars[&u]), Term::Var(vars[&v])],
+                );
                 i += 1;
             }
         }
@@ -146,7 +149,11 @@ pub fn obs_5_19_graph(q: &ConjunctiveQuery) -> ParsimoniousReduction {
             let Some(rel) = bprime.relation(rel_name) else {
                 return false;
             };
-            let (a, b) = if pe_order[&(u, v)] { (bu, bv) } else { (bv, bu) };
+            let (a, b) = if pe_order[&(u, v)] {
+                (bu, bv)
+            } else {
+                (bv, bu)
+            };
             match (bprime.interner().get(a), bprime.interner().get(b)) {
                 (Some(av), Some(bv)) => rel.contains(&[av, bv]),
                 _ => false,
@@ -162,8 +169,7 @@ pub fn obs_5_19_graph(q: &ConjunctiveQuery) -> ParsimoniousReduction {
                 continue;
             }
             loop {
-                let assignment: Vec<&str> =
-                    choice.iter().map(|&c| domain[c].as_str()).collect();
+                let assignment: Vec<&str> = choice.iter().map(|&c| domain[c].as_str()).collect();
                 let ok = (0..k).all(|a| {
                     (a + 1..k).all(|b| allowed(vars[a], vars[b], assignment[a], assignment[b]))
                 });
@@ -252,8 +258,7 @@ pub fn obs_5_20_deletion(q: &ConjunctiveQuery, kept: &[usize]) -> ParsimoniousRe
                 continue;
             }
             loop {
-                let tuple: Vec<Value> =
-                    choice.iter().map(|&c| out.value(&domain[c])).collect();
+                let tuple: Vec<Value> = choice.iter().map(|&c| out.value(&domain[c])).collect();
                 full.insert(tuple);
                 let mut p = 0;
                 loop {
@@ -485,7 +490,10 @@ mod tests {
         for seed in 0..4 {
             let bprime = random_database(
                 &red.source,
-                &RandomDbConfig { domain: 3, tuples_per_rel: 4 },
+                &RandomDbConfig {
+                    domain: 3,
+                    tuples_per_rel: 4,
+                },
                 seed,
             );
             verify(&red, &bprime);
@@ -501,7 +509,10 @@ mod tests {
         for seed in 0..4 {
             let bprime = random_database(
                 &red.source,
-                &RandomDbConfig { domain: 3, tuples_per_rel: 5 },
+                &RandomDbConfig {
+                    domain: 3,
+                    tuples_per_rel: 5,
+                },
                 seed,
             );
             verify(&red, &bprime);
@@ -525,7 +536,10 @@ mod tests {
         for seed in 0..5 {
             let bprime = random_database(
                 &red.source,
-                &RandomDbConfig { domain: 4, tuples_per_rel: 6 },
+                &RandomDbConfig {
+                    domain: 4,
+                    tuples_per_rel: 6,
+                },
                 seed,
             );
             verify(&red, &bprime);
@@ -542,7 +556,10 @@ mod tests {
         for seed in 0..5 {
             let bprime = random_database(
                 &red.source,
-                &RandomDbConfig { domain: 3, tuples_per_rel: 5 },
+                &RandomDbConfig {
+                    domain: 3,
+                    tuples_per_rel: 5,
+                },
                 seed,
             );
             verify(&red, &bprime);
@@ -557,7 +574,10 @@ mod tests {
         for seed in 0..4 {
             let bprime = random_database(
                 &red.source,
-                &RandomDbConfig { domain: 3, tuples_per_rel: 8 },
+                &RandomDbConfig {
+                    domain: 3,
+                    tuples_per_rel: 8,
+                },
                 seed,
             );
             verify(&red, &bprime);
@@ -576,7 +596,10 @@ mod tests {
         for seed in 0..3 {
             let bprime = random_database(
                 &chain.source,
-                &RandomDbConfig { domain: 3, tuples_per_rel: 4 },
+                &RandomDbConfig {
+                    domain: 3,
+                    tuples_per_rel: 4,
+                },
                 seed,
             );
             verify(&chain, &bprime);

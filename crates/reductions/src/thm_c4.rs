@@ -177,7 +177,10 @@ mod tests {
         // The construction is a real instance: counting must succeed and
         // agree across algorithms (it is exactly the kind of adversarial
         // instance the optimizer faces).
-        let q = parse_program("ans() :- r(A, S1), s(A, S2).").unwrap().0.unwrap();
+        let q = parse_program("ans() :- r(A, S1), s(A, S2).")
+            .unwrap()
+            .0
+            .unwrap();
         let (qp, db) = thm_c4_gadget(&q);
         let brute = cqcount_core::count_brute_force(&qp, &db);
         let auto = cqcount_core::count_auto(&qp, &db);

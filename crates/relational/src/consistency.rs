@@ -13,32 +13,46 @@ use crate::Bindings;
 /// Enforces pairwise consistency on a set of views by semijoining every pair
 /// until a fixpoint is reached. Returns `true` if all views are nonempty at
 /// the fixpoint (the emptiness test used by Lemma 4.3's homomorphism check).
+///
+/// Runs Jacobi-style rounds: each round reduces every view against the
+/// previous round's snapshot, with the per-view reductions spread across
+/// the worker pool. Semijoins only ever *shrink* views and the greatest
+/// pairwise-consistent subinstance is unique, so the fixpoint — and hence
+/// the views left behind on a `true` return — is independent of both the
+/// round structure and the scheduling (it matches the sequential
+/// Gauss–Seidel sweep byte for byte).
 pub fn pairwise_consistency(views: &mut [Bindings]) -> bool {
     let n = views.len();
     if n == 0 {
         return true;
     }
+    let indices: Vec<usize> = (0..n).collect();
     loop {
-        let mut changed = false;
-        for i in 0..n {
-            for j in 0..n {
-                if i == j {
-                    continue;
-                }
-                let reduced = views[i].semijoin(&views[j]);
-                if reduced.len() != views[i].len() {
-                    views[i] = reduced;
-                    changed = true;
+        let reduced: Vec<Bindings> = cqcount_exec::par_map(&indices, |&i| {
+            let mut v = views[i].clone();
+            for (j, w) in views.iter().enumerate() {
+                if i != j {
+                    let r = v.semijoin(w);
+                    if r.len() != v.len() {
+                        v = r;
+                    }
                 }
             }
-            if views[i].is_empty() {
-                // Empty view: propagate once to make everything empty-ish?
-                // No — by definition the fixpoint answer is already "no".
-                return false;
+            v
+        });
+        let mut changed = false;
+        for (slot, v) in views.iter_mut().zip(reduced) {
+            if v.len() != slot.len() {
+                *slot = v;
+                changed = true;
             }
         }
+        if views.iter().any(Bindings::is_empty) {
+            // By definition the fixpoint answer is already "no".
+            return false;
+        }
         if !changed {
-            return views.iter().all(|v| !v.is_empty());
+            return true;
         }
     }
 }
@@ -80,7 +94,9 @@ mod tests {
     fn b(cols: &[u32], rows: &[&[u32]]) -> Bindings {
         Bindings::from_rows(
             cols.to_vec(),
-            rows.iter().map(|r| r.iter().map(|&x| v(x)).collect()).collect(),
+            rows.iter()
+                .map(|r| r.iter().map(|&x| v(x)).collect())
+                .collect(),
         )
     }
 

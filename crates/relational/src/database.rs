@@ -78,7 +78,11 @@ impl Database {
 
     /// The largest relation cardinality `m` (Theorem 6.2's parameter).
     pub fn max_relation_size(&self) -> usize {
-        self.relations.values().map(Relation::len).max().unwrap_or(0)
+        self.relations
+            .values()
+            .map(Relation::len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total number of tuples across all relations (a proxy for ‖D‖).

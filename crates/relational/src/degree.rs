@@ -46,7 +46,9 @@ mod tests {
     fn b(cols: &[u32], rows: &[&[u32]]) -> Bindings {
         Bindings::from_rows(
             cols.to_vec(),
-            rows.iter().map(|r| r.iter().map(|&x| v(x)).collect()).collect(),
+            rows.iter()
+                .map(|r| r.iter().map(|&x| v(x)).collect())
+                .collect(),
         )
     }
 

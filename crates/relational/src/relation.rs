@@ -77,6 +77,12 @@ impl Relation {
         self.tuples.iter()
     }
 
+    /// The tuples as a contiguous slice (insertion order) — what the
+    /// chunked parallel scans in `Bindings::from_atom` iterate over.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
     /// The set of values occurring anywhere in the relation (its active
     /// domain contribution).
     pub fn active_domain(&self) -> FxHashSet<Value> {

@@ -2,11 +2,10 @@
 //! queries and direct clique counting (the ground truth for
 //! `#Clique → #CQ`).
 
+use cqcount_arith::prng::Rng;
 use cqcount_arith::Natural;
 use cqcount_query::{ConjunctiveQuery, Term, Var};
 use cqcount_relational::Database;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A simple undirected graph on `0..n`.
 #[derive(Clone, Debug)]
@@ -40,11 +39,11 @@ impl Graph {
 
 /// An Erdős–Rényi graph `G(n, p)`, seeded.
 pub fn random_graph(n: usize, p: f64, seed: u64) -> Graph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut edges = Vec::new();
     for u in 0..n as u32 {
         for v in u + 1..n as u32 {
-            if rng.gen_bool(p) {
+            if rng.chance(p) {
                 edges.push((u, v));
             }
         }

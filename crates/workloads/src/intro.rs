@@ -5,10 +5,9 @@
 //! main tasks, but many subtasks and resources).
 
 use crate::paper::q0_query;
+use cqcount_arith::prng::Rng;
 use cqcount_query::ConjunctiveQuery;
 use cqcount_relational::Database;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Scale knobs for [`intro_instance`].
 #[derive(Clone, Debug)]
@@ -45,15 +44,15 @@ impl Default for IntroScale {
 /// (1–2 tasks per worker, 1–3 tasks per project) while subtasks and
 /// resource requirements fan out.
 pub fn intro_instance(scale: &IntroScale, seed: u64) -> (ConjunctiveQuery, Database) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut db = Database::new();
 
     // Machine assignments: each machine to 1..3 workers, with hours.
     for m in 0..scale.machines {
-        let k = rng.gen_range(1..=3usize);
+        let k = rng.range_usize(1, 4);
         for _ in 0..k {
-            let w = rng.gen_range(0..scale.workers);
-            let hours = rng.gen_range(1..200u32);
+            let w = rng.range_usize(0, scale.workers);
+            let hours = rng.range_u32(1, 200);
             let row = vec![
                 db.value(&format!("machine{m}")),
                 db.value(&format!("worker{w}")),
@@ -72,9 +71,9 @@ pub fn intro_instance(scale: &IntroScale, seed: u64) -> (ConjunctiveQuery, Datab
     }
     // Worker→task: 1..2 tasks per worker (quasi-key, Example 1.5).
     for w in 0..scale.workers {
-        let k = rng.gen_range(1..=2usize);
+        let k = rng.range_usize(1, 3);
         for _ in 0..k {
-            let t = rng.gen_range(0..scale.tasks);
+            let t = rng.range_usize(0, scale.tasks);
             let row = vec![
                 db.value(&format!("worker{w}")),
                 db.value(&format!("task{t}")),
@@ -84,9 +83,9 @@ pub fn intro_instance(scale: &IntroScale, seed: u64) -> (ConjunctiveQuery, Datab
     }
     // Project→task: 1..3 main tasks per project.
     for p in 0..scale.projects {
-        let k = rng.gen_range(1..=3usize);
+        let k = rng.range_usize(1, 4);
         for _ in 0..k {
-            let t = rng.gen_range(0..scale.tasks);
+            let t = rng.range_usize(0, scale.tasks);
             let row = vec![
                 db.value(&format!("project{p}")),
                 db.value(&format!("task{t}")),
@@ -108,7 +107,7 @@ pub fn intro_instance(scale: &IntroScale, seed: u64) -> (ConjunctiveQuery, Datab
     // Resource requirements: every task and subtask requires 1..3 resources;
     // to give Q0 solutions, a task and its subtasks share one resource.
     for t in 0..scale.tasks {
-        let shared = rng.gen_range(0..scale.resources);
+        let shared = rng.range_usize(0, scale.resources);
         let task = format!("task{t}");
         let res = format!("res{shared}");
         let row = vec![db.value(&task), db.value(&res)];
@@ -118,8 +117,8 @@ pub fn intro_instance(scale: &IntroScale, seed: u64) -> (ConjunctiveQuery, Datab
             let row = vec![db.value(&sub), db.value(&res)];
             db.add_tuple("rr", row);
             // plus some noise resources
-            if rng.gen_bool(0.4) {
-                let extra = rng.gen_range(0..scale.resources);
+            if rng.chance(0.4) {
+                let extra = rng.range_usize(0, scale.resources);
                 let row = vec![db.value(&sub), db.value(&format!("res{extra}"))];
                 db.add_tuple("rr", row);
             }

@@ -15,3 +15,7 @@ pub use paper::{
     star_database, star_query,
 };
 pub use random::{random_database, random_query, RandomCqConfig, RandomDbConfig};
+
+/// The workspace PRNG (re-exported from `cqcount-arith` so workload users
+/// can seed their own deterministic streams without another import).
+pub use cqcount_arith::prng;

@@ -210,10 +210,7 @@ pub fn hybrid_database_scaled(h: usize, z_count: usize) -> Database {
     }
     for zj in 0..z_count {
         for bit in 0..2u32 {
-            let row = vec![
-                db.value(&format!("z{zj}")),
-                db.value(&format!("u1_{bit}")),
-            ];
+            let row = vec![db.value(&format!("z{zj}")), db.value(&format!("u1_{bit}"))];
             db.add_tuple("v", row);
         }
     }

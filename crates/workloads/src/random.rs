@@ -1,10 +1,9 @@
 //! Seeded random conjunctive queries and databases (for sweeps, benches,
 //! and the headline scaling experiment).
 
+use cqcount_arith::prng::Rng;
 use cqcount_query::{ConjunctiveQuery, Term};
 use cqcount_relational::Database;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Shape of a random conjunctive query.
 #[derive(Clone, Debug)]
@@ -56,20 +55,20 @@ impl Default for RandomDbConfig {
 /// same shape (exercising the non-simple-query machinery) without arity
 /// conflicts.
 pub fn random_query(cfg: &RandomCqConfig, seed: u64) -> ConjunctiveQuery {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut q = ConjunctiveQuery::new();
     let vars: Vec<_> = (0..cfg.vars).map(|i| q.var(&format!("V{i}"))).collect();
     for _ in 0..cfg.atoms {
-        let arity = rng.gen_range(1..=cfg.max_arity);
-        let rel = rng.gen_range(0..cfg.rels);
+        let arity = rng.range_usize(1, cfg.max_arity + 1);
+        let rel = rng.range_usize(0, cfg.rels);
         let terms: Vec<Term> = (0..arity)
-            .map(|_| Term::Var(vars[rng.gen_range(0..vars.len())]))
+            .map(|_| Term::Var(vars[rng.range_usize(0, vars.len())]))
             .collect();
         q.add_atom(&format!("r{rel}a{arity}"), terms);
     }
     let free: Vec<_> = vars
         .iter()
-        .filter(|_| rng.gen_bool(cfg.free_prob))
+        .filter(|_| rng.chance(cfg.free_prob))
         .copied()
         .collect();
     q.set_free(free);
@@ -79,7 +78,7 @@ pub fn random_query(cfg: &RandomCqConfig, seed: u64) -> ConjunctiveQuery {
 /// Generates a database matching `q`'s relations, with `tuples_per_rel`
 /// random tuples each over a domain of the given size.
 pub fn random_database(q: &ConjunctiveQuery, cfg: &RandomDbConfig, seed: u64) -> Database {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut db = Database::new();
     let mut seen = std::collections::BTreeSet::new();
     for a in q.atoms() {
@@ -89,7 +88,7 @@ pub fn random_database(q: &ConjunctiveQuery, cfg: &RandomDbConfig, seed: u64) ->
         db.ensure_relation(&a.rel, a.terms.len());
         for _ in 0..cfg.tuples_per_rel {
             let row: Vec<_> = (0..a.terms.len())
-                .map(|_| db.value(&format!("c{}", rng.gen_range(0..cfg.domain))))
+                .map(|_| db.value(&format!("c{}", rng.range_usize(0, cfg.domain))))
                 .collect();
             db.add_tuple(&a.rel, row);
         }

@@ -20,11 +20,11 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.4);
     let g = random_graph(n, p, 2026);
+    println!("G(n = {n}, p = {p}): {} edges\n", g.edges.len());
     println!(
-        "G(n = {n}, p = {p}): {} edges\n",
-        g.edges.len()
+        "{:>3} {:>14} {:>14} {:>12} {:>12}",
+        "k", "#cliques", "via #CQ", "t_direct", "t_reduction"
     );
-    println!("{:>3} {:>14} {:>14} {:>12} {:>12}", "k", "#cliques", "via #CQ", "t_direct", "t_reduction");
 
     for k in 2..=5 {
         let t0 = Instant::now();

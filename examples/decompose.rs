@@ -43,9 +43,8 @@ fn main() {
     }
     println!();
 
-    let Some(sd) = (1..=4).find_map(|k| {
-        cqcount::core::sharp::sharp_hypertree_decomposition(&q, k)
-    }) else {
+    let Some(sd) = (1..=4).find_map(|k| cqcount::core::sharp::sharp_hypertree_decomposition(&q, k))
+    else {
         println!("no #-hypertree decomposition of width ≤ 4 found");
         return;
     };
@@ -56,7 +55,10 @@ fn main() {
         q.atoms().len(),
         sd.qprime
     );
-    println!("frontier hypergraph FH(Q', free): {}", show_edges(&q, &sd.frontier));
+    println!(
+        "frontier hypergraph FH(Q', free): {}",
+        show_edges(&q, &sd.frontier)
+    );
     println!("\nwidth-{} #-hypertree decomposition:", sd.width);
     print_tree(&q, &sd);
 }

@@ -21,7 +21,11 @@ fn main() {
         .unwrap_or(4);
     let q = hybrid_query(h);
     let db = hybrid_database(h);
-    println!("Q̄2^{h}: {} atoms, m = 2^{h} = {}", q.atoms().len(), 1u64 << h);
+    println!(
+        "Q̄2^{h}: {} atoms, m = 2^{h} = {}",
+        q.atoms().len(),
+        1u64 << h
+    );
     println!("database: {} tuples\n", db.total_tuples());
 
     // The purely structural view: the #-hypertree width equals h+1.

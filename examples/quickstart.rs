@@ -43,8 +43,7 @@ fn main() {
     println!("quantified star size: {}\n", report.star_size);
 
     // Count with the Theorem 1.3 pipeline, showing the decomposition.
-    let (n, sd) =
-        count_via_sharp_decomposition(&q, &db, 3).expect("Q0 has #-hypertree width 2");
+    let (n, sd) = count_via_sharp_decomposition(&q, &db, 3).expect("Q0 has #-hypertree width 2");
     println!("answers (Theorem 1.3 pipeline, width {}): {n}", sd.width);
     println!(
         "core of color(Q0) kept {} of {} atoms (the redundant st/rr branch folds away)",
@@ -57,7 +56,10 @@ fn main() {
     let brute = count_brute_force(&q, &db);
     let auto = count_auto(&q, &db);
     let (hybrid, hd) = count_hybrid(&q, &db, 3, usize::MAX).expect("hybrid applies");
-    println!("\nbrute force: {brute}   planner: {auto}   hybrid: {hybrid} (degree bound {})", hd.bound);
+    println!(
+        "\nbrute force: {brute}   planner: {auto}   hybrid: {hybrid} (degree bound {})",
+        hd.bound
+    );
     assert_eq!(n, brute);
     assert_eq!(auto, brute);
     assert_eq!(hybrid, brute);

@@ -118,7 +118,11 @@ fn run(args: &[String]) -> Result<(), String> {
                     cqcount::core::planner::Plan::SharpPipeline { width } => {
                         eprintln!("plan: #-hypertree pipeline, width {width} (Theorem 1.3)");
                     }
-                    cqcount::core::planner::Plan::Hybrid { width, bound, promoted } => {
+                    cqcount::core::planner::Plan::Hybrid {
+                        width,
+                        bound,
+                        promoted,
+                    } => {
                         eprintln!(
                             "plan: hybrid width {width}, degree bound {bound}, promoting {{{}}} (Theorem 6.6)",
                             promoted.join(", ")
@@ -160,16 +164,23 @@ fn run(args: &[String]) -> Result<(), String> {
             let (q, db) = load(&opts.file)?;
             let report = WidthReport::analyze(&q, opts.max_width);
             println!("query:                {q}");
-            println!("atoms / vars / free:  {} / {} / {}", report.atoms, report.vars, report.free);
+            println!(
+                "atoms / vars / free:  {} / {} / {}",
+                report.atoms, report.vars, report.free
+            );
             println!("database tuples:      {}", db.total_tuples());
             println!("α-acyclic:            {}", report.acyclic);
-            let fmt = |w: Option<usize>| w.map_or(format!("> {}", opts.max_width), |v| v.to_string());
+            let fmt =
+                |w: Option<usize>| w.map_or(format!("> {}", opts.max_width), |v| v.to_string());
             println!("ghw:                  {}", fmt(report.ghw));
             println!("#-hypertree width:    {}", fmt(report.sharp_width));
             println!("quantified star size: {}", report.star_size);
-            if let Some(hd) =
-                cqcount::core::hybrid::hybrid_decomposition_guided(&q, &db, opts.max_width, usize::MAX)
-            {
+            if let Some(hd) = cqcount::core::hybrid::hybrid_decomposition_guided(
+                &q,
+                &db,
+                opts.max_width,
+                usize::MAX,
+            ) {
                 let promoted: Vec<&str> = hd
                     .sbar
                     .iter()

@@ -91,10 +91,7 @@ fn enumerate_lists_answers() {
     let f = sample_file(SAMPLE);
     let out = bin().args(["enumerate", f.to_str()]).output().unwrap();
     assert!(out.status.success());
-    let mut lines: Vec<&str> = std::str::from_utf8(&out.stdout)
-        .unwrap()
-        .lines()
-        .collect();
+    let mut lines: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
     lines.sort_unstable();
     assert_eq!(lines, vec!["a", "b"]);
     // limit
@@ -125,7 +122,14 @@ fn errors_are_reported() {
          ans(X0, X1, X2) :- r(X0, Y1, Y2), s(Y0, Y1, Y2), w1(X1, Y1), w2(X2, Y2).",
     );
     let out = bin()
-        .args(["count", f2.to_str(), "--alg", "pipeline", "--max-width", "2"])
+        .args([
+            "count",
+            f2.to_str(),
+            "--alg",
+            "pipeline",
+            "--max-width",
+            "2",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());

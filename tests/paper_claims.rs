@@ -32,8 +32,8 @@ fn chain_family_separation() {
         let q = chain_query(n);
         assert_eq!(quantified_star_size(&q), n.div_ceil(2), "star size, n={n}");
         assert_eq!(sharp_hypertree_width(&q, 2), Some(1), "#-htw, n={n}");
-        let (dm_w, _) = cqcount::core::durand_mengel::durand_mengel_width(&q, 8)
-            .expect("DM width exists");
+        let (dm_w, _) =
+            cqcount::core::durand_mengel::durand_mengel_width(&q, 8).expect("DM width exists");
         assert!(dm_w >= n.div_ceil(2), "DM width must grow, n={n}");
     }
 }

@@ -11,7 +11,14 @@ use cqcount::workloads::random::{random_database, RandomDbConfig};
 /// counting.
 fn check_chain(qhat: &ConjunctiveQuery, seed: u64) {
     let qs = qhat.to_simple();
-    let b = random_database(&qs, &RandomDbConfig { domain: 3, tuples_per_rel: 5 }, seed);
+    let b = random_database(
+        &qs,
+        &RandomDbConfig {
+            domain: 3,
+            tuples_per_rel: 5,
+        },
+        seed,
+    );
 
     // Claim 5.16: |Qs(B)| = |fullcolor(Q̂)(B̂)|.
     let (_fc, bhat) = simple_to_general(qhat, &qs, &b);
@@ -71,7 +78,14 @@ fn oracle_instance_sizes_stay_polynomial() {
     let (q, _) = parse_program("ans(X) :- r(X, Y).").unwrap();
     let q = q.unwrap();
     let qs = q.to_simple();
-    let b = random_database(&qs, &RandomDbConfig { domain: 4, tuples_per_rel: 8 }, 9);
+    let b = random_database(
+        &qs,
+        &RandomDbConfig {
+            domain: 4,
+            tuples_per_rel: 8,
+        },
+        9,
+    );
     let (_, bhat) = simple_to_general(&q, &qs, &b);
     let mut oracle = CountOracle::new(count_brute_force);
     let _ = count_fullcolor_via_oracle(&q, &bhat, &mut oracle);

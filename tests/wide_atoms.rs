@@ -1,0 +1,30 @@
+//! Regression tests for queries with very wide atoms (more variables than
+//! the bag-enumeration bitmask used to tolerate).
+
+use cqcount::core::sharp::sharp_hypertree_width;
+use cqcount::query::parse_query;
+
+#[test]
+fn wide_atom_width() {
+    // single atom with 33 variables, all free: #-htw is trivially 1
+    let vars: Vec<String> = (0..33).map(|i| format!("X{i}")).collect();
+    let src = format!("ans({}) :- r({}).", vars.join(", "), vars.join(", "));
+    let q = parse_query(&src).unwrap();
+    assert_eq!(sharp_hypertree_width(&q, 2), Some(1));
+}
+
+#[test]
+fn wide_atom_pair_width() {
+    // two 33-ary atoms overlapping on one variable, with the two free
+    // variables split across them: the free-variable bag needs both atoms,
+    // so #-htw is 2 (same as the narrow analogue r(X0,X1,X2), s(X2,X3,X4))
+    let left: Vec<String> = (0..33).map(|i| format!("X{i}")).collect();
+    let right: Vec<String> = (32..65).map(|i| format!("X{i}")).collect();
+    let src = format!(
+        "ans(X0, X64) :- r({}), s({}).",
+        left.join(", "),
+        right.join(", ")
+    );
+    let q = parse_query(&src).unwrap();
+    assert_eq!(sharp_hypertree_width(&q, 2), Some(2));
+}
