@@ -1,0 +1,159 @@
+//! Serving-layer benchmark: cold vs plan-cache-warm vs count-cache-warm
+//! request latency, plus multi-client throughput scaling, against an
+//! in-process `cqcountd` on a loopback port. Emits
+//! `BENCH_server_throughput.json` at the workspace root.
+//!
+//! The workload is a width-2 family: the paper's Example 1.1 query body
+//! with varying free-variable sets (each free set is a distinct canonical
+//! query, so each exercises its own plan-cache entry). The three phases:
+//!
+//! * **cold** — `FLUSH`, then count every query: plan search + count;
+//! * **plan_warm** — `RELOAD` (epoch bump kills cached counts, plans
+//!   survive), then count every query: cached plan + fresh count;
+//! * **count_warm** — count every query again: pure cache hits.
+
+use cqcount_bench::print_table;
+use cqcount_query::parse_database;
+use cqcount_server::{serve, CacheTier, Client, ServerConfig};
+use std::time::{Duration, Instant};
+
+/// A tiny directed 3-cycle: counting any query over it is trivial, so the
+/// cold/warm gap isolates planning (decomposition search) cost.
+const FIXTURE: &str = "e(a, b). e(b, c). e(c, a).";
+
+/// The width-2 workload: cycle queries of increasing length. Every cycle
+/// has #-hypertree width 2, but the decomposition search over `len` atoms
+/// is the dominant per-request cost on a cold plan cache.
+fn workload() -> Vec<String> {
+    (12..24usize)
+        .map(|len| {
+            let atoms: Vec<String> = (0..len)
+                .map(|i| format!("e(X{}, X{})", i, (i + 1) % len))
+                .collect();
+            format!("ans(X0, X1) :- {}.", atoms.join(", "))
+        })
+        .collect()
+}
+
+/// Wall-clock ns per request for one pass over the workload.
+fn pass_ns(client: &mut Client, queries: &[String], expect: CacheTier) -> f64 {
+    let t0 = Instant::now();
+    for q in queries {
+        let reply = client.count("main", q, 0).expect("count");
+        assert_eq!(reply.cached, expect, "query {q}");
+    }
+    t0.elapsed().as_nanos() as f64 / queries.len() as f64
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let db = parse_database(FIXTURE).expect("fixture parses");
+    let handle = serve(
+        ServerConfig {
+            workers: 8,
+            queue_cap: 256,
+            ..ServerConfig::default()
+        },
+        vec![("main".into(), db)],
+    )
+    .expect("bind loopback");
+    let addr = handle.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let queries = workload();
+
+    // Latency phases, median over repetitions.
+    const REPS: usize = 5;
+    let mut cold = Vec::new();
+    let mut plan_warm = Vec::new();
+    let mut count_warm = Vec::new();
+    for _ in 0..REPS {
+        client.flush().expect("flush");
+        cold.push(pass_ns(&mut client, &queries, CacheTier::Cold));
+        client.reload("main", FIXTURE).expect("reload");
+        plan_warm.push(pass_ns(&mut client, &queries, CacheTier::PlanWarm));
+        count_warm.push(pass_ns(&mut client, &queries, CacheTier::CountWarm));
+    }
+    let cold_ns = median(cold);
+    let plan_warm_ns = median(plan_warm);
+    let count_warm_ns = median(count_warm);
+
+    // Multi-client throughput on the count-warm path (serving overhead).
+    const TOTAL_REQUESTS: usize = 512;
+    let mut throughput: Vec<(usize, f64)> = Vec::new();
+    for clients in [1usize, 2, 4, 8] {
+        let per_client = TOTAL_REQUESTS / clients;
+        let queries = &queries;
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..clients {
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    for i in 0..per_client {
+                        let q = &queries[i % queries.len()];
+                        c.count("main", q, 0).expect("count");
+                    }
+                });
+            }
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        throughput.push((clients, (per_client * clients) as f64 / secs));
+    }
+
+    println!("\n### bench: server_throughput\n");
+    let fmt_ns = |ns: f64| format!("{:?}", Duration::from_nanos(ns as u64));
+    print_table(
+        &["phase", "latency/request"],
+        &[
+            vec!["cold (flush + count)".into(), fmt_ns(cold_ns)],
+            vec!["plan-warm (reload + count)".into(), fmt_ns(plan_warm_ns)],
+            vec!["count-warm".into(), fmt_ns(count_warm_ns)],
+        ],
+    );
+    let rows: Vec<Vec<String>> = throughput
+        .iter()
+        .map(|(c, rps)| vec![c.to_string(), format!("{rps:.0}")])
+        .collect();
+    print_table(&["clients", "requests/sec"], &rows);
+    println!(
+        "plan-cache-warm vs cold: {:.2}x; count-cache-warm vs cold: {:.2}x",
+        cold_ns / plan_warm_ns,
+        cold_ns / count_warm_ns
+    );
+
+    // Hand-rolled JSON (no serde in the dependency graph).
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"server_throughput\",\n");
+    json.push_str(&format!("  \"workload_queries\": {},\n", queries.len()));
+    json.push_str("  \"unit\": \"ns_per_request\",\n");
+    json.push_str(&format!("  \"cold_ns\": {cold_ns:.0},\n"));
+    json.push_str(&format!("  \"plan_warm_ns\": {plan_warm_ns:.0},\n"));
+    json.push_str(&format!("  \"count_warm_ns\": {count_warm_ns:.0},\n"));
+    json.push_str(&format!(
+        "  \"cold_over_plan_warm\": {:.2},\n",
+        cold_ns / plan_warm_ns
+    ));
+    json.push_str(&format!(
+        "  \"cold_over_count_warm\": {:.2},\n",
+        cold_ns / count_warm_ns
+    ));
+    json.push_str("  \"throughput\": [\n");
+    for (i, (clients, rps)) in throughput.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"clients\": {clients}, \"requests_per_sec\": {rps:.0}}}{}\n",
+            if i + 1 < throughput.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_server_throughput.json"
+    );
+    std::fs::write(out, &json).expect("write BENCH_server_throughput.json");
+    println!("\nwrote {out}");
+
+    handle.shutdown();
+}

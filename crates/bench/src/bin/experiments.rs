@@ -446,7 +446,7 @@ fn e8() {
             },
             11,
         );
-        let (_, bhat) = simple_to_general(&q, &qs, &b);
+        let (_, bhat) = simple_to_general(&q, &qs, &b).expect("aligned by construction");
         let direct = count_brute_force(&qs, &b);
         let mut oracle = CountOracle::new(count_brute_force);
         let (via, t) = timed(|| count_fullcolor_via_oracle(&q, &bhat, &mut oracle));

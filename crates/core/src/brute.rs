@@ -2,6 +2,8 @@
 //! approach" (Section 1.1), kept as the always-correct oracle every other
 //! algorithm is validated against.
 
+use crate::budget::Budget;
+use crate::error::PlanError;
 use cqcount_arith::Natural;
 use cqcount_query::canonical::atom_bindings;
 use cqcount_query::hom::for_each_homomorphism_to_db;
@@ -12,10 +14,40 @@ use cqcount_relational::{Bindings, Database, FxHashSet, Value};
 /// collecting the distinct projections onto the free variables. Exponential
 /// in general; exact always.
 pub fn count_brute_force(q: &ConjunctiveQuery, db: &Database) -> Natural {
+    count_brute_force_budgeted(q, db, &Budget::unlimited()).expect("unlimited budget never trips")
+}
+
+/// How many homomorphisms the brute-force loop visits between budget
+/// checks. Small enough that cancellation latency stays in the
+/// microseconds, large enough that `Instant::now` never shows up in a
+/// profile.
+const BUDGET_STRIDE: u32 = 256;
+
+/// [`count_brute_force`] with a cooperative wall-clock budget: the
+/// enumeration loop checks the budget every [`BUDGET_STRIDE`]
+/// homomorphisms and aborts with [`PlanError::BudgetExceeded`] instead of
+/// running to completion. This is the serving layer's defense against
+/// adversarially expensive requests.
+pub fn count_brute_force_budgeted(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    budget: &Budget,
+) -> Result<Natural, PlanError> {
+    budget.check()?;
     let free: Vec<cqcount_query::Var> = q.free().into_iter().collect();
     let mut seen: FxHashSet<Box<[Value]>> = FxHashSet::default();
     let mut boolean_hit = false;
+    let mut tripped = false;
+    let mut since_check: u32 = 0;
     for_each_homomorphism_to_db(q, db, |h| {
+        since_check += 1;
+        if since_check >= BUDGET_STRIDE {
+            since_check = 0;
+            if budget.is_exceeded() {
+                tripped = true;
+                return false;
+            }
+        }
         if free.is_empty() {
             boolean_hit = true;
             return false; // any single solution settles a Boolean query
@@ -24,7 +56,12 @@ pub fn count_brute_force(q: &ConjunctiveQuery, db: &Database) -> Natural {
         seen.insert(key);
         true
     });
-    if free.is_empty() {
+    if tripped {
+        return Err(PlanError::BudgetExceeded {
+            elapsed_ms: budget.elapsed_ms().max(1),
+        });
+    }
+    Ok(if free.is_empty() {
         if boolean_hit {
             Natural::ONE
         } else {
@@ -32,7 +69,7 @@ pub fn count_brute_force(q: &ConjunctiveQuery, db: &Database) -> Natural {
         }
     } else {
         Natural::from(seen.len())
-    }
+    })
 }
 
 /// Counts by materializing the full join of all atoms and projecting — the

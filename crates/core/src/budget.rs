@@ -1,0 +1,135 @@
+//! Per-request execution budgets with cooperative cancellation.
+//!
+//! The serving layer must degrade instead of falling over: a runaway count
+//! (brute force on an adversarial instance) has to stop near its wall-clock
+//! budget rather than hold a worker hostage. Budgets are checked
+//! *cooperatively* — the counting loops call [`Budget::check`] at loop
+//! granularity (every few hundred homomorphisms in the brute-force search,
+//! between pipeline phases elsewhere), so cancellation latency is bounded
+//! by the longest uninterruptible kernel step, not by the whole count.
+
+use crate::error::PlanError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A wall-clock budget plus an external cancel flag. Cloning shares the
+/// underlying state (a clone handed to a worker observes `cancel()` calls
+/// made on the original). The default/unlimited budget never trips and
+/// costs nothing to check.
+#[derive(Clone, Default, Debug)]
+pub struct Budget {
+    inner: Option<Arc<Inner>>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    started: Instant,
+    deadline: Option<Instant>,
+    cancelled: AtomicBool,
+}
+
+impl Budget {
+    /// A budget that never trips (the default for library callers).
+    pub const fn unlimited() -> Budget {
+        Budget { inner: None }
+    }
+
+    /// A budget that trips `limit` after creation.
+    pub fn with_deadline(limit: Duration) -> Budget {
+        let now = Instant::now();
+        Budget {
+            inner: Some(Arc::new(Inner {
+                started: now,
+                deadline: Some(now + limit),
+                cancelled: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// A budget with no deadline that can still be cancelled externally.
+    pub fn cancellable() -> Budget {
+        Budget {
+            inner: Some(Arc::new(Inner {
+                started: Instant::now(),
+                deadline: None,
+                cancelled: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// Trips the budget from another thread (admission control, shutdown).
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Milliseconds since the budget was created (0 for unlimited).
+    pub fn elapsed_ms(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.started.elapsed().as_millis() as u64)
+    }
+
+    /// Has the budget tripped (deadline passed or cancelled)?
+    pub fn is_exceeded(&self) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        inner.cancelled.load(Ordering::Relaxed)
+            || inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The cooperative check: `Err(PlanError::BudgetExceeded)` once tripped.
+    pub fn check(&self) -> Result<(), PlanError> {
+        if self.is_exceeded() {
+            Err(PlanError::BudgetExceeded {
+                elapsed_ms: self.elapsed_ms().max(1),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = Budget::unlimited();
+        assert!(!b.is_exceeded());
+        assert!(b.check().is_ok());
+        b.cancel(); // no-op
+        assert!(b.check().is_ok());
+        assert_eq!(b.elapsed_ms(), 0);
+    }
+
+    #[test]
+    fn deadline_trips() {
+        let b = Budget::with_deadline(Duration::from_millis(0));
+        assert!(b.is_exceeded());
+        assert!(matches!(
+            b.check(),
+            Err(PlanError::BudgetExceeded { elapsed_ms }) if elapsed_ms >= 1
+        ));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip_immediately() {
+        let b = Budget::with_deadline(Duration::from_secs(3600));
+        assert!(b.check().is_ok());
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let b = Budget::cancellable();
+        let worker = b.clone();
+        assert!(worker.check().is_ok());
+        b.cancel();
+        assert!(worker.is_exceeded());
+        assert!(worker.check().is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Typed planning/counting errors with a round-trippable text form.
+//!
+//! The serving layer ships errors to clients verbatim inside error frames;
+//! the [`std::fmt::Display`] rendering here is therefore a stable wire
+//! format, and [`std::str::FromStr`] parses it back into the typed value
+//! (tested as an exact round trip). Nothing in this module panics — a
+//! malformed or oversized network request must never kill the daemon.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Why a count could not be produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// No `#`-hypertree decomposition within the width cap (strict
+    /// structural mode, where brute-force fallback is not allowed).
+    WidthCapExceeded {
+        /// The cap the search ran up to.
+        cap: usize,
+    },
+    /// No hybrid decomposition within the width/degree caps (strict mode).
+    NoHybridDecomposition {
+        /// Structural width cap.
+        width_cap: usize,
+        /// Degree bound cap.
+        degree_cap: usize,
+    },
+    /// The request's wall-clock budget tripped mid-count.
+    BudgetExceeded {
+        /// Milliseconds elapsed when the budget tripped.
+        elapsed_ms: u64,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::WidthCapExceeded { cap } => {
+                write!(f, "plan error: #-hypertree width exceeds cap {cap}")
+            }
+            PlanError::NoHybridDecomposition {
+                width_cap,
+                degree_cap,
+            } => write!(
+                f,
+                "plan error: no hybrid decomposition within width cap {width_cap} \
+                 and degree cap {degree_cap}"
+            ),
+            PlanError::BudgetExceeded { elapsed_ms } => {
+                write!(f, "plan error: budget exceeded after {elapsed_ms}ms")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl FromStr for PlanError {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<PlanError, String> {
+        let body = s
+            .strip_prefix("plan error: ")
+            .ok_or_else(|| format!("not a plan error rendering: {s:?}"))?;
+        if let Some(cap) = body.strip_prefix("#-hypertree width exceeds cap ") {
+            return Ok(PlanError::WidthCapExceeded {
+                cap: cap.trim().parse().map_err(|e| format!("bad cap: {e}"))?,
+            });
+        }
+        if let Some(rest) = body.strip_prefix("no hybrid decomposition within width cap ") {
+            let (w, d) = rest
+                .split_once(" and degree cap ")
+                .ok_or_else(|| format!("missing degree cap in {s:?}"))?;
+            return Ok(PlanError::NoHybridDecomposition {
+                width_cap: w.trim().parse().map_err(|e| format!("bad width: {e}"))?,
+                degree_cap: d.trim().parse().map_err(|e| format!("bad degree: {e}"))?,
+            });
+        }
+        if let Some(rest) = body.strip_prefix("budget exceeded after ") {
+            let ms = rest
+                .strip_suffix("ms")
+                .ok_or_else(|| format!("missing ms suffix in {s:?}"))?;
+            return Ok(PlanError::BudgetExceeded {
+                elapsed_ms: ms.trim().parse().map_err(|e| format!("bad ms: {e}"))?,
+            });
+        }
+        Err(format!("unrecognized plan error rendering: {s:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_every_variant() {
+        let variants = [
+            PlanError::WidthCapExceeded { cap: 3 },
+            PlanError::NoHybridDecomposition {
+                width_cap: 3,
+                degree_cap: 8,
+            },
+            PlanError::BudgetExceeded { elapsed_ms: 1234 },
+        ];
+        for v in variants {
+            let text = v.to_string();
+            let back: PlanError = text.parse().unwrap();
+            assert_eq!(back, v, "round trip of {text:?}");
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!("".parse::<PlanError>().is_err());
+        assert!("plan error: something new".parse::<PlanError>().is_err());
+        assert!("parse error at 1:1: nope".parse::<PlanError>().is_err());
+        assert!("plan error: budget exceeded after forever"
+            .parse::<PlanError>()
+            .is_err());
+    }
+}

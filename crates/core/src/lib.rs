@@ -34,8 +34,10 @@
 
 pub mod acyclic;
 pub mod brute;
+pub mod budget;
 pub mod durand_mengel;
 pub mod enumerate;
+pub mod error;
 pub mod hybrid;
 pub mod pipeline;
 pub mod planner;
@@ -47,15 +49,19 @@ pub mod views;
 /// Convenience re-exports of the full counting API.
 pub mod prelude {
     pub use crate::acyclic::count_acyclic_full;
-    pub use crate::brute::{count_brute_force, count_via_full_join};
+    pub use crate::brute::{count_brute_force, count_brute_force_budgeted, count_via_full_join};
+    pub use crate::budget::Budget;
     pub use crate::durand_mengel::{count_durand_mengel, durand_mengel_width};
     pub use crate::enumerate::{enumerate_answers, for_each_answer, for_each_answer_with};
+    pub use crate::error::PlanError;
     pub use crate::hybrid::{
         count_hybrid, hybrid_decomposition, hybrid_decomposition_guided, key_determined_variables,
         HybridDecomposition,
     };
     pub use crate::pipeline::{count_via_sharp_decomposition, count_with_decomposition};
-    pub use crate::planner::{count_auto, count_explain, Plan, WidthReport};
+    pub use crate::planner::{
+        count_auto, count_explain, count_prepared, prepare_plan, Plan, PreparedPlan, WidthReport,
+    };
     pub use crate::ps::{count_pichler_skritek, degree_bound};
     pub use crate::sharp::{
         sharp_decomposition_wrt_views, sharp_hypertree_decomposition, sharp_hypertree_width,

@@ -1,10 +1,12 @@
 //! Width analysis and automatic algorithm selection — the front door a
 //! downstream user calls.
 
-use crate::brute::count_brute_force;
+use crate::brute::{count_brute_force, count_brute_force_budgeted};
+use crate::budget::Budget;
+use crate::error::PlanError;
 use crate::hybrid::count_hybrid;
-use crate::pipeline::count_via_sharp_decomposition;
-use crate::sharp::sharp_hypertree_width;
+use crate::pipeline::{count_via_sharp_decomposition, count_with_decomposition};
+use crate::sharp::{sharp_hypertree_decomposition, sharp_hypertree_width, SharpDecomposition};
 
 use cqcount_arith::Natural;
 use cqcount_query::{quantified_star_size, ConjunctiveQuery};
@@ -85,15 +87,21 @@ pub fn count_auto(q: &ConjunctiveQuery, db: &Database) -> Natural {
     count_explain(q, db).0
 }
 
+/// Default structural width cap for the planner's decomposition searches.
+pub const WIDTH_CAP: usize = 3;
+/// Default degree cap for the hybrid (`#ᵦ`) search.
+pub const DEGREE_CAP: usize = 8;
+/// Above this many existential variables the hybrid subset search is
+/// skipped (it enumerates subsets of the existential variables).
+pub const HYBRID_EXISTENTIAL_LIMIT: usize = 16;
+
 /// Like [`count_auto`], also returning the [`Plan`] that produced the
 /// count.
 pub fn count_explain(q: &ConjunctiveQuery, db: &Database) -> (Natural, Plan) {
-    const WIDTH_CAP: usize = 3;
-    const DEGREE_CAP: usize = 8;
     if let Some((n, sd)) = count_via_sharp_decomposition(q, db, WIDTH_CAP) {
         return (n, Plan::SharpPipeline { width: sd.width });
     }
-    if q.existential().len() < 16 {
+    if q.existential().len() < HYBRID_EXISTENTIAL_LIMIT {
         if let Some((n, hd)) = count_hybrid(q, db, WIDTH_CAP, DEGREE_CAP) {
             let promoted = hd
                 .sbar
@@ -129,6 +137,105 @@ pub fn count_explain(q: &ConjunctiveQuery, db: &Database) -> (Natural, Plan) {
                 ),
             },
         )
+    }
+}
+
+/// The data-independent half of a plan: everything the planner can decide
+/// from the query alone. Produced by [`prepare_plan`], consumed by
+/// [`count_prepared`], and cached by the serving layer keyed on the
+/// query's canonical fingerprint — a prepared plan stays valid across
+/// data reloads because it never looks at the database.
+#[derive(Clone, Debug)]
+pub struct PreparedPlan {
+    /// A `#`-hypertree decomposition within `width_cap`, if one exists.
+    /// `None` means the (expensive) search already failed up to the cap,
+    /// so [`count_prepared`] goes straight to the hybrid/brute fallbacks.
+    pub sharp: Option<SharpDecomposition>,
+    /// The width cap the decomposition search ran up to.
+    pub width_cap: usize,
+    /// The degree cap for the data-dependent hybrid fallback.
+    pub degree_cap: usize,
+}
+
+impl PreparedPlan {
+    /// A short human-readable label for logs and server stats.
+    pub fn describe(&self) -> String {
+        match &self.sharp {
+            Some(sd) => format!("sharp-pipeline(width={})", sd.width),
+            None => format!("fallback(width>{})", self.width_cap),
+        }
+    }
+}
+
+/// Runs the query-only planning work (core computation + `#`-hypertree
+/// decomposition search up to `width_cap`) once, so repeated counts of the
+/// same query — the serving layer's hot path — skip it.
+pub fn prepare_plan(q: &ConjunctiveQuery, width_cap: usize) -> PreparedPlan {
+    let sharp = (1..=width_cap).find_map(|k| sharp_hypertree_decomposition(q, k));
+    PreparedPlan {
+        sharp,
+        width_cap,
+        degree_cap: DEGREE_CAP,
+    }
+}
+
+/// Counts `q` over `db` reusing the decomposition from a [`PreparedPlan`],
+/// under a cooperative [`Budget`]. Mirrors [`count_explain`]'s algorithm
+/// order (sharp pipeline → hybrid → brute force) but never panics: budget
+/// trips surface as [`PlanError::BudgetExceeded`].
+pub fn count_prepared(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    plan: &PreparedPlan,
+    budget: &Budget,
+) -> Result<(Natural, Plan), PlanError> {
+    budget.check()?;
+    if let Some(sd) = &plan.sharp {
+        let n = count_with_decomposition(&sd.qprime, db, &sd.hypertree);
+        budget.check()?;
+        return Ok((n, Plan::SharpPipeline { width: sd.width }));
+    }
+    if q.existential().len() < HYBRID_EXISTENTIAL_LIMIT {
+        if let Some((n, hd)) = count_hybrid(q, db, plan.width_cap, plan.degree_cap) {
+            budget.check()?;
+            let promoted = hd
+                .sbar
+                .iter()
+                .filter(|v| !q.free().contains(v))
+                .map(|v| q.var_name(*v).to_owned())
+                .collect();
+            return Ok((
+                n,
+                Plan::Hybrid {
+                    width: hd.sharp.width,
+                    bound: hd.bound,
+                    promoted,
+                },
+            ));
+        }
+        let n = count_brute_force_budgeted(q, db, budget)?;
+        Ok((
+            n,
+            Plan::BruteForce {
+                reason: format!(
+                    "#-hypertree width > {} and no hybrid decomposition \
+                     with degree ≤ {}",
+                    plan.width_cap, plan.degree_cap
+                ),
+            },
+        ))
+    } else {
+        let n = count_brute_force_budgeted(q, db, budget)?;
+        Ok((
+            n,
+            Plan::BruteForce {
+                reason: format!(
+                    "#-hypertree width > {}; too many existential \
+                     variables for the hybrid search",
+                    plan.width_cap
+                ),
+            },
+        ))
     }
 }
 
@@ -183,20 +290,66 @@ mod tests {
         let db = hybrid_database(3);
         let (n, plan) = count_explain(&q, &db);
         assert_eq!(n, 8u64.into());
-        match plan {
-            Plan::Hybrid {
-                width,
-                bound,
-                promoted,
-            } => {
-                // the search minimizes the degree bound, not the width:
-                // any width ≤ cap with bound 1 is a valid outcome
-                assert!(width <= 3, "width {width}");
-                assert_eq!(bound, 1);
-                assert!(!promoted.is_empty());
-            }
-            other => panic!("expected hybrid plan, got {other:?}"),
+        assert!(
+            matches!(plan, Plan::Hybrid { .. }),
+            "expected hybrid plan, got {plan:?}"
+        );
+        if let Plan::Hybrid {
+            width,
+            bound,
+            promoted,
+        } = plan
+        {
+            // the search minimizes the degree bound, not the width:
+            // any width ≤ cap with bound 1 is a valid outcome
+            assert!(width <= 3, "width {width}");
+            assert_eq!(bound, 1);
+            assert!(!promoted.is_empty());
         }
+    }
+
+    #[test]
+    fn prepared_plan_agrees_with_count_explain() {
+        let cases = [
+            "r(a, b). r(b, c). ans(X) :- r(X, Y).",
+            "e(a, b). e(b, c). e(c, a). ans(X, Y) :- e(X, Y), e(Y, Z), e(Z, X).",
+            "r(y1, a). r(y1, b). r(y2, b). ans(X1, X2) :- r(Y, X1), r(Y, X2).",
+        ];
+        for src in cases {
+            let (q, db) = parse_program(src).unwrap();
+            let q = q.unwrap();
+            let plan = prepare_plan(&q, WIDTH_CAP);
+            let (n, chosen) =
+                count_prepared(&q, &db, &plan, &Budget::unlimited()).expect("unlimited");
+            let (expected_n, expected_plan) = count_explain(&q, &db);
+            assert_eq!(n, expected_n, "{src}");
+            assert_eq!(chosen, expected_plan, "{src}");
+        }
+    }
+
+    #[test]
+    fn prepared_plan_hybrid_fallback_agrees() {
+        use cqcount_workloads::paper::{hybrid_database, hybrid_query};
+        let q = hybrid_query(3);
+        let db = hybrid_database(3);
+        let plan = prepare_plan(&q, WIDTH_CAP);
+        assert!(plan.sharp.is_none(), "width 4 query must not fit cap 3");
+        assert!(plan.describe().starts_with("fallback"));
+        let (n, chosen) = count_prepared(&q, &db, &plan, &Budget::unlimited()).unwrap();
+        assert_eq!(n, 8u64.into());
+        assert!(matches!(chosen, Plan::Hybrid { .. }), "got {chosen:?}");
+    }
+
+    #[test]
+    fn count_prepared_respects_a_tripped_budget() {
+        let (q, db) = parse_program("r(a, b). r(b, c). ans(X) :- r(X, Y).").unwrap();
+        let q = q.unwrap();
+        let plan = prepare_plan(&q, WIDTH_CAP);
+        let budget = crate::budget::Budget::with_deadline(std::time::Duration::from_millis(0));
+        assert!(matches!(
+            count_prepared(&q, &db, &plan, &budget),
+            Err(crate::error::PlanError::BudgetExceeded { .. })
+        ));
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //!   chunk results in offset order;
 //! * [`with_threads`] — force a thread count for the duration of a closure
 //!   (used by the seq-vs-par agreement tests);
-//! * [`current_threads`] / [`default_thread_count`] — introspection.
+//! * [`current_threads`] / [`default_thread_count`] — introspection;
+//! * [`BoundedQueue`] — a fixed-capacity MPMC queue with non-blocking
+//!   producers, the admission-control primitive of the serving layer.
 //!
 //! Thread count resolution: the `CQCOUNT_THREADS` environment variable if
 //! set (clamped to ≥ 1), otherwise [`std::thread::available_parallelism`].
@@ -24,8 +26,10 @@
 //! left fold is already deterministic).
 
 mod pool;
+pub mod queue;
 
 pub use pool::Pool;
+pub use queue::BoundedQueue;
 
 use std::sync::{Mutex, OnceLock};
 

@@ -1,0 +1,176 @@
+//! A bounded multi-producer multi-consumer queue for admission control.
+//!
+//! `std::sync::mpsc` channels are unbounded (or rendezvous), which is the
+//! wrong shape for a serving layer: an overloaded daemon must *reject*
+//! new work immediately instead of buffering it until memory runs out.
+//! [`BoundedQueue`] is the missing piece — `Mutex<VecDeque>` + `Condvar`,
+//! non-blocking producers ([`BoundedQueue::try_push`] fails fast when
+//! full), blocking consumers ([`BoundedQueue::pop`] parks until work or
+//! shutdown).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A fixed-capacity FIFO shared between producers and consumers.
+///
+/// Producers never block: a full (or closed) queue returns the rejected
+/// item so the caller can answer "overloaded" right away. Consumers block
+/// in [`BoundedQueue::pop`] until an item arrives or [`BoundedQueue::close`]
+/// drains the queue, at which point they observe `None` and exit.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (at least 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// Is the queue currently empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues without blocking. Returns `Err(item)` when the queue is
+    /// full or closed — the caller keeps the item and reports overload.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut s = self.state.lock().unwrap();
+        if s.closed || s.items.len() >= self.capacity {
+            return Err(item);
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available (FIFO) or the queue is closed and
+    /// drained, in which case it returns `None`.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.available.wait(s).unwrap();
+        }
+    }
+
+    /// Closes the queue: future pushes fail, and consumers drain what is
+    /// left, then observe `None`. Idempotent.
+    pub fn close(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.closed = true;
+        drop(s);
+        self.available.notify_all();
+    }
+
+    /// Has the queue been closed?
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_within_capacity() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        assert_eq!(q.try_push("c"), Err("c"));
+        assert_eq!(q.pop(), Some("a"));
+        q.try_push("c").unwrap();
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_stops_consumers() {
+        let q = BoundedQueue::new(8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None); // stays None
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_push_and_close() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..30 {
+            while q.try_push(i).is_err() {
+                thread::yield_now(); // queue full: wait for a consumer
+            }
+        }
+        q.close();
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..30).collect::<Vec<_>>());
+    }
+}

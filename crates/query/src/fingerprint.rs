@@ -1,0 +1,348 @@
+//! Canonical query fingerprints — the cache key of the serving layer.
+//!
+//! Two conjunctive queries that differ only by a renaming of variables, a
+//! reordering of atoms, or duplicated conjuncts denote the same counting
+//! problem, so a plan or a count computed for one is valid for the other.
+//! This module computes a **canonical text form** that is invariant under
+//! exactly those changes: variables are renumbered by an
+//! individualization–refinement search (Weisfeiler–Leman color refinement
+//! with branching on tied color classes, the standard graph-canonization
+//! scheme), atoms are sorted and deduplicated, and the free set is recorded
+//! as canonical indices. The canonical text *determines the query up to
+//! variable renaming*, so using it as a cache key can never conflate two
+//! inequivalent queries — unlike a bare hash, a collision is impossible.
+//!
+//! The companion 64-bit digest (stable FNV-1a over the text, independent of
+//! process and platform) is what travels in protocol frames and `STATS`
+//! output; caches key on the full text.
+//!
+//! Cost: refinement is polynomial; the branching phase is worst-case
+//! exponential in the size of the largest symmetric variable class, so the
+//! search is capped at [`LEAF_CAP`] labelings. Queries under the cap (every
+//! practical query — the cap allows thousands of labelings) get the exact
+//! canonical form; beyond it the search keeps the minimum over the explored
+//! prefix, which is still a *sound* cache key (it still determines the
+//! query), merely no longer guaranteed invariant under renaming — the
+//! failure mode is a spurious cache miss, never a wrong answer.
+
+use crate::{ConjunctiveQuery, Term, Var};
+use std::collections::BTreeMap;
+
+/// Branching budget for the individualization search (leaf labelings).
+pub const LEAF_CAP: usize = 4096;
+
+/// A canonical fingerprint: the exact canonical text plus a stable digest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryFingerprint {
+    /// Canonical text form — determines the query up to variable renaming.
+    /// Collision-free as a cache key.
+    pub text: String,
+    /// Stable 64-bit FNV-1a digest of `text` (for wire frames and display).
+    pub hash: u64,
+}
+
+/// Computes the canonical fingerprint of `q`.
+pub fn fingerprint(q: &ConjunctiveQuery) -> QueryFingerprint {
+    let text = canonical_text(q);
+    let hash = fnv1a(text.as_bytes());
+    QueryFingerprint { text, hash }
+}
+
+/// Stable FNV-1a (64-bit) — deterministic across processes and platforms.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Canonicalizer {
+    vars: Vec<Var>,
+    free: Vec<bool>,
+    /// atoms as (rel, terms), with vars mapped to indices into `vars`
+    atoms: Vec<(String, Vec<AtomTerm>)>,
+    leaves: usize,
+    best: Option<String>,
+}
+
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum AtomTerm {
+    Var(usize),
+    Const(String),
+}
+
+impl Canonicalizer {
+    fn new(q: &ConjunctiveQuery) -> Canonicalizer {
+        let vars: Vec<Var> = q.vars_in_atoms().into_iter().collect();
+        let index_of: BTreeMap<Var, usize> =
+            vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let free_set = q.free();
+        let free = vars.iter().map(|v| free_set.contains(v)).collect();
+        // Dedup exact duplicate conjuncts *before* refinement: conjunction
+        // is idempotent, and a duplicate would otherwise skew the
+        // occurrence multisets that drive the variable colors.
+        let atoms: Vec<(String, Vec<AtomTerm>)> = q
+            .atoms()
+            .iter()
+            .map(|a| {
+                let terms: Vec<AtomTerm> = a
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Var(v) => AtomTerm::Var(index_of[v]),
+                        Term::Const(c) => AtomTerm::Const(c.clone()),
+                    })
+                    .collect();
+                (a.rel.clone(), terms)
+            })
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        Canonicalizer {
+            vars,
+            free,
+            atoms,
+            leaves: 0,
+            best: None,
+        }
+    }
+
+    /// One WL refinement round: each variable's new color hashes its old
+    /// color together with the sorted multiset of its occurrence contexts.
+    fn refine(&self, colors: &mut Vec<u64>) {
+        loop {
+            let mut contexts: Vec<Vec<String>> = vec![Vec::new(); self.vars.len()];
+            for (rel, terms) in &self.atoms {
+                // The shape replaces variables with their current color, so
+                // one refinement round propagates structure one hop.
+                let shape_txt: String = terms
+                    .iter()
+                    .map(|t| match t {
+                        AtomTerm::Var(i) => format!("#{:x}", colors[*i]),
+                        AtomTerm::Const(c) => format!("={c}"),
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",");
+                for (pos, t) in terms.iter().enumerate() {
+                    if let AtomTerm::Var(i) = t {
+                        contexts[*i].push(format!("{rel}@{pos}({shape_txt})"));
+                    }
+                }
+            }
+            let new: Vec<u64> = (0..self.vars.len())
+                .map(|i| {
+                    let mut ctx = contexts[i].clone();
+                    ctx.sort_unstable();
+                    let mut buf = format!("{:x}|{}|", colors[i], self.free[i]);
+                    for c in ctx {
+                        buf.push_str(&c);
+                        buf.push(';');
+                    }
+                    fnv1a(buf.as_bytes())
+                })
+                .collect();
+            // Stop when the partition is stable (same equivalence classes).
+            let stable = partition_of(colors) == partition_of(&new);
+            *colors = new;
+            if stable {
+                return;
+            }
+        }
+    }
+
+    /// Serializes the query under a complete variable numbering.
+    fn serialize(&self, order: &[usize]) -> String {
+        // order[i] = canonical index of variable i
+        let mut rendered: Vec<String> = self
+            .atoms
+            .iter()
+            .map(|(rel, terms)| {
+                let body: Vec<String> = terms
+                    .iter()
+                    .map(|t| match t {
+                        AtomTerm::Var(i) => format!("${}", order[*i]),
+                        AtomTerm::Const(c) => format!("={c}"),
+                    })
+                    .collect();
+                format!("{rel}({})", body.join(","))
+            })
+            .collect();
+        rendered.sort_unstable();
+        rendered.dedup(); // conjunction is idempotent
+        let mut frees: Vec<usize> = (0..self.vars.len())
+            .filter(|&i| self.free[i])
+            .map(|i| order[i])
+            .collect();
+        frees.sort_unstable();
+        format!(
+            "free{{{}}}|{}",
+            frees
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+            rendered.join("&")
+        )
+    }
+
+    /// Individualization–refinement search for the minimal serialization.
+    /// `fixed[i] = Some(idx)` once variable i has a canonical index.
+    fn search(&mut self, colors: Vec<u64>, fixed: Vec<Option<usize>>, depth: usize) {
+        if self.leaves >= LEAF_CAP {
+            return;
+        }
+        if depth == self.vars.len() {
+            self.leaves += 1;
+            let order: Vec<usize> = fixed.iter().map(|f| f.unwrap()).collect();
+            let s = self.serialize(&order);
+            if self.best.as_ref().is_none_or(|b| s < *b) {
+                self.best = Some(s);
+            }
+            return;
+        }
+        // Target cell: among unfixed variables, the color class with the
+        // smallest (size, color) — an isomorphism-invariant choice.
+        let mut classes: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for i in 0..self.vars.len() {
+            if fixed[i].is_none() {
+                classes.entry(colors[i]).or_default().push(i);
+            }
+        }
+        let (_, members) = classes
+            .into_iter()
+            .min_by_key(|(color, members)| (members.len(), *color))
+            .expect("some variable unfixed");
+        if members.len() == 1 {
+            // Singleton cell: no branching needed.
+            let i = members[0];
+            let mut fixed = fixed;
+            fixed[i] = Some(depth);
+            let mut colors = colors;
+            colors[i] = fnv1a(format!("fixed:{depth}").as_bytes());
+            self.refine(&mut colors);
+            self.search(colors, fixed, depth + 1);
+            return;
+        }
+        for &i in &members {
+            let mut fixed = fixed.clone();
+            fixed[i] = Some(depth);
+            let mut colors = colors.clone();
+            colors[i] = fnv1a(format!("fixed:{depth}").as_bytes());
+            self.refine(&mut colors);
+            self.search(colors, fixed, depth + 1);
+            if self.leaves >= LEAF_CAP {
+                return;
+            }
+        }
+    }
+
+    fn run(mut self) -> String {
+        if self.vars.is_empty() {
+            return self.serialize(&[]);
+        }
+        let mut colors: Vec<u64> = vec![fnv1a(b"init"); self.vars.len()];
+        self.refine(&mut colors);
+        let fixed = vec![None; self.vars.len()];
+        self.search(colors, fixed, 0);
+        self.best.expect("search visited at least one leaf")
+    }
+}
+
+/// The equivalence-class structure of a coloring (for the stability test).
+fn partition_of(colors: &[u64]) -> Vec<Vec<usize>> {
+    let mut classes: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for (i, &c) in colors.iter().enumerate() {
+        classes.entry(c).or_default().push(i);
+    }
+    let mut out: Vec<Vec<usize>> = classes.into_values().collect();
+    out.sort_unstable();
+    out
+}
+
+/// The canonical text form of `q`: invariant under variable renaming, atom
+/// reordering and duplicated conjuncts; determines the query up to
+/// renaming (so it is collision-free as a cache key).
+pub fn canonical_text(q: &ConjunctiveQuery) -> String {
+    Canonicalizer::new(q).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    fn fp(src: &str) -> QueryFingerprint {
+        fingerprint(&parse_query(src).unwrap())
+    }
+
+    #[test]
+    fn renaming_is_invisible() {
+        let a = fp("ans(X) :- r(X, Y), s(Y, Z).");
+        let b = fp("ans(A) :- r(A, B), s(B, C).");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn atom_order_is_invisible() {
+        let a = fp("ans(X) :- r(X, Y), s(Y, Z).");
+        let b = fp("ans(X) :- s(Y, Z), r(X, Y).");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicate_conjuncts_are_invisible() {
+        let a = fp("ans(X) :- r(X, Y).");
+        let b = fp("ans(X) :- r(X, Y), r(X, Y).");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn structure_changes_are_visible() {
+        let base = fp("ans(X) :- r(X, Y), s(Y, Z).");
+        assert_ne!(base, fp("ans(X) :- r(X, Y), s(Y, Z), t(Z)."));
+        assert_ne!(base, fp("ans(X) :- r(X, Y)."));
+        assert_ne!(base, fp("ans(X, Y) :- r(X, Y), s(Y, Z)."));
+        assert_ne!(base, fp("ans(X) :- r(X, Y), s(Y, alice)."));
+    }
+
+    #[test]
+    fn constants_are_compared_by_name() {
+        assert_ne!(fp("ans(X) :- r(X, alice)."), fp("ans(X) :- r(X, bob)."));
+        assert_eq!(fp("ans(X) :- r(X, alice)."), fp("ans(Q) :- r(Q, alice)."));
+    }
+
+    #[test]
+    fn symmetric_variables_canonicalize() {
+        // X1/X2 are automorphic: any renaming must agree.
+        let a = fp("ans(X1, X2) :- r(Y, X1), r(Y, X2).");
+        let b = fp("ans(U2, U1) :- r(W, U2), r(W, U1).");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn triangle_rotations_agree() {
+        let a = fp("ans(X, Y, Z) :- e(X, Y), e(Y, Z), e(Z, X).");
+        let b = fp("ans(A, B, C) :- e(C, A), e(A, B), e(B, C).");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn free_set_matters() {
+        assert_ne!(fp("ans(X) :- r(X, Y)."), fp("ans(Y) :- r(X, Y)."));
+    }
+
+    #[test]
+    fn empty_and_boolean_queries() {
+        let b = fp("ans() :- r(X, Y).");
+        assert!(b.text.starts_with("free{}"));
+        assert_eq!(b, fp("ans() :- r(U, V)."));
+    }
+
+    #[test]
+    fn digest_matches_text() {
+        let f = fp("ans(X) :- r(X, Y).");
+        assert_eq!(f.hash, fnv1a(f.text.as_bytes()));
+    }
+}

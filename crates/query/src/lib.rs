@@ -13,12 +13,15 @@
 //! * [`core_of`] — exact cores by greedy atom removal, plus the
 //!   polynomial-time core computation of Lemma 4.3 via pairwise consistency;
 //! * [`mod@color`] — `color(Q)` and `fullcolor(Q)` (Sections 3.1, 5.3);
-//! * [`starsize`] — the quantified star size of Durand–Mengel (Appendix A).
+//! * [`starsize`] — the quantified star size of Durand–Mengel (Appendix A);
+//! * [`fingerprint`] — canonical, renaming/order-invariant query
+//!   fingerprints (the serving layer's plan-cache key).
 
 pub mod canonical;
 pub mod color;
 pub mod core_of;
 pub mod cq;
+pub mod fingerprint;
 pub mod hom;
 pub mod parser;
 pub mod starsize;
@@ -26,6 +29,7 @@ pub mod starsize;
 pub use color::{color, fullcolor, is_coloring_atom, uncolor};
 pub use core_of::{core_exact, core_via_consistency, is_hom_equivalent};
 pub use cq::{Atom, ConjunctiveQuery, Term, Var};
+pub use fingerprint::{canonical_text, fingerprint, QueryFingerprint};
 pub use hom::{enumerate_homomorphisms_to_db, find_homomorphism, has_homomorphism};
 pub use parser::{parse_database, parse_program, parse_query, ParseError};
 pub use starsize::quantified_star_size;

@@ -40,6 +40,30 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+impl std::str::FromStr for ParseError {
+    type Err = String;
+
+    /// Parses the exact [`fmt::Display`] form back into a typed error, so a
+    /// server can ship parse errors verbatim in error frames and clients
+    /// can recover the structured location.
+    fn from_str(s: &str) -> Result<ParseError, String> {
+        let rest = s
+            .strip_prefix("parse error at ")
+            .ok_or_else(|| format!("not a parse error rendering: {s:?}"))?;
+        let (loc, message) = rest
+            .split_once(": ")
+            .ok_or_else(|| format!("missing ': ' separator in {s:?}"))?;
+        let (line, col) = loc
+            .split_once(':')
+            .ok_or_else(|| format!("missing line:col in {s:?}"))?;
+        Ok(ParseError {
+            message: message.to_owned(),
+            line: line.parse().map_err(|e| format!("bad line: {e}"))?,
+            col: col.parse().map_err(|e| format!("bad column: {e}"))?,
+        })
+    }
+}
+
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Token {
     Ident(String),
@@ -406,6 +430,16 @@ mod tests {
         let err = parse_database("edge(a, b).\nedge(X, c).").unwrap_err();
         assert_eq!(err.line, 2);
         assert!(err.message.contains("ground"));
+    }
+
+    #[test]
+    fn parse_error_display_roundtrips() {
+        let err = parse_database("edge(a, b).\nedge(X, c).").unwrap_err();
+        let back: ParseError = err.to_string().parse().unwrap();
+        assert_eq!(back, err);
+        // non-error strings are rejected
+        assert!("something else".parse::<ParseError>().is_err());
+        assert!("parse error at nowhere".parse::<ParseError>().is_err());
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub use clique::{count_cliques_via_cq, count_cliques_via_cq_with};
 pub use counting_slice::{lemma_5_10_reduction, CountingSliceReduction, TargetOracle};
 pub use fullcolor::{count_fullcolor_via_oracle, free_automorphism_count};
 pub use oracle::{CountOracle, OracleStats};
-pub use simple::simple_to_general;
+pub use simple::{simple_to_general, SimpleReductionError};
 pub use slice::{
     frontier_query, graph_query, lemma_5_25_frontier, obs_5_19_graph, obs_5_20_deletion,
     ParsimoniousReduction,

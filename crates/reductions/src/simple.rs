@@ -9,30 +9,88 @@
 //! of `X` holds exactly the pairs `(X, b)`. Then
 //! `|Q_s(B)| = |fullcolor(Q̂)(B̂)|`.
 
+use std::fmt;
+
 use cqcount_query::color::fullcolor;
 use cqcount_query::{ConjunctiveQuery, Term};
 use cqcount_relational::Database;
 
+/// Why the Claim 5.16 construction rejected its input. These were
+/// `panic!`/`assert!` failures before the serving layer existed; a daemon
+/// handed a malformed reduction request must report, not die.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimpleReductionError {
+    /// `qs` is not `qhat.to_simple()`: the atom lists have different
+    /// lengths.
+    AtomCountMismatch {
+        /// Atoms in the general query `Q̂`.
+        general: usize,
+        /// Atoms in the supposed simple version.
+        simple: usize,
+    },
+    /// Atom `index` of `qs` carries different terms than atom `index` of
+    /// `qhat`, so the two queries do not align.
+    TermMismatch {
+        /// Index of the offending atom pair.
+        index: usize,
+    },
+    /// The machinery requires constant-free queries; atom `index` of `Q̂`
+    /// contains a constant.
+    ConstantInQuery {
+        /// Index of the offending atom.
+        index: usize,
+    },
+}
+
+impl fmt::Display for SimpleReductionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimpleReductionError::AtomCountMismatch { general, simple } => write!(
+                f,
+                "reduction error: atom lists must align \
+                 ({general} general vs {simple} simple atoms)"
+            ),
+            SimpleReductionError::TermMismatch { index } => {
+                write!(f, "reduction error: term lists differ at atom {index}")
+            }
+            SimpleReductionError::ConstantInQuery { index } => write!(
+                f,
+                "reduction error: constant in atom {index}; \
+                 Claim 5.16 machinery requires constant-free queries"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimpleReductionError {}
+
 /// The Claim 5.16 construction. `qs` must be `qhat.to_simple()` (atoms in
 /// the same order); `b` is a database for `qs`. Returns
-/// `(fullcolor(qhat), B̂)` with `|qs(B)| = |fullcolor(qhat)(B̂)|`.
+/// `(fullcolor(qhat), B̂)` with `|qs(B)| = |fullcolor(qhat)(B̂)|`, or a
+/// typed error when the inputs do not align.
 pub fn simple_to_general(
     qhat: &ConjunctiveQuery,
     qs: &ConjunctiveQuery,
     b: &Database,
-) -> (ConjunctiveQuery, Database) {
-    assert_eq!(
-        qhat.atoms().len(),
-        qs.atoms().len(),
-        "atom lists must align"
-    );
+) -> Result<(ConjunctiveQuery, Database), SimpleReductionError> {
+    if qhat.atoms().len() != qs.atoms().len() {
+        return Err(SimpleReductionError::AtomCountMismatch {
+            general: qhat.atoms().len(),
+            simple: qs.atoms().len(),
+        });
+    }
     let mut out = Database::new();
     let pair = |db: &mut Database, var_name: &str, val_name: &str| {
         db.value(&format!("p@{var_name}@{val_name}"))
     };
 
-    for (general, simple) in qhat.atoms().iter().zip(qs.atoms()) {
-        assert_eq!(general.terms, simple.terms, "term lists must align");
+    for (index, (general, simple)) in qhat.atoms().iter().zip(qs.atoms()).enumerate() {
+        if general.terms != simple.terms {
+            return Err(SimpleReductionError::TermMismatch { index });
+        }
+        if general.terms.iter().any(|t| matches!(t, Term::Const(_))) {
+            return Err(SimpleReductionError::ConstantInQuery { index });
+        }
         out.ensure_relation(&general.rel, general.terms.len());
         let Some(rel) = b.relation(&simple.rel) else {
             continue;
@@ -47,7 +105,7 @@ pub fn simple_to_general(
                 .zip(tuple.iter())
                 .map(|(t, v)| {
                     let Term::Var(x) = t else {
-                        panic!("Claim 5.16 machinery requires constant-free queries");
+                        unreachable!("constants rejected above");
                     };
                     let val_name = b.interner().name(*v).to_owned();
                     pair(&mut out, qhat.var_name(*x), &val_name)
@@ -70,7 +128,7 @@ pub fn simple_to_general(
             out.add_tuple(&rel, vec![p]);
         }
     }
-    (fullcolor(qhat), out)
+    Ok((fullcolor(qhat), out))
 }
 
 #[cfg(test)]
@@ -92,7 +150,7 @@ mod tests {
             }
             None => random_database(&qs, &RandomDbConfig::default(), 17),
         };
-        let (fc, bhat) = simple_to_general(qhat, &qs, &b);
+        let (fc, bhat) = simple_to_general(qhat, &qs, &b).unwrap();
         assert_eq!(
             count_brute_force(&qs, &b),
             count_brute_force(&fc, &bhat),
@@ -147,8 +205,66 @@ mod tests {
                 b.add_tuple(rel, vec![uu, vv]);
             }
         }
-        let (fc, bhat) = simple_to_general(&q, &qs, &b);
+        let (fc, bhat) = simple_to_general(&q, &qs, &b).unwrap();
         assert_eq!(count_brute_force(&qs, &b), count_brute_force(&fc, &bhat));
         assert_eq!(count_brute_force(&qs, &b), 2u64.into()); // X ∈ {a, b}
+    }
+
+    #[test]
+    fn misaligned_inputs_yield_typed_errors() {
+        let (q, _) = parse_program("ans(X) :- r(X, Y), r(Y, X).").unwrap();
+        let q = q.unwrap();
+        let qs = q.to_simple();
+        let b = Database::new();
+
+        // Wrong atom count: only the first simple atom.
+        let mut short = ConjunctiveQuery::new();
+        let sx = short.var("X");
+        let sy = short.var("Y");
+        short.add_atom(&qs.atoms()[0].rel, vec![Term::Var(sx), Term::Var(sy)]);
+        assert_eq!(
+            simple_to_general(&q, &short, &b).unwrap_err(),
+            SimpleReductionError::AtomCountMismatch {
+                general: 2,
+                simple: 1
+            }
+        );
+
+        // Same length, but atom 1's terms swapped: `r#1(X, Y)` instead of
+        // `r#1(Y, X)`.
+        let mut twisted = ConjunctiveQuery::new();
+        let x = twisted.var("X");
+        let y = twisted.var("Y");
+        twisted.add_atom(&qs.atoms()[0].rel, vec![Term::Var(x), Term::Var(y)]);
+        twisted.add_atom(&qs.atoms()[1].rel, vec![Term::Var(x), Term::Var(y)]);
+        assert_eq!(
+            simple_to_general(&q, &twisted, &b).unwrap_err(),
+            SimpleReductionError::TermMismatch { index: 1 }
+        );
+
+        // Constants are rejected with the atom index.
+        let (qc, _) = parse_program("ans(X) :- r(X, c).").unwrap();
+        let qc = qc.unwrap();
+        let qcs = qc.to_simple();
+        assert_eq!(
+            simple_to_general(&qc, &qcs, &b).unwrap_err(),
+            SimpleReductionError::ConstantInQuery { index: 0 }
+        );
+    }
+
+    #[test]
+    fn error_display_is_stable() {
+        assert_eq!(
+            SimpleReductionError::AtomCountMismatch {
+                general: 2,
+                simple: 1
+            }
+            .to_string(),
+            "reduction error: atom lists must align (2 general vs 1 simple atoms)"
+        );
+        assert_eq!(
+            SimpleReductionError::TermMismatch { index: 3 }.to_string(),
+            "reduction error: term lists differ at atom 3"
+        );
     }
 }

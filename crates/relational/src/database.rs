@@ -89,6 +89,44 @@ impl Database {
     pub fn total_tuples(&self) -> usize {
         self.relations.values().map(Relation::len).sum()
     }
+
+    /// A stable 64-bit content fingerprint of the instance, used by the
+    /// serving layer to tag cached counts. Two databases with the same
+    /// relations (by name) holding the same tuples (by constant *name*)
+    /// fingerprint identically, regardless of interning order, insertion
+    /// order, or unused interned constants; any added, removed or edited
+    /// tuple changes the fingerprint (up to 64-bit collisions — cache
+    /// *correctness* in the server comes from the epoch, not this hash).
+    pub fn fingerprint(&self) -> u64 {
+        // Per-value name hashes, computed once (FNV-1a, process-stable).
+        let fnv = |bytes: &[u8]| -> u64 {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h
+        };
+        let value_hash: Vec<u64> = (0..self.values.len() as u32)
+            .map(|i| fnv(self.values.name(Value(i)).as_bytes()))
+            .collect();
+        let mut total: u64 = 0;
+        for (name, rel) in &self.relations {
+            let seed = fnv(name.as_bytes()) ^ fnv(&(rel.arity() as u64).to_le_bytes());
+            // Commutative tuple combine: insertion order is invisible.
+            let mut tuples: u64 = 0;
+            for tuple in rel.iter() {
+                let mut h = seed;
+                for v in tuple.iter() {
+                    h = (h.rotate_left(13) ^ value_hash[v.id() as usize])
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                }
+                tuples = tuples.wrapping_add(h | 1);
+            }
+            total = total.wrapping_add(seed.rotate_left(7) ^ tuples);
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +163,46 @@ mod tests {
         db.add_fact("s", &["1"]);
         assert_eq!(db.max_relation_size(), 2);
         assert_eq!(db.total_tuples(), 3);
+    }
+
+    #[test]
+    fn fingerprint_ignores_orders() {
+        let mut a = Database::new();
+        a.add_fact("r", &["x", "y"]);
+        a.add_fact("r", &["y", "z"]);
+        a.add_fact("s", &["x"]);
+        // Different insertion order, different interning order.
+        let mut b = Database::new();
+        b.value("z");
+        b.value("q_unused"); // unused constants are invisible
+        b.add_fact("s", &["x"]);
+        b.add_fact("r", &["y", "z"]);
+        b.add_fact("r", &["x", "y"]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_content_changes() {
+        let mut a = Database::new();
+        a.add_fact("r", &["x", "y"]);
+        let base = a.fingerprint();
+        let mut b = a.clone();
+        b.add_fact("r", &["y", "x"]);
+        assert_ne!(base, b.fingerprint());
+        let mut c = Database::new();
+        c.add_fact("r", &["x", "z"]);
+        assert_ne!(base, c.fingerprint());
+        let mut d = Database::new();
+        d.add_fact("t", &["x", "y"]); // same tuple, different relation name
+        assert_ne!(base, d.fingerprint());
+        // column swap within a tuple is visible
+        let mut e = Database::new();
+        e.add_fact("r", &["y", "x"]);
+        assert_ne!(base, e.fingerprint());
+        // empty relation of a different arity is visible
+        let mut f = a.clone();
+        f.ensure_relation("empty", 3);
+        assert_ne!(base, f.fingerprint());
     }
 
     #[test]

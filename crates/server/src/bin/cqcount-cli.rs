@@ -1,0 +1,218 @@
+//! `cqcount-cli` — command-line client for `cqcountd`.
+//!
+//! ```text
+//! cqcount-cli --server ADDR count     --db NAME <QUERY> [--budget-ms MS] [--verbose]
+//! cqcount-cli --server ADDR enumerate --db NAME <QUERY> [--limit N]
+//! cqcount-cli --server ADDR report    <QUERY> [--cap K]
+//! cqcount-cli --server ADDR stats
+//! cqcount-cli --server ADDR reload    --db NAME <FACTS-FILE>
+//! cqcount-cli --server ADDR flush
+//! ```
+//!
+//! `<QUERY>` is either a datalog rule (`ans(X) :- r(X, Y).`) or `@FILE`
+//! to read the rule from a file. `count` prints the count on stdout;
+//! `--verbose` adds the plan and cache tier on stderr.
+
+use cqcount_server::Client;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  cqcount-cli --server ADDR count     --db NAME <QUERY> [--budget-ms MS] [--verbose]
+  cqcount-cli --server ADDR enumerate --db NAME <QUERY> [--limit N]
+  cqcount-cli --server ADDR report    <QUERY> [--cap K]
+  cqcount-cli --server ADDR stats
+  cqcount-cli --server ADDR reload    --db NAME <FACTS-FILE>
+  cqcount-cli --server ADDR flush";
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Opts {
+    server: String,
+    command: String,
+    db: String,
+    positional: Vec<String>,
+    budget_ms: u64,
+    limit: u64,
+    cap: u64,
+    verbose: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        server: String::new(),
+        command: String::new(),
+        db: String::new(),
+        positional: Vec::new(),
+        budget_ms: 0,
+        limit: 20,
+        cap: 0,
+        verbose: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--server" => opts.server = it.next().ok_or("--server needs a value")?.clone(),
+            "--db" => opts.db = it.next().ok_or("--db needs a value")?.clone(),
+            "--budget-ms" => {
+                opts.budget_ms = it
+                    .next()
+                    .ok_or("--budget-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "--budget-ms must be a number")?;
+            }
+            "--limit" => {
+                opts.limit = it
+                    .next()
+                    .ok_or("--limit needs a value")?
+                    .parse()
+                    .map_err(|_| "--limit must be a number")?;
+            }
+            "--cap" => {
+                opts.cap = it
+                    .next()
+                    .ok_or("--cap needs a value")?
+                    .parse()
+                    .map_err(|_| "--cap must be a number")?;
+            }
+            "--verbose" => opts.verbose = true,
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            word => {
+                if opts.command.is_empty() {
+                    opts.command = word.to_owned();
+                } else {
+                    opts.positional.push(word.to_owned());
+                }
+            }
+        }
+    }
+    if opts.server.is_empty() {
+        return Err("missing --server ADDR".into());
+    }
+    if opts.command.is_empty() {
+        return Err("missing command".into());
+    }
+    Ok(opts)
+}
+
+/// Resolves a `<QUERY>` argument: `@FILE` reads the file, anything else is
+/// the rule text itself.
+fn query_arg(opts: &Opts) -> Result<String, String> {
+    let raw = opts
+        .positional
+        .first()
+        .ok_or("missing query argument")?
+        .clone();
+    if let Some(path) = raw.strip_prefix('@') {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    } else {
+        Ok(raw)
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let mut client = Client::connect(&opts.server)
+        .map_err(|e| format!("cannot connect to {}: {e}", opts.server))?;
+    match opts.command.as_str() {
+        "count" => {
+            if opts.db.is_empty() {
+                return Err("count needs --db NAME".into());
+            }
+            let query = query_arg(&opts)?;
+            let reply = client
+                .count(&opts.db, &query, opts.budget_ms)
+                .map_err(|e| e.to_string())?;
+            if opts.verbose {
+                eprintln!(
+                    "plan: {} (cache: {:?}, fingerprint: {:016x})",
+                    reply.plan, reply.cached, reply.fingerprint
+                );
+            }
+            println!("{}", reply.value);
+            Ok(())
+        }
+        "enumerate" => {
+            if opts.db.is_empty() {
+                return Err("enumerate needs --db NAME".into());
+            }
+            let query = query_arg(&opts)?;
+            let (rows, truncated) = client
+                .enumerate(&opts.db, &query, opts.limit, opts.budget_ms)
+                .map_err(|e| e.to_string())?;
+            for row in rows {
+                println!("{}", row.join("\t"));
+            }
+            if truncated {
+                eprintln!("(truncated at {} rows)", opts.limit);
+            }
+            Ok(())
+        }
+        "report" => {
+            let query = query_arg(&opts)?;
+            let r = client
+                .width_report(&query, opts.cap)
+                .map_err(|e| e.to_string())?;
+            let fmt = |w: Option<u64>| w.map_or(format!("> {}", r.cap), |v| v.to_string());
+            println!("α-acyclic:            {}", r.acyclic);
+            println!("ghw:                  {}", fmt(r.ghw));
+            println!("#-hypertree width:    {}", fmt(r.sharp_width));
+            println!("quantified star size: {}", r.star_size);
+            println!(
+                "atoms / vars / free:  {} / {} / {}",
+                r.atoms, r.vars, r.free
+            );
+            Ok(())
+        }
+        "stats" => {
+            let s = client.stats().map_err(|e| e.to_string())?;
+            println!("served:       {}", s.served);
+            println!("overloaded:   {}", s.overloaded);
+            println!(
+                "plan cache:   {} hits / {} misses",
+                s.plan_hits, s.plan_misses
+            );
+            println!(
+                "count cache:  {} hits / {} misses",
+                s.count_hits, s.count_misses
+            );
+            for d in &s.dbs {
+                println!(
+                    "db {}: epoch {}, fingerprint {:016x}, {} tuples",
+                    d.name, d.epoch, d.fingerprint, d.tuples
+                );
+            }
+            Ok(())
+        }
+        "reload" => {
+            if opts.db.is_empty() {
+                return Err("reload needs --db NAME".into());
+            }
+            let file = opts.positional.first().ok_or("missing facts file")?;
+            let text =
+                std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+            let epoch = client.reload(&opts.db, &text).map_err(|e| e.to_string())?;
+            println!("epoch {epoch}");
+            Ok(())
+        }
+        "flush" => {
+            client.flush().map_err(|e| e.to_string())?;
+            println!("flushed");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}

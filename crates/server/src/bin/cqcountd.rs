@@ -1,0 +1,84 @@
+//! `cqcountd` — the counting query daemon.
+//!
+//! ```text
+//! cqcountd [--listen ADDR] [--db NAME=FILE]... [--workers N]
+//!          [--queue-cap N] [--budget-ms MS] [--max-enumerate N]
+//!          [--width-cap K]
+//! ```
+//!
+//! Each `--db NAME=FILE` loads a datalog fact file (same format as the
+//! `cqcount` CLI accepts, facts only) under a name clients address in
+//! their requests. The daemon prints `listening on ADDR` once ready and
+//! serves until killed.
+
+use cqcount_query::parse_database;
+use cqcount_relational::Database;
+use cqcount_server::{serve, ServerConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  cqcountd [--listen ADDR] [--db NAME=FILE]... [--workers N]
+           [--queue-cap N] [--budget-ms MS] [--max-enumerate N] [--width-cap K]";
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_num(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<u64, String> {
+    it.next()
+        .ok_or(format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|_| format!("{flag} must be a number"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".into(),
+        ..ServerConfig::default()
+    };
+    let mut dbs: Vec<(String, Database)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            "--listen" => {
+                config.addr = it.next().ok_or("--listen needs a value")?.clone();
+            }
+            "--db" => {
+                let spec = it.next().ok_or("--db needs NAME=FILE")?;
+                let (name, file) = spec
+                    .split_once('=')
+                    .ok_or(format!("--db expects NAME=FILE, got {spec:?}"))?;
+                let src = std::fs::read_to_string(file)
+                    .map_err(|e| format!("cannot read {file}: {e}"))?;
+                let db = parse_database(&src).map_err(|e| format!("{file}: {e}"))?;
+                dbs.push((name.to_owned(), db));
+            }
+            "--workers" => config.workers = parse_num(&mut it, "--workers")?.max(1) as usize,
+            "--queue-cap" => config.queue_cap = parse_num(&mut it, "--queue-cap")?.max(1) as usize,
+            "--budget-ms" => config.default_budget_ms = parse_num(&mut it, "--budget-ms")?,
+            "--max-enumerate" => {
+                config.max_enumerate = parse_num(&mut it, "--max-enumerate")? as usize
+            }
+            "--width-cap" => config.width_cap = parse_num(&mut it, "--width-cap")?.max(1) as usize,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    let handle = serve(config, dbs).map_err(|e| format!("cannot bind: {e}"))?;
+    println!("listening on {}", handle.local_addr());
+    // Serve forever; the process is stopped by a signal.
+    loop {
+        std::thread::park();
+    }
+}

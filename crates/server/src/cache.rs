@@ -1,0 +1,273 @@
+//! The two cache levels behind the daemon.
+//!
+//! * **Level 1 — plans** ([`PlanCache`]): canonical query text →
+//!   [`PreparedPlan`] (+ lazily computed width report). Keyed on the
+//!   *canonical* form from `cqcount_query::fingerprint`, so clients that
+//!   rename variables or reorder atoms share an entry. Plans are
+//!   data-independent, so this level survives database reloads.
+//! * **Level 2 — counts** ([`CountCache`]): (canonical text, database
+//!   name, database *epoch*) → exact count. The epoch in the key is the
+//!   invalidation mechanism: a `RELOAD` bumps the database's epoch, so
+//!   stale counts simply stop being addressable (and age out FIFO).
+//!
+//! Both levels are bounded FIFO maps — eviction only needs to keep memory
+//! flat under adversarial key churn, not maximize hit rate, so the cheap
+//! policy wins over an LRU's extra bookkeeping.
+
+use cqcount_arith::Natural;
+use cqcount_core::planner::{PreparedPlan, WidthReport};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A cached plan: the prepared decomposition plus a slot for the width
+/// report (computed on the first `WIDTH_REPORT` request, not eagerly —
+/// `COUNT` traffic never pays for `ghw` search).
+#[derive(Debug)]
+pub struct PlanEntry {
+    /// The data-independent plan.
+    pub prepared: PreparedPlan,
+    /// Lazily filled structural report.
+    pub report: Mutex<Option<WidthReport>>,
+}
+
+/// A bounded FIFO map with hit/miss counters, shared by both levels.
+#[derive(Debug)]
+struct FifoMap<K, V> {
+    map: HashMap<K, V>,
+    order: VecDeque<K>,
+    capacity: usize,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> FifoMap<K, V> {
+    fn new(capacity: usize) -> FifoMap<K, V> {
+        FifoMap {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn get<Q>(&self, k: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: std::hash::Hash + Eq + ?Sized,
+    {
+        self.map.get(k)
+    }
+
+    fn insert(&mut self, k: K, v: V) {
+        if self.map.insert(k.clone(), v).is_none() {
+            self.order.push_back(k);
+            while self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Level 1: canonical query text → [`PlanEntry`].
+#[derive(Debug)]
+pub struct PlanCache {
+    inner: Mutex<FifoMap<String, Arc<PlanEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// A plan cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            inner: Mutex::new(FifoMap::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a plan by canonical text, counting the hit or miss.
+    pub fn get(&self, canonical: &str) -> Option<Arc<PlanEntry>> {
+        let inner = self.inner.lock().unwrap();
+        match inner.get(canonical) {
+            Some(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(e))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Installs a plan (first writer wins; a racing duplicate is dropped).
+    pub fn insert(&self, canonical: String, entry: Arc<PlanEntry>) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.get(&canonical).is_none() {
+            inner.insert(canonical, entry);
+        }
+    }
+
+    /// Drops every entry (counters survive).
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().clear();
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (hits, misses) so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Level 2 key: canonical query text + database name + database epoch.
+pub type CountKey = (String, String, u64);
+
+/// Level 2: exact counts, invalidated by epoch bumps.
+#[derive(Debug)]
+pub struct CountCache {
+    inner: Mutex<FifoMap<CountKey, Natural>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CountCache {
+    /// A count cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> CountCache {
+        CountCache {
+            inner: Mutex::new(FifoMap::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a count, counting the hit or miss.
+    pub fn get(&self, key: &CountKey) -> Option<Natural> {
+        let inner = self.inner.lock().unwrap();
+        match inner.get(key) {
+            Some(n) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(n.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Installs a count.
+    pub fn insert(&self, key: CountKey, value: Natural) {
+        self.inner.lock().unwrap().insert(key, value);
+    }
+
+    /// Drops every entry (counters survive).
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().clear();
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (hits, misses) so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqcount_core::planner::prepare_plan;
+    use cqcount_query::parse_query;
+
+    fn entry() -> Arc<PlanEntry> {
+        let q = parse_query("ans(X) :- r(X, Y).").unwrap();
+        Arc::new(PlanEntry {
+            prepared: prepare_plan(&q, 3),
+            report: Mutex::new(None),
+        })
+    }
+
+    #[test]
+    fn plan_cache_hits_and_misses() {
+        let c = PlanCache::new(8);
+        assert!(c.get("k1").is_none());
+        c.insert("k1".into(), entry());
+        assert!(c.get("k1").is_some());
+        assert_eq!(c.counters(), (1, 1));
+        c.clear();
+        assert!(c.get("k1").is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_memory() {
+        let c = CountCache::new(2);
+        for i in 0..5u64 {
+            c.insert((format!("q{i}"), "db".into(), 0), Natural::from(i));
+        }
+        assert_eq!(c.len(), 2);
+        // Oldest keys evicted, newest kept.
+        assert!(c.get(&("q0".into(), "db".into(), 0)).is_none());
+        assert_eq!(
+            c.get(&("q4".into(), "db".into(), 0)),
+            Some(Natural::from(4u64))
+        );
+    }
+
+    #[test]
+    fn epoch_is_part_of_the_key() {
+        let c = CountCache::new(8);
+        c.insert(("q".into(), "db".into(), 1), Natural::from(7u64));
+        assert!(c.get(&("q".into(), "db".into(), 2)).is_none());
+        assert_eq!(
+            c.get(&("q".into(), "db".into(), 1)),
+            Some(Natural::from(7u64))
+        );
+    }
+
+    #[test]
+    fn reinsert_same_key_does_not_grow_order() {
+        let c = CountCache::new(2);
+        for _ in 0..10 {
+            c.insert(("q".into(), "db".into(), 0), Natural::from(1u64));
+        }
+        c.insert(("r".into(), "db".into(), 0), Natural::from(2u64));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&("q".into(), "db".into(), 0)).is_some());
+        assert!(c.get(&("r".into(), "db".into(), 0)).is_some());
+    }
+}

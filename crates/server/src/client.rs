@@ -1,0 +1,186 @@
+//! A small blocking client for the daemon — used by `cqcount-cli`, the
+//! e2e tests, and the throughput bench.
+
+use crate::protocol::{
+    read_frame, CacheTier, ErrorCode, ReportReply, Request, Response, StatsReply,
+};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// What went wrong on the client side.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server answered with an error frame.
+    Server {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with a frame the client cannot interpret (wrong
+    /// type for the request, or undecodable).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A successful count with its provenance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CountReply {
+    /// The exact count, as a decimal string.
+    pub value: String,
+    /// The plan label the server reported.
+    pub plan: String,
+    /// Which cache level served it.
+    pub cached: CacheTier,
+    /// The query's canonical 64-bit fingerprint.
+    pub fingerprint: u64,
+}
+
+/// A blocking connection to a `cqcountd`. One request in flight at a time.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to the daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        req.write_to(&mut self.writer)?;
+        let frame = read_frame(&mut self.reader)?
+            .ok_or_else(|| ClientError::Protocol("server closed the connection".into()))?;
+        let resp = Response::decode(&frame).map_err(ClientError::Protocol)?;
+        if let Response::Error { code, message } = resp {
+            return Err(ClientError::Server { code, message });
+        }
+        Ok(resp)
+    }
+
+    /// Counts `query` over the named database. `budget_ms == 0` uses the
+    /// server default.
+    pub fn count(
+        &mut self,
+        db: &str,
+        query: &str,
+        budget_ms: u64,
+    ) -> Result<CountReply, ClientError> {
+        match self.roundtrip(&Request::Count {
+            db: db.into(),
+            query: query.into(),
+            budget_ms,
+        })? {
+            Response::Count {
+                value,
+                plan,
+                cached,
+                fingerprint,
+            } => Ok(CountReply {
+                value,
+                plan,
+                cached,
+                fingerprint,
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "expected a count response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches up to `limit` answers. Returns `(rows, truncated)`.
+    pub fn enumerate(
+        &mut self,
+        db: &str,
+        query: &str,
+        limit: u64,
+        budget_ms: u64,
+    ) -> Result<(Vec<Vec<String>>, bool), ClientError> {
+        match self.roundtrip(&Request::Enumerate {
+            db: db.into(),
+            query: query.into(),
+            limit,
+            budget_ms,
+        })? {
+            Response::Rows { rows, truncated } => Ok((rows, truncated)),
+            other => Err(ClientError::Protocol(format!(
+                "expected rows, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Structural width report. `cap == 0` uses the server default.
+    pub fn width_report(&mut self, query: &str, cap: u64) -> Result<ReportReply, ClientError> {
+        match self.roundtrip(&Request::WidthReport {
+            query: query.into(),
+            cap,
+        })? {
+            Response::Report(r) => Ok(r),
+            other => Err(ClientError::Protocol(format!(
+                "expected a report, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Server counters.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(ClientError::Protocol(format!(
+                "expected stats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Replaces (or installs) a database from datalog facts; returns the
+    /// new epoch.
+    pub fn reload(&mut self, db: &str, text: &str) -> Result<u64, ClientError> {
+        match self.roundtrip(&Request::Reload {
+            db: db.into(),
+            text: text.into(),
+        })? {
+            Response::Ok { epoch } => Ok(epoch),
+            other => Err(ClientError::Protocol(format!(
+                "expected an ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Drops both cache levels.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Flush)? {
+            Response::Ok { .. } => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected an ack, got {other:?}"
+            ))),
+        }
+    }
+}

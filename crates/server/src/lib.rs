@@ -1,0 +1,27 @@
+//! `cqcount-server`: a counting query service over the paper's algorithms.
+//!
+//! The workspace's algorithm crates answer *one* question at a time; this
+//! crate turns them into a long-running daemon (`cqcountd`) that serves
+//! many clients over TCP with a small binary protocol ([`protocol`]) and
+//! stays predictable under load:
+//!
+//! * **two-level caching** ([`cache`]) — prepared plans keyed on the
+//!   canonical query fingerprint (level 1, survives data reloads) and
+//!   exact counts keyed on (query, database, epoch) (level 2, invalidated
+//!   by `RELOAD`'s epoch bump);
+//! * **admission control** ([`server`]) — a bounded request queue that
+//!   answers `Overloaded` instead of buffering, plus a per-request
+//!   wall-clock budget enforced cooperatively inside the counting loops;
+//! * **a typed client** ([`client`]) — the blocking API used by
+//!   `cqcount-cli`, the e2e tests, and the throughput bench.
+//!
+//! Everything is `std`-only, like the rest of the workspace.
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, CountReply};
+pub use protocol::{CacheTier, ErrorCode, ReportReply, Request, Response, StatsReply};
+pub use server::{serve, ServerConfig, ServerHandle};

@@ -1,0 +1,780 @@
+//! The wire protocol: length-prefixed binary frames over a byte stream.
+//!
+//! Every frame, in both directions, is
+//!
+//! ```text
+//! +------+------+---------+--------+------------------+
+//! | 0x43 | 0x51 | version | opcode | uleb128 len | payload (len bytes) |
+//! +------+------+---------+--------+------------------+
+//!   'C'    'Q'     0x01
+//! ```
+//!
+//! Payload fields are ULEB128 varints, fixed 8-byte little-endian `u64`s
+//! (fingerprints only), and strings (ULEB128 byte length + UTF-8 bytes).
+//! Every length is capped before allocation so a malicious frame cannot
+//! make the daemon reserve unbounded memory; decode errors are reported,
+//! never panicked on.
+
+use std::io::{self, Read, Write};
+
+/// Frame magic: `b"CQ"`.
+pub const MAGIC: [u8; 2] = [0x43, 0x51];
+/// Protocol version carried in every frame header.
+pub const VERSION: u8 = 0x01;
+/// Upper bound on a frame payload (queries and reload texts included).
+pub const MAX_PAYLOAD: usize = 16 << 20;
+/// Upper bound on a single string field.
+pub const MAX_STRING: usize = 8 << 20;
+/// Upper bound on decoded row counts (defense in depth; the server also
+/// enforces its own `max_enumerate`).
+pub const MAX_ROWS: usize = 1 << 20;
+
+/// Machine-readable error categories carried in error frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The query (or reload text) failed to parse.
+    Parse = 1,
+    /// Planning/counting failed (no decomposition in strict mode, ...).
+    Plan = 2,
+    /// The named database is not loaded.
+    UnknownDb = 3,
+    /// Admission control rejected the request (queue full).
+    Overloaded = 4,
+    /// The request's wall-clock budget tripped mid-count.
+    BudgetExceeded = 5,
+    /// Malformed frame or unsupported opcode/version.
+    Protocol = 6,
+    /// The server hit an internal error (a caught panic).
+    Internal = 7,
+}
+
+impl ErrorCode {
+    /// Decodes a wire byte.
+    pub fn from_u8(b: u8) -> Option<ErrorCode> {
+        Some(match b {
+            1 => ErrorCode::Parse,
+            2 => ErrorCode::Plan,
+            3 => ErrorCode::UnknownDb,
+            4 => ErrorCode::Overloaded,
+            5 => ErrorCode::BudgetExceeded,
+            6 => ErrorCode::Protocol,
+            7 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A client-to-server message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Count `|π_free(Q)(Q^D)|` for `query` over the named database.
+    /// `budget_ms == 0` means "use the server default".
+    Count {
+        /// Name of a loaded database.
+        db: String,
+        /// The rule, in the datalog text format.
+        query: String,
+        /// Wall-clock budget in milliseconds (0 = server default).
+        budget_ms: u64,
+    },
+    /// Enumerate up to `limit` answers (bounded prefix, server-capped).
+    Enumerate {
+        /// Name of a loaded database.
+        db: String,
+        /// The rule, in the datalog text format.
+        query: String,
+        /// Maximum rows to return.
+        limit: u64,
+        /// Wall-clock budget in milliseconds (0 = server default).
+        budget_ms: u64,
+    },
+    /// Structural width analysis of a query (no database involved).
+    WidthReport {
+        /// The rule, in the datalog text format.
+        query: String,
+        /// Width search cap (0 = server default).
+        cap: u64,
+    },
+    /// Server and cache counters.
+    Stats,
+    /// Replace (or install) a named database from datalog facts; bumps the
+    /// database epoch, invalidating cached counts but not cached plans.
+    Reload {
+        /// Database name.
+        db: String,
+        /// Datalog facts.
+        text: String,
+    },
+    /// Drop both cache levels (plans and counts).
+    Flush,
+}
+
+/// How a count was produced, for observability and the bench.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheTier {
+    /// Neither cache level helped: planned and counted from scratch.
+    Cold = 0,
+    /// Level 1 hit: the prepared plan was reused, the count ran fresh.
+    PlanWarm = 1,
+    /// Level 2 hit: the count itself came from cache.
+    CountWarm = 2,
+}
+
+impl CacheTier {
+    fn from_u8(b: u8) -> Option<CacheTier> {
+        Some(match b {
+            0 => CacheTier::Cold,
+            1 => CacheTier::PlanWarm,
+            2 => CacheTier::CountWarm,
+            _ => return None,
+        })
+    }
+}
+
+/// Per-database summary inside a [`Response::Stats`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DbSummary {
+    /// Database name.
+    pub name: String,
+    /// Reload epoch (counts cached under older epochs are dead).
+    pub epoch: u64,
+    /// Content fingerprint ([`cqcount_relational::Database::fingerprint`]).
+    pub fingerprint: u64,
+    /// Total tuples.
+    pub tuples: u64,
+}
+
+/// Server and cache counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Requests fully served (any opcode except errors).
+    pub served: u64,
+    /// Requests rejected by admission control.
+    pub overloaded: u64,
+    /// Plan-cache (level 1) hits.
+    pub plan_hits: u64,
+    /// Plan-cache misses.
+    pub plan_misses: u64,
+    /// Count-cache (level 2) hits.
+    pub count_hits: u64,
+    /// Count-cache misses.
+    pub count_misses: u64,
+    /// Per-database epochs and fingerprints.
+    pub dbs: Vec<DbSummary>,
+}
+
+/// Structural analysis results (mirrors `cqcount_core::WidthReport`, with
+/// `None` widths meaning "above the cap").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReportReply {
+    /// α-acyclicity of the query hypergraph.
+    pub acyclic: bool,
+    /// Generalized hypertree width, if ≤ cap.
+    pub ghw: Option<u64>,
+    /// `#`-hypertree width, if ≤ cap.
+    pub sharp_width: Option<u64>,
+    /// Quantified star size.
+    pub star_size: u64,
+    /// Atom count.
+    pub atoms: u64,
+    /// Variable count.
+    pub vars: u64,
+    /// Free-variable count.
+    pub free: u64,
+    /// The cap the width searches ran up to.
+    pub cap: u64,
+}
+
+/// A server-to-client message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// A successful count.
+    Count {
+        /// The exact count, as a decimal string (arbitrary precision).
+        value: String,
+        /// Human-readable plan label (e.g. `sharp-pipeline(width=2)`).
+        plan: String,
+        /// Which cache level (if any) served the request.
+        cached: CacheTier,
+        /// The query's canonical 64-bit fingerprint.
+        fingerprint: u64,
+    },
+    /// An answer prefix from `Enumerate`.
+    Rows {
+        /// Each row holds the free variables' constants, in head order.
+        rows: Vec<Vec<String>>,
+        /// True when the prefix was cut short by the limit.
+        truncated: bool,
+    },
+    /// Structural analysis results.
+    Report(ReportReply),
+    /// Server counters.
+    Stats(StatsReply),
+    /// Acknowledgement of an admin command, with the database epoch it
+    /// produced (0 for `Flush`).
+    Ok {
+        /// The (new) epoch.
+        epoch: u64,
+    },
+    /// Anything that went wrong.
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail (round-trippable for typed errors).
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------
+// primitives
+
+/// Writes a ULEB128 varint.
+pub fn write_uleb(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a ULEB128 varint (at most 10 bytes for a `u64`).
+pub fn read_uleb(buf: &[u8], pos: &mut usize) -> Result<u64, String> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or("truncated varint")?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err("varint overflows u64".into());
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_uleb(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_str(buf: &[u8], pos: &mut usize) -> Result<String, String> {
+    let len = read_uleb(buf, pos)? as usize;
+    if len > MAX_STRING {
+        return Err(format!("string of {len} bytes exceeds cap"));
+    }
+    let end = pos.checked_add(len).ok_or("string length overflow")?;
+    let bytes = buf.get(*pos..end).ok_or("truncated string")?;
+    *pos = end;
+    String::from_utf8(bytes.to_vec()).map_err(|_| "string is not UTF-8".into())
+}
+
+fn write_u64_le(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u64_le(buf: &[u8], pos: &mut usize) -> Result<u64, String> {
+    let end = pos.checked_add(8).ok_or("u64 length overflow")?;
+    let bytes = buf.get(*pos..end).ok_or("truncated u64")?;
+    *pos = end;
+    Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+}
+
+/// `Some(w) ↦ w+1`, `None ↦ 0` — options over widths.
+fn write_opt(out: &mut Vec<u8>, v: Option<u64>) {
+    write_uleb(out, v.map_or(0, |w| w + 1));
+}
+
+fn read_opt(buf: &[u8], pos: &mut usize) -> Result<Option<u64>, String> {
+    let raw = read_uleb(buf, pos)?;
+    Ok(raw.checked_sub(1))
+}
+
+// ---------------------------------------------------------------------
+// framing
+
+fn write_frame(w: &mut impl Write, opcode: u8, payload: &[u8]) -> io::Result<()> {
+    let mut header = Vec::with_capacity(payload.len() + 16);
+    header.extend_from_slice(&MAGIC);
+    header.push(VERSION);
+    header.push(opcode);
+    write_uleb(&mut header, payload.len() as u64);
+    header.extend_from_slice(payload);
+    w.write_all(&header)?;
+    w.flush()
+}
+
+/// A raw frame: opcode plus payload bytes.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// The opcode byte.
+    pub opcode: u8,
+    /// The payload.
+    pub payload: Vec<u8>,
+}
+
+/// Reads one frame. `Ok(None)` means the peer closed the connection
+/// cleanly (EOF before any header byte).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
+    let mut first = [0u8; 1];
+    if r.read(&mut first)? == 0 {
+        return Ok(None);
+    }
+    let mut rest = [0u8; 3];
+    r.read_exact(&mut rest)?;
+    if [first[0], rest[0]] != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    if rest[1] != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported protocol version {}", rest[1]),
+        ));
+    }
+    let opcode = rest[2];
+    // ULEB length, byte by byte off the stream.
+    let mut len: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let mut b = [0u8; 1];
+        r.read_exact(&mut b)?;
+        if shift >= 64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "length varint overflow",
+            ));
+        }
+        len |= u64::from(b[0] & 0x7f) << shift;
+        if b[0] & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    if len as usize > MAX_PAYLOAD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("payload of {len} bytes exceeds cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(Frame { opcode, payload }))
+}
+
+// ---------------------------------------------------------------------
+// requests
+
+const OP_COUNT: u8 = 0x01;
+const OP_ENUMERATE: u8 = 0x02;
+const OP_WIDTH_REPORT: u8 = 0x03;
+const OP_STATS: u8 = 0x04;
+const OP_RELOAD: u8 = 0x05;
+const OP_FLUSH: u8 = 0x06;
+
+const OP_R_COUNT: u8 = 0x81;
+const OP_R_ROWS: u8 = 0x82;
+const OP_R_REPORT: u8 = 0x83;
+const OP_R_STATS: u8 = 0x84;
+const OP_R_OK: u8 = 0x85;
+const OP_R_ERROR: u8 = 0xff;
+
+impl Request {
+    /// Writes the request as one frame.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut p = Vec::new();
+        let opcode = match self {
+            Request::Count {
+                db,
+                query,
+                budget_ms,
+            } => {
+                write_str(&mut p, db);
+                write_str(&mut p, query);
+                write_uleb(&mut p, *budget_ms);
+                OP_COUNT
+            }
+            Request::Enumerate {
+                db,
+                query,
+                limit,
+                budget_ms,
+            } => {
+                write_str(&mut p, db);
+                write_str(&mut p, query);
+                write_uleb(&mut p, *limit);
+                write_uleb(&mut p, *budget_ms);
+                OP_ENUMERATE
+            }
+            Request::WidthReport { query, cap } => {
+                write_str(&mut p, query);
+                write_uleb(&mut p, *cap);
+                OP_WIDTH_REPORT
+            }
+            Request::Stats => OP_STATS,
+            Request::Reload { db, text } => {
+                write_str(&mut p, db);
+                write_str(&mut p, text);
+                OP_RELOAD
+            }
+            Request::Flush => OP_FLUSH,
+        };
+        write_frame(w, opcode, &p)
+    }
+
+    /// Decodes a request frame.
+    pub fn decode(frame: &Frame) -> Result<Request, String> {
+        let buf = &frame.payload[..];
+        let mut pos = 0usize;
+        let req = match frame.opcode {
+            OP_COUNT => Request::Count {
+                db: read_str(buf, &mut pos)?,
+                query: read_str(buf, &mut pos)?,
+                budget_ms: read_uleb(buf, &mut pos)?,
+            },
+            OP_ENUMERATE => Request::Enumerate {
+                db: read_str(buf, &mut pos)?,
+                query: read_str(buf, &mut pos)?,
+                limit: read_uleb(buf, &mut pos)?,
+                budget_ms: read_uleb(buf, &mut pos)?,
+            },
+            OP_WIDTH_REPORT => Request::WidthReport {
+                query: read_str(buf, &mut pos)?,
+                cap: read_uleb(buf, &mut pos)?,
+            },
+            OP_STATS => Request::Stats,
+            OP_RELOAD => Request::Reload {
+                db: read_str(buf, &mut pos)?,
+                text: read_str(buf, &mut pos)?,
+            },
+            OP_FLUSH => Request::Flush,
+            other => return Err(format!("unknown request opcode 0x{other:02x}")),
+        };
+        if pos != buf.len() {
+            return Err(format!("{} trailing bytes in request", buf.len() - pos));
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Writes the response as one frame.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut p = Vec::new();
+        let opcode = match self {
+            Response::Count {
+                value,
+                plan,
+                cached,
+                fingerprint,
+            } => {
+                write_str(&mut p, value);
+                write_str(&mut p, plan);
+                p.push(*cached as u8);
+                write_u64_le(&mut p, *fingerprint);
+                OP_R_COUNT
+            }
+            Response::Rows { rows, truncated } => {
+                write_uleb(&mut p, rows.len() as u64);
+                for row in rows {
+                    write_uleb(&mut p, row.len() as u64);
+                    for col in row {
+                        write_str(&mut p, col);
+                    }
+                }
+                p.push(u8::from(*truncated));
+                OP_R_ROWS
+            }
+            Response::Report(r) => {
+                p.push(u8::from(r.acyclic));
+                write_opt(&mut p, r.ghw);
+                write_opt(&mut p, r.sharp_width);
+                for v in [r.star_size, r.atoms, r.vars, r.free, r.cap] {
+                    write_uleb(&mut p, v);
+                }
+                OP_R_REPORT
+            }
+            Response::Stats(s) => {
+                for v in [
+                    s.served,
+                    s.overloaded,
+                    s.plan_hits,
+                    s.plan_misses,
+                    s.count_hits,
+                    s.count_misses,
+                ] {
+                    write_uleb(&mut p, v);
+                }
+                write_uleb(&mut p, s.dbs.len() as u64);
+                for d in &s.dbs {
+                    write_str(&mut p, &d.name);
+                    write_uleb(&mut p, d.epoch);
+                    write_u64_le(&mut p, d.fingerprint);
+                    write_uleb(&mut p, d.tuples);
+                }
+                OP_R_STATS
+            }
+            Response::Ok { epoch } => {
+                write_uleb(&mut p, *epoch);
+                OP_R_OK
+            }
+            Response::Error { code, message } => {
+                p.push(*code as u8);
+                write_str(&mut p, message);
+                OP_R_ERROR
+            }
+        };
+        write_frame(w, opcode, &p)
+    }
+
+    /// Decodes a response frame.
+    pub fn decode(frame: &Frame) -> Result<Response, String> {
+        let buf = &frame.payload[..];
+        let mut pos = 0usize;
+        let take_u8 = |buf: &[u8], pos: &mut usize| -> Result<u8, String> {
+            let b = *buf.get(*pos).ok_or("truncated byte field")?;
+            *pos += 1;
+            Ok(b)
+        };
+        let resp = match frame.opcode {
+            OP_R_COUNT => {
+                let value = read_str(buf, &mut pos)?;
+                let plan = read_str(buf, &mut pos)?;
+                let cached =
+                    CacheTier::from_u8(take_u8(buf, &mut pos)?).ok_or("bad cache tier byte")?;
+                let fingerprint = read_u64_le(buf, &mut pos)?;
+                Response::Count {
+                    value,
+                    plan,
+                    cached,
+                    fingerprint,
+                }
+            }
+            OP_R_ROWS => {
+                let n = read_uleb(buf, &mut pos)? as usize;
+                if n > MAX_ROWS {
+                    return Err(format!("{n} rows exceeds cap"));
+                }
+                let mut rows = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let cols = read_uleb(buf, &mut pos)? as usize;
+                    if cols > 4096 {
+                        return Err(format!("{cols} columns exceeds cap"));
+                    }
+                    let mut row = Vec::with_capacity(cols);
+                    for _ in 0..cols {
+                        row.push(read_str(buf, &mut pos)?);
+                    }
+                    rows.push(row);
+                }
+                let truncated = take_u8(buf, &mut pos)? != 0;
+                Response::Rows { rows, truncated }
+            }
+            OP_R_REPORT => {
+                let acyclic = take_u8(buf, &mut pos)? != 0;
+                let ghw = read_opt(buf, &mut pos)?;
+                let sharp_width = read_opt(buf, &mut pos)?;
+                let mut vals = [0u64; 5];
+                for v in &mut vals {
+                    *v = read_uleb(buf, &mut pos)?;
+                }
+                Response::Report(ReportReply {
+                    acyclic,
+                    ghw,
+                    sharp_width,
+                    star_size: vals[0],
+                    atoms: vals[1],
+                    vars: vals[2],
+                    free: vals[3],
+                    cap: vals[4],
+                })
+            }
+            OP_R_STATS => {
+                let mut vals = [0u64; 6];
+                for v in &mut vals {
+                    *v = read_uleb(buf, &mut pos)?;
+                }
+                let ndbs = read_uleb(buf, &mut pos)? as usize;
+                if ndbs > 65536 {
+                    return Err(format!("{ndbs} databases exceeds cap"));
+                }
+                let mut dbs = Vec::with_capacity(ndbs.min(1024));
+                for _ in 0..ndbs {
+                    dbs.push(DbSummary {
+                        name: read_str(buf, &mut pos)?,
+                        epoch: read_uleb(buf, &mut pos)?,
+                        fingerprint: read_u64_le(buf, &mut pos)?,
+                        tuples: read_uleb(buf, &mut pos)?,
+                    });
+                }
+                Response::Stats(StatsReply {
+                    served: vals[0],
+                    overloaded: vals[1],
+                    plan_hits: vals[2],
+                    plan_misses: vals[3],
+                    count_hits: vals[4],
+                    count_misses: vals[5],
+                    dbs,
+                })
+            }
+            OP_R_OK => Response::Ok {
+                epoch: read_uleb(buf, &mut pos)?,
+            },
+            OP_R_ERROR => {
+                let code =
+                    ErrorCode::from_u8(take_u8(buf, &mut pos)?).ok_or("bad error code byte")?;
+                Response::Error {
+                    code,
+                    message: read_str(buf, &mut pos)?,
+                }
+            }
+            other => return Err(format!("unknown response opcode 0x{other:02x}")),
+        };
+        if pos != buf.len() {
+            return Err(format!("{} trailing bytes in response", buf.len() - pos));
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip_request(req: Request) {
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        let frame = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
+        assert_eq!(Request::decode(&frame).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let frame = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
+        assert_eq!(Response::decode(&frame).unwrap(), resp);
+    }
+
+    #[test]
+    fn uleb_roundtrips() {
+        for v in [0u64, 1, 127, 128, 300, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_uleb(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_uleb(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Count {
+            db: "main".into(),
+            query: "ans(X) :- r(X, Y).".into(),
+            budget_ms: 0,
+        });
+        roundtrip_request(Request::Enumerate {
+            db: "main".into(),
+            query: "ans(X) :- r(X, Y).".into(),
+            limit: 10,
+            budget_ms: 250,
+        });
+        roundtrip_request(Request::WidthReport {
+            query: "ans(X) :- r(X, Y).".into(),
+            cap: 3,
+        });
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Reload {
+            db: "main".into(),
+            text: "r(a, b). r(b, c).".into(),
+        });
+        roundtrip_request(Request::Flush);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Count {
+            value: "123456789012345678901234567890".into(),
+            plan: "sharp-pipeline(width=2)".into(),
+            cached: CacheTier::PlanWarm,
+            fingerprint: 0xdead_beef_cafe_f00d,
+        });
+        roundtrip_response(Response::Rows {
+            rows: vec![vec!["a".into(), "b".into()], vec!["c".into(), "d".into()]],
+            truncated: true,
+        });
+        roundtrip_response(Response::Report(ReportReply {
+            acyclic: false,
+            ghw: Some(2),
+            sharp_width: None,
+            star_size: 2,
+            atoms: 9,
+            vars: 9,
+            free: 3,
+            cap: 3,
+        }));
+        roundtrip_response(Response::Stats(StatsReply {
+            served: 10,
+            overloaded: 1,
+            plan_hits: 4,
+            plan_misses: 2,
+            count_hits: 3,
+            count_misses: 3,
+            dbs: vec![DbSummary {
+                name: "main".into(),
+                epoch: 2,
+                fingerprint: 42,
+                tuples: 17,
+            }],
+        }));
+        roundtrip_response(Response::Ok { epoch: 3 });
+        roundtrip_response(Response::Error {
+            code: ErrorCode::BudgetExceeded,
+            message: "plan error: budget exceeded after 50ms".into(),
+        });
+    }
+
+    #[test]
+    fn eof_before_header_is_clean_close() {
+        assert!(read_frame(&mut Cursor::new(&[])).unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut buf = Vec::new();
+        Request::Stats.write_to(&mut buf).unwrap();
+        let mut corrupted = buf.clone();
+        corrupted[0] = b'X';
+        assert!(read_frame(&mut Cursor::new(&corrupted)).is_err());
+        let mut wrong_version = buf.clone();
+        wrong_version[2] = 0x7f;
+        assert!(read_frame(&mut Cursor::new(&wrong_version)).is_err());
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION);
+        buf.push(OP_COUNT);
+        write_uleb(&mut buf, (MAX_PAYLOAD + 1) as u64);
+        assert!(read_frame(&mut Cursor::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut p = Vec::new();
+        write_uleb(&mut p, 7);
+        let frame = Frame {
+            opcode: OP_STATS,
+            payload: p,
+        };
+        assert!(Request::decode(&frame).is_err());
+    }
+}

@@ -1,0 +1,564 @@
+//! The daemon: TCP accept loop, admission control, worker pool, caches.
+//!
+//! Threading model (std-only):
+//!
+//! * one **accept** thread owns the listener and spawns a reader thread
+//!   per connection;
+//! * each **connection** thread decodes frames; admin requests (`STATS`,
+//!   `RELOAD`, `FLUSH`) are answered inline so operators can observe and
+//!   heal an overloaded server, while counting work (`COUNT`,
+//!   `ENUMERATE`, `WIDTH_REPORT`) is pushed onto a *bounded* queue — a
+//!   full queue yields an immediate `Overloaded` error frame, never
+//!   buffering;
+//! * `workers` **worker** threads pop jobs, run them under the request's
+//!   wall-clock [`Budget`], and send the response back to the connection
+//!   thread over a per-job channel. Worker panics are caught and reported
+//!   as `Internal` errors — a malformed request cannot take the daemon
+//!   down.
+
+use crate::cache::{CountCache, PlanCache, PlanEntry};
+use crate::protocol::{
+    read_frame, CacheTier, DbSummary, ErrorCode, Frame, ReportReply, Request, Response, StatsReply,
+};
+use cqcount_core::planner::{count_prepared, prepare_plan, WidthReport, WIDTH_CAP};
+use cqcount_core::{for_each_answer, Budget, PlanError};
+use cqcount_exec::BoundedQueue;
+use cqcount_query::fingerprint::fingerprint;
+use cqcount_query::{parse_database, parse_query, ConjunctiveQuery, Var};
+use cqcount_relational::Database;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything tunable about a server instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port — the tests' mode).
+    pub addr: String,
+    /// Worker threads executing counting jobs.
+    pub workers: usize,
+    /// Bounded request-queue capacity; beyond it, `Overloaded`.
+    pub queue_cap: usize,
+    /// Default per-request wall-clock budget (requests may lower or raise
+    /// it; `0` in a request means this default).
+    pub default_budget_ms: u64,
+    /// Hard cap on rows an `ENUMERATE` may return.
+    pub max_enumerate: usize,
+    /// Width cap for plan searches and width reports.
+    pub width_cap: usize,
+    /// Plan-cache capacity (level 1).
+    pub plan_cache_cap: usize,
+    /// Count-cache capacity (level 2).
+    pub count_cache_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_cap: 64,
+            default_budget_ms: 10_000,
+            max_enumerate: 10_000,
+            width_cap: WIDTH_CAP,
+            plan_cache_cap: 1024,
+            count_cache_cap: 4096,
+        }
+    }
+}
+
+/// A loaded database at a specific epoch. Immutable once installed —
+/// `RELOAD` swaps in a fresh `Arc`, so in-flight counts keep their
+/// snapshot.
+#[derive(Debug)]
+pub struct DbState {
+    /// The instance.
+    pub db: Database,
+    /// Bumped by every reload; part of the count-cache key.
+    pub epoch: u64,
+    /// Content fingerprint (observability only — correctness comes from
+    /// the epoch).
+    pub fingerprint: u64,
+}
+
+struct Shared {
+    config: ServerConfig,
+    dbs: RwLock<HashMap<String, Arc<DbState>>>,
+    plans: PlanCache,
+    counts: CountCache,
+    served: AtomicU64,
+    overloaded: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn stats(&self) -> StatsReply {
+        let (plan_hits, plan_misses) = self.plans.counters();
+        let (count_hits, count_misses) = self.counts.counters();
+        let mut dbs: Vec<DbSummary> = self
+            .dbs
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(name, st)| DbSummary {
+                name: name.clone(),
+                epoch: st.epoch,
+                fingerprint: st.fingerprint,
+                tuples: st.db.total_tuples() as u64,
+            })
+            .collect();
+        dbs.sort_by(|a, b| a.name.cmp(&b.name));
+        StatsReply {
+            served: self.served.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            plan_hits,
+            plan_misses,
+            count_hits,
+            count_misses,
+            dbs,
+        }
+    }
+
+    fn install_db(&self, name: &str, db: Database) -> u64 {
+        let fingerprint = db.fingerprint();
+        let mut dbs = self.dbs.write().unwrap();
+        let epoch = dbs.get(name).map_or(1, |old| old.epoch + 1);
+        dbs.insert(
+            name.to_owned(),
+            Arc::new(DbState {
+                db,
+                epoch,
+                fingerprint,
+            }),
+        );
+        epoch
+    }
+}
+
+/// A counting job queued for a worker.
+struct Job {
+    request: Request,
+    reply: mpsc::Sender<Response>,
+}
+
+/// A running server. Dropping the handle does *not* stop the server; call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    queue: Arc<BoundedQueue<Job>>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Installs (or replaces) a database directly, bypassing the protocol.
+    pub fn install_db(&self, name: &str, db: Database) -> u64 {
+        self.shared.install_db(name, db)
+    }
+
+    /// Stops accepting, drains workers, and joins every owned thread.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.queue.close();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds, spawns the threads, and returns a handle. `initial` holds the
+/// databases served from the start (more can arrive via `RELOAD`).
+pub fn serve(
+    config: ServerConfig,
+    initial: Vec<(String, Database)>,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        plans: PlanCache::new(config.plan_cache_cap),
+        counts: CountCache::new(config.count_cache_cap),
+        dbs: RwLock::new(HashMap::new()),
+        served: AtomicU64::new(0),
+        overloaded: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+        config,
+    });
+    for (name, db) in initial {
+        shared.install_db(&name, db);
+    }
+    let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(shared.config.queue_cap));
+
+    let worker_threads: Vec<JoinHandle<()>> = (0..shared.config.workers.max(1))
+        .map(|_| {
+            let queue = Arc::clone(&queue);
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                while let Some(job) = queue.pop() {
+                    let resp = catch_unwind(AssertUnwindSafe(|| run_job(&shared, &job.request)))
+                        .unwrap_or_else(|_| Response::Error {
+                            code: ErrorCode::Internal,
+                            message: "internal error: worker panicked".into(),
+                        });
+                    let _ = job.reply.send(resp);
+                }
+            })
+        })
+        .collect();
+
+    let accept_thread = {
+        let queue = Arc::clone(&queue);
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let queue = Arc::clone(&queue);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || serve_connection(stream, &shared, &queue));
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        shared,
+        queue,
+        addr,
+        accept_thread: Some(accept_thread),
+        worker_threads,
+    })
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared, queue: &BoundedQueue<Job>) {
+    let mut reader = std::io::BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = std::io::BufWriter::new(stream);
+    loop {
+        let frame: Frame = match read_frame(&mut reader) {
+            Ok(Some(f)) => f,
+            Ok(None) => return, // clean close
+            Err(e) => {
+                let _ = Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: format!("protocol error: {e}"),
+                }
+                .write_to(&mut writer);
+                return;
+            }
+        };
+        let request = match Request::decode(&frame) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: format!("protocol error: {e}"),
+                }
+                .write_to(&mut writer);
+                continue;
+            }
+        };
+        let response = match request {
+            // Admin requests bypass admission control: they are cheap and
+            // must work *especially* when the server is overloaded.
+            Request::Stats => {
+                shared.served.fetch_add(1, Ordering::Relaxed);
+                Response::Stats(shared.stats())
+            }
+            Request::Reload { ref db, ref text } => {
+                shared.served.fetch_add(1, Ordering::Relaxed);
+                match parse_database(text) {
+                    Ok(parsed) => Response::Ok {
+                        epoch: shared.install_db(db, parsed),
+                    },
+                    Err(e) => Response::Error {
+                        code: ErrorCode::Parse,
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Request::Flush => {
+                shared.served.fetch_add(1, Ordering::Relaxed);
+                shared.plans.clear();
+                shared.counts.clear();
+                Response::Ok { epoch: 0 }
+            }
+            // Counting work goes through the bounded queue.
+            other => {
+                let (tx, rx) = mpsc::channel();
+                match queue.try_push(Job {
+                    request: other,
+                    reply: tx,
+                }) {
+                    Ok(()) => match rx.recv() {
+                        Ok(resp) => {
+                            shared.served.fetch_add(1, Ordering::Relaxed);
+                            resp
+                        }
+                        Err(_) => Response::Error {
+                            code: ErrorCode::Internal,
+                            message: "internal error: worker dropped the job".into(),
+                        },
+                    },
+                    Err(_) => {
+                        shared.overloaded.fetch_add(1, Ordering::Relaxed);
+                        Response::Error {
+                            code: ErrorCode::Overloaded,
+                            message: format!(
+                                "overloaded: request queue at capacity {}",
+                                queue.capacity()
+                            ),
+                        }
+                    }
+                }
+            }
+        };
+        if response.write_to(&mut writer).is_err() {
+            return;
+        }
+    }
+}
+
+fn plan_error_response(e: PlanError) -> Response {
+    let code = match e {
+        PlanError::BudgetExceeded { .. } => ErrorCode::BudgetExceeded,
+        _ => ErrorCode::Plan,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}
+
+/// Fetches (or computes and installs) the level-1 plan entry for `q`.
+/// Returns the entry and whether it was a cache hit.
+fn plan_for(shared: &Shared, canonical: &str, q: &ConjunctiveQuery) -> (Arc<PlanEntry>, bool) {
+    if let Some(entry) = shared.plans.get(canonical) {
+        return (entry, true);
+    }
+    let entry = Arc::new(PlanEntry {
+        prepared: prepare_plan(q, shared.config.width_cap),
+        report: Mutex::new(None),
+    });
+    shared
+        .plans
+        .insert(canonical.to_owned(), Arc::clone(&entry));
+    (entry, false)
+}
+
+fn run_job(shared: &Shared, request: &Request) -> Response {
+    match request {
+        Request::Count {
+            db,
+            query,
+            budget_ms,
+        } => run_count(shared, db, query, *budget_ms),
+        Request::Enumerate {
+            db,
+            query,
+            limit,
+            budget_ms,
+        } => run_enumerate(shared, db, query, *limit, *budget_ms),
+        Request::WidthReport { query, cap } => run_width_report(shared, query, *cap),
+        // Admin requests are answered inline by the connection thread.
+        _ => Response::Error {
+            code: ErrorCode::Internal,
+            message: "internal error: admin request reached a worker".into(),
+        },
+    }
+}
+
+fn budget_for(shared: &Shared, budget_ms: u64) -> Budget {
+    let ms = if budget_ms == 0 {
+        shared.config.default_budget_ms
+    } else {
+        budget_ms
+    };
+    if ms == 0 {
+        Budget::unlimited()
+    } else {
+        Budget::with_deadline(Duration::from_millis(ms))
+    }
+}
+
+fn lookup_db(shared: &Shared, name: &str) -> Result<Arc<DbState>, Response> {
+    shared
+        .dbs
+        .read()
+        .unwrap()
+        .get(name)
+        .cloned()
+        .ok_or_else(|| Response::Error {
+            code: ErrorCode::UnknownDb,
+            message: format!("unknown database {name:?}"),
+        })
+}
+
+fn run_count(shared: &Shared, db_name: &str, query: &str, budget_ms: u64) -> Response {
+    let q = match parse_query(query) {
+        Ok(q) => q,
+        Err(e) => {
+            return Response::Error {
+                code: ErrorCode::Parse,
+                message: e.to_string(),
+            }
+        }
+    };
+    let fp = fingerprint(&q);
+    let state = match lookup_db(shared, db_name) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+
+    // Level 2: an exact count cached under the current epoch.
+    let key = (fp.text.clone(), db_name.to_owned(), state.epoch);
+    if let Some(value) = shared.counts.get(&key) {
+        return Response::Count {
+            value: value.to_string(),
+            plan: "cached".into(),
+            cached: CacheTier::CountWarm,
+            fingerprint: fp.hash,
+        };
+    }
+
+    // Level 1: the prepared plan.
+    let (entry, plan_hit) = plan_for(shared, &fp.text, &q);
+    let budget = budget_for(shared, budget_ms);
+    match count_prepared(&q, &state.db, &entry.prepared, &budget) {
+        Ok((n, plan)) => {
+            shared.counts.insert(key, n.clone());
+            Response::Count {
+                value: n.to_string(),
+                plan: match plan {
+                    cqcount_core::Plan::SharpPipeline { width } => {
+                        format!("sharp-pipeline(width={width})")
+                    }
+                    cqcount_core::Plan::Hybrid { width, bound, .. } => {
+                        format!("hybrid(width={width},bound={bound})")
+                    }
+                    cqcount_core::Plan::BruteForce { .. } => "brute-force".into(),
+                },
+                cached: if plan_hit {
+                    CacheTier::PlanWarm
+                } else {
+                    CacheTier::Cold
+                },
+                fingerprint: fp.hash,
+            }
+        }
+        Err(e) => plan_error_response(e),
+    }
+}
+
+fn run_enumerate(
+    shared: &Shared,
+    db_name: &str,
+    query: &str,
+    limit: u64,
+    budget_ms: u64,
+) -> Response {
+    let q = match parse_query(query) {
+        Ok(q) => q,
+        Err(e) => {
+            return Response::Error {
+                code: ErrorCode::Parse,
+                message: e.to_string(),
+            }
+        }
+    };
+    let state = match lookup_db(shared, db_name) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    let budget = budget_for(shared, budget_ms);
+    let cap = (limit as usize).min(shared.config.max_enumerate);
+    let free: Vec<Var> = q.free().into_iter().collect();
+    // Any query decomposes at width = atom count, so enumeration is total.
+    let width = shared.config.width_cap.max(q.atoms().len());
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut truncated = false;
+    let mut tripped = false;
+    let ok = for_each_answer(&q, &state.db, width, |answer| {
+        if budget.is_exceeded() {
+            tripped = true;
+            return false;
+        }
+        if rows.len() >= cap {
+            truncated = true;
+            return false;
+        }
+        rows.push(
+            free.iter()
+                .map(|v| state.db.interner().name(answer[v]).to_owned())
+                .collect(),
+        );
+        true
+    });
+    if tripped {
+        return plan_error_response(PlanError::BudgetExceeded {
+            elapsed_ms: budget.elapsed_ms().max(1),
+        });
+    }
+    if !ok {
+        return Response::Error {
+            code: ErrorCode::Plan,
+            message: "no decomposition found for enumeration".into(),
+        };
+    }
+    Response::Rows { rows, truncated }
+}
+
+fn run_width_report(shared: &Shared, query: &str, cap: u64) -> Response {
+    let q = match parse_query(query) {
+        Ok(q) => q,
+        Err(e) => {
+            return Response::Error {
+                code: ErrorCode::Parse,
+                message: e.to_string(),
+            }
+        }
+    };
+    let cap = if cap == 0 {
+        shared.config.width_cap
+    } else {
+        cap as usize
+    };
+    let fp = fingerprint(&q);
+    // Reports at the default cap share the plan entry's lazy slot; other
+    // caps are computed fresh (rare, operator-driven).
+    let report = if cap == shared.config.width_cap {
+        let (entry, _) = plan_for(shared, &fp.text, &q);
+        let mut slot = entry.report.lock().unwrap();
+        slot.get_or_insert_with(|| WidthReport::analyze(&q, cap))
+            .clone()
+    } else {
+        WidthReport::analyze(&q, cap)
+    };
+    Response::Report(ReportReply {
+        acyclic: report.acyclic,
+        ghw: report.ghw.map(|w| w as u64),
+        sharp_width: report.sharp_width.map(|w| w as u64),
+        star_size: report.star_size as u64,
+        atoms: report.atoms as u64,
+        vars: report.vars as u64,
+        free: report.free as u64,
+        cap: report.cap as u64,
+    })
+}

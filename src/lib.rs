@@ -15,7 +15,9 @@
 //!   fractional) hypertree decompositions;
 //! * [`core`] — the counting algorithms and `#`-hypertree decompositions;
 //! * [`workloads`] — the paper's instance families and random generators;
-//! * [`reductions`] — the executable Section 5 reductions.
+//! * [`reductions`] — the executable Section 5 reductions;
+//! * [`server`] — the `cqcountd` daemon: TCP serving with plan/count
+//!   caching and admission control.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +49,7 @@ pub use cqcount_hypergraph as hypergraph;
 pub use cqcount_query as query;
 pub use cqcount_reductions as reductions;
 pub use cqcount_relational as relational;
+pub use cqcount_server as server;
 pub use cqcount_workloads as workloads;
 
 /// Everything a downstream user typically needs.

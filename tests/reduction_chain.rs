@@ -21,7 +21,7 @@ fn check_chain(qhat: &ConjunctiveQuery, seed: u64) {
     );
 
     // Claim 5.16: |Qs(B)| = |fullcolor(Q̂)(B̂)|.
-    let (_fc, bhat) = simple_to_general(qhat, &qs, &b);
+    let (_fc, bhat) = simple_to_general(qhat, &qs, &b).expect("aligned by construction");
 
     // Lemma 5.10: |fullcolor(Q̂)(B̂)| via count(Q̂, ·) oracle only.
     let mut oracle = CountOracle::new(count_auto);
@@ -86,7 +86,7 @@ fn oracle_instance_sizes_stay_polynomial() {
         },
         9,
     );
-    let (_, bhat) = simple_to_general(&q, &qs, &b);
+    let (_, bhat) = simple_to_general(&q, &qs, &b).expect("aligned by construction");
     let mut oracle = CountOracle::new(count_brute_force);
     let _ = count_fullcolor_via_oracle(&q, &bhat, &mut oracle);
     let f = q.free().len();
