@@ -60,7 +60,8 @@ pub mod prelude {
     };
     pub use crate::pipeline::{count_via_sharp_decomposition, count_with_decomposition};
     pub use crate::planner::{
-        count_auto, count_explain, count_prepared, prepare_plan, Plan, PreparedPlan, WidthReport,
+        count_auto, count_explain, count_prepared, count_prepared_resilient, prepare_plan,
+        prepare_plan_budgeted, Plan, PreparedPlan, WidthReport,
     };
     pub use crate::ps::{count_pichler_skritek, degree_bound};
     pub use crate::sharp::{

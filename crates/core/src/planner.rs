@@ -155,6 +155,11 @@ pub struct PreparedPlan {
     pub width_cap: usize,
     /// The degree cap for the data-dependent hybrid fallback.
     pub degree_cap: usize,
+    /// True when the decomposition search was cut short by its budget
+    /// ([`prepare_plan_budgeted`]): `sharp == None` then means "not found
+    /// *so far*", not "proven absent up to the cap". Degraded plans should
+    /// not be cached.
+    pub degraded: bool,
 }
 
 impl PreparedPlan {
@@ -162,6 +167,7 @@ impl PreparedPlan {
     pub fn describe(&self) -> String {
         match &self.sharp {
             Some(sd) => format!("sharp-pipeline(width={})", sd.width),
+            None if self.degraded => format!("degraded(search-cut@{})", self.width_cap),
             None => format!("fallback(width>{})", self.width_cap),
         }
     }
@@ -171,12 +177,116 @@ impl PreparedPlan {
 /// decomposition search up to `width_cap`) once, so repeated counts of the
 /// same query — the serving layer's hot path — skip it.
 pub fn prepare_plan(q: &ConjunctiveQuery, width_cap: usize) -> PreparedPlan {
-    let sharp = (1..=width_cap).find_map(|k| sharp_hypertree_decomposition(q, k));
+    prepare_plan_budgeted(q, width_cap, &Budget::unlimited())
+}
+
+/// [`prepare_plan`] under a cooperative [`Budget`]: the width search is
+/// checked between candidate widths, and a tripped budget stops it early
+/// with `degraded: true` instead of stalling — the serving layer then
+/// degrades to the brute/acyclic fallback rather than holding a worker
+/// hostage on an adversarial query.
+pub fn prepare_plan_budgeted(
+    q: &ConjunctiveQuery,
+    width_cap: usize,
+    budget: &Budget,
+) -> PreparedPlan {
+    let mut degraded = false;
+    let mut sharp = None;
+    for k in 1..=width_cap {
+        if budget.is_exceeded() {
+            degraded = true;
+            break;
+        }
+        if let Some(sd) = sharp_hypertree_decomposition(q, k) {
+            sharp = Some(sd);
+            break;
+        }
+    }
     PreparedPlan {
         sharp,
         width_cap,
         degree_cap: DEGREE_CAP,
+        degraded,
     }
+}
+
+/// Counts `q` over `db` like [`count_prepared`], but **degrades instead of
+/// stalling** when planning already blew its budget: on a degraded
+/// [`PreparedPlan`] the (even costlier) hybrid search is skipped and the
+/// count falls through the degradation ladder — the quantifier-free
+/// acyclic fast path when the query is full and acyclic, else budgeted
+/// brute force. Returns `(count, plan, degraded)`; `degraded` is true
+/// exactly when a ladder rung (not the structurally chosen algorithm)
+/// produced the count. The count itself is always exact.
+pub fn count_prepared_resilient(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    plan: &PreparedPlan,
+    budget: &Budget,
+) -> Result<(Natural, Plan, bool), PlanError> {
+    budget.check()?;
+    if let Some(sd) = &plan.sharp {
+        let n = count_with_decomposition(&sd.qprime, db, &sd.hypertree);
+        budget.check()?;
+        return Ok((n, Plan::SharpPipeline { width: sd.width }, false));
+    }
+    // On a degraded plan the width search was cut short; the hybrid
+    // search is strictly more work, so go straight down the ladder.
+    if !plan.degraded && q.existential().len() < HYBRID_EXISTENTIAL_LIMIT {
+        if let Some((n, hd)) = count_hybrid(q, db, plan.width_cap, plan.degree_cap) {
+            budget.check()?;
+            let promoted = hd
+                .sbar
+                .iter()
+                .filter(|v| !q.free().contains(v))
+                .map(|v| q.var_name(*v).to_owned())
+                .collect();
+            return Ok((
+                n,
+                Plan::Hybrid {
+                    width: hd.sharp.width,
+                    bound: hd.bound,
+                    promoted,
+                },
+                false,
+            ));
+        }
+    }
+    // Ladder rung 1: a full (quantifier-free) acyclic query counts in
+    // polynomial time with the Yannakakis-style DP, no decomposition
+    // search needed. (Only a degradation rung — on a non-degraded plan a
+    // missing sharp decomposition means the planner *decided* on brute.)
+    if plan.degraded && q.existential().is_empty() {
+        let views: Vec<cqcount_relational::Bindings> = q
+            .atoms()
+            .iter()
+            .map(|a| cqcount_query::canonical::atom_bindings(a, db))
+            .collect();
+        if let Some(n) = crate::acyclic::count_acyclic_full(&views) {
+            budget.check()?;
+            return Ok((
+                n,
+                Plan::BruteForce {
+                    reason: "degraded: planning cut short; acyclic full-query fast path".into(),
+                },
+                true,
+            ));
+        }
+    }
+    // Ladder rung 2: budgeted enumeration.
+    let n = count_brute_force_budgeted(q, db, budget)?;
+    let reason = if plan.degraded {
+        format!(
+            "degraded: decomposition search cut short by its budget (cap {})",
+            plan.width_cap
+        )
+    } else {
+        format!(
+            "#-hypertree width > {} and no hybrid decomposition with degree ≤ {}",
+            plan.width_cap, plan.degree_cap
+        )
+    };
+    Ok((n, Plan::BruteForce { reason }, plan.degraded))
 }
 
 /// Counts `q` over `db` reusing the decomposition from a [`PreparedPlan`],
@@ -348,6 +458,90 @@ mod tests {
         let budget = crate::budget::Budget::with_deadline(std::time::Duration::from_millis(0));
         assert!(matches!(
             count_prepared(&q, &db, &plan, &budget),
+            Err(crate::error::PlanError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn budgeted_prepare_degrades_instead_of_searching() {
+        let (q, _) = parse_program(
+            "ans(A, B, C) :- mw(A, B, I), wt(B, D), wi(B, E), pt(C, D), \
+             st(D, F), st(D, G), rr(G, H), rr(F, H), rr(D, H).",
+        )
+        .unwrap();
+        let q = q.unwrap();
+        let tripped = crate::budget::Budget::with_deadline(std::time::Duration::from_millis(0));
+        let plan = prepare_plan_budgeted(&q, WIDTH_CAP, &tripped);
+        assert!(plan.degraded, "a tripped budget must cut the search short");
+        assert!(plan.sharp.is_none());
+        assert!(plan.describe().starts_with("degraded"));
+        // The unlimited path is unchanged.
+        assert!(!prepare_plan(&q, WIDTH_CAP).degraded);
+    }
+
+    #[test]
+    fn resilient_count_on_degraded_plan_is_exact_and_flagged() {
+        use crate::brute::count_brute_force;
+        let cases = [
+            // full acyclic: the ladder's Yannakakis rung
+            "r(a, b). r(b, c). ans(X, Y) :- r(X, Y).",
+            // projection: budgeted brute-force rung
+            "r(a, b). r(b, c). ans(X) :- r(X, Y).",
+            // cyclic full query: brute rung again
+            "e(a, b). e(b, c). e(c, a). ans(X, Y, Z) :- e(X, Y), e(Y, Z), e(Z, X).",
+        ];
+        for src in cases {
+            let (q, db) = parse_program(src).unwrap();
+            let q = q.unwrap();
+            let tripped = crate::budget::Budget::with_deadline(std::time::Duration::from_millis(0));
+            let plan = prepare_plan_budgeted(&q, WIDTH_CAP, &tripped);
+            assert!(plan.degraded, "{src}");
+            // Fresh budget for the count itself: planning degraded, the
+            // count still completes.
+            let (n, chosen, degraded) =
+                count_prepared_resilient(&q, &db, &plan, &Budget::unlimited()).expect(src);
+            assert_eq!(n, count_brute_force(&q, &db), "{src}");
+            assert!(degraded, "{src}");
+            assert!(matches!(chosen, Plan::BruteForce { .. }), "{src}");
+        }
+    }
+
+    #[test]
+    fn resilient_count_matches_count_prepared_when_not_degraded() {
+        use cqcount_workloads::paper::{hybrid_database, hybrid_query};
+        let cases = [
+            "r(a, b). r(b, c). ans(X) :- r(X, Y).",
+            "e(a, b). e(b, c). e(c, a). ans(X, Y) :- e(X, Y), e(Y, Z), e(Z, X).",
+        ];
+        for src in cases {
+            let (q, db) = parse_program(src).unwrap();
+            let q = q.unwrap();
+            let plan = prepare_plan(&q, WIDTH_CAP);
+            let (n, chosen, degraded) =
+                count_prepared_resilient(&q, &db, &plan, &Budget::unlimited()).unwrap();
+            let (en, ep) = count_prepared(&q, &db, &plan, &Budget::unlimited()).unwrap();
+            assert_eq!((n, chosen), (en, ep), "{src}");
+            assert!(!degraded, "{src}");
+        }
+        // Hybrid fallback path agrees too.
+        let q = hybrid_query(3);
+        let db = hybrid_database(3);
+        let plan = prepare_plan(&q, WIDTH_CAP);
+        let (n, chosen, degraded) =
+            count_prepared_resilient(&q, &db, &plan, &Budget::unlimited()).unwrap();
+        assert_eq!(n, 8u64.into());
+        assert!(matches!(chosen, Plan::Hybrid { .. }));
+        assert!(!degraded);
+    }
+
+    #[test]
+    fn resilient_count_still_errors_when_everything_is_out_of_budget() {
+        let (q, db) = parse_program("r(a, b). r(b, c). ans(X) :- r(X, Y).").unwrap();
+        let q = q.unwrap();
+        let tripped = crate::budget::Budget::with_deadline(std::time::Duration::from_millis(0));
+        let plan = prepare_plan_budgeted(&q, WIDTH_CAP, &tripped);
+        assert!(matches!(
+            count_prepared_resilient(&q, &db, &plan, &tripped),
             Err(crate::error::PlanError::BudgetExceeded { .. })
         ));
     }

@@ -15,9 +15,14 @@
 //! makes the lifetime erasure sound: no task outlives `run_scoped`.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+
+/// A captured panic payload, carried from the worker that caught it back
+/// to the thread that owns the scope.
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
 
 /// A unit of work. Lifetimes are erased in `run_scoped`; the latch
 /// guarantees no task survives the scope that borrowed its environment.
@@ -72,6 +77,8 @@ struct Shared {
     shutdown: AtomicBool,
     /// Round-robin steal origin so thieves don't all hammer worker 0.
     steal_hint: AtomicUsize,
+    /// Tasks that panicked instead of completing, across all scopes.
+    panics: AtomicU64,
 }
 
 impl Shared {
@@ -128,6 +135,7 @@ impl Pool {
             sleep_lock: Mutex::new(()),
             shutdown: AtomicBool::new(false),
             steal_hint: AtomicUsize::new(0),
+            panics: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -150,6 +158,13 @@ impl Pool {
         self.threads
     }
 
+    /// Tasks that panicked instead of completing, over the pool's lifetime.
+    /// Workers survive panicking tasks; the first panic of a scope is
+    /// re-raised on the thread that called [`Pool::run_scoped`].
+    pub fn panics(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
     /// Runs `tasks` to completion. Tasks may borrow from the caller's
     /// frame: this function does not return until every task has run, and
     /// the calling thread helps execute queued tasks while it waits.
@@ -157,17 +172,30 @@ impl Pool {
     /// Completion order is arbitrary; callers get determinism by writing
     /// results into per-task slots (as [`crate::par_map`] does), never by
     /// relying on execution order.
+    ///
+    /// Panic safety: a panicking task does not kill its worker thread or
+    /// wedge the scope. Every task counts down the completion latch even
+    /// when it unwinds; the remaining tasks of the scope still run, and the
+    /// first captured payload is re-raised here once the scope is drained.
     pub fn run_scoped<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
         if tasks.is_empty() {
             return;
         }
         if self.threads == 1 {
+            let mut first_panic: Option<PanicPayload> = None;
             for t in tasks {
-                t();
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(t)) {
+                    self.shared.panics.fetch_add(1, Ordering::Relaxed);
+                    first_panic.get_or_insert(payload);
+                }
+            }
+            if let Some(payload) = first_panic {
+                resume_unwind(payload);
             }
             return;
         }
         let latch = Latch::new(tasks.len());
+        let first_panic: Arc<Mutex<Option<PanicPayload>>> = Arc::new(Mutex::new(None));
         let me = WORKER.with(|w| match *w.borrow() {
             Some((pool_id, idx)) if pool_id == Arc::as_ptr(&self.shared) as usize => Some(idx),
             _ => None,
@@ -179,8 +207,16 @@ impl Pool {
                 .into_iter()
                 .map(|t| {
                     let latch = Arc::clone(&latch);
+                    let shared = Arc::clone(&self.shared);
+                    let first_panic = Arc::clone(&first_panic);
                     let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
-                        t();
+                        // Catch unwinds so a panicking task cannot kill its
+                        // worker thread or leave the latch hanging; the
+                        // payload travels back to the scope owner instead.
+                        if let Err(payload) = catch_unwind(AssertUnwindSafe(t)) {
+                            shared.panics.fetch_add(1, Ordering::Relaxed);
+                            first_panic.lock().unwrap().get_or_insert(payload);
+                        }
                         latch.count_down();
                     });
                     // SAFETY: `wrapped` only borrows data that outlives the
@@ -209,6 +245,12 @@ impl Pool {
             if latch.is_done() || latch.wait_a_little() {
                 break;
             }
+        }
+        // The latch is closed, so no task of this scope is still running:
+        // taking the payload out of the mutex races with nothing.
+        let payload = first_panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
         }
     }
 }
@@ -309,5 +351,62 @@ mod tests {
     fn pool_drop_joins_workers() {
         let pool = Pool::new(3);
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn panicking_task_does_not_wedge_the_scope() {
+        let pool = Pool::new(4);
+        let done = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..16)
+            .map(|i| {
+                let done = &done;
+                Box::new(move || {
+                    if i == 7 {
+                        panic!("injected task failure");
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                }) as _
+            })
+            .collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| pool.run_scoped(tasks)));
+        let payload = caught.expect_err("the scope re-raises the task panic");
+        assert_eq!(
+            payload.downcast_ref::<&str>(),
+            Some(&"injected task failure")
+        );
+        // Every non-panicking task still ran, the counter saw the failure,
+        // and the pool remains usable for the next scope.
+        assert_eq!(done.load(Ordering::SeqCst), 15);
+        assert_eq!(pool.panics(), 1);
+        let again: Vec<Box<dyn FnOnce() + Send>> = (0..8)
+            .map(|_| {
+                let done = &done;
+                Box::new(move || {
+                    done.fetch_add(1, Ordering::SeqCst);
+                }) as _
+            })
+            .collect();
+        pool.run_scoped(again);
+        assert_eq!(done.load(Ordering::SeqCst), 23);
+    }
+
+    #[test]
+    fn inline_pool_counts_and_reraises_panics() {
+        let pool = Pool::new(1);
+        let done = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..4)
+            .map(|i| {
+                let done = &done;
+                Box::new(move || {
+                    if i == 1 {
+                        panic!("inline failure");
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                }) as _
+            })
+            .collect();
+        assert!(catch_unwind(AssertUnwindSafe(|| pool.run_scoped(tasks))).is_err());
+        assert_eq!(done.load(Ordering::SeqCst), 3); // later tasks still ran
+        assert_eq!(pool.panics(), 1);
     }
 }

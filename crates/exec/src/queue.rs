@@ -9,6 +9,7 @@
 //! shutdown).
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
 /// A fixed-capacity FIFO shared between producers and consumers.
@@ -22,6 +23,7 @@ pub struct BoundedQueue<T> {
     state: Mutex<State<T>>,
     available: Condvar,
     capacity: usize,
+    rejected: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -40,12 +42,19 @@ impl<T> BoundedQueue<T> {
             }),
             available: Condvar::new(),
             capacity: capacity.max(1),
+            rejected: AtomicU64::new(0),
         }
     }
 
     /// The configured capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Pushes refused so far (queue full or closed) — the admission
+    /// controller's overload count.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
     }
 
     /// Items currently queued.
@@ -63,6 +72,7 @@ impl<T> BoundedQueue<T> {
     pub fn try_push(&self, item: T) -> Result<(), T> {
         let mut s = self.state.lock().unwrap();
         if s.closed || s.items.len() >= self.capacity {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(item);
         }
         s.items.push_back(item);
@@ -129,6 +139,18 @@ mod tests {
         assert_eq!(q.pop(), Some("a"));
         q.try_push("c").unwrap();
         assert_eq!(q.capacity(), 2);
+        assert_eq!(q.rejected(), 1);
+    }
+
+    #[test]
+    fn rejected_counts_full_and_closed_pushes() {
+        let q = BoundedQueue::new(1);
+        assert_eq!(q.rejected(), 0);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(2)); // full
+        q.close();
+        assert_eq!(q.try_push(3), Err(3)); // closed
+        assert_eq!(q.rejected(), 2);
     }
 
     #[test]

@@ -12,11 +12,16 @@
 //! `<QUERY>` is either a datalog rule (`ans(X) :- r(X, Y).`) or `@FILE`
 //! to read the rule from a file. `count` prints the count on stdout;
 //! `--verbose` adds the plan and cache tier on stderr.
+//!
+//! `--timeout <ms>` bounds every connect/read/write (default 30000, so a
+//! dead daemon can no longer hang the CLI); `--retries <n>` retries the
+//! idempotent commands (count, report, stats) with exponential backoff.
 
-use cqcount_server::Client;
+use cqcount_server::{Client, ClientOptions};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
+  cqcount-cli --server ADDR [--timeout MS] [--retries N] <command>
   cqcount-cli --server ADDR count     --db NAME <QUERY> [--budget-ms MS] [--verbose]
   cqcount-cli --server ADDR enumerate --db NAME <QUERY> [--limit N]
   cqcount-cli --server ADDR report    <QUERY> [--cap K]
@@ -44,6 +49,8 @@ struct Opts {
     budget_ms: u64,
     limit: u64,
     cap: u64,
+    timeout_ms: u64,
+    retries: u32,
     verbose: bool,
 }
 
@@ -56,6 +63,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         budget_ms: 0,
         limit: 20,
         cap: 0,
+        timeout_ms: 30_000,
+        retries: 0,
         verbose: false,
     };
     let mut it = args.iter();
@@ -87,6 +96,20 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .ok_or("--cap needs a value")?
                     .parse()
                     .map_err(|_| "--cap must be a number")?;
+            }
+            "--timeout" => {
+                opts.timeout_ms = it
+                    .next()
+                    .ok_or("--timeout needs a value")?
+                    .parse()
+                    .map_err(|_| "--timeout must be a number of milliseconds")?;
+            }
+            "--retries" => {
+                opts.retries = it
+                    .next()
+                    .ok_or("--retries needs a value")?
+                    .parse()
+                    .map_err(|_| "--retries must be a number")?;
             }
             "--verbose" => opts.verbose = true,
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
@@ -125,8 +148,16 @@ fn query_arg(opts: &Opts) -> Result<String, String> {
 
 fn run(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(args)?;
-    let mut client = Client::connect(&opts.server)
-        .map_err(|e| format!("cannot connect to {}: {e}", opts.server))?;
+    let mut client = Client::connect_with(
+        &opts.server,
+        ClientOptions {
+            connect_timeout_ms: opts.timeout_ms,
+            io_timeout_ms: opts.timeout_ms,
+            retries: opts.retries,
+            ..ClientOptions::default()
+        },
+    )
+    .map_err(|e| format!("cannot connect to {}: {e}", opts.server))?;
     match opts.command.as_str() {
         "count" => {
             if opts.db.is_empty() {
@@ -138,8 +169,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
             if opts.verbose {
                 eprintln!(
-                    "plan: {} (cache: {:?}, fingerprint: {:016x})",
-                    reply.plan, reply.cached, reply.fingerprint
+                    "plan: {} (cache: {:?}, degraded: {}, fingerprint: {:016x})",
+                    reply.plan, reply.cached, reply.degraded, reply.fingerprint
                 );
             }
             println!("{}", reply.value);
@@ -189,6 +220,12 @@ fn run(args: &[String]) -> Result<(), String> {
                 "count cache:  {} hits / {} misses",
                 s.count_hits, s.count_misses
             );
+            println!("malformed:    {}", s.malformed);
+            println!("budget trips: {}", s.budget_exceeded);
+            println!("panicked:     {}", s.panicked);
+            println!("reaped conns: {}", s.reaped);
+            println!("degraded:     {}", s.degraded);
+            println!("faults:       {}", s.faults_injected);
             for d in &s.dbs {
                 println!(
                     "db {}: epoch {}, fingerprint {:016x}, {} tuples",

@@ -3,22 +3,30 @@
 //! ```text
 //! cqcountd [--listen ADDR] [--db NAME=FILE]... [--workers N]
 //!          [--queue-cap N] [--budget-ms MS] [--max-enumerate N]
-//!          [--width-cap K]
+//!          [--width-cap K] [--read-timeout-ms MS] [--write-timeout-ms MS]
+//!          [--fault-profile NAME] [--fault-seed N]
 //! ```
 //!
 //! Each `--db NAME=FILE` loads a datalog fact file (same format as the
 //! `cqcount` CLI accepts, facts only) under a name clients address in
 //! their requests. The daemon prints `listening on ADDR` once ready and
 //! serves until killed.
+//!
+//! `--fault-profile` (off, flaky-net, slow-net, chaos) turns on seeded
+//! fault injection for chaos testing; `--fault-seed` (or the
+//! `CQCOUNT_FAULT_SEED` environment variable) fixes the seed so a chaos
+//! run can be replayed exactly.
 
 use cqcount_query::parse_database;
 use cqcount_relational::Database;
-use cqcount_server::{serve, ServerConfig};
+use cqcount_server::{serve, FaultProfile, ServerConfig};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   cqcountd [--listen ADDR] [--db NAME=FILE]... [--workers N]
-           [--queue-cap N] [--budget-ms MS] [--max-enumerate N] [--width-cap K]";
+           [--queue-cap N] [--budget-ms MS] [--max-enumerate N] [--width-cap K]
+           [--read-timeout-ms MS] [--write-timeout-ms MS]
+           [--fault-profile off|flaky-net|slow-net|chaos] [--fault-seed N]";
 
 fn main() -> ExitCode {
     match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
@@ -44,6 +52,12 @@ fn run(args: &[String]) -> Result<(), String> {
         addr: "127.0.0.1:7878".into(),
         ..ServerConfig::default()
     };
+    // Environment fallback; --fault-seed wins when both are given.
+    if let Ok(seed) = std::env::var("CQCOUNT_FAULT_SEED") {
+        config.fault_seed = seed
+            .parse()
+            .map_err(|_| format!("CQCOUNT_FAULT_SEED must be a number, got {seed:?}"))?;
+    }
     let mut dbs: Vec<(String, Database)> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -72,8 +86,25 @@ fn run(args: &[String]) -> Result<(), String> {
                 config.max_enumerate = parse_num(&mut it, "--max-enumerate")? as usize
             }
             "--width-cap" => config.width_cap = parse_num(&mut it, "--width-cap")?.max(1) as usize,
+            "--read-timeout-ms" => {
+                config.read_timeout_ms = parse_num(&mut it, "--read-timeout-ms")?
+            }
+            "--write-timeout-ms" => {
+                config.write_timeout_ms = parse_num(&mut it, "--write-timeout-ms")?
+            }
+            "--fault-profile" => {
+                let name = it.next().ok_or("--fault-profile needs a value")?;
+                config.fault_profile = FaultProfile::parse(name)?;
+            }
+            "--fault-seed" => config.fault_seed = parse_num(&mut it, "--fault-seed")?,
             other => return Err(format!("unknown option {other}")),
         }
+    }
+    if config.fault_profile.is_active() {
+        eprintln!(
+            "fault injection active: profile {} seed {}",
+            config.fault_profile.label, config.fault_seed
+        );
     }
     let handle = serve(config, dbs).map_err(|e| format!("cannot bind: {e}"))?;
     println!("listening on {}", handle.local_addr());

@@ -1,11 +1,20 @@
 //! A small blocking client for the daemon — used by `cqcount-cli`, the
 //! e2e tests, and the throughput bench.
+//!
+//! Resilience: [`ClientOptions`] adds connect/IO deadlines (a dead daemon
+//! can no longer hang the caller forever) and a retry loop with
+//! exponential backoff + seeded jitter for the idempotent opcodes —
+//! `COUNT`, `STATS`, and `WIDTH_REPORT` are safe to repeat because the
+//! server's caches are keyed by epoch, so a retry can only re-read. An
+//! `Overloaded` reply's `retry_after_ms` hint stretches the backoff.
 
 use crate::protocol::{
     read_frame, CacheTier, ErrorCode, ReportReply, Request, Response, StatsReply,
 };
+use cqcount_arith::prng::Rng;
 use std::io::{self, BufReader, BufWriter};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// What went wrong on the client side.
 #[derive(Debug)]
@@ -18,6 +27,9 @@ pub enum ClientError {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+        /// Server backoff hint in milliseconds (0 = none); set on
+        /// `Overloaded`.
+        retry_after_ms: u64,
     },
     /// The server answered with a frame the client cannot interpret (wrong
     /// type for the request, or undecodable).
@@ -28,7 +40,7 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "io error: {e}"),
-            ClientError::Server { code, message } => {
+            ClientError::Server { code, message, .. } => {
                 write!(f, "server error ({code:?}): {message}")
             }
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
@@ -44,6 +56,20 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// Is a retry worth attempting? Transport and protocol failures may have
+/// eaten a reply to a request that actually succeeded — which is exactly
+/// why only idempotent opcodes go through the retry loop. Server-side
+/// errors retry only when the condition is transient.
+fn retryable(e: &ClientError) -> bool {
+    match e {
+        ClientError::Io(_) | ClientError::Protocol(_) => true,
+        ClientError::Server { code, .. } => matches!(
+            code,
+            ErrorCode::Overloaded | ErrorCode::Internal | ErrorCode::Protocol
+        ),
+    }
+}
+
 /// A successful count with its provenance.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CountReply {
@@ -53,48 +79,188 @@ pub struct CountReply {
     pub plan: String,
     /// Which cache level served it.
     pub cached: CacheTier,
+    /// True when the server fell back to a cheaper plan because planning
+    /// blew its budget (the count is still exact).
+    pub degraded: bool,
     /// The query's canonical 64-bit fingerprint.
     pub fingerprint: u64,
 }
 
-/// A blocking connection to a `cqcountd`. One request in flight at a time.
-pub struct Client {
+/// Client tunables; [`ClientOptions::default`] matches the pre-retry
+/// behavior except that I/O now times out instead of hanging forever.
+#[derive(Clone, Debug)]
+pub struct ClientOptions {
+    /// Connect deadline in milliseconds (0 = OS default).
+    pub connect_timeout_ms: u64,
+    /// Read/write deadline per syscall in milliseconds (0 = none).
+    pub io_timeout_ms: u64,
+    /// Extra attempts for idempotent requests after the first fails.
+    pub retries: u32,
+    /// Base backoff before the first retry; doubles per attempt (capped).
+    pub backoff_base_ms: u64,
+    /// Seed for backoff jitter, so tests can replay retry schedules.
+    pub retry_seed: u64,
+}
+
+impl Default for ClientOptions {
+    fn default() -> ClientOptions {
+        ClientOptions {
+            connect_timeout_ms: 5_000,
+            io_timeout_ms: 30_000,
+            retries: 0,
+            backoff_base_ms: 50,
+            retry_seed: 0x5EED,
+        }
+    }
+}
+
+/// Longest single backoff sleep, hint or not.
+const BACKOFF_CAP_MS: u64 = 2_000;
+
+struct Conn {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
 }
 
+/// A blocking connection to a `cqcountd`. One request in flight at a time;
+/// reconnects transparently when a retry follows a transport error.
+pub struct Client {
+    addrs: Vec<SocketAddr>,
+    options: ClientOptions,
+    jitter: Rng,
+    conn: Option<Conn>,
+}
+
 impl Client {
-    /// Connects to the daemon.
+    /// Connects to the daemon with default options.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        let reader = BufReader::new(stream.try_clone()?);
-        Ok(Client {
-            reader,
-            writer: BufWriter::new(stream),
-        })
+        Client::connect_with(addr, ClientOptions::default())
     }
 
-    fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
-        req.write_to(&mut self.writer)?;
-        let frame = read_frame(&mut self.reader)?
-            .ok_or_else(|| ClientError::Protocol("server closed the connection".into()))?;
-        let resp = Response::decode(&frame).map_err(ClientError::Protocol)?;
-        if let Response::Error { code, message } = resp {
-            return Err(ClientError::Server { code, message });
+    /// Connects with explicit deadlines and retry policy.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        options: ClientOptions,
+    ) -> Result<Client, ClientError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )));
         }
-        Ok(resp)
+        let jitter = Rng::seed_from_u64(options.retry_seed);
+        let mut client = Client {
+            addrs,
+            options,
+            jitter,
+            conn: None,
+        };
+        client.ensure_connected()?; // surface connect errors eagerly
+        Ok(client)
+    }
+
+    fn ensure_connected(&mut self) -> Result<(), ClientError> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let mut last: Option<io::Error> = None;
+        for addr in &self.addrs {
+            let attempt = if self.options.connect_timeout_ms > 0 {
+                TcpStream::connect_timeout(
+                    addr,
+                    Duration::from_millis(self.options.connect_timeout_ms),
+                )
+            } else {
+                TcpStream::connect(addr)
+            };
+            match attempt {
+                Ok(stream) => {
+                    stream.set_nodelay(true).ok();
+                    let io_timeout = (self.options.io_timeout_ms > 0)
+                        .then(|| Duration::from_millis(self.options.io_timeout_ms));
+                    stream.set_read_timeout(io_timeout)?;
+                    stream.set_write_timeout(io_timeout)?;
+                    let reader = BufReader::new(stream.try_clone()?);
+                    self.conn = Some(Conn {
+                        reader,
+                        writer: BufWriter::new(stream),
+                    });
+                    return Ok(());
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ClientError::Io(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::NotConnected, "no address to connect to")
+        })))
+    }
+
+    /// One request/response exchange on the current connection. Transport
+    /// failures poison the connection so the next attempt redials.
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.ensure_connected()?;
+        let result = (|| {
+            let conn = self.conn.as_mut().expect("just connected");
+            req.write_to(&mut conn.writer)?;
+            let frame = read_frame(&mut conn.reader)?
+                .ok_or_else(|| ClientError::Protocol("server closed the connection".into()))?;
+            Response::decode(&frame).map_err(ClientError::Protocol)
+        })();
+        match result {
+            Ok(Response::Error {
+                code,
+                message,
+                retry_after_ms,
+            }) => Err(ClientError::Server {
+                code,
+                message,
+                retry_after_ms,
+            }),
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                // A half-finished exchange leaves the stream mid-frame:
+                // drop it so a retry starts on a fresh connection.
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// The retry loop for idempotent requests: exponential backoff with
+    /// seeded jitter, stretched to any server `retry_after_ms` hint.
+    fn roundtrip_idempotent(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.roundtrip(req) {
+                Err(e) if attempt < self.options.retries && retryable(&e) => {
+                    let hint = match &e {
+                        ClientError::Server { retry_after_ms, .. } => *retry_after_ms,
+                        _ => 0,
+                    };
+                    let base = self.options.backoff_base_ms.max(1);
+                    let exp = base
+                        .saturating_mul(1 << attempt.min(16))
+                        .min(BACKOFF_CAP_MS);
+                    let jittered = exp + self.jitter.below(base);
+                    let wait = jittered.max(hint).min(BACKOFF_CAP_MS.max(hint));
+                    std::thread::sleep(Duration::from_millis(wait));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Counts `query` over the named database. `budget_ms == 0` uses the
-    /// server default.
+    /// server default. Idempotent: retried per [`ClientOptions::retries`].
     pub fn count(
         &mut self,
         db: &str,
         query: &str,
         budget_ms: u64,
     ) -> Result<CountReply, ClientError> {
-        match self.roundtrip(&Request::Count {
+        match self.roundtrip_idempotent(&Request::Count {
             db: db.into(),
             query: query.into(),
             budget_ms,
@@ -103,11 +269,13 @@ impl Client {
                 value,
                 plan,
                 cached,
+                degraded,
                 fingerprint,
             } => Ok(CountReply {
                 value,
                 plan,
                 cached,
+                degraded,
                 fingerprint,
             }),
             other => Err(ClientError::Protocol(format!(
@@ -116,7 +284,8 @@ impl Client {
         }
     }
 
-    /// Fetches up to `limit` answers. Returns `(rows, truncated)`.
+    /// Fetches up to `limit` answers. Returns `(rows, truncated)`. Not
+    /// retried: a large row stream is not worth repeating blindly.
     pub fn enumerate(
         &mut self,
         db: &str,
@@ -138,8 +307,9 @@ impl Client {
     }
 
     /// Structural width report. `cap == 0` uses the server default.
+    /// Idempotent: retried per [`ClientOptions::retries`].
     pub fn width_report(&mut self, query: &str, cap: u64) -> Result<ReportReply, ClientError> {
-        match self.roundtrip(&Request::WidthReport {
+        match self.roundtrip_idempotent(&Request::WidthReport {
             query: query.into(),
             cap,
         })? {
@@ -150,9 +320,9 @@ impl Client {
         }
     }
 
-    /// Server counters.
+    /// Server counters. Idempotent: retried per [`ClientOptions::retries`].
     pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
-        match self.roundtrip(&Request::Stats)? {
+        match self.roundtrip_idempotent(&Request::Stats)? {
             Response::Stats(s) => Ok(s),
             other => Err(ClientError::Protocol(format!(
                 "expected stats, got {other:?}"
@@ -161,7 +331,8 @@ impl Client {
     }
 
     /// Replaces (or installs) a database from datalog facts; returns the
-    /// new epoch.
+    /// new epoch. Not retried: a reload bumps the epoch, so repeating it
+    /// is observable.
     pub fn reload(&mut self, db: &str, text: &str) -> Result<u64, ClientError> {
         match self.roundtrip(&Request::Reload {
             db: db.into(),
@@ -174,7 +345,7 @@ impl Client {
         }
     }
 
-    /// Drops both cache levels.
+    /// Drops both cache levels. Not retried (admin op).
     pub fn flush(&mut self) -> Result<(), ClientError> {
         match self.roundtrip(&Request::Flush)? {
             Response::Ok { .. } => Ok(()),

@@ -1,0 +1,505 @@
+//! Seeded, deterministic fault injection for chaos-testing the daemon.
+//!
+//! A [`FaultInjector`] wraps connections and jobs with injected failures —
+//! short reads/writes, mid-frame disconnects, artificial latency, forced
+//! worker panics, and forced resource-cap trips — so the hardening in
+//! [`crate::server`] and [`crate::client`] can be exercised on demand
+//! (`cqcountd --fault-profile flaky-net`) and regression-tested.
+//!
+//! **Determinism.** Every decision is drawn from `cqcount_arith::prng`
+//! generators derived from a single seed (`CQCOUNT_FAULT_SEED`): each
+//! connection gets three independent lanes (read, write, jobs) seeded from
+//! `(seed, connection id)`. I/O faults trigger at *byte offsets* of the
+//! connection's streams, not at call counts — `read`/`write` call
+//! boundaries depend on TCP timing, byte positions do not — so a serial
+//! client replaying the same request script against the same seed observes
+//! the identical [`FaultEvent`] sequence, run after run.
+
+use cqcount_arith::prng::{Rng, SplitMix64};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// What to break and how often. Probabilities are per counting job; I/O
+/// faults are spaced by a mean byte gap per stream direction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultProfile {
+    /// Profile name, for logs and `--fault-profile`.
+    pub label: &'static str,
+    /// Mean gap in bytes between injected I/O faults (0 disables them).
+    pub io_gap: u64,
+    /// Weight of short reads/writes among I/O faults.
+    pub short_weight: u32,
+    /// Weight of injected latency among I/O faults.
+    pub latency_weight: u32,
+    /// Weight of mid-frame disconnects among I/O faults.
+    pub disconnect_weight: u32,
+    /// Upper bound on a single injected latency, in milliseconds.
+    pub latency_max_ms: u64,
+    /// Probability that a counting job panics inside the worker.
+    pub worker_panic_p: f64,
+    /// Probability that a counting job's resource budget is tripped at
+    /// admission (simulating an allocation/budget cap firing mid-request).
+    pub cap_trip_p: f64,
+}
+
+impl FaultProfile {
+    /// No faults (the production default).
+    pub fn off() -> FaultProfile {
+        FaultProfile {
+            label: "off",
+            io_gap: 0,
+            short_weight: 0,
+            latency_weight: 0,
+            disconnect_weight: 0,
+            latency_max_ms: 0,
+            worker_panic_p: 0.0,
+            cap_trip_p: 0.0,
+        }
+    }
+
+    /// Network-shaped trouble only: short reads/writes, small latencies,
+    /// occasional mid-frame disconnects. Safe to retry through.
+    pub fn flaky_net() -> FaultProfile {
+        FaultProfile {
+            label: "flaky-net",
+            io_gap: 48,
+            short_weight: 8,
+            latency_weight: 3,
+            disconnect_weight: 1,
+            latency_max_ms: 2,
+            worker_panic_p: 0.0,
+            cap_trip_p: 0.0,
+        }
+    }
+
+    /// Pure latency injection (no data-level faults).
+    pub fn slow_net() -> FaultProfile {
+        FaultProfile {
+            label: "slow-net",
+            io_gap: 32,
+            short_weight: 0,
+            latency_weight: 1,
+            disconnect_weight: 0,
+            latency_max_ms: 5,
+            worker_panic_p: 0.0,
+            cap_trip_p: 0.0,
+        }
+    }
+
+    /// Everything at once: flaky network plus worker panics and forced
+    /// cap trips.
+    pub fn chaos() -> FaultProfile {
+        FaultProfile {
+            label: "chaos",
+            io_gap: 48,
+            short_weight: 6,
+            latency_weight: 3,
+            disconnect_weight: 1,
+            latency_max_ms: 3,
+            worker_panic_p: 0.05,
+            cap_trip_p: 0.05,
+        }
+    }
+
+    /// Parses a `--fault-profile` name.
+    pub fn parse(name: &str) -> Result<FaultProfile, String> {
+        match name {
+            "off" | "none" => Ok(FaultProfile::off()),
+            "flaky-net" => Ok(FaultProfile::flaky_net()),
+            "slow-net" => Ok(FaultProfile::slow_net()),
+            "chaos" => Ok(FaultProfile::chaos()),
+            other => Err(format!(
+                "unknown fault profile {other:?} (expected off, flaky-net, slow-net, or chaos)"
+            )),
+        }
+    }
+
+    /// Does this profile inject anything at all?
+    pub fn is_active(&self) -> bool {
+        (self.io_gap > 0 && self.io_weight_total() > 0)
+            || self.worker_panic_p > 0.0
+            || self.cap_trip_p > 0.0
+    }
+
+    fn io_weight_total(&self) -> u32 {
+        self.short_weight + self.latency_weight + self.disconnect_weight
+    }
+}
+
+/// One injected failure, for the replayable chaos log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A `read` was truncated to a single byte.
+    ShortRead,
+    /// A `write` accepted only a single byte.
+    ShortWrite,
+    /// The connection was torn down mid-stream.
+    Disconnect,
+    /// An artificial delay was inserted before the transfer.
+    Latency,
+    /// The worker deliberately panicked while running the job.
+    WorkerPanic,
+    /// The job's budget was cancelled at admission (cap trip).
+    CapTrip,
+}
+
+/// A recorded injection: which connection, what, and where (`pos` is the
+/// stream byte offset for I/O faults, the per-connection job index for
+/// job faults).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Connection id (accept order, starting at 0).
+    pub conn: u64,
+    /// What was injected.
+    pub kind: FaultKind,
+    /// Byte offset (I/O faults) or job index (job faults).
+    pub pos: u64,
+}
+
+/// Faults decided for one queued counting job.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobFaults {
+    /// Panic inside the worker instead of running the job.
+    pub panic: bool,
+    /// Cancel the job's budget before it starts.
+    pub cap_trip: bool,
+}
+
+/// The seeded fault source shared by every connection of one server.
+#[derive(Debug)]
+pub struct FaultInjector {
+    profile: FaultProfile,
+    seed: u64,
+    next_conn: AtomicU64,
+    injected: AtomicU64,
+    events: Mutex<Vec<FaultEvent>>,
+}
+
+impl FaultInjector {
+    /// A new injector; `seed` fixes every future decision.
+    pub fn new(profile: FaultProfile, seed: u64) -> Arc<FaultInjector> {
+        Arc::new(FaultInjector {
+            profile,
+            seed,
+            next_conn: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            events: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The active profile.
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    /// Derives the per-connection fault state for the next accepted
+    /// connection (ids follow accept order).
+    pub fn connection(self: &Arc<FaultInjector>) -> Arc<ConnFaults> {
+        let conn = self.next_conn.fetch_add(1, Ordering::SeqCst);
+        // Three independent lanes so read, write, and job decisions never
+        // perturb each other's streams.
+        let mut expand = SplitMix64::new(self.seed ^ conn.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Arc::new(ConnFaults {
+            injector: Arc::clone(self),
+            conn,
+            read: Mutex::new(Lane::new(Rng::seed_from_u64(expand.next_u64()))),
+            write: Mutex::new(Lane::new(Rng::seed_from_u64(expand.next_u64()))),
+            jobs: Mutex::new(JobLane {
+                rng: Rng::seed_from_u64(expand.next_u64()),
+                count: 0,
+            }),
+        })
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the full event log (insertion order).
+    pub fn events(&self) -> Vec<FaultEvent> {
+        self.events.lock().unwrap().clone()
+    }
+
+    fn record(&self, ev: FaultEvent) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        self.events.lock().unwrap().push(ev);
+    }
+}
+
+/// One stream direction's deterministic fault schedule.
+#[derive(Debug)]
+struct Lane {
+    rng: Rng,
+    /// Bytes transferred so far in this direction.
+    pos: u64,
+    /// Byte offset of the next scheduled fault (0 = not yet drawn).
+    next_at: u64,
+}
+
+impl Lane {
+    fn new(rng: Rng) -> Lane {
+        Lane {
+            rng,
+            pos: 0,
+            next_at: 0,
+        }
+    }
+
+    /// Mean-`gap` spacing, strictly positive, drawn from the lane's rng.
+    fn schedule(&mut self, gap: u64) {
+        self.next_at = self.pos + 1 + self.rng.below(2 * gap.max(1));
+    }
+}
+
+#[derive(Debug)]
+struct JobLane {
+    rng: Rng,
+    count: u64,
+}
+
+/// Per-connection fault state: three seeded lanes plus the shared log.
+#[derive(Debug)]
+pub struct ConnFaults {
+    injector: Arc<FaultInjector>,
+    conn: u64,
+    read: Mutex<Lane>,
+    write: Mutex<Lane>,
+    jobs: Mutex<JobLane>,
+}
+
+/// What the I/O wrapper should do for the current transfer.
+enum IoDecision {
+    /// Transfer at most this many bytes (keeps fault offsets byte-exact).
+    Pass(usize),
+    /// Truncate the transfer to one byte.
+    Short,
+    /// Tear the connection down.
+    Disconnect,
+}
+
+impl ConnFaults {
+    /// The connection id (accept order).
+    pub fn conn_id(&self) -> u64 {
+        self.conn
+    }
+
+    /// Wraps one half of a duplicated stream. Both halves of a connection
+    /// should share the same `ConnFaults` (reads and writes advance
+    /// independent lanes).
+    pub fn wrap(self: &Arc<ConnFaults>, stream: TcpStream) -> FaultyStream {
+        FaultyStream {
+            inner: stream,
+            conn: Arc::clone(self),
+        }
+    }
+
+    /// Draws the faults for the next counting job on this connection.
+    pub fn job_faults(&self) -> JobFaults {
+        let profile = self.injector.profile.clone();
+        let mut lane = self.jobs.lock().unwrap();
+        lane.count += 1;
+        let idx = lane.count;
+        let faults = JobFaults {
+            panic: lane.rng.chance(profile.worker_panic_p),
+            cap_trip: lane.rng.chance(profile.cap_trip_p),
+        };
+        drop(lane);
+        if faults.panic {
+            self.injector.record(FaultEvent {
+                conn: self.conn,
+                kind: FaultKind::WorkerPanic,
+                pos: idx,
+            });
+        }
+        if faults.cap_trip {
+            self.injector.record(FaultEvent {
+                conn: self.conn,
+                kind: FaultKind::CapTrip,
+                pos: idx,
+            });
+        }
+        faults
+    }
+
+    /// Decides what happens to a transfer of up to `want` bytes on the
+    /// given lane. Latency faults sleep here and then pass the transfer.
+    fn decide(&self, lane: &Mutex<Lane>, want: usize, reading: bool) -> IoDecision {
+        let profile = &self.injector.profile;
+        let total = profile.io_weight_total();
+        if profile.io_gap == 0 || total == 0 || want == 0 {
+            return IoDecision::Pass(want);
+        }
+        let mut lane = lane.lock().unwrap();
+        if lane.next_at == 0 {
+            lane.schedule(profile.io_gap);
+        }
+        if lane.pos < lane.next_at {
+            // No fault inside this transfer: cap it so the next fault
+            // still lands on its exact byte offset.
+            let room = (lane.next_at - lane.pos) as usize;
+            return IoDecision::Pass(want.min(room));
+        }
+        // A fault is due at this offset.
+        let pos = lane.pos;
+        let roll = lane.rng.below(u64::from(total)) as u32;
+        lane.schedule(profile.io_gap);
+        let (kind, decision) = if roll < profile.short_weight {
+            if reading {
+                (FaultKind::ShortRead, IoDecision::Short)
+            } else {
+                (FaultKind::ShortWrite, IoDecision::Short)
+            }
+        } else if roll < profile.short_weight + profile.latency_weight {
+            let ms = lane.rng.below(profile.latency_max_ms + 1);
+            drop(lane);
+            std::thread::sleep(Duration::from_millis(ms));
+            (FaultKind::Latency, IoDecision::Pass(want))
+        } else {
+            (FaultKind::Disconnect, IoDecision::Disconnect)
+        };
+        self.injector.record(FaultEvent {
+            conn: self.conn,
+            kind,
+            pos,
+        });
+        decision
+    }
+
+    fn advance(&self, lane: &Mutex<Lane>, n: usize) {
+        if self.injector.profile.io_gap > 0 {
+            lane.lock().unwrap().pos += n as u64;
+        }
+    }
+}
+
+/// A `TcpStream` wrapper that applies a connection's injected I/O faults.
+/// Short transfers honor the `Read`/`Write` contracts (they are *legal*
+/// partial transfers — robust callers must already loop); disconnects
+/// shut the socket down for real so the peer observes them too.
+#[derive(Debug)]
+pub struct FaultyStream {
+    inner: TcpStream,
+    conn: Arc<ConnFaults>,
+}
+
+impl Read for FaultyStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.conn.decide(&self.conn.read, buf.len(), true) {
+            IoDecision::Pass(cap) => {
+                let n = self.inner.read(&mut buf[..cap])?;
+                self.conn.advance(&self.conn.read, n);
+                Ok(n)
+            }
+            IoDecision::Short => {
+                let cap = 1.min(buf.len());
+                let n = self.inner.read(&mut buf[..cap])?;
+                self.conn.advance(&self.conn.read, n);
+                Ok(n)
+            }
+            IoDecision::Disconnect => {
+                let _ = self.inner.shutdown(Shutdown::Both);
+                Err(io::Error::new(
+                    io::ErrorKind::ConnectionAborted,
+                    "fault injection: forced disconnect",
+                ))
+            }
+        }
+    }
+}
+
+impl Write for FaultyStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.conn.decide(&self.conn.write, buf.len(), false) {
+            IoDecision::Pass(cap) => {
+                let n = self.inner.write(&buf[..cap])?;
+                self.conn.advance(&self.conn.write, n);
+                Ok(n)
+            }
+            IoDecision::Short => {
+                let n = self.inner.write(&buf[..1.min(buf.len())])?;
+                self.conn.advance(&self.conn.write, n);
+                Ok(n)
+            }
+            IoDecision::Disconnect => {
+                let _ = self.inner.shutdown(Shutdown::Both);
+                Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "fault injection: forced disconnect",
+                ))
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_parse_and_classify() {
+        assert!(!FaultProfile::off().is_active());
+        assert!(FaultProfile::flaky_net().is_active());
+        assert!(FaultProfile::chaos().is_active());
+        assert_eq!(FaultProfile::parse("off").unwrap().label, "off");
+        assert_eq!(FaultProfile::parse("chaos").unwrap().label, "chaos");
+        assert!(FaultProfile::parse("explode").is_err());
+    }
+
+    #[test]
+    fn job_fault_draws_are_deterministic_per_seed() {
+        let draws = |seed: u64| -> Vec<JobFaults> {
+            let inj = FaultInjector::new(FaultProfile::chaos(), seed);
+            let conn = inj.connection();
+            (0..64).map(|_| conn.job_faults()).collect()
+        };
+        assert_eq!(draws(7), draws(7));
+        assert_ne!(draws(7), draws(8), "different seeds should differ");
+        // chaos probabilities are low but nonzero: something fires in 64.
+        let inj = FaultInjector::new(FaultProfile::chaos(), 7);
+        let conn = inj.connection();
+        for _ in 0..64 {
+            conn.job_faults();
+        }
+        assert!(inj.injected() > 0);
+    }
+
+    #[test]
+    fn connections_get_independent_lanes() {
+        let inj = FaultInjector::new(FaultProfile::chaos(), 1);
+        let a = inj.connection();
+        let b = inj.connection();
+        assert_ne!(a.conn_id(), b.conn_id());
+        let fa: Vec<JobFaults> = (0..32).map(|_| a.job_faults()).collect();
+        let fb: Vec<JobFaults> = (0..32).map(|_| b.job_faults()).collect();
+        assert_ne!(fa, fb, "lanes must be seeded per connection");
+    }
+
+    #[test]
+    fn event_log_orders_job_faults_by_index() {
+        let inj = FaultInjector::new(
+            FaultProfile {
+                worker_panic_p: 1.0,
+                ..FaultProfile::off()
+            },
+            3,
+        );
+        let conn = inj.connection();
+        for _ in 0..3 {
+            assert!(conn.job_faults().panic);
+        }
+        let evs = inj.events();
+        assert_eq!(evs.len(), 3);
+        assert!(evs
+            .iter()
+            .enumerate()
+            .all(|(i, e)| e.kind == FaultKind::WorkerPanic && e.pos == i as u64 + 1));
+    }
+}

@@ -13,15 +13,21 @@
 //!   answers `Overloaded` instead of buffering, plus a per-request
 //!   wall-clock budget enforced cooperatively inside the counting loops;
 //! * **a typed client** ([`client`]) — the blocking API used by
-//!   `cqcount-cli`, the e2e tests, and the throughput bench.
+//!   `cqcount-cli`, the e2e tests, and the throughput bench, with
+//!   deadlines and retry/backoff for the idempotent opcodes;
+//! * **deterministic fault injection** ([`faults`]) — seeded chaos
+//!   (short I/O, disconnects, latency, worker panics, cap trips) so every
+//!   hardening path above is testable and replayable.
 //!
 //! Everything is `std`-only, like the rest of the workspace.
 
 pub mod cache;
 pub mod client;
+pub mod faults;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError, CountReply};
+pub use client::{Client, ClientError, ClientOptions, CountReply};
+pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultProfile};
 pub use protocol::{CacheTier, ErrorCode, ReportReply, Request, Response, StatsReply};
 pub use server::{serve, ServerConfig, ServerHandle};

@@ -19,8 +19,10 @@ use std::io::{self, Read, Write};
 
 /// Frame magic: `b"CQ"`.
 pub const MAGIC: [u8; 2] = [0x43, 0x51];
-/// Protocol version carried in every frame header.
-pub const VERSION: u8 = 0x01;
+/// Protocol version carried in every frame header. v2 added the
+/// `degraded` flag to count replies, the `retry_after_ms` hint to error
+/// frames, and the per-error-code counters in `STATS`.
+pub const VERSION: u8 = 0x02;
 /// Upper bound on a frame payload (queries and reload texts included).
 pub const MAX_PAYLOAD: usize = 16 << 20;
 /// Upper bound on a single string field.
@@ -159,6 +161,18 @@ pub struct StatsReply {
     pub count_hits: u64,
     /// Count-cache misses.
     pub count_misses: u64,
+    /// Malformed frames / undecodable requests answered with `Protocol`.
+    pub malformed: u64,
+    /// Requests that tripped their wall-clock budget.
+    pub budget_exceeded: u64,
+    /// Worker panics caught (including injected ones).
+    pub panicked: u64,
+    /// Connections reaped by the idle/stall deadline.
+    pub reaped: u64,
+    /// Counts served by a degraded (fallback) plan.
+    pub degraded: u64,
+    /// Faults injected so far (0 when no fault profile is active).
+    pub faults_injected: u64,
     /// Per-database epochs and fingerprints.
     pub dbs: Vec<DbSummary>,
 }
@@ -196,6 +210,9 @@ pub enum Response {
         plan: String,
         /// Which cache level (if any) served the request.
         cached: CacheTier,
+        /// True when the planner fell back to a cheaper plan because the
+        /// decomposition search blew its budget (the count is still exact).
+        degraded: bool,
         /// The query's canonical 64-bit fingerprint.
         fingerprint: u64,
     },
@@ -222,6 +239,9 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail (round-trippable for typed errors).
         message: String,
+        /// For `Overloaded`: how long the client should back off before
+        /// retrying, in milliseconds (0 = no hint).
+        retry_after_ms: u64,
     },
 }
 
@@ -471,11 +491,13 @@ impl Response {
                 value,
                 plan,
                 cached,
+                degraded,
                 fingerprint,
             } => {
                 write_str(&mut p, value);
                 write_str(&mut p, plan);
                 p.push(*cached as u8);
+                p.push(u8::from(*degraded));
                 write_u64_le(&mut p, *fingerprint);
                 OP_R_COUNT
             }
@@ -507,6 +529,12 @@ impl Response {
                     s.plan_misses,
                     s.count_hits,
                     s.count_misses,
+                    s.malformed,
+                    s.budget_exceeded,
+                    s.panicked,
+                    s.reaped,
+                    s.degraded,
+                    s.faults_injected,
                 ] {
                     write_uleb(&mut p, v);
                 }
@@ -523,9 +551,14 @@ impl Response {
                 write_uleb(&mut p, *epoch);
                 OP_R_OK
             }
-            Response::Error { code, message } => {
+            Response::Error {
+                code,
+                message,
+                retry_after_ms,
+            } => {
                 p.push(*code as u8);
                 write_str(&mut p, message);
+                write_uleb(&mut p, *retry_after_ms);
                 OP_R_ERROR
             }
         };
@@ -547,11 +580,13 @@ impl Response {
                 let plan = read_str(buf, &mut pos)?;
                 let cached =
                     CacheTier::from_u8(take_u8(buf, &mut pos)?).ok_or("bad cache tier byte")?;
+                let degraded = take_u8(buf, &mut pos)? != 0;
                 let fingerprint = read_u64_le(buf, &mut pos)?;
                 Response::Count {
                     value,
                     plan,
                     cached,
+                    degraded,
                     fingerprint,
                 }
             }
@@ -595,7 +630,7 @@ impl Response {
                 })
             }
             OP_R_STATS => {
-                let mut vals = [0u64; 6];
+                let mut vals = [0u64; 12];
                 for v in &mut vals {
                     *v = read_uleb(buf, &mut pos)?;
                 }
@@ -619,6 +654,12 @@ impl Response {
                     plan_misses: vals[3],
                     count_hits: vals[4],
                     count_misses: vals[5],
+                    malformed: vals[6],
+                    budget_exceeded: vals[7],
+                    panicked: vals[8],
+                    reaped: vals[9],
+                    degraded: vals[10],
+                    faults_injected: vals[11],
                     dbs,
                 })
             }
@@ -631,6 +672,7 @@ impl Response {
                 Response::Error {
                     code,
                     message: read_str(buf, &mut pos)?,
+                    retry_after_ms: read_uleb(buf, &mut pos)?,
                 }
             }
             other => return Err(format!("unknown response opcode 0x{other:02x}")),
@@ -703,6 +745,7 @@ mod tests {
             value: "123456789012345678901234567890".into(),
             plan: "sharp-pipeline(width=2)".into(),
             cached: CacheTier::PlanWarm,
+            degraded: true,
             fingerprint: 0xdead_beef_cafe_f00d,
         });
         roundtrip_response(Response::Rows {
@@ -726,6 +769,12 @@ mod tests {
             plan_misses: 2,
             count_hits: 3,
             count_misses: 3,
+            malformed: 2,
+            budget_exceeded: 1,
+            panicked: 1,
+            reaped: 4,
+            degraded: 1,
+            faults_injected: 9,
             dbs: vec![DbSummary {
                 name: "main".into(),
                 epoch: 2,
@@ -737,6 +786,12 @@ mod tests {
         roundtrip_response(Response::Error {
             code: ErrorCode::BudgetExceeded,
             message: "plan error: budget exceeded after 50ms".into(),
+            retry_after_ms: 0,
+        });
+        roundtrip_response(Response::Error {
+            code: ErrorCode::Overloaded,
+            message: "overloaded: request queue at capacity 64".into(),
+            retry_after_ms: 125,
         });
     }
 

@@ -12,21 +12,32 @@
 //!   buffering;
 //! * `workers` **worker** threads pop jobs, run them under the request's
 //!   wall-clock [`Budget`], and send the response back to the connection
-//!   thread over a per-job channel. Worker panics are caught and reported
-//!   as `Internal` errors — a malformed request cannot take the daemon
-//!   down.
+//!   thread over a per-job channel. Worker panics are caught, counted, and
+//!   reported as `Internal` errors — a malformed request cannot take the
+//!   daemon down.
+//!
+//! Resilience (PR 3): connections carry read/write deadlines and idle
+//! peers are reaped; `Overloaded` errors carry a `retry_after_ms` hint;
+//! when decomposition planning blows its budget the count *degrades* to a
+//! cheaper exact plan instead of erroring (`degraded: true` in the reply);
+//! and the whole stack can be wrapped in a seeded [`FaultInjector`]
+//! (`--fault-profile`) for replayable chaos runs.
 
 use crate::cache::{CountCache, PlanCache, PlanEntry};
+use crate::faults::{ConnFaults, FaultEvent, FaultInjector, JobFaults};
 use crate::protocol::{
     read_frame, CacheTier, DbSummary, ErrorCode, Frame, ReportReply, Request, Response, StatsReply,
 };
-use cqcount_core::planner::{count_prepared, prepare_plan, WidthReport, WIDTH_CAP};
+use cqcount_core::planner::{
+    count_prepared_resilient, prepare_plan_budgeted, WidthReport, WIDTH_CAP,
+};
 use cqcount_core::{for_each_answer, Budget, PlanError};
 use cqcount_exec::BoundedQueue;
 use cqcount_query::fingerprint::fingerprint;
 use cqcount_query::{parse_database, parse_query, ConjunctiveQuery, Var};
 use cqcount_relational::Database;
 use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -54,6 +65,23 @@ pub struct ServerConfig {
     pub plan_cache_cap: usize,
     /// Count-cache capacity (level 2).
     pub count_cache_cap: usize,
+    /// Per-connection read deadline in milliseconds (0 = none). A peer
+    /// idle past this is reaped — the connection closes without a reply.
+    pub read_timeout_ms: u64,
+    /// Per-connection write deadline in milliseconds (0 = none); protects
+    /// workers from clients that stop draining their socket.
+    pub write_timeout_ms: u64,
+    /// The `retry_after_ms` hint attached to `Overloaded` errors.
+    pub overload_retry_after_ms: u64,
+    /// Wall-clock budget for *planning* (the decomposition search).
+    /// `None` shares the request budget; `Some(ms)` gives planning its own
+    /// slice (`Some(0)` forces immediate degradation — the chaos tests'
+    /// deterministic trigger).
+    pub plan_budget_ms: Option<u64>,
+    /// Fault-injection profile (default [`crate::faults::FaultProfile::off`]).
+    pub fault_profile: crate::faults::FaultProfile,
+    /// Seed for the fault injector (`CQCOUNT_FAULT_SEED`).
+    pub fault_seed: u64,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +95,12 @@ impl Default for ServerConfig {
             width_cap: WIDTH_CAP,
             plan_cache_cap: 1024,
             count_cache_cap: 4096,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 10_000,
+            overload_retry_after_ms: 100,
+            plan_budget_ms: None,
+            fault_profile: crate::faults::FaultProfile::off(),
+            fault_seed: 0,
         }
     }
 }
@@ -92,10 +126,39 @@ struct Shared {
     counts: CountCache,
     served: AtomicU64,
     overloaded: AtomicU64,
+    malformed: AtomicU64,
+    budget_exceeded: AtomicU64,
+    panicked: AtomicU64,
+    reaped: AtomicU64,
+    degraded: AtomicU64,
+    injector: Option<Arc<FaultInjector>>,
     stop: AtomicBool,
 }
 
 impl Shared {
+    /// Updates the per-`ErrorCode` observability counters for an outgoing
+    /// response. Called once per response, just before it hits the wire.
+    fn account(&self, response: &Response) {
+        match response {
+            Response::Error {
+                code: ErrorCode::Protocol,
+                ..
+            } => {
+                self.malformed.fetch_add(1, Ordering::Relaxed);
+            }
+            Response::Error {
+                code: ErrorCode::BudgetExceeded,
+                ..
+            } => {
+                self.budget_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
+            Response::Count { degraded: true, .. } => {
+                self.degraded.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+
     fn stats(&self) -> StatsReply {
         let (plan_hits, plan_misses) = self.plans.counters();
         let (count_hits, count_misses) = self.counts.counters();
@@ -119,6 +182,12 @@ impl Shared {
             plan_misses,
             count_hits,
             count_misses,
+            malformed: self.malformed.load(Ordering::Relaxed),
+            budget_exceeded: self.budget_exceeded.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
+            reaped: self.reaped.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            faults_injected: self.injector.as_ref().map_or(0, |i| i.injected()),
             dbs,
         }
     }
@@ -143,10 +212,14 @@ impl Shared {
 struct Job {
     request: Request,
     reply: mpsc::Sender<Response>,
+    /// Faults drawn for this job at admission (default: none).
+    faults: JobFaults,
 }
 
-/// A running server. Dropping the handle does *not* stop the server; call
-/// [`ServerHandle::shutdown`].
+/// A running server. Dropping the handle stops it; [`ServerHandle::shutdown`]
+/// does the same explicitly. Shutdown is idempotent and never blocks on the
+/// network: the accept loop polls a stop flag over a non-blocking listener,
+/// so it winds down even if the listener has already died.
 pub struct ServerHandle {
     shared: Arc<Shared>,
     queue: Arc<BoundedQueue<Job>>,
@@ -166,18 +239,43 @@ impl ServerHandle {
         self.shared.install_db(name, db)
     }
 
+    /// Faults injected so far (0 when no fault profile is active).
+    pub fn faults_injected(&self) -> u64 {
+        self.shared.injector.as_ref().map_or(0, |i| i.injected())
+    }
+
+    /// The fault injector's replayable event log (empty when inactive).
+    pub fn fault_events(&self) -> Vec<FaultEvent> {
+        self.shared
+            .injector
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.events())
+    }
+
     /// Stops accepting, drains workers, and joins every owned thread.
     pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    /// Idempotent shutdown core, shared by [`ServerHandle::shutdown`] and
+    /// `Drop`. Never blocks on the network: the accept thread notices the
+    /// stop flag within its poll interval regardless of traffic, and a
+    /// thread that already died joins immediately.
+    fn shutdown_inner(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
         self.queue.close();
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
         for t in self.worker_threads.drain(..) {
             let _ = t.join();
         }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
     }
 }
 
@@ -189,12 +287,26 @@ pub fn serve(
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    // Non-blocking listener: the accept loop polls the stop flag instead
+    // of relying on a wake-up connection, so shutdown works even when the
+    // listener is wedged or already dead.
+    listener.set_nonblocking(true)?;
+    let injector = config
+        .fault_profile
+        .is_active()
+        .then(|| FaultInjector::new(config.fault_profile.clone(), config.fault_seed));
     let shared = Arc::new(Shared {
         plans: PlanCache::new(config.plan_cache_cap),
         counts: CountCache::new(config.count_cache_cap),
         dbs: RwLock::new(HashMap::new()),
         served: AtomicU64::new(0),
         overloaded: AtomicU64::new(0),
+        malformed: AtomicU64::new(0),
+        budget_exceeded: AtomicU64::new(0),
+        panicked: AtomicU64::new(0),
+        reaped: AtomicU64::new(0),
+        degraded: AtomicU64::new(0),
+        injector,
         stop: AtomicBool::new(false),
         config,
     });
@@ -209,11 +321,20 @@ pub fn serve(
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || {
                 while let Some(job) = queue.pop() {
-                    let resp = catch_unwind(AssertUnwindSafe(|| run_job(&shared, &job.request)))
-                        .unwrap_or_else(|_| Response::Error {
+                    let resp = catch_unwind(AssertUnwindSafe(|| {
+                        if job.faults.panic {
+                            panic!("fault injection: forced worker panic");
+                        }
+                        run_job(&shared, &job.request, job.faults)
+                    }))
+                    .unwrap_or_else(|_| {
+                        shared.panicked.fetch_add(1, Ordering::Relaxed);
+                        Response::Error {
                             code: ErrorCode::Internal,
                             message: "internal error: worker panicked".into(),
-                        });
+                            retry_after_ms: 0,
+                        }
+                    });
                     let _ = job.reply.send(resp);
                 }
             })
@@ -223,16 +344,31 @@ pub fn serve(
     let accept_thread = {
         let queue = Arc::clone(&queue);
         let shared = Arc::clone(&shared);
-        std::thread::spawn(move || {
-            for conn in listener.incoming() {
-                if shared.stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = conn else { continue };
-                let queue = Arc::clone(&queue);
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || serve_connection(stream, &shared, &queue));
+        std::thread::spawn(move || loop {
+            if shared.stop.load(Ordering::SeqCst) {
+                break;
             }
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                }
+                Err(_) => {
+                    // Transient accept errors (EMFILE, aborted handshakes)
+                    // should not kill the loop; back off and re-check stop.
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                }
+            };
+            // Accepted sockets may inherit non-blocking mode; per-stream
+            // deadlines come from timeouts, not O_NONBLOCK.
+            if stream.set_nonblocking(false).is_err() {
+                continue;
+            }
+            let queue = Arc::clone(&queue);
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || serve_stream(stream, &shared, &queue));
         })
     };
 
@@ -245,33 +381,86 @@ pub fn serve(
     })
 }
 
-fn serve_connection(stream: TcpStream, shared: &Shared, queue: &BoundedQueue<Job>) {
-    let mut reader = std::io::BufReader::new(match stream.try_clone() {
+/// Applies deadlines and (optionally) the fault injector to an accepted
+/// stream, then runs the frame loop over the wrapped halves.
+fn serve_stream(stream: TcpStream, shared: &Shared, queue: &BoundedQueue<Job>) {
+    let timeout = |ms: u64| (ms > 0).then(|| Duration::from_millis(ms));
+    let _ = stream.set_read_timeout(timeout(shared.config.read_timeout_ms));
+    let _ = stream.set_write_timeout(timeout(shared.config.write_timeout_ms));
+    let read_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
-    });
-    let mut writer = std::io::BufWriter::new(stream);
+    };
+    match &shared.injector {
+        Some(injector) => {
+            let conn = injector.connection();
+            serve_connection(
+                std::io::BufReader::new(conn.wrap(read_half)),
+                std::io::BufWriter::new(conn.wrap(stream)),
+                Some(conn),
+                shared,
+                queue,
+            );
+        }
+        None => serve_connection(
+            std::io::BufReader::new(read_half),
+            std::io::BufWriter::new(stream),
+            None,
+            shared,
+            queue,
+        ),
+    }
+}
+
+/// Is this I/O error a read/write deadline expiring? (Unix reports
+/// `WouldBlock` for socket timeouts, Windows `TimedOut`.)
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+fn serve_connection<R: Read, W: Write>(
+    mut reader: R,
+    mut writer: W,
+    conn: Option<Arc<ConnFaults>>,
+    shared: &Shared,
+    queue: &BoundedQueue<Job>,
+) {
     loop {
         let frame: Frame = match read_frame(&mut reader) {
             Ok(Some(f)) => f,
             Ok(None) => return, // clean close
+            Err(e) if is_timeout(&e) => {
+                // Idle or stalled peer: reap the connection. No reply — a
+                // peer that stopped talking mid-frame cannot parse one.
+                shared.reaped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
             Err(e) => {
-                let _ = Response::Error {
+                let resp = Response::Error {
                     code: ErrorCode::Protocol,
                     message: format!("protocol error: {e}"),
-                }
-                .write_to(&mut writer);
+                    retry_after_ms: 0,
+                };
+                shared.account(&resp);
+                let _ = resp.write_to(&mut writer);
                 return;
             }
         };
         let request = match Request::decode(&frame) {
             Ok(r) => r,
             Err(e) => {
-                let _ = Response::Error {
+                let resp = Response::Error {
                     code: ErrorCode::Protocol,
                     message: format!("protocol error: {e}"),
+                    retry_after_ms: 0,
+                };
+                shared.account(&resp);
+                if resp.write_to(&mut writer).is_err() {
+                    return;
                 }
-                .write_to(&mut writer);
                 continue;
             }
         };
@@ -291,6 +480,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared, queue: &BoundedQueue<Job
                     Err(e) => Response::Error {
                         code: ErrorCode::Parse,
                         message: e.to_string(),
+                        retry_after_ms: 0,
                     },
                 }
             }
@@ -300,12 +490,22 @@ fn serve_connection(stream: TcpStream, shared: &Shared, queue: &BoundedQueue<Job
                 shared.counts.clear();
                 Response::Ok { epoch: 0 }
             }
-            // Counting work goes through the bounded queue.
+            // Counting work goes through the bounded queue. Faults for the
+            // job (forced panic / cap trip) are drawn here, at admission,
+            // so one lane of the connection's RNG decides them in order.
             other => {
                 let (tx, rx) = mpsc::channel();
+                let faults = conn.as_ref().map_or_else(JobFaults::default, |c| {
+                    if counting_op(&other) {
+                        c.job_faults()
+                    } else {
+                        JobFaults::default()
+                    }
+                });
                 match queue.try_push(Job {
                     request: other,
                     reply: tx,
+                    faults,
                 }) {
                     Ok(()) => match rx.recv() {
                         Ok(resp) => {
@@ -315,6 +515,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared, queue: &BoundedQueue<Job
                         Err(_) => Response::Error {
                             code: ErrorCode::Internal,
                             message: "internal error: worker dropped the job".into(),
+                            retry_after_ms: 0,
                         },
                     },
                     Err(_) => {
@@ -325,15 +526,25 @@ fn serve_connection(stream: TcpStream, shared: &Shared, queue: &BoundedQueue<Job
                                 "overloaded: request queue at capacity {}",
                                 queue.capacity()
                             ),
+                            retry_after_ms: shared.config.overload_retry_after_ms,
                         }
                     }
                 }
             }
         };
+        shared.account(&response);
         if response.write_to(&mut writer).is_err() {
             return;
         }
     }
+}
+
+/// Ops that run on workers (as opposed to inline admin ops).
+fn counting_op(r: &Request) -> bool {
+    matches!(
+        r,
+        Request::Count { .. } | Request::Enumerate { .. } | Request::WidthReport { .. }
+    )
 }
 
 fn plan_error_response(e: PlanError) -> Response {
@@ -344,58 +555,84 @@ fn plan_error_response(e: PlanError) -> Response {
     Response::Error {
         code,
         message: e.to_string(),
+        retry_after_ms: 0,
     }
 }
 
 /// Fetches (or computes and installs) the level-1 plan entry for `q`.
 /// Returns the entry and whether it was a cache hit.
-fn plan_for(shared: &Shared, canonical: &str, q: &ConjunctiveQuery) -> (Arc<PlanEntry>, bool) {
+///
+/// Planning runs under its own budget when `plan_budget_ms` is set,
+/// otherwise it shares `request_budget`. A plan whose decomposition search
+/// was cut short is **degraded**: it is returned for this request but
+/// never cached, so a later request with headroom re-plans from scratch.
+fn plan_for(
+    shared: &Shared,
+    canonical: &str,
+    q: &ConjunctiveQuery,
+    request_budget: &Budget,
+) -> (Arc<PlanEntry>, bool) {
     if let Some(entry) = shared.plans.get(canonical) {
         return (entry, true);
     }
+    let plan_budget = match shared.config.plan_budget_ms {
+        Some(ms) => Budget::with_deadline(Duration::from_millis(ms)),
+        None => request_budget.clone(),
+    };
     let entry = Arc::new(PlanEntry {
-        prepared: prepare_plan(q, shared.config.width_cap),
+        prepared: prepare_plan_budgeted(q, shared.config.width_cap, &plan_budget),
         report: Mutex::new(None),
     });
-    shared
-        .plans
-        .insert(canonical.to_owned(), Arc::clone(&entry));
+    if !entry.prepared.degraded {
+        shared
+            .plans
+            .insert(canonical.to_owned(), Arc::clone(&entry));
+    }
     (entry, false)
 }
 
-fn run_job(shared: &Shared, request: &Request) -> Response {
+fn run_job(shared: &Shared, request: &Request, faults: JobFaults) -> Response {
     match request {
         Request::Count {
             db,
             query,
             budget_ms,
-        } => run_count(shared, db, query, *budget_ms),
+        } => run_count(shared, db, query, *budget_ms, faults),
         Request::Enumerate {
             db,
             query,
             limit,
             budget_ms,
-        } => run_enumerate(shared, db, query, *limit, *budget_ms),
+        } => run_enumerate(shared, db, query, *limit, *budget_ms, faults),
         Request::WidthReport { query, cap } => run_width_report(shared, query, *cap),
         // Admin requests are answered inline by the connection thread.
         _ => Response::Error {
             code: ErrorCode::Internal,
             message: "internal error: admin request reached a worker".into(),
+            retry_after_ms: 0,
         },
     }
 }
 
-fn budget_for(shared: &Shared, budget_ms: u64) -> Budget {
+fn budget_for(shared: &Shared, budget_ms: u64, faults: JobFaults) -> Budget {
     let ms = if budget_ms == 0 {
         shared.config.default_budget_ms
     } else {
         budget_ms
     };
-    if ms == 0 {
+    let budget = if ms == 0 && !faults.cap_trip {
         Budget::unlimited()
+    } else if ms == 0 {
+        Budget::cancellable()
     } else {
         Budget::with_deadline(Duration::from_millis(ms))
+    };
+    if faults.cap_trip {
+        // Simulate a resource cap firing mid-request: the budget trips
+        // before the job starts and the client sees `BudgetExceeded`.
+        budget.cancel();
     }
+    budget
 }
 
 fn lookup_db(shared: &Shared, name: &str) -> Result<Arc<DbState>, Response> {
@@ -408,16 +645,24 @@ fn lookup_db(shared: &Shared, name: &str) -> Result<Arc<DbState>, Response> {
         .ok_or_else(|| Response::Error {
             code: ErrorCode::UnknownDb,
             message: format!("unknown database {name:?}"),
+            retry_after_ms: 0,
         })
 }
 
-fn run_count(shared: &Shared, db_name: &str, query: &str, budget_ms: u64) -> Response {
+fn run_count(
+    shared: &Shared,
+    db_name: &str,
+    query: &str,
+    budget_ms: u64,
+    faults: JobFaults,
+) -> Response {
     let q = match parse_query(query) {
         Ok(q) => q,
         Err(e) => {
             return Response::Error {
                 code: ErrorCode::Parse,
                 message: e.to_string(),
+                retry_after_ms: 0,
             }
         }
     };
@@ -434,15 +679,17 @@ fn run_count(shared: &Shared, db_name: &str, query: &str, budget_ms: u64) -> Res
             value: value.to_string(),
             plan: "cached".into(),
             cached: CacheTier::CountWarm,
+            degraded: false,
             fingerprint: fp.hash,
         };
     }
 
-    // Level 1: the prepared plan.
-    let (entry, plan_hit) = plan_for(shared, &fp.text, &q);
-    let budget = budget_for(shared, budget_ms);
-    match count_prepared(&q, &state.db, &entry.prepared, &budget) {
-        Ok((n, plan)) => {
+    // Level 1: the prepared plan (degraded plans skip the cache).
+    let budget = budget_for(shared, budget_ms, faults);
+    let (entry, plan_hit) = plan_for(shared, &fp.text, &q, &budget);
+    match count_prepared_resilient(&q, &state.db, &entry.prepared, &budget) {
+        Ok((n, plan, degraded)) => {
+            // Exact regardless of degradation, so always cacheable.
             shared.counts.insert(key, n.clone());
             Response::Count {
                 value: n.to_string(),
@@ -460,6 +707,7 @@ fn run_count(shared: &Shared, db_name: &str, query: &str, budget_ms: u64) -> Res
                 } else {
                     CacheTier::Cold
                 },
+                degraded,
                 fingerprint: fp.hash,
             }
         }
@@ -473,6 +721,7 @@ fn run_enumerate(
     query: &str,
     limit: u64,
     budget_ms: u64,
+    faults: JobFaults,
 ) -> Response {
     let q = match parse_query(query) {
         Ok(q) => q,
@@ -480,6 +729,7 @@ fn run_enumerate(
             return Response::Error {
                 code: ErrorCode::Parse,
                 message: e.to_string(),
+                retry_after_ms: 0,
             }
         }
     };
@@ -487,7 +737,7 @@ fn run_enumerate(
         Ok(s) => s,
         Err(resp) => return resp,
     };
-    let budget = budget_for(shared, budget_ms);
+    let budget = budget_for(shared, budget_ms, faults);
     let cap = (limit as usize).min(shared.config.max_enumerate);
     let free: Vec<Var> = q.free().into_iter().collect();
     // Any query decomposes at width = atom count, so enumeration is total.
@@ -520,6 +770,7 @@ fn run_enumerate(
         return Response::Error {
             code: ErrorCode::Plan,
             message: "no decomposition found for enumeration".into(),
+            retry_after_ms: 0,
         };
     }
     Response::Rows { rows, truncated }
@@ -532,6 +783,7 @@ fn run_width_report(shared: &Shared, query: &str, cap: u64) -> Response {
             return Response::Error {
                 code: ErrorCode::Parse,
                 message: e.to_string(),
+                retry_after_ms: 0,
             }
         }
     };
@@ -544,7 +796,10 @@ fn run_width_report(shared: &Shared, query: &str, cap: u64) -> Response {
     // Reports at the default cap share the plan entry's lazy slot; other
     // caps are computed fresh (rare, operator-driven).
     let report = if cap == shared.config.width_cap {
-        let (entry, _) = plan_for(shared, &fp.text, &q);
+        // Width reports are operator-driven and cheap relative to counting;
+        // plan under an unlimited budget so the cached entry is never
+        // degraded.
+        let (entry, _) = plan_for(shared, &fp.text, &q, &Budget::unlimited());
         let mut slot = entry.report.lock().unwrap();
         slot.get_or_insert_with(|| WidthReport::analyze(&q, cap))
             .clone()

@@ -1,0 +1,210 @@
+//! Seeded chaos runs: a real server with fault injection active, a serial
+//! retrying client, and the acceptance bar from the issue — zero wrong
+//! counts (every COUNT succeeds, possibly degraded or retried, or returns
+//! a typed error) and a fault-event sequence that replays exactly under
+//! the same seed.
+
+use cqcount_core::count_brute_force;
+use cqcount_query::{parse_database, parse_program};
+use cqcount_server::faults::{FaultEvent, FaultKind, FaultProfile};
+use cqcount_server::{serve, Client, ClientError, ClientOptions, ServerConfig, ServerHandle};
+
+const FIXTURE: &str = include_str!("../fixtures/example11.cq");
+
+/// The paper's Example 1.1 query Q0 (count 5 on the fixture).
+const Q0: &str = "ans(A, B, C) :- mw(A, B, I), wt(B, D), wi(B, E), pt(C, D), \
+                  st(D, F), st(D, G), rr(G, H), rr(F, H), rr(D, H).";
+
+/// Two cheaper companions so the run is not all cache hits.
+const Q1: &str = "ans(B, D) :- wt(B, D), st(D, F).";
+const Q2: &str = "ans(A) :- mw(A, B, I), wi(B, E).";
+
+/// The chaos mix from the acceptance criteria: short I/O + latency + the
+/// occasional mid-frame disconnect, plus forced worker panics. Probabilities
+/// are tuned so a ~45-request run reliably sees every kind.
+fn chaos_profile() -> FaultProfile {
+    FaultProfile {
+        label: "test-chaos",
+        io_gap: 24,
+        short_weight: 6,
+        latency_weight: 2,
+        disconnect_weight: 1,
+        latency_max_ms: 1,
+        worker_panic_p: 0.10,
+        cap_trip_p: 0.0,
+    }
+}
+
+fn start(profile: FaultProfile, seed: u64) -> ServerHandle {
+    let db = parse_database(FIXTURE).unwrap();
+    serve(
+        ServerConfig {
+            fault_profile: profile,
+            fault_seed: seed,
+            read_timeout_ms: 5_000,
+            write_timeout_ms: 5_000,
+            ..ServerConfig::default()
+        },
+        vec![("main".into(), db)],
+    )
+    .expect("bind loopback")
+}
+
+fn retrying_client(handle: &ServerHandle) -> Client {
+    Client::connect_with(
+        handle.local_addr(),
+        ClientOptions {
+            retries: 8,
+            backoff_base_ms: 2,
+            io_timeout_ms: 5_000,
+            retry_seed: 99,
+            ..ClientOptions::default()
+        },
+    )
+    .expect("connect")
+}
+
+fn expected(query: &str) -> String {
+    let (q, db) = parse_program(&format!("{FIXTURE}\n{query}")).unwrap();
+    count_brute_force(&q.unwrap(), &db).to_string()
+}
+
+/// One scripted serial run: 45 counts cycling three queries, recording a
+/// per-request outcome. Transport errors that survive 8 retries would show
+/// up as panics here — that, too, is the acceptance criterion.
+fn scripted_run(seed: u64) -> (Vec<String>, Vec<FaultEvent>) {
+    let handle = start(chaos_profile(), seed);
+    let mut client = retrying_client(&handle);
+    let answers = [expected(Q0), expected(Q1), expected(Q2)];
+    let mut outcomes = Vec::new();
+    for i in 0..45 {
+        let query = [Q0, Q1, Q2][i % 3];
+        match client.count("main", query, 0) {
+            Ok(reply) => {
+                assert_eq!(
+                    reply.value,
+                    answers[i % 3],
+                    "request {i}: wrong count under chaos (seed {seed})"
+                );
+                outcomes.push(format!("ok:{}", reply.value));
+            }
+            // A typed server error is an acceptable outcome; a transport
+            // error that out-lasted the retry budget is not.
+            Err(ClientError::Server { code, .. }) => outcomes.push(format!("err:{code:?}")),
+            Err(other) => panic!("request {i}: untyped failure under chaos: {other}"),
+        }
+    }
+    let events = handle.fault_events();
+    handle.shutdown();
+    (outcomes, events)
+}
+
+#[test]
+fn chaos_run_produces_zero_wrong_counts_and_replays_exactly() {
+    let (outcomes_a, events_a) = scripted_run(42);
+
+    // The profile actually bit: every acceptance fault kind appeared.
+    let kinds: Vec<FaultKind> = events_a.iter().map(|e| e.kind).collect();
+    assert!(
+        kinds
+            .iter()
+            .any(|k| matches!(k, FaultKind::ShortRead | FaultKind::ShortWrite)),
+        "no short I/O injected: {events_a:?}"
+    );
+    assert!(kinds.contains(&FaultKind::Latency), "no latency injected");
+    assert!(
+        kinds.contains(&FaultKind::WorkerPanic),
+        "no worker panic injected"
+    );
+
+    // Same seed, same script → identical event sequence and outcomes.
+    let (outcomes_b, events_b) = scripted_run(42);
+    assert_eq!(events_a, events_b, "seed 42 must replay exactly");
+    assert_eq!(outcomes_a, outcomes_b);
+
+    // A different seed takes a different path.
+    let (_, events_c) = scripted_run(43);
+    assert_ne!(events_a, events_c, "different seeds should differ");
+}
+
+#[test]
+fn flaky_network_with_retries_matches_the_fault_free_answer() {
+    // The CI chaos-smoke scenario, in-process: flaky-net (network faults
+    // only) against a retrying client gets exactly the clean answers.
+    let handle = start(FaultProfile::flaky_net(), 7);
+    let mut client = retrying_client(&handle);
+    for (query, want) in [(Q0, expected(Q0)), (Q1, expected(Q1)), (Q2, expected(Q2))] {
+        for _ in 0..6 {
+            let reply = client
+                .count("main", query, 0)
+                .unwrap_or_else(|e| panic!("flaky-net must be fully absorbed by retries: {e}"));
+            assert_eq!(reply.value, want);
+            assert!(!reply.degraded, "flaky-net does not degrade plans");
+        }
+    }
+    assert!(handle.faults_injected() > 0, "profile never fired");
+    // Writing the stats reply itself can inject more faults, so the
+    // handle's later reading only ever runs ahead of the snapshot.
+    let stats = client.stats().unwrap();
+    assert!(stats.faults_injected > 0);
+    assert!(handle.faults_injected() >= stats.faults_injected);
+    handle.shutdown();
+}
+
+#[test]
+fn degraded_planning_stays_exact_under_chaos() {
+    // Planning budget tripped on every cold plan *and* the network is
+    // flaky: the degradation ladder and the retry loop compose.
+    let db = parse_database(FIXTURE).unwrap();
+    let handle = serve(
+        ServerConfig {
+            fault_profile: FaultProfile::flaky_net(),
+            fault_seed: 11,
+            plan_budget_ms: Some(0),
+            read_timeout_ms: 5_000,
+            write_timeout_ms: 5_000,
+            ..ServerConfig::default()
+        },
+        vec![("main".into(), db)],
+    )
+    .expect("bind loopback");
+    let mut client = retrying_client(&handle);
+
+    let reply = client.count("main", Q0, 0).expect("retried to success");
+    assert_eq!(reply.value, expected(Q0));
+    assert!(reply.degraded, "planning at 0ms must degrade");
+
+    let stats = client.stats().unwrap();
+    assert!(stats.degraded >= 1);
+    handle.shutdown();
+}
+
+#[test]
+fn forced_cap_trips_surface_as_typed_budget_errors() {
+    let db = parse_database(FIXTURE).unwrap();
+    let handle = serve(
+        ServerConfig {
+            fault_profile: FaultProfile {
+                label: "cap-trips",
+                cap_trip_p: 1.0,
+                ..FaultProfile::off()
+            },
+            fault_seed: 5,
+            ..ServerConfig::default()
+        },
+        vec![("main".into(), db)],
+    )
+    .expect("bind loopback");
+    // No retries: BudgetExceeded is not retryable, the first answer stands.
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    match client.count("main", Q0, 0).unwrap_err() {
+        ClientError::Server { code, .. } => {
+            assert_eq!(code, cqcount_server::ErrorCode::BudgetExceeded)
+        }
+        other => panic!("expected a typed budget error, got {other}"),
+    }
+    let stats = client.stats().unwrap();
+    assert!(stats.budget_exceeded >= 1);
+    assert!(stats.faults_injected >= 1);
+    handle.shutdown();
+}

@@ -160,7 +160,7 @@ fn oversized_brute_force_request_trips_the_budget() {
     let started = std::time::Instant::now();
     let err = c.count("big", &query, 50).unwrap_err();
     match err {
-        ClientError::Server { code, message } => {
+        ClientError::Server { code, message, .. } => {
             assert_eq!(code, ErrorCode::BudgetExceeded, "{message}");
             // The message is the round-trippable PlanError rendering.
             assert!(
@@ -207,12 +207,23 @@ fn full_queue_yields_overloaded_not_buffering() {
         std::thread::sleep(std::time::Duration::from_millis(400));
     }
 
-    // The third concurrent request must be rejected immediately.
+    // The third concurrent request must be rejected immediately, and the
+    // rejection carries the configured backoff hint.
     let mut c3 = connect(&handle);
     let started = std::time::Instant::now();
     let err = c3.count("big", &query, 1500).unwrap_err();
     match err {
-        ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::Overloaded),
+        ClientError::Server {
+            code,
+            retry_after_ms,
+            ..
+        } => {
+            assert_eq!(code, ErrorCode::Overloaded);
+            assert_eq!(
+                retry_after_ms,
+                ServerConfig::default().overload_retry_after_ms
+            );
+        }
         other => panic!("expected overload, got {other:?}"),
     }
     assert!(started.elapsed() < std::time::Duration::from_millis(500));
@@ -227,6 +238,87 @@ fn full_queue_yields_overloaded_not_buffering() {
     assert!(admin.stats().unwrap().overloaded >= 1);
 
     handle.shutdown();
+}
+
+#[test]
+fn planning_budget_exhaustion_degrades_instead_of_erroring() {
+    // `plan_budget_ms: Some(0)` trips the planning budget deterministically,
+    // so every cold count exercises the degradation ladder. The fixture
+    // query is cyclic with existential variables, so the ladder bottoms out
+    // in budgeted brute force — still exact, flagged `degraded`.
+    let handle = start(ServerConfig {
+        plan_budget_ms: Some(0),
+        ..ServerConfig::default()
+    });
+    let mut c = connect(&handle);
+
+    let (q, db) = parse_program(&format!("{FIXTURE}\n{Q0}")).unwrap();
+    let expected = count_brute_force(&q.unwrap(), &db).to_string();
+
+    let reply = c.count("main", Q0, 0).unwrap();
+    assert_eq!(reply.value, expected, "degraded counts stay exact");
+    assert!(reply.degraded);
+    assert_eq!(reply.plan, "brute-force");
+
+    // Degraded plans are not cached — but the exact *count* is, and a
+    // count-cache hit is not degraded service.
+    let warm = c.count("main", Q0, 0).unwrap();
+    assert_eq!(warm.cached, CacheTier::CountWarm);
+    assert!(!warm.degraded);
+
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.degraded, 1);
+    assert_eq!(stats.plan_hits, 0, "degraded plans must not warm the cache");
+
+    handle.shutdown();
+}
+
+#[test]
+fn idle_connections_are_reaped_by_the_read_deadline() {
+    let handle = start(ServerConfig {
+        read_timeout_ms: 100,
+        ..ServerConfig::default()
+    });
+
+    // An idle client: connects, says nothing past the deadline.
+    let idle = std::net::TcpStream::connect(handle.local_addr()).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(400));
+
+    // The server reaped it without replying; the socket observes EOF.
+    let mut probe = idle;
+    probe
+        .set_read_timeout(Some(std::time::Duration::from_millis(500)))
+        .unwrap();
+    let mut buf = [0u8; 1];
+    use std::io::Read as _;
+    assert_eq!(probe.read(&mut buf).unwrap_or(0), 0, "expected EOF");
+
+    // A live client on the same server is unaffected (it talks promptly).
+    let mut c = connect(&handle);
+    assert!(c.count("main", Q0, 0).is_ok());
+    assert!(c.stats().unwrap().reaped >= 1);
+
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_is_prompt_and_drop_is_idempotent() {
+    let handle = start(ServerConfig::default());
+    let addr = handle.local_addr();
+    let mut c = connect(&handle);
+    c.count("main", Q0, 0).unwrap();
+
+    let started = std::time::Instant::now();
+    handle.shutdown();
+    // The poll-based accept loop notices the stop flag without needing a
+    // wake-up connection; well under a second even with nobody dialing in.
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(2),
+        "shutdown took {:?}",
+        started.elapsed()
+    );
+    // The listener is really gone.
+    assert!(Client::connect(addr).is_err());
 }
 
 #[test]
@@ -261,7 +353,7 @@ fn width_report_and_error_paths() {
 
     // Parse errors carry the round-trippable ParseError rendering.
     match c.count("main", "ans(X :- r(X).", 0).unwrap_err() {
-        ClientError::Server { code, message } => {
+        ClientError::Server { code, message, .. } => {
             assert_eq!(code, ErrorCode::Parse);
             assert!(
                 message.parse::<cqcount_query::parser::ParseError>().is_ok(),

@@ -1,0 +1,156 @@
+//! Table-driven robustness tests for the wire format: every prefix of a
+//! valid COUNT frame and every length-field corruption must decode to a
+//! clean error (or a clean partial-read), never a panic or an unbounded
+//! allocation.
+
+use cqcount_server::protocol::{read_frame, Frame, Request, Response, MAGIC, MAX_PAYLOAD, VERSION};
+use std::io::Cursor;
+
+/// A canonical COUNT frame as raw bytes.
+fn count_frame_bytes() -> Vec<u8> {
+    let req = Request::Count {
+        db: "main".into(),
+        query: "ans(X, Y) :- r(X, Y), s(Y, Z).".into(),
+        budget_ms: 250,
+    };
+    let mut bytes = Vec::new();
+    req.write_to(&mut bytes).unwrap();
+    bytes
+}
+
+/// Parses a byte string as a frame stream: the outcome the server-side
+/// read loop would observe. Must never panic.
+fn parse(bytes: &[u8]) -> Result<Option<Frame>, String> {
+    let mut cur = Cursor::new(bytes);
+    read_frame(&mut cur).map_err(|e| e.to_string())
+}
+
+/// Byte offset where the ULEB payload length starts: magic (2) +
+/// version (1) + opcode (1).
+const LEN_OFFSET: usize = 4;
+
+#[test]
+fn every_prefix_of_a_valid_count_frame_is_handled_cleanly() {
+    let frame = count_frame_bytes();
+    assert!(frame.len() > LEN_OFFSET + 1, "fixture frame too small");
+    for cut in 0..frame.len() {
+        let prefix = &frame[..cut];
+        match parse(prefix) {
+            // EOF before any byte: the clean-close case.
+            Ok(None) => assert_eq!(cut, 0, "only the empty prefix is a clean close"),
+            // A full frame can only appear at full length.
+            Ok(Some(_)) => panic!("prefix of {cut} bytes parsed as a whole frame"),
+            // Mid-frame truncation: a clean error, by construction of the
+            // length-prefixed format.
+            Err(msg) => assert!(!msg.is_empty(), "cut={cut}"),
+        }
+    }
+    // And the uncut frame round-trips.
+    let whole = parse(&frame).unwrap().expect("whole frame parses");
+    assert!(Request::decode(&whole).is_ok());
+}
+
+#[test]
+fn every_single_byte_corruption_is_handled_cleanly() {
+    let frame = count_frame_bytes();
+    for i in 0..frame.len() {
+        for value in [0x00, 0x01, 0x7f, 0x80, 0xff] {
+            let mut mutated = frame.clone();
+            if mutated[i] == value {
+                continue;
+            }
+            mutated[i] = value;
+            // Whatever happens, it happens cleanly: either a read error, a
+            // decode error, or a (different) frame that decodes.
+            if let Ok(Some(f)) = parse(&mutated) {
+                let _ = Request::decode(&f);
+                let _ = Response::decode(&f);
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupt_magic_and_version_are_rejected() {
+    let frame = count_frame_bytes();
+    for (i, expect) in [(0usize, "magic"), (1, "magic"), (2, "version")] {
+        let mut mutated = frame.clone();
+        mutated[i] ^= 0xff;
+        let err = parse(&mutated).expect_err("corrupt header must error");
+        assert!(
+            err.contains(expect),
+            "byte {i}: expected an error about {expect}, got {err:?}"
+        );
+    }
+    assert_eq!(&frame[..2], &MAGIC, "fixture layout drifted");
+    assert_eq!(frame[2], VERSION, "fixture layout drifted");
+}
+
+#[test]
+fn length_field_corruptions_never_panic_or_overallocate() {
+    let frame = count_frame_bytes();
+    let (header, _) = frame.split_at(LEN_OFFSET);
+    // Reconstruct the payload by parsing the valid frame once.
+    let valid = parse(&frame).unwrap().unwrap();
+    let payload = valid.payload;
+
+    let rebuild = |len_bytes: &[u8]| -> Vec<u8> {
+        let mut f = header.to_vec();
+        f.extend_from_slice(len_bytes);
+        f.extend_from_slice(&payload);
+        f
+    };
+
+    // A helper ULEB encoder for arbitrary declared lengths.
+    let uleb = |mut v: u64| -> Vec<u8> {
+        let mut out = Vec::new();
+        loop {
+            let b = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                out.push(b);
+                break;
+            }
+            out.push(b | 0x80);
+        }
+        out
+    };
+
+    // Declared length over the cap: rejected before the payload buffer is
+    // allocated (this test would OOM otherwise).
+    for over in [MAX_PAYLOAD as u64 + 1, u64::MAX / 2, u64::MAX] {
+        let err = parse(&rebuild(&uleb(over))).expect_err("oversized length must error");
+        assert!(
+            err.contains("exceeds cap") || err.contains("overflow"),
+            "{err:?}"
+        );
+    }
+
+    // A varint that never terminates within 64 bits.
+    let runaway = vec![0x80u8; 11];
+    let err = parse(&rebuild(&runaway)).expect_err("runaway varint must error");
+    assert!(err.contains("overflow"), "{err:?}");
+
+    // Declared length longer than the actual payload: truncated read.
+    let err =
+        parse(&rebuild(&uleb(payload.len() as u64 + 17))).expect_err("short payload must error");
+    assert!(!err.is_empty());
+
+    // Declared length shorter than the actual payload: the frame parses
+    // with a truncated body, and the decoder reports it cleanly.
+    for shorter in [0u64, 1, payload.len() as u64 / 2] {
+        if let Ok(Some(f)) = parse(&rebuild(&uleb(shorter))) {
+            assert!(
+                Request::decode(&f).is_err(),
+                "a truncated COUNT body must not decode (declared {shorter})"
+            );
+        }
+    }
+
+    // Rebuilding with the true length still round-trips (the helpers are
+    // not the thing under test).
+    let f = parse(&rebuild(&uleb(payload.len() as u64)))
+        .unwrap()
+        .unwrap();
+    assert!(Request::decode(&f).is_ok());
+}

@@ -1,0 +1,199 @@
+//! Seeded byte-mutation fuzzing of the wire format: `read_frame` plus both
+//! decoders must never panic and never allocate past the protocol size
+//! caps, whatever bytes arrive. Runs 10k mutations by default and 200k
+//! under `--features exhaustive-tests`.
+//!
+//! The whole file is one `#[test]` on purpose: the counting allocator
+//! below is process-global, and a sibling test running concurrently would
+//! pollute the per-frame peak measurement.
+
+use cqcount_server::protocol::{read_frame, Request, Response, MAX_PAYLOAD};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::Cursor;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Tracks live bytes and the high-water mark since the last reset.
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn on_alloc(size: usize) {
+    let now = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(now, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        on_alloc(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size > layout.size() {
+            on_alloc(new_size - layout.size());
+        } else {
+            LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// A small splitmix-style generator local to the harness so the corpus is
+/// reproducible without depending on test ordering.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Valid frames of every shape the protocol speaks, as mutation seeds.
+fn corpus() -> Vec<Vec<u8>> {
+    let requests = [
+        Request::Count {
+            db: "main".into(),
+            query: "ans(X, Y) :- r(X, Y), s(Y, Z).".into(),
+            budget_ms: 250,
+        },
+        Request::Enumerate {
+            db: "main".into(),
+            query: "ans(X) :- r(X, Y).".into(),
+            limit: 100,
+            budget_ms: 0,
+        },
+        Request::WidthReport {
+            query: "ans(X) :- r(X, Y), s(Y, X).".into(),
+            cap: 3,
+        },
+        Request::Stats,
+        Request::Reload {
+            db: "aux".into(),
+            text: "r(a, b). r(b, c). s(c, d).".into(),
+        },
+        Request::Flush,
+    ];
+    let responses = [
+        Response::Count {
+            value: "123456789012345678901234567890".into(),
+            plan: "sharp-pipeline(width=2)".into(),
+            cached: cqcount_server::protocol::CacheTier::Cold,
+            degraded: true,
+            fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+        },
+        Response::Rows {
+            rows: vec![vec!["a".into(), "b".into()], vec!["c".into(), "d".into()]],
+            truncated: true,
+        },
+        Response::Error {
+            code: cqcount_server::protocol::ErrorCode::Overloaded,
+            message: "overloaded: request queue at capacity 64".into(),
+            retry_after_ms: 100,
+        },
+    ];
+    let mut corpus = Vec::new();
+    for r in &requests {
+        let mut b = Vec::new();
+        r.write_to(&mut b).unwrap();
+        corpus.push(b);
+    }
+    for r in &responses {
+        let mut b = Vec::new();
+        r.write_to(&mut b).unwrap();
+        corpus.push(b);
+    }
+    corpus
+}
+
+/// Applies 1–4 seeded mutations: overwrite, truncate, insert, or append.
+fn mutate(bytes: &mut Vec<u8>, rng: &mut Mix) {
+    for _ in 0..(1 + rng.below(4)) {
+        match rng.below(4) {
+            0 if !bytes.is_empty() => {
+                let i = rng.below(bytes.len());
+                bytes[i] = rng.next() as u8;
+            }
+            1 if !bytes.is_empty() => {
+                let keep = rng.below(bytes.len());
+                bytes.truncate(keep);
+            }
+            2 => {
+                let i = rng.below(bytes.len() + 1);
+                bytes.insert(i, rng.next() as u8);
+            }
+            _ => {
+                for _ in 0..rng.below(16) {
+                    bytes.push(rng.next() as u8);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_mutations_never_panic_and_allocation_stays_capped() {
+    let iterations: usize = if cfg!(feature = "exhaustive-tests") {
+        200_000
+    } else {
+        10_000
+    };
+    // Per-frame allocation ceiling: the frame reader may allocate one
+    // payload buffer (≤ MAX_PAYLOAD, checked before the allocation) and
+    // the decoders build strings/rows out of it; anything beyond a small
+    // multiple of the cap means a length field escaped validation.
+    let ceiling = 2 * MAX_PAYLOAD + (1 << 16);
+
+    let corpus = corpus();
+    let mut rng = Mix(0xC0FF_EE00_5EED_u64);
+    let mut parsed = 0usize;
+    let mut worst_peak = 0usize;
+    for i in 0..iterations {
+        let mut bytes = corpus[i % corpus.len()].clone();
+        mutate(&mut bytes, &mut rng);
+
+        let before = LIVE.load(Ordering::Relaxed);
+        PEAK.store(before, Ordering::Relaxed);
+
+        let mut cur = Cursor::new(bytes.as_slice());
+        // Drain the stream as the server's read loop would; any panic in
+        // here fails the test.
+        while let Ok(Some(frame)) = read_frame(&mut cur) {
+            let _ = Request::decode(&frame);
+            let _ = Response::decode(&frame);
+            parsed += 1;
+        }
+        drop(bytes);
+
+        let peak = PEAK.load(Ordering::Relaxed).saturating_sub(before);
+        worst_peak = worst_peak.max(peak);
+        assert!(
+            peak <= ceiling,
+            "iteration {i}: per-frame peak allocation {peak} exceeds cap {ceiling}"
+        );
+    }
+    // The harness is only meaningful if some mutants still parse.
+    assert!(
+        parsed > iterations / 100,
+        "mutation too destructive: only {parsed} frames parsed"
+    );
+    eprintln!(
+        "fuzz: {iterations} mutations, {parsed} frames parsed, worst per-frame peak {worst_peak} bytes"
+    );
+}
