@@ -190,6 +190,7 @@ pub fn prepare_plan_budgeted(
     width_cap: usize,
     budget: &Budget,
 ) -> PreparedPlan {
+    let sp = cqcount_obs::trace::span("plan.decompose");
     let mut degraded = false;
     let mut sharp = None;
     for k in 1..=width_cap {
@@ -197,9 +198,21 @@ pub fn prepare_plan_budgeted(
             degraded = true;
             break;
         }
+        if sp.is_armed() {
+            sp.add("widths_tried", 1);
+        }
         if let Some(sd) = sharp_hypertree_decomposition(q, k) {
             sharp = Some(sd);
             break;
+        }
+    }
+    if sp.is_armed() {
+        match &sharp {
+            Some(sd) => {
+                sp.add("width", sd.width as u64);
+                sp.tag("outcome", "found");
+            }
+            None => sp.tag("outcome", if degraded { "cut-short" } else { "absent" }),
         }
     }
     PreparedPlan {
@@ -226,6 +239,10 @@ pub fn count_prepared_resilient(
 ) -> Result<(Natural, Plan, bool), PlanError> {
     budget.check()?;
     if let Some(sd) = &plan.sharp {
+        let sp = cqcount_obs::trace::span("count.sharp");
+        if sp.is_armed() {
+            sp.add("width", sd.width as u64);
+        }
         let n = count_with_decomposition(&sd.qprime, db, &sd.hypertree);
         budget.check()?;
         return Ok((n, Plan::SharpPipeline { width: sd.width }, false));
@@ -233,8 +250,13 @@ pub fn count_prepared_resilient(
     // On a degraded plan the width search was cut short; the hybrid
     // search is strictly more work, so go straight down the ladder.
     if !plan.degraded && q.existential().len() < HYBRID_EXISTENTIAL_LIMIT {
+        let sp = cqcount_obs::trace::span("count.hybrid");
         if let Some((n, hd)) = count_hybrid(q, db, plan.width_cap, plan.degree_cap) {
             budget.check()?;
+            if sp.is_armed() {
+                sp.add("width", hd.sharp.width as u64);
+                sp.add("bound", hd.bound as u64);
+            }
             let promoted = hd
                 .sbar
                 .iter()
@@ -257,6 +279,10 @@ pub fn count_prepared_resilient(
     // search needed. (Only a degradation rung — on a non-degraded plan a
     // missing sharp decomposition means the planner *decided* on brute.)
     if plan.degraded && q.existential().is_empty() {
+        let sp = cqcount_obs::trace::span("count.acyclic");
+        if sp.is_armed() {
+            sp.add("atoms", q.atoms().len() as u64);
+        }
         let views: Vec<cqcount_relational::Bindings> = q
             .atoms()
             .iter()
@@ -274,7 +300,10 @@ pub fn count_prepared_resilient(
         }
     }
     // Ladder rung 2: budgeted enumeration.
-    let n = count_brute_force_budgeted(q, db, budget)?;
+    let n = {
+        let _sp = cqcount_obs::trace::span("count.brute");
+        count_brute_force_budgeted(q, db, budget)?
+    };
     let reason = if plan.degraded {
         format!(
             "degraded: decomposition search cut short by its budget (cap {})",

@@ -28,9 +28,10 @@
 mod pool;
 pub mod queue;
 
-pub use pool::Pool;
+pub use pool::{Pool, PoolStats};
 pub use queue::BoundedQueue;
 
+use cqcount_obs as obs;
 use std::sync::{Mutex, OnceLock};
 
 /// Resolves the default worker count: `CQCOUNT_THREADS` if set and ≥ 1,
@@ -128,6 +129,16 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
     let blocks = items.len().div_ceil(block_len);
     let slots: Vec<Mutex<Vec<R>>> = (0..blocks).map(|_| Mutex::new(Vec::new())).collect();
     let f = &f;
+    // Capture the submitting thread's span so block tasks executing on
+    // pool workers attribute their queue-wait and run time to the request
+    // that spawned them. `SpanId::NONE` (tracing off / no active span)
+    // makes the per-task span a no-op.
+    let parent = obs::trace::current();
+    let submitted_ns = if parent.is_none() {
+        0
+    } else {
+        obs::trace::now_ns()
+    };
     let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
         .iter()
         .enumerate()
@@ -135,6 +146,11 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
             let start = b * block_len;
             let end = ((b + 1) * block_len).min(items.len());
             Box::new(move || {
+                let sp = obs::trace::span_under(parent, "exec.task");
+                if sp.is_armed() {
+                    sp.add("wait_ns", obs::trace::now_ns().saturating_sub(submitted_ns));
+                    sp.add("items", (end - start) as u64);
+                }
                 let out: Vec<R> = items[start..end].iter().map(f).collect();
                 *slot.lock().unwrap() = out;
             }) as _
@@ -169,6 +185,12 @@ pub fn par_chunks<T: Sync, R: Send>(
     let chunks = items.len().div_ceil(chunk_len);
     let slots: Vec<Mutex<Option<R>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
     let f = &f;
+    let parent = obs::trace::current();
+    let submitted_ns = if parent.is_none() {
+        0
+    } else {
+        obs::trace::now_ns()
+    };
     let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
         .iter()
         .enumerate()
@@ -176,6 +198,11 @@ pub fn par_chunks<T: Sync, R: Send>(
             let start = c * chunk_len;
             let end = ((c + 1) * chunk_len).min(items.len());
             Box::new(move || {
+                let sp = obs::trace::span_under(parent, "exec.task");
+                if sp.is_armed() {
+                    sp.add("wait_ns", obs::trace::now_ns().saturating_sub(submitted_ns));
+                    sp.add("items", (end - start) as u64);
+                }
                 *slot.lock().unwrap() = Some(f(start, &items[start..end]));
             }) as _
         })

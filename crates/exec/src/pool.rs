@@ -79,6 +79,15 @@ struct Shared {
     steal_hint: AtomicUsize,
     /// Tasks that panicked instead of completing, across all scopes.
     panics: AtomicU64,
+    /// Tasks handed to the pool over its lifetime (inline mode included).
+    spawned: AtomicU64,
+    /// Tasks that ran to completion without panicking.
+    completed: AtomicU64,
+    /// Tasks taken from another worker's deque.
+    steals: AtomicU64,
+    /// High-water mark of any single queue (injector or deque) observed at
+    /// submission time.
+    max_queue_depth: AtomicU64,
 }
 
 impl Shared {
@@ -98,12 +107,31 @@ impl Shared {
                     continue;
                 }
                 if let Some(t) = self.deques[victim].lock().unwrap().pop_front() {
+                    // Taking from a deque we don't own is a steal; `own ==
+                    // None` is the scope owner helping, which steals too.
+                    self.steals.fetch_add(1, Ordering::Relaxed);
                     return Some(t);
                 }
             }
         }
         self.injector.lock().unwrap().pop_front()
     }
+}
+
+/// A snapshot of a pool's lifetime scheduling counters, from
+/// [`Pool::stats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Tasks handed to the pool (inline mode included).
+    pub spawned: u64,
+    /// Tasks that ran to completion without panicking.
+    pub completed: u64,
+    /// Tasks that panicked (contained by the scope's catch_unwind).
+    pub panicked: u64,
+    /// Tasks a lane took from another worker's deque.
+    pub steals: u64,
+    /// High-water mark of any single queue at submission time.
+    pub max_queue_depth: u64,
 }
 
 thread_local! {
@@ -136,6 +164,10 @@ impl Pool {
             shutdown: AtomicBool::new(false),
             steal_hint: AtomicUsize::new(0),
             panics: AtomicU64::new(0),
+            spawned: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -165,6 +197,18 @@ impl Pool {
         self.shared.panics.load(Ordering::Relaxed)
     }
 
+    /// Lifetime scheduling counters for this pool. `spawned` always equals
+    /// `completed + panicked` once every scope has returned.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            spawned: self.shared.spawned.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            panicked: self.shared.panics.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            max_queue_depth: self.shared.max_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+
     /// Runs `tasks` to completion. Tasks may borrow from the caller's
     /// frame: this function does not return until every task has run, and
     /// the calling thread helps execute queued tasks while it waits.
@@ -181,12 +225,17 @@ impl Pool {
         if tasks.is_empty() {
             return;
         }
+        self.shared
+            .spawned
+            .fetch_add(tasks.len() as u64, Ordering::Relaxed);
         if self.threads == 1 {
             let mut first_panic: Option<PanicPayload> = None;
             for t in tasks {
                 if let Err(payload) = catch_unwind(AssertUnwindSafe(t)) {
                     self.shared.panics.fetch_add(1, Ordering::Relaxed);
                     first_panic.get_or_insert(payload);
+                } else {
+                    self.shared.completed.fetch_add(1, Ordering::Relaxed);
                 }
             }
             if let Some(payload) = first_panic {
@@ -216,6 +265,8 @@ impl Pool {
                         if let Err(payload) = catch_unwind(AssertUnwindSafe(t)) {
                             shared.panics.fetch_add(1, Ordering::Relaxed);
                             first_panic.lock().unwrap().get_or_insert(payload);
+                        } else {
+                            shared.completed.fetch_add(1, Ordering::Relaxed);
                         }
                         latch.count_down();
                     });
@@ -227,13 +278,24 @@ impl Pool {
                     }
                 })
                 .collect();
-            match me {
+            let depth = match me {
                 // Nested submission from a worker: feed its own deque so
                 // idle siblings can steal from the front while the worker
                 // chews the back.
-                Some(idx) => self.shared.deques[idx].lock().unwrap().extend(erased),
-                None => self.shared.injector.lock().unwrap().extend(erased),
-            }
+                Some(idx) => {
+                    let mut dq = self.shared.deques[idx].lock().unwrap();
+                    dq.extend(erased);
+                    dq.len()
+                }
+                None => {
+                    let mut inj = self.shared.injector.lock().unwrap();
+                    inj.extend(erased);
+                    inj.len()
+                }
+            };
+            self.shared
+                .max_queue_depth
+                .fetch_max(depth as u64, Ordering::Relaxed);
             self.shared.wake.notify_all();
         }
         // Help until everything in this scope has completed.
@@ -388,6 +450,89 @@ mod tests {
             .collect();
         pool.run_scoped(again);
         assert_eq!(done.load(Ordering::SeqCst), 23);
+    }
+
+    #[test]
+    fn stats_reflects_spawned_completed_and_panicked_tasks() {
+        let pool = Pool::new(4);
+        // A clean scope first: everything spawned completes.
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..32).map(|_| Box::new(|| ()) as _).collect();
+        pool.run_scoped(tasks);
+        let s = pool.stats();
+        assert_eq!(s.spawned, 32);
+        assert_eq!(s.completed, 32);
+        assert_eq!(s.panicked, 0);
+        assert!(s.max_queue_depth > 0, "submission filled a queue");
+
+        // Now a scope where 3 of 16 tasks panic (the catch_unwind path):
+        // the panics must surface in stats(), and the ledger must balance.
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..16)
+            .map(|i| {
+                Box::new(move || {
+                    if i % 5 == 0 {
+                        panic!("injected");
+                    }
+                }) as _
+            })
+            .collect();
+        assert!(catch_unwind(AssertUnwindSafe(|| pool.run_scoped(tasks))).is_err());
+        let s = pool.stats();
+        assert_eq!(s.spawned, 48);
+        assert_eq!(s.panicked, 4, "tasks 0, 5, 10, 15 panicked");
+        assert_eq!(s.completed, 44);
+        assert_eq!(s.spawned, s.completed + s.panicked);
+        assert_eq!(s.panicked, pool.panics(), "stats() mirrors panics()");
+    }
+
+    #[test]
+    fn taking_from_a_sibling_deque_counts_as_a_steal() {
+        // Exercise find_task directly on a hand-built Shared (no live
+        // workers to race with): scheduling on a loaded single-core host
+        // makes pool-level steal timing unreliable, but the accounting
+        // semantics are deterministic.
+        let shared = Shared {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..2).map(|_| Mutex::new(VecDeque::new())).collect(),
+            wake: Condvar::new(),
+            sleep_lock: Mutex::new(()),
+            shutdown: AtomicBool::new(false),
+            steal_hint: AtomicUsize::new(0),
+            panics: AtomicU64::new(0),
+            spawned: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
+        };
+        let plant = |idx: usize| {
+            shared.deques[idx]
+                .lock()
+                .unwrap()
+                .push_back(Box::new(|| ()) as Task);
+        };
+
+        // Popping your own deque is not a steal.
+        plant(0);
+        assert!(shared.find_task(Some(0)).is_some());
+        assert_eq!(shared.steals.load(Ordering::Relaxed), 0);
+
+        // Worker 1 taking worker 0's task is.
+        plant(0);
+        assert!(shared.find_task(Some(1)).is_some());
+        assert_eq!(shared.steals.load(Ordering::Relaxed), 1);
+
+        // The scope owner (no deque of its own) stealing counts too.
+        plant(1);
+        assert!(shared.find_task(None).is_some());
+        assert_eq!(shared.steals.load(Ordering::Relaxed), 2);
+
+        // Draining the injector is not a steal.
+        shared
+            .injector
+            .lock()
+            .unwrap()
+            .push_back(Box::new(|| ()) as Task);
+        assert!(shared.find_task(None).is_some());
+        assert_eq!(shared.steals.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! A small metrics registry: counters, gauges, and fixed-bucket
+//! histograms with Prometheus-style text exposition.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc` clones
+//! over atomics; updating them never takes the registry lock and never
+//! allocates. The registry lock is only taken at registration time and
+//! when rendering ([`Registry::render`]).
+//!
+//! Histograms use fixed bucket boundaries chosen at registration:
+//! `observe` is a binary search over the boundary slice plus three relaxed
+//! atomic RMWs, and p50/p95/p99 are *estimated at read time* as the upper
+//! bound of the bucket containing the target rank — the standard
+//! cumulative-bucket quantile, no per-sample storage.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonic counter.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry (stand-alone bookkeeping
+    /// that can later be wired in, or unit-test use).
+    pub fn detached() -> Counter {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins gauge (also supports max-accumulation for high-water
+/// marks).
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    pub fn detached() -> Gauge {
+        Gauge(Arc::new(AtomicU64::new(0)))
+    }
+
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if it is below it (high-water mark).
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Upper bounds of the finite buckets, strictly increasing. An
+    /// implicit +Inf bucket follows.
+    bounds: Box<[u64]>,
+    /// `bounds.len() + 1` slots; the last is the +Inf overflow bucket.
+    counts: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// Fixed-bucket histogram. `observe` never allocates.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+/// A point-in-time copy of a histogram's state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; `counts.len() == bounds.len() + 1` (last is +Inf).
+    pub counts: Vec<u64>,
+    pub sum: u64,
+    pub count: u64,
+}
+
+impl Histogram {
+    /// A histogram not attached to any registry. `bounds` must be strictly
+    /// increasing (checked).
+    pub fn detached(bounds: &[u64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramCore {
+            bounds: bounds.into(),
+            counts,
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+
+    /// Record one sample. Values above the last bound land in the +Inf
+    /// overflow bucket.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let idx = self.0.bounds.partition_point(|&b| b < v);
+        self.0.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the
+    /// bucket containing the target rank. Returns `None` when empty;
+    /// `u64::MAX` when the rank falls in the +Inf overflow bucket.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let snap = self.snapshot();
+        if snap.count == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * snap.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in snap.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(snap.bounds.get(i).copied().unwrap_or(u64::MAX));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Copy out the current state. Bucket counts are read individually
+    /// (relaxed), so a snapshot taken during concurrent recording may be
+    /// mid-update; quiesce first for exact comparisons.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.0.bounds.to_vec(),
+            counts: self
+                .0
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.0.sum.load(Ordering::Relaxed),
+            count: self.0.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+enum Kind {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Entry {
+    name: &'static str,
+    help: &'static str,
+    /// Optional single `key="value"` label pair.
+    label: Option<(&'static str, String)>,
+    kind: Kind,
+}
+
+/// A named collection of metrics rendered in Prometheus text exposition
+/// format. Registration is idempotent: asking for the same
+/// (name, label) again returns a handle to the same underlying metric.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn find(&self, name: &str, label: Option<(&str, &str)>) -> Option<Kind> {
+        let entries = self.entries.lock().unwrap();
+        entries
+            .iter()
+            .find(|e| e.name == name && e.label.as_ref().map(|(k, v)| (*k, v.as_str())) == label)
+            .map(|e| match &e.kind {
+                Kind::Counter(c) => Kind::Counter(c.clone()),
+                Kind::Gauge(g) => Kind::Gauge(g.clone()),
+                Kind::Histogram(h) => Kind::Histogram(h.clone()),
+            })
+    }
+
+    /// Get or register an unlabeled counter.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Counter {
+        self.counter_labeled_opt(name, help, None)
+    }
+
+    /// Get or register a counter carrying one `key="value"` label.
+    pub fn counter_labeled(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        key: &'static str,
+        value: &str,
+    ) -> Counter {
+        self.counter_labeled_opt(name, help, Some((key, value)))
+    }
+
+    fn counter_labeled_opt(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        label: Option<(&'static str, &str)>,
+    ) -> Counter {
+        if let Some(Kind::Counter(c)) = self.find(name, label) {
+            return c;
+        }
+        let c = Counter::detached();
+        self.entries.lock().unwrap().push(Entry {
+            name,
+            help,
+            label: label.map(|(k, v)| (k, v.to_string())),
+            kind: Kind::Counter(c.clone()),
+        });
+        c
+    }
+
+    /// Get or register an unlabeled gauge.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Gauge {
+        if let Some(Kind::Gauge(g)) = self.find(name, None) {
+            return g;
+        }
+        let g = Gauge::detached();
+        self.entries.lock().unwrap().push(Entry {
+            name,
+            help,
+            label: None,
+            kind: Kind::Gauge(g.clone()),
+        });
+        g
+    }
+
+    /// Get or register a histogram with the given finite bucket bounds.
+    pub fn histogram(&self, name: &'static str, help: &'static str, bounds: &[u64]) -> Histogram {
+        if let Some(Kind::Histogram(h)) = self.find(name, None) {
+            return h;
+        }
+        let h = Histogram::detached(bounds);
+        self.entries.lock().unwrap().push(Entry {
+            name,
+            help,
+            label: None,
+            kind: Kind::Histogram(h.clone()),
+        });
+        h
+    }
+
+    /// Render every metric in Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let entries = self.entries.lock().unwrap();
+        let mut out = String::new();
+        let mut headered: Vec<&str> = Vec::new();
+        for e in entries.iter() {
+            if !headered.contains(&e.name) {
+                headered.push(e.name);
+                let ty = match e.kind {
+                    Kind::Counter(_) => "counter",
+                    Kind::Gauge(_) => "gauge",
+                    Kind::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                let _ = writeln!(out, "# TYPE {} {}", e.name, ty);
+            }
+            let label = match &e.label {
+                Some((k, v)) => format!("{{{}=\"{}\"}}", k, v),
+                None => String::new(),
+            };
+            match &e.kind {
+                Kind::Counter(c) => {
+                    let _ = writeln!(out, "{}{} {}", e.name, label, c.get());
+                }
+                Kind::Gauge(g) => {
+                    let _ = writeln!(out, "{}{} {}", e.name, label, g.get());
+                }
+                Kind::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let mut cum = 0u64;
+                    for (i, &c) in snap.counts.iter().enumerate() {
+                        cum += c;
+                        let le = snap
+                            .bounds
+                            .get(i)
+                            .map(|b| b.to_string())
+                            .unwrap_or_else(|| "+Inf".to_string());
+                        let _ = writeln!(out, "{}_bucket{{le=\"{}\"}} {}", e.name, le, cum);
+                    }
+                    let _ = writeln!(out, "{}_sum {}", e.name, snap.sum);
+                    let _ = writeln!(out, "{}_count {}", e.name, snap.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once_and_share_state() {
+        let reg = Registry::new();
+        let a = reg.counter("cq_test_total", "a test counter");
+        let b = reg.counter("cq_test_total", "a test counter");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+
+        let l1 = reg.counter_labeled("cq_ops_total", "ops", "op", "count");
+        let l2 = reg.counter_labeled("cq_ops_total", "ops", "op", "stats");
+        l1.add(5);
+        l2.inc();
+        assert_eq!(l1.get(), 5);
+        assert_eq!(l2.get(), 1);
+
+        let g = reg.gauge("cq_depth", "queue depth");
+        g.set(7);
+        g.record_max(3);
+        assert_eq!(g.get(), 7);
+        g.record_max(11);
+        assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn render_emits_prometheus_text() {
+        let reg = Registry::new();
+        reg.counter_labeled("cq_ops_total", "ops by opcode", "op", "count")
+            .add(4);
+        reg.counter_labeled("cq_ops_total", "ops by opcode", "op", "stats")
+            .inc();
+        reg.gauge("cq_depth", "queue depth").set(2);
+        let h = reg.histogram("cq_lat_us", "latency", &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(5000);
+
+        let text = reg.render();
+        assert!(text.contains("# TYPE cq_ops_total counter"));
+        assert!(text.contains("cq_ops_total{op=\"count\"} 4"));
+        assert!(text.contains("cq_ops_total{op=\"stats\"} 1"));
+        assert!(text.contains("# TYPE cq_depth gauge"));
+        assert!(text.contains("cq_depth 2"));
+        assert!(text.contains("cq_lat_us_bucket{le=\"10\"} 1"));
+        assert!(text.contains("cq_lat_us_bucket{le=\"100\"} 2"));
+        assert!(text.contains("cq_lat_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("cq_lat_us_sum 5055"));
+        assert!(text.contains("cq_lat_us_count 3"));
+        // HELP/TYPE emitted once per family even with two labeled series.
+        assert_eq!(text.matches("# TYPE cq_ops_total").count(), 1);
+    }
+
+    #[test]
+    fn quantiles_estimate_from_bucket_bounds() {
+        let h = Histogram::detached(&[1, 2, 4, 8, 16]);
+        for v in [1, 1, 2, 3, 5, 8, 13] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(4)); // 4th of 7 samples → bucket ≤4
+        assert_eq!(h.quantile(1.0), Some(16));
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 33);
+    }
+}

@@ -1,0 +1,107 @@
+//! Histogram edge cases: zero samples, a single sample, values past the
+//! last bucket, and concurrent recording agreeing with a serial replay.
+
+use cqcount_obs::metrics::Histogram;
+use std::sync::Arc;
+
+const BOUNDS: &[u64] = &[10, 100, 1_000, 10_000];
+
+#[test]
+fn zero_samples_has_no_quantiles_and_empty_buckets() {
+    let h = Histogram::detached(BOUNDS);
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum(), 0);
+    assert_eq!(h.quantile(0.5), None);
+    assert_eq!(h.quantile(0.99), None);
+    let snap = h.snapshot();
+    assert_eq!(snap.counts, vec![0; BOUNDS.len() + 1]);
+}
+
+#[test]
+fn single_sample_defines_every_quantile() {
+    let h = Histogram::detached(BOUNDS);
+    h.observe(42);
+    assert_eq!(h.count(), 1);
+    assert_eq!(h.sum(), 42);
+    // 42 falls in the (10, 100] bucket; every quantile reports its bound.
+    for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), Some(100), "q={q}");
+    }
+}
+
+#[test]
+fn values_beyond_the_last_bucket_land_in_overflow() {
+    let h = Histogram::detached(BOUNDS);
+    h.observe(10_000); // on the boundary: still the last finite bucket
+    h.observe(10_001);
+    h.observe(u64::MAX / 2);
+    let snap = h.snapshot();
+    assert_eq!(snap.counts[BOUNDS.len() - 1], 1, "boundary sample");
+    assert_eq!(snap.counts[BOUNDS.len()], 2, "overflow samples");
+    assert_eq!(h.count(), 3);
+    // The median is the boundary sample's bucket; the tail is +Inf.
+    assert_eq!(h.quantile(0.25), Some(10_000));
+    assert_eq!(h.quantile(1.0), Some(u64::MAX));
+}
+
+#[test]
+fn boundary_values_are_inclusive_of_their_bucket() {
+    let h = Histogram::detached(BOUNDS);
+    for b in BOUNDS {
+        h.observe(*b);
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.counts, vec![1, 1, 1, 1, 0], "le semantics: v <= bound");
+}
+
+/// Concurrent recording from `CQCOUNT_THREADS` workers (the same knob the
+/// exec pool sizes itself from) must agree exactly with a serial replay of
+/// the same sample stream: bucket counts, sum, and count.
+#[test]
+fn concurrent_recording_agrees_with_serial_replay() {
+    let workers: usize = std::env::var("CQCOUNT_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()));
+
+    // Deterministic per-worker sample streams (splitmix64 over the lane).
+    let samples_of = |lane: u64| -> Vec<u64> {
+        let mut x = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(lane + 1);
+        (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % 20_000 // spans every bucket including overflow
+            })
+            .collect()
+    };
+
+    let concurrent = Arc::new(Histogram::detached(BOUNDS));
+    let handles: Vec<_> = (0..workers)
+        .map(|lane| {
+            let h = Arc::clone(&concurrent);
+            std::thread::spawn(move || {
+                for v in samples_of(lane as u64) {
+                    h.observe(v);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    let serial = Histogram::detached(BOUNDS);
+    for lane in 0..workers {
+        for v in samples_of(lane as u64) {
+            serial.observe(v);
+        }
+    }
+
+    // All workers joined: the concurrent snapshot is quiescent and must
+    // match the serial replay bit for bit.
+    assert_eq!(concurrent.snapshot(), serial.snapshot());
+    assert_eq!(concurrent.count(), (workers * 10_000) as u64);
+}

@@ -25,7 +25,14 @@
 
 use crate::fxhash::FxHashMap;
 use crate::{Col, Relation, Tuple, Value};
+use cqcount_obs as obs;
 use std::cmp::Ordering;
+
+/// Total size in bytes of the tuples a result materializes, for the
+/// `bytes_out` span counter.
+fn bytes_of(b: &Bindings) -> u64 {
+    (b.rows.len() * b.cols.len() * std::mem::size_of::<Value>()) as u64
+}
 
 /// Row-count threshold below which the kernels stay sequential: chunking
 /// costs more than it saves on small inputs, and tiny Bindings dominate the
@@ -224,6 +231,10 @@ impl Bindings {
     /// Panics if `terms.len() != relation.arity()`.
     pub fn from_atom(relation: &Relation, terms: &[ColTerm]) -> Bindings {
         assert_eq!(terms.len(), relation.arity(), "atom arity mismatch");
+        let sp = obs::trace::span("algebra.scan");
+        if sp.is_armed() {
+            sp.add("rows_in", relation.rows().len() as u64);
+        }
         // Per-position action, precomputed once (not per tuple): constants
         // to match, repeated variables to check against their first
         // occurrence, and nothing for first occurrences themselves.
@@ -275,7 +286,12 @@ impl Bindings {
         } else {
             scan(tuples)
         };
-        Bindings::from_parts(sorted_cols, rows)
+        let out = Bindings::from_parts(sorted_cols, rows);
+        if sp.is_armed() {
+            sp.add("rows_out", out.rows.len() as u64);
+            sp.add("bytes_out", bytes_of(&out));
+        }
+        out
     }
 
     /// The (sorted) column list.
@@ -328,6 +344,20 @@ impl Bindings {
     /// merge compare values in place through the position plans, and each
     /// output row is built in one shot in canonical column order.
     pub fn join(&self, other: &Bindings) -> Bindings {
+        let sp = obs::trace::span("algebra.join");
+        if sp.is_armed() {
+            sp.add("rows_left", self.rows.len() as u64);
+            sp.add("rows_right", other.rows.len() as u64);
+        }
+        let out = self.join_merge(other, &sp);
+        if sp.is_armed() {
+            sp.add("rows_out", out.rows.len() as u64);
+            sp.add("bytes_out", bytes_of(&out));
+        }
+        out
+    }
+
+    fn join_merge(&self, other: &Bindings, sp: &obs::trace::Span) -> Bindings {
         let plan = JoinPlan::new(&self.cols, &other.cols);
         if plan.lpos.is_empty() {
             return self.cross_product(other, &plan);
@@ -336,10 +366,12 @@ impl Bindings {
         let (rorder, rgroups) = key_groups(&other.rows, &plan.rpos);
         // Merge the two key-sorted group lists into matched group pairs.
         let mut matches: Vec<((u32, u32), (u32, u32))> = Vec::new();
+        let mut comparisons = 0u64;
         let (mut gi, mut gj) = (0, 0);
         while gi < lgroups.len() && gj < rgroups.len() {
             let lrow = &self.rows[lorder[lgroups[gi].0 as usize] as usize];
             let rrow = &other.rows[rorder[rgroups[gj].0 as usize] as usize];
+            comparisons += 1;
             match cmp_keys(lrow, &plan.lpos, rrow, &plan.rpos) {
                 Ordering::Less => gi += 1,
                 Ordering::Greater => gj += 1,
@@ -349,6 +381,9 @@ impl Bindings {
                     gj += 1;
                 }
             }
+        }
+        if sp.is_armed() {
+            sp.add("merge_comparisons", comparisons);
         }
         // Emit the per-pair products; chunked over matched groups so large
         // joins parallelize, concatenation order fixed by the chunk index.
@@ -409,6 +444,21 @@ impl Bindings {
     /// canonical rows, so the result needs no re-sort, and chunked
     /// filtering concatenates back in order.
     pub fn semijoin(&self, other: &Bindings) -> Bindings {
+        let sp = obs::trace::span("algebra.semijoin");
+        if sp.is_armed() {
+            sp.add("rows_left", self.rows.len() as u64);
+            sp.add("rows_right", other.rows.len() as u64);
+        }
+        let out = self.semijoin_probe(other);
+        if sp.is_armed() {
+            sp.add("probes", self.rows.len() as u64);
+            sp.add("rows_out", out.rows.len() as u64);
+            sp.add("bytes_out", bytes_of(&out));
+        }
+        out
+    }
+
+    fn semijoin_probe(&self, other: &Bindings) -> Bindings {
         let (lpos, rpos) = self.shared_positions(other);
         if lpos.is_empty() {
             // No shared columns: keep everything iff `other` is nonempty.
@@ -478,6 +528,19 @@ impl Bindings {
 
     /// Projection `π_keep(self)` (columns not present are ignored).
     pub fn project(&self, keep: &[Col]) -> Bindings {
+        let sp = obs::trace::span("algebra.project");
+        if sp.is_armed() {
+            sp.add("rows_in", self.rows.len() as u64);
+        }
+        let out = self.project_map(keep);
+        if sp.is_armed() {
+            sp.add("rows_out", out.rows.len() as u64);
+            sp.add("bytes_out", bytes_of(&out));
+        }
+        out
+    }
+
+    fn project_map(&self, keep: &[Col]) -> Bindings {
         let positions = self.keep_positions(keep);
         if positions.len() == self.cols.len() {
             return self.clone(); // projecting onto all columns: no-op

@@ -2,12 +2,19 @@
 //!
 //! ```text
 //! cqcount-cli --server ADDR count     --db NAME <QUERY> [--budget-ms MS] [--verbose]
+//! cqcount-cli --server ADDR profile   --db NAME <QUERY> [--budget-ms MS] [--verbose]
 //! cqcount-cli --server ADDR enumerate --db NAME <QUERY> [--limit N]
 //! cqcount-cli --server ADDR report    <QUERY> [--cap K]
 //! cqcount-cli --server ADDR stats
+//! cqcount-cli --server ADDR metrics
 //! cqcount-cli --server ADDR reload    --db NAME <FACTS-FILE>
 //! cqcount-cli --server ADDR flush
 //! ```
+//!
+//! `profile` runs the count under tracing and renders the span tree with
+//! per-stage durations and percentages of the end-to-end request time
+//! (`--verbose` adds each span's counters); `metrics` dumps the server's
+//! registry in Prometheus text format.
 //!
 //! `<QUERY>` is either a datalog rule (`ans(X) :- r(X, Y).`) or `@FILE`
 //! to read the rule from a file. `count` prints the count on stdout;
@@ -17,15 +24,17 @@
 //! dead daemon can no longer hang the CLI); `--retries <n>` retries the
 //! idempotent commands (count, report, stats) with exponential backoff.
 
-use cqcount_server::{Client, ClientOptions};
+use cqcount_server::{Client, ClientOptions, SpanNode};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   cqcount-cli --server ADDR [--timeout MS] [--retries N] <command>
   cqcount-cli --server ADDR count     --db NAME <QUERY> [--budget-ms MS] [--verbose]
+  cqcount-cli --server ADDR profile   --db NAME <QUERY> [--budget-ms MS] [--verbose]
   cqcount-cli --server ADDR enumerate --db NAME <QUERY> [--limit N]
   cqcount-cli --server ADDR report    <QUERY> [--cap K]
   cqcount-cli --server ADDR stats
+  cqcount-cli --server ADDR metrics
   cqcount-cli --server ADDR reload    --db NAME <FACTS-FILE>
   cqcount-cli --server ADDR flush";
 
@@ -146,6 +155,68 @@ fn query_arg(opts: &Opts) -> Result<String, String> {
     }
 }
 
+/// `1_234_567` ns → `"1.235 ms"`; sub-microsecond spans print in ns.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Prints one span line (`name  duration  percent-of-request`) and recurses
+/// over the children with box-drawing connectors.
+fn render_span(
+    node: &SpanNode,
+    total_ns: u64,
+    prefix: &str,
+    last: bool,
+    root: bool,
+    verbose: bool,
+) {
+    let connector = if root {
+        ""
+    } else if last {
+        "└─ "
+    } else {
+        "├─ "
+    };
+    let label = format!("{prefix}{connector}{}", node.name);
+    let pct = 100.0 * node.duration_ns as f64 / total_ns as f64;
+    println!("{label:<42} {:>12}  {pct:>5.1}%", fmt_ns(node.duration_ns));
+    if verbose && !(node.counters.is_empty() && node.tags.is_empty()) {
+        let child_prefix = if root {
+            String::new()
+        } else {
+            format!("{prefix}{}", if last { "   " } else { "│  " })
+        };
+        let fields: Vec<String> = node
+            .tags
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .chain(node.counters.iter().map(|(k, v)| format!("{k}={v}")))
+            .collect();
+        println!("{child_prefix}     [{}]", fields.join(", "));
+    }
+    let child_prefix = if root {
+        String::new()
+    } else {
+        format!("{prefix}{}", if last { "   " } else { "│  " })
+    };
+    for (i, c) in node.children.iter().enumerate() {
+        render_span(
+            c,
+            total_ns,
+            &child_prefix,
+            i + 1 == node.children.len(),
+            false,
+            verbose,
+        );
+    }
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(args)?;
     let mut client = Client::connect_with(
@@ -174,6 +245,40 @@ fn run(args: &[String]) -> Result<(), String> {
                 );
             }
             println!("{}", reply.value);
+            Ok(())
+        }
+        "profile" => {
+            if opts.db.is_empty() {
+                return Err("profile needs --db NAME".into());
+            }
+            let query = query_arg(&opts)?;
+            let r = client
+                .profile(&opts.db, &query, opts.budget_ms)
+                .map_err(|e| e.to_string())?;
+            println!("count: {}", r.value);
+            println!(
+                "plan:  {} (cache: {:?}, degraded: {}, fingerprint: {:016x})",
+                r.plan, r.cached, r.degraded, r.fingerprint
+            );
+            println!(
+                "total: {} (tracer drops: {})",
+                fmt_ns(r.total_ns),
+                r.dropped
+            );
+            println!();
+            let total = r.total_ns.max(1);
+            render_span(&r.root, total, "", true, true, opts.verbose);
+            let direct: u64 = r.root.children.iter().map(|c| c.duration_ns).sum();
+            println!();
+            println!(
+                "stage coverage: {:.1}% of the request is accounted for by top-level stages",
+                100.0 * direct as f64 / total as f64
+            );
+            Ok(())
+        }
+        "metrics" => {
+            let text = client.metrics().map_err(|e| e.to_string())?;
+            print!("{text}");
             Ok(())
         }
         "enumerate" => {

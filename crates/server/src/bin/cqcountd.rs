@@ -4,7 +4,7 @@
 //! cqcountd [--listen ADDR] [--db NAME=FILE]... [--workers N]
 //!          [--queue-cap N] [--budget-ms MS] [--max-enumerate N]
 //!          [--width-cap K] [--read-timeout-ms MS] [--write-timeout-ms MS]
-//!          [--fault-profile NAME] [--fault-seed N]
+//!          [--fault-profile NAME] [--fault-seed N] [--trace-log FILE]
 //! ```
 //!
 //! Each `--db NAME=FILE` loads a datalog fact file (same format as the
@@ -16,6 +16,11 @@
 //! fault injection for chaos testing; `--fault-seed` (or the
 //! `CQCOUNT_FAULT_SEED` environment variable) fixes the seed so a chaos
 //! run can be replayed exactly.
+//!
+//! `--trace-log FILE` traces every counting request and appends its span
+//! tree to FILE as one JSON line (JSONL). Combined with `--fault-profile`
+//! and a fixed seed, two runs of the same workload produce structurally
+//! identical logs.
 
 use cqcount_query::parse_database;
 use cqcount_relational::Database;
@@ -26,7 +31,8 @@ const USAGE: &str = "usage:
   cqcountd [--listen ADDR] [--db NAME=FILE]... [--workers N]
            [--queue-cap N] [--budget-ms MS] [--max-enumerate N] [--width-cap K]
            [--read-timeout-ms MS] [--write-timeout-ms MS]
-           [--fault-profile off|flaky-net|slow-net|chaos] [--fault-seed N]";
+           [--fault-profile off|flaky-net|slow-net|chaos] [--fault-seed N]
+           [--trace-log FILE]";
 
 fn main() -> ExitCode {
     match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
@@ -97,6 +103,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 config.fault_profile = FaultProfile::parse(name)?;
             }
             "--fault-seed" => config.fault_seed = parse_num(&mut it, "--fault-seed")?,
+            "--trace-log" => {
+                config.trace_log = Some(it.next().ok_or("--trace-log needs a FILE")?.into());
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }

@@ -16,8 +16,8 @@
 
 use cqcount_arith::Natural;
 use cqcount_core::planner::{PreparedPlan, WidthReport};
+use cqcount_obs::metrics::Counter;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A cached plan: the prepared decomposition plus a slot for the width
@@ -56,15 +56,19 @@ impl<K: std::hash::Hash + Eq + Clone, V> FifoMap<K, V> {
         self.map.get(k)
     }
 
-    fn insert(&mut self, k: K, v: V) {
+    /// Inserts, returning how many old entries FIFO eviction removed.
+    fn insert(&mut self, k: K, v: V) -> u64 {
+        let mut evicted = 0;
         if self.map.insert(k.clone(), v).is_none() {
             self.order.push_back(k);
             while self.order.len() > self.capacity {
                 if let Some(old) = self.order.pop_front() {
                     self.map.remove(&old);
+                    evicted += 1;
                 }
             }
         }
+        evicted
     }
 
     fn clear(&mut self) {
@@ -81,17 +85,37 @@ impl<K: std::hash::Hash + Eq + Clone, V> FifoMap<K, V> {
 #[derive(Debug)]
 pub struct PlanCache {
     inner: Mutex<FifoMap<String, Arc<PlanEntry>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl PlanCache {
-    /// A plan cache holding at most `capacity` entries.
+    /// A plan cache holding at most `capacity` entries, with private
+    /// (unregistered) counters.
     pub fn new(capacity: usize) -> PlanCache {
+        PlanCache::with_counters(
+            capacity,
+            Counter::detached(),
+            Counter::detached(),
+            Counter::detached(),
+        )
+    }
+
+    /// A plan cache whose hit/miss/eviction counters are externally owned
+    /// handles — the server passes registry-backed counters here so the
+    /// cache's own bookkeeping *is* the exported metric.
+    pub fn with_counters(
+        capacity: usize,
+        hits: Counter,
+        misses: Counter,
+        evictions: Counter,
+    ) -> PlanCache {
         PlanCache {
             inner: Mutex::new(FifoMap::new(capacity)),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits,
+            misses,
+            evictions,
         }
     }
 
@@ -100,11 +124,11 @@ impl PlanCache {
         let inner = self.inner.lock().unwrap();
         match inner.get(canonical) {
             Some(e) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(Arc::clone(e))
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -114,7 +138,7 @@ impl PlanCache {
     pub fn insert(&self, canonical: String, entry: Arc<PlanEntry>) {
         let mut inner = self.inner.lock().unwrap();
         if inner.get(&canonical).is_none() {
-            inner.insert(canonical, entry);
+            self.evictions.add(inner.insert(canonical, entry));
         }
     }
 
@@ -135,10 +159,12 @@ impl PlanCache {
 
     /// (hits, misses) so far.
     pub fn counters(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+        (self.hits.get(), self.misses.get())
+    }
+
+    /// Entries evicted by the FIFO bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.get()
     }
 }
 
@@ -149,17 +175,36 @@ pub type CountKey = (String, String, u64);
 #[derive(Debug)]
 pub struct CountCache {
     inner: Mutex<FifoMap<CountKey, Natural>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl CountCache {
-    /// A count cache holding at most `capacity` entries.
+    /// A count cache holding at most `capacity` entries, with private
+    /// (unregistered) counters.
     pub fn new(capacity: usize) -> CountCache {
+        CountCache::with_counters(
+            capacity,
+            Counter::detached(),
+            Counter::detached(),
+            Counter::detached(),
+        )
+    }
+
+    /// A count cache whose counters are externally owned handles (see
+    /// [`PlanCache::with_counters`]).
+    pub fn with_counters(
+        capacity: usize,
+        hits: Counter,
+        misses: Counter,
+        evictions: Counter,
+    ) -> CountCache {
         CountCache {
             inner: Mutex::new(FifoMap::new(capacity)),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits,
+            misses,
+            evictions,
         }
     }
 
@@ -168,11 +213,11 @@ impl CountCache {
         let inner = self.inner.lock().unwrap();
         match inner.get(key) {
             Some(n) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(n.clone())
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -180,7 +225,8 @@ impl CountCache {
 
     /// Installs a count.
     pub fn insert(&self, key: CountKey, value: Natural) {
-        self.inner.lock().unwrap().insert(key, value);
+        let mut inner = self.inner.lock().unwrap();
+        self.evictions.add(inner.insert(key, value));
     }
 
     /// Drops every entry (counters survive).
@@ -200,10 +246,12 @@ impl CountCache {
 
     /// (hits, misses) so far.
     pub fn counters(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+        (self.hits.get(), self.misses.get())
+    }
+
+    /// Entries evicted by the FIFO bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.get()
     }
 }
 
@@ -240,12 +288,24 @@ mod tests {
             c.insert((format!("q{i}"), "db".into(), 0), Natural::from(i));
         }
         assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 3);
         // Oldest keys evicted, newest kept.
         assert!(c.get(&("q0".into(), "db".into(), 0)).is_none());
         assert_eq!(
             c.get(&("q4".into(), "db".into(), 0)),
             Some(Natural::from(4u64))
         );
+    }
+
+    #[test]
+    fn external_counter_handles_observe_cache_traffic() {
+        let hits = cqcount_obs::metrics::Counter::detached();
+        let c =
+            CountCache::with_counters(4, hits.clone(), Counter::detached(), Counter::detached());
+        c.insert(("q".into(), "db".into(), 0), Natural::from(1u64));
+        let _ = c.get(&("q".into(), "db".into(), 0));
+        assert_eq!(hits.get(), 1);
+        assert_eq!(c.counters().0, 1);
     }
 
     #[test]

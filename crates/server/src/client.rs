@@ -9,7 +9,7 @@
 //! `Overloaded` reply's `retry_after_ms` hint stretches the backoff.
 
 use crate::protocol::{
-    read_frame, CacheTier, ErrorCode, ReportReply, Request, Response, StatsReply,
+    read_frame, CacheTier, ErrorCode, ProfileReply, ReportReply, Request, Response, StatsReply,
 };
 use cqcount_arith::prng::Rng;
 use std::io::{self, BufReader, BufWriter};
@@ -316,6 +316,39 @@ impl Client {
             Response::Report(r) => Ok(r),
             other => Err(ClientError::Protocol(format!(
                 "expected a report, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Counts `query` under tracing and returns the span tree alongside
+    /// the count (protocol v3 `PROFILE`). Idempotent like `count`: a retry
+    /// can only re-read, so it goes through the backoff loop.
+    pub fn profile(
+        &mut self,
+        db: &str,
+        query: &str,
+        budget_ms: u64,
+    ) -> Result<ProfileReply, ClientError> {
+        match self.roundtrip_idempotent(&Request::Profile {
+            db: db.into(),
+            query: query.into(),
+            budget_ms,
+        })? {
+            Response::Profile(r) => Ok(r),
+            other => Err(ClientError::Protocol(format!(
+                "expected a profile response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The server's metrics registry in Prometheus text exposition format
+    /// (protocol v3 `METRICS`). Idempotent: retried per
+    /// [`ClientOptions::retries`].
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip_idempotent(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(ClientError::Protocol(format!(
+                "expected metrics text, got {other:?}"
             ))),
         }
     }

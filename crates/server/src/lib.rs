@@ -17,7 +17,12 @@
 //!   deadlines and retry/backoff for the idempotent opcodes;
 //! * **deterministic fault injection** ([`faults`]) — seeded chaos
 //!   (short I/O, disconnects, latency, worker panics, cap trips) so every
-//!   hardening path above is testable and replayable.
+//!   hardening path above is testable and replayable;
+//! * **end-to-end observability** (protocol v3) — every operational
+//!   counter lives on a `cqcount-obs` metrics registry exported by the
+//!   `METRICS` opcode in Prometheus text format, `PROFILE` returns the
+//!   full span tree of a traced count, and `--trace-log FILE` streams one
+//!   JSON line per counting request.
 //!
 //! Everything is `std`-only, like the rest of the workspace.
 
@@ -29,5 +34,7 @@ pub mod server;
 
 pub use client::{Client, ClientError, ClientOptions, CountReply};
 pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultProfile};
-pub use protocol::{CacheTier, ErrorCode, ReportReply, Request, Response, StatsReply};
+pub use protocol::{
+    CacheTier, ErrorCode, ProfileReply, ReportReply, Request, Response, SpanNode, StatsReply,
+};
 pub use server::{serve, ServerConfig, ServerHandle};

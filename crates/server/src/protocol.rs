@@ -21,8 +21,14 @@ use std::io::{self, Read, Write};
 pub const MAGIC: [u8; 2] = [0x43, 0x51];
 /// Protocol version carried in every frame header. v2 added the
 /// `degraded` flag to count replies, the `retry_after_ms` hint to error
-/// frames, and the per-error-code counters in `STATS`.
-pub const VERSION: u8 = 0x02;
+/// frames, and the per-error-code counters in `STATS`. v3 added the
+/// `PROFILE` (span tree + kernel counters for one query) and `METRICS`
+/// (Prometheus-style text exposition) opcodes; every v2 frame is
+/// unchanged, so v2 peers keep working ([`MIN_VERSION`]).
+pub const VERSION: u8 = 0x03;
+/// Oldest protocol version the daemon still accepts. v2 frames are a
+/// strict subset of v3, so the shim is just a wider version check.
+pub const MIN_VERSION: u8 = 0x02;
 /// Upper bound on a frame payload (queries and reload texts included).
 pub const MAX_PAYLOAD: usize = 16 << 20;
 /// Upper bound on a single string field.
@@ -109,6 +115,19 @@ pub enum Request {
     },
     /// Drop both cache levels (plans and counts).
     Flush,
+    /// Like `Count`, but reply with the full span tree and kernel counters
+    /// of the (freshly traced) execution alongside the count. Protocol v3.
+    Profile {
+        /// Name of a loaded database.
+        db: String,
+        /// The rule, in the datalog text format.
+        query: String,
+        /// Wall-clock budget in milliseconds (0 = server default).
+        budget_ms: u64,
+    },
+    /// Prometheus-style text exposition of the server's metrics registry.
+    /// Protocol v3.
+    Metrics,
 }
 
 /// How a count was produced, for observability and the bench.
@@ -199,6 +218,54 @@ pub struct ReportReply {
     pub cap: u64,
 }
 
+/// Upper bound on span nodes in one `PROFILE` reply (defense in depth on
+/// decode; the server also truncates on encode).
+pub const MAX_SPAN_NODES: usize = 65_536;
+/// Upper bound on span tree depth on decode.
+pub const MAX_SPAN_DEPTH: usize = 128;
+/// Upper bound on counters or tags attached to a single span node.
+pub const MAX_SPAN_FIELDS: usize = 64;
+
+/// One node of a `PROFILE` span tree. Times are nanoseconds; `start_ns` is
+/// relative to the root span's start, so a reply is self-contained.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Stage name (e.g. `parse`, `plan.decompose`, `algebra.join`).
+    pub name: String,
+    /// Offset from the root span's start, in nanoseconds.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Numeric counters (rows in/out, comparisons, bytes emitted, ...).
+    pub counters: Vec<(String, u64)>,
+    /// String tags (plan outcome, degradation reason, ...).
+    pub tags: Vec<(String, String)>,
+    /// Child spans, ordered by start time.
+    pub children: Vec<SpanNode>,
+}
+
+/// The reply to a `PROFILE` request: the count plus the traced execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProfileReply {
+    /// The exact count, as a decimal string (arbitrary precision).
+    pub value: String,
+    /// Human-readable plan label.
+    pub plan: String,
+    /// Which cache level (if any) served the request.
+    pub cached: CacheTier,
+    /// True when a ladder rung (not the chosen plan) produced the count.
+    pub degraded: bool,
+    /// The query's canonical 64-bit fingerprint.
+    pub fingerprint: u64,
+    /// End-to-end wall time of the request span, nanoseconds.
+    pub total_ns: u64,
+    /// Spans the tracer dropped process-wide so far (ring overflow); a
+    /// nonzero delta across requests means trees may be incomplete.
+    pub dropped: u64,
+    /// The request's root span.
+    pub root: SpanNode,
+}
+
 /// A server-to-client message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Response {
@@ -232,6 +299,13 @@ pub enum Response {
     Ok {
         /// The (new) epoch.
         epoch: u64,
+    },
+    /// The span tree + count for a `Profile` request. Protocol v3.
+    Profile(ProfileReply),
+    /// Prometheus-style text exposition. Protocol v3.
+    Metrics {
+        /// The rendered exposition text.
+        text: String,
     },
     /// Anything that went wrong.
     Error {
@@ -351,7 +425,7 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
     if [first[0], rest[0]] != MAGIC {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
     }
-    if rest[1] != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&rest[1]) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("unsupported protocol version {}", rest[1]),
@@ -396,13 +470,93 @@ const OP_WIDTH_REPORT: u8 = 0x03;
 const OP_STATS: u8 = 0x04;
 const OP_RELOAD: u8 = 0x05;
 const OP_FLUSH: u8 = 0x06;
+const OP_PROFILE: u8 = 0x07;
+const OP_METRICS: u8 = 0x08;
 
 const OP_R_COUNT: u8 = 0x81;
 const OP_R_ROWS: u8 = 0x82;
 const OP_R_REPORT: u8 = 0x83;
 const OP_R_STATS: u8 = 0x84;
 const OP_R_OK: u8 = 0x85;
+const OP_R_PROFILE: u8 = 0x87;
+const OP_R_METRICS: u8 = 0x88;
 const OP_R_ERROR: u8 = 0xff;
+
+fn write_span_node(p: &mut Vec<u8>, node: &SpanNode) {
+    write_str(p, &node.name);
+    write_uleb(p, node.start_ns);
+    write_uleb(p, node.duration_ns);
+    write_uleb(p, node.counters.len() as u64);
+    for (k, v) in &node.counters {
+        write_str(p, k);
+        write_uleb(p, *v);
+    }
+    write_uleb(p, node.tags.len() as u64);
+    for (k, v) in &node.tags {
+        write_str(p, k);
+        write_str(p, v);
+    }
+    write_uleb(p, node.children.len() as u64);
+    for c in &node.children {
+        write_span_node(p, c);
+    }
+}
+
+/// Decodes a span node; `remaining` bounds the total node count across the
+/// whole tree and `depth` the recursion, so a malicious frame can neither
+/// overallocate nor blow the stack.
+fn read_span_node(
+    buf: &[u8],
+    pos: &mut usize,
+    remaining: &mut usize,
+    depth: usize,
+) -> Result<SpanNode, String> {
+    if depth > MAX_SPAN_DEPTH {
+        return Err(format!("span tree deeper than {MAX_SPAN_DEPTH}"));
+    }
+    *remaining = remaining
+        .checked_sub(1)
+        .ok_or_else(|| format!("span tree larger than {MAX_SPAN_NODES} nodes"))?;
+    let name = read_str(buf, pos)?;
+    let start_ns = read_uleb(buf, pos)?;
+    let duration_ns = read_uleb(buf, pos)?;
+    let ncounters = read_uleb(buf, pos)? as usize;
+    if ncounters > MAX_SPAN_FIELDS {
+        return Err(format!("{ncounters} span counters exceeds cap"));
+    }
+    let mut counters = Vec::with_capacity(ncounters);
+    for _ in 0..ncounters {
+        let k = read_str(buf, pos)?;
+        let v = read_uleb(buf, pos)?;
+        counters.push((k, v));
+    }
+    let ntags = read_uleb(buf, pos)? as usize;
+    if ntags > MAX_SPAN_FIELDS {
+        return Err(format!("{ntags} span tags exceeds cap"));
+    }
+    let mut tags = Vec::with_capacity(ntags);
+    for _ in 0..ntags {
+        let k = read_str(buf, pos)?;
+        let v = read_str(buf, pos)?;
+        tags.push((k, v));
+    }
+    let nchildren = read_uleb(buf, pos)? as usize;
+    if nchildren > *remaining {
+        return Err(format!("span tree larger than {MAX_SPAN_NODES} nodes"));
+    }
+    let mut children = Vec::with_capacity(nchildren);
+    for _ in 0..nchildren {
+        children.push(read_span_node(buf, pos, remaining, depth + 1)?);
+    }
+    Ok(SpanNode {
+        name,
+        start_ns,
+        duration_ns,
+        counters,
+        tags,
+        children,
+    })
+}
 
 impl Request {
     /// Writes the request as one frame.
@@ -443,6 +597,17 @@ impl Request {
                 OP_RELOAD
             }
             Request::Flush => OP_FLUSH,
+            Request::Profile {
+                db,
+                query,
+                budget_ms,
+            } => {
+                write_str(&mut p, db);
+                write_str(&mut p, query);
+                write_uleb(&mut p, *budget_ms);
+                OP_PROFILE
+            }
+            Request::Metrics => OP_METRICS,
         };
         write_frame(w, opcode, &p)
     }
@@ -473,6 +638,12 @@ impl Request {
                 text: read_str(buf, &mut pos)?,
             },
             OP_FLUSH => Request::Flush,
+            OP_PROFILE => Request::Profile {
+                db: read_str(buf, &mut pos)?,
+                query: read_str(buf, &mut pos)?,
+                budget_ms: read_uleb(buf, &mut pos)?,
+            },
+            OP_METRICS => Request::Metrics,
             other => return Err(format!("unknown request opcode 0x{other:02x}")),
         };
         if pos != buf.len() {
@@ -550,6 +721,21 @@ impl Response {
             Response::Ok { epoch } => {
                 write_uleb(&mut p, *epoch);
                 OP_R_OK
+            }
+            Response::Profile(r) => {
+                write_str(&mut p, &r.value);
+                write_str(&mut p, &r.plan);
+                p.push(r.cached as u8);
+                p.push(u8::from(r.degraded));
+                write_u64_le(&mut p, r.fingerprint);
+                write_uleb(&mut p, r.total_ns);
+                write_uleb(&mut p, r.dropped);
+                write_span_node(&mut p, &r.root);
+                OP_R_PROFILE
+            }
+            Response::Metrics { text } => {
+                write_str(&mut p, text);
+                OP_R_METRICS
             }
             Response::Error {
                 code,
@@ -665,6 +851,31 @@ impl Response {
             }
             OP_R_OK => Response::Ok {
                 epoch: read_uleb(buf, &mut pos)?,
+            },
+            OP_R_PROFILE => {
+                let value = read_str(buf, &mut pos)?;
+                let plan = read_str(buf, &mut pos)?;
+                let cached =
+                    CacheTier::from_u8(take_u8(buf, &mut pos)?).ok_or("bad cache tier byte")?;
+                let degraded = take_u8(buf, &mut pos)? != 0;
+                let fingerprint = read_u64_le(buf, &mut pos)?;
+                let total_ns = read_uleb(buf, &mut pos)?;
+                let dropped = read_uleb(buf, &mut pos)?;
+                let mut remaining = MAX_SPAN_NODES;
+                let root = read_span_node(buf, &mut pos, &mut remaining, 0)?;
+                Response::Profile(ProfileReply {
+                    value,
+                    plan,
+                    cached,
+                    degraded,
+                    fingerprint,
+                    total_ns,
+                    dropped,
+                    root,
+                })
+            }
+            OP_R_METRICS => Response::Metrics {
+                text: read_str(buf, &mut pos)?,
             },
             OP_R_ERROR => {
                 let code =
@@ -793,6 +1004,123 @@ mod tests {
             message: "overloaded: request queue at capacity 64".into(),
             retry_after_ms: 125,
         });
+    }
+
+    #[test]
+    fn profile_and_metrics_roundtrip() {
+        roundtrip_request(Request::Profile {
+            db: "main".into(),
+            query: "ans(X, Y) :- e(X, Y), e(Y, Z), e(Z, X).".into(),
+            budget_ms: 500,
+        });
+        roundtrip_request(Request::Metrics);
+        roundtrip_response(Response::Metrics {
+            text: "# TYPE cqcount_requests_total counter\n\
+                   cqcount_requests_total{op=\"count\"} 3\n"
+                .into(),
+        });
+        roundtrip_response(Response::Profile(ProfileReply {
+            value: "5".into(),
+            plan: "sharp-pipeline(width=2)".into(),
+            cached: CacheTier::Cold,
+            degraded: false,
+            fingerprint: 0x1234_5678_9abc_def0,
+            total_ns: 1_234_567,
+            dropped: 0,
+            root: SpanNode {
+                name: "request".into(),
+                start_ns: 0,
+                duration_ns: 1_234_567,
+                counters: vec![],
+                tags: vec![("op".into(), "profile".into())],
+                children: vec![
+                    SpanNode {
+                        name: "parse".into(),
+                        start_ns: 10,
+                        duration_ns: 900,
+                        ..SpanNode::default()
+                    },
+                    SpanNode {
+                        name: "count.sharp".into(),
+                        start_ns: 1_000,
+                        duration_ns: 1_200_000,
+                        counters: vec![("width".into(), 2)],
+                        tags: vec![],
+                        children: vec![SpanNode {
+                            name: "algebra.join".into(),
+                            start_ns: 2_000,
+                            duration_ns: 800_000,
+                            counters: vec![
+                                ("rows_left".into(), 100),
+                                ("rows_right".into(), 100),
+                                ("rows_out".into(), 140),
+                                ("bytes_out".into(), 1_680),
+                            ],
+                            tags: vec![],
+                            children: vec![],
+                        }],
+                    },
+                ],
+            },
+        }));
+    }
+
+    #[test]
+    fn hostile_span_trees_are_rejected_cleanly() {
+        // Declared child count beyond the node cap.
+        let mut p = Vec::new();
+        write_str(&mut p, "root");
+        write_uleb(&mut p, 0); // start
+        write_uleb(&mut p, 0); // duration
+        write_uleb(&mut p, 0); // counters
+        write_uleb(&mut p, 0); // tags
+        write_uleb(&mut p, MAX_SPAN_NODES as u64 + 7); // children
+        let mut pos = 0;
+        let mut remaining = MAX_SPAN_NODES;
+        let err = read_span_node(&p, &mut pos, &mut remaining, 0).unwrap_err();
+        assert!(err.contains("larger than"), "{err:?}");
+
+        // A frame that nests one child per level past the depth cap.
+        let mut p = Vec::new();
+        for _ in 0..(MAX_SPAN_DEPTH + 2) {
+            write_str(&mut p, "n");
+            write_uleb(&mut p, 0);
+            write_uleb(&mut p, 0);
+            write_uleb(&mut p, 0);
+            write_uleb(&mut p, 0);
+            write_uleb(&mut p, 1); // one child, recurse
+        }
+        let mut pos = 0;
+        let mut remaining = MAX_SPAN_NODES;
+        let err = read_span_node(&p, &mut pos, &mut remaining, 0).unwrap_err();
+        assert!(err.contains("deeper than"), "{err:?}");
+
+        // Counter/tag counts over the field cap.
+        let mut p = Vec::new();
+        write_str(&mut p, "n");
+        write_uleb(&mut p, 0);
+        write_uleb(&mut p, 0);
+        write_uleb(&mut p, MAX_SPAN_FIELDS as u64 + 1);
+        let mut pos = 0;
+        let mut remaining = MAX_SPAN_NODES;
+        let err = read_span_node(&p, &mut pos, &mut remaining, 0).unwrap_err();
+        assert!(err.contains("exceeds cap"), "{err:?}");
+    }
+
+    #[test]
+    fn v2_frames_still_parse_under_v3() {
+        // A v2 peer sends VERSION = 0x02; the daemon must keep accepting it.
+        let mut buf = Vec::new();
+        Request::Stats.write_to(&mut buf).unwrap();
+        assert_eq!(buf[2], VERSION);
+        buf[2] = MIN_VERSION;
+        let frame = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
+        assert_eq!(Request::decode(&frame).unwrap(), Request::Stats);
+        // But versions outside [MIN_VERSION, VERSION] stay rejected.
+        for bad in [0x00, 0x01, 0x04, 0x7f] {
+            buf[2] = bad;
+            assert!(read_frame(&mut Cursor::new(&buf)).is_err(), "version {bad}");
+        }
     }
 
     #[test]

@@ -5,11 +5,11 @@
 //! * one **accept** thread owns the listener and spawns a reader thread
 //!   per connection;
 //! * each **connection** thread decodes frames; admin requests (`STATS`,
-//!   `RELOAD`, `FLUSH`) are answered inline so operators can observe and
-//!   heal an overloaded server, while counting work (`COUNT`,
-//!   `ENUMERATE`, `WIDTH_REPORT`) is pushed onto a *bounded* queue — a
-//!   full queue yields an immediate `Overloaded` error frame, never
-//!   buffering;
+//!   `RELOAD`, `FLUSH`, `METRICS`) are answered inline so operators can
+//!   observe and heal an overloaded server, while counting work (`COUNT`,
+//!   `ENUMERATE`, `WIDTH_REPORT`, `PROFILE`) is pushed onto a *bounded*
+//!   queue — a full queue yields an immediate `Overloaded` error frame,
+//!   never buffering;
 //! * `workers` **worker** threads pop jobs, run them under the request's
 //!   wall-clock [`Budget`], and send the response back to the connection
 //!   thread over a per-job channel. Worker panics are caught, counted, and
@@ -22,17 +22,29 @@
 //! cheaper exact plan instead of erroring (`degraded: true` in the reply);
 //! and the whole stack can be wrapped in a seeded [`FaultInjector`]
 //! (`--fault-profile`) for replayable chaos runs.
+//!
+//! Observability (PR 4): every operational counter lives on a
+//! [`cqcount_obs::Registry`] exported verbatim by the `METRICS` opcode
+//! (the v2 `STATS` reply reads the same counters, so the two can never
+//! disagree); `PROFILE` runs a count under an active trace session and
+//! returns the request's span tree — root span `request` on the worker,
+//! with the planner, kernel, and pool spans attached under it; and
+//! `--trace-log FILE` streams one JSON line per counting request with the
+//! same tree, for offline analysis.
 
 use crate::cache::{CountCache, PlanCache, PlanEntry};
 use crate::faults::{ConnFaults, FaultEvent, FaultInjector, JobFaults};
 use crate::protocol::{
-    read_frame, CacheTier, DbSummary, ErrorCode, Frame, ReportReply, Request, Response, StatsReply,
+    read_frame, CacheTier, DbSummary, ErrorCode, Frame, ProfileReply, ReportReply, Request,
+    Response, SpanNode, StatsReply, MAX_SPAN_DEPTH, MAX_SPAN_FIELDS, MAX_SPAN_NODES,
 };
 use cqcount_core::planner::{
     count_prepared_resilient, prepare_plan_budgeted, WidthReport, WIDTH_CAP,
 };
 use cqcount_core::{for_each_answer, Budget, PlanError};
 use cqcount_exec::BoundedQueue;
+use cqcount_obs::metrics::{Counter, Gauge, Histogram, Registry};
+use cqcount_obs::trace;
 use cqcount_query::fingerprint::fingerprint;
 use cqcount_query::{parse_database, parse_query, ConjunctiveQuery, Var};
 use cqcount_relational::Database;
@@ -82,6 +94,9 @@ pub struct ServerConfig {
     pub fault_profile: crate::faults::FaultProfile,
     /// Seed for the fault injector (`CQCOUNT_FAULT_SEED`).
     pub fault_seed: u64,
+    /// When set, every counting request is traced and its span tree is
+    /// appended to this file as one JSON line (`--trace-log`).
+    pub trace_log: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +116,7 @@ impl Default for ServerConfig {
             plan_budget_ms: None,
             fault_profile: crate::faults::FaultProfile::off(),
             fault_seed: 0,
+            trace_log: None,
         }
     }
 }
@@ -119,20 +135,202 @@ pub struct DbState {
     pub fingerprint: u64,
 }
 
+/// Request-latency buckets in microseconds: sub-millisecond cache hits up
+/// through multi-second decomposition searches.
+const LATENCY_BUCKETS_US: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 5_000_000, 30_000_000,
+];
+
+/// Reply-write buckets in microseconds (small frames unless `ENUMERATE` or
+/// `PROFILE` streams a large payload to a slow peer).
+const WRITE_BUCKETS_US: &[u64] = &[10, 50, 100, 500, 1_000, 10_000, 100_000, 1_000_000];
+
+/// Every exported metric, pre-registered so the hot path is handle
+/// dereferences only. The v2 `STATS` reply is a *view* over these same
+/// counters ([`Shared::stats`]), not parallel bookkeeping.
+struct Metrics {
+    registry: Registry,
+    /// Requests fully served (reply written; errors excluded only when the
+    /// request never produced a reply).
+    served: Counter,
+    // Per-opcode admission counters (`cqcount_requests_total{op=...}`).
+    req_count: Counter,
+    req_enumerate: Counter,
+    req_width_report: Counter,
+    req_stats: Counter,
+    req_reload: Counter,
+    req_flush: Counter,
+    req_profile: Counter,
+    req_metrics: Counter,
+    // Per-ErrorCode outcome counters (`cqcount_errors_total{code=...}`).
+    err_protocol: Counter,
+    err_parse: Counter,
+    err_unknown_db: Counter,
+    err_plan: Counter,
+    err_budget_exceeded: Counter,
+    err_overloaded: Counter,
+    err_internal: Counter,
+    degraded: Counter,
+    panicked: Counter,
+    reaped: Counter,
+    queue_depth: Gauge,
+    latency_us: Histogram,
+    reply_write_us: Histogram,
+    // Cache counters, shared with the caches themselves (the handles the
+    // caches increment are the ones the registry renders).
+    plan_hits: Counter,
+    plan_misses: Counter,
+    plan_evictions: Counter,
+    count_hits: Counter,
+    count_misses: Counter,
+    count_evictions: Counter,
+    faults_injected: Gauge,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        let r = Registry::new();
+        let req = |op| {
+            r.counter_labeled(
+                "cqcount_requests_total",
+                "Requests admitted, by opcode.",
+                "op",
+                op,
+            )
+        };
+        let err = |code| {
+            r.counter_labeled(
+                "cqcount_errors_total",
+                "Error replies sent, by error code.",
+                "code",
+                code,
+            )
+        };
+        let cache = |name, help, which| r.counter_labeled(name, help, "cache", which);
+        Metrics {
+            served: r.counter(
+                "cqcount_requests_served_total",
+                "Requests that produced a reply (including error replies).",
+            ),
+            req_count: req("count"),
+            req_enumerate: req("enumerate"),
+            req_width_report: req("width_report"),
+            req_stats: req("stats"),
+            req_reload: req("reload"),
+            req_flush: req("flush"),
+            req_profile: req("profile"),
+            req_metrics: req("metrics"),
+            err_protocol: err("protocol"),
+            err_parse: err("parse"),
+            err_unknown_db: err("unknown_db"),
+            err_plan: err("plan"),
+            err_budget_exceeded: err("budget_exceeded"),
+            err_overloaded: err("overloaded"),
+            err_internal: err("internal"),
+            degraded: r.counter(
+                "cqcount_degraded_total",
+                "Counts served by a degraded (fallback) plan.",
+            ),
+            panicked: r.counter(
+                "cqcount_worker_panics_total",
+                "Worker panics caught (including injected ones).",
+            ),
+            reaped: r.counter(
+                "cqcount_connections_reaped_total",
+                "Connections closed by the idle/stall deadline.",
+            ),
+            queue_depth: r.gauge(
+                "cqcount_queue_depth",
+                "Counting jobs waiting in the bounded queue.",
+            ),
+            latency_us: r.histogram(
+                "cqcount_request_latency_us",
+                "Request latency from decode to reply-ready, microseconds.",
+                LATENCY_BUCKETS_US,
+            ),
+            reply_write_us: r.histogram(
+                "cqcount_reply_write_us",
+                "Time spent encoding + writing a reply frame, microseconds.",
+                WRITE_BUCKETS_US,
+            ),
+            plan_hits: cache("cqcount_cache_hits_total", "Cache hits.", "plan"),
+            plan_misses: cache("cqcount_cache_misses_total", "Cache misses.", "plan"),
+            plan_evictions: cache(
+                "cqcount_cache_evictions_total",
+                "Entries evicted by the FIFO bound.",
+                "plan",
+            ),
+            count_hits: cache("cqcount_cache_hits_total", "Cache hits.", "count"),
+            count_misses: cache("cqcount_cache_misses_total", "Cache misses.", "count"),
+            count_evictions: cache(
+                "cqcount_cache_evictions_total",
+                "Entries evicted by the FIFO bound.",
+                "count",
+            ),
+            faults_injected: r.gauge(
+                "cqcount_faults_injected",
+                "Faults injected so far (0 when no fault profile is active).",
+            ),
+            registry: r,
+        }
+    }
+
+    /// The admission counter for a decoded request.
+    fn op_counter(&self, r: &Request) -> &Counter {
+        match r {
+            Request::Count { .. } => &self.req_count,
+            Request::Enumerate { .. } => &self.req_enumerate,
+            Request::WidthReport { .. } => &self.req_width_report,
+            Request::Stats => &self.req_stats,
+            Request::Reload { .. } => &self.req_reload,
+            Request::Flush => &self.req_flush,
+            Request::Profile { .. } => &self.req_profile,
+            Request::Metrics => &self.req_metrics,
+        }
+    }
+
+    /// The outcome counter for an error code.
+    fn err_counter(&self, code: ErrorCode) -> &Counter {
+        match code {
+            ErrorCode::Protocol => &self.err_protocol,
+            ErrorCode::Parse => &self.err_parse,
+            ErrorCode::UnknownDb => &self.err_unknown_db,
+            ErrorCode::Plan => &self.err_plan,
+            ErrorCode::BudgetExceeded => &self.err_budget_exceeded,
+            ErrorCode::Overloaded => &self.err_overloaded,
+            ErrorCode::Internal => &self.err_internal,
+        }
+    }
+}
+
+/// The short opcode label used for span tags and the trace log.
+fn op_name(r: &Request) -> &'static str {
+    match r {
+        Request::Count { .. } => "count",
+        Request::Enumerate { .. } => "enumerate",
+        Request::WidthReport { .. } => "width_report",
+        Request::Stats => "stats",
+        Request::Reload { .. } => "reload",
+        Request::Flush => "flush",
+        Request::Profile { .. } => "profile",
+        Request::Metrics => "metrics",
+    }
+}
+
 struct Shared {
     config: ServerConfig,
     dbs: RwLock<HashMap<String, Arc<DbState>>>,
     plans: PlanCache,
     counts: CountCache,
-    served: AtomicU64,
-    overloaded: AtomicU64,
-    malformed: AtomicU64,
-    budget_exceeded: AtomicU64,
-    panicked: AtomicU64,
-    reaped: AtomicU64,
-    degraded: AtomicU64,
+    metrics: Metrics,
     injector: Option<Arc<FaultInjector>>,
     stop: AtomicBool,
+    /// Open trace-log sink (`--trace-log`); workers append one JSON line
+    /// per counting request.
+    trace_log: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
+    /// Monotonic sequence number for trace-log lines.
+    trace_seq: AtomicU64,
 }
 
 impl Shared {
@@ -140,21 +338,9 @@ impl Shared {
     /// response. Called once per response, just before it hits the wire.
     fn account(&self, response: &Response) {
         match response {
-            Response::Error {
-                code: ErrorCode::Protocol,
-                ..
-            } => {
-                self.malformed.fetch_add(1, Ordering::Relaxed);
-            }
-            Response::Error {
-                code: ErrorCode::BudgetExceeded,
-                ..
-            } => {
-                self.budget_exceeded.fetch_add(1, Ordering::Relaxed);
-            }
-            Response::Count { degraded: true, .. } => {
-                self.degraded.fetch_add(1, Ordering::Relaxed);
-            }
+            Response::Error { code, .. } => self.metrics.err_counter(*code).inc(),
+            Response::Count { degraded: true, .. } => self.metrics.degraded.inc(),
+            Response::Profile(r) if r.degraded => self.metrics.degraded.inc(),
             _ => {}
         }
     }
@@ -176,20 +362,29 @@ impl Shared {
             .collect();
         dbs.sort_by(|a, b| a.name.cmp(&b.name));
         StatsReply {
-            served: self.served.load(Ordering::Relaxed),
-            overloaded: self.overloaded.load(Ordering::Relaxed),
+            served: self.metrics.served.get(),
+            overloaded: self.metrics.err_overloaded.get(),
             plan_hits,
             plan_misses,
             count_hits,
             count_misses,
-            malformed: self.malformed.load(Ordering::Relaxed),
-            budget_exceeded: self.budget_exceeded.load(Ordering::Relaxed),
-            panicked: self.panicked.load(Ordering::Relaxed),
-            reaped: self.reaped.load(Ordering::Relaxed),
-            degraded: self.degraded.load(Ordering::Relaxed),
+            malformed: self.metrics.err_protocol.get(),
+            budget_exceeded: self.metrics.err_budget_exceeded.get(),
+            panicked: self.metrics.panicked.get(),
+            reaped: self.metrics.reaped.get(),
+            degraded: self.metrics.degraded.get(),
             faults_injected: self.injector.as_ref().map_or(0, |i| i.injected()),
             dbs,
         }
+    }
+
+    /// Renders the metrics registry, refreshing the scrape-time gauges.
+    fn render_metrics(&self, queue: &BoundedQueue<Job>) -> String {
+        self.metrics.queue_depth.set(queue.len() as u64);
+        self.metrics
+            .faults_injected
+            .set(self.injector.as_ref().map_or(0, |i| i.injected()));
+        self.metrics.registry.render()
     }
 
     fn install_db(&self, name: &str, db: Database) -> u64 {
@@ -214,6 +409,10 @@ struct Job {
     reply: mpsc::Sender<Response>,
     /// Faults drawn for this job at admission (default: none).
     faults: JobFaults,
+    /// [`trace::now_ns`] at admission, for the root span's `wait_ns`.
+    submitted_ns: u64,
+    /// Time the connection thread spent decoding the request payload.
+    decode_ns: u64,
 }
 
 /// A running server. Dropping the handle stops it; [`ServerHandle::shutdown`]
@@ -270,6 +469,9 @@ impl ServerHandle {
         for t in self.worker_threads.drain(..) {
             let _ = t.join();
         }
+        if let Some(log) = &self.shared.trace_log {
+            let _ = std::io::Write::flush(&mut *log.lock().unwrap());
+        }
     }
 }
 
@@ -295,19 +497,34 @@ pub fn serve(
         .fault_profile
         .is_active()
         .then(|| FaultInjector::new(config.fault_profile.clone(), config.fault_seed));
+    let trace_log = match &config.trace_log {
+        Some(path) => Some(Mutex::new(std::io::BufWriter::new(std::fs::File::create(
+            path,
+        )?))),
+        None => None,
+    };
+    let metrics = Metrics::new();
+    let plans = PlanCache::with_counters(
+        config.plan_cache_cap,
+        metrics.plan_hits.clone(),
+        metrics.plan_misses.clone(),
+        metrics.plan_evictions.clone(),
+    );
+    let counts = CountCache::with_counters(
+        config.count_cache_cap,
+        metrics.count_hits.clone(),
+        metrics.count_misses.clone(),
+        metrics.count_evictions.clone(),
+    );
     let shared = Arc::new(Shared {
-        plans: PlanCache::new(config.plan_cache_cap),
-        counts: CountCache::new(config.count_cache_cap),
+        plans,
+        counts,
+        metrics,
         dbs: RwLock::new(HashMap::new()),
-        served: AtomicU64::new(0),
-        overloaded: AtomicU64::new(0),
-        malformed: AtomicU64::new(0),
-        budget_exceeded: AtomicU64::new(0),
-        panicked: AtomicU64::new(0),
-        reaped: AtomicU64::new(0),
-        degraded: AtomicU64::new(0),
         injector,
         stop: AtomicBool::new(false),
+        trace_log,
+        trace_seq: AtomicU64::new(0),
         config,
     });
     for (name, db) in initial {
@@ -321,14 +538,15 @@ pub fn serve(
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || {
                 while let Some(job) = queue.pop() {
+                    shared.metrics.queue_depth.set(queue.len() as u64);
                     let resp = catch_unwind(AssertUnwindSafe(|| {
                         if job.faults.panic {
                             panic!("fault injection: forced worker panic");
                         }
-                        run_job(&shared, &job.request, job.faults)
+                        execute_job(&shared, &job)
                     }))
                     .unwrap_or_else(|_| {
-                        shared.panicked.fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.panicked.inc();
                         Response::Error {
                             code: ErrorCode::Internal,
                             message: "internal error: worker panicked".into(),
@@ -435,7 +653,7 @@ fn serve_connection<R: Read, W: Write>(
             Err(e) if is_timeout(&e) => {
                 // Idle or stalled peer: reap the connection. No reply — a
                 // peer that stopped talking mid-frame cannot parse one.
-                shared.reaped.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.reaped.inc();
                 return;
             }
             Err(e) => {
@@ -449,6 +667,7 @@ fn serve_connection<R: Read, W: Write>(
                 return;
             }
         };
+        let decode_start = trace::now_ns();
         let request = match Request::decode(&frame) {
             Ok(r) => r,
             Err(e) => {
@@ -464,15 +683,23 @@ fn serve_connection<R: Read, W: Write>(
                 continue;
             }
         };
+        let decode_ns = trace::now_ns().saturating_sub(decode_start);
+        shared.metrics.op_counter(&request).inc();
         let response = match request {
             // Admin requests bypass admission control: they are cheap and
             // must work *especially* when the server is overloaded.
             Request::Stats => {
-                shared.served.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.served.inc();
                 Response::Stats(shared.stats())
             }
+            Request::Metrics => {
+                shared.metrics.served.inc();
+                Response::Metrics {
+                    text: shared.render_metrics(queue),
+                }
+            }
             Request::Reload { ref db, ref text } => {
-                shared.served.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.served.inc();
                 match parse_database(text) {
                     Ok(parsed) => Response::Ok {
                         epoch: shared.install_db(db, parsed),
@@ -485,7 +712,7 @@ fn serve_connection<R: Read, W: Write>(
                 }
             }
             Request::Flush => {
-                shared.served.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.served.inc();
                 shared.plans.clear();
                 shared.counts.clear();
                 Response::Ok { epoch: 0 }
@@ -506,36 +733,47 @@ fn serve_connection<R: Read, W: Write>(
                     request: other,
                     reply: tx,
                     faults,
+                    submitted_ns: trace::now_ns(),
+                    decode_ns,
                 }) {
-                    Ok(()) => match rx.recv() {
-                        Ok(resp) => {
-                            shared.served.fetch_add(1, Ordering::Relaxed);
-                            resp
-                        }
-                        Err(_) => Response::Error {
-                            code: ErrorCode::Internal,
-                            message: "internal error: worker dropped the job".into(),
-                            retry_after_ms: 0,
-                        },
-                    },
-                    Err(_) => {
-                        shared.overloaded.fetch_add(1, Ordering::Relaxed);
-                        Response::Error {
-                            code: ErrorCode::Overloaded,
-                            message: format!(
-                                "overloaded: request queue at capacity {}",
-                                queue.capacity()
-                            ),
-                            retry_after_ms: shared.config.overload_retry_after_ms,
+                    Ok(()) => {
+                        shared.metrics.queue_depth.set(queue.len() as u64);
+                        match rx.recv() {
+                            Ok(resp) => {
+                                shared.metrics.served.inc();
+                                resp
+                            }
+                            Err(_) => Response::Error {
+                                code: ErrorCode::Internal,
+                                message: "internal error: worker dropped the job".into(),
+                                retry_after_ms: 0,
+                            },
                         }
                     }
+                    Err(_) => Response::Error {
+                        code: ErrorCode::Overloaded,
+                        message: format!(
+                            "overloaded: request queue at capacity {}",
+                            queue.capacity()
+                        ),
+                        retry_after_ms: shared.config.overload_retry_after_ms,
+                    },
                 }
             }
         };
         shared.account(&response);
+        shared
+            .metrics
+            .latency_us
+            .observe(trace::now_ns().saturating_sub(decode_start) / 1_000);
+        let write_start = trace::now_ns();
         if response.write_to(&mut writer).is_err() {
             return;
         }
+        shared
+            .metrics
+            .reply_write_us
+            .observe(trace::now_ns().saturating_sub(write_start) / 1_000);
     }
 }
 
@@ -543,8 +781,193 @@ fn serve_connection<R: Read, W: Write>(
 fn counting_op(r: &Request) -> bool {
     matches!(
         r,
-        Request::Count { .. } | Request::Enumerate { .. } | Request::WidthReport { .. }
+        Request::Count { .. }
+            | Request::Enumerate { .. }
+            | Request::WidthReport { .. }
+            | Request::Profile { .. }
     )
+}
+
+/// Runs one queued job on a worker, under a `request` root span when a
+/// trace consumer exists (a `PROFILE` request or an active `--trace-log`).
+///
+/// The root opens *on the worker* so the planner/kernel/pool spans nest
+/// under it via the thread-local stack; queue wait and payload decode are
+/// attached as root counters (`wait_ns`, `decode_ns`) because those
+/// stretches happened before the root existed.
+fn execute_job(shared: &Shared, job: &Job) -> Response {
+    let profiling = matches!(job.request, Request::Profile { .. });
+    let _session =
+        (profiling || shared.trace_log.is_some()).then(cqcount_obs::trace::TraceSession::begin);
+    let root = trace::span("request");
+    let root_id = root.id();
+    root.tag("op", op_name(&job.request));
+    root.add("wait_ns", trace::now_ns().saturating_sub(job.submitted_ns));
+    root.add("decode_ns", job.decode_ns);
+    let response = run_job(shared, &job.request, job.faults);
+    drop(root);
+    if root_id.is_none() {
+        return response;
+    }
+    let tree = trace::build_tree(trace::collect(root_id), root_id);
+    if let (Some(log), Some(tree)) = (&shared.trace_log, &tree) {
+        let seq = shared.trace_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut line = String::new();
+        write_trace_json(&mut line, seq, op_name(&job.request), tree);
+        line.push('\n');
+        let mut w = log.lock().unwrap();
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.flush();
+    }
+    if !profiling {
+        return response;
+    }
+    match response {
+        Response::Count {
+            value,
+            plan,
+            cached,
+            degraded,
+            fingerprint,
+        } => {
+            let (total_ns, root_node) = match tree {
+                Some(t) => (t.record.duration_ns(), span_node_of(&t)),
+                // Ring overflow dropped the root; reply with an empty tree
+                // rather than failing the count.
+                None => (0, SpanNode::default()),
+            };
+            Response::Profile(ProfileReply {
+                value,
+                plan,
+                cached,
+                degraded,
+                fingerprint,
+                total_ns,
+                dropped: trace::dropped(),
+                root: root_node,
+            })
+        }
+        other => other,
+    }
+}
+
+/// Converts a collected span tree into the wire form: times rebased to the
+/// root's start, node count and depth clamped to the protocol caps.
+fn span_node_of(tree: &trace::TreeNode) -> SpanNode {
+    fn convert(node: &trace::TreeNode, base: u64, depth: usize, budget: &mut usize) -> SpanNode {
+        *budget -= 1;
+        let rec = &node.record;
+        let mut children = Vec::new();
+        if depth + 1 < MAX_SPAN_DEPTH {
+            for c in &node.children {
+                if *budget == 0 {
+                    break;
+                }
+                children.push(convert(c, base, depth + 1, budget));
+            }
+        }
+        SpanNode {
+            name: rec.name.to_owned(),
+            start_ns: rec.start_ns.saturating_sub(base),
+            duration_ns: rec.duration_ns(),
+            counters: rec
+                .counters
+                .iter()
+                .take(MAX_SPAN_FIELDS)
+                .map(|(k, v)| ((*k).to_owned(), *v))
+                .collect(),
+            tags: rec
+                .tags
+                .iter()
+                .take(MAX_SPAN_FIELDS)
+                .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                .collect(),
+            children,
+        }
+    }
+    let mut budget = MAX_SPAN_NODES;
+    convert(tree, tree.record.start_ns, 0, &mut budget)
+}
+
+/// Minimal JSON string escaping for trace-log lines (names and tags are
+/// ASCII identifiers in practice, but tags can carry arbitrary text).
+fn json_escape(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// One trace-log line: `{"seq":N,"op":"count","total_ns":T,"root":{...}}`.
+/// Node order is the tree's (children by start time), so two runs of the
+/// same seeded workload produce structurally identical lines.
+fn write_trace_json(out: &mut String, seq: u64, op: &str, tree: &trace::TreeNode) {
+    use std::fmt::Write as _;
+    fn node(out: &mut String, n: &trace::TreeNode, base: u64) {
+        use std::fmt::Write as _;
+        let rec = &n.record;
+        out.push_str("{\"name\":\"");
+        json_escape(out, rec.name);
+        let _ = write!(
+            out,
+            "\",\"start_ns\":{},\"duration_ns\":{}",
+            rec.start_ns.saturating_sub(base),
+            rec.duration_ns()
+        );
+        if !rec.counters.is_empty() {
+            out.push_str(",\"counters\":{");
+            for (i, (k, v)) in rec.counters.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                json_escape(out, k);
+                let _ = write!(out, "\":{v}");
+            }
+            out.push('}');
+        }
+        if !rec.tags.is_empty() {
+            out.push_str(",\"tags\":{");
+            for (i, (k, v)) in rec.tags.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                json_escape(out, k);
+                out.push_str("\":\"");
+                json_escape(out, v);
+                out.push('"');
+            }
+            out.push('}');
+        }
+        if !n.children.is_empty() {
+            out.push_str(",\"children\":[");
+            for (i, c) in n.children.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                node(out, c, base);
+            }
+            out.push(']');
+        }
+        out.push('}');
+    }
+    let _ = write!(
+        out,
+        "{{\"seq\":{seq},\"op\":\"{op}\",\"total_ns\":{},\"root\":",
+        tree.record.duration_ns()
+    );
+    node(out, tree, tree.record.start_ns);
+    out.push('}');
 }
 
 fn plan_error_response(e: PlanError) -> Response {
@@ -572,9 +995,12 @@ fn plan_for(
     q: &ConjunctiveQuery,
     request_budget: &Budget,
 ) -> (Arc<PlanEntry>, bool) {
+    let sp = trace::span("server.plan");
     if let Some(entry) = shared.plans.get(canonical) {
+        sp.tag("cache", "hit");
         return (entry, true);
     }
+    sp.tag("cache", "miss");
     let plan_budget = match shared.config.plan_budget_ms {
         Some(ms) => Budget::with_deadline(Duration::from_millis(ms)),
         None => request_budget.clone(),
@@ -594,6 +1020,11 @@ fn plan_for(
 fn run_job(shared: &Shared, request: &Request, faults: JobFaults) -> Response {
     match request {
         Request::Count {
+            db,
+            query,
+            budget_ms,
+        }
+        | Request::Profile {
             db,
             query,
             budget_ms,
@@ -635,17 +1066,19 @@ fn budget_for(shared: &Shared, budget_ms: u64, faults: JobFaults) -> Budget {
     budget
 }
 
-fn lookup_db(shared: &Shared, name: &str) -> Result<Arc<DbState>, Response> {
+fn lookup_db(shared: &Shared, name: &str) -> Result<Arc<DbState>, Box<Response>> {
     shared
         .dbs
         .read()
         .unwrap()
         .get(name)
         .cloned()
-        .ok_or_else(|| Response::Error {
-            code: ErrorCode::UnknownDb,
-            message: format!("unknown database {name:?}"),
-            retry_after_ms: 0,
+        .ok_or_else(|| {
+            Box::new(Response::Error {
+                code: ErrorCode::UnknownDb,
+                message: format!("unknown database {name:?}"),
+                retry_after_ms: 0,
+            })
         })
 }
 
@@ -656,6 +1089,7 @@ fn run_count(
     budget_ms: u64,
     faults: JobFaults,
 ) -> Response {
+    let parse_sp = trace::span("server.parse");
     let q = match parse_query(query) {
         Ok(q) => q,
         Err(e) => {
@@ -667,14 +1101,19 @@ fn run_count(
         }
     };
     let fp = fingerprint(&q);
+    drop(parse_sp);
     let state = match lookup_db(shared, db_name) {
         Ok(s) => s,
-        Err(resp) => return resp,
+        Err(resp) => return *resp,
     };
 
     // Level 2: an exact count cached under the current epoch.
+    let probe_sp = trace::span("server.cache_probe");
     let key = (fp.text.clone(), db_name.to_owned(), state.epoch);
-    if let Some(value) = shared.counts.get(&key) {
+    let warm = shared.counts.get(&key);
+    probe_sp.tag("result", if warm.is_some() { "hit" } else { "miss" });
+    drop(probe_sp);
+    if let Some(value) = warm {
         return Response::Count {
             value: value.to_string(),
             plan: "cached".into(),
@@ -691,17 +1130,27 @@ fn run_count(
         Ok((n, plan, degraded)) => {
             // Exact regardless of degradation, so always cacheable.
             shared.counts.insert(key, n.clone());
+            let plan_label = match plan {
+                cqcount_core::Plan::SharpPipeline { width } => {
+                    format!("sharp-pipeline(width={width})")
+                }
+                cqcount_core::Plan::Hybrid { width, bound, .. } => {
+                    format!("hybrid(width={width},bound={bound})")
+                }
+                cqcount_core::Plan::BruteForce { .. } => "brute-force".into(),
+            };
+            if degraded {
+                // At this point the worker's span stack has unwound to the
+                // root `request` span, so the reason tags the root — a
+                // profiled degraded reply carries it on the tree's root.
+                trace::tag_current(
+                    "degraded",
+                    format!("plan budget exhausted; fell back to {plan_label}"),
+                );
+            }
             Response::Count {
                 value: n.to_string(),
-                plan: match plan {
-                    cqcount_core::Plan::SharpPipeline { width } => {
-                        format!("sharp-pipeline(width={width})")
-                    }
-                    cqcount_core::Plan::Hybrid { width, bound, .. } => {
-                        format!("hybrid(width={width},bound={bound})")
-                    }
-                    cqcount_core::Plan::BruteForce { .. } => "brute-force".into(),
-                },
+                plan: plan_label,
                 cached: if plan_hit {
                     CacheTier::PlanWarm
                 } else {
@@ -735,7 +1184,7 @@ fn run_enumerate(
     };
     let state = match lookup_db(shared, db_name) {
         Ok(s) => s,
-        Err(resp) => return resp,
+        Err(resp) => return *resp,
     };
     let budget = budget_for(shared, budget_ms, faults);
     let cap = (limit as usize).min(shared.config.max_enumerate);
