@@ -1,0 +1,199 @@
+//! Cold width-search wall-clock: the PR 5 planner (lazy candidate
+//! streams + parallel block solving + cross-width reuse, via
+//! `WidthSearch`) against the pre-PR-5 engine (eager
+//! materialize-and-sort candidates, sequential blocks, from-scratch per
+//! width — but with the core computation hoisted out of the per-width
+//! loop, so the speedup below is the engine's, not the hoist's).
+//!
+//! Queries: the paper's Q0, the Q1 cycle, the C.1 star (h = 2), and
+//! seeded random cyclic queries with 8..16 atoms
+//! (`cqcount_workloads::random::random_cyclic_query`). Each sweep is
+//! measured at 1 thread and at the pool default; both engines see the
+//! same thread count. The sequential reference must report the same
+//! width as the parallel run on every query (asserted here).
+//!
+//! Emits `BENCH_planner_search.json`; CI's `planner-bench-guard`
+//! recomputes the 1-thread speedups fresh and fails if they regressed
+//! more than 25% against the committed figures (ratio-of-ratios, so the
+//! guard is machine-independent).
+
+use cqcount_bench::{bench_ns, print_table};
+use cqcount_core::width_search::WidthSearch;
+use cqcount_decomp::ghw_at_most_eager;
+use cqcount_exec::with_threads;
+use cqcount_hypergraph::{frontier_hypergraph, NodeSet};
+use cqcount_query::color::{color, uncolor};
+use cqcount_query::core_of::core_exact;
+use cqcount_query::ConjunctiveQuery;
+use cqcount_workloads::paper::{q0_query, q1_cycle_query, star_query};
+use cqcount_workloads::random::random_cyclic_query;
+
+/// The pre-PR-5 cold plan with the core hoist applied: width-independent
+/// setup once, then an eager-engine search from scratch per width.
+fn eager_sweep(q: &ConjunctiveQuery, cap: usize) -> Option<usize> {
+    let colored_core = core_exact(&color(q));
+    let qprime = uncolor(&colored_core);
+    let free = q.free_nodes();
+    let hq = qprime.hypergraph();
+    let cover = hq.merge(&frontier_hypergraph(&hq, &free));
+    let resources: Vec<NodeSet> = qprime
+        .atoms()
+        .iter()
+        .map(|a| a.vars().iter().map(|v| v.node()).collect())
+        .collect();
+    (1..=cap).find(|&k| ghw_at_most_eager(&cover, &resources, k).is_some())
+}
+
+/// The PR 5 cold plan: one incremental `WidthSearch` drives the sweep.
+fn lazy_sweep(q: &ConjunctiveQuery, cap: usize) -> Option<usize> {
+    WidthSearch::new(q).find_up_to(cap).map(|(k, _)| k)
+}
+
+struct Case {
+    name: String,
+    atoms: usize,
+    width: usize,
+    eager_1t_ns: f64,
+    lazy_1t_ns: f64,
+    eager_nt_ns: f64,
+    lazy_nt_ns: f64,
+}
+
+impl Case {
+    fn speedup_1t(&self) -> f64 {
+        self.eager_1t_ns / self.lazy_1t_ns
+    }
+    fn speedup_nt(&self) -> f64 {
+        self.eager_nt_ns / self.lazy_nt_ns
+    }
+}
+
+fn main() {
+    let threads = cqcount_exec::current_threads();
+    let mut queries: Vec<(String, ConjunctiveQuery, usize)> = vec![
+        ("q0".into(), q0_query(), 3),
+        ("q1-cycle".into(), q1_cycle_query(), 3),
+        ("star-c1".into(), star_query(2), 4),
+    ];
+    for atoms in [8usize, 10, 12, 14, 16] {
+        queries.push((
+            format!("random-cyclic-{atoms}"),
+            random_cyclic_query(atoms, 0xC0DE + atoms as u64),
+            4,
+        ));
+    }
+
+    let mut cases = Vec::new();
+    for (name, q, cap) in &queries {
+        // Determinism gate: the 1-thread reference and the parallel sweep
+        // must land on the same width.
+        let w_seq = with_threads(1, || lazy_sweep(q, *cap));
+        let w_par = with_threads(threads, || lazy_sweep(q, *cap));
+        let w_eager = eager_sweep(q, *cap);
+        assert_eq!(w_seq, w_par, "{name}: parallel width diverged");
+        assert_eq!(w_seq, w_eager, "{name}: engine width diverged");
+        let width = w_seq.unwrap_or_else(|| panic!("{name}: no width ≤ {cap}"));
+
+        let eager_1t_ns = with_threads(1, || {
+            bench_ns(|| {
+                std::hint::black_box(eager_sweep(q, *cap));
+            })
+        });
+        let lazy_1t_ns = with_threads(1, || {
+            bench_ns(|| {
+                std::hint::black_box(lazy_sweep(q, *cap));
+            })
+        });
+        let eager_nt_ns = with_threads(threads, || {
+            bench_ns(|| {
+                std::hint::black_box(eager_sweep(q, *cap));
+            })
+        });
+        let lazy_nt_ns = with_threads(threads, || {
+            bench_ns(|| {
+                std::hint::black_box(lazy_sweep(q, *cap));
+            })
+        });
+        cases.push(Case {
+            name: name.clone(),
+            atoms: q.atoms().len(),
+            width,
+            eager_1t_ns,
+            lazy_1t_ns,
+            eager_nt_ns,
+            lazy_nt_ns,
+        });
+    }
+
+    println!("\n### bench: planner_search (cold width sweep, N = {threads} threads)\n");
+    let rows: Vec<Vec<String>> = cases
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                c.atoms.to_string(),
+                c.width.to_string(),
+                format!("{:.0}", c.eager_1t_ns / 1e3),
+                format!("{:.0}", c.lazy_1t_ns / 1e3),
+                format!("{:.1}x", c.speedup_1t()),
+                format!("{:.0}", c.eager_nt_ns / 1e3),
+                format!("{:.0}", c.lazy_nt_ns / 1e3),
+                format!("{:.1}x", c.speedup_nt()),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "query",
+            "atoms",
+            "width",
+            "eager 1t (µs)",
+            "lazy 1t (µs)",
+            "speedup 1t",
+            "eager Nt (µs)",
+            "lazy Nt (µs)",
+            "speedup Nt",
+        ],
+        &rows,
+    );
+
+    // The headline figure the acceptance criterion reads: the smallest
+    // same-thread-count speedup across the n ≥ 12 random workload.
+    let headline = cases
+        .iter()
+        .filter(|c| c.name.starts_with("random-cyclic") && c.atoms >= 12)
+        .map(|c| c.speedup_1t().max(c.speedup_nt()))
+        .fold(f64::INFINITY, f64::min);
+    println!("\nheadline: min speedup on random n >= 12 workload {headline:.1}x (target >= 5x)");
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"planner_search\",\n");
+    json.push_str(
+        "  \"baseline\": \"eager materialize-and-sort engine, from-scratch per width, core hoisted\",\n",
+    );
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"headline_min_speedup_n12\": {headline:.2},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"query\": \"{}\", \"atoms\": {}, \"width\": {}, \"eager_1t_ns\": {:.0}, \"lazy_1t_ns\": {:.0}, \"speedup_1t\": {:.2}, \"eager_nt_ns\": {:.0}, \"lazy_nt_ns\": {:.0}, \"speedup_nt\": {:.2}}}{}\n",
+            c.name,
+            c.atoms,
+            c.width,
+            c.eager_1t_ns,
+            c.lazy_1t_ns,
+            c.speedup_1t(),
+            c.eager_nt_ns,
+            c.lazy_nt_ns,
+            c.speedup_nt(),
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_planner_search.json"
+    );
+    std::fs::write(out, &json).expect("write BENCH_planner_search.json");
+    println!("wrote {out}");
+}

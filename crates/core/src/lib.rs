@@ -45,6 +45,7 @@ pub mod ps;
 pub mod sharp;
 pub mod ucq;
 pub mod views;
+pub mod width_search;
 
 /// Convenience re-exports of the full counting API.
 pub mod prelude {
@@ -70,6 +71,7 @@ pub mod prelude {
     };
     pub use crate::ucq::{count_union, UnionQuery};
     pub use crate::views::{count_with_view_set, ViewSet};
+    pub use crate::width_search::WidthSearch;
 }
 
 pub use prelude::*;

@@ -17,7 +17,7 @@
 //!    acyclic DP.
 
 use crate::acyclic::count_over_tree;
-use crate::sharp::{sharp_hypertree_decomposition, SharpDecomposition};
+use crate::sharp::SharpDecomposition;
 use cqcount_arith::Natural;
 use cqcount_decomp::Hypertree;
 use cqcount_query::ConjunctiveQuery;
@@ -58,7 +58,7 @@ pub fn count_via_sharp_decomposition(
     db: &Database,
     max_k: usize,
 ) -> Option<(Natural, SharpDecomposition)> {
-    let sd = (1..=max_k).find_map(|k| sharp_hypertree_decomposition(q, k))?;
+    let (_, sd) = crate::width_search::WidthSearch::new(q).find_up_to(max_k)?;
     let count = count_with_decomposition(&sd.qprime, db, &sd.hypertree);
     Some((count, sd))
 }

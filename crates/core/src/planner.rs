@@ -6,7 +6,8 @@ use crate::budget::Budget;
 use crate::error::PlanError;
 use crate::hybrid::count_hybrid;
 use crate::pipeline::{count_via_sharp_decomposition, count_with_decomposition};
-use crate::sharp::{sharp_hypertree_decomposition, sharp_hypertree_width, SharpDecomposition};
+use crate::sharp::SharpDecomposition;
+use crate::width_search::WidthSearch;
 
 use cqcount_arith::Natural;
 use cqcount_query::{quantified_star_size, ConjunctiveQuery};
@@ -38,11 +39,14 @@ impl WidthReport {
     pub fn analyze(q: &ConjunctiveQuery, cap: usize) -> WidthReport {
         let h = q.hypergraph();
         let resources = crate::sharp::atom_nodesets(q);
+        // Both width sweeps run incrementally: ghw_exact reuses one
+        // GhwSearch across k and WidthSearch shares the core/cover setup.
         let ghw = cqcount_decomp::ghw_exact(&h, &resources, cap).map(|(w, _)| w);
+        let sharp_width = WidthSearch::new(q).find_up_to(cap).map(|(k, _)| k);
         WidthReport {
             acyclic: cqcount_hypergraph::is_acyclic(&h),
             ghw,
-            sharp_width: sharp_hypertree_width(q, cap),
+            sharp_width,
             star_size: quantified_star_size(q),
             atoms: q.atoms().len(),
             vars: q.vars_in_atoms().len(),
@@ -193,6 +197,9 @@ pub fn prepare_plan_budgeted(
     let sp = cqcount_obs::trace::span("plan.decompose");
     let mut degraded = false;
     let mut sharp = None;
+    // The WidthSearch is built lazily so a budget tripped before planning
+    // even starts degrades without paying for the core computation.
+    let mut search: Option<WidthSearch> = None;
     for k in 1..=width_cap {
         if budget.is_exceeded() {
             degraded = true;
@@ -201,7 +208,8 @@ pub fn prepare_plan_budgeted(
         if sp.is_armed() {
             sp.add("widths_tried", 1);
         }
-        if let Some(sd) = sharp_hypertree_decomposition(q, k) {
+        let search = search.get_or_insert_with(|| WidthSearch::new(q));
+        if let Some(sd) = search.decomposition_at(k) {
             sharp = Some(sd);
             break;
         }

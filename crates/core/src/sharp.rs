@@ -1,11 +1,10 @@
 //! `#`-hypertree decompositions (Definition 1.2) and `#`-decompositions
 //! w.r.t. arbitrary view sets (Definition 1.4, Theorem 3.6).
 
-use cqcount_decomp::{ghw_at_most, tree_projection, Hypertree};
+use cqcount_decomp::{tree_projection, Hypertree};
 use cqcount_hypergraph::{frontier_hypergraph, Hypergraph, NodeSet};
 use cqcount_query::canonical::atom_bindings;
 use cqcount_query::color::{color, uncolor};
-use cqcount_query::core_of::core_exact;
 use cqcount_query::hom::has_homomorphism;
 use cqcount_query::ConjunctiveQuery;
 use cqcount_relational::{Bindings, Database};
@@ -53,25 +52,16 @@ pub(crate) fn sharp_cover(qprime: &ConjunctiveQuery, free: &NodeSet) -> (Hypergr
 /// The core of `color(q)` is computed exactly; all cores are isomorphic, so
 /// for the atom-based view set any one of them decides the width.
 pub fn sharp_hypertree_decomposition(q: &ConjunctiveQuery, k: usize) -> Option<SharpDecomposition> {
-    let colored_core = core_exact(&color(q));
-    let qprime = uncolor(&colored_core);
-    let free = q.free_nodes();
-    let (cover, frontier) = sharp_cover(&qprime, &free);
-    let resources = atom_nodesets(&qprime);
-    let hypertree = ghw_at_most(&cover, &resources, k)?;
-    let width = hypertree.width();
-    Some(SharpDecomposition {
-        colored_core,
-        qprime,
-        frontier,
-        hypertree,
-        width,
-    })
+    crate::width_search::WidthSearch::new(q).decomposition_at(k)
 }
 
-/// The `#`-hypertree width of `q`, searched up to `max_k`.
+/// The `#`-hypertree width of `q`, searched up to `max_k`. A single
+/// [`crate::width_search::WidthSearch`] drives the whole sweep, so the core
+/// is computed once and refuted blocks carry over between widths.
 pub fn sharp_hypertree_width(q: &ConjunctiveQuery, max_k: usize) -> Option<usize> {
-    (1..=max_k).find(|&k| sharp_hypertree_decomposition(q, k).is_some())
+    crate::width_search::WidthSearch::new(q)
+        .find_up_to(max_k)
+        .map(|(k, _)| k)
 }
 
 /// Enumerates all cores of `q` *as substructures* (atom-index subsets).

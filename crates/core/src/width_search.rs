@@ -1,0 +1,121 @@
+//! The incremental `#`-hypertree width sweep.
+//!
+//! Every width-`k` probe of a query needs the same expensive preamble: the
+//! exact core of `color(Q)` (NP-hard), its uncolored version `Q'`, the
+//! frontier hypergraph and the combined cover. Before PR 5,
+//! `sharp_hypertree_width` recomputed all of it for every `k`; a
+//! [`WidthSearch`] computes it **once** (under the `plan.core` span) and
+//! then drives a single [`GhwSearch`] across the whole `k = 1, 2, …`
+//! sweep, so combo layers extend incrementally and blocks refuted at
+//! width `k` carry their negative verdicts into `k+1` (see
+//! `cqcount_decomp::tp` and DESIGN.md §Planner).
+//!
+//! [`sharp_hypertree_decomposition`](crate::sharp::sharp_hypertree_decomposition),
+//! [`sharp_hypertree_width`](crate::sharp::sharp_hypertree_width),
+//! [`count_via_sharp_decomposition`](crate::pipeline::count_via_sharp_decomposition)
+//! and [`prepare_plan`](crate::planner::prepare_plan) are all thin wrappers
+//! over this type; budgeted planning checks its budget between widths, so
+//! the budget meters the whole sweep.
+
+use crate::sharp::{atom_nodesets, sharp_cover, SharpDecomposition};
+use cqcount_decomp::GhwSearch;
+use cqcount_hypergraph::Hypergraph;
+use cqcount_query::color::{color, uncolor};
+use cqcount_query::core_of::core_exact;
+use cqcount_query::ConjunctiveQuery;
+
+/// One query's width sweep: core, cover and frontier computed once, the
+/// decomposition engine shared across widths.
+pub struct WidthSearch {
+    colored_core: ConjunctiveQuery,
+    qprime: ConjunctiveQuery,
+    frontier: Hypergraph,
+    search: GhwSearch,
+}
+
+impl WidthSearch {
+    /// Runs the width-independent preamble: exact core of `color(q)`,
+    /// uncoloring, frontier hypergraph and the combined cover.
+    pub fn new(q: &ConjunctiveQuery) -> WidthSearch {
+        let sp = cqcount_obs::trace::span("plan.core");
+        let colored_core = core_exact(&color(q));
+        let qprime = uncolor(&colored_core);
+        let free = q.free_nodes();
+        let (cover, frontier) = sharp_cover(&qprime, &free);
+        let resources = atom_nodesets(&qprime);
+        // Engine construction (primal graph, memo shards) stays inside the
+        // span so `plan.*` sub-spans cover the whole decomposition stage.
+        let search = GhwSearch::new(&cover, &resources);
+        if sp.is_armed() {
+            sp.add("core_atoms", qprime.atoms().len() as u64);
+            sp.add("cover_edges", cover.edges().len() as u64);
+            sp.add("frontier_edges", frontier.edges().len() as u64);
+        }
+        drop(sp);
+        WidthSearch {
+            colored_core,
+            qprime,
+            frontier,
+            search,
+        }
+    }
+
+    /// The core's uncolored sub-query `Q'`.
+    pub fn qprime(&self) -> &ConjunctiveQuery {
+        &self.qprime
+    }
+
+    /// Probes width exactly `k`, reusing everything learned at smaller
+    /// widths this sweep.
+    pub fn decomposition_at(&mut self, k: usize) -> Option<SharpDecomposition> {
+        let hypertree = self.search.at_most(k)?;
+        let sp = cqcount_obs::trace::span("plan.witness");
+        let width = hypertree.width();
+        if sp.is_armed() {
+            sp.add("width", width as u64);
+            sp.add("vertices", hypertree.len() as u64);
+        }
+        Some(SharpDecomposition {
+            colored_core: self.colored_core.clone(),
+            qprime: self.qprime.clone(),
+            frontier: self.frontier.clone(),
+            hypertree,
+            width,
+        })
+    }
+
+    /// Sweeps `k = 1..=max_k`; returns the first admitting width and its
+    /// witness.
+    pub fn find_up_to(&mut self, max_k: usize) -> Option<(usize, SharpDecomposition)> {
+        (1..=max_k).find_map(|k| self.decomposition_at(k).map(|sd| (k, sd)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqcount_query::parse_query;
+
+    #[test]
+    fn sweep_matches_single_width_probes() {
+        let q = parse_query("ans(A, C) :- s1(A, B), s2(B, C), s3(C, D), s4(D, A).").unwrap();
+        let mut ws = WidthSearch::new(&q);
+        assert!(ws.decomposition_at(1).is_none());
+        let sd = ws.decomposition_at(2).expect("Q1 has #-htw 2");
+        assert_eq!(sd.width, 2);
+        let fresh = crate::sharp::sharp_hypertree_decomposition(&q, 2).unwrap();
+        assert_eq!(sd.hypertree.chi, fresh.hypertree.chi);
+        assert_eq!(sd.hypertree.lambda, fresh.hypertree.lambda);
+    }
+
+    #[test]
+    fn find_up_to_reports_the_admitting_width() {
+        let q =
+            parse_query("ans(X0, X1, X2) :- r(X0, Y1, Y2), s(Y0, Y1, Y2), w1(X1, Y1), w2(X2, Y2).")
+                .unwrap();
+        let mut ws = WidthSearch::new(&q);
+        let (k, sd) = ws.find_up_to(5).expect("C.1 has #-htw 3");
+        assert_eq!(k, 3);
+        assert_eq!(sd.width, 3);
+    }
+}

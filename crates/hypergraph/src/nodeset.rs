@@ -112,6 +112,44 @@ impl NodeSet {
         }
     }
 
+    /// Empties the set, keeping its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+    }
+
+    /// Replaces the contents with a copy of `other`, reusing the
+    /// allocation.
+    pub fn copy_from(&mut self, other: &NodeSet) {
+        self.blocks.clear();
+        self.blocks.extend_from_slice(&other.blocks);
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &NodeSet) {
+        self.blocks.truncate(other.blocks.len());
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+        self.normalize();
+    }
+
+    /// In-place difference `self \ other`.
+    pub fn difference_with(&mut self, other: &NodeSet) {
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !b;
+        }
+        self.normalize();
+    }
+
+    /// Returns `true` iff `self ⊆ a ∩ b`, without materializing the
+    /// intersection.
+    pub fn subset_of_intersection(&self, a: &NodeSet, b: &NodeSet) -> bool {
+        self.blocks.iter().enumerate().all(|(i, w)| {
+            let ab = a.blocks.get(i).unwrap_or(&0) & b.blocks.get(i).unwrap_or(&0);
+            w & !ab == 0
+        })
+    }
+
     /// Set intersection.
     pub fn intersection(&self, other: &NodeSet) -> NodeSet {
         let n = self.blocks.len().min(other.blocks.len());
@@ -247,6 +285,49 @@ mod tests {
         assert!(a.intersection(&b).is_subset(&a));
         assert!(a.intersects(&b));
         assert!(!a.intersects(&NodeSet::singleton(7)));
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_ops() {
+        let a: NodeSet = [0, 1, 64, 128].into();
+        let b: NodeSet = [1, 64, 200].into();
+        let mut x = a.clone();
+        x.intersect_with(&b);
+        assert_eq!(x, a.intersection(&b));
+        let mut y = a.clone();
+        y.difference_with(&b);
+        assert_eq!(y, a.difference(&b));
+        // Normalization survives in-place edits: high blocks zeroed out.
+        let mut z: NodeSet = [300].into();
+        z.intersect_with(&[1].into());
+        assert!(z.is_empty());
+        let mut w: NodeSet = [300].into();
+        w.difference_with(&[300].into());
+        assert_eq!(w, NodeSet::new());
+        let mut c = NodeSet::new();
+        c.copy_from(&a);
+        assert_eq!(c, a);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn subset_of_intersection_matches_materialized() {
+        let a: NodeSet = [0, 1, 64, 128].into();
+        let b: NodeSet = [1, 64, 200].into();
+        for probe in [
+            NodeSet::from([1, 64]),
+            NodeSet::from([1]),
+            NodeSet::from([1, 200]),
+            NodeSet::from([300]),
+            NodeSet::new(),
+        ] {
+            assert_eq!(
+                probe.subset_of_intersection(&a, &b),
+                probe.is_subset(&a.intersection(&b)),
+                "{probe:?}"
+            );
+        }
     }
 
     #[test]

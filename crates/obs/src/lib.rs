@@ -20,6 +20,7 @@
 //! other crate may depend on it, it depends on nothing.
 
 pub mod metrics;
+pub mod planner;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};

@@ -238,6 +238,28 @@ impl Registry {
         c
     }
 
+    /// Register an *existing* counter handle (e.g. a process-wide detached
+    /// counter) under `name` with an optional label. Idempotent: if the
+    /// (name, label) pair is already present the registry keeps its current
+    /// handle and this is a no-op.
+    pub fn attach_counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        label: Option<(&'static str, &str)>,
+        counter: &Counter,
+    ) {
+        if self.find(name, label).is_some() {
+            return;
+        }
+        self.entries.lock().unwrap().push(Entry {
+            name,
+            help,
+            label: label.map(|(k, v)| (k, v.to_string())),
+            kind: Kind::Counter(counter.clone()),
+        });
+    }
+
     /// Get or register an unlabeled gauge.
     pub fn gauge(&self, name: &'static str, help: &'static str) -> Gauge {
         if let Some(Kind::Gauge(g)) = self.find(name, None) {

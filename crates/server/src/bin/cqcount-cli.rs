@@ -331,6 +331,14 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("reaped conns: {}", s.reaped);
             println!("degraded:     {}", s.degraded);
             println!("faults:       {}", s.faults_injected);
+            println!(
+                "planner:      {} blocks solved, {} memo hits, {} negative reuses",
+                s.planner_blocks_solved, s.planner_memo_hits, s.planner_negative_reuse
+            );
+            println!(
+                "              {} candidates, {} universes, {} widths searched",
+                s.planner_candidates, s.planner_universes, s.planner_widths_searched
+            );
             for d in &s.dbs {
                 println!(
                     "db {}: epoch {}, fingerprint {:016x}, {} tuples",

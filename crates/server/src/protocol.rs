@@ -24,8 +24,11 @@ pub const MAGIC: [u8; 2] = [0x43, 0x51];
 /// frames, and the per-error-code counters in `STATS`. v3 added the
 /// `PROFILE` (span tree + kernel counters for one query) and `METRICS`
 /// (Prometheus-style text exposition) opcodes; every v2 frame is
-/// unchanged, so v2 peers keep working ([`MIN_VERSION`]).
-pub const VERSION: u8 = 0x03;
+/// unchanged, so v2 peers keep working ([`MIN_VERSION`]). v4 appends the
+/// planner search counters to `STATS` replies as trailing fields — the
+/// decoder treats them as optional (absent ⇒ zero), so a v4 client reads
+/// v3 replies, and pre-v4 clients must ignore trailing `STATS` bytes.
+pub const VERSION: u8 = 0x04;
 /// Oldest protocol version the daemon still accepts. v2 frames are a
 /// strict subset of v3, so the shim is just a wider version check.
 pub const MIN_VERSION: u8 = 0x02;
@@ -194,6 +197,19 @@ pub struct StatsReply {
     pub faults_injected: u64,
     /// Per-database epochs and fingerprints.
     pub dbs: Vec<DbSummary>,
+    /// Planner: blocks solved by the decomposition search (v4+; zero when
+    /// talking to an older server).
+    pub planner_blocks_solved: u64,
+    /// Planner: memo hits inside the block recursion (v4+).
+    pub planner_memo_hits: u64,
+    /// Planner: width-`k` negative verdicts reused at `k+1` (v4+).
+    pub planner_negative_reuse: u64,
+    /// Planner: candidate bags pulled from the lazy streams (v4+).
+    pub planner_candidates: u64,
+    /// Planner: candidate universes opened (v4+).
+    pub planner_universes: u64,
+    /// Planner: width levels searched (v4+).
+    pub planner_widths_searched: u64,
 }
 
 /// Structural analysis results (mirrors `cqcount_core::WidthReport`, with
@@ -716,6 +732,19 @@ impl Response {
                     write_u64_le(&mut p, d.fingerprint);
                     write_uleb(&mut p, d.tuples);
                 }
+                // v4 trailing fields: planner search counters. Decoders
+                // treat them as optional, so a v3 reply (ending at the db
+                // list) still parses.
+                for v in [
+                    s.planner_blocks_solved,
+                    s.planner_memo_hits,
+                    s.planner_negative_reuse,
+                    s.planner_candidates,
+                    s.planner_universes,
+                    s.planner_widths_searched,
+                ] {
+                    write_uleb(&mut p, v);
+                }
                 OP_R_STATS
             }
             Response::Ok { epoch } => {
@@ -833,6 +862,13 @@ impl Response {
                         tuples: read_uleb(buf, &mut pos)?,
                     });
                 }
+                // v4 trailing planner counters; absent in v3 replies.
+                let mut planner = [0u64; 6];
+                if pos != buf.len() {
+                    for v in &mut planner {
+                        *v = read_uleb(buf, &mut pos)?;
+                    }
+                }
                 Response::Stats(StatsReply {
                     served: vals[0],
                     overloaded: vals[1],
@@ -847,6 +883,12 @@ impl Response {
                     degraded: vals[10],
                     faults_injected: vals[11],
                     dbs,
+                    planner_blocks_solved: planner[0],
+                    planner_memo_hits: planner[1],
+                    planner_negative_reuse: planner[2],
+                    planner_candidates: planner[3],
+                    planner_universes: planner[4],
+                    planner_widths_searched: planner[5],
                 })
             }
             OP_R_OK => Response::Ok {
@@ -992,8 +1034,15 @@ mod tests {
                 fingerprint: 42,
                 tuples: 17,
             }],
+            planner_blocks_solved: 321,
+            planner_memo_hits: 100,
+            planner_negative_reuse: 7,
+            planner_candidates: 5000,
+            planner_universes: 90,
+            planner_widths_searched: 3,
         }));
         roundtrip_response(Response::Ok { epoch: 3 });
+        roundtrip_response(Response::Stats(StatsReply::default()));
         roundtrip_response(Response::Error {
             code: ErrorCode::BudgetExceeded,
             message: "plan error: budget exceeded after 50ms".into(),
@@ -1108,7 +1157,7 @@ mod tests {
     }
 
     #[test]
-    fn v2_frames_still_parse_under_v3() {
+    fn v2_frames_still_parse_under_v4() {
         // A v2 peer sends VERSION = 0x02; the daemon must keep accepting it.
         let mut buf = Vec::new();
         Request::Stats.write_to(&mut buf).unwrap();
@@ -1117,10 +1166,35 @@ mod tests {
         let frame = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
         assert_eq!(Request::decode(&frame).unwrap(), Request::Stats);
         // But versions outside [MIN_VERSION, VERSION] stay rejected.
-        for bad in [0x00, 0x01, 0x04, 0x7f] {
+        for bad in [0x00, 0x01, 0x05, 0x7f] {
             buf[2] = bad;
             assert!(read_frame(&mut Cursor::new(&buf)).is_err(), "version {bad}");
         }
+    }
+
+    #[test]
+    fn v3_stats_reply_without_planner_fields_still_decodes() {
+        // A v3 server's STATS reply ends at the db list; the v4 decoder
+        // must read it with the planner counters defaulting to zero.
+        let full = Response::Stats(StatsReply {
+            served: 5,
+            planner_blocks_solved: 9,
+            planner_widths_searched: 2,
+            ..StatsReply::default()
+        });
+        let mut buf = Vec::new();
+        full.write_to(&mut buf).unwrap();
+        let mut frame = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
+        // Strip the six trailing one-byte varints (all values < 128 here)
+        // to reconstruct the v3 payload.
+        frame.payload.truncate(frame.payload.len() - 6);
+        let got = match Response::decode(&frame).unwrap() {
+            Response::Stats(s) => s,
+            other => panic!("expected stats, got {other:?}"),
+        };
+        assert_eq!(got.served, 5);
+        assert_eq!(got.planner_blocks_solved, 0);
+        assert_eq!(got.planner_widths_searched, 0);
     }
 
     #[test]

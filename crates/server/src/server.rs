@@ -276,6 +276,29 @@ impl Metrics {
         }
     }
 
+    /// Exposes the process-wide planner search counters on this registry
+    /// (shared handles — the decomposition engine increments them
+    /// directly, see `cqcount_obs::planner`).
+    fn attach_planner_counters(&self) {
+        let p = cqcount_obs::planner::counters();
+        let events: [(&str, &Counter); 6] = [
+            ("blocks_solved", &p.blocks_solved),
+            ("memo_hits", &p.memo_hits),
+            ("negative_reuse", &p.negative_reuse),
+            ("candidates_yielded", &p.candidates_yielded),
+            ("universes_opened", &p.universes_opened),
+            ("widths_searched", &p.widths_searched),
+        ];
+        for (event, counter) in events {
+            self.registry.attach_counter(
+                "cqcount_planner_events_total",
+                "Decomposition-search events, by kind (process-wide).",
+                Some(("event", event)),
+                counter,
+            );
+        }
+    }
+
     /// The admission counter for a decoded request.
     fn op_counter(&self, r: &Request) -> &Counter {
         match r {
@@ -348,6 +371,7 @@ impl Shared {
     fn stats(&self) -> StatsReply {
         let (plan_hits, plan_misses) = self.plans.counters();
         let (count_hits, count_misses) = self.counts.counters();
+        let planner = cqcount_obs::planner::counters();
         let mut dbs: Vec<DbSummary> = self
             .dbs
             .read()
@@ -375,6 +399,12 @@ impl Shared {
             degraded: self.metrics.degraded.get(),
             faults_injected: self.injector.as_ref().map_or(0, |i| i.injected()),
             dbs,
+            planner_blocks_solved: planner.blocks_solved.get(),
+            planner_memo_hits: planner.memo_hits.get(),
+            planner_negative_reuse: planner.negative_reuse.get(),
+            planner_candidates: planner.candidates_yielded.get(),
+            planner_universes: planner.universes_opened.get(),
+            planner_widths_searched: planner.widths_searched.get(),
         }
     }
 
@@ -504,6 +534,7 @@ pub fn serve(
         None => None,
     };
     let metrics = Metrics::new();
+    metrics.attach_planner_counters();
     let plans = PlanCache::with_counters(
         config.plan_cache_cap,
         metrics.plan_hits.clone(),

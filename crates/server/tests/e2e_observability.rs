@@ -79,6 +79,12 @@ fn profile_returns_the_span_tree_of_a_cold_count() {
         names.iter().any(|n| n == "plan.decompose"),
         "a cold profile must show the decomposition search, got {names:?}"
     );
+    for sub in ["plan.core", "plan.candidates", "plan.blocks"] {
+        assert!(
+            names.iter().any(|n| n == sub),
+            "a cold profile must show the {sub} planner sub-span, got {names:?}"
+        );
+    }
     assert!(
         names.iter().any(|n| n.starts_with("count.")),
         "a cold profile must show the counting rung, got {names:?}"
@@ -93,6 +99,39 @@ fn profile_returns_the_span_tree_of_a_cold_count() {
         cold.total_ns
     );
     assert!(direct <= cold.total_ns, "children cannot exceed the root");
+
+    // The planner sub-spans must account for (nearly) the whole
+    // decomposition search: the only work outside them is budget checks
+    // and span bookkeeping. Gaps between spans absorb scheduler noise
+    // when the test binary runs its servers in parallel, so take the best
+    // of a few cold samples — that is the intrinsic coverage.
+    fn find_span<'a>(node: &'a SpanNode, name: &str) -> Option<&'a SpanNode> {
+        if node.name == name {
+            return Some(node);
+        }
+        node.children.iter().find_map(|c| find_span(c, name))
+    }
+    let plan_coverage = |root: &SpanNode| {
+        let decompose = find_span(root, "plan.decompose").unwrap();
+        let planner: u64 = decompose
+            .children
+            .iter()
+            .filter(|c| c.name.starts_with("plan."))
+            .map(|c| c.duration_ns)
+            .sum();
+        planner as f64 / decompose.duration_ns as f64
+    };
+    let mut best = plan_coverage(&cold.root);
+    for _ in 0..4 {
+        if best >= 0.95 {
+            break;
+        }
+        c.flush().unwrap();
+        let again = c.profile("main", CYCLE_Q, 0).unwrap();
+        assert_eq!(again.cached, CacheTier::Cold);
+        best = best.max(plan_coverage(&again.root));
+    }
+    assert!(best >= 0.95, "plan.* sub-spans cover only {best:.3}");
 
     // The profiled count agrees with the plain COUNT path (served warm
     // from the cache the profile populated).
@@ -176,6 +215,38 @@ fn metrics_exposition_matches_the_traffic_sent() {
     }
     assert!(text.contains("# TYPE cqcount_request_latency_us histogram"));
     assert!(text.contains("cqcount_request_latency_us_bucket{le=\"+Inf\"} 4"));
+
+    // The planner search counters are exposed on the same registry. They
+    // are process-wide (shared across every server in this test binary),
+    // so assert presence and that this binary's cold plans registered.
+    for event in [
+        "blocks_solved",
+        "memo_hits",
+        "negative_reuse",
+        "candidates_yielded",
+        "universes_opened",
+        "widths_searched",
+    ] {
+        assert!(
+            text.contains(&format!(
+                "cqcount_planner_events_total{{event=\"{event}\"}}"
+            )),
+            "metrics text missing planner counter {event}:\n{text}"
+        );
+    }
+    let planner_line = |event: &str| {
+        text.lines()
+            .find(|l| {
+                l.starts_with(&format!(
+                    "cqcount_planner_events_total{{event=\"{event}\"}}"
+                ))
+            })
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap()
+    };
+    assert!(planner_line("widths_searched") >= 1);
+    assert!(planner_line("blocks_solved") >= 1);
 
     // The v2 STATS shim reads the same registry counters, so the two
     // views can never disagree.

@@ -75,6 +75,45 @@ pub fn random_query(cfg: &RandomCqConfig, seed: u64) -> ConjunctiveQuery {
     q
 }
 
+/// Generates a seeded cyclic query with exactly `atoms` atoms, sized for
+/// planner stress tests: a binary-atom 4-cycle backbone (so the
+/// hypergraph is cyclic and the width is ≥ 2) plus `atoms - 4` wide
+/// "satellite" atoms — each anchored on two adjacent cycle variables and
+/// carrying 4–6 private existential variables, the star-schema shape
+/// where fact tables fan out from a small set of shared dimensions. Every
+/// other cycle variable is free, so the frontier hypergraph is
+/// non-trivial. The private variables make the satellites' pairwise
+/// unions large *and* distinct, which is the regime where a planner that
+/// materializes every candidate bag per block does combinatorially more
+/// work than one that streams them. Relation symbols are pairwise
+/// distinct, which makes the query rigid — its core is the whole query —
+/// so a width-search benchmark over these measures the decomposition
+/// engine, not the core computation.
+pub fn random_cyclic_query(atoms: usize, seed: u64) -> ConjunctiveQuery {
+    const CYCLE: usize = 4;
+    assert!(atoms > CYCLE, "need more than {CYCLE} atoms, got {atoms}");
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut q = ConjunctiveQuery::new();
+    let cyc: Vec<_> = (0..CYCLE).map(|i| q.var(&format!("X{i}"))).collect();
+    for i in 0..CYCLE {
+        q.add_atom(
+            &format!("e{i}"),
+            vec![Term::Var(cyc[i]), Term::Var(cyc[(i + 1) % CYCLE])],
+        );
+    }
+    for t in 0..atoms - CYCLE {
+        let a = rng.range_usize(0, CYCLE);
+        let arity = 6 + rng.range_usize(0, 3);
+        let mut terms = vec![Term::Var(cyc[a]), Term::Var(cyc[(a + 1) % CYCLE])];
+        for j in 0..arity - 2 {
+            terms.push(Term::Var(q.var(&format!("P{t}_{j}"))));
+        }
+        q.add_atom(&format!("t{t}"), terms);
+    }
+    q.set_free(cyc.iter().copied().step_by(2));
+    q
+}
+
 /// Generates a database matching `q`'s relations, with `tuples_per_rel`
 /// random tuples each over a domain of the given size.
 pub fn random_database(q: &ConjunctiveQuery, cfg: &RandomDbConfig, seed: u64) -> Database {
@@ -119,6 +158,19 @@ mod tests {
             let rel = db.relation(&a.rel).expect("relation exists");
             assert_eq!(rel.arity(), a.terms.len());
             assert!(!rel.is_empty());
+        }
+    }
+
+    #[test]
+    fn cyclic_queries_are_cyclic_and_deterministic() {
+        for atoms in [8usize, 12, 16] {
+            let q = random_cyclic_query(atoms, 7);
+            assert_eq!(q.atoms().len(), atoms);
+            assert!(!cqcount_hypergraph::is_acyclic(&q.hypergraph()), "{atoms}");
+            assert!(!q.free().is_empty());
+            let again = random_cyclic_query(atoms, 7);
+            assert_eq!(q.atoms(), again.atoms());
+            assert_eq!(q.free(), again.free());
         }
     }
 
