@@ -11,7 +11,9 @@
 //!   (used by the seq-vs-par agreement tests);
 //! * [`current_threads`] / [`default_thread_count`] — introspection;
 //! * [`BoundedQueue`] — a fixed-capacity MPMC queue with non-blocking
-//!   producers, the admission-control primitive of the serving layer.
+//!   producers, the admission-control primitive of the serving layer;
+//! * [`poll`] (unix) — a `libc`-free `poll(2)` wrapper plus a self-wake
+//!   pipe, the readiness primitives behind the server's evented front end.
 //!
 //! Thread count resolution: the `CQCOUNT_THREADS` environment variable if
 //! set (clamped to ≥ 1), otherwise [`std::thread::available_parallelism`].
@@ -25,6 +27,8 @@
 //! fold in slot order (they receive a `Vec` in that order, so the natural
 //! left fold is already deterministic).
 
+#[cfg(unix)]
+pub mod poll;
 mod pool;
 pub mod queue;
 

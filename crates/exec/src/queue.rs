@@ -81,6 +81,44 @@ impl<T> BoundedQueue<T> {
         Ok(())
     }
 
+    /// Enqueues a batch under one lock acquisition: items that fit are
+    /// accepted in order, the overflow comes back in `Err`/the returned
+    /// `Vec` so the caller can reject each with an overload reply. One
+    /// `notify_all` covers the whole batch — this is the handoff path an
+    /// event loop uses to admit every request decoded from one readiness
+    /// sweep without `2 × batch` lock round-trips.
+    ///
+    /// Returns the items that did NOT fit (empty when all were accepted).
+    pub fn try_push_batch(&self, items: impl IntoIterator<Item = T>) -> Vec<T> {
+        let mut it = items.into_iter();
+        let mut overflow = Vec::new();
+        let mut accepted = 0usize;
+        {
+            let mut s = self.state.lock().unwrap();
+            for item in it.by_ref() {
+                if s.closed || s.items.len() >= self.capacity {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    overflow.push(item);
+                    break;
+                }
+                s.items.push_back(item);
+                accepted += 1;
+            }
+        }
+        // The rest of the iterator is rejected without re-taking the lock:
+        // the queue was full (or closed) at the cut point.
+        for item in it {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            overflow.push(item);
+        }
+        match accepted {
+            0 => {}
+            1 => self.available.notify_one(),
+            _ => self.available.notify_all(),
+        }
+        overflow
+    }
+
     /// Blocks until an item is available (FIFO) or the queue is closed and
     /// drained, in which case it returns `None`.
     pub fn pop(&self) -> Option<T> {
@@ -151,6 +189,21 @@ mod tests {
         q.close();
         assert_eq!(q.try_push(3), Err(3)); // closed
         assert_eq!(q.rejected(), 2);
+    }
+
+    #[test]
+    fn batch_push_accepts_a_prefix_and_returns_the_overflow() {
+        let q = BoundedQueue::new(3);
+        q.try_push(0).unwrap();
+        let overflow = q.try_push_batch([1, 2, 3, 4]);
+        assert_eq!(overflow, vec![3, 4], "capacity 3: two fit, two bounce");
+        assert_eq!(q.rejected(), 2);
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.try_push_batch(std::iter::empty::<i32>()).is_empty());
+        q.close();
+        assert_eq!(q.try_push_batch([9]), vec![9], "closed queue rejects all");
     }
 
     #[test]

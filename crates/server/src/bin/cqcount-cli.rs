@@ -1,7 +1,8 @@
 //! `cqcount-cli` — command-line client for `cqcountd`.
 //!
 //! ```text
-//! cqcount-cli --server ADDR count     --db NAME <QUERY> [--budget-ms MS] [--verbose]
+//! cqcount-cli --server ADDR count     --db NAME <QUERY> [--budget-ms MS]
+//!                                       [--pipeline N] [--verbose]
 //! cqcount-cli --server ADDR profile   --db NAME <QUERY> [--budget-ms MS] [--verbose]
 //! cqcount-cli --server ADDR enumerate --db NAME <QUERY> [--limit N]
 //! cqcount-cli --server ADDR report    <QUERY> [--cap K]
@@ -23,13 +24,21 @@
 //! `--timeout <ms>` bounds every connect/read/write (default 30000, so a
 //! dead daemon can no longer hang the CLI); `--retries <n>` retries the
 //! idempotent commands (count, report, stats) with exponential backoff.
+//!
+//! `count --pipeline N` switches to the protocol-v5 pipelined client: N
+//! copies of the count are written back-to-back on one connection before
+//! any response is read, responses are matched by request id, and the
+//! measured request rate is printed on stderr. Handy for demonstrating
+//! the server's warm-hit fast path without a bench harness.
 
-use cqcount_server::{Client, ClientOptions, SpanNode};
+use cqcount_server::{Client, ClientOptions, PipelinedClient, Request, Response, SpanNode};
 use std::process::ExitCode;
+use std::time::Instant;
 
 const USAGE: &str = "usage:
   cqcount-cli --server ADDR [--timeout MS] [--retries N] <command>
-  cqcount-cli --server ADDR count     --db NAME <QUERY> [--budget-ms MS] [--verbose]
+  cqcount-cli --server ADDR count     --db NAME <QUERY> [--budget-ms MS]
+                                      [--pipeline N] [--verbose]
   cqcount-cli --server ADDR profile   --db NAME <QUERY> [--budget-ms MS] [--verbose]
   cqcount-cli --server ADDR enumerate --db NAME <QUERY> [--limit N]
   cqcount-cli --server ADDR report    <QUERY> [--cap K]
@@ -60,6 +69,7 @@ struct Opts {
     cap: u64,
     timeout_ms: u64,
     retries: u32,
+    pipeline: u64,
     verbose: bool,
 }
 
@@ -74,6 +84,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         cap: 0,
         timeout_ms: 30_000,
         retries: 0,
+        pipeline: 0,
         verbose: false,
     };
     let mut it = args.iter();
@@ -119,6 +130,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .ok_or("--retries needs a value")?
                     .parse()
                     .map_err(|_| "--retries must be a number")?;
+            }
+            "--pipeline" => {
+                opts.pipeline = it
+                    .next()
+                    .ok_or("--pipeline needs a value")?
+                    .parse()
+                    .map_err(|_| "--pipeline must be a number of requests")?;
             }
             "--verbose" => opts.verbose = true,
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
@@ -217,6 +235,71 @@ fn render_span(
     }
 }
 
+/// `count --pipeline N`: submits N identical counts on one protocol-v5
+/// connection before reading anything, then drains the responses (matched
+/// by request id — completion order is the server's choice), checks they
+/// all agree, and reports the achieved request rate on stderr.
+fn pipelined_count(opts: &Opts, query: &str) -> Result<(), String> {
+    let mut pc = PipelinedClient::connect_with(
+        &opts.server,
+        ClientOptions {
+            connect_timeout_ms: opts.timeout_ms,
+            io_timeout_ms: opts.timeout_ms,
+            ..ClientOptions::default()
+        },
+    )
+    .map_err(|e| format!("cannot connect to {}: {e}", opts.server))?;
+    let req = Request::Count {
+        db: opts.db.clone(),
+        query: query.to_owned(),
+        budget_ms: opts.budget_ms,
+    };
+    let start = Instant::now();
+    let mut expected: Vec<u64> = Vec::with_capacity(opts.pipeline as usize);
+    for _ in 0..opts.pipeline {
+        expected.push(pc.submit(&req).map_err(|e| e.to_string())?);
+    }
+    pc.flush().map_err(|e| e.to_string())?;
+    expected.sort_unstable();
+    let mut seen: Vec<u64> = Vec::with_capacity(expected.len());
+    let mut value: Option<String> = None;
+    for _ in 0..opts.pipeline {
+        let (id, resp) = pc.recv().map_err(|e| e.to_string())?;
+        seen.push(id);
+        match resp {
+            Response::Count { value: v, .. } => match &value {
+                None => value = Some(v),
+                Some(prev) if *prev == v => {}
+                Some(prev) => {
+                    return Err(format!(
+                        "request {id} answered {v}, but an earlier one answered {prev}"
+                    ))
+                }
+            },
+            Response::Error { code, message, .. } => {
+                return Err(format!("request {id} failed: {code:?}: {message}"))
+            }
+            other => return Err(format!("unexpected response for request {id}: {other:?}")),
+        }
+    }
+    let elapsed = start.elapsed();
+    seen.sort_unstable();
+    if seen != expected {
+        return Err("response ids do not match the submitted requests".into());
+    }
+    let rate = opts.pipeline as f64 / elapsed.as_secs_f64().max(1e-9);
+    eprintln!(
+        "pipelined {} requests in {:.1} ms ({rate:.0} req/s)",
+        opts.pipeline,
+        elapsed.as_secs_f64() * 1e3,
+    );
+    println!(
+        "{}",
+        value.expect("pipeline > 0 implies at least one response")
+    );
+    Ok(())
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(args)?;
     let mut client = Client::connect_with(
@@ -235,6 +318,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 return Err("count needs --db NAME".into());
             }
             let query = query_arg(&opts)?;
+            if opts.pipeline > 0 {
+                return pipelined_count(&opts, &query);
+            }
             let reply = client
                 .count(&opts.db, &query, opts.budget_ms)
                 .map_err(|e| e.to_string())?;

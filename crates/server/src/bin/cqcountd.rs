@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! cqcountd [--listen ADDR] [--db NAME=FILE]... [--workers N]
-//!          [--queue-cap N] [--budget-ms MS] [--max-enumerate N]
-//!          [--width-cap K] [--read-timeout-ms MS] [--write-timeout-ms MS]
-//!          [--fault-profile NAME] [--fault-seed N] [--trace-log FILE]
+//!          [--reactors N] [--queue-cap N] [--budget-ms MS]
+//!          [--max-enumerate N] [--width-cap K] [--read-timeout-ms MS]
+//!          [--write-timeout-ms MS] [--fault-profile NAME] [--fault-seed N]
+//!          [--trace-log FILE]
 //! ```
 //!
 //! Each `--db NAME=FILE` loads a datalog fact file (same format as the
@@ -28,7 +29,7 @@ use cqcount_server::{serve, FaultProfile, ServerConfig};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
-  cqcountd [--listen ADDR] [--db NAME=FILE]... [--workers N]
+  cqcountd [--listen ADDR] [--db NAME=FILE]... [--workers N] [--reactors N]
            [--queue-cap N] [--budget-ms MS] [--max-enumerate N] [--width-cap K]
            [--read-timeout-ms MS] [--write-timeout-ms MS]
            [--fault-profile off|flaky-net|slow-net|chaos] [--fault-seed N]
@@ -86,6 +87,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 dbs.push((name.to_owned(), db));
             }
             "--workers" => config.workers = parse_num(&mut it, "--workers")?.max(1) as usize,
+            "--reactors" => config.reactors = parse_num(&mut it, "--reactors")? as usize,
             "--queue-cap" => config.queue_cap = parse_num(&mut it, "--queue-cap")?.max(1) as usize,
             "--budget-ms" => config.default_budget_ms = parse_num(&mut it, "--budget-ms")?,
             "--max-enumerate" => {

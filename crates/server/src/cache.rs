@@ -1,5 +1,11 @@
-//! The two cache levels behind the daemon.
+//! The cache levels behind the daemon.
 //!
+//! * **Level 0 — fingerprints** ([`FingerprintCache`]): raw query text →
+//!   (canonical text, fingerprint). Parsing and canonicalization are the
+//!   one CPU cost a fully warm request would otherwise still pay; caching
+//!   the mapping lets the reactor's fast path answer a repeated `COUNT`
+//!   without ever parsing. Raw text is the key on purpose: two spellings
+//!   of the same query get two L0 entries but share everything below.
 //! * **Level 1 — plans** ([`PlanCache`]): canonical query text →
 //!   [`PreparedPlan`] (+ lazily computed width report). Keyed on the
 //!   *canonical* form from `cqcount_query::fingerprint`, so clients that
@@ -10,28 +16,43 @@
 //!   invalidation mechanism: a `RELOAD` bumps the database's epoch, so
 //!   stale counts simply stop being addressable (and age out FIFO).
 //!
-//! Both levels are bounded FIFO maps — eviction only needs to keep memory
+//! Every level is a bounded FIFO map — eviction only needs to keep memory
 //! flat under adversarial key churn, not maximize hit rate, so the cheap
-//! policy wins over an LRU's extra bookkeeping.
+//! policy wins over an LRU's extra bookkeeping — **sharded** 16 ways (the
+//! concurrent-memo pattern from `decomp::ghw`): a key hashes to one shard
+//! and only that shard's mutex is taken, so cache hits from many reactor
+//! and worker threads never serialize on a global lock.
+//!
+//! Hit/miss accounting contract: [`PlanCache::get`]/[`CountCache::get`]
+//! count both outcomes and are called exactly once per probe on the
+//! worker path. The `peek` variants are for the reactor's fast path,
+//! which only *opportunistically* checks for warm entries: a peek counts
+//! a hit when it serves and counts **nothing** on absence, because the
+//! request then goes to a worker whose own probe records the miss —
+//! otherwise one cold request would count two misses.
 
 use cqcount_arith::Natural;
 use cqcount_core::planner::{PreparedPlan, WidthReport};
 use cqcount_obs::metrics::Counter;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// A cached plan: the prepared decomposition plus a slot for the width
-/// report (computed on the first `WIDTH_REPORT` request, not eagerly —
-/// `COUNT` traffic never pays for `ghw` search).
+/// A cached plan: the prepared decomposition plus a compute-once slot for
+/// the width report (filled on the first `WIDTH_REPORT` request, not
+/// eagerly — `COUNT` traffic never pays for `ghw` search). `OnceLock`
+/// makes the warm path a lock-free load: after the first fill, readers
+/// never contend, and a reactor thread can serve the report inline.
 #[derive(Debug)]
 pub struct PlanEntry {
     /// The data-independent plan.
     pub prepared: PreparedPlan,
     /// Lazily filled structural report.
-    pub report: Mutex<Option<WidthReport>>,
+    pub report: OnceLock<WidthReport>,
 }
 
-/// A bounded FIFO map with hit/miss counters, shared by both levels.
+/// A bounded FIFO map, the single-shard building block of every level.
 #[derive(Debug)]
 struct FifoMap<K, V> {
     map: HashMap<K, V>,
@@ -39,7 +60,7 @@ struct FifoMap<K, V> {
     capacity: usize,
 }
 
-impl<K: std::hash::Hash + Eq + Clone, V> FifoMap<K, V> {
+impl<K: Hash + Eq + Clone, V> FifoMap<K, V> {
     fn new(capacity: usize) -> FifoMap<K, V> {
         FifoMap {
             map: HashMap::new(),
@@ -51,7 +72,7 @@ impl<K: std::hash::Hash + Eq + Clone, V> FifoMap<K, V> {
     fn get<Q>(&self, k: &Q) -> Option<&V>
     where
         K: std::borrow::Borrow<Q>,
-        Q: std::hash::Hash + Eq + ?Sized,
+        Q: Hash + Eq + ?Sized,
     {
         self.map.get(k)
     }
@@ -81,10 +102,134 @@ impl<K: std::hash::Hash + Eq + Clone, V> FifoMap<K, V> {
     }
 }
 
+/// Most shards per cache; small caches get fewer so each shard still
+/// holds a meaningful slice of the budget (see [`MIN_SHARD_CAPACITY`]).
+const MAX_SHARDS: usize = 16;
+
+/// A cache only splits into shards once each shard would hold at least
+/// this many entries. Sharding a tiny cache would turn the global FIFO
+/// bound into per-shard bounds so small that unlucky hash collisions
+/// evict entries well before the configured capacity is reached — the
+/// e2e tests (and small deployments) rely on a cap-N cache actually
+/// holding N entries.
+const MIN_SHARD_CAPACITY: usize = 64;
+
+/// A sharded bounded FIFO map: a key owns one shard, chosen by its hash
+/// under `DefaultHasher` with the default (fixed) keys — deterministic
+/// across threads and runs, unlike a `RandomState`-seeded pick.
+#[derive(Debug)]
+struct ShardedFifo<K, V> {
+    shards: Vec<Mutex<FifoMap<K, V>>>,
+}
+
+impl<K: Hash + Eq + Clone, V> ShardedFifo<K, V> {
+    fn new(capacity: usize) -> ShardedFifo<K, V> {
+        let capacity = capacity.max(1);
+        let nshards = (capacity / MIN_SHARD_CAPACITY).clamp(1, MAX_SHARDS);
+        let per_shard = capacity / nshards; // ≥ 1 because nshards ≤ capacity
+        ShardedFifo {
+            shards: (0..nshards)
+                .map(|_| Mutex::new(FifoMap::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    fn shard<Q>(&self, k: &Q) -> &Mutex<FifoMap<K, V>>
+    where
+        Q: Hash + ?Sized,
+    {
+        let mut h = DefaultHasher::new();
+        k.hash(&mut h);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
+    fn get<Q>(&self, k: &Q) -> Option<V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+        V: Clone,
+    {
+        self.shard(k).lock().unwrap().get(k).cloned()
+    }
+
+    /// Inserts, returning the number of evictions. `keep_first` makes a
+    /// racing duplicate a no-op (first writer wins).
+    fn insert(&self, k: K, v: V, keep_first: bool) -> u64 {
+        let mut shard = self.shard(&k).lock().unwrap();
+        if keep_first && shard.get(&k).is_some() {
+            return 0;
+        }
+        shard.insert(k, v)
+    }
+
+    fn clear(&self) {
+        for s in &self.shards {
+            s.lock().unwrap().clear();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+}
+
+/// Level 0 value: the canonical text and fingerprint of a parsed query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprinted {
+    /// Canonical text (the L1 key and part of the L2 key).
+    pub canonical: String,
+    /// The 64-bit canonical fingerprint.
+    pub fingerprint: u64,
+}
+
+/// Level 0: raw query text → canonical text + fingerprint, so a warm
+/// request skips the parser entirely. Installed by workers after they
+/// parse; probed by the reactor before admission. No hit/miss counters:
+/// this level is an internal shortcut, not part of the exported cache
+/// contract (the L1/L2 counters keep their exact meanings).
+#[derive(Debug)]
+pub struct FingerprintCache {
+    inner: ShardedFifo<String, Arc<Fingerprinted>>,
+}
+
+impl FingerprintCache {
+    /// A fingerprint cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> FingerprintCache {
+        FingerprintCache {
+            inner: ShardedFifo::new(capacity),
+        }
+    }
+
+    /// Looks up the canonical form of a raw query text.
+    pub fn get(&self, raw: &str) -> Option<Arc<Fingerprinted>> {
+        self.inner.get(raw)
+    }
+
+    /// Installs a mapping (first writer wins).
+    pub fn insert(&self, raw: String, value: Arc<Fingerprinted>) {
+        self.inner.insert(raw, value, true);
+    }
+
+    /// Drops every entry.
+    pub fn clear(&self) {
+        self.inner.clear();
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Level 1: canonical query text → [`PlanEntry`].
 #[derive(Debug)]
 pub struct PlanCache {
-    inner: Mutex<FifoMap<String, Arc<PlanEntry>>>,
+    inner: ShardedFifo<String, Arc<PlanEntry>>,
     hits: Counter,
     misses: Counter,
     evictions: Counter,
@@ -112,7 +257,7 @@ impl PlanCache {
         evictions: Counter,
     ) -> PlanCache {
         PlanCache {
-            inner: Mutex::new(FifoMap::new(capacity)),
+            inner: ShardedFifo::new(capacity),
             hits,
             misses,
             evictions,
@@ -121,11 +266,10 @@ impl PlanCache {
 
     /// Looks up a plan by canonical text, counting the hit or miss.
     pub fn get(&self, canonical: &str) -> Option<Arc<PlanEntry>> {
-        let inner = self.inner.lock().unwrap();
-        match inner.get(canonical) {
+        match self.inner.get(canonical) {
             Some(e) => {
                 self.hits.inc();
-                Some(Arc::clone(e))
+                Some(e)
             }
             None => {
                 self.misses.inc();
@@ -134,22 +278,28 @@ impl PlanCache {
         }
     }
 
+    /// Fast-path probe: counts a hit when the entry is present, counts
+    /// *nothing* when absent (see the module-level accounting contract).
+    pub fn peek(&self, canonical: &str) -> Option<Arc<PlanEntry>> {
+        let e = self.inner.get(canonical)?;
+        self.hits.inc();
+        Some(e)
+    }
+
     /// Installs a plan (first writer wins; a racing duplicate is dropped).
     pub fn insert(&self, canonical: String, entry: Arc<PlanEntry>) {
-        let mut inner = self.inner.lock().unwrap();
-        if inner.get(&canonical).is_none() {
-            self.evictions.add(inner.insert(canonical, entry));
-        }
+        self.evictions
+            .add(self.inner.insert(canonical, entry, true));
     }
 
     /// Drops every entry (counters survive).
     pub fn clear(&self) {
-        self.inner.lock().unwrap().clear();
+        self.inner.clear();
     }
 
     /// Entries currently cached.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        self.inner.len()
     }
 
     /// Is the cache empty?
@@ -174,7 +324,7 @@ pub type CountKey = (String, String, u64);
 /// Level 2: exact counts, invalidated by epoch bumps.
 #[derive(Debug)]
 pub struct CountCache {
-    inner: Mutex<FifoMap<CountKey, Natural>>,
+    inner: ShardedFifo<CountKey, Natural>,
     hits: Counter,
     misses: Counter,
     evictions: Counter,
@@ -201,7 +351,7 @@ impl CountCache {
         evictions: Counter,
     ) -> CountCache {
         CountCache {
-            inner: Mutex::new(FifoMap::new(capacity)),
+            inner: ShardedFifo::new(capacity),
             hits,
             misses,
             evictions,
@@ -210,11 +360,10 @@ impl CountCache {
 
     /// Looks up a count, counting the hit or miss.
     pub fn get(&self, key: &CountKey) -> Option<Natural> {
-        let inner = self.inner.lock().unwrap();
-        match inner.get(key) {
+        match self.inner.get(key) {
             Some(n) => {
                 self.hits.inc();
-                Some(n.clone())
+                Some(n)
             }
             None => {
                 self.misses.inc();
@@ -223,20 +372,27 @@ impl CountCache {
         }
     }
 
+    /// Fast-path probe: counts a hit when the count is present, counts
+    /// *nothing* when absent (see the module-level accounting contract).
+    pub fn peek(&self, key: &CountKey) -> Option<Natural> {
+        let n = self.inner.get(key)?;
+        self.hits.inc();
+        Some(n)
+    }
+
     /// Installs a count.
     pub fn insert(&self, key: CountKey, value: Natural) {
-        let mut inner = self.inner.lock().unwrap();
-        self.evictions.add(inner.insert(key, value));
+        self.evictions.add(self.inner.insert(key, value, false));
     }
 
     /// Drops every entry (counters survive).
     pub fn clear(&self) {
-        self.inner.lock().unwrap().clear();
+        self.inner.clear();
     }
 
     /// Entries currently cached.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        self.inner.len()
     }
 
     /// Is the cache empty?
@@ -265,7 +421,7 @@ mod tests {
         let q = parse_query("ans(X) :- r(X, Y).").unwrap();
         Arc::new(PlanEntry {
             prepared: prepare_plan(&q, 3),
-            report: Mutex::new(None),
+            report: OnceLock::new(),
         })
     }
 
@@ -282,19 +438,50 @@ mod tests {
     }
 
     #[test]
+    fn peek_counts_hits_but_never_misses() {
+        let c = PlanCache::new(8);
+        assert!(c.peek("k1").is_none());
+        assert_eq!(c.counters(), (0, 0), "a failed peek records nothing");
+        c.insert("k1".into(), entry());
+        assert!(c.peek("k1").is_some());
+        assert_eq!(c.counters(), (1, 0));
+
+        let cc = CountCache::new(8);
+        let key: CountKey = ("q".into(), "db".into(), 0);
+        assert!(cc.peek(&key).is_none());
+        assert_eq!(cc.counters(), (0, 0));
+        cc.insert(key.clone(), Natural::from(3u64));
+        assert_eq!(cc.peek(&key), Some(Natural::from(3u64)));
+        assert_eq!(cc.counters(), (1, 0));
+    }
+
+    #[test]
     fn fifo_eviction_bounds_memory() {
+        // Capacity 2 shards into 2 × 1; which early keys die depends on
+        // the hash split, but the bound and the accounting are exact and
+        // the newest key always survives (it just landed in its shard).
         let c = CountCache::new(2);
         for i in 0..5u64 {
             c.insert((format!("q{i}"), "db".into(), 0), Natural::from(i));
         }
-        assert_eq!(c.len(), 2);
-        assert_eq!(c.evictions(), 3);
-        // Oldest keys evicted, newest kept.
-        assert!(c.get(&("q0".into(), "db".into(), 0)).is_none());
+        assert!(c.len() <= 2, "capacity bound violated: {}", c.len());
+        assert_eq!(c.evictions(), 5 - c.len() as u64);
         assert_eq!(
             c.get(&("q4".into(), "db".into(), 0)),
             Some(Natural::from(4u64))
         );
+    }
+
+    #[test]
+    fn sharded_capacity_bound_holds_under_churn() {
+        // A capacity big enough to use all 16 shards: total occupancy
+        // never exceeds the configured bound, however keys distribute.
+        let c = CountCache::new(64);
+        for i in 0..1000u64 {
+            c.insert((format!("q{i}"), "db".into(), 0), Natural::from(i));
+        }
+        assert!(c.len() <= 64, "capacity bound violated: {}", c.len());
+        assert_eq!(c.evictions(), 1000 - c.len() as u64);
     }
 
     #[test]
@@ -326,8 +513,26 @@ mod tests {
             c.insert(("q".into(), "db".into(), 0), Natural::from(1u64));
         }
         c.insert(("r".into(), "db".into(), 0), Natural::from(2u64));
-        assert_eq!(c.len(), 2);
+        assert!(c.len() <= 2);
         assert!(c.get(&("q".into(), "db".into(), 0)).is_some());
         assert!(c.get(&("r".into(), "db".into(), 0)).is_some());
+    }
+
+    #[test]
+    fn fingerprint_cache_maps_raw_to_canonical() {
+        let c = FingerprintCache::new(8);
+        assert!(c.get("ans(X) :- r(X, Y).").is_none());
+        let v = Arc::new(Fingerprinted {
+            canonical: "ans(V0) :- r(V0, V1).".into(),
+            fingerprint: 0xfeed,
+        });
+        c.insert("ans(X) :- r(X, Y).".into(), Arc::clone(&v));
+        // Two raw spellings, two entries, shared canonical value.
+        c.insert("ans(A) :- r(A, B).".into(), Arc::clone(&v));
+        assert_eq!(c.get("ans(X) :- r(X, Y).").unwrap().fingerprint, 0xfeed);
+        assert_eq!(c.get("ans(A) :- r(A, B).").unwrap().canonical, v.canonical);
+        assert_eq!(c.len(), 2);
+        c.clear();
+        assert!(c.is_empty());
     }
 }

@@ -1,5 +1,7 @@
-//! A small blocking client for the daemon — used by `cqcount-cli`, the
-//! e2e tests, and the throughput bench.
+//! Clients for the daemon: the blocking [`Client`] (one request in flight,
+//! v4 frames) used by `cqcount-cli`, the e2e tests, and the throughput
+//! bench, and the [`PipelinedClient`] (protocol v5, many requests in
+//! flight on one connection, responses matched by request id).
 //!
 //! Resilience: [`ClientOptions`] adds connect/IO deadlines (a dead daemon
 //! can no longer hang the caller forever) and a retry loop with
@@ -7,12 +9,15 @@
 //! `COUNT`, `STATS`, and `WIDTH_REPORT` are safe to repeat because the
 //! server's caches are keyed by epoch, so a retry can only re-read. An
 //! `Overloaded` reply's `retry_after_ms` hint stretches the backoff.
+//! The pipelined client carries no retry loop: a window of in-flight
+//! requests is not blindly repeatable, so transport errors surface to the
+//! caller, who decides what to resubmit.
 
 use crate::protocol::{
-    read_frame, CacheTier, ErrorCode, ProfileReply, ReportReply, Request, Response, StatsReply,
+    read_frame, CacheTier, ErrorCode, ProfileReply, ReportReply, Request, Response, StatsReply, V5,
 };
 use cqcount_arith::prng::Rng;
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -386,5 +391,105 @@ impl Client {
                 "expected an ack, got {other:?}"
             ))),
         }
+    }
+}
+
+/// A protocol-v5 client that keeps many requests in flight on one
+/// connection.
+///
+/// [`submit`](PipelinedClient::submit) assigns the request a fresh id and
+/// buffers its frame; [`flush`](PipelinedClient::flush) pushes the batch
+/// onto the wire; [`recv`](PipelinedClient::recv) returns the next
+/// response *in the order the server finished them* together with the id
+/// it answers. Responses for cache-warm counts can overtake colder work
+/// submitted before them — match on the id, never on arrival order.
+///
+/// Server-side failures (`Overloaded`, budget exhaustion, bad queries)
+/// come back as ordinary [`Response::Error`] values so the caller can
+/// attribute them to the request that caused them; only transport-level
+/// problems surface as [`ClientError`].
+pub struct PipelinedClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+    inflight: usize,
+}
+
+impl PipelinedClient {
+    /// Connects with default options.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<PipelinedClient, ClientError> {
+        PipelinedClient::connect_with(addr, ClientOptions::default())
+    }
+
+    /// Connects with explicit deadlines. The retry fields of
+    /// [`ClientOptions`] are ignored: a pipelined window is not blindly
+    /// repeatable.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        options: ClientOptions,
+    ) -> Result<PipelinedClient, ClientError> {
+        let mut last: Option<io::Error> = None;
+        for addr in addr.to_socket_addrs()? {
+            let attempt = if options.connect_timeout_ms > 0 {
+                TcpStream::connect_timeout(&addr, Duration::from_millis(options.connect_timeout_ms))
+            } else {
+                TcpStream::connect(addr)
+            };
+            match attempt {
+                Ok(stream) => {
+                    stream.set_nodelay(true).ok();
+                    let io_timeout = (options.io_timeout_ms > 0)
+                        .then(|| Duration::from_millis(options.io_timeout_ms));
+                    stream.set_read_timeout(io_timeout)?;
+                    stream.set_write_timeout(io_timeout)?;
+                    let reader = BufReader::new(stream.try_clone()?);
+                    return Ok(PipelinedClient {
+                        reader,
+                        writer: BufWriter::new(stream),
+                        next_id: 1,
+                        inflight: 0,
+                    });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ClientError::Io(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::NotConnected, "address resolved to nothing")
+        })))
+    }
+
+    /// Buffers one request and returns the id its response will carry.
+    /// Call [`flush`](PipelinedClient::flush) (or [`recv`]
+    /// (PipelinedClient::recv), which flushes first) to put it on the wire.
+    pub fn submit(&mut self, req: &Request) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.writer.write_all(&req.encode(V5, id))?;
+        self.inflight += 1;
+        Ok(id)
+    }
+
+    /// Flushes every buffered request onto the socket.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Requests submitted but not yet answered by a [`recv`]
+    /// (PipelinedClient::recv).
+    pub fn inflight(&self) -> usize {
+        self.inflight
+    }
+
+    /// Receives the next completed response as `(request id, response)`.
+    /// Flushes pending writes first so a bare submit/recv loop cannot
+    /// deadlock.
+    pub fn recv(&mut self) -> Result<(u64, Response), ClientError> {
+        self.flush()?;
+        let frame = read_frame(&mut self.reader)?
+            .ok_or_else(|| ClientError::Protocol("server closed the connection".into()))?;
+        let response = Response::decode(&frame).map_err(ClientError::Protocol)?;
+        self.inflight = self.inflight.saturating_sub(1);
+        Ok((frame.req_id, response))
     }
 }

@@ -12,9 +12,16 @@
 //! * **admission control** ([`server`]) — a bounded request queue that
 //!   answers `Overloaded` instead of buffering, plus a per-request
 //!   wall-clock budget enforced cooperatively inside the counting loops;
-//! * **a typed client** ([`client`]) — the blocking API used by
+//! * **an evented front end** ([`reactor`]) — `poll(2)`-driven reactor
+//!   shards over non-blocking sockets with incremental frame decode, so
+//!   clients can pipeline requests (protocol v5 request ids); warm-hit
+//!   counting requests are answered inline on the reactor thread without
+//!   a queue round-trip;
+//! * **typed clients** ([`client`]) — the blocking API used by
 //!   `cqcount-cli`, the e2e tests, and the throughput bench, with
-//!   deadlines and retry/backoff for the idempotent opcodes;
+//!   deadlines and retry/backoff for the idempotent opcodes, plus a
+//!   pipelined v5 client ([`client::PipelinedClient`]) that keeps many
+//!   requests in flight on one connection;
 //! * **deterministic fault injection** ([`faults`]) — seeded chaos
 //!   (short I/O, disconnects, latency, worker panics, cap trips) so every
 //!   hardening path above is testable and replayable;
@@ -30,9 +37,10 @@ pub mod cache;
 pub mod client;
 pub mod faults;
 pub mod protocol;
+mod reactor;
 pub mod server;
 
-pub use client::{Client, ClientError, ClientOptions, CountReply};
+pub use client::{Client, ClientError, ClientOptions, CountReply, PipelinedClient};
 pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultProfile};
 pub use protocol::{
     CacheTier, ErrorCode, ProfileReply, ReportReply, Request, Response, SpanNode, StatsReply,

@@ -3,11 +3,18 @@
 //! Every frame, in both directions, is
 //!
 //! ```text
-//! +------+------+---------+--------+------------------+
-//! | 0x43 | 0x51 | version | opcode | uleb128 len | payload (len bytes) |
-//! +------+------+---------+--------+------------------+
-//!   'C'    'Q'     0x01
+//! v2–v4:  | 0x43 | 0x51 | version | opcode |                  uleb128 len | payload |
+//! v5:     | 0x43 | 0x51 |  0x05   | opcode | uleb128 req_id | uleb128 len | payload |
+//!           'C'    'Q'
 //! ```
+//!
+//! v5 (pipelining) inserts a ULEB128 *request id* between opcode and
+//! length: a client may write many requests before reading, and the
+//! server may answer them in completion order, echoing each request's id
+//! in the response header. Pre-v5 frames carry no id; the server answers
+//! them strictly in request order, so v4 clients are oblivious to the
+//! change. Each response frame echoes the *version* of the request it
+//! answers, so one connection never mixes header layouts unexpectedly.
 //!
 //! Payload fields are ULEB128 varints, fixed 8-byte little-endian `u64`s
 //! (fingerprints only), and strings (ULEB128 byte length + UTF-8 bytes).
@@ -19,19 +26,29 @@ use std::io::{self, Read, Write};
 
 /// Frame magic: `b"CQ"`.
 pub const MAGIC: [u8; 2] = [0x43, 0x51];
-/// Protocol version carried in every frame header. v2 added the
-/// `degraded` flag to count replies, the `retry_after_ms` hint to error
-/// frames, and the per-error-code counters in `STATS`. v3 added the
-/// `PROFILE` (span tree + kernel counters for one query) and `METRICS`
-/// (Prometheus-style text exposition) opcodes; every v2 frame is
-/// unchanged, so v2 peers keep working ([`MIN_VERSION`]). v4 appends the
-/// planner search counters to `STATS` replies as trailing fields — the
-/// decoder treats them as optional (absent ⇒ zero), so a v4 client reads
-/// v3 replies, and pre-v4 clients must ignore trailing `STATS` bytes.
-pub const VERSION: u8 = 0x04;
+/// Newest protocol version the daemon speaks. v2 added the `degraded`
+/// flag to count replies, the `retry_after_ms` hint to error frames, and
+/// the per-error-code counters in `STATS`. v3 added the `PROFILE` (span
+/// tree + kernel counters for one query) and `METRICS` (Prometheus-style
+/// text exposition) opcodes; every v2 frame is unchanged, so v2 peers
+/// keep working ([`MIN_VERSION`]). v4 appends the planner search counters
+/// to `STATS` replies as trailing fields — the decoder treats them as
+/// optional (absent ⇒ zero). v5 adds pipelining: a ULEB128 request id in
+/// the frame header (between opcode and length), echoed by the matching
+/// response, which may now arrive in completion order. Pre-v5 frames are
+/// answered in request order, so older clients need no changes.
+pub const VERSION: u8 = 0x05;
 /// Oldest protocol version the daemon still accepts. v2 frames are a
 /// strict subset of v3, so the shim is just a wider version check.
 pub const MIN_VERSION: u8 = 0x02;
+/// The v4 header layout (no request id). [`Request::write_to`] and
+/// [`Response::write_to`] emit this revision: the blocking client is a
+/// one-request-at-a-time peer, and keeping its wire bytes stable keeps
+/// every pre-v5 fixture (and server) working unchanged.
+pub const V4: u8 = 0x04;
+/// The v5 header layout (request id present). Emitted by
+/// [`Request::encode`]/[`Response::encode`] when asked for it.
+pub const V5: u8 = 0x05;
 /// Upper bound on a frame payload (queries and reload texts included).
 pub const MAX_PAYLOAD: usize = 16 << 20;
 /// Upper bound on a single string field.
@@ -409,24 +426,58 @@ fn read_opt(buf: &[u8], pos: &mut usize) -> Result<Option<u64>, String> {
 // ---------------------------------------------------------------------
 // framing
 
+/// Encodes one complete frame in the given header `version`. `req_id` is
+/// carried only by v5 headers and ignored (must-be-unused) below that.
+pub fn frame_bytes(version: u8, req_id: u64, opcode: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    out.extend_from_slice(&MAGIC);
+    out.push(version);
+    out.push(opcode);
+    if version >= V5 {
+        write_uleb(&mut out, req_id);
+    }
+    write_uleb(&mut out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    out
+}
+
 fn write_frame(w: &mut impl Write, opcode: u8, payload: &[u8]) -> io::Result<()> {
-    let mut header = Vec::with_capacity(payload.len() + 16);
-    header.extend_from_slice(&MAGIC);
-    header.push(VERSION);
-    header.push(opcode);
-    write_uleb(&mut header, payload.len() as u64);
-    header.extend_from_slice(payload);
-    w.write_all(&header)?;
+    w.write_all(&frame_bytes(V4, 0, opcode, payload))?;
     w.flush()
 }
 
-/// A raw frame: opcode plus payload bytes.
+/// A raw frame: the header fields plus payload bytes.
 #[derive(Clone, Debug)]
 pub struct Frame {
+    /// Header version the frame arrived with (v2..=v5). Replies echo it.
+    pub version: u8,
+    /// The request id (v5 headers only; 0 for pre-v5 frames).
+    pub req_id: u64,
     /// The opcode byte.
     pub opcode: u8,
     /// The payload.
     pub payload: Vec<u8>,
+}
+
+/// Reads a ULEB128 varint byte-by-byte off a stream.
+fn read_uleb_stream(r: &mut impl Read, what: &str) -> io::Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let mut b = [0u8; 1];
+        r.read_exact(&mut b)?;
+        if shift >= 64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{what} varint overflow"),
+            ));
+        }
+        v |= u64::from(b[0] & 0x7f) << shift;
+        if b[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
 }
 
 /// Reads one frame. `Ok(None)` means the peer closed the connection
@@ -441,31 +492,20 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
     if [first[0], rest[0]] != MAGIC {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
     }
-    if !(MIN_VERSION..=VERSION).contains(&rest[1]) {
+    let version = rest[1];
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("unsupported protocol version {}", rest[1]),
+            format!("unsupported protocol version {version}"),
         ));
     }
     let opcode = rest[2];
-    // ULEB length, byte by byte off the stream.
-    let mut len: u64 = 0;
-    let mut shift = 0u32;
-    loop {
-        let mut b = [0u8; 1];
-        r.read_exact(&mut b)?;
-        if shift >= 64 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "length varint overflow",
-            ));
-        }
-        len |= u64::from(b[0] & 0x7f) << shift;
-        if b[0] & 0x80 == 0 {
-            break;
-        }
-        shift += 7;
-    }
+    let req_id = if version >= V5 {
+        read_uleb_stream(r, "request id")?
+    } else {
+        0
+    };
+    let len = read_uleb_stream(r, "length")?;
     if len as usize > MAX_PAYLOAD {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -474,7 +514,89 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
     }
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
-    Ok(Some(Frame { opcode, payload }))
+    Ok(Some(Frame {
+        version,
+        req_id,
+        opcode,
+        payload,
+    }))
+}
+
+/// Incremental frame parser for an evented read loop: examines a buffer
+/// prefix without consuming input.
+///
+/// * `Ok(None)` — the buffer holds an incomplete (but so far valid)
+///   frame; read more bytes and call again.
+/// * `Ok(Some((frame, consumed)))` — one whole frame; the caller drops
+///   the first `consumed` bytes and calls again on the rest.
+/// * `Err(..)` — the bytes can never become a valid frame (bad magic,
+///   unsupported version, runaway varint, oversized payload); the caller
+///   answers with a protocol error and closes.
+pub fn parse_frame_prefix(buf: &[u8]) -> Result<Option<(Frame, usize)>, String> {
+    // An in-buffer varint reader distinguishing "need more bytes" (Ok
+    // with None) from "can never terminate" (Err).
+    fn uleb_prefix(buf: &[u8], pos: &mut usize, what: &str) -> Result<Option<u64>, String> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let Some(&byte) = buf.get(*pos) else {
+                return Ok(None);
+            };
+            *pos += 1;
+            if shift >= 64 {
+                return Err(format!("{what} varint overflow"));
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(Some(v));
+            }
+            shift += 7;
+        }
+    }
+
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    if buf[0] != MAGIC[0] || (buf.len() > 1 && buf[1] != MAGIC[1]) {
+        return Err("bad magic".into());
+    }
+    if buf.len() > 2 && !(MIN_VERSION..=VERSION).contains(&buf[2]) {
+        return Err(format!("unsupported protocol version {}", buf[2]));
+    }
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let version = buf[2];
+    let opcode = buf[3];
+    let mut pos = 4usize;
+    let req_id = if version >= V5 {
+        match uleb_prefix(buf, &mut pos, "request id")? {
+            Some(v) => v,
+            None => return Ok(None),
+        }
+    } else {
+        0
+    };
+    let len = match uleb_prefix(buf, &mut pos, "length")? {
+        Some(v) => v,
+        None => return Ok(None),
+    };
+    if len as usize > MAX_PAYLOAD {
+        return Err(format!("payload of {len} bytes exceeds cap"));
+    }
+    let end = pos + len as usize;
+    if buf.len() < end {
+        return Ok(None);
+    }
+    Ok(Some((
+        Frame {
+            version,
+            req_id,
+            opcode,
+            payload: buf[pos..end].to_vec(),
+        },
+        end,
+    )))
 }
 
 // ---------------------------------------------------------------------
@@ -575,8 +697,22 @@ fn read_span_node(
 }
 
 impl Request {
-    /// Writes the request as one frame.
+    /// Writes the request as one v4 frame (the blocking client's wire
+    /// format; unchanged across the v5 bump).
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let (opcode, p) = self.wire_parts();
+        write_frame(w, opcode, &p)
+    }
+
+    /// Encodes the request as one frame in the given header version;
+    /// `req_id` rides in v5 headers and is ignored below that.
+    pub fn encode(&self, version: u8, req_id: u64) -> Vec<u8> {
+        let (opcode, p) = self.wire_parts();
+        frame_bytes(version, req_id, opcode, &p)
+    }
+
+    /// The (opcode, payload) pair shared by every header version.
+    fn wire_parts(&self) -> (u8, Vec<u8>) {
         let mut p = Vec::new();
         let opcode = match self {
             Request::Count {
@@ -625,7 +761,7 @@ impl Request {
             }
             Request::Metrics => OP_METRICS,
         };
-        write_frame(w, opcode, &p)
+        (opcode, p)
     }
 
     /// Decodes a request frame.
@@ -670,8 +806,22 @@ impl Request {
 }
 
 impl Response {
-    /// Writes the response as one frame.
+    /// Writes the response as one v4 frame (the blocking client's wire
+    /// format; unchanged across the v5 bump).
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let (opcode, p) = self.wire_parts();
+        write_frame(w, opcode, &p)
+    }
+
+    /// Encodes the response as one frame in the given header version,
+    /// echoing the request's `req_id` when `version` is v5+.
+    pub fn encode(&self, version: u8, req_id: u64) -> Vec<u8> {
+        let (opcode, p) = self.wire_parts();
+        frame_bytes(version, req_id, opcode, &p)
+    }
+
+    /// The (opcode, payload) pair shared by every header version.
+    fn wire_parts(&self) -> (u8, Vec<u8>) {
         let mut p = Vec::new();
         let opcode = match self {
             Response::Count {
@@ -777,7 +927,7 @@ impl Response {
                 OP_R_ERROR
             }
         };
-        write_frame(w, opcode, &p)
+        (opcode, p)
     }
 
     /// Decodes a response frame.
@@ -1157,19 +1307,95 @@ mod tests {
     }
 
     #[test]
-    fn v2_frames_still_parse_under_v4() {
+    fn v2_frames_still_parse_under_v5() {
         // A v2 peer sends VERSION = 0x02; the daemon must keep accepting it.
         let mut buf = Vec::new();
         Request::Stats.write_to(&mut buf).unwrap();
-        assert_eq!(buf[2], VERSION);
+        assert_eq!(buf[2], V4, "the blocking client's wire format is v4");
         buf[2] = MIN_VERSION;
         let frame = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
+        assert_eq!(frame.version, MIN_VERSION);
+        assert_eq!(frame.req_id, 0, "pre-v5 frames carry no request id");
         assert_eq!(Request::decode(&frame).unwrap(), Request::Stats);
         // But versions outside [MIN_VERSION, VERSION] stay rejected.
-        for bad in [0x00, 0x01, 0x05, 0x7f] {
+        for bad in [0x00, 0x01, 0x06, 0x7f] {
             buf[2] = bad;
             assert!(read_frame(&mut Cursor::new(&buf)).is_err(), "version {bad}");
         }
+    }
+
+    #[test]
+    fn v5_frames_carry_and_echo_request_ids() {
+        let req = Request::Count {
+            db: "main".into(),
+            query: "ans(X) :- r(X, Y).".into(),
+            budget_ms: 7,
+        };
+        for id in [0u64, 1, 127, 128, 300_000, u64::MAX] {
+            let bytes = req.encode(V5, id);
+            assert_eq!(bytes[2], V5);
+            let frame = read_frame(&mut Cursor::new(&bytes)).unwrap().unwrap();
+            assert_eq!(frame.version, V5);
+            assert_eq!(frame.req_id, id);
+            assert_eq!(Request::decode(&frame).unwrap(), req);
+
+            let resp = Response::Ok { epoch: 3 };
+            let bytes = resp.encode(V5, id);
+            let frame = read_frame(&mut Cursor::new(&bytes)).unwrap().unwrap();
+            assert_eq!(frame.req_id, id);
+            assert_eq!(Response::decode(&frame).unwrap(), resp);
+        }
+        // The v4 encoding of the same request has no id and is the
+        // blocking client's exact wire format.
+        let mut via_write_to = Vec::new();
+        req.write_to(&mut via_write_to).unwrap();
+        assert_eq!(req.encode(V4, 0), via_write_to);
+        assert!(req.encode(V5, 1).len() > via_write_to.len());
+    }
+
+    #[test]
+    fn parse_frame_prefix_is_incremental_and_exact() {
+        let req = Request::Count {
+            db: "main".into(),
+            query: "ans(X, Y) :- r(X, Y), s(Y, Z).".into(),
+            budget_ms: 250,
+        };
+        for (version, id) in [(V4, 0u64), (V5, 42)] {
+            let bytes = req.encode(version, id);
+            // Every strict prefix: incomplete, never an error or a frame.
+            for cut in 0..bytes.len() {
+                match parse_frame_prefix(&bytes[..cut]) {
+                    Ok(None) => {}
+                    other => panic!("prefix {cut}/{}: {other:?}", bytes.len()),
+                }
+            }
+            // The whole frame parses and consumes exactly its bytes, with
+            // pipelined trailing data left untouched.
+            let mut stream = bytes.clone();
+            stream.extend_from_slice(&bytes);
+            let (frame, used) = parse_frame_prefix(&stream).unwrap().unwrap();
+            assert_eq!(used, bytes.len());
+            assert_eq!(frame.version, version);
+            assert_eq!(frame.req_id, id);
+            assert_eq!(Request::decode(&frame).unwrap(), req);
+            let (frame2, used2) = parse_frame_prefix(&stream[used..]).unwrap().unwrap();
+            assert_eq!(used2, bytes.len());
+            assert_eq!(frame2.req_id, id);
+        }
+
+        // Fatal inputs fail fast, before the frame is complete.
+        assert!(parse_frame_prefix(b"XQ").is_err(), "bad magic byte 0");
+        assert!(parse_frame_prefix(b"CX").is_err(), "bad magic byte 1");
+        assert!(
+            parse_frame_prefix(&[MAGIC[0], MAGIC[1], 0x7f]).is_err(),
+            "unsupported version"
+        );
+        let mut runaway = vec![MAGIC[0], MAGIC[1], V4, OP_STATS];
+        runaway.extend_from_slice(&[0x80; 11]);
+        assert!(parse_frame_prefix(&runaway).is_err(), "runaway varint");
+        let mut oversized = vec![MAGIC[0], MAGIC[1], V4, OP_STATS];
+        write_uleb(&mut oversized, MAX_PAYLOAD as u64 + 1);
+        assert!(parse_frame_prefix(&oversized).is_err(), "oversized payload");
     }
 
     #[test]
@@ -1216,12 +1442,17 @@ mod tests {
 
     #[test]
     fn oversized_payload_is_rejected_before_allocation() {
-        let mut buf = Vec::new();
-        buf.extend_from_slice(&MAGIC);
-        buf.push(VERSION);
-        buf.push(OP_COUNT);
-        write_uleb(&mut buf, (MAX_PAYLOAD + 1) as u64);
-        assert!(read_frame(&mut Cursor::new(&buf)).is_err());
+        for version in [V4, V5] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&MAGIC);
+            buf.push(version);
+            buf.push(OP_COUNT);
+            if version >= V5 {
+                write_uleb(&mut buf, 9); // request id
+            }
+            write_uleb(&mut buf, (MAX_PAYLOAD + 1) as u64);
+            assert!(read_frame(&mut Cursor::new(&buf)).is_err());
+        }
     }
 
     #[test]
@@ -1229,6 +1460,8 @@ mod tests {
         let mut p = Vec::new();
         write_uleb(&mut p, 7);
         let frame = Frame {
+            version: V4,
+            req_id: 0,
             opcode: OP_STATS,
             payload: p,
         };

@@ -1,20 +1,28 @@
-//! The daemon: TCP accept loop, admission control, worker pool, caches.
+//! The daemon: evented front end, admission control, worker pool, caches.
 //!
 //! Threading model (std-only):
 //!
-//! * one **accept** thread owns the listener and spawns a reader thread
-//!   per connection;
-//! * each **connection** thread decodes frames; admin requests (`STATS`,
-//!   `RELOAD`, `FLUSH`, `METRICS`) are answered inline so operators can
-//!   observe and heal an overloaded server, while counting work (`COUNT`,
-//!   `ENUMERATE`, `WIDTH_REPORT`, `PROFILE`) is pushed onto a *bounded*
-//!   queue — a full queue yields an immediate `Overloaded` error frame,
-//!   never buffering;
+//! * `reactors` **reactor shards** (see [`crate::reactor`]) share a
+//!   `poll(2)`-driven event loop over non-blocking sockets: shard 0 owns
+//!   the listener and deals accepted connections out round-robin; each
+//!   shard decodes frames incrementally from per-connection buffers, so a
+//!   client may **pipeline** many requests on one connection. Admin
+//!   requests (`STATS`, `RELOAD`, `FLUSH`, `METRICS`) are answered inline
+//!   so operators can observe and heal an overloaded server, and warm-hit
+//!   counting requests take the **fast path** ([`try_fast_path`]): a raw
+//!   query-text fingerprint probe plus a count-cache peek answers on the
+//!   reactor thread with no parse, no queue, no thread handoff. Everything
+//!   else is batch-admitted onto a *bounded* queue — a full queue yields
+//!   an immediate `Overloaded` error frame, never buffering;
 //! * `workers` **worker** threads pop jobs, run them under the request's
-//!   wall-clock [`Budget`], and send the response back to the connection
-//!   thread over a per-job channel. Worker panics are caught, counted, and
+//!   wall-clock [`Budget`], and post the response back to the owning
+//!   shard's completion mailbox. Worker panics are caught, counted, and
 //!   reported as `Internal` errors — a malformed request cannot take the
 //!   daemon down.
+//!
+//! Protocol v5 frames carry request ids, so pipelined responses ship in
+//! completion order; v4 frames are answered strictly in request order via
+//! a per-connection reorder buffer (see [`crate::reactor`]).
 //!
 //! Resilience (PR 3): connections carry read/write deadlines and idle
 //! peers are reaped; `Overloaded` errors carry a `retry_after_ms` hint;
@@ -30,14 +38,17 @@
 //! returns the request's span tree — root span `request` on the worker,
 //! with the planner, kernel, and pool spans attached under it; and
 //! `--trace-log FILE` streams one JSON line per counting request with the
-//! same tree, for offline analysis.
+//! same tree, for offline analysis. Trace lines are formatted by workers
+//! (or by the reactor for fast-path hits) and flushed by the owning shard
+//! once per drain batch — there is no global log lock on the hot path.
 
-use crate::cache::{CountCache, PlanCache, PlanEntry};
-use crate::faults::{ConnFaults, FaultEvent, FaultInjector, JobFaults};
+use crate::cache::{CountCache, FingerprintCache, Fingerprinted, PlanCache, PlanEntry};
+use crate::faults::{FaultEvent, FaultInjector, JobFaults};
 use crate::protocol::{
-    read_frame, CacheTier, DbSummary, ErrorCode, Frame, ProfileReply, ReportReply, Request,
-    Response, SpanNode, StatsReply, MAX_SPAN_DEPTH, MAX_SPAN_FIELDS, MAX_SPAN_NODES,
+    CacheTier, DbSummary, ErrorCode, ProfileReply, ReportReply, Request, Response, SpanNode,
+    StatsReply, MAX_SPAN_DEPTH, MAX_SPAN_FIELDS, MAX_SPAN_NODES,
 };
+use crate::reactor::{run_reactor, Completion, ReactorConfig, ReactorSet};
 use cqcount_core::planner::{
     count_prepared_resilient, prepare_plan_budgeted, WidthReport, WIDTH_CAP,
 };
@@ -49,11 +60,11 @@ use cqcount_query::fingerprint::fingerprint;
 use cqcount_query::{parse_database, parse_query, ConjunctiveQuery, Var};
 use cqcount_relational::Database;
 use std::collections::HashMap;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -64,6 +75,11 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads executing counting jobs.
     pub workers: usize,
+    /// Reactor shards running the evented front end. `0` (the default)
+    /// auto-sizes to half the available parallelism, clamped to `1..=4` —
+    /// one shard saturates a loopback listener; counting work is what
+    /// scales with cores, and that belongs to `workers`.
+    pub reactors: usize,
     /// Bounded request-queue capacity; beyond it, `Overloaded`.
     pub queue_cap: usize,
     /// Default per-request wall-clock budget (requests may lower or raise
@@ -104,6 +120,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 2,
+            reactors: 0,
             queue_cap: 64,
             default_budget_ms: 10_000,
             max_enumerate: 10_000,
@@ -149,11 +166,11 @@ const WRITE_BUCKETS_US: &[u64] = &[10, 50, 100, 500, 1_000, 10_000, 100_000, 1_0
 /// Every exported metric, pre-registered so the hot path is handle
 /// dereferences only. The v2 `STATS` reply is a *view* over these same
 /// counters ([`Shared::stats`]), not parallel bookkeeping.
-struct Metrics {
+pub(crate) struct Metrics {
     registry: Registry,
     /// Requests fully served (reply written; errors excluded only when the
     /// request never produced a reply).
-    served: Counter,
+    pub(crate) served: Counter,
     // Per-opcode admission counters (`cqcount_requests_total{op=...}`).
     req_count: Counter,
     req_enumerate: Counter,
@@ -173,10 +190,14 @@ struct Metrics {
     err_internal: Counter,
     degraded: Counter,
     panicked: Counter,
-    reaped: Counter,
-    queue_depth: Gauge,
-    latency_us: Histogram,
-    reply_write_us: Histogram,
+    pub(crate) reaped: Counter,
+    pub(crate) queue_depth: Gauge,
+    pub(crate) latency_us: Histogram,
+    pub(crate) reply_write_us: Histogram,
+    /// Warm-hit requests answered inline on a reactor shard.
+    pub(crate) fast_path_hits: Counter,
+    /// Reactor poll returns (idle ticks included).
+    pub(crate) reactor_wakeups: Counter,
     // Cache counters, shared with the caches themselves (the handles the
     // caches increment are the ones the registry renders).
     plan_hits: Counter,
@@ -254,6 +275,14 @@ impl Metrics {
                 "Time spent encoding + writing a reply frame, microseconds.",
                 WRITE_BUCKETS_US,
             ),
+            fast_path_hits: r.counter(
+                "cqcount_fast_path_hits_total",
+                "Warm-hit requests answered inline on the reactor (no queue).",
+            ),
+            reactor_wakeups: r.counter(
+                "cqcount_reactor_wakeups_total",
+                "Reactor poll wakeups across all shards.",
+            ),
             plan_hits: cache("cqcount_cache_hits_total", "Cache hits.", "plan"),
             plan_misses: cache("cqcount_cache_misses_total", "Cache misses.", "plan"),
             plan_evictions: cache(
@@ -300,7 +329,7 @@ impl Metrics {
     }
 
     /// The admission counter for a decoded request.
-    fn op_counter(&self, r: &Request) -> &Counter {
+    pub(crate) fn op_counter(&self, r: &Request) -> &Counter {
         match r {
             Request::Count { .. } => &self.req_count,
             Request::Enumerate { .. } => &self.req_enumerate,
@@ -328,7 +357,7 @@ impl Metrics {
 }
 
 /// The short opcode label used for span tags and the trace log.
-fn op_name(r: &Request) -> &'static str {
+pub(crate) fn op_name(r: &Request) -> &'static str {
     match r {
         Request::Count { .. } => "count",
         Request::Enumerate { .. } => "enumerate",
@@ -341,17 +370,34 @@ fn op_name(r: &Request) -> &'static str {
     }
 }
 
-struct Shared {
-    config: ServerConfig,
-    dbs: RwLock<HashMap<String, Arc<DbState>>>,
-    plans: PlanCache,
-    counts: CountCache,
-    metrics: Metrics,
-    injector: Option<Arc<FaultInjector>>,
-    stop: AtomicBool,
-    /// Open trace-log sink (`--trace-log`); workers append one JSON line
-    /// per counting request.
-    trace_log: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
+/// The `--trace-log` sink. Lines are pre-formatted by whoever ran the
+/// request (worker or reactor fast path); shards append a whole drain
+/// batch per lock acquisition, so the mutex is off the per-request path.
+pub(crate) struct TraceSink {
+    file: Mutex<std::fs::File>,
+}
+
+impl TraceSink {
+    /// Appends a batch of newline-terminated JSON lines.
+    pub(crate) fn append(&self, batch: &str) {
+        let _ = self.file.lock().unwrap().write_all(batch.as_bytes());
+    }
+}
+
+pub(crate) struct Shared {
+    pub(crate) config: ServerConfig,
+    pub(crate) dbs: RwLock<HashMap<String, Arc<DbState>>>,
+    pub(crate) plans: PlanCache,
+    pub(crate) counts: CountCache,
+    /// Level 0: raw query text → canonical form + fingerprint, installed
+    /// by workers after parsing. The reactor's fast path probes it so a
+    /// warm hit never parses.
+    pub(crate) fingerprints: FingerprintCache,
+    pub(crate) metrics: Metrics,
+    pub(crate) injector: Option<Arc<FaultInjector>>,
+    pub(crate) stop: AtomicBool,
+    /// Open trace-log sink (`--trace-log`).
+    pub(crate) trace: Option<TraceSink>,
     /// Monotonic sequence number for trace-log lines.
     trace_seq: AtomicU64,
 }
@@ -359,7 +405,7 @@ struct Shared {
 impl Shared {
     /// Updates the per-`ErrorCode` observability counters for an outgoing
     /// response. Called once per response, just before it hits the wire.
-    fn account(&self, response: &Response) {
+    pub(crate) fn account(&self, response: &Response) {
         match response {
             Response::Error { code, .. } => self.metrics.err_counter(*code).inc(),
             Response::Count { degraded: true, .. } => self.metrics.degraded.inc(),
@@ -433,27 +479,32 @@ impl Shared {
     }
 }
 
-/// A counting job queued for a worker.
-struct Job {
-    request: Request,
-    reply: mpsc::Sender<Response>,
+/// A counting job queued for a worker. The response routes back to the
+/// owning reactor shard via `(conn_id, seq)`.
+pub(crate) struct Job {
+    pub(crate) request: Request,
+    /// Connection the request arrived on (shard = `conn_id % nshards`).
+    pub(crate) conn_id: u64,
+    /// Per-connection request sequence, assigned at decode.
+    pub(crate) seq: u64,
     /// Faults drawn for this job at admission (default: none).
-    faults: JobFaults,
+    pub(crate) faults: JobFaults,
     /// [`trace::now_ns`] at admission, for the root span's `wait_ns`.
-    submitted_ns: u64,
-    /// Time the connection thread spent decoding the request payload.
-    decode_ns: u64,
+    pub(crate) submitted_ns: u64,
+    /// Time the reactor spent decoding the request payload.
+    pub(crate) decode_ns: u64,
 }
 
 /// A running server. Dropping the handle stops it; [`ServerHandle::shutdown`]
 /// does the same explicitly. Shutdown is idempotent and never blocks on the
-/// network: the accept loop polls a stop flag over a non-blocking listener,
-/// so it winds down even if the listener has already died.
+/// network: reactors wake via their self-pipe regardless of traffic, so the
+/// daemon winds down even if the listener has already died.
 pub struct ServerHandle {
     shared: Arc<Shared>,
     queue: Arc<BoundedQueue<Job>>,
     addr: SocketAddr,
-    accept_thread: Option<JoinHandle<()>>,
+    set: Arc<ReactorSet>,
+    reactor_threads: Vec<JoinHandle<()>>,
     worker_threads: Vec<JoinHandle<()>>,
 }
 
@@ -487,20 +538,19 @@ impl ServerHandle {
     }
 
     /// Idempotent shutdown core, shared by [`ServerHandle::shutdown`] and
-    /// `Drop`. Never blocks on the network: the accept thread notices the
-    /// stop flag within its poll interval regardless of traffic, and a
-    /// thread that already died joins immediately.
+    /// `Drop`. Order matters: workers drain and post their last
+    /// completions *before* the reactors are woken, so a final drain on
+    /// each shard delivers in-flight replies and flushes buffered trace
+    /// lines before the threads exit.
     fn shutdown_inner(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
         self.queue.close();
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
         for t in self.worker_threads.drain(..) {
             let _ = t.join();
         }
-        if let Some(log) = &self.shared.trace_log {
-            let _ = std::io::Write::flush(&mut *log.lock().unwrap());
+        self.set.wake_all();
+        for t in self.reactor_threads.drain(..) {
+            let _ = t.join();
         }
     }
 }
@@ -511,6 +561,15 @@ impl Drop for ServerHandle {
     }
 }
 
+/// Resolves `config.reactors`: explicit value, or auto-sized.
+fn reactor_count(config: &ServerConfig) -> usize {
+    if config.reactors > 0 {
+        return config.reactors;
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    (cores / 2).clamp(1, 4)
+}
+
 /// Binds, spawns the threads, and returns a handle. `initial` holds the
 /// databases served from the start (more can arrive via `RELOAD`).
 pub fn serve(
@@ -519,18 +578,17 @@ pub fn serve(
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
-    // Non-blocking listener: the accept loop polls the stop flag instead
-    // of relying on a wake-up connection, so shutdown works even when the
-    // listener is wedged or already dead.
+    // Non-blocking listener: it joins shard 0's poll set, so accepting is
+    // readiness-driven and shutdown needs no wake-up connection.
     listener.set_nonblocking(true)?;
     let injector = config
         .fault_profile
         .is_active()
         .then(|| FaultInjector::new(config.fault_profile.clone(), config.fault_seed));
-    let trace_log = match &config.trace_log {
-        Some(path) => Some(Mutex::new(std::io::BufWriter::new(std::fs::File::create(
-            path,
-        )?))),
+    let trace = match &config.trace_log {
+        Some(path) => Some(TraceSink {
+            file: Mutex::new(std::fs::File::create(path)?),
+        }),
         None => None,
     };
     let metrics = Metrics::new();
@@ -547,14 +605,18 @@ pub fn serve(
         metrics.count_misses.clone(),
         metrics.count_evictions.clone(),
     );
+    // Level 0 sized to the larger cache tier it fronts.
+    let fingerprints = FingerprintCache::new(config.count_cache_cap.max(config.plan_cache_cap));
+    let nshards = reactor_count(&config);
     let shared = Arc::new(Shared {
         plans,
         counts,
+        fingerprints,
         metrics,
         dbs: RwLock::new(HashMap::new()),
         injector,
         stop: AtomicBool::new(false),
-        trace_log,
+        trace,
         trace_seq: AtomicU64::new(0),
         config,
     });
@@ -562,15 +624,17 @@ pub fn serve(
         shared.install_db(&name, db);
     }
     let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(shared.config.queue_cap));
+    let (set, pipes) = ReactorSet::new(nshards)?;
 
     let worker_threads: Vec<JoinHandle<()>> = (0..shared.config.workers.max(1))
         .map(|_| {
             let queue = Arc::clone(&queue);
             let shared = Arc::clone(&shared);
+            let set = Arc::clone(&set);
             std::thread::spawn(move || {
                 while let Some(job) = queue.pop() {
                     shared.metrics.queue_depth.set(queue.len() as u64);
-                    let resp = catch_unwind(AssertUnwindSafe(|| {
+                    let (response, trace_line) = catch_unwind(AssertUnwindSafe(|| {
                         if job.faults.panic {
                             panic!("fault injection: forced worker panic");
                         }
@@ -578,238 +642,197 @@ pub fn serve(
                     }))
                     .unwrap_or_else(|_| {
                         shared.metrics.panicked.inc();
-                        Response::Error {
-                            code: ErrorCode::Internal,
-                            message: "internal error: worker panicked".into(),
-                            retry_after_ms: 0,
-                        }
+                        (
+                            Response::Error {
+                                code: ErrorCode::Internal,
+                                message: "internal error: worker panicked".into(),
+                                retry_after_ms: 0,
+                            },
+                            None,
+                        )
                     });
-                    let _ = job.reply.send(resp);
+                    set.post_completion(Completion {
+                        conn_id: job.conn_id,
+                        seq: job.seq,
+                        response,
+                        trace_line,
+                    });
                 }
             })
         })
         .collect();
 
-    let accept_thread = {
-        let queue = Arc::clone(&queue);
-        let shared = Arc::clone(&shared);
-        std::thread::spawn(move || loop {
-            if shared.stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match listener.accept() {
-                Ok((stream, _)) => stream,
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(20));
-                    continue;
-                }
-                Err(_) => {
-                    // Transient accept errors (EMFILE, aborted handshakes)
-                    // should not kill the loop; back off and re-check stop.
-                    std::thread::sleep(Duration::from_millis(20));
-                    continue;
-                }
+    let mut listener = Some(listener);
+    let reactor_threads: Vec<JoinHandle<()>> = pipes
+        .into_iter()
+        .enumerate()
+        .map(|(shard, pipe)| {
+            let cfg = ReactorConfig {
+                shard,
+                shared: Arc::clone(&shared),
+                queue: Arc::clone(&queue),
+                set: Arc::clone(&set),
+                pipe,
+                listener: listener.take(),
             };
-            // Accepted sockets may inherit non-blocking mode; per-stream
-            // deadlines come from timeouts, not O_NONBLOCK.
-            if stream.set_nonblocking(false).is_err() {
-                continue;
-            }
-            let queue = Arc::clone(&queue);
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || serve_stream(stream, &shared, &queue));
+            std::thread::spawn(move || run_reactor(cfg))
         })
-    };
+        .collect();
 
     Ok(ServerHandle {
         shared,
         queue,
         addr,
-        accept_thread: Some(accept_thread),
+        set,
+        reactor_threads,
         worker_threads,
     })
 }
 
-/// Applies deadlines and (optionally) the fault injector to an accepted
-/// stream, then runs the frame loop over the wrapped halves.
-fn serve_stream(stream: TcpStream, shared: &Shared, queue: &BoundedQueue<Job>) {
-    let timeout = |ms: u64| (ms > 0).then(|| Duration::from_millis(ms));
-    let _ = stream.set_read_timeout(timeout(shared.config.read_timeout_ms));
-    let _ = stream.set_write_timeout(timeout(shared.config.write_timeout_ms));
-    let read_half = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    match &shared.injector {
-        Some(injector) => {
-            let conn = injector.connection();
-            serve_connection(
-                std::io::BufReader::new(conn.wrap(read_half)),
-                std::io::BufWriter::new(conn.wrap(stream)),
-                Some(conn),
-                shared,
-                queue,
-            );
-        }
-        None => serve_connection(
-            std::io::BufReader::new(read_half),
-            std::io::BufWriter::new(stream),
-            None,
-            shared,
-            queue,
-        ),
-    }
-}
-
-/// Is this I/O error a read/write deadline expiring? (Unix reports
-/// `WouldBlock` for socket timeouts, Windows `TimedOut`.)
-fn is_timeout(e: &std::io::Error) -> bool {
-    matches!(
-        e.kind(),
-        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-    )
-}
-
-fn serve_connection<R: Read, W: Write>(
-    mut reader: R,
-    mut writer: W,
-    conn: Option<Arc<ConnFaults>>,
+/// Answers an admin request inline (`None` for counting work). Admin
+/// opcodes bypass admission control: they are cheap and must work
+/// *especially* when the server is overloaded. `served` is bumped before
+/// the body is built so a `STATS`/`METRICS` snapshot includes itself.
+pub(crate) fn handle_admin(
     shared: &Shared,
     queue: &BoundedQueue<Job>,
-) {
-    loop {
-        let frame: Frame = match read_frame(&mut reader) {
-            Ok(Some(f)) => f,
-            Ok(None) => return, // clean close
-            Err(e) if is_timeout(&e) => {
-                // Idle or stalled peer: reap the connection. No reply — a
-                // peer that stopped talking mid-frame cannot parse one.
-                shared.metrics.reaped.inc();
-                return;
-            }
-            Err(e) => {
-                let resp = Response::Error {
-                    code: ErrorCode::Protocol,
-                    message: format!("protocol error: {e}"),
-                    retry_after_ms: 0,
-                };
-                shared.account(&resp);
-                let _ = resp.write_to(&mut writer);
-                return;
-            }
-        };
-        let decode_start = trace::now_ns();
-        let request = match Request::decode(&frame) {
-            Ok(r) => r,
-            Err(e) => {
-                let resp = Response::Error {
-                    code: ErrorCode::Protocol,
-                    message: format!("protocol error: {e}"),
-                    retry_after_ms: 0,
-                };
-                shared.account(&resp);
-                if resp.write_to(&mut writer).is_err() {
-                    return;
-                }
-                continue;
-            }
-        };
-        let decode_ns = trace::now_ns().saturating_sub(decode_start);
-        shared.metrics.op_counter(&request).inc();
-        let response = match request {
-            // Admin requests bypass admission control: they are cheap and
-            // must work *especially* when the server is overloaded.
-            Request::Stats => {
-                shared.metrics.served.inc();
-                Response::Stats(shared.stats())
-            }
-            Request::Metrics => {
-                shared.metrics.served.inc();
-                Response::Metrics {
-                    text: shared.render_metrics(queue),
-                }
-            }
-            Request::Reload { ref db, ref text } => {
-                shared.metrics.served.inc();
-                match parse_database(text) {
-                    Ok(parsed) => Response::Ok {
-                        epoch: shared.install_db(db, parsed),
-                    },
-                    Err(e) => Response::Error {
-                        code: ErrorCode::Parse,
-                        message: e.to_string(),
-                        retry_after_ms: 0,
-                    },
-                }
-            }
-            Request::Flush => {
-                shared.metrics.served.inc();
-                shared.plans.clear();
-                shared.counts.clear();
-                Response::Ok { epoch: 0 }
-            }
-            // Counting work goes through the bounded queue. Faults for the
-            // job (forced panic / cap trip) are drawn here, at admission,
-            // so one lane of the connection's RNG decides them in order.
-            other => {
-                let (tx, rx) = mpsc::channel();
-                let faults = conn.as_ref().map_or_else(JobFaults::default, |c| {
-                    if counting_op(&other) {
-                        c.job_faults()
-                    } else {
-                        JobFaults::default()
-                    }
-                });
-                match queue.try_push(Job {
-                    request: other,
-                    reply: tx,
-                    faults,
-                    submitted_ns: trace::now_ns(),
-                    decode_ns,
-                }) {
-                    Ok(()) => {
-                        shared.metrics.queue_depth.set(queue.len() as u64);
-                        match rx.recv() {
-                            Ok(resp) => {
-                                shared.metrics.served.inc();
-                                resp
-                            }
-                            Err(_) => Response::Error {
-                                code: ErrorCode::Internal,
-                                message: "internal error: worker dropped the job".into(),
-                                retry_after_ms: 0,
-                            },
-                        }
-                    }
-                    Err(_) => Response::Error {
-                        code: ErrorCode::Overloaded,
-                        message: format!(
-                            "overloaded: request queue at capacity {}",
-                            queue.capacity()
-                        ),
-                        retry_after_ms: shared.config.overload_retry_after_ms,
-                    },
-                }
-            }
-        };
-        shared.account(&response);
-        shared
-            .metrics
-            .latency_us
-            .observe(trace::now_ns().saturating_sub(decode_start) / 1_000);
-        let write_start = trace::now_ns();
-        if response.write_to(&mut writer).is_err() {
-            return;
+    request: &Request,
+) -> Option<Response> {
+    Some(match request {
+        Request::Stats => {
+            shared.metrics.served.inc();
+            Response::Stats(shared.stats())
         }
-        shared
-            .metrics
-            .reply_write_us
-            .observe(trace::now_ns().saturating_sub(write_start) / 1_000);
+        Request::Metrics => {
+            shared.metrics.served.inc();
+            Response::Metrics {
+                text: shared.render_metrics(queue),
+            }
+        }
+        Request::Reload { db, text } => {
+            shared.metrics.served.inc();
+            match parse_database(text) {
+                Ok(parsed) => Response::Ok {
+                    epoch: shared.install_db(db, parsed),
+                },
+                Err(e) => Response::Error {
+                    code: ErrorCode::Parse,
+                    message: e.to_string(),
+                    retry_after_ms: 0,
+                },
+            }
+        }
+        Request::Flush => {
+            shared.metrics.served.inc();
+            shared.plans.clear();
+            shared.counts.clear();
+            shared.fingerprints.clear();
+            Response::Ok { epoch: 0 }
+        }
+        _ => return None,
+    })
+}
+
+/// The reply for a counting request bounced by the bounded queue.
+pub(crate) fn overload_response(shared: &Shared, queue: &BoundedQueue<Job>) -> Response {
+    Response::Error {
+        code: ErrorCode::Overloaded,
+        message: format!("overloaded: request queue at capacity {}", queue.capacity()),
+        retry_after_ms: shared.config.overload_retry_after_ms,
     }
+}
+
+/// The warm-hit fast path: answers a counting request on the reactor
+/// thread when every required artifact is already cached, without parsing
+/// the query or touching the worker queue.
+///
+/// Admission rules (anything else returns `None` and takes the queue):
+///
+/// * `COUNT` — the raw text is in the fingerprint cache (level 0) *and*
+///   the count cache holds the canonical key at the database's current
+///   epoch. Probes use `peek`: a hit is counted, an absence is **not** a
+///   miss (the worker's own probe will record the miss), so cache
+///   counters are identical to the pre-reactor behavior.
+/// * `WIDTH_REPORT` at the default cap — level 0 hit, plan-cache peek
+///   hit, and the entry's report slot already computed.
+/// * Never `PROFILE` (needs a worker-side trace), never `ENUMERATE`
+///   (rows are not cached), and never when the fault injector drew a
+///   fault for the job (the caller checks; panics and cap trips must
+///   reach a worker to fire).
+///
+/// Returns the response plus a pre-formatted `--trace-log` line when the
+/// sink is active (fast-path hits are still counting requests).
+pub(crate) fn try_fast_path(
+    shared: &Shared,
+    request: &Request,
+) -> Option<(Response, Option<String>)> {
+    match request {
+        Request::Count { db, query, .. } => {
+            let fpd = shared.fingerprints.get(query)?;
+            let state = shared.dbs.read().unwrap().get(db).cloned()?;
+            let key = (fpd.canonical.clone(), db.clone(), state.epoch);
+            let value = shared.counts.peek(&key)?;
+            Some(fast_traced(shared, "count", move || Response::Count {
+                value: value.to_string(),
+                plan: "cached".into(),
+                cached: CacheTier::CountWarm,
+                degraded: false,
+                fingerprint: fpd.fingerprint,
+            }))
+        }
+        Request::WidthReport { query, cap } => {
+            let cap = if *cap == 0 {
+                shared.config.width_cap
+            } else {
+                *cap as usize
+            };
+            if cap != shared.config.width_cap {
+                return None;
+            }
+            let fpd = shared.fingerprints.get(query)?;
+            let entry = shared.plans.peek(&fpd.canonical)?;
+            let report = entry.report.get()?.clone();
+            Some(fast_traced(shared, "width_report", move || {
+                report_reply(&report)
+            }))
+        }
+        _ => None,
+    }
+}
+
+/// Runs a fast-path reply builder, under a reactor-side trace session
+/// when `--trace-log` is active so warm hits still produce a `request`
+/// root line (with a `server.cache_probe` hit child).
+fn fast_traced(
+    shared: &Shared,
+    op: &'static str,
+    build: impl FnOnce() -> Response,
+) -> (Response, Option<String>) {
+    if shared.trace.is_none() {
+        return (build(), None);
+    }
+    let _session = trace::TraceSession::begin();
+    let root = trace::span("request");
+    let root_id = root.id();
+    root.tag("op", op);
+    let probe = trace::span("server.cache_probe");
+    probe.tag("result", "hit");
+    drop(probe);
+    let response = build();
+    drop(root);
+    let tree = trace::build_tree(trace::collect(root_id), root_id);
+    let line = tree.map(|t| {
+        let seq = shared.trace_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut line = String::new();
+        write_trace_json(&mut line, seq, op, &t);
+        line.push('\n');
+        line
+    });
+    (response, line)
 }
 
 /// Ops that run on workers (as opposed to inline admin ops).
-fn counting_op(r: &Request) -> bool {
+pub(crate) fn counting_op(r: &Request) -> bool {
     matches!(
         r,
         Request::Count { .. }
@@ -826,10 +849,10 @@ fn counting_op(r: &Request) -> bool {
 /// under it via the thread-local stack; queue wait and payload decode are
 /// attached as root counters (`wait_ns`, `decode_ns`) because those
 /// stretches happened before the root existed.
-fn execute_job(shared: &Shared, job: &Job) -> Response {
+fn execute_job(shared: &Shared, job: &Job) -> (Response, Option<String>) {
     let profiling = matches!(job.request, Request::Profile { .. });
     let _session =
-        (profiling || shared.trace_log.is_some()).then(cqcount_obs::trace::TraceSession::begin);
+        (profiling || shared.trace.is_some()).then(cqcount_obs::trace::TraceSession::begin);
     let root = trace::span("request");
     let root_id = root.id();
     root.tag("op", op_name(&job.request));
@@ -838,22 +861,21 @@ fn execute_job(shared: &Shared, job: &Job) -> Response {
     let response = run_job(shared, &job.request, job.faults);
     drop(root);
     if root_id.is_none() {
-        return response;
+        return (response, None);
     }
     let tree = trace::build_tree(trace::collect(root_id), root_id);
-    if let (Some(log), Some(tree)) = (&shared.trace_log, &tree) {
+    let mut trace_line = None;
+    if let (Some(_sink), Some(tree)) = (&shared.trace, &tree) {
         let seq = shared.trace_seq.fetch_add(1, Ordering::Relaxed) + 1;
         let mut line = String::new();
         write_trace_json(&mut line, seq, op_name(&job.request), tree);
         line.push('\n');
-        let mut w = log.lock().unwrap();
-        let _ = w.write_all(line.as_bytes());
-        let _ = w.flush();
+        trace_line = Some(line);
     }
     if !profiling {
-        return response;
+        return (response, trace_line);
     }
-    match response {
+    let response = match response {
         Response::Count {
             value,
             plan,
@@ -879,7 +901,8 @@ fn execute_job(shared: &Shared, job: &Job) -> Response {
             })
         }
         other => other,
-    }
+    };
+    (response, trace_line)
 }
 
 /// Converts a collected span tree into the wire form: times rebased to the
@@ -1038,7 +1061,7 @@ fn plan_for(
     };
     let entry = Arc::new(PlanEntry {
         prepared: prepare_plan_budgeted(q, shared.config.width_cap, &plan_budget),
-        report: Mutex::new(None),
+        report: OnceLock::new(),
     });
     if !entry.prepared.degraded {
         shared
@@ -1133,6 +1156,15 @@ fn run_count(
     };
     let fp = fingerprint(&q);
     drop(parse_sp);
+    // Install the level-0 mapping so the reactor's fast path can answer
+    // this exact text without parsing next time.
+    shared.fingerprints.insert(
+        query.to_owned(),
+        Arc::new(Fingerprinted {
+            canonical: fp.text.clone(),
+            fingerprint: fp.hash,
+        }),
+    );
     let state = match lookup_db(shared, db_name) {
         Ok(s) => s,
         Err(resp) => return *resp,
@@ -1273,19 +1305,33 @@ fn run_width_report(shared: &Shared, query: &str, cap: u64) -> Response {
         cap as usize
     };
     let fp = fingerprint(&q);
-    // Reports at the default cap share the plan entry's lazy slot; other
-    // caps are computed fresh (rare, operator-driven).
+    shared.fingerprints.insert(
+        query.to_owned(),
+        Arc::new(Fingerprinted {
+            canonical: fp.text.clone(),
+            fingerprint: fp.hash,
+        }),
+    );
+    // Reports at the default cap share the plan entry's compute-once slot
+    // (the reactor fast path reads the same slot lock-free); other caps
+    // are computed fresh (rare, operator-driven).
     let report = if cap == shared.config.width_cap {
         // Width reports are operator-driven and cheap relative to counting;
         // plan under an unlimited budget so the cached entry is never
         // degraded.
         let (entry, _) = plan_for(shared, &fp.text, &q, &Budget::unlimited());
-        let mut slot = entry.report.lock().unwrap();
-        slot.get_or_insert_with(|| WidthReport::analyze(&q, cap))
+        entry
+            .report
+            .get_or_init(|| WidthReport::analyze(&q, cap))
             .clone()
     } else {
         WidthReport::analyze(&q, cap)
     };
+    report_reply(&report)
+}
+
+/// Converts an analyzed [`WidthReport`] into its wire reply.
+fn report_reply(report: &WidthReport) -> Response {
     Response::Report(ReportReply {
         acyclic: report.acyclic,
         ghw: report.ghw.map(|w| w as u64),

@@ -3,7 +3,7 @@
 //! clean error (or a clean partial-read), never a panic or an unbounded
 //! allocation.
 
-use cqcount_server::protocol::{read_frame, Frame, Request, Response, MAGIC, MAX_PAYLOAD, VERSION};
+use cqcount_server::protocol::{read_frame, Frame, Request, Response, MAGIC, MAX_PAYLOAD, V4};
 use std::io::Cursor;
 
 /// A canonical COUNT frame as raw bytes.
@@ -83,7 +83,7 @@ fn corrupt_magic_and_version_are_rejected() {
         );
     }
     assert_eq!(&frame[..2], &MAGIC, "fixture layout drifted");
-    assert_eq!(frame[2], VERSION, "fixture layout drifted");
+    assert_eq!(frame[2], V4, "write_to emits the v4 wire format");
 }
 
 #[test]

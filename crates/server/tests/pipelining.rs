@@ -1,0 +1,268 @@
+//! Pipelining end-to-end tests: many requests in flight on one
+//! connection, against a real server on a loopback port.
+//!
+//! Covers the three contracts the evented front end added:
+//! * protocol v5 — responses carry the request id they answer and may
+//!   arrive in completion order, so a client that writes a whole window
+//!   before reading anything still attributes every answer correctly,
+//!   even with a RELOAD interleaved in the middle of the window;
+//! * protocol v4 — clients that predate request ids get their responses
+//!   strictly in request order, even when a slow cold count is followed
+//!   by an admin request the reactor answers inline;
+//! * fault layer — the seeded fault lanes are scheduled by byte offset,
+//!   so moving from blocking reads to the reactor's nonblocking chunked
+//!   reads must not change what a given seed injects: two identical
+//!   pipelined runs replay the exact same event sequence.
+
+use cqcount_core::count_brute_force;
+use cqcount_query::{parse_database, parse_program};
+use cqcount_server::faults::{FaultEvent, FaultProfile};
+use cqcount_server::protocol::read_frame;
+use cqcount_server::{
+    serve, ClientOptions, PipelinedClient, Request, Response, ServerConfig, ServerHandle,
+};
+use std::collections::HashMap;
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+
+const FIXTURE: &str = include_str!("../fixtures/example11.cq");
+
+/// The paper's Example 1.1 query Q0 (count 5 on the fixture).
+const Q0: &str = "ans(A, B, C) :- mw(A, B, I), wt(B, D), wi(B, E), pt(C, D), \
+                  st(D, F), st(D, G), rr(G, H), rr(F, H), rr(D, H).";
+
+/// A cheaper companion so the pipeline mixes distinct answers.
+const Q1: &str = "ans(B, D) :- wt(B, D), st(D, F).";
+
+fn start(config: ServerConfig) -> ServerHandle {
+    let db = parse_database(FIXTURE).unwrap();
+    serve(config, vec![("main".into(), db)]).expect("bind loopback")
+}
+
+fn expected(query: &str) -> String {
+    let (q, db) = parse_program(&format!("{FIXTURE}\n{query}")).unwrap();
+    count_brute_force(&q.unwrap(), &db).to_string()
+}
+
+fn count_req(query: &str) -> Request {
+    Request::Count {
+        db: "main".into(),
+        query: query.into(),
+        budget_ms: 0,
+    }
+}
+
+#[test]
+fn pipelined_window_with_interleaved_reload_matches_by_request_id() {
+    // Queue depth must absorb the whole window: every count in the burst
+    // misses the cache (nothing has completed yet when the frames are
+    // decoded), so they all become worker jobs.
+    let handle = start(ServerConfig {
+        workers: 2,
+        queue_cap: 64,
+        ..ServerConfig::default()
+    });
+    let mut pc = PipelinedClient::connect(handle.local_addr()).expect("connect");
+
+    // Write the entire window — counts, a RELOAD in the middle, more
+    // counts — before reading a single byte of response.
+    let mut count_ids = Vec::new();
+    for i in 0..8 {
+        let q = if i % 2 == 0 { Q0 } else { Q1 };
+        count_ids.push((pc.submit(&count_req(q)).unwrap(), expected(q)));
+    }
+    // Reload with the *identical* fact text: the epoch bumps (so the
+    // count cache is invalidated), but every count stays deterministic
+    // no matter where in the window it executes.
+    let reload_id = pc
+        .submit(&Request::Reload {
+            db: "main".into(),
+            text: FIXTURE.into(),
+        })
+        .unwrap();
+    for i in 0..8 {
+        let q = if i % 2 == 0 { Q1 } else { Q0 };
+        count_ids.push((pc.submit(&count_req(q)).unwrap(), expected(q)));
+    }
+    pc.flush().unwrap();
+    assert_eq!(pc.inflight(), 17);
+
+    // Drain in whatever order the server finished things; attribute by id.
+    let mut replies: HashMap<u64, Response> = HashMap::new();
+    for _ in 0..17 {
+        let (id, resp) = pc.recv().expect("pipelined response");
+        assert!(replies.insert(id, resp).is_none(), "duplicate id {id}");
+    }
+    assert_eq!(pc.inflight(), 0);
+
+    // The reload bumped the epoch exactly once: 1 (initial load) → 2.
+    match &replies[&reload_id] {
+        Response::Ok { epoch } => assert_eq!(*epoch, 2),
+        other => panic!("reload answered {other:?}"),
+    }
+    // Every count got the right answer, wherever it landed around the
+    // reload.
+    for (id, want) in &count_ids {
+        match &replies[id] {
+            Response::Count { value, .. } => assert_eq!(value, want, "request {id}"),
+            other => panic!("count {id} answered {other:?}"),
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn v4_pipelined_responses_stay_in_request_order() {
+    let handle = start(ServerConfig {
+        workers: 1,
+        queue_cap: 64,
+        ..ServerConfig::default()
+    });
+
+    // A raw protocol-v4 connection: no request ids, ordering is the only
+    // way to attribute responses. Interleave slow cold counts with STATS
+    // requests the reactor answers inline — if the server released inline
+    // replies as they completed, the stats would overtake the counts.
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let script = [
+        count_req(Q0),
+        Request::Stats,
+        count_req(Q1),
+        Request::Stats,
+        count_req(Q0),
+    ];
+    for req in &script {
+        req.write_to(&mut stream).unwrap();
+    }
+    stream.flush().unwrap();
+
+    let mut reader = BufReader::new(stream);
+    let mut kinds = Vec::new();
+    for i in 0..script.len() {
+        let frame = read_frame(&mut reader)
+            .expect("read response")
+            .expect("server closed early");
+        let resp = Response::decode(&frame).expect("well-formed response");
+        match resp {
+            Response::Count { value, .. } => {
+                let want = if i == 2 { expected(Q1) } else { expected(Q0) };
+                assert_eq!(value, want, "response {i}");
+                kinds.push("count");
+            }
+            Response::Stats(_) => kinds.push("stats"),
+            other => panic!("response {i} was {other:?}"),
+        }
+    }
+    assert_eq!(
+        kinds,
+        ["count", "stats", "count", "stats", "count"],
+        "v4 responses must arrive in request order"
+    );
+    handle.shutdown();
+}
+
+/// Short I/O and latency only — no disconnects, no worker faults — so a
+/// pipelined window completes and the two runs are byte-for-byte
+/// comparable.
+fn flaky_pipeline_profile() -> FaultProfile {
+    FaultProfile {
+        label: "pipeline-flaky",
+        io_gap: 32,
+        short_weight: 8,
+        latency_weight: 2,
+        disconnect_weight: 0,
+        latency_max_ms: 1,
+        worker_panic_p: 0.0,
+        cap_trip_p: 0.0,
+    }
+}
+
+/// One pipelined run under the flaky profile: serial prewarming counts
+/// followed by a 12-deep window on the same (and only) connection.
+///
+/// Determinism needs care here: whether a request in a burst warm-hits
+/// depends on a decode-vs-completion race, and a warm reply has
+/// different bytes than a cold one — which would move the byte-offset
+/// scheduled write faults between runs. So the cold counts run serially
+/// (single worker, submission order) and the burst is 100% warm, served
+/// in decode order by the reactor's fast path. Both phases then produce
+/// an identical byte stream run to run, and the fault events must too.
+fn flaky_pipelined_run(seed: u64) -> (Vec<(u64, String)>, Vec<FaultEvent>) {
+    let db = parse_database(FIXTURE).unwrap();
+    let handle = serve(
+        ServerConfig {
+            workers: 1,
+            queue_cap: 64,
+            fault_profile: flaky_pipeline_profile(),
+            fault_seed: seed,
+            read_timeout_ms: 5_000,
+            write_timeout_ms: 5_000,
+            ..ServerConfig::default()
+        },
+        vec![("main".into(), db)],
+    )
+    .expect("bind loopback");
+    let mut pc = PipelinedClient::connect_with(
+        handle.local_addr(),
+        ClientOptions {
+            io_timeout_ms: 5_000,
+            ..ClientOptions::default()
+        },
+    )
+    .expect("connect");
+
+    let mut outcomes = Vec::new();
+    // Phase 1: cold counts, strictly serial (one in flight at a time).
+    for q in [Q1, Q0] {
+        let id = pc.submit(&count_req(q)).unwrap();
+        let (got, resp) = pc.recv().expect("cold count under faults");
+        assert_eq!(got, id);
+        match resp {
+            Response::Count { value, .. } => outcomes.push((id, format!("ok:{value}"))),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    // Phase 2: a 12-deep warm burst — every request is answered by the
+    // reactor's fast path, in decode order.
+    for i in 0..12 {
+        let q = if i % 2 == 0 { Q1 } else { Q0 };
+        pc.submit(&count_req(q)).unwrap();
+    }
+    for _ in 0..12 {
+        let (id, resp) = pc.recv().expect("flaky pipeline must still complete");
+        let outcome = match resp {
+            Response::Count { value, .. } => format!("ok:{value}"),
+            Response::Error { code, .. } => format!("err:{code:?}"),
+            other => panic!("unexpected response {other:?}"),
+        };
+        outcomes.push((id, outcome));
+    }
+    outcomes.sort_unstable();
+    let events = handle.fault_events();
+    handle.shutdown();
+    (outcomes, events)
+}
+
+#[test]
+fn fault_injection_replays_exactly_over_the_nonblocking_path() {
+    let (outcomes_a, events_a) = flaky_pipelined_run(77);
+    assert!(
+        !events_a.is_empty(),
+        "profile never fired on the pipelined path"
+    );
+    // Every count came back correct despite the short I/O and latency.
+    for (id, outcome) in &outcomes_a {
+        assert!(outcome.starts_with("ok:"), "request {id} was {outcome}");
+    }
+
+    let (outcomes_b, events_b) = flaky_pipelined_run(77);
+    assert_eq!(
+        events_a, events_b,
+        "seed 77 must replay exactly on nonblocking sockets"
+    );
+    assert_eq!(outcomes_a, outcomes_b);
+
+    let (_, events_c) = flaky_pipelined_run(78);
+    assert_ne!(events_a, events_c, "different seeds should differ");
+}
