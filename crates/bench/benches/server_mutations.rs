@@ -1,0 +1,191 @@
+//! Incremental-maintenance benchmark: single-tuple mutation + re-count
+//! against the only pre-v6 alternative, RELOAD + recount, across database
+//! sizes. Emits `BENCH_incremental_counts.json` at the workspace root.
+//!
+//! The workload is the canonical maintained shape: a full acyclic 3-atom
+//! chain over relations sized to the target tuple count. Per size:
+//!
+//! * **incremental** — the count is materialized once (cold), then each
+//!   cycle inserts one tuple (or deletes the one just inserted) and
+//!   re-counts. The mutation patches the join-tree DP state along the
+//!   touched bag path and republishes the count, so the re-count is a
+//!   cache hit: the cycle costs O(path × bag-width) server work plus two
+//!   round-trips, independent of the database size.
+//! * **reload** — each cycle re-sends the full fact file (with the same
+//!   one-tuple edit) and re-counts. The epoch bump invalidates the cached
+//!   count; the recount re-runs the counting algorithm over all tuples.
+//!   This is what "one tuple changed" cost before protocol v6.
+//!
+//! The headline acceptance number is the speedup at ≥100k tuples
+//! (required ≥10x; the CI `mutation-smoke` job gates a rerun at ≥75% of
+//! the committed value).
+
+use cqcount_bench::print_table;
+use cqcount_query::parse_database;
+use cqcount_server::{serve, CacheTier, Client, ServerConfig};
+use std::time::{Duration, Instant};
+
+/// Fact text for a 3-relation chain instance with ~`n` tuples total:
+/// r(x, y) edges fan into a y-domain of `n/20` values, s(y, z) matches
+/// each y to a z, t(z) holds every z. The join is linear-sized and every
+/// relation participates, so a from-scratch count must touch all of it.
+fn chain_facts(n: usize) -> String {
+    let nr = n / 2;
+    let ns = n / 4;
+    let nt = n - nr - ns;
+    let ydom = (n / 20).max(4);
+    let mut facts = String::with_capacity(n * 16);
+    for i in 0..nr {
+        facts.push_str(&format!("r(x{i}, y{}).\n", i % ydom));
+    }
+    for j in 0..ns {
+        facts.push_str(&format!("s(y{}, z{j}).\n", j % ydom));
+    }
+    for k in 0..nt {
+        facts.push_str(&format!("t(z{k}).\n"));
+    }
+    facts
+}
+
+const QUERY: &str = "ans(A, B, C) :- r(A, B), s(B, C), t(C).";
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+struct SizeRow {
+    tuples: usize,
+    incremental_ns: f64,
+    reload_ns: f64,
+    speedup: f64,
+}
+
+fn bench_size(n: usize) -> SizeRow {
+    let facts = chain_facts(n);
+    let db = parse_database(&facts).expect("facts parse");
+    let handle = serve(
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+        vec![("main".into(), db)],
+    )
+    .expect("bind loopback");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // Materialize: the first count is cold and pins the DP state.
+    let base = client.count("main", QUERY, 0).expect("cold count");
+    assert_eq!(base.cached, CacheTier::Cold);
+
+    // Incremental cycles: insert a fresh tuple, re-count, delete it,
+    // re-count. Every op is effective and every re-count must be served
+    // from the republished maintained count.
+    const INCR_CYCLES: usize = 50;
+    let mut incr = Vec::with_capacity(INCR_CYCLES * 2);
+    for _ in 0..INCR_CYCLES {
+        for insert in [true, false] {
+            let t0 = Instant::now();
+            let receipt = if insert {
+                client.insert("main", "r", &["xq", "y0"]).expect("insert")
+            } else {
+                client.delete("main", "r", &["xq", "y0"]).expect("delete")
+            };
+            let reply = client.count("main", QUERY, 0).expect("recount");
+            incr.push(t0.elapsed().as_nanos() as f64);
+            assert_eq!(receipt.changed, 1, "steady-state ops must be effective");
+            assert_eq!(
+                reply.cached,
+                CacheTier::CountWarm,
+                "maintained re-count must be a cache hit"
+            );
+            if !insert {
+                assert_eq!(reply.value, base.value, "delete must restore the count");
+            }
+        }
+    }
+    let incremental_ns = median(incr);
+
+    // Reload cycles: the same one-tuple edit shipped the pre-v6 way. The
+    // epoch bump kills the cached count; the plan survives, so the
+    // recount isolates the data work, not planning.
+    const RELOAD_CYCLES: usize = 5;
+    let edited = format!("{facts}r(xq, y0).\n");
+    let mut reload = Vec::with_capacity(RELOAD_CYCLES * 2);
+    for _ in 0..RELOAD_CYCLES {
+        for text in [&edited, &facts] {
+            let t0 = Instant::now();
+            client.reload("main", text).expect("reload");
+            let reply = client.count("main", QUERY, 0).expect("recount");
+            reload.push(t0.elapsed().as_nanos() as f64);
+            assert_ne!(reply.cached, CacheTier::CountWarm, "reload must recount");
+            if std::ptr::eq(text, &facts) {
+                assert_eq!(reply.value, base.value, "round-trip restores the count");
+            }
+        }
+    }
+    let reload_ns = median(reload);
+
+    handle.shutdown();
+    SizeRow {
+        tuples: n,
+        incremental_ns,
+        reload_ns,
+        speedup: reload_ns / incremental_ns,
+    }
+}
+
+fn main() {
+    let sizes = [10_000usize, 50_000, 100_000, 200_000];
+    let rows: Vec<SizeRow> = sizes.iter().map(|&n| bench_size(n)).collect();
+
+    // The acceptance headline: speedup at the largest ≥100k-tuple size.
+    let headline = rows
+        .iter()
+        .filter(|r| r.tuples >= 100_000)
+        .map(|r| r.speedup)
+        .fold(0.0, f64::max);
+
+    println!("\n### bench: server_mutations\n");
+    let fmt_ns = |ns: f64| format!("{:?}", Duration::from_nanos(ns as u64));
+    print_table(
+        &["tuples", "incremental", "reload+recount", "speedup"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.tuples.to_string(),
+                    fmt_ns(r.incremental_ns),
+                    fmt_ns(r.reload_ns),
+                    format!("{:.1}x", r.speedup),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("headline: {headline:.1}x at >=100k tuples (acceptance bar: 10x)");
+
+    // Hand-rolled JSON (no serde in the dependency graph).
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"server_mutations\",\n");
+    json.push_str("  \"unit\": \"ns_per_mutation_plus_recount\",\n");
+    json.push_str(&format!("  \"headline_speedup\": {headline:.1},\n"));
+    json.push_str("  \"sizes\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"tuples\": {}, \"incremental_ns\": {:.0}, \"reload_ns\": {:.0}, \
+             \"speedup\": {:.1}}}{}\n",
+            r.tuples,
+            r.incremental_ns,
+            r.reload_ns,
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_incremental_counts.json"
+    );
+    std::fs::write(out, &json).expect("write BENCH_incremental_counts.json");
+    println!("\nwrote {out}");
+}

@@ -9,7 +9,40 @@ use crate::{Interner, Relation, Value};
 pub struct Database {
     values: Interner,
     relations: FxHashMap<String, Relation>,
+    /// Bumped by every *effective* [`insert_tuple`](Database::insert_tuple)
+    /// / [`delete_tuple`](Database::delete_tuple) — a no-op mutation (tuple
+    /// already present / already absent) leaves it unchanged. Distinct from
+    /// the serving layer's RELOAD epoch: the epoch versions whole-instance
+    /// swaps, the mutation sequence versions in-place tuple churn.
+    mutation_seq: u64,
 }
+
+/// Why a single-tuple mutation was rejected. Rejected mutations leave the
+/// database (and [`Database::mutation_seq`]) untouched.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MutationError {
+    /// The tuple's width does not match the stored relation's arity.
+    ArityMismatch {
+        /// Relation name.
+        rel: String,
+        /// The stored relation's arity.
+        expected: usize,
+        /// The mutation's tuple width.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for MutationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MutationError::ArityMismatch { rel, expected, got } => {
+                write!(f, "relation {rel} has arity {expected}, tuple has {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MutationError {}
 
 impl Database {
     /// An empty database.
@@ -88,6 +121,69 @@ impl Database {
     /// Total number of tuples across all relations (a proxy for ‖D‖).
     pub fn total_tuples(&self) -> usize {
         self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Single-tuple insert by constant names, creating the relation on
+    /// first use (the serving layer treats a first-use relation as a
+    /// structural change and falls back accordingly). Returns `true` iff
+    /// the tuple was new; only an effective insert bumps
+    /// [`mutation_seq`](Database::mutation_seq).
+    pub fn insert_tuple(&mut self, rel: &str, names: &[&str]) -> Result<bool, MutationError> {
+        if let Some(r) = self.relations.get(rel) {
+            if r.arity() != names.len() {
+                return Err(MutationError::ArityMismatch {
+                    rel: rel.to_owned(),
+                    expected: r.arity(),
+                    got: names.len(),
+                });
+            }
+        }
+        let vals: Vec<Value> = names.iter().map(|n| self.values.intern(n)).collect();
+        let arity = vals.len();
+        let changed = self
+            .relations
+            .entry(rel.to_owned())
+            .or_insert_with(|| Relation::new(arity))
+            .insert(vals);
+        if changed {
+            self.mutation_seq += 1;
+        }
+        Ok(changed)
+    }
+
+    /// Single-tuple delete by constant names. Deleting from an unknown
+    /// relation, or a tuple naming a constant the database has never seen,
+    /// is an effect-free `Ok(false)` — the tuple cannot be present. Only an
+    /// effective delete bumps [`mutation_seq`](Database::mutation_seq).
+    pub fn delete_tuple(&mut self, rel: &str, names: &[&str]) -> Result<bool, MutationError> {
+        let Some(r) = self.relations.get_mut(rel) else {
+            return Ok(false);
+        };
+        if r.arity() != names.len() {
+            return Err(MutationError::ArityMismatch {
+                rel: rel.to_owned(),
+                expected: r.arity(),
+                got: names.len(),
+            });
+        }
+        let mut vals = Vec::with_capacity(names.len());
+        for n in names {
+            match self.values.get(n) {
+                Some(v) => vals.push(v),
+                None => return Ok(false),
+            }
+        }
+        let changed = r.remove(&vals);
+        if changed {
+            self.mutation_seq += 1;
+        }
+        Ok(changed)
+    }
+
+    /// How many effective single-tuple mutations this instance has absorbed
+    /// since construction (reloads reset it: a fresh instance starts at 0).
+    pub fn mutation_seq(&self) -> u64 {
+        self.mutation_seq
     }
 
     /// A stable 64-bit content fingerprint of the instance, used by the
@@ -203,6 +299,61 @@ mod tests {
         let mut f = a.clone();
         f.ensure_relation("empty", 3);
         assert_ne!(base, f.fingerprint());
+    }
+
+    #[test]
+    fn mutation_roundtrip_and_seq() {
+        let mut db = Database::new();
+        db.add_fact("r", &["a", "b"]);
+        assert_eq!(db.mutation_seq(), 0); // bulk loads are not mutations
+        assert_eq!(db.insert_tuple("r", &["b", "c"]), Ok(true));
+        assert_eq!(db.insert_tuple("r", &["b", "c"]), Ok(false)); // dup: no-op
+        assert_eq!(db.mutation_seq(), 1);
+        assert_eq!(db.delete_tuple("r", &["a", "b"]), Ok(true));
+        assert_eq!(db.delete_tuple("r", &["a", "b"]), Ok(false));
+        assert_eq!(db.mutation_seq(), 2);
+        let r = db.relation("r").unwrap();
+        assert_eq!(r.len(), 1);
+        let (b, c) = (
+            db.interner().get("b").unwrap(),
+            db.interner().get("c").unwrap(),
+        );
+        assert!(r.contains(&[b, c]));
+    }
+
+    #[test]
+    fn mutation_edge_cases() {
+        let mut db = Database::new();
+        db.add_fact("r", &["a", "b"]);
+        // Arity conflicts are rejected without touching anything.
+        assert!(matches!(
+            db.insert_tuple("r", &["x"]),
+            Err(MutationError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            })
+        ));
+        assert!(db.delete_tuple("r", &["x", "y", "z"]).is_err());
+        assert_eq!(db.mutation_seq(), 0);
+        // Deletes of things that cannot exist are effect-free.
+        assert_eq!(db.delete_tuple("nope", &["a"]), Ok(false));
+        assert_eq!(db.delete_tuple("r", &["a", "never_interned"]), Ok(false));
+        // Insert into a fresh relation creates it.
+        assert_eq!(db.insert_tuple("s", &["a"]), Ok(true));
+        assert_eq!(db.relation("s").unwrap().arity(), 1);
+    }
+
+    #[test]
+    fn mutations_move_the_fingerprint_and_back() {
+        let mut db = Database::new();
+        db.add_fact("r", &["x", "y"]);
+        let base = db.fingerprint();
+        db.insert_tuple("r", &["y", "z"]).unwrap();
+        assert_ne!(db.fingerprint(), base);
+        db.delete_tuple("r", &["y", "z"]).unwrap();
+        // Content-addressed: undoing the mutation restores the print.
+        assert_eq!(db.fingerprint(), base);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod relation;
 pub mod value;
 
 pub use algebra::{Bindings, ColTerm};
-pub use database::Database;
+pub use database::{Database, MutationError};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use relation::Relation;
 pub use value::{Interner, Value};

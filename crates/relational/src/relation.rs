@@ -110,6 +110,61 @@ impl Relation {
         true
     }
 
+    /// Removes a tuple; returns `true` if it was present. Panics on arity
+    /// mismatch.
+    ///
+    /// The last tuple is swapped into the vacated position (so `rows()`
+    /// order is *not* stable across deletion) and the index is patched in
+    /// place: the moved tuple's slot is repointed, and the vacated slot is
+    /// closed with backward-shift deletion so linear-probe chains stay
+    /// unbroken without tombstones. The slot table never shrinks; the load
+    /// check in [`insert`](Relation::insert) is driven by the live tuple
+    /// count, so a delete-heavy relation simply runs under-loaded.
+    pub fn remove(&mut self, tuple: &[Value]) -> bool {
+        assert_eq!(tuple.len(), self.arity, "arity mismatch");
+        if self.slots.is_empty() {
+            return false;
+        }
+        let slot = self.probe(tuple);
+        let idx = self.slots[slot];
+        if idx == EMPTY {
+            return false;
+        }
+        let idx = idx as usize;
+        let mask = self.slots.len() - 1;
+        self.tuples.swap_remove(idx);
+        let old_last = self.tuples.len() as u32;
+        if idx < self.tuples.len() {
+            // The old last tuple now lives at `idx`; walk its probe chain
+            // for the slot still holding the stale end-of-vector offset.
+            // (`probe` cannot be used here: the stale offset is out of
+            // bounds for the shrunken tuple vector.)
+            let mut i = hash_tuple(&self.tuples[idx]) as usize & mask;
+            while self.slots[i] != old_last {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = idx as u32;
+        }
+        // Backward-shift deletion: pull every displaced successor in the
+        // chain back over the hole so future probes never stop early.
+        let mut hole = slot;
+        let mut i = slot;
+        loop {
+            i = (i + 1) & mask;
+            let s = self.slots[i];
+            if s == EMPTY {
+                break;
+            }
+            let ideal = hash_tuple(&self.tuples[s as usize]) as usize & mask;
+            if (i.wrapping_sub(ideal) & mask) >= (i.wrapping_sub(hole) & mask) {
+                self.slots[hole] = s;
+                hole = i;
+            }
+        }
+        self.slots[hole] = EMPTY;
+        true
+    }
+
     /// Membership test.
     pub fn contains(&self, tuple: &[Value]) -> bool {
         if self.slots.is_empty() {
@@ -266,6 +321,71 @@ mod tests {
             r.index_bytes(),
             tuple_payload
         );
+    }
+
+    #[test]
+    fn remove_basics() {
+        let mut r = Relation::from_rows(vec![vec![v(1), v(2)], vec![v(3), v(4)], vec![v(5), v(6)]]);
+        assert!(!r.remove(&[v(9), v(9)]));
+        assert!(r.remove(&[v(3), v(4)]));
+        assert!(!r.remove(&[v(3), v(4)]));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[v(1), v(2)]));
+        assert!(r.contains(&[v(5), v(6)]));
+        assert!(!r.contains(&[v(3), v(4)]));
+        // Removing from an empty/unindexed relation is a no-op.
+        let mut e = Relation::new(1);
+        assert!(!e.remove(&[v(1)]));
+    }
+
+    #[test]
+    fn remove_last_and_reinsert() {
+        let mut r = Relation::from_rows(vec![vec![v(1)], vec![v(2)]]);
+        assert!(r.remove(&[v(2)])); // last index: no swap fixup needed
+        assert_eq!(r.len(), 1);
+        assert!(r.insert(vec![v(2)]));
+        assert!(!r.insert(vec![v(2)]));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn remove_matches_reference_model_under_churn() {
+        // Interleaved insert/remove stress against a BTreeSet reference,
+        // with keys dense enough to force collisions and growth.
+        let mut r = Relation::new(2);
+        let mut model = std::collections::BTreeSet::new();
+        let mut x: u32 = 0x243F_6A88;
+        for step in 0..20_000u32 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let a = v(x >> 24);
+            let b = v((x >> 16) & 0xFF);
+            let t = vec![a, b];
+            if step % 3 == 0 && !model.is_empty() {
+                // Remove an existing tuple about a third of the time.
+                let pick = *model.iter().nth(x as usize % model.len()).unwrap();
+                let pick_t = vec![v(pick / 1000), v(pick % 1000)];
+                assert!(r.remove(&pick_t), "step {step}");
+                model.remove(&pick);
+            } else {
+                let key = a.0 * 1000 + b.0;
+                assert_eq!(r.insert(t), model.insert(key), "step {step}");
+            }
+            if step % 977 == 0 {
+                assert_eq!(r.len(), model.len(), "step {step}");
+            }
+        }
+        assert_eq!(r.len(), model.len());
+        for key in &model {
+            assert!(r.contains(&[v(key / 1000), v(key % 1000)]));
+        }
+        // Everything removed: the relation drains to empty and dedup
+        // still works afterwards.
+        for key in model {
+            assert!(r.remove(&[v(key / 1000), v(key % 1000)]));
+        }
+        assert!(r.is_empty());
+        assert!(r.insert(vec![v(1), v(2)]));
+        assert!(!r.insert(vec![v(1), v(2)]));
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! cqcount-cli --server ADDR stats
 //! cqcount-cli --server ADDR metrics
 //! cqcount-cli --server ADDR reload    --db NAME <FACTS-FILE>
+//! cqcount-cli --server ADDR insert    --db NAME REL VALUE...
+//! cqcount-cli --server ADDR delete    --db NAME REL VALUE...
 //! cqcount-cli --server ADDR flush
 //! ```
 //!
@@ -24,6 +26,14 @@
 //! `--timeout <ms>` bounds every connect/read/write (default 30000, so a
 //! dead daemon can no longer hang the CLI); `--retries <n>` retries the
 //! idempotent commands (count, report, stats) with exponential backoff.
+//!
+//! `insert`/`delete` edit a loaded database in place (protocol v6) and
+//! print `changed N seq M`: `N` is 1 when the tuple was actually added or
+//! removed (0 for a duplicate insert or absent delete), `M` the
+//! database's mutation sequence afterwards. These commands are **not
+//! idempotent to retry blindly** — `--retries` deliberately does not
+//! apply to them; if a reply is lost, re-check with `stats` (the per-db
+//! tuple count) before resubmitting.
 //!
 //! `count --pipeline N` switches to the protocol-v5 pipelined client: N
 //! copies of the count are written back-to-back on one connection before
@@ -45,6 +55,8 @@ const USAGE: &str = "usage:
   cqcount-cli --server ADDR stats
   cqcount-cli --server ADDR metrics
   cqcount-cli --server ADDR reload    --db NAME <FACTS-FILE>
+  cqcount-cli --server ADDR insert    --db NAME REL VALUE...   (never retried)
+  cqcount-cli --server ADDR delete    --db NAME REL VALUE...   (never retried)
   cqcount-cli --server ADDR flush";
 
 fn main() -> ExitCode {
@@ -425,6 +437,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 "              {} candidates, {} universes, {} widths searched",
                 s.planner_candidates, s.planner_universes, s.planner_widths_searched
             );
+            println!(
+                "mutations:    {} applied, {} delta bags touched, {} delta fallbacks",
+                s.mutations_applied, s.delta_bags_touched, s.delta_fallbacks
+            );
             for d in &s.dbs {
                 println!(
                     "db {}: epoch {}, fingerprint {:016x}, {} tuples",
@@ -442,6 +458,28 @@ fn run(args: &[String]) -> Result<(), String> {
                 std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
             let epoch = client.reload(&opts.db, &text).map_err(|e| e.to_string())?;
             println!("epoch {epoch}");
+            Ok(())
+        }
+        // Mutations go through Client::insert/delete, which never retry:
+        // a lost reply makes a blind resubmit report changed=0, and the
+        // caller cannot tell that from a genuine duplicate.
+        "insert" | "delete" => {
+            if opts.db.is_empty() {
+                return Err(format!("{} needs --db NAME", opts.command));
+            }
+            let rel = opts
+                .positional
+                .first()
+                .ok_or("missing relation name")?
+                .as_str();
+            let values: Vec<&str> = opts.positional[1..].iter().map(String::as_str).collect();
+            let receipt = if opts.command == "insert" {
+                client.insert(&opts.db, rel, &values)
+            } else {
+                client.delete(&opts.db, rel, &values)
+            }
+            .map_err(|e| e.to_string())?;
+            println!("changed {} seq {}", receipt.changed, receipt.mutation_seq);
             Ok(())
         }
         "flush" => {

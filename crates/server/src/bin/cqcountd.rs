@@ -5,7 +5,7 @@
 //!          [--reactors N] [--queue-cap N] [--budget-ms MS]
 //!          [--max-enumerate N] [--width-cap K] [--read-timeout-ms MS]
 //!          [--write-timeout-ms MS] [--fault-profile NAME] [--fault-seed N]
-//!          [--trace-log FILE]
+//!          [--trace-log FILE] [--materialize-cap N]
 //! ```
 //!
 //! Each `--db NAME=FILE` loads a datalog fact file (same format as the
@@ -22,6 +22,10 @@
 //! tree to FILE as one JSON line (JSONL). Combined with `--fault-profile`
 //! and a fixed seed, two runs of the same workload produce structurally
 //! identical logs.
+//!
+//! `--materialize-cap N` bounds how many queries keep a live materialized
+//! count maintained incrementally across `INSERT`/`DELETE` (default 32;
+//! `0` disables materialization, mutations then invalidate only).
 
 use cqcount_query::parse_database;
 use cqcount_relational::Database;
@@ -33,7 +37,7 @@ const USAGE: &str = "usage:
            [--queue-cap N] [--budget-ms MS] [--max-enumerate N] [--width-cap K]
            [--read-timeout-ms MS] [--write-timeout-ms MS]
            [--fault-profile off|flaky-net|slow-net|chaos] [--fault-seed N]
-           [--trace-log FILE]";
+           [--trace-log FILE] [--materialize-cap N]";
 
 fn main() -> ExitCode {
     match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
@@ -105,6 +109,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 config.fault_profile = FaultProfile::parse(name)?;
             }
             "--fault-seed" => config.fault_seed = parse_num(&mut it, "--fault-seed")?,
+            "--materialize-cap" => {
+                config.materialize_cap = parse_num(&mut it, "--materialize-cap")? as usize
+            }
             "--trace-log" => {
                 config.trace_log = Some(it.next().ok_or("--trace-log needs a FILE")?.into());
             }

@@ -13,8 +13,16 @@
 //!   data-independent, so this level survives database reloads.
 //! * **Level 2 — counts** ([`CountCache`]): (canonical text, database
 //!   name, database *epoch*) → exact count. The epoch in the key is the
-//!   invalidation mechanism: a `RELOAD` bumps the database's epoch, so
-//!   stale counts simply stop being addressable (and age out FIFO).
+//!   invalidation mechanism for wholesale replacement: a `RELOAD` bumps
+//!   the database's epoch, so stale counts stop being addressable, and
+//!   [`CountCache::purge_epochs_below`] evicts the dead entries eagerly
+//!   rather than letting them squat in the FIFO until churn pushes them
+//!   out. Single-tuple mutations (`INSERT`/`DELETE`) do **not** bump the
+//!   epoch; each cached count carries the relation names its query
+//!   mentions ([`CountInfo::rels`]) and
+//!   [`CountCache::invalidate_relations`] surgically drops only the
+//!   entries a mutated relation can affect — counts over untouched
+//!   relations stay warm.
 //!
 //! Every level is a bounded FIFO map — eviction only needs to keep memory
 //! flat under adversarial key churn, not maximize hit rate, so the cheap
@@ -97,6 +105,19 @@ impl<K: Hash + Eq + Clone, V> FifoMap<K, V> {
         self.order.clear();
     }
 
+    /// Drops every entry failing the predicate, returning how many died.
+    /// The FIFO order keeps only surviving keys, so later evictions stay
+    /// exact.
+    fn retain(&mut self, mut keep: impl FnMut(&K, &V) -> bool) -> u64 {
+        let before = self.map.len();
+        self.map.retain(|k, v| keep(k, v));
+        if self.map.len() != before {
+            let map = &self.map;
+            self.order.retain(|k| map.contains_key(k));
+        }
+        (before - self.map.len()) as u64
+    }
+
     fn len(&self) -> usize {
         self.map.len()
     }
@@ -166,6 +187,16 @@ impl<K: Hash + Eq + Clone, V> ShardedFifo<K, V> {
         for s in &self.shards {
             s.lock().unwrap().clear();
         }
+    }
+
+    /// Applies [`FifoMap::retain`] to every shard, returning the total
+    /// number of entries dropped. One shard lock at a time — concurrent
+    /// hits on other shards proceed.
+    fn retain(&self, mut keep: impl FnMut(&K, &V) -> bool) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().retain(&mut keep))
+            .sum()
     }
 
     fn len(&self) -> usize {
@@ -321,10 +352,30 @@ impl PlanCache {
 /// Level 2 key: canonical query text + database name + database epoch.
 pub type CountKey = (String, String, u64);
 
-/// Level 2: exact counts, invalidated by epoch bumps.
+/// Level 2 value: the exact count plus the invalidation scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountInfo {
+    /// The exact count.
+    pub value: Natural,
+    /// Relation names the query mentions, sorted + deduped. A mutation
+    /// touching none of them cannot change `value`, so the entry
+    /// survives; a mutation touching any of them kills it (unless the
+    /// mutation itself re-publishes a maintained count).
+    pub rels: Vec<String>,
+}
+
+impl CountInfo {
+    /// Does the query behind this count mention `rel`?
+    pub fn mentions(&self, rel: &str) -> bool {
+        self.rels.binary_search_by(|r| r.as_str().cmp(rel)).is_ok()
+    }
+}
+
+/// Level 2: exact counts, invalidated by epoch bumps (reloads) or
+/// per-relation sweeps (mutations).
 #[derive(Debug)]
 pub struct CountCache {
-    inner: ShardedFifo<CountKey, Natural>,
+    inner: ShardedFifo<CountKey, Arc<CountInfo>>,
     hits: Counter,
     misses: Counter,
     evictions: Counter,
@@ -359,7 +410,7 @@ impl CountCache {
     }
 
     /// Looks up a count, counting the hit or miss.
-    pub fn get(&self, key: &CountKey) -> Option<Natural> {
+    pub fn get(&self, key: &CountKey) -> Option<Arc<CountInfo>> {
         match self.inner.get(key) {
             Some(n) => {
                 self.hits.inc();
@@ -374,15 +425,40 @@ impl CountCache {
 
     /// Fast-path probe: counts a hit when the count is present, counts
     /// *nothing* when absent (see the module-level accounting contract).
-    pub fn peek(&self, key: &CountKey) -> Option<Natural> {
+    pub fn peek(&self, key: &CountKey) -> Option<Arc<CountInfo>> {
         let n = self.inner.get(key)?;
         self.hits.inc();
         Some(n)
     }
 
     /// Installs a count.
-    pub fn insert(&self, key: CountKey, value: Natural) {
+    pub fn insert(&self, key: CountKey, value: Arc<CountInfo>) {
         self.evictions.add(self.inner.insert(key, value, false));
+    }
+
+    /// Eagerly drops every entry for `db` cached under an epoch older
+    /// than `current` (they became unaddressable when the reload bumped
+    /// the epoch; this reclaims their slots immediately). Returns how
+    /// many entries died. Counted as evictions: the FIFO bound and the
+    /// purge are the only two ways a live entry leaves the cache.
+    pub fn purge_epochs_below(&self, db: &str, current: u64) -> u64 {
+        let dead = self
+            .inner
+            .retain(|(_, d, epoch), _| d != db || *epoch >= current);
+        self.evictions.add(dead);
+        dead
+    }
+
+    /// Drops every entry for `db` at `epoch` whose query mentions any of
+    /// `rels` — the surgical sweep after a mutation. Entries for other
+    /// databases, other epochs, or queries over untouched relations
+    /// survive. Returns how many entries died.
+    pub fn invalidate_relations(&self, db: &str, epoch: u64, rels: &[String]) -> u64 {
+        let dead = self.inner.retain(|(_, d, e), info| {
+            d != db || *e != epoch || !rels.iter().any(|r| info.mentions(r))
+        });
+        self.evictions.add(dead);
+        dead
     }
 
     /// Drops every entry (counters survive).
@@ -425,6 +501,17 @@ mod tests {
         })
     }
 
+    fn info(n: u64) -> Arc<CountInfo> {
+        info_over(n, &["r"])
+    }
+
+    fn info_over(n: u64, rels: &[&str]) -> Arc<CountInfo> {
+        Arc::new(CountInfo {
+            value: Natural::from(n),
+            rels: rels.iter().map(|r| (*r).to_owned()).collect(),
+        })
+    }
+
     #[test]
     fn plan_cache_hits_and_misses() {
         let c = PlanCache::new(8);
@@ -450,8 +537,8 @@ mod tests {
         let key: CountKey = ("q".into(), "db".into(), 0);
         assert!(cc.peek(&key).is_none());
         assert_eq!(cc.counters(), (0, 0));
-        cc.insert(key.clone(), Natural::from(3u64));
-        assert_eq!(cc.peek(&key), Some(Natural::from(3u64)));
+        cc.insert(key.clone(), info(3));
+        assert_eq!(cc.peek(&key).unwrap().value, Natural::from(3u64));
         assert_eq!(cc.counters(), (1, 0));
     }
 
@@ -462,13 +549,13 @@ mod tests {
         // the newest key always survives (it just landed in its shard).
         let c = CountCache::new(2);
         for i in 0..5u64 {
-            c.insert((format!("q{i}"), "db".into(), 0), Natural::from(i));
+            c.insert((format!("q{i}"), "db".into(), 0), info(i));
         }
         assert!(c.len() <= 2, "capacity bound violated: {}", c.len());
         assert_eq!(c.evictions(), 5 - c.len() as u64);
         assert_eq!(
-            c.get(&("q4".into(), "db".into(), 0)),
-            Some(Natural::from(4u64))
+            c.get(&("q4".into(), "db".into(), 0)).unwrap().value,
+            Natural::from(4u64)
         );
     }
 
@@ -478,7 +565,7 @@ mod tests {
         // never exceeds the configured bound, however keys distribute.
         let c = CountCache::new(64);
         for i in 0..1000u64 {
-            c.insert((format!("q{i}"), "db".into(), 0), Natural::from(i));
+            c.insert((format!("q{i}"), "db".into(), 0), info(i));
         }
         assert!(c.len() <= 64, "capacity bound violated: {}", c.len());
         assert_eq!(c.evictions(), 1000 - c.len() as u64);
@@ -489,7 +576,7 @@ mod tests {
         let hits = cqcount_obs::metrics::Counter::detached();
         let c =
             CountCache::with_counters(4, hits.clone(), Counter::detached(), Counter::detached());
-        c.insert(("q".into(), "db".into(), 0), Natural::from(1u64));
+        c.insert(("q".into(), "db".into(), 0), info(1));
         let _ = c.get(&("q".into(), "db".into(), 0));
         assert_eq!(hits.get(), 1);
         assert_eq!(c.counters().0, 1);
@@ -498,11 +585,11 @@ mod tests {
     #[test]
     fn epoch_is_part_of_the_key() {
         let c = CountCache::new(8);
-        c.insert(("q".into(), "db".into(), 1), Natural::from(7u64));
+        c.insert(("q".into(), "db".into(), 1), info(7));
         assert!(c.get(&("q".into(), "db".into(), 2)).is_none());
         assert_eq!(
-            c.get(&("q".into(), "db".into(), 1)),
-            Some(Natural::from(7u64))
+            c.get(&("q".into(), "db".into(), 1)).unwrap().value,
+            Natural::from(7u64)
         );
     }
 
@@ -510,12 +597,66 @@ mod tests {
     fn reinsert_same_key_does_not_grow_order() {
         let c = CountCache::new(2);
         for _ in 0..10 {
-            c.insert(("q".into(), "db".into(), 0), Natural::from(1u64));
+            c.insert(("q".into(), "db".into(), 0), info(1));
         }
-        c.insert(("r".into(), "db".into(), 0), Natural::from(2u64));
+        c.insert(("r".into(), "db".into(), 0), info(2));
         assert!(c.len() <= 2);
         assert!(c.get(&("q".into(), "db".into(), 0)).is_some());
         assert!(c.get(&("r".into(), "db".into(), 0)).is_some());
+    }
+
+    #[test]
+    fn epoch_purge_evicts_dead_entries_eagerly() {
+        let c = CountCache::new(64);
+        // Two dbs, several epochs each; a reload of "a" to epoch 3 must
+        // kill exactly a@1 and a@2.
+        for (db, epoch) in [("a", 1), ("a", 2), ("a", 3), ("b", 1), ("b", 2)] {
+            c.insert(("q".into(), db.into(), epoch), info(epoch));
+        }
+        let before = c.evictions();
+        assert_eq!(c.purge_epochs_below("a", 3), 2);
+        assert_eq!(c.len(), 3);
+        assert_eq!(
+            c.evictions(),
+            before + 2,
+            "purged entries count as evictions"
+        );
+        assert!(c.get(&("q".into(), "a".into(), 3)).is_some());
+        assert!(c.get(&("q".into(), "b".into(), 1)).is_some());
+        assert!(c.get(&("q".into(), "b".into(), 2)).is_some());
+        assert!(c.get(&("q".into(), "a".into(), 1)).is_none());
+        // The purge must leave the FIFO order consistent: filling past
+        // capacity afterwards still bounds memory.
+        for i in 0..200u64 {
+            c.insert((format!("q{i}"), "a".into(), 3), info(i));
+        }
+        assert!(c.len() <= 64, "capacity bound violated after purge");
+    }
+
+    #[test]
+    fn relation_sweep_spares_unrelated_queries() {
+        let c = CountCache::new(64);
+        c.insert(("q_r".into(), "db".into(), 1), info_over(1, &["r"]));
+        c.insert(("q_s".into(), "db".into(), 1), info_over(2, &["s"]));
+        c.insert(("q_rs".into(), "db".into(), 1), info_over(3, &["r", "s"]));
+        c.insert(
+            ("q_r_other_epoch".into(), "db".into(), 2),
+            info_over(4, &["r"]),
+        );
+        c.insert(
+            ("q_r_other_db".into(), "db2".into(), 1),
+            info_over(5, &["r"]),
+        );
+
+        assert_eq!(c.invalidate_relations("db", 1, &["r".to_owned()]), 2);
+        assert!(c.get(&("q_r".into(), "db".into(), 1)).is_none());
+        assert!(c.get(&("q_rs".into(), "db".into(), 1)).is_none());
+        assert!(c.get(&("q_s".into(), "db".into(), 1)).is_some());
+        assert!(c.get(&("q_r_other_epoch".into(), "db".into(), 2)).is_some());
+        assert!(c.get(&("q_r_other_db".into(), "db2".into(), 1)).is_some());
+
+        // A sweep over a relation nobody mentions is a no-op.
+        assert_eq!(c.invalidate_relations("db", 1, &["zzz".to_owned()]), 0);
     }
 
     #[test]

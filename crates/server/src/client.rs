@@ -11,10 +11,14 @@
 //! `Overloaded` reply's `retry_after_ms` hint stretches the backoff.
 //! The pipelined client carries no retry loop: a window of in-flight
 //! requests is not blindly repeatable, so transport errors surface to the
-//! caller, who decides what to resubmit.
+//! caller, who decides what to resubmit. Mutations (`INSERT`/`DELETE`/
+//! `MUTATE`, protocol v6) are likewise never retried — a landed-but-lost
+//! reply makes a blind retry report `changed == 0`, indistinguishable
+//! from a genuine duplicate.
 
 use crate::protocol::{
-    read_frame, CacheTier, ErrorCode, ProfileReply, ReportReply, Request, Response, StatsReply, V5,
+    read_frame, CacheTier, ErrorCode, MutationOp, ProfileReply, ReportReply, Request, Response,
+    StatsReply, V5,
 };
 use cqcount_arith::prng::Rng;
 use std::io::{self, BufReader, BufWriter, Write};
@@ -89,6 +93,17 @@ pub struct CountReply {
     pub degraded: bool,
     /// The query's canonical 64-bit fingerprint.
     pub fingerprint: u64,
+}
+
+/// What a mutation accomplished (protocol v6 `MUTATED` reply).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MutationReceipt {
+    /// Effective ops: tuples actually added or removed. A duplicate
+    /// insert or an absent delete counts zero.
+    pub changed: u64,
+    /// The database's mutation sequence after the batch — monotonic per
+    /// database, bumped once per effective op, reset by `RELOAD`.
+    pub mutation_seq: u64,
 }
 
 /// Client tunables; [`ClientOptions::default`] matches the pre-retry
@@ -379,6 +394,72 @@ impl Client {
             Response::Ok { epoch } => Ok(epoch),
             other => Err(ClientError::Protocol(format!(
                 "expected an ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Inserts one tuple into a loaded database (protocol v6). Returns
+    /// the mutation receipt. Not retried: the opcode is not idempotent to
+    /// repeat blindly — if the first attempt landed but its reply was
+    /// lost, a blind retry reports `changed == 0` and the caller cannot
+    /// tell a duplicate from a no-op. Callers who need at-least-once
+    /// delivery should compare `mutation_seq` against a prior
+    /// [`stats`](Client::stats) observation instead.
+    pub fn insert(
+        &mut self,
+        db: &str,
+        rel: &str,
+        values: &[&str],
+    ) -> Result<MutationReceipt, ClientError> {
+        self.mutation_roundtrip(&Request::Insert {
+            db: db.into(),
+            rel: rel.into(),
+            values: values.iter().map(|v| (*v).to_owned()).collect(),
+        })
+    }
+
+    /// Deletes one tuple from a loaded database (protocol v6). Deleting
+    /// an absent tuple is not an error: the receipt reports
+    /// `changed == 0`. Not retried, for the same reason as
+    /// [`insert`](Client::insert).
+    pub fn delete(
+        &mut self,
+        db: &str,
+        rel: &str,
+        values: &[&str],
+    ) -> Result<MutationReceipt, ClientError> {
+        self.mutation_roundtrip(&Request::Delete {
+            db: db.into(),
+            rel: rel.into(),
+            values: values.iter().map(|v| (*v).to_owned()).collect(),
+        })
+    }
+
+    /// Applies a batch of mutations in order (protocol v6 `MUTATE`). Ops
+    /// up to the first failure stay applied — the server names the
+    /// offending op in its error. Not retried: resubmitting a batch whose
+    /// prefix already landed double-applies nothing (inserts and deletes
+    /// are set operations) but skews `changed`, so the decision belongs
+    /// to the caller.
+    pub fn mutate(
+        &mut self,
+        db: &str,
+        ops: Vec<MutationOp>,
+    ) -> Result<MutationReceipt, ClientError> {
+        self.mutation_roundtrip(&Request::Mutate { db: db.into(), ops })
+    }
+
+    fn mutation_roundtrip(&mut self, req: &Request) -> Result<MutationReceipt, ClientError> {
+        match self.roundtrip(req)? {
+            Response::Mutated {
+                changed,
+                mutation_seq,
+            } => Ok(MutationReceipt {
+                changed,
+                mutation_seq,
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "expected a mutation receipt, got {other:?}"
             ))),
         }
     }

@@ -22,6 +22,12 @@
 //!   deadlines and retry/backoff for the idempotent opcodes, plus a
 //!   pipelined v5 client ([`client::PipelinedClient`]) that keeps many
 //!   requests in flight on one connection;
+//! * **incremental count maintenance** ([`mutation`]) — protocol v6
+//!   `INSERT`/`DELETE`/`MUTATE` opcodes edit a loaded database in place;
+//!   materialized join-tree counts (`cqcount-delta`) are patched along
+//!   the mutated tuple's bag path instead of recounted, and the count
+//!   cache is invalidated surgically (only entries whose query mentions a
+//!   touched relation), never epoch-wide;
 //! * **deterministic fault injection** ([`faults`]) — seeded chaos
 //!   (short I/O, disconnects, latency, worker panics, cap trips) so every
 //!   hardening path above is testable and replayable;
@@ -36,13 +42,17 @@
 pub mod cache;
 pub mod client;
 pub mod faults;
+pub mod mutation;
 pub mod protocol;
 mod reactor;
 pub mod server;
 
-pub use client::{Client, ClientError, ClientOptions, CountReply, PipelinedClient};
+pub use client::{
+    Client, ClientError, ClientOptions, CountReply, MutationReceipt, PipelinedClient,
+};
 pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultProfile};
 pub use protocol::{
-    CacheTier, ErrorCode, ProfileReply, ReportReply, Request, Response, SpanNode, StatsReply,
+    CacheTier, ErrorCode, MutationOp, ProfileReply, ReportReply, Request, Response, SpanNode,
+    StatsReply,
 };
 pub use server::{serve, ServerConfig, ServerHandle};

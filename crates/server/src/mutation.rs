@@ -1,0 +1,329 @@
+//! Live mutation of loaded databases with incremental count maintenance.
+//!
+//! Protocol v6's `INSERT`/`DELETE`/`MUTATE` opcodes edit a database *in
+//! place* — no reload, no epoch bump. Three layers keep counts fresh and
+//! caches honest:
+//!
+//! * **The database** absorbs the tuple edit under its [`DbState`] write
+//!   lock ([`cqcount_relational::Database::insert_tuple`] /
+//!   [`cqcount_relational::Database::delete_tuple`]), bumping its
+//!   `mutation_seq` once per *effective* op (duplicate inserts and absent
+//!   deletes are no-ops).
+//! * **Materialized counts** ([`cqcount_delta::MaterializedCount`]) pin a
+//!   full acyclic query's join-tree DP state; the count path registers one
+//!   per cold count (bounded FIFO registry, [`MaterializedSet`]). Each
+//!   effective op is pushed through every live materialization that
+//!   mentions the touched relation — O(path × bag-width) per op instead
+//!   of a recount — and the refreshed counts are re-published into the
+//!   count cache, so the next `COUNT` of a maintained query is a warm hit
+//!   even though the data just changed.
+//! * **The count cache** is swept *surgically*
+//!   ([`crate::cache::CountCache::invalidate_relations`]): only entries
+//!   whose query mentions a touched relation die. Counts over untouched
+//!   relations and every cached plan survive — plans are data-independent.
+//!
+//! The fallback ladder never yields a wrong count: a materialization that
+//! cannot absorb a delta (state divergence, [`cqcount_delta::DeltaFault`])
+//! is dropped and counted in `cqcount_delta_fallbacks_total`; its cache
+//! entry was already invalidated by the sweep, so the next count simply
+//! runs cold. Queries that are not maintainable (cyclic, projections,
+//! constants-only atoms) are never materialized and always take the sweep
+//! path. A reload still bumps the epoch and eagerly purges both the dead
+//! cache entries and the database's materializations.
+//!
+//! Locking: the batch runs entirely under the database's write lock —
+//! including the cache sweep and re-publish — while count workers insert
+//! into the cache under the same database's *read* lock. The exclusion
+//! means a cached count was either computed before the mutation (then the
+//! sweep saw it) or after (then it read post-mutation data); a stale
+//! count can never be published past a sweep.
+
+use crate::cache::CountInfo;
+use crate::protocol::{ErrorCode, MutationOp, Request, Response};
+use crate::server::{lookup_db, Shared};
+use cqcount_delta::MaterializedCount;
+use cqcount_obs::trace;
+use cqcount_query::ConjunctiveQuery;
+use cqcount_relational::{Database, Value};
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// One pinned materialization: a query's join-tree DP state over a
+/// database at a specific epoch.
+pub(crate) struct Materialized {
+    /// Canonical query text (the count-cache key's query component).
+    pub(crate) canonical: String,
+    /// Database name.
+    pub(crate) db: String,
+    /// Epoch the materialization was built under; a reload orphans it.
+    pub(crate) epoch: u64,
+    /// The maintained DP state.
+    pub(crate) mc: MaterializedCount,
+}
+
+/// A bounded FIFO registry of live materializations. Small by design:
+/// each entry pins O(total view rows) of memory, so the registry keeps
+/// the most recently materialized queries and lets old ones age out —
+/// an evicted query is still correct, it just recounts cold after the
+/// next mutation instead of being patched.
+pub(crate) struct MaterializedSet {
+    cap: usize,
+    entries: Mutex<VecDeque<Materialized>>,
+}
+
+impl MaterializedSet {
+    /// A registry pinning at most `cap` materializations (`0` disables
+    /// materialization entirely; mutations then invalidate only).
+    pub(crate) fn new(cap: usize) -> MaterializedSet {
+        MaterializedSet {
+            cap,
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Is `(canonical, db)` already pinned at `epoch`?
+    pub(crate) fn contains(&self, canonical: &str, db: &str, epoch: u64) -> bool {
+        self.entries
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|m| m.epoch == epoch && m.db == db && m.canonical == canonical)
+    }
+
+    /// Pins a materialization, replacing any previous entry for the same
+    /// `(canonical, db)` and evicting FIFO beyond the cap.
+    pub(crate) fn register(&self, m: Materialized) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut entries = self.entries.lock().unwrap();
+        entries.retain(|e| !(e.db == m.db && e.canonical == m.canonical));
+        entries.push_back(m);
+        while entries.len() > self.cap {
+            entries.pop_front();
+        }
+    }
+
+    /// Drops every materialization (FLUSH).
+    pub(crate) fn clear(&self) {
+        self.entries.lock().unwrap().clear();
+    }
+
+    /// Drops materializations of `db` built under an epoch older than
+    /// `current` (RELOAD).
+    pub(crate) fn purge_epochs_below(&self, db: &str, current: u64) {
+        self.entries
+            .lock()
+            .unwrap()
+            .retain(|m| m.db != db || m.epoch >= current);
+    }
+}
+
+/// The relation symbols `q` mentions, sorted and deduped — the
+/// invalidation scope stored with every cached count.
+pub(crate) fn query_relations(q: &ConjunctiveQuery) -> Vec<String> {
+    let set: BTreeSet<&str> = q.atoms().iter().map(|a| a.rel.as_str()).collect();
+    set.into_iter().map(str::to_owned).collect()
+}
+
+/// Called by the count path after computing a fresh (non-degraded) count:
+/// pins a materialization when the query is maintainable and none is
+/// already live for `(canonical, db)` at this epoch. The caller holds the
+/// database read lock, so the DP state is built against exactly the data
+/// the count saw.
+pub(crate) fn maybe_materialize(
+    shared: &Shared,
+    q: &ConjunctiveQuery,
+    db: &Database,
+    canonical: &str,
+    db_name: &str,
+    epoch: u64,
+) {
+    if shared.config.materialize_cap == 0 || shared.materialized.contains(canonical, db_name, epoch)
+    {
+        return;
+    }
+    let sp = trace::span("mutate.materialize");
+    let Some(mc) = MaterializedCount::build(q, db) else {
+        sp.tag("outcome", "not_maintainable");
+        return;
+    };
+    sp.tag("outcome", "pinned");
+    sp.add("pinned_rows", mc.pinned_rows() as u64);
+    shared.materialized.register(Materialized {
+        canonical: canonical.to_owned(),
+        db: db_name.to_owned(),
+        epoch,
+        mc,
+    });
+}
+
+/// Converts a single-op request into the batch form `run_mutation` takes.
+pub(crate) fn ops_of(request: &Request) -> Option<(&str, Vec<MutationOp>)> {
+    match request {
+        Request::Insert { db, rel, values } => Some((
+            db,
+            vec![MutationOp {
+                insert: true,
+                rel: rel.clone(),
+                values: values.clone(),
+            }],
+        )),
+        Request::Delete { db, rel, values } => Some((
+            db,
+            vec![MutationOp {
+                insert: false,
+                rel: rel.clone(),
+                values: values.clone(),
+            }],
+        )),
+        Request::Mutate { db, ops } => Some((db, ops.clone())),
+        _ => None,
+    }
+}
+
+/// Executes one mutation batch on a worker.
+///
+/// Ops apply strictly in order under the database write lock. An op that
+/// fails (arity conflict with the stored relation) aborts the remainder
+/// of the batch but leaves earlier ops applied — the propagation phase
+/// still runs for them, so caches stay honest, and the error reply names
+/// the offending op. The success reply carries the number of *effective*
+/// ops and the database's mutation sequence after the batch.
+pub(crate) fn run_mutation(shared: &Shared, db_name: &str, ops: &[MutationOp]) -> Response {
+    let state = match lookup_db(shared, db_name) {
+        Ok(s) => s,
+        Err(resp) => return *resp,
+    };
+    let apply_sp = trace::span("mutate.apply");
+    apply_sp.tag("db", db_name);
+    apply_sp.add("ops", ops.len() as u64);
+    let mut db = state.db.write().unwrap();
+
+    let mut changed = 0u64;
+    let mut bags_touched = 0u64;
+    let mut touched: BTreeSet<String> = BTreeSet::new();
+    let mut failure: Option<Response> = None;
+    for (i, op) in ops.iter().enumerate() {
+        let values: Vec<&str> = op.values.iter().map(String::as_str).collect();
+        let effective = if op.insert {
+            db.insert_tuple(&op.rel, &values)
+        } else {
+            db.delete_tuple(&op.rel, &values)
+        };
+        match effective {
+            Ok(false) => {}
+            Ok(true) => {
+                changed += 1;
+                shared.metrics.mutations.inc();
+                touched.insert(op.rel.clone());
+                let tuple: Vec<Value> = op
+                    .values
+                    .iter()
+                    .map(|v| {
+                        db.interner()
+                            .get(v)
+                            .expect("an effective mutation's constants are interned")
+                    })
+                    .collect();
+                bags_touched +=
+                    patch_materializations(shared, &db, db_name, state.epoch, op, &tuple);
+            }
+            Err(e) => {
+                failure = Some(Response::Error {
+                    code: ErrorCode::Plan,
+                    message: format!("mutation rejected at op {i}: {e}"),
+                    retry_after_ms: 0,
+                });
+                break;
+            }
+        }
+    }
+    shared.metrics.delta_bags_touched.add(bags_touched);
+    apply_sp.add("changed", changed);
+    drop(apply_sp);
+
+    // Propagation: surgically invalidate dependent cache entries, then
+    // re-publish the maintained counts (they are fresh). Still under the
+    // write lock — see the module docs for why the order is safe.
+    if !touched.is_empty() {
+        let prop_sp = trace::span("mutate.propagate");
+        let rels: Vec<String> = touched.iter().cloned().collect();
+        let invalidated = shared
+            .counts
+            .invalidate_relations(db_name, state.epoch, &rels);
+        let republished = republish_counts(shared, db_name, state.epoch, &touched);
+        prop_sp.add("bags_touched", bags_touched);
+        prop_sp.add("invalidated", invalidated);
+        prop_sp.add("republished", republished);
+    }
+
+    let mutation_seq = db.mutation_seq();
+    drop(db);
+    failure.unwrap_or(Response::Mutated {
+        changed,
+        mutation_seq,
+    })
+}
+
+/// Pushes one effective op through every live materialization of this
+/// database that mentions the touched relation. A materialization whose
+/// state diverges ([`cqcount_delta::DeltaFault`]) is dropped on the spot
+/// and counted as a fallback — the cache sweep that follows makes its
+/// entry cold, never wrong. Returns the bags re-aggregated.
+fn patch_materializations(
+    shared: &Shared,
+    db: &Database,
+    db_name: &str,
+    epoch: u64,
+    op: &MutationOp,
+    tuple: &[Value],
+) -> u64 {
+    let mut entries = shared.materialized.entries.lock().unwrap();
+    let mut bags = 0u64;
+    entries.retain_mut(|m| {
+        if m.db != db_name || m.epoch != epoch || !m.mc.mentions(&op.rel) {
+            return true;
+        }
+        match m.mc.apply_delta(db, &op.rel, tuple, op.insert) {
+            Ok(outcome) => {
+                bags += outcome.bags_touched;
+                true
+            }
+            Err(_) => {
+                shared.metrics.delta_fallbacks.inc();
+                false
+            }
+        }
+    });
+    bags
+}
+
+/// Re-installs the (fresh) counts of every live materialization of this
+/// database that mentions a touched relation, so the next `COUNT` of a
+/// maintained query hits the cache instead of recounting. Returns how
+/// many counts were published.
+fn republish_counts(shared: &Shared, db_name: &str, epoch: u64, touched: &BTreeSet<String>) -> u64 {
+    let entries = shared.materialized.entries.lock().unwrap();
+    let mut published = 0u64;
+    for m in entries.iter() {
+        if m.db != db_name || m.epoch != epoch || !touched.iter().any(|r| m.mc.mentions(r)) {
+            continue;
+        }
+        shared.counts.insert(
+            (m.canonical.clone(), db_name.to_owned(), epoch),
+            Arc::new(CountInfo {
+                value: m.mc.count(),
+                rels: m
+                    .mc
+                    .relations()
+                    .map(str::to_owned)
+                    .collect::<BTreeSet<_>>()
+                    .into_iter()
+                    .collect(),
+            }),
+        );
+        published += 1;
+    }
+    published
+}

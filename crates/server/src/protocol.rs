@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! v2–v4:  | 0x43 | 0x51 | version | opcode |                  uleb128 len | payload |
-//! v5:     | 0x43 | 0x51 |  0x05   | opcode | uleb128 req_id | uleb128 len | payload |
+//! v5/v6:  | 0x43 | 0x51 | version | opcode | uleb128 req_id | uleb128 len | payload |
 //!           'C'    'Q'
 //! ```
 //!
@@ -36,8 +36,12 @@ pub const MAGIC: [u8; 2] = [0x43, 0x51];
 /// optional (absent ⇒ zero). v5 adds pipelining: a ULEB128 request id in
 /// the frame header (between opcode and length), echoed by the matching
 /// response, which may now arrive in completion order. Pre-v5 frames are
-/// answered in request order, so older clients need no changes.
-pub const VERSION: u8 = 0x05;
+/// answered in request order, so older clients need no changes. v6 adds
+/// the mutation opcodes `INSERT`/`DELETE`/`MUTATE` (single-tuple and
+/// batched edits of a loaded database, answered with `MUTATED`) and
+/// appends the mutation counters to `STATS` replies as trailing optional
+/// fields; the header layout is unchanged from v5.
+pub const VERSION: u8 = 0x06;
 /// Oldest protocol version the daemon still accepts. v2 frames are a
 /// strict subset of v3, so the shim is just a wider version check.
 pub const MIN_VERSION: u8 = 0x02;
@@ -49,6 +53,8 @@ pub const V4: u8 = 0x04;
 /// The v5 header layout (request id present). Emitted by
 /// [`Request::encode`]/[`Response::encode`] when asked for it.
 pub const V5: u8 = 0x05;
+/// The v6 revision (mutation opcodes). Same header layout as v5.
+pub const V6: u8 = 0x06;
 /// Upper bound on a frame payload (queries and reload texts included).
 pub const MAX_PAYLOAD: usize = 16 << 20;
 /// Upper bound on a single string field.
@@ -56,6 +62,10 @@ pub const MAX_STRING: usize = 8 << 20;
 /// Upper bound on decoded row counts (defense in depth; the server also
 /// enforces its own `max_enumerate`).
 pub const MAX_ROWS: usize = 1 << 20;
+/// Upper bound on the ops inside one batched `MUTATE` frame.
+pub const MAX_MUTATION_OPS: usize = 1 << 16;
+/// Upper bound on the arity of a mutated tuple.
+pub const MAX_TUPLE_ARITY: usize = 4096;
 
 /// Machine-readable error categories carried in error frames.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -148,6 +158,50 @@ pub enum Request {
     /// Prometheus-style text exposition of the server's metrics registry.
     /// Protocol v3.
     Metrics,
+    /// Insert one tuple into a relation of a loaded database. Creates the
+    /// relation on first use. **Not idempotent to retry blindly**: the
+    /// reply's `changed` says whether the tuple was new, so a retried
+    /// insert whose first attempt landed reports `changed = 0`.
+    /// Protocol v6.
+    Insert {
+        /// Name of a loaded database.
+        db: String,
+        /// Relation name.
+        rel: String,
+        /// The tuple's constants, in positional order.
+        values: Vec<String>,
+    },
+    /// Delete one tuple from a relation of a loaded database. Deleting an
+    /// absent tuple (or from an unknown relation) is a no-op with
+    /// `changed = 0`, not an error. Protocol v6.
+    Delete {
+        /// Name of a loaded database.
+        db: String,
+        /// Relation name.
+        rel: String,
+        /// The tuple's constants, in positional order.
+        values: Vec<String>,
+    },
+    /// A batch of inserts/deletes applied atomically in order under one
+    /// database write lock; the reply's `changed` counts the ops that
+    /// altered the database. Protocol v6.
+    Mutate {
+        /// Name of a loaded database.
+        db: String,
+        /// The ops, applied first to last.
+        ops: Vec<MutationOp>,
+    },
+}
+
+/// One tuple edit inside a [`Request::Mutate`] batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MutationOp {
+    /// `true` = insert, `false` = delete.
+    pub insert: bool,
+    /// Relation name.
+    pub rel: String,
+    /// The tuple's constants, in positional order.
+    pub values: Vec<String>,
 }
 
 /// How a count was produced, for observability and the bench.
@@ -227,6 +281,14 @@ pub struct StatsReply {
     pub planner_universes: u64,
     /// Planner: width levels searched (v4+).
     pub planner_widths_searched: u64,
+    /// Mutations applied (effective inserts + deletes; v6+, zero when
+    /// talking to an older server).
+    pub mutations_applied: u64,
+    /// Join-tree bags re-aggregated by incremental maintenance (v6+).
+    pub delta_bags_touched: u64,
+    /// Mutations that fell back from incremental maintenance to targeted
+    /// cache invalidation (v6+).
+    pub delta_fallbacks: u64,
 }
 
 /// Structural analysis results (mirrors `cqcount_core::WidthReport`, with
@@ -339,6 +401,16 @@ pub enum Response {
     Metrics {
         /// The rendered exposition text.
         text: String,
+    },
+    /// Acknowledgement of an `Insert`/`Delete`/`Mutate`. Protocol v6.
+    Mutated {
+        /// Ops that actually altered the database (0 for a duplicate
+        /// insert or an absent delete; a retried batch that already
+        /// landed reports 0 — mutations are not idempotent to retry).
+        changed: u64,
+        /// The database's mutation sequence number after the batch; it
+        /// bumps once per effective op, never on no-ops or reloads.
+        mutation_seq: u64,
     },
     /// Anything that went wrong.
     Error {
@@ -610,6 +682,9 @@ const OP_RELOAD: u8 = 0x05;
 const OP_FLUSH: u8 = 0x06;
 const OP_PROFILE: u8 = 0x07;
 const OP_METRICS: u8 = 0x08;
+const OP_INSERT: u8 = 0x09;
+const OP_DELETE: u8 = 0x0a;
+const OP_MUTATE: u8 = 0x0b;
 
 const OP_R_COUNT: u8 = 0x81;
 const OP_R_ROWS: u8 = 0x82;
@@ -618,7 +693,27 @@ const OP_R_STATS: u8 = 0x84;
 const OP_R_OK: u8 = 0x85;
 const OP_R_PROFILE: u8 = 0x87;
 const OP_R_METRICS: u8 = 0x88;
+const OP_R_MUTATED: u8 = 0x89;
 const OP_R_ERROR: u8 = 0xff;
+
+fn write_tuple(p: &mut Vec<u8>, values: &[String]) {
+    write_uleb(p, values.len() as u64);
+    for v in values {
+        write_str(p, v);
+    }
+}
+
+fn read_tuple(buf: &[u8], pos: &mut usize) -> Result<Vec<String>, String> {
+    let n = read_uleb(buf, pos)? as usize;
+    if n > MAX_TUPLE_ARITY {
+        return Err(format!("tuple arity {n} exceeds cap"));
+    }
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(read_str(buf, pos)?);
+    }
+    Ok(values)
+}
 
 fn write_span_node(p: &mut Vec<u8>, node: &SpanNode) {
     write_str(p, &node.name);
@@ -760,6 +855,28 @@ impl Request {
                 OP_PROFILE
             }
             Request::Metrics => OP_METRICS,
+            Request::Insert { db, rel, values } => {
+                write_str(&mut p, db);
+                write_str(&mut p, rel);
+                write_tuple(&mut p, values);
+                OP_INSERT
+            }
+            Request::Delete { db, rel, values } => {
+                write_str(&mut p, db);
+                write_str(&mut p, rel);
+                write_tuple(&mut p, values);
+                OP_DELETE
+            }
+            Request::Mutate { db, ops } => {
+                write_str(&mut p, db);
+                write_uleb(&mut p, ops.len() as u64);
+                for op in ops {
+                    p.push(u8::from(op.insert));
+                    write_str(&mut p, &op.rel);
+                    write_tuple(&mut p, &op.values);
+                }
+                OP_MUTATE
+            }
         };
         (opcode, p)
     }
@@ -796,6 +913,37 @@ impl Request {
                 budget_ms: read_uleb(buf, &mut pos)?,
             },
             OP_METRICS => Request::Metrics,
+            OP_INSERT => Request::Insert {
+                db: read_str(buf, &mut pos)?,
+                rel: read_str(buf, &mut pos)?,
+                values: read_tuple(buf, &mut pos)?,
+            },
+            OP_DELETE => Request::Delete {
+                db: read_str(buf, &mut pos)?,
+                rel: read_str(buf, &mut pos)?,
+                values: read_tuple(buf, &mut pos)?,
+            },
+            OP_MUTATE => {
+                let db = read_str(buf, &mut pos)?;
+                let nops = read_uleb(buf, &mut pos)? as usize;
+                if nops > MAX_MUTATION_OPS {
+                    return Err(format!("{nops} mutation ops exceeds cap"));
+                }
+                let mut ops = Vec::with_capacity(nops.min(1024));
+                for _ in 0..nops {
+                    let kind = *buf.get(pos).ok_or("truncated mutation kind")?;
+                    pos += 1;
+                    if kind > 1 {
+                        return Err(format!("bad mutation kind byte 0x{kind:02x}"));
+                    }
+                    ops.push(MutationOp {
+                        insert: kind == 1,
+                        rel: read_str(buf, &mut pos)?,
+                        values: read_tuple(buf, &mut pos)?,
+                    });
+                }
+                Request::Mutate { db, ops }
+            }
             other => return Err(format!("unknown request opcode 0x{other:02x}")),
         };
         if pos != buf.len() {
@@ -895,6 +1043,12 @@ impl Response {
                 ] {
                     write_uleb(&mut p, v);
                 }
+                // v6 trailing fields: mutation counters. Optional on
+                // decode like the planner block, so v4/v5 replies (ending
+                // at the planner counters) still parse.
+                for v in [s.mutations_applied, s.delta_bags_touched, s.delta_fallbacks] {
+                    write_uleb(&mut p, v);
+                }
                 OP_R_STATS
             }
             Response::Ok { epoch } => {
@@ -915,6 +1069,14 @@ impl Response {
             Response::Metrics { text } => {
                 write_str(&mut p, text);
                 OP_R_METRICS
+            }
+            Response::Mutated {
+                changed,
+                mutation_seq,
+            } => {
+                write_uleb(&mut p, *changed);
+                write_uleb(&mut p, *mutation_seq);
+                OP_R_MUTATED
             }
             Response::Error {
                 code,
@@ -1019,6 +1181,13 @@ impl Response {
                         *v = read_uleb(buf, &mut pos)?;
                     }
                 }
+                // v6 trailing mutation counters; absent in v4/v5 replies.
+                let mut mutation = [0u64; 3];
+                if pos != buf.len() {
+                    for v in &mut mutation {
+                        *v = read_uleb(buf, &mut pos)?;
+                    }
+                }
                 Response::Stats(StatsReply {
                     served: vals[0],
                     overloaded: vals[1],
@@ -1039,6 +1208,9 @@ impl Response {
                     planner_candidates: planner[3],
                     planner_universes: planner[4],
                     planner_widths_searched: planner[5],
+                    mutations_applied: mutation[0],
+                    delta_bags_touched: mutation[1],
+                    delta_fallbacks: mutation[2],
                 })
             }
             OP_R_OK => Response::Ok {
@@ -1068,6 +1240,10 @@ impl Response {
             }
             OP_R_METRICS => Response::Metrics {
                 text: read_str(buf, &mut pos)?,
+            },
+            OP_R_MUTATED => Response::Mutated {
+                changed: read_uleb(buf, &mut pos)?,
+                mutation_seq: read_uleb(buf, &mut pos)?,
             },
             OP_R_ERROR => {
                 let code =
@@ -1143,6 +1319,93 @@ mod tests {
     }
 
     #[test]
+    fn mutation_frames_roundtrip() {
+        roundtrip_request(Request::Insert {
+            db: "main".into(),
+            rel: "edge".into(),
+            values: vec!["a".into(), "b".into()],
+        });
+        roundtrip_request(Request::Delete {
+            db: "main".into(),
+            rel: "edge".into(),
+            values: vec![],
+        });
+        roundtrip_request(Request::Mutate {
+            db: "main".into(),
+            ops: vec![
+                MutationOp {
+                    insert: true,
+                    rel: "edge".into(),
+                    values: vec!["a".into(), "b".into()],
+                },
+                MutationOp {
+                    insert: false,
+                    rel: "label".into(),
+                    values: vec!["a".into()],
+                },
+            ],
+        });
+        roundtrip_request(Request::Mutate {
+            db: "main".into(),
+            ops: vec![],
+        });
+        roundtrip_response(Response::Mutated {
+            changed: 2,
+            mutation_seq: 17,
+        });
+        roundtrip_response(Response::Mutated {
+            changed: 0,
+            mutation_seq: u64::MAX,
+        });
+    }
+
+    #[test]
+    fn hostile_mutation_frames_are_rejected_cleanly() {
+        // A batch whose declared op count is over the cap.
+        let mut p = Vec::new();
+        write_str(&mut p, "main");
+        write_uleb(&mut p, MAX_MUTATION_OPS as u64 + 1);
+        let frame = Frame {
+            version: V6,
+            req_id: 0,
+            opcode: OP_MUTATE,
+            payload: p,
+        };
+        let err = Request::decode(&frame).unwrap_err();
+        assert!(err.contains("exceeds cap"), "{err:?}");
+
+        // A tuple whose declared arity is over the cap.
+        let mut p = Vec::new();
+        write_str(&mut p, "main");
+        write_str(&mut p, "edge");
+        write_uleb(&mut p, MAX_TUPLE_ARITY as u64 + 1);
+        let frame = Frame {
+            version: V6,
+            req_id: 0,
+            opcode: OP_INSERT,
+            payload: p,
+        };
+        let err = Request::decode(&frame).unwrap_err();
+        assert!(err.contains("exceeds cap"), "{err:?}");
+
+        // An op kind byte that is neither insert nor delete.
+        let mut p = Vec::new();
+        write_str(&mut p, "main");
+        write_uleb(&mut p, 1);
+        p.push(0x07);
+        write_str(&mut p, "edge");
+        write_uleb(&mut p, 0);
+        let frame = Frame {
+            version: V6,
+            req_id: 0,
+            opcode: OP_MUTATE,
+            payload: p,
+        };
+        let err = Request::decode(&frame).unwrap_err();
+        assert!(err.contains("kind"), "{err:?}");
+    }
+
+    #[test]
     fn responses_roundtrip() {
         roundtrip_response(Response::Count {
             value: "123456789012345678901234567890".into(),
@@ -1190,6 +1453,9 @@ mod tests {
             planner_candidates: 5000,
             planner_universes: 90,
             planner_widths_searched: 3,
+            mutations_applied: 12,
+            delta_bags_touched: 31,
+            delta_fallbacks: 2,
         }));
         roundtrip_response(Response::Ok { epoch: 3 });
         roundtrip_response(Response::Stats(StatsReply::default()));
@@ -1307,7 +1573,7 @@ mod tests {
     }
 
     #[test]
-    fn v2_frames_still_parse_under_v5() {
+    fn v2_frames_still_parse_under_v6() {
         // A v2 peer sends VERSION = 0x02; the daemon must keep accepting it.
         let mut buf = Vec::new();
         Request::Stats.write_to(&mut buf).unwrap();
@@ -1318,7 +1584,7 @@ mod tests {
         assert_eq!(frame.req_id, 0, "pre-v5 frames carry no request id");
         assert_eq!(Request::decode(&frame).unwrap(), Request::Stats);
         // But versions outside [MIN_VERSION, VERSION] stay rejected.
-        for bad in [0x00, 0x01, 0x06, 0x7f] {
+        for bad in [0x00, 0x01, 0x07, 0x7f] {
             buf[2] = bad;
             assert!(read_frame(&mut Cursor::new(&buf)).is_err(), "version {bad}");
         }
@@ -1399,28 +1665,43 @@ mod tests {
     }
 
     #[test]
-    fn v3_stats_reply_without_planner_fields_still_decodes() {
-        // A v3 server's STATS reply ends at the db list; the v4 decoder
-        // must read it with the planner counters defaulting to zero.
+    fn older_stats_replies_without_trailing_fields_still_decode() {
         let full = Response::Stats(StatsReply {
             served: 5,
             planner_blocks_solved: 9,
             planner_widths_searched: 2,
+            mutations_applied: 4,
             ..StatsReply::default()
         });
         let mut buf = Vec::new();
         full.write_to(&mut buf).unwrap();
-        let mut frame = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
-        // Strip the six trailing one-byte varints (all values < 128 here)
-        // to reconstruct the v3 payload.
-        frame.payload.truncate(frame.payload.len() - 6);
-        let got = match Response::decode(&frame).unwrap() {
+        let frame = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
+
+        // A v4/v5 server's STATS reply ends at the planner counters; the
+        // v6 decoder must read it with the mutation counters defaulting
+        // to zero. All trailing values are < 128 here, so the planner
+        // block is six bytes and the mutation block three.
+        let mut v5 = frame.clone();
+        v5.payload.truncate(v5.payload.len() - 3);
+        let got = match Response::decode(&v5).unwrap() {
+            Response::Stats(s) => s,
+            other => panic!("expected stats, got {other:?}"),
+        };
+        assert_eq!(got.served, 5);
+        assert_eq!(got.planner_blocks_solved, 9);
+        assert_eq!(got.mutations_applied, 0);
+
+        // A v3 reply ends at the db list; both optional blocks default.
+        let mut v3 = frame.clone();
+        v3.payload.truncate(v3.payload.len() - 9);
+        let got = match Response::decode(&v3).unwrap() {
             Response::Stats(s) => s,
             other => panic!("expected stats, got {other:?}"),
         };
         assert_eq!(got.served, 5);
         assert_eq!(got.planner_blocks_solved, 0);
         assert_eq!(got.planner_widths_searched, 0);
+        assert_eq!(got.mutations_applied, 0);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! write per sweep instead of one mutex acquisition per request.
 
 use crate::faults::{ConnFaults, FaultyStream, JobFaults};
-use crate::protocol::{parse_frame_prefix, ErrorCode, Frame, Request, Response, V5};
+use crate::protocol::{parse_frame_prefix, ErrorCode, Frame, Request, Response, MAX_PAYLOAD, V5};
 use crate::server::{counting_op, handle_admin, overload_response, try_fast_path, Job, Shared};
 use cqcount_exec::poll::{poll_fds, PollFd, WakePipe, Waker, POLLIN, POLLOUT};
 use cqcount_exec::BoundedQueue;
@@ -43,6 +43,10 @@ use std::time::{Duration, Instant};
 const READ_CHUNK: usize = 64 * 1024;
 /// Stop pulling more bytes off one connection within a single sweep once
 /// its buffer holds this much undecoded input (fairness + memory bound).
+/// A connection parked mid-frame is exempt up to the protocol's payload
+/// cap: a single frame larger than this pause would otherwise never
+/// finish arriving — reads pause, the buffer never drains, and the read
+/// deadline reaps a well-behaved peer (bulk `RELOAD`s hit exactly this).
 const RBUF_PAUSE: usize = 1 << 20;
 /// Stop decoding new requests from a connection while this many are in
 /// flight (per-connection pipelining cap; bytes stay buffered).
@@ -186,6 +190,9 @@ struct Conn {
     /// A frame-level protocol error to ship once in-flight work drains.
     final_error: Option<Vec<u8>>,
     dead: bool,
+    /// The buffered input ends inside a frame that needs more bytes than
+    /// [`RBUF_PAUSE`] allows; reads stay open up to the payload cap.
+    frame_incomplete: bool,
     /// Readiness flags for the current sweep.
     readable: bool,
     writable: bool,
@@ -215,6 +222,7 @@ impl Conn {
             closing: false,
             final_error: None,
             dead: false,
+            frame_incomplete: false,
             readable: false,
             writable: false,
         }
@@ -224,11 +232,22 @@ impl Conn {
         self.wpos < self.wbuf.len()
     }
 
+    /// How much undecoded input this connection may buffer before reads
+    /// pause: the fairness bound normally, the protocol's payload cap
+    /// (plus header slack) while a single frame is still arriving.
+    fn read_cap(&self) -> usize {
+        if self.frame_incomplete {
+            MAX_PAYLOAD + 64
+        } else {
+            RBUF_PAUSE
+        }
+    }
+
     /// Is this connection still willing to accept input bytes?
     fn wants_read(&self) -> bool {
         !self.closing
             && !self.dead
-            && self.rbuf.len() < RBUF_PAUSE
+            && self.rbuf.len() < self.read_cap()
             && self.pending.len() < MAX_INFLIGHT
             && self.wbuf.len() - self.wpos < WBUF_PAUSE
     }
@@ -493,7 +512,7 @@ fn fill_read(conn: &mut Conn, scratch: &mut [u8]) {
             Ok(n) => {
                 conn.rbuf.extend_from_slice(&scratch[..n]);
                 conn.last_read = Instant::now();
-                if conn.rbuf.len() >= RBUF_PAUSE {
+                if conn.rbuf.len() >= conn.read_cap() {
                     return;
                 }
             }
@@ -518,9 +537,15 @@ fn process_input(
     trace_buf: &mut String,
 ) {
     let mut consumed = 0usize;
+    conn.frame_incomplete = false;
     while conn.pending.len() < MAX_INFLIGHT && conn.wbuf.len() - conn.wpos < WBUF_PAUSE {
         match parse_frame_prefix(&conn.rbuf[consumed..]) {
-            Ok(None) => break,
+            Ok(None) => {
+                // The remaining bytes are a frame prefix; keep reading
+                // past the fairness pause until it completes.
+                conn.frame_incomplete = consumed < conn.rbuf.len();
+                break;
+            }
             Ok(Some((frame, used))) => {
                 consumed += used;
                 handle_frame(shared, queue, conn, frame, jobs, trace_buf);

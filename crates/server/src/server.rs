@@ -113,6 +113,10 @@ pub struct ServerConfig {
     /// When set, every counting request is traced and its span tree is
     /// appended to this file as one JSON line (`--trace-log`).
     pub trace_log: Option<std::path::PathBuf>,
+    /// Most materialized counts kept live for incremental maintenance
+    /// (see [`crate::mutation`]); `0` disables materialization, so
+    /// mutations only invalidate.
+    pub materialize_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -134,21 +138,26 @@ impl Default for ServerConfig {
             fault_profile: crate::faults::FaultProfile::off(),
             fault_seed: 0,
             trace_log: None,
+            materialize_cap: 32,
         }
     }
 }
 
-/// A loaded database at a specific epoch. Immutable once installed —
-/// `RELOAD` swaps in a fresh `Arc`, so in-flight counts keep their
-/// snapshot.
+/// A loaded database at a specific epoch. `RELOAD` swaps in a fresh
+/// `Arc`, so in-flight counts keep their state handle; protocol v6
+/// mutations edit the instance *in place* under the write lock — counts
+/// hold the read lock for their whole run, so they see either all of a
+/// mutation batch or none of it.
 #[derive(Debug)]
 pub struct DbState {
-    /// The instance.
-    pub db: Database,
-    /// Bumped by every reload; part of the count-cache key.
+    /// The instance. Readers (counts, enumerations, stats) take the read
+    /// lock; mutation batches take the write lock.
+    pub db: RwLock<Database>,
+    /// Bumped by every reload; part of the count-cache key. Mutations do
+    /// **not** bump it — they invalidate surgically by relation.
     pub epoch: u64,
-    /// Content fingerprint (observability only — correctness comes from
-    /// the epoch).
+    /// Content fingerprint at install time (observability only —
+    /// correctness comes from the epoch and the mutation sweeps).
     pub fingerprint: u64,
 }
 
@@ -180,6 +189,9 @@ pub(crate) struct Metrics {
     req_flush: Counter,
     req_profile: Counter,
     req_metrics: Counter,
+    req_insert: Counter,
+    req_delete: Counter,
+    req_mutate: Counter,
     // Per-ErrorCode outcome counters (`cqcount_errors_total{code=...}`).
     err_protocol: Counter,
     err_parse: Counter,
@@ -207,6 +219,13 @@ pub(crate) struct Metrics {
     count_misses: Counter,
     count_evictions: Counter,
     faults_injected: Gauge,
+    /// Effective tuple mutations applied (no-ops excluded).
+    pub(crate) mutations: Counter,
+    /// Join-tree bags re-aggregated by incremental maintenance.
+    pub(crate) delta_bags_touched: Counter,
+    /// Mutations that dropped a materialization and fell back to
+    /// targeted invalidation.
+    pub(crate) delta_fallbacks: Counter,
 }
 
 impl Metrics {
@@ -242,6 +261,9 @@ impl Metrics {
             req_flush: req("flush"),
             req_profile: req("profile"),
             req_metrics: req("metrics"),
+            req_insert: req("insert"),
+            req_delete: req("delete"),
+            req_mutate: req("mutate"),
             err_protocol: err("protocol"),
             err_parse: err("parse"),
             err_unknown_db: err("unknown_db"),
@@ -301,6 +323,18 @@ impl Metrics {
                 "cqcount_faults_injected",
                 "Faults injected so far (0 when no fault profile is active).",
             ),
+            mutations: r.counter(
+                "cqcount_mutations_total",
+                "Effective tuple mutations applied (duplicate inserts and absent deletes excluded).",
+            ),
+            delta_bags_touched: r.counter(
+                "cqcount_delta_bags_touched_total",
+                "Join-tree bags re-aggregated by incremental count maintenance.",
+            ),
+            delta_fallbacks: r.counter(
+                "cqcount_delta_fallbacks_total",
+                "Materializations dropped mid-mutation (fell back to cache invalidation).",
+            ),
             registry: r,
         }
     }
@@ -339,6 +373,9 @@ impl Metrics {
             Request::Flush => &self.req_flush,
             Request::Profile { .. } => &self.req_profile,
             Request::Metrics => &self.req_metrics,
+            Request::Insert { .. } => &self.req_insert,
+            Request::Delete { .. } => &self.req_delete,
+            Request::Mutate { .. } => &self.req_mutate,
         }
     }
 
@@ -367,6 +404,9 @@ pub(crate) fn op_name(r: &Request) -> &'static str {
         Request::Flush => "flush",
         Request::Profile { .. } => "profile",
         Request::Metrics => "metrics",
+        Request::Insert { .. } => "insert",
+        Request::Delete { .. } => "delete",
+        Request::Mutate { .. } => "mutate",
     }
 }
 
@@ -394,6 +434,8 @@ pub(crate) struct Shared {
     /// warm hit never parses.
     pub(crate) fingerprints: FingerprintCache,
     pub(crate) metrics: Metrics,
+    /// Live materialized counts, patched in place by mutations.
+    pub(crate) materialized: crate::mutation::MaterializedSet,
     pub(crate) injector: Option<Arc<FaultInjector>>,
     pub(crate) stop: AtomicBool,
     /// Open trace-log sink (`--trace-log`).
@@ -427,7 +469,7 @@ impl Shared {
                 name: name.clone(),
                 epoch: st.epoch,
                 fingerprint: st.fingerprint,
-                tuples: st.db.total_tuples() as u64,
+                tuples: st.db.read().unwrap().total_tuples() as u64,
             })
             .collect();
         dbs.sort_by(|a, b| a.name.cmp(&b.name));
@@ -451,6 +493,9 @@ impl Shared {
             planner_candidates: planner.candidates_yielded.get(),
             planner_universes: planner.universes_opened.get(),
             planner_widths_searched: planner.widths_searched.get(),
+            mutations_applied: self.metrics.mutations.get(),
+            delta_bags_touched: self.metrics.delta_bags_touched.get(),
+            delta_fallbacks: self.metrics.delta_fallbacks.get(),
         }
     }
 
@@ -465,16 +510,23 @@ impl Shared {
 
     fn install_db(&self, name: &str, db: Database) -> u64 {
         let fingerprint = db.fingerprint();
-        let mut dbs = self.dbs.write().unwrap();
-        let epoch = dbs.get(name).map_or(1, |old| old.epoch + 1);
-        dbs.insert(
-            name.to_owned(),
-            Arc::new(DbState {
-                db,
-                epoch,
-                fingerprint,
-            }),
-        );
+        let epoch = {
+            let mut dbs = self.dbs.write().unwrap();
+            let epoch = dbs.get(name).map_or(1, |old| old.epoch + 1);
+            dbs.insert(
+                name.to_owned(),
+                Arc::new(DbState {
+                    db: RwLock::new(db),
+                    epoch,
+                    fingerprint,
+                }),
+            );
+            epoch
+        };
+        // The bump made every older-epoch artifact unaddressable; reclaim
+        // the memory now instead of waiting for FIFO churn.
+        self.counts.purge_epochs_below(name, epoch);
+        self.materialized.purge_epochs_below(name, epoch);
         epoch
     }
 }
@@ -593,6 +645,7 @@ pub fn serve(
     };
     let metrics = Metrics::new();
     metrics.attach_planner_counters();
+    let materialized = crate::mutation::MaterializedSet::new(config.materialize_cap);
     let plans = PlanCache::with_counters(
         config.plan_cache_cap,
         metrics.plan_hits.clone(),
@@ -613,6 +666,7 @@ pub fn serve(
         counts,
         fingerprints,
         metrics,
+        materialized,
         dbs: RwLock::new(HashMap::new()),
         injector,
         stop: AtomicBool::new(false),
@@ -727,6 +781,7 @@ pub(crate) fn handle_admin(
             shared.plans.clear();
             shared.counts.clear();
             shared.fingerprints.clear();
+            shared.materialized.clear();
             Response::Ok { epoch: 0 }
         }
         _ => return None,
@@ -773,7 +828,7 @@ pub(crate) fn try_fast_path(
             let key = (fpd.canonical.clone(), db.clone(), state.epoch);
             let value = shared.counts.peek(&key)?;
             Some(fast_traced(shared, "count", move || Response::Count {
-                value: value.to_string(),
+                value: value.value.to_string(),
                 plan: "cached".into(),
                 cached: CacheTier::CountWarm,
                 degraded: false,
@@ -831,7 +886,9 @@ fn fast_traced(
     (response, line)
 }
 
-/// Ops that run on workers (as opposed to inline admin ops).
+/// Ops that run on workers (as opposed to inline admin ops). Mutations
+/// are worker ops: they take the database write lock and patch
+/// materializations, which must never stall a reactor shard.
 pub(crate) fn counting_op(r: &Request) -> bool {
     matches!(
         r,
@@ -839,6 +896,9 @@ pub(crate) fn counting_op(r: &Request) -> bool {
             | Request::Enumerate { .. }
             | Request::WidthReport { .. }
             | Request::Profile { .. }
+            | Request::Insert { .. }
+            | Request::Delete { .. }
+            | Request::Mutate { .. }
     )
 }
 
@@ -1090,6 +1150,10 @@ fn run_job(shared: &Shared, request: &Request, faults: JobFaults) -> Response {
             budget_ms,
         } => run_enumerate(shared, db, query, *limit, *budget_ms, faults),
         Request::WidthReport { query, cap } => run_width_report(shared, query, *cap),
+        Request::Insert { .. } | Request::Delete { .. } | Request::Mutate { .. } => {
+            let (db, ops) = crate::mutation::ops_of(request).expect("mutation request");
+            crate::mutation::run_mutation(shared, db, &ops)
+        }
         // Admin requests are answered inline by the connection thread.
         _ => Response::Error {
             code: ErrorCode::Internal,
@@ -1120,7 +1184,7 @@ fn budget_for(shared: &Shared, budget_ms: u64, faults: JobFaults) -> Budget {
     budget
 }
 
-fn lookup_db(shared: &Shared, name: &str) -> Result<Arc<DbState>, Box<Response>> {
+pub(crate) fn lookup_db(shared: &Shared, name: &str) -> Result<Arc<DbState>, Box<Response>> {
     shared
         .dbs
         .read()
@@ -1169,6 +1233,10 @@ fn run_count(
         Ok(s) => s,
         Err(resp) => return *resp,
     };
+    // Counts hold the read lock end to end: the data cannot shift under
+    // the count, and the cache insert below is ordered against mutation
+    // sweeps (which run under the write lock).
+    let db = state.db.read().unwrap();
 
     // Level 2: an exact count cached under the current epoch.
     let probe_sp = trace::span("server.cache_probe");
@@ -1178,7 +1246,7 @@ fn run_count(
     drop(probe_sp);
     if let Some(value) = warm {
         return Response::Count {
-            value: value.to_string(),
+            value: value.value.to_string(),
             plan: "cached".into(),
             cached: CacheTier::CountWarm,
             degraded: false,
@@ -1189,10 +1257,19 @@ fn run_count(
     // Level 1: the prepared plan (degraded plans skip the cache).
     let budget = budget_for(shared, budget_ms, faults);
     let (entry, plan_hit) = plan_for(shared, &fp.text, &q, &budget);
-    match count_prepared_resilient(&q, &state.db, &entry.prepared, &budget) {
+    match count_prepared_resilient(&q, &db, &entry.prepared, &budget) {
         Ok((n, plan, degraded)) => {
             // Exact regardless of degradation, so always cacheable.
-            shared.counts.insert(key, n.clone());
+            shared.counts.insert(
+                key,
+                Arc::new(crate::cache::CountInfo {
+                    value: n.clone(),
+                    rels: crate::mutation::query_relations(&q),
+                }),
+            );
+            if !degraded {
+                crate::mutation::maybe_materialize(shared, &q, &db, &fp.text, db_name, state.epoch);
+            }
             let plan_label = match plan {
                 cqcount_core::Plan::SharpPipeline { width } => {
                     format!("sharp-pipeline(width={width})")
@@ -1249,6 +1326,7 @@ fn run_enumerate(
         Ok(s) => s,
         Err(resp) => return *resp,
     };
+    let db = state.db.read().unwrap();
     let budget = budget_for(shared, budget_ms, faults);
     let cap = (limit as usize).min(shared.config.max_enumerate);
     let free: Vec<Var> = q.free().into_iter().collect();
@@ -1257,7 +1335,7 @@ fn run_enumerate(
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut truncated = false;
     let mut tripped = false;
-    let ok = for_each_answer(&q, &state.db, width, |answer| {
+    let ok = for_each_answer(&q, &db, width, |answer| {
         if budget.is_exceeded() {
             tripped = true;
             return false;
@@ -1268,7 +1346,7 @@ fn run_enumerate(
         }
         rows.push(
             free.iter()
-                .map(|v| state.db.interner().name(answer[v]).to_owned())
+                .map(|v| db.interner().name(answer[v]).to_owned())
                 .collect(),
         );
         true

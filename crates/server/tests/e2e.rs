@@ -322,6 +322,26 @@ fn shutdown_is_prompt_and_drop_is_idempotent() {
 }
 
 #[test]
+fn reload_frames_larger_than_the_read_pause_still_arrive() {
+    // A single frame bigger than the reactor's 1 MiB read-fairness pause:
+    // the reactor must keep reading past the pause while a frame is
+    // incomplete, or the connection deadlocks until the read deadline
+    // reaps it (bulk RELOADs regressed exactly this way).
+    let handle = start(ServerConfig::default());
+    let mut c = connect(&handle);
+    let mut facts = String::with_capacity(2 << 20);
+    let mut i = 0u64;
+    while facts.len() < (2 << 20) {
+        facts.push_str(&format!("big(n{i}, n{}).\n", i + 1));
+        i += 1;
+    }
+    c.reload("bulk", &facts).expect("a 2 MiB reload must land");
+    let reply = c.count("bulk", "ans(X, Y) :- big(X, Y).", 0).unwrap();
+    assert_eq!(reply.value, i.to_string());
+    handle.shutdown();
+}
+
+#[test]
 fn enumerate_returns_a_bounded_prefix() {
     let handle = start(ServerConfig::default());
     let mut c = connect(&handle);
