@@ -1,0 +1,121 @@
+//! Durability-cost benchmark: mutation throughput with the write-ahead
+//! log at each fsync policy against the in-memory baseline. Emits
+//! `BENCH_wal_overhead.json` at the workspace root.
+//!
+//! The workload is a stream of single-tuple `INSERT`s, every one
+//! effective (distinct tuples), driven synchronously by one client —
+//! the worst case for durability, since each batch pays its WAL append
+//! (and, per policy, its fsync) before the acknowledgement:
+//!
+//! * **mem** — no `--data-dir`: the pre-v7 in-memory server, baseline.
+//! * **off** — append + flush to the OS per batch, never fsync.
+//! * **batch** — append per batch, fsync once per 32 batches.
+//! * **always** — append + fsync per batch (group commit disabled).
+//!
+//! The acceptance headline is `batch_keep_ratio` — batch throughput as
+//! a fraction of the in-memory baseline. The CI `crash-smoke` job gates
+//! a rerun at ≥ 0.5 (durability must cost no more than half the
+//! mutation throughput at the default policy).
+
+use cqcount_bench::print_table;
+use cqcount_query::parse_database;
+use cqcount_server::{serve, Client, DurabilityPolicy, ServerConfig};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const OPS: usize = 2_000;
+const ROUNDS: usize = 3;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Throughput (ops/s) of `OPS` effective inserts, median of `ROUNDS`
+/// runs, each against a fresh server (and fresh data dir when durable).
+fn bench_mode(tag: &str, policy: Option<DurabilityPolicy>) -> f64 {
+    let mut runs = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        let dir =
+            std::env::temp_dir().join(format!("cqwalbench_{tag}_{round}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = match policy {
+            Some(durability) => ServerConfig {
+                data_dir: Some(PathBuf::from(&dir)),
+                durability,
+                // Keep the stream snapshot-free so the numbers isolate
+                // the per-batch WAL cost, not amortized snapshot writes.
+                snapshot_every: 0,
+                ..ServerConfig::default()
+            },
+            None => ServerConfig::default(),
+        };
+        let db = parse_database("r(v0, v1).").expect("facts parse");
+        let handle = serve(config, vec![("main".into(), db)]).expect("bind loopback");
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+        let t0 = Instant::now();
+        for i in 0..OPS {
+            let receipt = client
+                .insert("main", "r", &[&format!("a{i}"), &format!("b{i}")])
+                .expect("insert");
+            assert_eq!(receipt.changed, 1, "every op must be effective");
+        }
+        let elapsed = t0.elapsed();
+        runs.push(OPS as f64 / elapsed.as_secs_f64());
+
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    median(runs)
+}
+
+fn main() {
+    let modes: [(&str, Option<DurabilityPolicy>); 4] = [
+        ("mem", None),
+        ("off", Some(DurabilityPolicy::Off)),
+        ("batch", Some(DurabilityPolicy::Batch)),
+        ("always", Some(DurabilityPolicy::Always)),
+    ];
+    let rows: Vec<(&str, f64)> = modes
+        .iter()
+        .map(|&(tag, policy)| (tag, bench_mode(tag, policy)))
+        .collect();
+
+    let mem = rows[0].1;
+    let batch = rows.iter().find(|(t, _)| *t == "batch").unwrap().1;
+    let batch_keep_ratio = batch / mem;
+
+    println!("\n### bench: wal_overhead\n");
+    print_table(
+        &["policy", "ops/s", "vs mem"],
+        &rows
+            .iter()
+            .map(|(tag, ops)| {
+                vec![
+                    (*tag).to_string(),
+                    format!("{ops:.0}"),
+                    format!("{:.2}", ops / mem),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("batch_keep_ratio: {batch_keep_ratio:.2} (acceptance bar: >= 0.5)");
+
+    // Hand-rolled JSON (no serde in the dependency graph).
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"wal_overhead\",\n");
+    json.push_str("  \"unit\": \"mutations_per_second\",\n");
+    json.push_str(&format!("  \"batch_keep_ratio\": {batch_keep_ratio:.2},\n"));
+    json.push_str("  \"modes\": [\n");
+    for (i, (tag, ops)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"policy\": \"{tag}\", \"ops_per_sec\": {ops:.0}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wal_overhead.json");
+    std::fs::write(out, &json).expect("write BENCH_wal_overhead.json");
+    println!("\nwrote {out}");
+}

@@ -186,6 +186,15 @@ impl Database {
         self.mutation_seq
     }
 
+    /// Restores the mutation sequence to a recorded value. Recovery uses
+    /// this to make a database rebuilt from a snapshot (whose bulk loads
+    /// do not count as mutations) report the sequence it had when the
+    /// snapshot was taken, and to roll the counter back after un-applying
+    /// a batch that could not be made durable.
+    pub fn set_mutation_seq(&mut self, seq: u64) {
+        self.mutation_seq = seq;
+    }
+
     /// A stable 64-bit content fingerprint of the instance, used by the
     /// serving layer to tag cached counts. Two databases with the same
     /// relations (by name) holding the same tuples (by constant *name*)

@@ -11,6 +11,7 @@
 //! cqcount-cli --server ADDR reload    --db NAME <FACTS-FILE>
 //! cqcount-cli --server ADDR insert    --db NAME REL VALUE...
 //! cqcount-cli --server ADDR delete    --db NAME REL VALUE...
+//! cqcount-cli --server ADDR sync      --db NAME
 //! cqcount-cli --server ADDR flush
 //! ```
 //!
@@ -32,8 +33,9 @@
 //! removed (0 for a duplicate insert or absent delete), `M` the
 //! database's mutation sequence afterwards. These commands are **not
 //! idempotent to retry blindly** — `--retries` deliberately does not
-//! apply to them; if a reply is lost, re-check with `stats` (the per-db
-//! tuple count) before resubmitting.
+//! apply to them; if a reply is lost, compare the `seq`/`durable` numbers
+//! from `stats` (or `sync`) against your last receipt before
+//! resubmitting — see the README's lost-reply procedure.
 //!
 //! `count --pipeline N` switches to the protocol-v5 pipelined client: N
 //! copies of the count are written back-to-back on one connection before
@@ -57,6 +59,7 @@ const USAGE: &str = "usage:
   cqcount-cli --server ADDR reload    --db NAME <FACTS-FILE>
   cqcount-cli --server ADDR insert    --db NAME REL VALUE...   (never retried)
   cqcount-cli --server ADDR delete    --db NAME REL VALUE...   (never retried)
+  cqcount-cli --server ADDR sync      --db NAME
   cqcount-cli --server ADDR flush";
 
 fn main() -> ExitCode {
@@ -442,8 +445,23 @@ fn run(args: &[String]) -> Result<(), String> {
                 s.mutations_applied, s.delta_bags_touched, s.delta_fallbacks
             );
             for d in &s.dbs {
+                let durability = if d.persisted {
+                    format!(
+                        ", seq {}, durable {}{}{}",
+                        d.mutation_seq,
+                        d.durable_seq,
+                        if d.read_only { " [read-only]" } else { "" },
+                        if d.recovered_records > 0 {
+                            format!(" (recovered {} records)", d.recovered_records)
+                        } else {
+                            String::new()
+                        },
+                    )
+                } else {
+                    format!(", seq {} (not persisted)", d.mutation_seq)
+                };
                 println!(
-                    "db {}: epoch {}, fingerprint {:016x}, {} tuples",
+                    "db {}: epoch {}, fingerprint {:016x}, {} tuples{durability}",
                     d.name, d.epoch, d.fingerprint, d.tuples
                 );
             }
@@ -480,6 +498,21 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             .map_err(|e| e.to_string())?;
             println!("changed {} seq {}", receipt.changed, receipt.mutation_seq);
+            Ok(())
+        }
+        // Idempotent (syncing twice is just slower), so --retries applies.
+        "sync" => {
+            if opts.db.is_empty() {
+                return Err("sync needs --db NAME".into());
+            }
+            let receipt = client.sync(&opts.db).map_err(|e| e.to_string())?;
+            println!(
+                "epoch {} seq {} durable {}",
+                receipt.epoch, receipt.mutation_seq, receipt.durable_seq
+            );
+            if receipt.durable_seq == 0 && receipt.mutation_seq > 0 {
+                eprintln!("warning: server runs without --data-dir; nothing is durable");
+            }
             Ok(())
         }
         "flush" => {

@@ -26,18 +26,35 @@
 //! `--materialize-cap N` bounds how many queries keep a live materialized
 //! count maintained incrementally across `INSERT`/`DELETE` (default 32;
 //! `0` disables materialization, mutations then invalidate only).
+//!
+//! `--data-dir DIR` makes mutations durable: every effective batch is
+//! appended to a per-database write-ahead log before it is acknowledged,
+//! snapshots bound replay, and a restart recovers the newest valid
+//! snapshot plus the WAL tail (torn tails are truncated cleanly).
+//! `--durability always|batch|off` picks the fsync policy (default
+//! `batch`); `--snapshot-every N` snapshots and truncates the log after N
+//! logged batches (default 4096, `0` disables the threshold).
+//!
+//! Crash testing: `--fault-profile crash` arms a seeded kill-point that
+//! aborts the process mid-durability (replayable via `--fault-seed`);
+//! `--crash-at POINT:N` (pre-append, pre-fsync, post-fsync, mid-snapshot)
+//! pins the point explicitly. `--wal-fail-after N` injects WAL write
+//! errors after N appends, degrading the database to read-only.
 
 use cqcount_query::parse_database;
 use cqcount_relational::Database;
-use cqcount_server::{serve, FaultProfile, ServerConfig};
+use cqcount_server::{serve, CrashPlan, DurabilityPolicy, FaultProfile, ServerConfig};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "usage:
   cqcountd [--listen ADDR] [--db NAME=FILE]... [--workers N] [--reactors N]
            [--queue-cap N] [--budget-ms MS] [--max-enumerate N] [--width-cap K]
            [--read-timeout-ms MS] [--write-timeout-ms MS]
-           [--fault-profile off|flaky-net|slow-net|chaos] [--fault-seed N]
-           [--trace-log FILE] [--materialize-cap N]";
+           [--fault-profile off|flaky-net|slow-net|chaos|crash] [--fault-seed N]
+           [--trace-log FILE] [--materialize-cap N]
+           [--data-dir DIR] [--durability always|batch|off]
+           [--snapshot-every N] [--crash-at POINT:N] [--wal-fail-after N]";
 
 fn main() -> ExitCode {
     match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
@@ -115,8 +132,35 @@ fn run(args: &[String]) -> Result<(), String> {
             "--trace-log" => {
                 config.trace_log = Some(it.next().ok_or("--trace-log needs a FILE")?.into());
             }
+            "--data-dir" => {
+                config.data_dir = Some(it.next().ok_or("--data-dir needs a DIR")?.into());
+            }
+            "--durability" => {
+                let name = it.next().ok_or("--durability needs a value")?;
+                config.durability = DurabilityPolicy::parse(name)?;
+            }
+            "--snapshot-every" => config.snapshot_every = parse_num(&mut it, "--snapshot-every")?,
+            "--crash-at" => {
+                let spec = it.next().ok_or("--crash-at needs POINT:N")?;
+                config.crash_plan = Some(Arc::new(CrashPlan::parse(spec)?));
+            }
+            "--wal-fail-after" => {
+                config.wal_fail_after = Some(parse_num(&mut it, "--wal-fail-after")?);
+            }
             other => return Err(format!("unknown option {other}")),
         }
+    }
+    if config.fault_profile.label == "crash" && config.crash_plan.is_none() {
+        // Derive a replayable kill-point from the fault seed (an explicit
+        // --crash-at wins).
+        config.crash_plan = Some(Arc::new(CrashPlan::from_seed(config.fault_seed)));
+    }
+    if let Some(plan) = &config.crash_plan {
+        eprintln!(
+            "crash injection armed: kill-point {}#{}",
+            plan.point().name(),
+            plan.at()
+        );
     }
     if config.fault_profile.is_active() {
         eprintln!(

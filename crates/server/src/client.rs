@@ -106,6 +106,18 @@ pub struct MutationReceipt {
     pub mutation_seq: u64,
 }
 
+/// What a `SYNC` made durable (protocol v7 `SYNCED` reply).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SyncReceipt {
+    /// The database's current epoch.
+    pub epoch: u64,
+    /// The database's mutation sequence at the sync point.
+    pub mutation_seq: u64,
+    /// Highest mutation sequence the server guarantees is on disk (`0`
+    /// when the server runs without `--data-dir`).
+    pub durable_seq: u64,
+}
+
 /// Client tunables; [`ClientOptions::default`] matches the pre-retry
 /// behavior except that I/O now times out instead of hanging forever.
 #[derive(Clone, Debug)]
@@ -460,6 +472,26 @@ impl Client {
             }),
             other => Err(ClientError::Protocol(format!(
                 "expected a mutation receipt, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Forces an fsync + snapshot cycle (protocol v7 `SYNC`); on return,
+    /// every mutation up to `durable_seq` survives a crash. Idempotent —
+    /// syncing twice is just slower — so it goes through the retry loop.
+    pub fn sync(&mut self, db: &str) -> Result<SyncReceipt, ClientError> {
+        match self.roundtrip_idempotent(&Request::Sync { db: db.into() })? {
+            Response::Synced {
+                epoch,
+                mutation_seq,
+                durable_seq,
+            } => Ok(SyncReceipt {
+                epoch,
+                mutation_seq,
+                durable_seq,
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "expected a sync receipt, got {other:?}"
             ))),
         }
     }

@@ -104,6 +104,17 @@ impl FaultProfile {
         }
     }
 
+    /// Crash faults only: no network or worker trouble, but the daemon
+    /// schedules one seeded process abort at a durability kill-point
+    /// (see [`CrashPlan::from_seed`]). The binary pairs this label with
+    /// a [`CrashPlan`]; the profile itself injects nothing.
+    pub fn crash() -> FaultProfile {
+        FaultProfile {
+            label: "crash",
+            ..FaultProfile::off()
+        }
+    }
+
     /// Parses a `--fault-profile` name.
     pub fn parse(name: &str) -> Result<FaultProfile, String> {
         match name {
@@ -111,8 +122,9 @@ impl FaultProfile {
             "flaky-net" => Ok(FaultProfile::flaky_net()),
             "slow-net" => Ok(FaultProfile::slow_net()),
             "chaos" => Ok(FaultProfile::chaos()),
+            "crash" => Ok(FaultProfile::crash()),
             other => Err(format!(
-                "unknown fault profile {other:?} (expected off, flaky-net, slow-net, or chaos)"
+                "unknown fault profile {other:?} (expected off, flaky-net, slow-net, chaos, or crash)"
             )),
         }
     }
@@ -126,6 +138,131 @@ impl FaultProfile {
 
     fn io_weight_total(&self) -> u32 {
         self.short_weight + self.latency_weight + self.disconnect_weight
+    }
+}
+
+/// A point on the durability path where a seeded crash may fire.
+/// These are the four places where dying tells a different story:
+/// before the WAL append (batch fully lost), after the append but
+/// before fsync (acknowledgement never sent, bytes only in user space —
+/// lost), after fsync (durable but unacknowledged), and between a
+/// snapshot's temp-file write and its rename (previous snapshot must
+/// still carry recovery).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Before the record reaches the WAL writer.
+    PreAppend,
+    /// After the buffered append, before flush/fsync.
+    PreFsync,
+    /// After the fsync, before the acknowledgement is built.
+    PostFsync,
+    /// Between a snapshot's durable temp file and its rename.
+    MidSnapshot,
+}
+
+impl CrashPoint {
+    /// All points, in the order `from_seed` indexes them.
+    pub const ALL: [CrashPoint; 4] = [
+        CrashPoint::PreAppend,
+        CrashPoint::PreFsync,
+        CrashPoint::PostFsync,
+        CrashPoint::MidSnapshot,
+    ];
+
+    /// The `--crash-at` spelling of this point.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::PreAppend => "pre-append",
+            CrashPoint::PreFsync => "pre-fsync",
+            CrashPoint::PostFsync => "post-fsync",
+            CrashPoint::MidSnapshot => "mid-snapshot",
+        }
+    }
+
+    /// Parses a `--crash-at` point name.
+    pub fn parse(name: &str) -> Result<CrashPoint, String> {
+        CrashPoint::ALL
+            .into_iter()
+            .find(|p| p.name() == name)
+            .ok_or_else(|| {
+                format!(
+                    "unknown crash point {name:?} (expected pre-append, pre-fsync, post-fsync, or mid-snapshot)"
+                )
+            })
+    }
+}
+
+/// One scheduled process abort: die on the `at`-th time execution passes
+/// `point`. The abort is a `std::process::abort()` — indistinguishable
+/// from `kill -9` as far as the files on disk are concerned — so the
+/// crash-recovery tests drive the *real* daemon binary through it and
+/// restart from the data directory.
+#[derive(Debug)]
+pub struct CrashPlan {
+    point: CrashPoint,
+    at: u64,
+    hits: AtomicU64,
+}
+
+impl CrashPlan {
+    /// A plan that aborts on the `at`-th pass of `point` (1-based; an
+    /// `at` of 0 is clamped to 1).
+    pub fn new(point: CrashPoint, at: u64) -> CrashPlan {
+        CrashPlan {
+            point,
+            at: at.max(1),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Parses a `--crash-at POINT:N` spec, e.g. `pre-fsync:3`.
+    pub fn parse(spec: &str) -> Result<CrashPlan, String> {
+        let (point, at) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("bad crash spec {spec:?} (expected POINT:N)"))?;
+        let at: u64 = at
+            .parse()
+            .map_err(|_| format!("bad crash count in {spec:?}"))?;
+        Ok(CrashPlan::new(CrashPoint::parse(point)?, at))
+    }
+
+    /// Derives a deterministic plan from the fault seed
+    /// (`--fault-profile crash` without an explicit `--crash-at`): the
+    /// point and the hit count both come from a [`SplitMix64`] stream,
+    /// so the same seed schedules the same abort, run after run.
+    pub fn from_seed(seed: u64) -> CrashPlan {
+        let mut g = SplitMix64::new(seed ^ 0xC4A5_11FE_DB01_7A3E);
+        let point = CrashPoint::ALL[(g.next_u64() % 4) as usize];
+        let at = 1 + g.next_u64() % 8;
+        CrashPlan::new(point, at)
+    }
+
+    /// The scheduled point, for logs.
+    pub fn point(&self) -> CrashPoint {
+        self.point
+    }
+
+    /// The scheduled hit count, for logs.
+    pub fn at(&self) -> u64 {
+        self.at
+    }
+
+    /// Called at each kill-point on the durability path. Counts a hit if
+    /// the point matches and aborts the process when the schedule says
+    /// so. Never returns when it fires.
+    pub fn hit(&self, point: CrashPoint) {
+        if point != self.point {
+            return;
+        }
+        let n = self.hits.fetch_add(1, Ordering::Relaxed) + 1;
+        if n == self.at {
+            eprintln!(
+                "cqcountd: injected crash at kill-point {}#{}",
+                self.point.name(),
+                self.at
+            );
+            std::process::abort();
+        }
     }
 }
 

@@ -28,6 +28,13 @@
 //!   the mutated tuple's bag path instead of recounted, and the count
 //!   cache is invalidated surgically (only entries whose query mentions a
 //!   touched relation), never epoch-wide;
+//! * **durability** ([`durable`]) — protocol v7: with `--data-dir` every
+//!   effective mutation batch is appended to a checksummed write-ahead
+//!   log before it is acknowledged (fsync policy per `--durability`),
+//!   snapshots bound replay, and startup recovers the newest valid
+//!   snapshot plus the WAL tail — truncating torn or corrupt tails
+//!   cleanly; a durability I/O failure degrades the database to
+//!   read-only while counts keep serving;
 //! * **deterministic fault injection** ([`faults`]) — seeded chaos
 //!   (short I/O, disconnects, latency, worker panics, cap trips) so every
 //!   hardening path above is testable and replayable;
@@ -41,16 +48,20 @@
 
 pub mod cache;
 pub mod client;
+pub mod durable;
 pub mod faults;
 pub mod mutation;
 pub mod protocol;
 mod reactor;
 pub mod server;
+mod snapshot;
+mod wal;
 
 pub use client::{
-    Client, ClientError, ClientOptions, CountReply, MutationReceipt, PipelinedClient,
+    Client, ClientError, ClientOptions, CountReply, MutationReceipt, PipelinedClient, SyncReceipt,
 };
-pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultProfile};
+pub use durable::DurabilityPolicy;
+pub use faults::{CrashPlan, CrashPoint, FaultEvent, FaultInjector, FaultKind, FaultProfile};
 pub use protocol::{
     CacheTier, ErrorCode, MutationOp, ProfileReply, ReportReply, Request, Response, SpanNode,
     StatsReply,

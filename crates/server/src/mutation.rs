@@ -190,6 +190,13 @@ pub(crate) fn ops_of(request: &Request) -> Option<(&str, Vec<MutationOp>)> {
 /// still runs for them, so caches stay honest, and the error reply names
 /// the offending op. The success reply carries the number of *effective*
 /// ops and the database's mutation sequence after the batch.
+///
+/// When the server has a `--data-dir`, the batch's effective ops are
+/// appended to the database's WAL (and fsynced per the durability
+/// policy) *before* the reply is sent — so an acknowledged batch is on
+/// disk. A WAL failure rolls the batch back in memory, flips the
+/// database read-only, and answers [`ErrorCode::ReadOnly`]: the reply
+/// then truthfully says "nothing happened".
 pub(crate) fn run_mutation(shared: &Shared, db_name: &str, ops: &[MutationOp]) -> Response {
     let state = match lookup_db(shared, db_name) {
         Ok(s) => s,
@@ -199,10 +206,24 @@ pub(crate) fn run_mutation(shared: &Shared, db_name: &str, ops: &[MutationOp]) -
     apply_sp.tag("db", db_name);
     apply_sp.add("ops", ops.len() as u64);
     let mut db = state.db.write().unwrap();
+    if let Some(d) = &state.durable {
+        if d.read_only() {
+            return Response::Error {
+                code: ErrorCode::ReadOnly,
+                message: format!(
+                    "database {db_name:?} is read-only: {}",
+                    d.read_only_reason()
+                ),
+                retry_after_ms: 0,
+            };
+        }
+    }
+    let seq_before = db.mutation_seq();
 
     let mut changed = 0u64;
     let mut bags_touched = 0u64;
     let mut touched: BTreeSet<String> = BTreeSet::new();
+    let mut effective_ops: Vec<MutationOp> = Vec::new();
     let mut failure: Option<Response> = None;
     for (i, op) in ops.iter().enumerate() {
         let values: Vec<&str> = op.values.iter().map(String::as_str).collect();
@@ -215,7 +236,6 @@ pub(crate) fn run_mutation(shared: &Shared, db_name: &str, ops: &[MutationOp]) -
             Ok(false) => {}
             Ok(true) => {
                 changed += 1;
-                shared.metrics.mutations.inc();
                 touched.insert(op.rel.clone());
                 let tuple: Vec<Value> = op
                     .values
@@ -228,6 +248,7 @@ pub(crate) fn run_mutation(shared: &Shared, db_name: &str, ops: &[MutationOp]) -
                     .collect();
                 bags_touched +=
                     patch_materializations(shared, &db, db_name, state.epoch, op, &tuple);
+                effective_ops.push(op.clone());
             }
             Err(e) => {
                 failure = Some(Response::Error {
@@ -239,6 +260,77 @@ pub(crate) fn run_mutation(shared: &Shared, db_name: &str, ops: &[MutationOp]) -
             }
         }
     }
+
+    // Durability: the effective ops (even those preceding a rejected op —
+    // they *are* applied) hit the WAL before any acknowledgement leaves
+    // this function. On failure the batch is rolled back in memory so
+    // the `ReadOnly` reply means "atomically absent".
+    if !effective_ops.is_empty() {
+        if let Some(d) = &state.durable {
+            let record = crate::wal::WalRecord {
+                epoch: state.epoch,
+                seq_after: db.mutation_seq(),
+                ops: effective_ops.clone(),
+            };
+            match d.log_batch(&db, state.epoch, &record) {
+                Ok(out) => {
+                    shared.metrics.wal_records.inc();
+                    shared.metrics.wal_bytes.add(out.bytes);
+                    if out.fsynced {
+                        shared.metrics.wal_fsyncs.inc();
+                    }
+                    if out.snapshotted {
+                        shared.metrics.snapshots.inc();
+                    }
+                }
+                Err(e) => {
+                    for op in effective_ops.iter().rev() {
+                        let values: Vec<&str> = op.values.iter().map(String::as_str).collect();
+                        let undone = if op.insert {
+                            db.delete_tuple(&op.rel, &values)
+                        } else {
+                            db.insert_tuple(&op.rel, &values)
+                        };
+                        debug_assert!(matches!(undone, Ok(true)), "rollback must invert exactly");
+                        let inverse = MutationOp {
+                            insert: !op.insert,
+                            rel: op.rel.clone(),
+                            values: op.values.clone(),
+                        };
+                        let tuple: Vec<Value> = op
+                            .values
+                            .iter()
+                            .map(|v| {
+                                db.interner()
+                                    .get(v)
+                                    .expect("a rolled-back mutation's constants are interned")
+                            })
+                            .collect();
+                        bags_touched += patch_materializations(
+                            shared,
+                            &db,
+                            db_name,
+                            state.epoch,
+                            &inverse,
+                            &tuple,
+                        );
+                    }
+                    db.set_mutation_seq(seq_before);
+                    changed = 0;
+                    d.set_read_only(format!("WAL append failed: {e}"));
+                    failure = Some(Response::Error {
+                        code: ErrorCode::ReadOnly,
+                        message: format!(
+                            "database {db_name:?} is now read-only (batch rolled back): \
+                             WAL append failed: {e}"
+                        ),
+                        retry_after_ms: 0,
+                    });
+                }
+            }
+        }
+    }
+    shared.metrics.mutations.add(changed);
     shared.metrics.delta_bags_touched.add(bags_touched);
     apply_sp.add("changed", changed);
     drop(apply_sp);
@@ -264,6 +356,48 @@ pub(crate) fn run_mutation(shared: &Shared, db_name: &str, ops: &[MutationOp]) -
         changed,
         mutation_seq,
     })
+}
+
+/// Executes a `SYNC`: forces an fsync + snapshot cycle so everything up
+/// to the current `mutation_seq` is durable, then reports the durable
+/// watermark. Runs under the database *read* lock — mutations are
+/// excluded, concurrent counts are not. On a server without `--data-dir`
+/// it answers honestly with `durable_seq: 0` (nothing is durable).
+pub(crate) fn run_sync(shared: &Shared, db_name: &str) -> Response {
+    let state = match lookup_db(shared, db_name) {
+        Ok(s) => s,
+        Err(resp) => return *resp,
+    };
+    let sp = trace::span("mutate.sync");
+    sp.tag("db", db_name);
+    let db = state.db.read().unwrap();
+    let mutation_seq = db.mutation_seq();
+    let Some(d) = &state.durable else {
+        return Response::Synced {
+            epoch: state.epoch,
+            mutation_seq,
+            durable_seq: 0,
+        };
+    };
+    match d.sync_and_snapshot(&db, state.epoch) {
+        Ok(()) => {
+            shared.metrics.snapshots.inc();
+            shared.metrics.wal_fsyncs.inc();
+            Response::Synced {
+                epoch: state.epoch,
+                mutation_seq,
+                durable_seq: d.durable_seq(),
+            }
+        }
+        Err(e) => {
+            d.set_read_only(format!("SYNC snapshot failed: {e}"));
+            Response::Error {
+                code: ErrorCode::ReadOnly,
+                message: format!("database {db_name:?} is now read-only: SYNC failed: {e}"),
+                retry_after_ms: 0,
+            }
+        }
+    }
 }
 
 /// Pushes one effective op through every live materialization of this

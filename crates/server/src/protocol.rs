@@ -40,8 +40,14 @@ pub const MAGIC: [u8; 2] = [0x43, 0x51];
 /// the mutation opcodes `INSERT`/`DELETE`/`MUTATE` (single-tuple and
 /// batched edits of a loaded database, answered with `MUTATED`) and
 /// appends the mutation counters to `STATS` replies as trailing optional
-/// fields; the header layout is unchanged from v5.
-pub const VERSION: u8 = 0x06;
+/// fields; the header layout is unchanged from v5. v7 adds durability:
+/// the `SYNC` opcode (force fsync + snapshot, answered with `SYNCED`),
+/// the `ReadOnly` error code (mutations refused after a disk fault), and
+/// a trailing per-database durability block in `STATS` replies
+/// (`mutation_seq`, `durable_seq`, persistence/read-only flags, records
+/// replayed at the last recovery) — optional on decode like the v4/v6
+/// blocks.
+pub const VERSION: u8 = 0x07;
 /// Oldest protocol version the daemon still accepts. v2 frames are a
 /// strict subset of v3, so the shim is just a wider version check.
 pub const MIN_VERSION: u8 = 0x02;
@@ -55,6 +61,9 @@ pub const V4: u8 = 0x04;
 pub const V5: u8 = 0x05;
 /// The v6 revision (mutation opcodes). Same header layout as v5.
 pub const V6: u8 = 0x06;
+/// The v7 revision (durability: `SYNC`/`SYNCED`, `ReadOnly`, per-db
+/// durability stats). Same header layout as v5.
+pub const V7: u8 = 0x07;
 /// Upper bound on a frame payload (queries and reload texts included).
 pub const MAX_PAYLOAD: usize = 16 << 20;
 /// Upper bound on a single string field.
@@ -84,6 +93,11 @@ pub enum ErrorCode {
     Protocol = 6,
     /// The server hit an internal error (a caught panic).
     Internal = 7,
+    /// The database is read-only after a durability fault (WAL or
+    /// snapshot I/O error): mutations are refused, counts keep serving.
+    /// **Not retryable** — the state will not heal without an operator
+    /// `RELOAD`/`SYNC`. Protocol v7.
+    ReadOnly = 8,
 }
 
 impl ErrorCode {
@@ -97,6 +111,7 @@ impl ErrorCode {
             5 => ErrorCode::BudgetExceeded,
             6 => ErrorCode::Protocol,
             7 => ErrorCode::Internal,
+            8 => ErrorCode::ReadOnly,
             _ => return None,
         })
     }
@@ -191,6 +206,14 @@ pub enum Request {
         /// The ops, applied first to last.
         ops: Vec<MutationOp>,
     },
+    /// Force everything durable now: fsync the database's WAL, write a
+    /// snapshot, truncate the log. Answered with [`Response::Synced`]
+    /// carrying the durable sequence the caller can compare mutation
+    /// receipts against. Idempotent and safe to retry. Protocol v7.
+    Sync {
+        /// Name of a loaded database.
+        db: String,
+    },
 }
 
 /// One tuple edit inside a [`Request::Mutate`] batch.
@@ -227,7 +250,7 @@ impl CacheTier {
 }
 
 /// Per-database summary inside a [`Response::Stats`].
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DbSummary {
     /// Database name.
     pub name: String,
@@ -237,6 +260,20 @@ pub struct DbSummary {
     pub fingerprint: u64,
     /// Total tuples.
     pub tuples: u64,
+    /// Effective mutations absorbed since the last reload (v7+; zero
+    /// when talking to an older server).
+    pub mutation_seq: u64,
+    /// Highest `mutation_seq` covered by a completed fsync or snapshot
+    /// (v7+). Equal to `mutation_seq` when everything acknowledged is on
+    /// disk; 0 when the server has no `--data-dir`.
+    pub durable_seq: u64,
+    /// The database is backed by a data directory (v7+).
+    pub persisted: bool,
+    /// Mutations are refused after a durability fault (v7+).
+    pub read_only: bool,
+    /// WAL records replayed when this database was last recovered at
+    /// startup (v7+; 0 when it was born from `RELOAD`).
+    pub recovered_records: u64,
 }
 
 /// Server and cache counters.
@@ -412,6 +449,17 @@ pub enum Response {
         /// bumps once per effective op, never on no-ops or reloads.
         mutation_seq: u64,
     },
+    /// Acknowledgement of a `Sync`: everything up to `durable_seq` is on
+    /// disk. Protocol v7.
+    Synced {
+        /// The database's current epoch.
+        epoch: u64,
+        /// The database's mutation sequence at the sync point.
+        mutation_seq: u64,
+        /// Highest mutation sequence covered by the fsync + snapshot (0
+        /// when the server has no `--data-dir` — nothing is durable).
+        durable_seq: u64,
+    },
     /// Anything that went wrong.
     Error {
         /// Machine-readable category.
@@ -458,12 +506,12 @@ pub fn read_uleb(buf: &[u8], pos: &mut usize) -> Result<u64, String> {
     }
 }
 
-fn write_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn write_str(out: &mut Vec<u8>, s: &str) {
     write_uleb(out, s.len() as u64);
     out.extend_from_slice(s.as_bytes());
 }
 
-fn read_str(buf: &[u8], pos: &mut usize) -> Result<String, String> {
+pub(crate) fn read_str(buf: &[u8], pos: &mut usize) -> Result<String, String> {
     let len = read_uleb(buf, pos)? as usize;
     if len > MAX_STRING {
         return Err(format!("string of {len} bytes exceeds cap"));
@@ -685,6 +733,7 @@ const OP_METRICS: u8 = 0x08;
 const OP_INSERT: u8 = 0x09;
 const OP_DELETE: u8 = 0x0a;
 const OP_MUTATE: u8 = 0x0b;
+const OP_SYNC: u8 = 0x0c;
 
 const OP_R_COUNT: u8 = 0x81;
 const OP_R_ROWS: u8 = 0x82;
@@ -694,6 +743,7 @@ const OP_R_OK: u8 = 0x85;
 const OP_R_PROFILE: u8 = 0x87;
 const OP_R_METRICS: u8 = 0x88;
 const OP_R_MUTATED: u8 = 0x89;
+const OP_R_SYNCED: u8 = 0x8a;
 const OP_R_ERROR: u8 = 0xff;
 
 fn write_tuple(p: &mut Vec<u8>, values: &[String]) {
@@ -877,6 +927,10 @@ impl Request {
                 }
                 OP_MUTATE
             }
+            Request::Sync { db } => {
+                write_str(&mut p, db);
+                OP_SYNC
+            }
         };
         (opcode, p)
     }
@@ -944,6 +998,9 @@ impl Request {
                 }
                 Request::Mutate { db, ops }
             }
+            OP_SYNC => Request::Sync {
+                db: read_str(buf, &mut pos)?,
+            },
             other => return Err(format!("unknown request opcode 0x{other:02x}")),
         };
         if pos != buf.len() {
@@ -1049,6 +1106,16 @@ impl Response {
                 for v in [s.mutations_applied, s.delta_bags_touched, s.delta_fallbacks] {
                     write_uleb(&mut p, v);
                 }
+                // v7 trailing fields: per-database durability status, in
+                // the same order as the db list above. Optional on decode
+                // like the earlier blocks.
+                for d in &s.dbs {
+                    write_uleb(&mut p, d.mutation_seq);
+                    write_uleb(&mut p, d.durable_seq);
+                    let flags = u8::from(d.persisted) | (u8::from(d.read_only) << 1);
+                    p.push(flags);
+                    write_uleb(&mut p, d.recovered_records);
+                }
                 OP_R_STATS
             }
             Response::Ok { epoch } => {
@@ -1077,6 +1144,16 @@ impl Response {
                 write_uleb(&mut p, *changed);
                 write_uleb(&mut p, *mutation_seq);
                 OP_R_MUTATED
+            }
+            Response::Synced {
+                epoch,
+                mutation_seq,
+                durable_seq,
+            } => {
+                write_uleb(&mut p, *epoch);
+                write_uleb(&mut p, *mutation_seq);
+                write_uleb(&mut p, *durable_seq);
+                OP_R_SYNCED
             }
             Response::Error {
                 code,
@@ -1172,6 +1249,7 @@ impl Response {
                         epoch: read_uleb(buf, &mut pos)?,
                         fingerprint: read_u64_le(buf, &mut pos)?,
                         tuples: read_uleb(buf, &mut pos)?,
+                        ..DbSummary::default()
                     });
                 }
                 // v4 trailing planner counters; absent in v3 replies.
@@ -1186,6 +1264,17 @@ impl Response {
                 if pos != buf.len() {
                     for v in &mut mutation {
                         *v = read_uleb(buf, &mut pos)?;
+                    }
+                }
+                // v7 trailing per-db durability status; absent before v7.
+                if pos != buf.len() {
+                    for d in &mut dbs {
+                        d.mutation_seq = read_uleb(buf, &mut pos)?;
+                        d.durable_seq = read_uleb(buf, &mut pos)?;
+                        let flags = take_u8(buf, &mut pos)?;
+                        d.persisted = flags & 1 != 0;
+                        d.read_only = flags & 2 != 0;
+                        d.recovered_records = read_uleb(buf, &mut pos)?;
                     }
                 }
                 Response::Stats(StatsReply {
@@ -1244,6 +1333,11 @@ impl Response {
             OP_R_MUTATED => Response::Mutated {
                 changed: read_uleb(buf, &mut pos)?,
                 mutation_seq: read_uleb(buf, &mut pos)?,
+            },
+            OP_R_SYNCED => Response::Synced {
+                epoch: read_uleb(buf, &mut pos)?,
+                mutation_seq: read_uleb(buf, &mut pos)?,
+                durable_seq: read_uleb(buf, &mut pos)?,
             },
             OP_R_ERROR => {
                 let code =
@@ -1360,6 +1454,83 @@ mod tests {
     }
 
     #[test]
+    fn sync_frames_roundtrip() {
+        roundtrip_request(Request::Sync { db: "main".into() });
+        roundtrip_response(Response::Synced {
+            epoch: 3,
+            mutation_seq: 91,
+            durable_seq: 91,
+        });
+        roundtrip_response(Response::Synced {
+            epoch: 1,
+            mutation_seq: u64::MAX,
+            durable_seq: 0,
+        });
+    }
+
+    #[test]
+    fn stats_with_durability_flags_roundtrips() {
+        roundtrip_response(Response::Stats(StatsReply {
+            dbs: vec![
+                DbSummary {
+                    name: "a".into(),
+                    epoch: 1,
+                    fingerprint: 7,
+                    tuples: 4,
+                    mutation_seq: 10,
+                    durable_seq: 6,
+                    persisted: true,
+                    read_only: true,
+                    recovered_records: 0,
+                },
+                DbSummary {
+                    name: "b".into(),
+                    epoch: 2,
+                    fingerprint: 8,
+                    tuples: 5,
+                    ..DbSummary::default()
+                },
+            ],
+            ..StatsReply::default()
+        }));
+    }
+
+    #[test]
+    fn v6_stats_without_durability_block_still_parses() {
+        // A v6 peer stops after the mutation counters; the v7 decoder
+        // must treat the per-db durability block as absent, not truncated.
+        let mut p = Vec::new();
+        for v in 0..12u64 {
+            write_uleb(&mut p, v);
+        }
+        write_uleb(&mut p, 1); // one db
+        write_str(&mut p, "main");
+        write_uleb(&mut p, 4); // epoch
+        write_u64_le(&mut p, 99); // fingerprint
+        write_uleb(&mut p, 12); // tuples
+        for v in 0..6u64 {
+            write_uleb(&mut p, v); // planner block
+        }
+        for v in 0..3u64 {
+            write_uleb(&mut p, v); // mutation block
+        }
+        let frame = Frame {
+            version: V6,
+            req_id: 0,
+            opcode: OP_R_STATS,
+            payload: p,
+        };
+        let Response::Stats(s) = Response::decode(&frame).unwrap() else {
+            panic!("expected stats");
+        };
+        assert_eq!(s.dbs.len(), 1);
+        assert_eq!(s.dbs[0].mutation_seq, 0);
+        assert_eq!(s.dbs[0].durable_seq, 0);
+        assert!(!s.dbs[0].persisted);
+        assert!(!s.dbs[0].read_only);
+    }
+
+    #[test]
     fn hostile_mutation_frames_are_rejected_cleanly() {
         // A batch whose declared op count is over the cap.
         let mut p = Vec::new();
@@ -1446,6 +1617,11 @@ mod tests {
                 epoch: 2,
                 fingerprint: 42,
                 tuples: 17,
+                mutation_seq: 9,
+                durable_seq: 8,
+                persisted: true,
+                read_only: false,
+                recovered_records: 3,
             }],
             planner_blocks_solved: 321,
             planner_memo_hits: 100,

@@ -117,6 +117,20 @@ pub struct ServerConfig {
     /// (see [`crate::mutation`]); `0` disables materialization, so
     /// mutations only invalidate.
     pub materialize_cap: usize,
+    /// Durable root (`--data-dir`). `None` (the default) keeps the v6
+    /// in-memory behavior: no WAL, no snapshots, no recovery.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// WAL fsync policy (`--durability`); ignored without `data_dir`.
+    pub durability: crate::durable::DurabilityPolicy,
+    /// Snapshot + WAL-truncate after this many logged batches (`0`
+    /// disables the threshold; `RELOAD` and `SYNC` still snapshot).
+    pub snapshot_every: u64,
+    /// Fault injection: fail every WAL write after the first N
+    /// (`--wal-fail-after`), flipping the database read-only.
+    pub wal_fail_after: Option<u64>,
+    /// Fault injection: abort the process at a durability kill-point
+    /// (`--crash-at`, or seeded via `--fault-profile crash`).
+    pub crash_plan: Option<Arc<crate::faults::CrashPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -139,6 +153,11 @@ impl Default for ServerConfig {
             fault_seed: 0,
             trace_log: None,
             materialize_cap: 32,
+            data_dir: None,
+            durability: crate::durable::DurabilityPolicy::Batch,
+            snapshot_every: 4096,
+            wal_fail_after: None,
+            crash_plan: None,
         }
     }
 }
@@ -159,6 +178,11 @@ pub struct DbState {
     /// Content fingerprint at install time (observability only —
     /// correctness comes from the epoch and the mutation sweeps).
     pub fingerprint: u64,
+    /// Durable state (WAL + snapshots) when the server has a
+    /// `--data-dir`; `None` keeps the database memory-only. `RELOAD`
+    /// re-uses the same handle across epochs — old-epoch WAL records are
+    /// discarded at replay by the epoch check.
+    pub(crate) durable: Option<Arc<crate::durable::DbDurable>>,
 }
 
 /// Request-latency buckets in microseconds: sub-millisecond cache hits up
@@ -192,6 +216,7 @@ pub(crate) struct Metrics {
     req_insert: Counter,
     req_delete: Counter,
     req_mutate: Counter,
+    req_sync: Counter,
     // Per-ErrorCode outcome counters (`cqcount_errors_total{code=...}`).
     err_protocol: Counter,
     err_parse: Counter,
@@ -200,6 +225,7 @@ pub(crate) struct Metrics {
     err_budget_exceeded: Counter,
     err_overloaded: Counter,
     err_internal: Counter,
+    err_read_only: Counter,
     degraded: Counter,
     panicked: Counter,
     pub(crate) reaped: Counter,
@@ -226,6 +252,27 @@ pub(crate) struct Metrics {
     /// Mutations that dropped a materialization and fell back to
     /// targeted invalidation.
     pub(crate) delta_fallbacks: Counter,
+    /// WAL records appended (one per effective mutation batch).
+    pub(crate) wal_records: Counter,
+    /// Bytes appended to WALs.
+    pub(crate) wal_bytes: Counter,
+    /// Completed WAL fsyncs.
+    pub(crate) wal_fsyncs: Counter,
+    /// Snapshots written (threshold, `SYNC`, and `RELOAD`).
+    pub(crate) snapshots: Counter,
+    /// WAL records replayed during startup recovery.
+    pub(crate) wal_replayed: Counter,
+    /// Snapshots successfully loaded during startup recovery.
+    pub(crate) recovery_snapshots: Counter,
+    /// Torn WAL tails truncated during recovery (expected crash residue).
+    pub(crate) recovery_torn: Counter,
+    /// Corrupt WAL records or snapshots hit during recovery (never
+    /// expected; the crash-smoke CI gate demands zero).
+    pub(crate) recovery_corrupt: Counter,
+    /// WAL bytes discarded by recovery truncation.
+    pub(crate) recovery_truncated_bytes: Counter,
+    /// Databases currently read-only (scrape-time gauge).
+    pub(crate) read_only_dbs: Gauge,
 }
 
 impl Metrics {
@@ -264,6 +311,7 @@ impl Metrics {
             req_insert: req("insert"),
             req_delete: req("delete"),
             req_mutate: req("mutate"),
+            req_sync: req("sync"),
             err_protocol: err("protocol"),
             err_parse: err("parse"),
             err_unknown_db: err("unknown_db"),
@@ -271,6 +319,7 @@ impl Metrics {
             err_budget_exceeded: err("budget_exceeded"),
             err_overloaded: err("overloaded"),
             err_internal: err("internal"),
+            err_read_only: err("read_only"),
             degraded: r.counter(
                 "cqcount_degraded_total",
                 "Counts served by a degraded (fallback) plan.",
@@ -335,6 +384,40 @@ impl Metrics {
                 "cqcount_delta_fallbacks_total",
                 "Materializations dropped mid-mutation (fell back to cache invalidation).",
             ),
+            wal_records: r.counter(
+                "cqcount_wal_records_total",
+                "WAL records appended (one per effective mutation batch).",
+            ),
+            wal_bytes: r.counter("cqcount_wal_bytes_total", "Bytes appended to WALs."),
+            wal_fsyncs: r.counter("cqcount_wal_fsyncs_total", "Completed WAL fsyncs."),
+            snapshots: r.counter(
+                "cqcount_snapshots_written_total",
+                "Checksummed snapshots written (threshold, SYNC, and RELOAD).",
+            ),
+            wal_replayed: r.counter(
+                "cqcount_wal_records_replayed_total",
+                "WAL records replayed during startup recovery.",
+            ),
+            recovery_snapshots: r.counter(
+                "cqcount_recovery_snapshots_loaded_total",
+                "Snapshots successfully loaded during startup recovery.",
+            ),
+            recovery_torn: r.counter(
+                "cqcount_recovery_torn_tails_total",
+                "Torn WAL tails truncated during recovery (normal crash residue).",
+            ),
+            recovery_corrupt: r.counter(
+                "cqcount_recovery_corrupt_records_total",
+                "Corrupt WAL records or snapshots found during recovery.",
+            ),
+            recovery_truncated_bytes: r.counter(
+                "cqcount_recovery_truncated_bytes_total",
+                "WAL bytes discarded by recovery truncation.",
+            ),
+            read_only_dbs: r.gauge(
+                "cqcount_read_only_dbs",
+                "Databases currently degraded to read-only after a durability failure.",
+            ),
             registry: r,
         }
     }
@@ -376,6 +459,7 @@ impl Metrics {
             Request::Insert { .. } => &self.req_insert,
             Request::Delete { .. } => &self.req_delete,
             Request::Mutate { .. } => &self.req_mutate,
+            Request::Sync { .. } => &self.req_sync,
         }
     }
 
@@ -389,6 +473,7 @@ impl Metrics {
             ErrorCode::BudgetExceeded => &self.err_budget_exceeded,
             ErrorCode::Overloaded => &self.err_overloaded,
             ErrorCode::Internal => &self.err_internal,
+            ErrorCode::ReadOnly => &self.err_read_only,
         }
     }
 }
@@ -407,6 +492,7 @@ pub(crate) fn op_name(r: &Request) -> &'static str {
         Request::Insert { .. } => "insert",
         Request::Delete { .. } => "delete",
         Request::Mutate { .. } => "mutate",
+        Request::Sync { .. } => "sync",
     }
 }
 
@@ -421,6 +507,11 @@ impl TraceSink {
     /// Appends a batch of newline-terminated JSON lines.
     pub(crate) fn append(&self, batch: &str) {
         let _ = self.file.lock().unwrap().write_all(batch.as_bytes());
+    }
+
+    /// Pushes buffered lines to disk on graceful shutdown.
+    pub(crate) fn sync(&self) {
+        let _ = self.file.lock().unwrap().sync_all();
     }
 }
 
@@ -437,6 +528,9 @@ pub(crate) struct Shared {
     /// Live materialized counts, patched in place by mutations.
     pub(crate) materialized: crate::mutation::MaterializedSet,
     pub(crate) injector: Option<Arc<FaultInjector>>,
+    /// Durable root (`--data-dir`): WAL + snapshot configuration shared
+    /// by every database; `None` keeps the server memory-only.
+    pub(crate) durable_store: Option<crate::durable::DurableStore>,
     pub(crate) stop: AtomicBool,
     /// Open trace-log sink (`--trace-log`).
     pub(crate) trace: Option<TraceSink>,
@@ -465,11 +559,22 @@ impl Shared {
             .read()
             .unwrap()
             .iter()
-            .map(|(name, st)| DbSummary {
-                name: name.clone(),
-                epoch: st.epoch,
-                fingerprint: st.fingerprint,
-                tuples: st.db.read().unwrap().total_tuples() as u64,
+            .map(|(name, st)| {
+                let (tuples, mutation_seq) = {
+                    let db = st.db.read().unwrap();
+                    (db.total_tuples() as u64, db.mutation_seq())
+                };
+                DbSummary {
+                    name: name.clone(),
+                    epoch: st.epoch,
+                    fingerprint: st.fingerprint,
+                    tuples,
+                    mutation_seq,
+                    durable_seq: st.durable.as_ref().map_or(0, |d| d.durable_seq()),
+                    persisted: st.durable.is_some(),
+                    read_only: st.durable.as_ref().is_some_and(|d| d.read_only()),
+                    recovered_records: st.durable.as_ref().map_or(0, |d| d.recovered_records),
+                }
             })
             .collect();
         dbs.sort_by(|a, b| a.name.cmp(&b.name));
@@ -505,29 +610,102 @@ impl Shared {
         self.metrics
             .faults_injected
             .set(self.injector.as_ref().map_or(0, |i| i.injected()));
+        let read_only = self
+            .dbs
+            .read()
+            .unwrap()
+            .values()
+            .filter(|st| st.durable.as_ref().is_some_and(|d| d.read_only()))
+            .count();
+        self.metrics.read_only_dbs.set(read_only as u64);
         self.metrics.registry.render()
     }
 
     fn install_db(&self, name: &str, db: Database) -> u64 {
         let fingerprint = db.fingerprint();
-        let epoch = {
+        let (epoch, state) = {
             let mut dbs = self.dbs.write().unwrap();
-            let epoch = dbs.get(name).map_or(1, |old| old.epoch + 1);
-            dbs.insert(
-                name.to_owned(),
-                Arc::new(DbState {
-                    db: RwLock::new(db),
-                    epoch,
-                    fingerprint,
-                }),
-            );
-            epoch
+            let old = dbs.get(name);
+            let epoch = old.map_or(1, |old| old.epoch + 1);
+            // Re-use the previous durable handle across reloads: the WAL
+            // file and read-only status belong to the *name*, not the
+            // epoch. An old-epoch record that slips in before the
+            // post-install snapshot truncates the log is discarded at
+            // replay by the epoch check — same semantics as the
+            // in-memory reload (the old contents vanish).
+            let durable = match old {
+                Some(old) => old.durable.clone(),
+                None => self
+                    .durable_store
+                    .as_ref()
+                    .map(|s| Arc::new(s.open_db(name))),
+            };
+            let state = Arc::new(DbState {
+                db: RwLock::new(db),
+                epoch,
+                fingerprint,
+                durable,
+            });
+            dbs.insert(name.to_owned(), Arc::clone(&state));
+            (epoch, state)
         };
         // The bump made every older-epoch artifact unaddressable; reclaim
         // the memory now instead of waiting for FIFO churn.
         self.counts.purge_epochs_below(name, epoch);
         self.materialized.purge_epochs_below(name, epoch);
+        // Persist the new contents before acknowledging the reload: a
+        // crash after the `Ok` must recover the *new* database. Under the
+        // read lock — a mutation racing the install lands either before
+        // the snapshot (included, its WAL record truncated) or after
+        // (logged against the fresh, already-truncated WAL).
+        if let Some(d) = &state.durable {
+            let guard = state.db.read().unwrap();
+            match d.sync_and_snapshot(&guard, epoch) {
+                Ok(()) => self.metrics.snapshots.inc(),
+                Err(e) => d.set_read_only(format!("reload snapshot failed: {e}")),
+            }
+        }
         epoch
+    }
+
+    /// Installs a recovered database at its pre-crash epoch with its
+    /// durable handle, folding the recovery evidence into the metrics.
+    fn install_recovered(
+        &self,
+        name: &str,
+        rec: crate::snapshot::Recovered,
+        handle: crate::durable::DbDurable,
+    ) {
+        let m = &self.metrics;
+        m.wal_replayed.add(rec.replayed);
+        m.recovery_snapshots.add(u64::from(rec.snapshot_loaded));
+        m.recovery_torn.add(u64::from(rec.torn));
+        m.recovery_corrupt
+            .add(u64::from(rec.corrupt) + rec.snapshots_skipped);
+        m.recovery_truncated_bytes.add(rec.truncated_bytes);
+        eprintln!(
+            "cqcountd: recovered db {name:?}: epoch {}, seq {}, {} tuples \
+             (snapshot: {}, replayed {} records, truncated {} bytes{}{})",
+            rec.epoch,
+            rec.db.mutation_seq(),
+            rec.db.total_tuples(),
+            if rec.snapshot_loaded { "yes" } else { "no" },
+            rec.replayed,
+            rec.truncated_bytes,
+            if rec.torn { ", torn tail" } else { "" },
+            if rec.corrupt || rec.snapshots_skipped > 0 {
+                ", CORRUPT records seen"
+            } else {
+                ""
+            },
+        );
+        let state = Arc::new(DbState {
+            fingerprint: rec.db.fingerprint(),
+            db: RwLock::new(rec.db),
+            epoch: rec.epoch.max(1),
+            durable: Some(Arc::new(handle)),
+        });
+        self.dbs.write().unwrap().insert(name.to_owned(), state);
     }
 }
 
@@ -604,6 +782,9 @@ impl ServerHandle {
         for t in self.reactor_threads.drain(..) {
             let _ = t.join();
         }
+        if let Some(trace) = &self.shared.trace {
+            trace.sync();
+        }
     }
 }
 
@@ -637,9 +818,16 @@ pub fn serve(
         .fault_profile
         .is_active()
         .then(|| FaultInjector::new(config.fault_profile.clone(), config.fault_seed));
+    // Append, never truncate: a daemon restart must not wipe the trace
+    // history a previous run already paid to record.
     let trace = match &config.trace_log {
         Some(path) => Some(TraceSink {
-            file: Mutex::new(std::fs::File::create(path)?),
+            file: Mutex::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            ),
         }),
         None => None,
     };
@@ -661,6 +849,19 @@ pub fn serve(
     // Level 0 sized to the larger cache tier it fronts.
     let fingerprints = FingerprintCache::new(config.count_cache_cap.max(config.plan_cache_cap));
     let nshards = reactor_count(&config);
+    let durable_store = config.data_dir.clone().map(|dir| {
+        let crash = config.crash_plan.clone().or_else(|| {
+            (config.fault_profile.label == "crash")
+                .then(|| Arc::new(crate::faults::CrashPlan::from_seed(config.fault_seed)))
+        });
+        crate::durable::DurableStore::new(
+            dir,
+            config.durability,
+            config.snapshot_every,
+            config.wal_fail_after,
+            crash,
+        )
+    });
     let shared = Arc::new(Shared {
         plans,
         counts,
@@ -669,13 +870,27 @@ pub fn serve(
         materialized,
         dbs: RwLock::new(HashMap::new()),
         injector,
+        durable_store,
         stop: AtomicBool::new(false),
         trace,
         trace_seq: AtomicU64::new(0),
         config,
     });
+    // Crash recovery comes first and wins over `initial`: a database that
+    // lived through mutations has state the boot-time facts file cannot
+    // know about. Names only on the command line still install (and get
+    // their first snapshot via `install_db`).
+    let mut recovered_names = std::collections::HashSet::new();
+    if let Some(store) = &shared.durable_store {
+        for (name, rec, handle) in store.recover_all()? {
+            recovered_names.insert(name.clone());
+            shared.install_recovered(&name, rec, handle);
+        }
+    }
     for (name, db) in initial {
-        shared.install_db(&name, db);
+        if !recovered_names.contains(&name) {
+            shared.install_db(&name, db);
+        }
     }
     let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(shared.config.queue_cap));
     let (set, pipes) = ReactorSet::new(nshards)?;
@@ -899,6 +1114,7 @@ pub(crate) fn counting_op(r: &Request) -> bool {
             | Request::Insert { .. }
             | Request::Delete { .. }
             | Request::Mutate { .. }
+            | Request::Sync { .. }
     )
 }
 
@@ -1154,6 +1370,7 @@ fn run_job(shared: &Shared, request: &Request, faults: JobFaults) -> Response {
             let (db, ops) = crate::mutation::ops_of(request).expect("mutation request");
             crate::mutation::run_mutation(shared, db, &ops)
         }
+        Request::Sync { db } => crate::mutation::run_sync(shared, db),
         // Admin requests are answered inline by the connection thread.
         _ => Response::Error {
             code: ErrorCode::Internal,

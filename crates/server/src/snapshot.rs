@@ -1,0 +1,383 @@
+//! Checksummed database snapshots and the startup recovery path.
+//!
+//! A snapshot is one self-verifying file holding a database's full
+//! content plus the `(epoch, mutation_seq)` point it captures:
+//!
+//! ```text
+//! "CQSNAP1\n" | body | u32 crc32(body) LE
+//! body = uleb epoch | uleb mutation_seq | uleb nrels
+//!        nrels × (str name | uleb arity | uleb ntuples
+//!                 | ntuples × arity × str value)
+//! ```
+//!
+//! relations sorted by name, `str` the protocol's length-prefixed UTF-8.
+//! The body is a *binary* dump rather than facts text: live mutations may
+//! insert constants that are arbitrary protocol strings (spaces, quotes,
+//! parentheses), which do not round-trip through the datalog parser. The
+//! DESIGN.md durability section records this deviation from the original
+//! facts-text sketch.
+//!
+//! Writes are atomic: encode to `snapshot.tmp`, fsync, rename onto
+//! `snap-<epoch>-<seq>.cqs` (fixed-width hex, so lexicographic order is
+//! recovery order), fsync the directory, prune to the newest
+//! [`KEEP_SNAPSHOTS`]. Recovery walks snapshots newest-first, takes the
+//! first one whose CRC checks out, then replays the WAL tail strictly
+//! above its sequence — see [`recover_db`] for the exact skip/stop rules.
+
+use crate::protocol::{read_str, read_uleb, write_str, write_uleb};
+use crate::wal::{scan_wal, truncate_to, wal_path};
+use cqcount_relational::Database;
+use std::fs::{self, File};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"CQSNAP1\n";
+const TMP_FILE: &str = "snapshot.tmp";
+/// How many generations survive pruning. Two: the newest, plus its
+/// predecessor as a fallback if the newest turns out unreadable later.
+const KEEP_SNAPSHOTS: usize = 2;
+
+/// CRC-32 shared with the WAL (same polynomial, same table).
+use crate::wal::crc32;
+
+/// Encodes the snapshot body for `db` at `(epoch, seq)`.
+fn encode_body(db: &Database, epoch: u64, seq: u64) -> Vec<u8> {
+    let mut rels: Vec<_> = db.relations().collect();
+    rels.sort_by_key(|(name, _)| name.to_owned());
+    let mut body = Vec::with_capacity(64 + db.total_tuples() * 16);
+    write_uleb(&mut body, epoch);
+    write_uleb(&mut body, seq);
+    write_uleb(&mut body, rels.len() as u64);
+    let interner = db.interner();
+    for (name, rel) in rels {
+        write_str(&mut body, name);
+        write_uleb(&mut body, rel.arity() as u64);
+        write_uleb(&mut body, rel.len() as u64);
+        for tuple in rel.iter() {
+            for &v in tuple.iter() {
+                write_str(&mut body, interner.name(v));
+            }
+        }
+    }
+    body
+}
+
+/// Decodes and verifies a snapshot file's bytes.
+fn decode(bytes: &[u8]) -> Result<(Database, u64, u64), String> {
+    let rest = bytes.strip_prefix(MAGIC).ok_or("bad snapshot magic")?;
+    if rest.len() < 4 {
+        return Err("snapshot too short for checksum".into());
+    }
+    let (body, crc_bytes) = rest.split_at(rest.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if crc32(body) != stored {
+        return Err("snapshot checksum mismatch".into());
+    }
+    let mut pos = 0usize;
+    let epoch = read_uleb(body, &mut pos)?;
+    let seq = read_uleb(body, &mut pos)?;
+    let nrels = read_uleb(body, &mut pos)?;
+    let mut db = Database::default();
+    for _ in 0..nrels {
+        let name = read_str(body, &mut pos)?;
+        let arity = read_uleb(body, &mut pos)? as usize;
+        if arity > crate::protocol::MAX_TUPLE_ARITY {
+            return Err(format!("snapshot claims arity {arity}"));
+        }
+        let ntuples = read_uleb(body, &mut pos)?;
+        db.ensure_relation(&name, arity);
+        for _ in 0..ntuples {
+            let mut values = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                values.push(read_str(body, &mut pos)?);
+            }
+            let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+            db.add_fact(&name, &refs);
+        }
+    }
+    if pos != body.len() {
+        return Err("trailing bytes in snapshot body".into());
+    }
+    db.set_mutation_seq(seq);
+    Ok((db, epoch, seq))
+}
+
+fn snap_file_name(epoch: u64, seq: u64) -> String {
+    format!("snap-{epoch:016x}-{seq:016x}.cqs")
+}
+
+/// Atomically writes a snapshot of `db` into `db_dir` and prunes old
+/// generations. Returns the encoded size in bytes. `mid_crash` fires
+/// between the durable temp file and the rename — the `mid-snapshot`
+/// kill-point: a crash there must leave the previous snapshot intact.
+pub(crate) fn write_snapshot(
+    db_dir: &Path,
+    db: &Database,
+    epoch: u64,
+    mid_crash: impl Fn(),
+) -> std::io::Result<u64> {
+    let seq = db.mutation_seq();
+    let body = encode_body(db, epoch, seq);
+    let tmp = db_dir.join(TMP_FILE);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(MAGIC)?;
+        f.write_all(&body)?;
+        f.write_all(&crc32(&body).to_le_bytes())?;
+        f.sync_data()?;
+    }
+    mid_crash();
+    let dest = db_dir.join(snap_file_name(epoch, seq));
+    fs::rename(&tmp, &dest)?;
+    if let Ok(dir) = File::open(db_dir) {
+        let _ = dir.sync_all();
+    }
+    prune_snapshots(db_dir);
+    Ok(MAGIC.len() as u64 + body.len() as u64 + 4)
+}
+
+fn snapshot_files(db_dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    if let Ok(entries) = fs::read_dir(db_dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("snap-") && name.ends_with(".cqs") {
+                files.push(entry.path());
+            }
+        }
+    }
+    // Fixed-width hex names: lexicographic == (epoch, seq) order.
+    files.sort();
+    files
+}
+
+fn prune_snapshots(db_dir: &Path) {
+    let files = snapshot_files(db_dir);
+    if files.len() > KEEP_SNAPSHOTS {
+        for old in &files[..files.len() - KEEP_SNAPSHOTS] {
+            let _ = fs::remove_file(old);
+        }
+    }
+}
+
+/// Everything recovery learned about one database directory.
+pub(crate) struct Recovered {
+    /// The rebuilt database (empty if nothing valid was on disk).
+    pub(crate) db: Database,
+    /// Epoch of the recovered instance (1 if starting fresh).
+    pub(crate) epoch: u64,
+    /// Whether a valid snapshot was loaded.
+    pub(crate) snapshot_loaded: bool,
+    /// Snapshot files that failed verification before one succeeded.
+    pub(crate) snapshots_skipped: u64,
+    /// WAL records replayed on top of the snapshot.
+    pub(crate) replayed: u64,
+    /// Bytes of torn/corrupt WAL tail truncated away.
+    pub(crate) truncated_bytes: u64,
+    /// The WAL ended in an incomplete record (normal crash residue).
+    pub(crate) torn: bool,
+    /// A complete WAL record or snapshot failed verification.
+    pub(crate) corrupt: bool,
+}
+
+/// Rebuilds one database from its directory: newest valid snapshot plus
+/// the WAL tail.
+///
+/// Replay rules, in order per record:
+/// * `epoch != snapshot epoch` → stop (a reload superseded the tail;
+///   its snapshot is the one we just loaded or a newer one that was
+///   lost — either way the tail is not applicable).
+/// * `seq_after <= snapshot seq` → skip (already folded in).
+/// * apply the ops; if any op fails or the resulting `mutation_seq`
+///   disagrees with `seq_after`, the log diverged from its base — stop
+///   and treat the rest as corrupt.
+///
+/// The file is then truncated to the last applied boundary, so the next
+/// append starts clean. If *no* valid snapshot exists but snapshot files
+/// were present (all corrupt), the WAL has lost its base state: recovery
+/// starts empty and does **not** replay, reporting corruption instead of
+/// guessing.
+pub(crate) fn recover_db(db_dir: &Path) -> std::io::Result<Recovered> {
+    let mut skipped = 0u64;
+    let mut loaded: Option<(Database, u64, u64)> = None;
+    let files = snapshot_files(db_dir);
+    let had_snapshots = !files.is_empty();
+    for path in files.iter().rev() {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        match decode(&bytes) {
+            Ok(parsed) => {
+                loaded = Some(parsed);
+                break;
+            }
+            Err(_) => skipped += 1,
+        }
+    }
+    let snapshot_loaded = loaded.is_some();
+    let (mut db, epoch, snap_seq) = loaded.unwrap_or_else(|| (Database::default(), 1, 0));
+
+    let wal = wal_path(db_dir);
+    let scan = scan_wal(&wal)?;
+    let mut replayed = 0u64;
+    let mut corrupt = scan.corrupt || (!snapshot_loaded && had_snapshots);
+    let mut valid_len = scan.valid_len;
+    if snapshot_loaded || !had_snapshots {
+        for (i, rec) in scan.records.iter().enumerate() {
+            if rec.epoch != epoch {
+                valid_len = scan.ends.get(i.wrapping_sub(1)).copied().unwrap_or(0);
+                break;
+            }
+            if rec.seq_after <= snap_seq {
+                continue;
+            }
+            let mut ok = true;
+            for op in &rec.ops {
+                let values: Vec<&str> = op.values.iter().map(String::as_str).collect();
+                let applied = if op.insert {
+                    db.insert_tuple(&op.rel, &values)
+                } else {
+                    db.delete_tuple(&op.rel, &values)
+                };
+                if !matches!(applied, Ok(true)) {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok || db.mutation_seq() != rec.seq_after {
+                corrupt = true;
+                valid_len = scan.ends.get(i.wrapping_sub(1)).copied().unwrap_or(0);
+                // Roll back to the last consistent point we can name.
+                db.set_mutation_seq(rec.seq_after);
+                break;
+            }
+            replayed += 1;
+        }
+    } else {
+        valid_len = 0;
+    }
+
+    let mut truncated_bytes = 0u64;
+    let file_len = fs::metadata(&wal).map(|m| m.len()).unwrap_or(0);
+    if file_len > valid_len {
+        truncated_bytes = file_len - valid_len;
+        truncate_to(&wal, valid_len)?;
+    }
+
+    Ok(Recovered {
+        db,
+        epoch,
+        snapshot_loaded,
+        snapshots_skipped: skipped,
+        replayed,
+        truncated_bytes,
+        torn: scan.torn,
+        corrupt,
+    })
+}
+
+/// Encodes a database name into a filesystem-safe directory name.
+/// Alphanumerics, `-` and `_` pass through; every other byte becomes
+/// `%XX`. Injective, so distinct names never collide on disk.
+pub(crate) fn encode_db_dir(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for b in name.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' => out.push(b as char),
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_db_dir`]; `None` for names that are not valid
+/// encodings (foreign files in the data dir are skipped, not fatal).
+pub(crate) fn decode_db_dir(dir: &str) -> Option<String> {
+    let bytes = dir.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let hi = char::from(hex[0]).to_digit(16)?;
+                let lo = char::from(hex[1]).to_digit(16)?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b @ (b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_') => {
+                out.push(b);
+                i += 1;
+            }
+            _ => return None,
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cqsnap_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_content_and_seq() {
+        let dir = tmpdir("rt");
+        let mut db = Database::default();
+        db.add_fact("r", &["a", "b"]);
+        db.add_fact("r", &["b", "c"]);
+        db.add_fact("s", &["weird value", "has (parens)."]);
+        db.insert_tuple("r", &["c", "d"]).unwrap();
+        let fp = db.fingerprint();
+        write_snapshot(&dir, &db, 3, || {}).unwrap();
+        let rec = recover_db(&dir).unwrap();
+        assert!(rec.snapshot_loaded);
+        assert_eq!(rec.epoch, 3);
+        assert_eq!(rec.db.mutation_seq(), 1);
+        assert_eq!(rec.db.fingerprint(), fp);
+        assert_eq!(rec.replayed, 0);
+        assert!(!rec.corrupt && !rec.torn);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_previous_generation() {
+        let dir = tmpdir("fallback");
+        let mut db = Database::default();
+        db.add_fact("r", &["a", "b"]);
+        write_snapshot(&dir, &db, 1, || {}).unwrap();
+        let old_fp = db.fingerprint();
+        db.insert_tuple("r", &["b", "c"]).unwrap();
+        write_snapshot(&dir, &db, 1, || {}).unwrap();
+        // Mangle the newest snapshot.
+        let newest = snapshot_files(&dir).pop().unwrap();
+        let mut bytes = fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&newest, &bytes).unwrap();
+        let rec = recover_db(&dir).unwrap();
+        assert!(rec.snapshot_loaded);
+        assert_eq!(rec.snapshots_skipped, 1);
+        assert_eq!(rec.db.fingerprint(), old_fp);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn db_dir_encoding_roundtrips() {
+        for name in ["main", "a b", "Ω/δ", "..", "%", "mixed_OK-9 %2F"] {
+            let enc = encode_db_dir(name);
+            assert!(enc
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'%'));
+            assert_eq!(decode_db_dir(&enc).as_deref(), Some(name));
+        }
+        assert_eq!(decode_db_dir("has space"), None);
+        assert_eq!(decode_db_dir("bad%zz"), None);
+    }
+}

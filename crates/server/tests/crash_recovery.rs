@@ -1,0 +1,264 @@
+//! Crash-recovery tests: a real `cqcountd` subprocess armed with a
+//! seeded kill-point (`--crash-at POINT:N`) aborts mid-durability; a
+//! clean restart over the same `--data-dir` must recover exactly the
+//! state the fsync policy promised. With `--durability always` and
+//! single-op batches the contract is sharp:
+//!
+//! * `pre-append` / `pre-fsync` — the dying batch was never made
+//!   durable: recovery lands on exactly the acked prefix.
+//! * `post-fsync` / `mid-snapshot` — the dying batch was fsynced before
+//!   the ack was lost: recovery lands on acked + 1 (the lost-reply case
+//!   the README procedure resolves via `durable_seq`).
+//!
+//! In every case: no acked batch is ever lost, no torn or corrupt
+//! record survives recovery, and resubmitting the full (idempotent,
+//! set-semantics) op stream converges to the uninterrupted run's state.
+
+use cqcount_core::count_brute_force;
+use cqcount_query::{parse_database, parse_program, ConjunctiveQuery};
+use cqcount_relational::Database;
+use cqcount_server::protocol::DbSummary;
+use cqcount_server::Client;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+const FACTS: &str = "r(v0, v1). r(v1, v2). s(v1, v0). s(v2, v2).";
+const QUERY: &str = "ans(A, B, C) :- r(A, B), s(B, C).";
+
+/// Planned op stream: distinct tuples (every insert effective, each
+/// joins `s(v1, v0)` so every batch moves the count), and re-running the
+/// whole stream is idempotent under set semantics.
+const STREAM_LEN: usize = 10;
+
+fn stream_tuple(i: usize) -> (String, String) {
+    (format!("u{i}"), "v1".to_string())
+}
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("cqcrash_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A running daemon subprocess, killed on drop so a failing assertion
+/// never leaks a listener.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(extra: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_cqcountd"))
+            .arg("--listen")
+            .arg("127.0.0.1:0")
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn cqcountd");
+        let stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+        let mut addr = None;
+        for line in stdout.lines() {
+            let line = line.expect("read daemon stdout");
+            if let Some(rest) = line.strip_prefix("listening on ") {
+                addr = Some(rest.to_string());
+                break;
+            }
+        }
+        let addr = addr.expect("daemon printed its listen address");
+        Daemon { child, addr }
+    }
+
+    /// Waits for the process to die on its own (the kill-point abort).
+    fn wait_for_abort(&mut self) {
+        let status = self.child.wait().expect("wait for daemon");
+        assert!(
+            !status.success(),
+            "the armed daemon must die by abort, got {status:?}"
+        );
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn parse_query() -> ConjunctiveQuery {
+    let (q, _) = parse_program(&format!("{FACTS}\n{QUERY}")).unwrap();
+    q.unwrap()
+}
+
+fn db_summary(client: &mut Client) -> DbSummary {
+    client
+        .stats()
+        .unwrap()
+        .dbs
+        .into_iter()
+        .find(|d| d.name == "main")
+        .expect("db present in stats")
+}
+
+/// Drives one full crash → recover → resume cycle and checks the exact
+/// durability contract for the kill point.
+///
+/// * `crash_at` — the `--crash-at POINT:N` spec arming the first run.
+/// * `extra` — additional daemon flags (e.g. `--snapshot-every`).
+/// * `expect_acked` — inserts the client must see acknowledged before
+///   the connection dies.
+/// * `expect_recovered` — effective batches the restarted daemon must
+///   hold (`acked` when the dying batch never hit disk, `acked + 1`
+///   when it was fsynced but unacked).
+fn crash_case(tag: &str, crash_at: &str, extra: &[&str], expect_acked: u64, expect_recovered: u64) {
+    let scratch = Scratch::new(tag);
+    let data_dir = scratch.path().join("data");
+    let facts_file = scratch.path().join("facts.dl");
+    std::fs::write(&facts_file, FACTS).unwrap();
+    let db_spec = format!("main={}", facts_file.display());
+    let data_spec = data_dir.display().to_string();
+    let base_args = ["--data-dir", &data_spec, "--durability", "always"];
+
+    // Per-record mirror states: index i is the database after i
+    // effective batches (every planned insert is effective).
+    let mut states = vec![parse_database(FACTS).unwrap()];
+    for i in 0..STREAM_LEN {
+        let mut next: Database = states[i].clone();
+        let (a, b) = stream_tuple(i);
+        assert!(next.insert_tuple("r", &[&a, &b]).unwrap());
+        states.push(next);
+    }
+
+    // Phase 1: armed run. Insert until the kill-point takes the process
+    // down mid-request.
+    let mut armed = Daemon::spawn(
+        &[
+            &base_args[..],
+            &["--db", &db_spec, "--crash-at", crash_at],
+            extra,
+        ]
+        .concat(),
+    );
+    let mut client = Client::connect(armed.addr.as_str()).unwrap();
+    let mut acked = 0u64;
+    for i in 0..STREAM_LEN {
+        let (a, b) = stream_tuple(i);
+        match client.insert("main", "r", &[&a, &b]) {
+            Ok(receipt) => {
+                assert_eq!(receipt.changed, 1);
+                assert_eq!(receipt.mutation_seq, acked + 1);
+                acked += 1;
+            }
+            Err(_) => break,
+        }
+    }
+    assert_eq!(acked, expect_acked, "{tag}: acked prefix before the crash");
+    armed.wait_for_abort();
+
+    // Phase 2: clean restart over the same data dir, no `--db` — the
+    // database must come back from the snapshot + WAL tail alone.
+    let recovered = Daemon::spawn(&base_args);
+    let mut client = Client::connect(recovered.addr.as_str()).unwrap();
+    let d = db_summary(&mut client);
+    assert!(
+        d.mutation_seq >= acked,
+        "{tag}: an acknowledged batch was lost ({} < {acked})",
+        d.mutation_seq
+    );
+    assert_eq!(
+        d.mutation_seq, expect_recovered,
+        "{tag}: recovered sequence"
+    );
+    let expected = &states[expect_recovered as usize];
+    assert_eq!(
+        d.fingerprint,
+        expected.fingerprint(),
+        "{tag}: recovered content must be the state after {expect_recovered} batches"
+    );
+    let q = parse_query();
+    let reply = client.count("main", QUERY, 0).unwrap();
+    assert_eq!(reply.value, count_brute_force(&q, expected).to_string());
+
+    // Recovery must have been clean: nothing corrupt, nothing torn (the
+    // dying record either reached the disk whole or not at all).
+    let metrics = client.metrics().unwrap();
+    for line in [
+        "cqcount_recovery_corrupt_records_total 0",
+        "cqcount_recovery_torn_tails_total 0",
+    ] {
+        assert!(
+            metrics.contains(line),
+            "{tag}: expected {line:?} in metrics"
+        );
+    }
+
+    // Phase 3: resume by resubmitting the full stream (set semantics:
+    // already-recovered inserts are no-ops). The end state must equal
+    // the uninterrupted run's.
+    for i in 0..STREAM_LEN {
+        let (a, b) = stream_tuple(i);
+        client.insert("main", "r", &[&a, &b]).unwrap();
+    }
+    let final_state = &states[STREAM_LEN];
+    let d = db_summary(&mut client);
+    assert_eq!(d.mutation_seq, STREAM_LEN as u64);
+    assert_eq!(
+        d.durable_seq, STREAM_LEN as u64,
+        "always fsyncs every batch"
+    );
+    let reply = client.count("main", QUERY, 0).unwrap();
+    assert_eq!(reply.value, count_brute_force(&q, final_state).to_string());
+}
+
+/// Abort before the WAL append: the dying batch left no trace.
+#[test]
+fn crash_pre_append_recovers_the_acked_prefix() {
+    crash_case("preappend", "pre-append:6", &[], 5, 5);
+}
+
+/// Abort after the (buffered) append but before fsync: the record dies
+/// in the process's write buffer, so it must NOT survive.
+#[test]
+fn crash_pre_fsync_loses_only_the_unacked_batch() {
+    crash_case("prefsync", "pre-fsync:6", &[], 5, 5);
+}
+
+/// Abort between fsync and acknowledgement: the batch is durable but
+/// the client never heard — the canonical lost-reply case.
+#[test]
+fn crash_post_fsync_keeps_the_fsynced_batch() {
+    crash_case("postfsync", "post-fsync:6", &[], 5, 6);
+}
+
+/// Abort mid-snapshot (after the temp file, before the rename). The
+/// WAL was fsynced before the snapshot started, so the triggering batch
+/// survives via replay, and the half-written snapshot must be ignored.
+/// Kill-point #2 because the boot-time install writes snapshot #1.
+#[test]
+fn crash_mid_snapshot_replays_the_wal_past_the_torn_snapshot() {
+    crash_case(
+        "midsnap",
+        "mid-snapshot:2",
+        &["--snapshot-every", "4"],
+        3,
+        4,
+    );
+}

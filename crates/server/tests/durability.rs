@@ -1,0 +1,514 @@
+//! Durability e2e tests (protocol v7): WAL + snapshot recovery through
+//! full server restarts, torn-tail truncation at arbitrary byte offsets,
+//! injected disk failures degrading to read-only, `SYNC` semantics, and
+//! the `RELOAD`-vs-`MUTATE` race. Crash-by-`abort()` recovery lives in
+//! `crash_recovery.rs` (it needs a subprocess); everything here restarts
+//! in-process, which exercises the identical recovery path.
+
+use cqcount_arith::prng::Rng;
+use cqcount_core::count_brute_force;
+use cqcount_query::{parse_database, parse_program, ConjunctiveQuery};
+use cqcount_relational::Database;
+use cqcount_server::protocol::{CacheTier, DbSummary, ErrorCode};
+use cqcount_server::{serve, Client, ClientError, DurabilityPolicy, ServerConfig, ServerHandle};
+use std::path::{Path, PathBuf};
+
+/// A unique scratch dir per test, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("cqdur_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn durable_config(dir: &Path, policy: DurabilityPolicy, snapshot_every: u64) -> ServerConfig {
+    ServerConfig {
+        data_dir: Some(dir.to_path_buf()),
+        durability: policy,
+        snapshot_every,
+        ..ServerConfig::default()
+    }
+}
+
+fn start(config: ServerConfig, facts: &str) -> ServerHandle {
+    let db = parse_database(facts).unwrap();
+    serve(config, vec![("main".into(), db)]).expect("bind loopback")
+}
+
+fn parse_query(facts: &str, query: &str) -> ConjunctiveQuery {
+    let (q, _) = parse_program(&format!("{facts}\n{query}")).unwrap();
+    q.unwrap()
+}
+
+fn db_summary(client: &mut Client, name: &str) -> DbSummary {
+    client
+        .stats()
+        .unwrap()
+        .dbs
+        .into_iter()
+        .find(|d| d.name == name)
+        .expect("db present in stats")
+}
+
+/// A seeded mutation stream applied both to the server and to a local
+/// mirror. Returns a mirror snapshot after every *effective* op (the WAL
+/// logs one record per effective batch; no-ops append nothing), with the
+/// pre-stream state at index 0 — so index i is the state a recovery that
+/// replayed i records must land on.
+fn apply_stream(
+    client: &mut Client,
+    mirror: &mut Database,
+    rng: &mut Rng,
+    nops: usize,
+) -> Vec<Database> {
+    let mut states = vec![mirror.clone()];
+    for _ in 0..nops {
+        let insert = rng.below(4) < 3;
+        let a = format!("v{}", rng.below(7));
+        let b = format!("v{}", rng.below(7));
+        let receipt = if insert {
+            client.insert("main", "r", &[&a, &b]).unwrap()
+        } else {
+            client.delete("main", "r", &[&a, &b]).unwrap()
+        };
+        let local = if insert {
+            mirror.insert_tuple("r", &[&a, &b]).unwrap()
+        } else {
+            mirror.delete_tuple("r", &[&a, &b]).unwrap()
+        };
+        assert_eq!(receipt.changed, local as u64, "receipt/mirror divergence");
+        assert_eq!(receipt.mutation_seq, mirror.mutation_seq());
+        if local {
+            states.push(mirror.clone());
+        }
+    }
+    states
+}
+
+const FACTS: &str = "r(v0, v1). r(v1, v2). s(v1, v0). s(v2, v2).";
+const QUERY: &str = "ans(A, B, C) :- r(A, B), s(B, C).";
+
+/// Restart with no snapshot threshold: every batch must come back from
+/// WAL replay alone, with the exact mutation sequence.
+#[test]
+fn restart_replays_wal_tail_exactly() {
+    let scratch = Scratch::new("replay");
+    let mut mirror = parse_database(FACTS).unwrap();
+    let mut rng = Rng::seed_from_u64(11);
+    let seq = {
+        let handle = start(
+            durable_config(scratch.path(), DurabilityPolicy::Always, 0),
+            FACTS,
+        );
+        let mut client = Client::connect(handle.local_addr()).unwrap();
+        apply_stream(&mut client, &mut mirror, &mut rng, 40);
+        let d = db_summary(&mut client, "main");
+        assert!(d.persisted, "db must report persistence");
+        assert_eq!(d.durable_seq, d.mutation_seq, "always fsyncs every batch");
+        d.mutation_seq
+        // handle drops: graceful shutdown
+    };
+    assert_eq!(seq, mirror.mutation_seq());
+
+    // Restart from disk only — no initial database at all. The stats
+    // fingerprint is computed at install, which for a recovered db *is*
+    // its recovered content.
+    let handle = serve(
+        durable_config(scratch.path(), DurabilityPolicy::Always, 0),
+        vec![],
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let d = db_summary(&mut client, "main");
+    assert_eq!(d.mutation_seq, seq, "recovered sequence must match");
+    assert_eq!(
+        d.fingerprint,
+        mirror.fingerprint(),
+        "recovered content must match the mirror"
+    );
+    assert!(d.recovered_records > 0, "all state came from WAL replay");
+    let q = parse_query(FACTS, QUERY);
+    let reply = client.count("main", QUERY, 0).unwrap();
+    assert_eq!(reply.value, count_brute_force(&q, &mirror).to_string());
+}
+
+/// A small snapshot threshold truncates the log: recovery loads the
+/// snapshot and replays only the records past it.
+#[test]
+fn snapshot_bounds_replay() {
+    let scratch = Scratch::new("snap");
+    let mut mirror = parse_database(FACTS).unwrap();
+    let mut rng = Rng::seed_from_u64(22);
+    {
+        let handle = start(
+            durable_config(scratch.path(), DurabilityPolicy::Batch, 8),
+            FACTS,
+        );
+        let mut client = Client::connect(handle.local_addr()).unwrap();
+        apply_stream(&mut client, &mut mirror, &mut rng, 30);
+    }
+    let handle = serve(
+        durable_config(scratch.path(), DurabilityPolicy::Batch, 8),
+        vec![],
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let d = db_summary(&mut client, "main");
+    assert_eq!(d.mutation_seq, mirror.mutation_seq());
+    assert_eq!(d.fingerprint, mirror.fingerprint());
+    assert!(
+        d.recovered_records < 8,
+        "snapshots must bound replay, got {} records",
+        d.recovered_records
+    );
+}
+
+/// Cuts the WAL at *every* byte offset of its tail region and restarts:
+/// recovery must never panic and must land exactly on the state after
+/// some acked prefix of batches (the longest whose records survived
+/// whole). Uses `off` so the full stream is in the log.
+#[test]
+fn torn_tail_recovers_a_clean_prefix_at_every_offset() {
+    let scratch = Scratch::new("torn");
+    let mut mirror = parse_database(FACTS).unwrap();
+    let mut rng = Rng::seed_from_u64(33);
+    let nops = 12;
+    let states = {
+        let handle = start(
+            durable_config(scratch.path(), DurabilityPolicy::Off, 0),
+            FACTS,
+        );
+        let mut client = Client::connect(handle.local_addr()).unwrap();
+        apply_stream(&mut client, &mut mirror, &mut rng, nops)
+    };
+    // The per-db dir is the only subdirectory; the WAL lives inside it.
+    let db_dir = std::fs::read_dir(scratch.path())
+        .unwrap()
+        .filter_map(Result::ok)
+        .find(|e| e.file_type().unwrap().is_dir())
+        .expect("db dir")
+        .path();
+    let wal = std::fs::read(db_dir.join("wal.log")).unwrap();
+    assert!(!wal.is_empty(), "off policy still writes the log");
+
+    // Record boundaries, re-derived from the framing (uleb len | crc | body),
+    // so each cut knows which prefix of batches must survive.
+    let mut ends = vec![0usize];
+    let mut pos = 0usize;
+    while pos < wal.len() {
+        let mut len = 0u64;
+        let mut shift = 0;
+        loop {
+            let b = wal[pos];
+            pos += 1;
+            len |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+        }
+        pos += 4 + len as usize;
+        ends.push(pos);
+    }
+    assert_eq!(
+        ends.len(),
+        states.len(),
+        "one record per effective batch (no-ops append nothing)"
+    );
+    assert!(ends.len() > 4, "the stream must produce enough records");
+
+    // Every byte offset in the last three records' span, plus 0.
+    let start_cut = ends[ends.len() - 4];
+    let cuts: Vec<usize> = std::iter::once(0).chain(start_cut..wal.len()).collect();
+    for cut in cuts {
+        std::fs::write(db_dir.join("wal.log"), &wal[..cut]).unwrap();
+        let prefix = ends.iter().filter(|&&e| e <= cut && e > 0).count();
+        let handle = serve(
+            durable_config(scratch.path(), DurabilityPolicy::Off, 0),
+            vec![],
+        )
+        .unwrap();
+        let mut client = Client::connect(handle.local_addr()).unwrap();
+        let d = db_summary(&mut client, "main");
+        assert_eq!(
+            d.fingerprint,
+            states[prefix].fingerprint(),
+            "cut at byte {cut}: expected the state after {prefix} records"
+        );
+        assert_eq!(d.mutation_seq, states[prefix].mutation_seq());
+        handle.shutdown();
+        // Recovery truncated the file to the last whole record; restore
+        // the full log for the next cut.
+        assert!(std::fs::metadata(db_dir.join("wal.log")).unwrap().len() <= cut as u64);
+    }
+}
+
+/// Flipping a byte *inside* an interior record is corruption, not a torn
+/// tail: recovery truncates at the previous record boundary and still
+/// serves, never panics.
+#[test]
+fn corrupt_interior_record_truncates_and_serves() {
+    let scratch = Scratch::new("corrupt");
+    let mut mirror = parse_database(FACTS).unwrap();
+    let mut rng = Rng::seed_from_u64(44);
+    let states = {
+        let handle = start(
+            durable_config(scratch.path(), DurabilityPolicy::Off, 0),
+            FACTS,
+        );
+        let mut client = Client::connect(handle.local_addr()).unwrap();
+        apply_stream(&mut client, &mut mirror, &mut rng, 10)
+    };
+    let db_dir = std::fs::read_dir(scratch.path())
+        .unwrap()
+        .filter_map(Result::ok)
+        .find(|e| e.file_type().unwrap().is_dir())
+        .unwrap()
+        .path();
+    let mut wal = std::fs::read(db_dir.join("wal.log")).unwrap();
+    let mid = wal.len() / 2;
+    wal[mid] ^= 0xff;
+    std::fs::write(db_dir.join("wal.log"), &wal).unwrap();
+
+    let handle = serve(
+        durable_config(scratch.path(), DurabilityPolicy::Off, 0),
+        vec![],
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let d = db_summary(&mut client, "main");
+    let prefix = states
+        .iter()
+        .position(|s| s.fingerprint() == d.fingerprint)
+        .expect("recovered state must be the state after some record prefix");
+    assert!(
+        prefix < states.len() - 1,
+        "a corrupted interior byte cannot preserve the full stream"
+    );
+    // The served count is the brute-force count of whatever prefix
+    // recovery landed on — never a torn/garbled hybrid.
+    let q = parse_query(FACTS, QUERY);
+    let reply = client.count("main", QUERY, 0).unwrap();
+    assert_eq!(
+        reply.value,
+        count_brute_force(&q, &states[prefix]).to_string()
+    );
+}
+
+/// Injected WAL write failures: the failing batch rolls back atomically,
+/// the database degrades to read-only (`ErrorCode::ReadOnly`, not
+/// retryable), counts keep serving, and a successful `SYNC` heals it.
+#[test]
+fn wal_write_failure_degrades_to_read_only_and_sync_heals() {
+    let scratch = Scratch::new("readonly");
+    let config = ServerConfig {
+        wal_fail_after: Some(3),
+        ..durable_config(scratch.path(), DurabilityPolicy::Always, 0)
+    };
+    let handle = start(config, FACTS);
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let mut mirror = parse_database(FACTS).unwrap();
+    for i in 0..3 {
+        let v = format!("x{i}");
+        client.insert("main", "r", &[&v, &v]).unwrap();
+        mirror.insert_tuple("r", &[&v, &v]).unwrap();
+    }
+
+    // The 4th append fails: rolled back, read-only, not retryable.
+    let err = client.insert("main", "r", &["y", "y"]).unwrap_err();
+    match err {
+        ClientError::Server { code, message, .. } => {
+            assert_eq!(code, ErrorCode::ReadOnly, "{message}");
+            assert!(message.contains("read-only"), "{message}");
+        }
+        other => panic!("expected a server error, got {other}"),
+    }
+    let d = db_summary(&mut client, "main");
+    assert!(d.read_only, "stats must flag the degradation");
+    assert_eq!(
+        d.mutation_seq,
+        mirror.mutation_seq(),
+        "failed batch must be rolled back"
+    );
+
+    // Counts keep serving the last consistent state.
+    let q = parse_query(FACTS, QUERY);
+    let reply = client.count("main", QUERY, 0).unwrap();
+    assert_eq!(reply.value, count_brute_force(&q, &mirror).to_string());
+
+    // Further mutations answer ReadOnly without touching state.
+    let err = client.delete("main", "r", &["x0", "x0"]).unwrap_err();
+    assert!(matches!(
+        err,
+        ClientError::Server {
+            code: ErrorCode::ReadOnly,
+            ..
+        }
+    ));
+
+    // SYNC snapshots without appending, so it succeeds and heals.
+    let receipt = client.sync("main").unwrap();
+    assert_eq!(receipt.durable_seq, mirror.mutation_seq());
+    let d = db_summary(&mut client, "main");
+    assert!(!d.read_only, "a successful snapshot cycle heals the flag");
+}
+
+/// `off` policy: `durable_seq` lags until `SYNC` forces a snapshot; the
+/// snapshot empties the WAL, and a restart needs no replay.
+#[test]
+fn sync_advances_durable_seq_and_truncates_the_log() {
+    let scratch = Scratch::new("sync");
+    let mut mirror = parse_database(FACTS).unwrap();
+    let mut rng = Rng::seed_from_u64(55);
+    {
+        let handle = start(
+            durable_config(scratch.path(), DurabilityPolicy::Off, 0),
+            FACTS,
+        );
+        let mut client = Client::connect(handle.local_addr()).unwrap();
+        apply_stream(&mut client, &mut mirror, &mut rng, 15);
+        let d = db_summary(&mut client, "main");
+        assert_eq!(d.durable_seq, 0, "off never fsyncs on the mutation path");
+        let receipt = client.sync("main").unwrap();
+        assert_eq!(receipt.mutation_seq, mirror.mutation_seq());
+        assert_eq!(receipt.durable_seq, mirror.mutation_seq());
+        let d = db_summary(&mut client, "main");
+        assert_eq!(d.durable_seq, d.mutation_seq);
+    }
+    let db_dir = std::fs::read_dir(scratch.path())
+        .unwrap()
+        .filter_map(Result::ok)
+        .find(|e| e.file_type().unwrap().is_dir())
+        .unwrap()
+        .path();
+    assert_eq!(
+        std::fs::metadata(db_dir.join("wal.log")).unwrap().len(),
+        0,
+        "the snapshot truncates the log"
+    );
+    let handle = serve(
+        durable_config(scratch.path(), DurabilityPolicy::Off, 0),
+        vec![],
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let d = db_summary(&mut client, "main");
+    assert_eq!(d.recovered_records, 0, "everything came from the snapshot");
+    assert_eq!(d.fingerprint, mirror.fingerprint());
+    assert_eq!(d.mutation_seq, mirror.mutation_seq());
+}
+
+/// `SYNC` against a server with no `--data-dir` answers honestly:
+/// `durable_seq` 0, nothing on disk.
+#[test]
+fn sync_without_data_dir_reports_nothing_durable() {
+    let handle = start(ServerConfig::default(), FACTS);
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client.insert("main", "r", &["a", "b"]).unwrap();
+    let receipt = client.sync("main").unwrap();
+    assert_eq!(receipt.durable_seq, 0);
+    assert_eq!(receipt.mutation_seq, 1);
+    let d = db_summary(&mut client, "main");
+    assert!(!d.persisted);
+}
+
+/// The satellite race: `RELOAD` racing in-flight `MUTATE` on the same
+/// database. After the dust settles, a final reload must serve exactly
+/// its own facts — mutations from the dead epoch must not leak in, and
+/// orphaned materializations must not resurrect as warm counts.
+#[test]
+fn reload_racing_mutations_converges_to_reloaded_state() {
+    let scratch = Scratch::new("race");
+    let handle = std::sync::Arc::new(start(
+        durable_config(scratch.path(), DurabilityPolicy::Batch, 0),
+        FACTS,
+    ));
+    let addr = handle.local_addr();
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    // Writer threads hammer mutations; a reload can land between an op's
+    // admission and its lock acquisition, so UnknownDb/epoch races must
+    // surface as clean replies (any error other than a transport one).
+    let writers: Vec<_> = (0..2)
+        .map(|t| {
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut rng = Rng::seed_from_u64(600 + t);
+                let mut acked = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let a = format!("w{}", rng.below(5));
+                    let b = format!("w{}", rng.below(5));
+                    match client.insert("main", "r", &[&a, &b]) {
+                        Ok(_) => acked += 1,
+                        Err(ClientError::Server { .. }) => {}
+                        Err(e) => panic!("transport failure mid-race: {e}"),
+                    }
+                }
+                acked
+            })
+        })
+        .collect();
+
+    // Interleave reloads and warm counts from the main thread.
+    let mut client = Client::connect(addr).unwrap();
+    for round in 0..6 {
+        let facts = format!("r(v0, v{round}). r(v1, v2). s(v1, v0). s(v2, v2).");
+        client.reload("main", &facts).unwrap();
+        let _ = client.count("main", QUERY, 0).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for w in writers {
+        let acked = w.join().unwrap();
+        assert!(acked > 0, "the race must actually exercise mutations");
+    }
+
+    // The final reload defines the state exactly.
+    client.reload("main", FACTS).unwrap();
+    let q = parse_query(FACTS, QUERY);
+    let expected = count_brute_force(&q, &parse_database(FACTS).unwrap()).to_string();
+    let reply = client.count("main", QUERY, 0).unwrap();
+    assert_eq!(reply.value, expected, "dead-epoch mutations leaked in");
+    assert_ne!(
+        reply.cached,
+        CacheTier::CountWarm,
+        "a pre-reload materialization must not resurrect as a warm hit"
+    );
+
+    // One more mutation on the fresh epoch stays exact.
+    client.insert("main", "r", &["zz", "v1"]).unwrap();
+    let mut mirror = parse_database(FACTS).unwrap();
+    mirror.insert_tuple("r", &["zz", "v1"]).unwrap();
+    let reply = client.count("main", QUERY, 0).unwrap();
+    assert_eq!(reply.value, count_brute_force(&q, &mirror).to_string());
+
+    // And the raced, reloaded, mutated state survives a restart.
+    drop(client);
+    match std::sync::Arc::try_unwrap(handle) {
+        Ok(h) => h.shutdown(),
+        Err(_) => panic!("all clients dropped"),
+    }
+    let handle = serve(
+        durable_config(scratch.path(), DurabilityPolicy::Batch, 0),
+        vec![],
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let reply = client.count("main", QUERY, 0).unwrap();
+    assert_eq!(reply.value, count_brute_force(&q, &mirror).to_string());
+}
