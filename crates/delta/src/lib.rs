@@ -288,6 +288,7 @@ impl MaterializedCount {
         tuple: &[Value],
         insert: bool,
     ) -> Result<DeltaOutcome, DeltaFault> {
+        let span = cqcount_obs::trace::span("delta.apply");
         let mut outcome = DeltaOutcome::default();
         let verts = match self.by_rel.get(rel) {
             Some(v) => v.clone(),
@@ -303,6 +304,7 @@ impl MaterializedCount {
                         rel: rel.to_owned(),
                     })?;
         }
+        span.add("bags_touched", outcome.bags_touched);
         Ok(outcome)
     }
 

@@ -1,0 +1,159 @@
+//! Metrics history: a fixed-size ring of whole-registry samples.
+//!
+//! A sampler thread calls [`MetricsHistory::record`] every
+//! `interval_ms`, flattening every registered counter, gauge, and
+//! histogram (via [`Registry::sample`]) into one [`HistorySample`]. The
+//! ring keeps the newest `cap` samples, so an operator can ask — *after*
+//! an anomaly — what every metric looked like around it: rates are deltas
+//! of counters between adjacent samples, tail movement is the sampled
+//! `_p99` series, and a throughput dip brackets itself.
+//!
+//! Samples carry a monotonic sequence number so a poller can fetch
+//! incrementally (`since(seq)`), and both wall-clock and uptime stamps so
+//! the timeline aligns with logs and with span timestamps respectively.
+
+use crate::metrics::Registry;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// One point-in-time flattening of the whole registry.
+#[derive(Clone, Debug)]
+pub struct HistorySample {
+    /// Monotonic sample sequence, starting at 1.
+    pub seq: u64,
+    /// Wall-clock sample time, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Milliseconds since the history ring was created (server start).
+    pub uptime_ms: u64,
+    /// `(series, value)` pairs, in registry order.
+    pub entries: Vec<(String, u64)>,
+}
+
+/// The bounded sample ring. Thread-safe; `record` and `since` take one
+/// short mutex tap each.
+pub struct MetricsHistory {
+    cap: usize,
+    interval_ms: u64,
+    start: Instant,
+    ring: Mutex<Ring>,
+}
+
+struct Ring {
+    next_seq: u64,
+    samples: VecDeque<HistorySample>,
+}
+
+impl MetricsHistory {
+    /// A ring keeping the newest `cap` samples, advertised as sampled
+    /// every `interval_ms` (the sampler thread owns the actual cadence).
+    pub fn new(cap: usize, interval_ms: u64) -> MetricsHistory {
+        MetricsHistory {
+            cap: cap.max(2),
+            interval_ms,
+            start: Instant::now(),
+            ring: Mutex::new(Ring {
+                next_seq: 1,
+                samples: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// The advertised sampling interval.
+    pub fn interval_ms(&self) -> u64 {
+        self.interval_ms
+    }
+
+    /// Sample `registry` now and push the result. Returns the sample's
+    /// sequence number.
+    pub fn record(&self, registry: &Registry) -> u64 {
+        let entries = registry.sample();
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis() as u64);
+        let uptime_ms = self.start.elapsed().as_millis() as u64;
+        let mut ring = self.ring.lock().unwrap();
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.samples.len() >= self.cap {
+            ring.samples.pop_front();
+        }
+        ring.samples.push_back(HistorySample {
+            seq,
+            unix_ms,
+            uptime_ms,
+            entries,
+        });
+        seq
+    }
+
+    /// Samples with `seq > since_seq`, oldest first, at most `limit`.
+    /// Returns `(next_seq, samples)` — pass `next_seq - 1` back as the
+    /// next `since_seq` for gap-free incremental polling (subject to ring
+    /// eviction).
+    pub fn since(&self, since_seq: u64, limit: usize) -> (u64, Vec<HistorySample>) {
+        let ring = self.ring.lock().unwrap();
+        let samples = ring
+            .samples
+            .iter()
+            .filter(|s| s.seq > since_seq)
+            .take(limit)
+            .cloned()
+            .collect();
+        (ring.next_seq, samples)
+    }
+
+    /// Samples currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_sequences_are_monotonic() {
+        let reg = Registry::new();
+        let c = reg.counter("cq_total", "test");
+        let hist = MetricsHistory::new(4, 100);
+        for _ in 0..10 {
+            c.inc();
+            hist.record(&reg);
+        }
+        assert_eq!(hist.len(), 4);
+        let (next, samples) = hist.since(0, 100);
+        assert_eq!(next, 11);
+        assert_eq!(
+            samples.iter().map(|s| s.seq).collect::<Vec<_>>(),
+            vec![7, 8, 9, 10],
+            "oldest evicted first"
+        );
+        // Counter values advance with the samples: deltas reconstruct rate.
+        let vals: Vec<u64> = samples
+            .iter()
+            .map(|s| s.entries.iter().find(|(n, _)| n == "cq_total").unwrap().1)
+            .collect();
+        assert_eq!(vals, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn since_filters_and_limits() {
+        let reg = Registry::new();
+        reg.counter("cq_total", "test");
+        let hist = MetricsHistory::new(16, 100);
+        for _ in 0..6 {
+            hist.record(&reg);
+        }
+        let (_, s) = hist.since(4, 100);
+        assert_eq!(s.iter().map(|s| s.seq).collect::<Vec<_>>(), vec![5, 6]);
+        let (_, s) = hist.since(0, 3);
+        assert_eq!(s.iter().map(|s| s.seq).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(hist.interval_ms(), 100);
+    }
+}

@@ -16,12 +16,29 @@
 //!   increment; quantiles are estimated at read time from the bucket
 //!   boundaries, so the hot path never allocates).
 //!
+//! Built on those two halves, three forensic subsystems (PR 9):
+//!
+//! * **Flight recorder** ([`flight`]) — bounded retention of the span
+//!   trees of *interesting* requests (slow, errored, degraded) plus
+//!   discrete incidents, for after-the-fact tail forensics.
+//! * **Metrics history** ([`history`]) — a ring of whole-registry samples
+//!   taken on an interval, so rates and tail percentiles around an
+//!   anomaly are reconstructible without pre-arranged scraping.
+//! * **Stall watchdog** ([`watchdog`]) — heartbeats for polled loops and
+//!   deadline-scoped workers, scanned edge-triggered by a supervisor.
+//!
 //! This crate sits at the bottom of the workspace dependency graph: every
 //! other crate may depend on it, it depends on nothing.
 
+pub mod flight;
+pub mod history;
 pub mod metrics;
 pub mod planner;
 pub mod trace;
+pub mod watchdog;
 
+pub use flight::{CapturedTrace, FlightRecorder, Incident, RetainReason};
+pub use history::{HistorySample, MetricsHistory};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 pub use trace::{SpanId, SpanRecord, TraceSession, TreeNode};
+pub use watchdog::{Heartbeat, HeartbeatKind, Watchdog, WatchdogReport};

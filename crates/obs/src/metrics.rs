@@ -128,22 +128,10 @@ impl Histogram {
     }
 
     /// Estimate the `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the
-    /// bucket containing the target rank. Returns `None` when empty;
-    /// `u64::MAX` when the rank falls in the +Inf overflow bucket.
+    /// bucket containing the target rank (see
+    /// [`HistogramSnapshot::quantile`]). Returns `None` when empty.
     pub fn quantile(&self, q: f64) -> Option<u64> {
-        let snap = self.snapshot();
-        if snap.count == 0 {
-            return None;
-        }
-        let target = ((q.clamp(0.0, 1.0) * snap.count as f64).ceil() as u64).max(1);
-        let mut cum = 0u64;
-        for (i, &c) in snap.counts.iter().enumerate() {
-            cum += c;
-            if cum >= target {
-                return Some(snap.bounds.get(i).copied().unwrap_or(u64::MAX));
-            }
-        }
-        Some(u64::MAX)
+        self.snapshot().quantile(q)
     }
 
     /// Copy out the current state. Bucket counts are read individually
@@ -161,6 +149,41 @@ impl Histogram {
             sum: self.0.sum.load(Ordering::Relaxed),
             count: self.0.count.load(Ordering::Relaxed),
         }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the
+    /// bucket containing the target rank. The +Inf overflow bucket has no
+    /// finite upper bound, so ranks landing there **clamp to the highest
+    /// finite bound** — a deliberately conservative estimate that never
+    /// extrapolates past the instrumented range (tail thresholds derived
+    /// from it stay meaningful instead of saturating at `u64::MAX`).
+    /// Returns `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(self.bound_or_clamp(i));
+            }
+        }
+        Some(self.bound_or_clamp(self.counts.len()))
+    }
+
+    /// The finite upper bound for bucket `i`, clamping the +Inf overflow
+    /// bucket to the last finite bound (`u64::MAX` only for the degenerate
+    /// zero-bucket histogram, which cannot be registered).
+    fn bound_or_clamp(&self, i: usize) -> u64 {
+        self.bounds
+            .get(i)
+            .or(self.bounds.last())
+            .copied()
+            .unwrap_or(u64::MAX)
     }
 }
 
@@ -277,17 +300,71 @@ impl Registry {
 
     /// Get or register a histogram with the given finite bucket bounds.
     pub fn histogram(&self, name: &'static str, help: &'static str, bounds: &[u64]) -> Histogram {
-        if let Some(Kind::Histogram(h)) = self.find(name, None) {
+        self.histogram_labeled_opt(name, help, None, bounds)
+    }
+
+    /// Get or register a histogram carrying one `key="value"` label — a
+    /// per-series member of a family (e.g. request latency by opcode).
+    pub fn histogram_labeled(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        key: &'static str,
+        value: &str,
+        bounds: &[u64],
+    ) -> Histogram {
+        self.histogram_labeled_opt(name, help, Some((key, value)), bounds)
+    }
+
+    fn histogram_labeled_opt(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        label: Option<(&'static str, &str)>,
+        bounds: &[u64],
+    ) -> Histogram {
+        if let Some(Kind::Histogram(h)) = self.find(name, label) {
             return h;
         }
         let h = Histogram::detached(bounds);
         self.entries.lock().unwrap().push(Entry {
             name,
             help,
-            label: None,
+            label: label.map(|(k, v)| (k, v.to_string())),
             kind: Kind::Histogram(h.clone()),
         });
         h
+    }
+
+    /// Flatten every registered metric into `(series, value)` pairs — the
+    /// metrics-history sampler's input. Counters and gauges emit one pair
+    /// under their rendered series name; histograms emit `_count`, `_sum`,
+    /// and a read-time `_p99` estimate, so both rates (deltas of `_count`
+    /// / `_sum` between adjacent samples) and tail movement are
+    /// reconstructible after the fact.
+    pub fn sample(&self) -> Vec<(String, u64)> {
+        let entries = self.entries.lock().unwrap();
+        let mut out = Vec::with_capacity(entries.len());
+        for e in entries.iter() {
+            let label = match &e.label {
+                Some((k, v)) => format!("{{{}=\"{}\"}}", k, v),
+                None => String::new(),
+            };
+            match &e.kind {
+                Kind::Counter(c) => out.push((format!("{}{}", e.name, label), c.get())),
+                Kind::Gauge(g) => out.push((format!("{}{}", e.name, label), g.get())),
+                Kind::Histogram(h) => {
+                    let snap = h.snapshot();
+                    out.push((format!("{}_count{}", e.name, label), snap.count));
+                    out.push((format!("{}_sum{}", e.name, label), snap.sum));
+                    out.push((
+                        format!("{}_p99{}", e.name, label),
+                        snap.quantile(0.99).unwrap_or(0),
+                    ));
+                }
+            }
+        }
+        out
     }
 
     /// Render every metric in Prometheus text exposition format.
@@ -320,6 +397,13 @@ impl Registry {
                 }
                 Kind::Histogram(h) => {
                     let snap = h.snapshot();
+                    // A labeled histogram merges its series label into each
+                    // `_bucket` line ahead of `le`; unlabeled output is
+                    // unchanged.
+                    let series = match &e.label {
+                        Some((k, v)) => format!("{}=\"{}\",", k, v),
+                        None => String::new(),
+                    };
                     let mut cum = 0u64;
                     for (i, &c) in snap.counts.iter().enumerate() {
                         cum += c;
@@ -328,10 +412,11 @@ impl Registry {
                             .get(i)
                             .map(|b| b.to_string())
                             .unwrap_or_else(|| "+Inf".to_string());
-                        let _ = writeln!(out, "{}_bucket{{le=\"{}\"}} {}", e.name, le, cum);
+                        let _ =
+                            writeln!(out, "{}_bucket{{{}le=\"{}\"}} {}", e.name, series, le, cum);
                     }
-                    let _ = writeln!(out, "{}_sum {}", e.name, snap.sum);
-                    let _ = writeln!(out, "{}_count {}", e.name, snap.count);
+                    let _ = writeln!(out, "{}_sum{} {}", e.name, label, snap.sum);
+                    let _ = writeln!(out, "{}_count{} {}", e.name, label, snap.count);
                 }
             }
         }
@@ -406,5 +491,96 @@ mod tests {
         assert_eq!(h.quantile(1.0), Some(16));
         assert_eq!(h.count(), 7);
         assert_eq!(h.sum(), 33);
+    }
+
+    #[test]
+    fn quantile_clamps_overflow_bucket_to_last_finite_bound() {
+        let h = Histogram::detached(&[10, 100]);
+        h.observe(5);
+        h.observe(50_000); // overflow bucket
+                           // The median sits in the first bucket; the tail rank lands in the
+                           // open-ended +Inf bucket and must clamp to 100, not extrapolate.
+        assert_eq!(h.quantile(0.5), Some(10));
+        assert_eq!(h.quantile(0.99), Some(100));
+        assert_eq!(h.quantile(1.0), Some(100));
+        // All samples overflowing still clamps.
+        let h = Histogram::detached(&[10, 100]);
+        h.observe(u64::MAX / 2);
+        assert_eq!(h.quantile(0.5), Some(100));
+    }
+
+    #[test]
+    fn quantile_at_exact_bucket_edges() {
+        // One sample per bucket: each rank maps onto exactly one bound.
+        let h = Histogram::detached(&[1, 2, 4]);
+        for v in [1, 2, 4] {
+            h.observe(v);
+        }
+        // ceil(q * 3) ranks: q≤1/3 → 1st sample, q≤2/3 → 2nd, else 3rd.
+        assert_eq!(h.quantile(1.0 / 3.0), Some(1));
+        assert_eq!(h.quantile(2.0 / 3.0), Some(2));
+        assert_eq!(h.quantile(1.0), Some(4));
+        // Snapshot-level quantiles agree (same code path).
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.5), Some(2));
+        assert_eq!(snap.quantile(0.0), Some(1));
+    }
+
+    #[test]
+    fn empty_snapshot_has_no_quantiles() {
+        let h = Histogram::detached(&[1, 2]);
+        let snap = h.snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), None, "q={q}");
+        }
+    }
+
+    #[test]
+    fn labeled_histograms_are_distinct_series_and_render_with_labels() {
+        let reg = Registry::new();
+        let a = reg.histogram_labeled("cq_lat_us", "latency by op", "op", "count", &[10, 100]);
+        let b = reg.histogram_labeled("cq_lat_us", "latency by op", "op", "mutate", &[10, 100]);
+        let a2 = reg.histogram_labeled("cq_lat_us", "latency by op", "op", "count", &[10, 100]);
+        a.observe(5);
+        a2.observe(500);
+        b.observe(50);
+        assert_eq!(a.count(), 2, "same (name, label) shares state");
+        assert_eq!(b.count(), 1);
+
+        let text = reg.render();
+        assert!(text.contains("cq_lat_us_bucket{op=\"count\",le=\"10\"} 1"));
+        assert!(text.contains("cq_lat_us_bucket{op=\"count\",le=\"+Inf\"} 2"));
+        assert!(text.contains("cq_lat_us_bucket{op=\"mutate\",le=\"100\"} 1"));
+        assert!(text.contains("cq_lat_us_sum{op=\"count\"} 505"));
+        assert!(text.contains("cq_lat_us_count{op=\"mutate\"} 1"));
+        // One HELP/TYPE header for the whole family.
+        assert_eq!(text.matches("# TYPE cq_lat_us").count(), 1);
+    }
+
+    #[test]
+    fn sample_flattens_every_metric_kind() {
+        let reg = Registry::new();
+        reg.counter("cq_total", "c").add(7);
+        reg.counter_labeled("cq_ops_total", "ops", "op", "count")
+            .inc();
+        reg.gauge("cq_depth", "g").set(3);
+        let h = reg.histogram("cq_lat_us", "h", &[10, 100]);
+        h.observe(5);
+        h.observe(50_000);
+
+        let sample = reg.sample();
+        let get = |name: &str| {
+            sample
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing series {name}"))
+        };
+        assert_eq!(get("cq_total"), 7);
+        assert_eq!(get("cq_ops_total{op=\"count\"}"), 1);
+        assert_eq!(get("cq_depth"), 3);
+        assert_eq!(get("cq_lat_us_count"), 2);
+        assert_eq!(get("cq_lat_us_sum"), 50_005);
+        assert_eq!(get("cq_lat_us_p99"), 100, "p99 clamps to last bound");
     }
 }

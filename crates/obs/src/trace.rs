@@ -117,19 +117,38 @@ pub fn dropped() -> u64 {
 
 /// RAII guard that keeps tracing enabled while alive. Sessions nest; spans
 /// record while at least one session exists anywhere in the process.
-pub struct TraceSession(());
+pub struct TraceSession(u64);
 
 impl TraceSession {
     pub fn begin() -> TraceSession {
+        let start = now_ns();
+        session_starts().lock().unwrap().push(start);
         SESSIONS.fetch_add(1, Ordering::Relaxed);
-        TraceSession(())
+        TraceSession(start)
     }
 }
 
 impl Drop for TraceSession {
     fn drop(&mut self) {
         SESSIONS.fetch_sub(1, Ordering::Relaxed);
+        let mut starts = session_starts().lock().unwrap();
+        if let Some(i) = starts.iter().position(|&s| s == self.0) {
+            starts.swap_remove(i);
+        }
     }
+}
+
+/// Start times of the live [`TraceSession`]s. A finished span can only be
+/// claimed by a session that was already running when it ended (spans
+/// start after their session begins), so anything in the pending pool
+/// older than the oldest live session is unclaimable garbage — [`collect`]
+/// purges it. Without this, background spans with no collector (e.g. a
+/// reactor's own housekeeping spans while request sessions keep tracing
+/// globally enabled) would pin the pool at [`PENDING_CAP`] and every
+/// collect would rescan all of it.
+fn session_starts() -> &'static Mutex<Vec<u64>> {
+    static STARTS: OnceLock<Mutex<Vec<u64>>> = OnceLock::new();
+    STARTS.get_or_init(|| Mutex::new(Vec::new()))
 }
 
 struct ActiveSpan {
@@ -393,12 +412,22 @@ pub fn collect(root: SpanId) -> Vec<SpanRecord> {
         }
     }
 
+    // Records kept for other collectors must still be claimable: a span
+    // that ended before the oldest live session began belongs to no live
+    // session and never will — purge it (see [`session_starts`]).
+    let horizon = session_starts()
+        .lock()
+        .unwrap()
+        .iter()
+        .min()
+        .copied()
+        .unwrap_or(u64::MAX);
     let mut out = Vec::new();
     let mut rest = VecDeque::with_capacity(pool.len());
     for rec in pool.drain(..) {
         if verdict.get(&rec.id).copied().unwrap_or(false) {
             out.push(rec);
-        } else {
+        } else if rec.end_ns >= horizon {
             rest.push_back(rec);
         }
     }

@@ -1,0 +1,230 @@
+//! Stall watchdog: heartbeats for polled loops and deadline-scoped
+//! workers, scanned by a supervisor thread.
+//!
+//! Two member kinds, two stall rules:
+//!
+//! * [`HeartbeatKind::Polled`] — an event loop (a reactor shard) that must
+//!   call [`Heartbeat::beat`] every iteration. It stalls when the time
+//!   since its last beat exceeds the stall threshold: the loop has stopped
+//!   polling (deadlocked, blocked in a syscall, or wedged on a poisoned
+//!   lock).
+//! * [`HeartbeatKind::Worker`] — a pool thread that brackets each job with
+//!   [`Heartbeat::begin_work`] / [`Heartbeat::end_work`]. It stalls when a
+//!   single job has been running longer than the stall threshold, or past
+//!   the job's declared deadline budget (the budget itself is the
+//!   tolerance) — an idle worker (blocked on the queue) is never flagged.
+//!
+//! [`Watchdog::scan`] is edge-triggered on top of level state: the report
+//! carries both every currently-stalled member (for gauges) and the members
+//! that stalled *since the previous scan* (for incident logging), so a
+//! wedged shard produces one incident, not one per scan tick.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What kind of liveness contract a member signed up for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HeartbeatKind {
+    /// Must beat every loop iteration; stalls on beat silence.
+    Polled,
+    /// Must bracket jobs; stalls on one job running too long.
+    Worker,
+}
+
+/// One member's liveness state. All methods are lock-free relaxed atomics
+/// — beating is cheap enough for a reactor's per-sweep path.
+#[derive(Debug)]
+pub struct Heartbeat {
+    name: String,
+    kind: HeartbeatKind,
+    /// Last `beat` time (ns on the caller's monotonic clock).
+    last_beat_ns: AtomicU64,
+    /// Start of the in-flight job; 0 = idle.
+    busy_since_ns: AtomicU64,
+    /// Declared deadline of the in-flight job; 0 = none.
+    deadline_ns: AtomicU64,
+}
+
+impl Heartbeat {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn kind(&self) -> HeartbeatKind {
+        self.kind
+    }
+
+    /// Record liveness at `now_ns`.
+    #[inline]
+    pub fn beat(&self, now_ns: u64) {
+        self.last_beat_ns.store(now_ns, Ordering::Relaxed);
+    }
+
+    /// Mark a job started at `now_ns` with an optional deadline
+    /// (`deadline_ns == 0` means none declared).
+    #[inline]
+    pub fn begin_work(&self, now_ns: u64, deadline_ns: u64) {
+        self.deadline_ns.store(deadline_ns, Ordering::Relaxed);
+        self.busy_since_ns.store(now_ns.max(1), Ordering::Relaxed);
+        self.last_beat_ns.store(now_ns, Ordering::Relaxed);
+    }
+
+    /// Mark the in-flight job finished.
+    #[inline]
+    pub fn end_work(&self) {
+        self.busy_since_ns.store(0, Ordering::Relaxed);
+        self.deadline_ns.store(0, Ordering::Relaxed);
+    }
+
+    fn stalled(&self, now_ns: u64, stall_ns: u64) -> bool {
+        match self.kind {
+            HeartbeatKind::Polled => {
+                now_ns.saturating_sub(self.last_beat_ns.load(Ordering::Relaxed)) > stall_ns
+            }
+            HeartbeatKind::Worker => {
+                let busy_since = self.busy_since_ns.load(Ordering::Relaxed);
+                if busy_since == 0 {
+                    return false;
+                }
+                if now_ns.saturating_sub(busy_since) > stall_ns {
+                    return true;
+                }
+                // A job still running past its declared deadline is stuck
+                // by definition — the budget was its tolerance. Callers
+                // fold any grace into the deadline they declare.
+                let deadline = self.deadline_ns.load(Ordering::Relaxed);
+                deadline != 0 && now_ns > deadline
+            }
+        }
+    }
+}
+
+/// One scan's verdict.
+#[derive(Debug, Default)]
+pub struct WatchdogReport {
+    /// Every currently-stalled member's name.
+    pub stalled: Vec<String>,
+    /// Members that transitioned into the stalled state since the last
+    /// scan (edge-triggered; feed these to incident logging).
+    pub newly_stalled: Vec<String>,
+    /// Currently-stalled polled loops.
+    pub stalled_polled: u64,
+    /// Currently-stalled workers.
+    pub stalled_workers: u64,
+}
+
+/// The registry of heartbeats plus per-member edge state.
+pub struct Watchdog {
+    stall_ns: u64,
+    members: Mutex<Vec<Member>>,
+}
+
+struct Member {
+    hb: Arc<Heartbeat>,
+    was_stalled: bool,
+}
+
+impl Watchdog {
+    /// A watchdog flagging members silent/busy past `stall_ns`.
+    pub fn new(stall_ns: u64) -> Watchdog {
+        Watchdog {
+            stall_ns: stall_ns.max(1),
+            members: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Register a member, born alive at `now_ns`.
+    pub fn register(&self, name: String, kind: HeartbeatKind, now_ns: u64) -> Arc<Heartbeat> {
+        let hb = Arc::new(Heartbeat {
+            name,
+            kind,
+            last_beat_ns: AtomicU64::new(now_ns),
+            busy_since_ns: AtomicU64::new(0),
+            deadline_ns: AtomicU64::new(0),
+        });
+        self.members.lock().unwrap().push(Member {
+            hb: Arc::clone(&hb),
+            was_stalled: false,
+        });
+        hb
+    }
+
+    /// Evaluate every member at `now_ns`.
+    pub fn scan(&self, now_ns: u64) -> WatchdogReport {
+        let mut report = WatchdogReport::default();
+        let mut members = self.members.lock().unwrap();
+        for m in members.iter_mut() {
+            let stalled = m.hb.stalled(now_ns, self.stall_ns);
+            if stalled {
+                report.stalled.push(m.hb.name.clone());
+                match m.hb.kind {
+                    HeartbeatKind::Polled => report.stalled_polled += 1,
+                    HeartbeatKind::Worker => report.stalled_workers += 1,
+                }
+                if !m.was_stalled {
+                    report.newly_stalled.push(m.hb.name.clone());
+                }
+            }
+            m.was_stalled = stalled;
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn polled_members_stall_on_beat_silence() {
+        let dog = Watchdog::new(10 * MS);
+        let hb = dog.register("reactor-0".into(), HeartbeatKind::Polled, 0);
+        assert!(dog.scan(5 * MS).stalled.is_empty());
+        hb.beat(8 * MS);
+        assert!(dog.scan(15 * MS).stalled.is_empty(), "beat 7ms ago");
+        let r = dog.scan(25 * MS);
+        assert_eq!(r.stalled, vec!["reactor-0"], "silent for 17ms");
+        assert_eq!(r.stalled_polled, 1);
+        // Edge triggering: the second scan sees it stalled but not *newly*.
+        assert_eq!(r.newly_stalled, vec!["reactor-0"]);
+        let r = dog.scan(30 * MS);
+        assert_eq!(r.stalled.len(), 1);
+        assert!(r.newly_stalled.is_empty());
+        // Recovery clears both, and a re-stall fires a fresh edge.
+        hb.beat(31 * MS);
+        assert!(dog.scan(32 * MS).stalled.is_empty());
+        assert_eq!(dog.scan(60 * MS).newly_stalled, vec!["reactor-0"]);
+    }
+
+    #[test]
+    fn idle_workers_never_stall_and_busy_workers_do() {
+        let dog = Watchdog::new(10 * MS);
+        let hb = dog.register("worker-0".into(), HeartbeatKind::Worker, 0);
+        // Idle forever: a worker blocked on the queue is healthy.
+        assert!(dog.scan(1000 * MS).stalled.is_empty());
+        hb.begin_work(1000 * MS, 0);
+        assert!(dog.scan(1005 * MS).stalled.is_empty(), "busy 5ms");
+        let r = dog.scan(1020 * MS);
+        assert_eq!(r.stalled, vec!["worker-0"], "busy 20ms > 10ms stall");
+        assert_eq!(r.stalled_workers, 1);
+        hb.end_work();
+        assert!(dog.scan(1021 * MS).stalled.is_empty());
+    }
+
+    #[test]
+    fn workers_stall_past_their_declared_deadline() {
+        // Stall threshold 100ms, but the job declared a 5ms deadline: the
+        // worker is flagged as soon as the deadline is blown, well before
+        // the generic busy threshold would fire.
+        let dog = Watchdog::new(100 * MS);
+        let hb = dog.register("worker-1".into(), HeartbeatKind::Worker, 0);
+        hb.begin_work(0, 5 * MS);
+        assert!(dog.scan(4 * MS).stalled.is_empty(), "within deadline");
+        assert_eq!(dog.scan(6 * MS).stalled, vec!["worker-1"]);
+        // Finishing clears the flag even though the deadline stays blown.
+        hb.end_work();
+        assert!(dog.scan(7 * MS).stalled.is_empty());
+    }
+}

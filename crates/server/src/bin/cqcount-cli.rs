@@ -12,8 +12,19 @@
 //! cqcount-cli --server ADDR insert    --db NAME REL VALUE...
 //! cqcount-cli --server ADDR delete    --db NAME REL VALUE...
 //! cqcount-cli --server ADDR sync      --db NAME
+//! cqcount-cli --server ADDR history   [--since SEQ] [--limit N] [--verbose]
+//! cqcount-cli --server ADDR flight    [--limit N] [--verbose]
 //! cqcount-cli --server ADDR flush
 //! ```
+//!
+//! `history` and `flight` are the protocol-v8 forensics commands.
+//! `history` prints the server's metrics-history ring (one line per
+//! sample: throughput and tail-latency movement bracket themselves;
+//! `--verbose` dumps every sampled series). `flight` prints the flight
+//! recorder's retained traces — each slow/errored/degraded request's
+//! full span tree, rendered like `profile` — and its incidents
+//! (watchdog stalls). Neither needs anything pre-arranged: retention is
+//! the server's own verdict, after the fact.
 //!
 //! `profile` runs the count under tracing and renders the span tree with
 //! per-stage durations and percentages of the end-to-end request time
@@ -60,6 +71,8 @@ const USAGE: &str = "usage:
   cqcount-cli --server ADDR insert    --db NAME REL VALUE...   (never retried)
   cqcount-cli --server ADDR delete    --db NAME REL VALUE...   (never retried)
   cqcount-cli --server ADDR sync      --db NAME
+  cqcount-cli --server ADDR history   [--since SEQ] [--limit N] [--verbose]
+  cqcount-cli --server ADDR flight    [--limit N] [--verbose]
   cqcount-cli --server ADDR flush";
 
 fn main() -> ExitCode {
@@ -82,6 +95,7 @@ struct Opts {
     budget_ms: u64,
     limit: u64,
     cap: u64,
+    since: u64,
     timeout_ms: u64,
     retries: u32,
     pipeline: u64,
@@ -97,6 +111,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         budget_ms: 0,
         limit: 20,
         cap: 0,
+        since: 0,
         timeout_ms: 30_000,
         retries: 0,
         pipeline: 0,
@@ -131,6 +146,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .ok_or("--cap needs a value")?
                     .parse()
                     .map_err(|_| "--cap must be a number")?;
+            }
+            "--since" => {
+                opts.since = it
+                    .next()
+                    .ok_or("--since needs a value")?
+                    .parse()
+                    .map_err(|_| "--since must be a sample sequence number")?;
             }
             "--timeout" => {
                 opts.timeout_ms = it
@@ -444,6 +466,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 "mutations:    {} applied, {} delta bags touched, {} delta fallbacks",
                 s.mutations_applied, s.delta_bags_touched, s.delta_fallbacks
             );
+            println!(
+                "forensics:    {} traces retained, {} watchdog stalls ({} shards / {} workers stalled now)",
+                s.recorder_retained, s.watchdog_stalls, s.stalled_shards, s.stalled_workers
+            );
             for d in &s.dbs {
                 let durability = if d.persisted {
                     format!(
@@ -512,6 +538,70 @@ fn run(args: &[String]) -> Result<(), String> {
             );
             if receipt.durable_seq == 0 && receipt.mutation_seq > 0 {
                 eprintln!("warning: server runs without --data-dir; nothing is durable");
+            }
+            Ok(())
+        }
+        // Idempotent reads, so --retries applies to both.
+        "history" => {
+            let h = client
+                .history(opts.since, opts.limit)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "{} samples (interval {} ms, next seq {})",
+                h.samples.len(),
+                h.interval_ms,
+                h.next_seq
+            );
+            for s in &h.samples {
+                // The headline series an operator scans for a dip first;
+                // --verbose dumps everything.
+                let find = |name: &str| {
+                    s.entries
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, v)| v.to_string())
+                        .unwrap_or_else(|| "-".into())
+                };
+                println!(
+                    "seq {:>5}  t=+{:>8} ms  served {:>8}  p99 {:>7} µs  retained {}",
+                    s.seq,
+                    s.uptime_ms,
+                    find("cqcount_requests_served_total"),
+                    find("cqcount_request_latency_us_p99"),
+                    find("cqcount_recorder_retained_total"),
+                );
+                if opts.verbose {
+                    for (name, value) in &s.entries {
+                        println!("    {name} {value}");
+                    }
+                }
+            }
+            Ok(())
+        }
+        "flight" => {
+            let f = client.flight(opts.limit).map_err(|e| e.to_string())?;
+            println!(
+                "{} retained traces, {} incidents",
+                f.traces.len(),
+                f.incidents.len()
+            );
+            for t in &f.traces {
+                println!();
+                println!(
+                    "#{} {} [{}] {} µs (threshold {} µs) @{}",
+                    t.seq, t.op, t.reason, t.latency_us, t.threshold_us, t.unix_ms
+                );
+                let total = t.root.duration_ns.max(1);
+                render_span(&t.root, total, "", true, true, opts.verbose);
+            }
+            if !f.incidents.is_empty() {
+                println!();
+                for i in &f.incidents {
+                    println!(
+                        "incident #{} [{}] {} @{}",
+                        i.seq, i.kind, i.detail, i.unix_ms
+                    );
+                }
             }
             Ok(())
         }

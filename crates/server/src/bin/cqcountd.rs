@@ -39,7 +39,16 @@
 //! aborts the process mid-durability (replayable via `--fault-seed`);
 //! `--crash-at POINT:N` (pre-append, pre-fsync, post-fsync, mid-snapshot)
 //! pins the point explicitly. `--wal-fail-after N` injects WAL write
-//! errors after N appends, degrading the database to read-only.
+//! errors after N appends, degrading the database to read-only;
+//! `--wal-fsync-stall N:MS` makes the Nth WAL fsync sleep MS milliseconds
+//! (a deterministic slow-disk stand-in for forensics testing).
+//!
+//! Forensics (protocol v8): the flight recorder is on by default
+//! (`--recorder-cap N` sizes its trace ring, `0` disables;
+//! `--recorder-threshold-us US` floors the self-calibrating slow-request
+//! threshold). `--history-interval-ms MS` / `--history-cap N` tune the
+//! metrics-history sampler (`0` interval disables);
+//! `--watchdog-stall-ms MS` tunes the stall watchdog (`0` disables).
 
 use cqcount_query::parse_database;
 use cqcount_relational::Database;
@@ -54,7 +63,10 @@ const USAGE: &str = "usage:
            [--fault-profile off|flaky-net|slow-net|chaos|crash] [--fault-seed N]
            [--trace-log FILE] [--materialize-cap N]
            [--data-dir DIR] [--durability always|batch|off]
-           [--snapshot-every N] [--crash-at POINT:N] [--wal-fail-after N]";
+           [--snapshot-every N] [--crash-at POINT:N] [--wal-fail-after N]
+           [--wal-fsync-stall N:MS] [--recorder-cap N]
+           [--recorder-threshold-us US] [--history-interval-ms MS]
+           [--history-cap N] [--watchdog-stall-ms MS]";
 
 fn main() -> ExitCode {
     match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
@@ -146,6 +158,32 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             "--wal-fail-after" => {
                 config.wal_fail_after = Some(parse_num(&mut it, "--wal-fail-after")?);
+            }
+            "--wal-fsync-stall" => {
+                let spec = it.next().ok_or("--wal-fsync-stall needs N:MS")?;
+                let (n, ms) = spec
+                    .split_once(':')
+                    .ok_or(format!("--wal-fsync-stall expects N:MS, got {spec:?}"))?;
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| "--wal-fsync-stall N must be a number".to_owned())?;
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|_| "--wal-fsync-stall MS must be a number".to_owned())?;
+                config.wal_fsync_stall = Some((n, ms));
+            }
+            "--recorder-cap" => {
+                config.recorder_cap = parse_num(&mut it, "--recorder-cap")? as usize
+            }
+            "--recorder-threshold-us" => {
+                config.recorder_threshold_us = parse_num(&mut it, "--recorder-threshold-us")?
+            }
+            "--history-interval-ms" => {
+                config.history_interval_ms = parse_num(&mut it, "--history-interval-ms")?
+            }
+            "--history-cap" => config.history_cap = parse_num(&mut it, "--history-cap")? as usize,
+            "--watchdog-stall-ms" => {
+                config.watchdog_stall_ms = parse_num(&mut it, "--watchdog-stall-ms")?
             }
             other => return Err(format!("unknown option {other}")),
         }

@@ -17,8 +17,8 @@
 //! from a genuine duplicate.
 
 use crate::protocol::{
-    read_frame, CacheTier, ErrorCode, MutationOp, ProfileReply, ReportReply, Request, Response,
-    StatsReply, V5,
+    read_frame, CacheTier, ErrorCode, FlightReply, HistoryReply, MutationOp, ProfileReply,
+    ReportReply, Request, Response, StatsReply, V5, V8,
 };
 use cqcount_arith::prng::Rng;
 use std::io::{self, BufReader, BufWriter, Write};
@@ -231,10 +231,18 @@ impl Client {
     /// One request/response exchange on the current connection. Transport
     /// failures poison the connection so the next attempt redials.
     fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.roundtrip_at(crate::protocol::V4, req)
+    }
+
+    /// [`roundtrip`](Client::roundtrip) with an explicit frame version —
+    /// the forensics opcodes (`HISTORY`/`FLIGHT`) ship in v8 headers, the
+    /// rest stay on the blocking client's v4 framing.
+    fn roundtrip_at(&mut self, version: u8, req: &Request) -> Result<Response, ClientError> {
         self.ensure_connected()?;
         let result = (|| {
             let conn = self.conn.as_mut().expect("just connected");
-            req.write_to(&mut conn.writer)?;
+            conn.writer.write_all(&req.encode(version, 0))?;
+            conn.writer.flush()?;
             let frame = read_frame(&mut conn.reader)?
                 .ok_or_else(|| ClientError::Protocol("server closed the connection".into()))?;
             Response::decode(&frame).map_err(ClientError::Protocol)
@@ -262,9 +270,17 @@ impl Client {
     /// The retry loop for idempotent requests: exponential backoff with
     /// seeded jitter, stretched to any server `retry_after_ms` hint.
     fn roundtrip_idempotent(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.roundtrip_idempotent_at(crate::protocol::V4, req)
+    }
+
+    fn roundtrip_idempotent_at(
+        &mut self,
+        version: u8,
+        req: &Request,
+    ) -> Result<Response, ClientError> {
         let mut attempt: u32 = 0;
         loop {
-            match self.roundtrip(req) {
+            match self.roundtrip_at(version, req) {
                 Err(e) if attempt < self.options.retries && retryable(&e) => {
                     let hint = match &e {
                         ClientError::Server { retry_after_ms, .. } => *retry_after_ms,
@@ -492,6 +508,33 @@ impl Client {
             }),
             other => Err(ClientError::Protocol(format!(
                 "expected a sync receipt, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches metrics-history samples with `seq > since_seq`, at most
+    /// `limit` (0 = the server's cap), oldest first (protocol v8
+    /// `HISTORY`). Pass the reply's `next_seq - 1` back as `since_seq`
+    /// for gap-free incremental polling. Idempotent: retried per
+    /// [`ClientOptions::retries`].
+    pub fn history(&mut self, since_seq: u64, limit: u64) -> Result<HistoryReply, ClientError> {
+        match self.roundtrip_idempotent_at(V8, &Request::History { since_seq, limit })? {
+            Response::History(h) => Ok(h),
+            other => Err(ClientError::Protocol(format!(
+                "expected a history reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the flight recorder's retained traces and incidents, at
+    /// most `limit` of each (0 = the server's caps), oldest first
+    /// (protocol v8 `FLIGHT`). Idempotent: retried per
+    /// [`ClientOptions::retries`].
+    pub fn flight(&mut self, limit: u64) -> Result<FlightReply, ClientError> {
+        match self.roundtrip_idempotent_at(V8, &Request::Flight { limit })? {
+            Response::Flight(f) => Ok(f),
+            other => Err(ClientError::Protocol(format!(
+                "expected a flight reply, got {other:?}"
             ))),
         }
     }

@@ -29,6 +29,7 @@
 use crate::faults::{CrashPlan, CrashPoint};
 use crate::snapshot::{decode_db_dir, encode_db_dir, recover_db, write_snapshot, Recovered};
 use crate::wal::{wal_path, WalRecord, WalWriter};
+use cqcount_obs::trace;
 use cqcount_relational::Database;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -86,6 +87,7 @@ pub(crate) struct DurableStore {
     policy: DurabilityPolicy,
     snapshot_every: u64,
     wal_fail_after: Option<u64>,
+    wal_fsync_stall: Option<(u64, u64)>,
     crash: Option<Arc<CrashPlan>>,
 }
 
@@ -96,12 +98,14 @@ impl DurableStore {
         snapshot_every: u64,
         wal_fail_after: Option<u64>,
         crash: Option<Arc<CrashPlan>>,
+        wal_fsync_stall: Option<(u64, u64)>,
     ) -> DurableStore {
         DurableStore {
             data_dir,
             policy,
             snapshot_every,
             wal_fail_after,
+            wal_fsync_stall,
             crash,
         }
     }
@@ -116,8 +120,9 @@ impl DurableStore {
     /// installs and serves counts.
     pub(crate) fn open_db(&self, name: &str) -> DbDurable {
         let dir = self.db_dir(name);
-        let opened = std::fs::create_dir_all(&dir)
-            .and_then(|()| WalWriter::open(&wal_path(&dir), self.wal_fail_after));
+        let opened = std::fs::create_dir_all(&dir).and_then(|()| {
+            WalWriter::open(&wal_path(&dir), self.wal_fail_after, self.wal_fsync_stall)
+        });
         let durable = DbDurable::new(self, dir);
         match opened {
             Ok(writer) => *durable.wal.lock().unwrap() = Some(writer),
@@ -246,11 +251,19 @@ impl DbDurable {
         let wal = guard
             .as_mut()
             .ok_or_else(|| std::io::Error::other("WAL unavailable"))?;
-        out.bytes = wal.append(record)?;
+        {
+            let span = trace::span("wal.append");
+            out.bytes = wal.append(record)?;
+            span.add("bytes", out.bytes);
+            span.add("ops", record.ops.len() as u64);
+        }
         match self.policy {
             DurabilityPolicy::Always => {
                 self.crash_hit(CrashPoint::PreFsync);
-                wal.sync()?;
+                {
+                    let _span = trace::span("wal.fsync");
+                    wal.sync()?;
+                }
                 self.crash_hit(CrashPoint::PostFsync);
                 self.durable_seq.store(record.seq_after, Ordering::Relaxed);
                 out.fsynced = true;
@@ -260,7 +273,10 @@ impl DbDurable {
                 let n = self.unsynced.fetch_add(1, Ordering::Relaxed) + 1;
                 if n >= BATCH_FSYNC_EVERY {
                     self.crash_hit(CrashPoint::PreFsync);
-                    wal.sync()?;
+                    {
+                        let _span = trace::span("wal.fsync");
+                        wal.sync()?;
+                    }
                     self.crash_hit(CrashPoint::PostFsync);
                     self.durable_seq.store(record.seq_after, Ordering::Relaxed);
                     self.unsynced.store(0, Ordering::Relaxed);
@@ -289,10 +305,17 @@ impl DbDurable {
         db: &Database,
         epoch: u64,
     ) -> std::io::Result<()> {
-        wal.sync()?;
-        write_snapshot(&self.dir, db, epoch, || {
-            self.crash_hit(CrashPoint::MidSnapshot)
-        })?;
+        {
+            let _span = trace::span("wal.fsync");
+            wal.sync()?;
+        }
+        {
+            let span = trace::span("snapshot.write");
+            span.add("tuples", db.total_tuples() as u64);
+            write_snapshot(&self.dir, db, epoch, || {
+                self.crash_hit(CrashPoint::MidSnapshot)
+            })?;
+        }
         wal.truncate()?;
         self.durable_seq.store(db.mutation_seq(), Ordering::Relaxed);
         self.unsynced.store(0, Ordering::Relaxed);

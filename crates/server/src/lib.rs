@@ -42,7 +42,16 @@
 //!   counter lives on a `cqcount-obs` metrics registry exported by the
 //!   `METRICS` opcode in Prometheus text format, `PROFILE` returns the
 //!   full span tree of a traced count, and `--trace-log FILE` streams one
-//!   JSON line per counting request.
+//!   JSON line per counting request;
+//! * **after-the-fact forensics** (protocol v8) — a flight recorder
+//!   speculatively traces every worker request and retains the span
+//!   trees of the interesting ones (slow against a self-calibrating
+//!   per-opcode p99 threshold, errored, degraded, delta-faulted,
+//!   read-only refusals) in a bounded ring served by the `FLIGHT`
+//!   opcode; a metrics-history ring samples every registered series on
+//!   an interval (`HISTORY`); and a stall watchdog heartbeats every
+//!   reactor shard and pool worker, flagging wedged threads as gauges,
+//!   `STATS` counters, and recorder incidents.
 //!
 //! Everything is `std`-only, like the rest of the workspace.
 
@@ -63,7 +72,8 @@ pub use client::{
 pub use durable::DurabilityPolicy;
 pub use faults::{CrashPlan, CrashPoint, FaultEvent, FaultInjector, FaultKind, FaultProfile};
 pub use protocol::{
-    CacheTier, ErrorCode, MutationOp, ProfileReply, ReportReply, Request, Response, SpanNode,
+    CacheTier, ErrorCode, FlightIncident, FlightReply, FlightTrace, HistoryReply,
+    HistorySampleReply, MutationOp, ProfileReply, ReportReply, Request, Response, SpanNode,
     StatsReply,
 };
 pub use server::{serve, ServerConfig, ServerHandle};

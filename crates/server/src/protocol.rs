@@ -46,8 +46,14 @@ pub const MAGIC: [u8; 2] = [0x43, 0x51];
 /// a trailing per-database durability block in `STATS` replies
 /// (`mutation_seq`, `durable_seq`, persistence/read-only flags, records
 /// replayed at the last recovery) — optional on decode like the v4/v6
-/// blocks.
-pub const VERSION: u8 = 0x07;
+/// blocks. v8 adds forensics: the `HISTORY` opcode (ring-buffered
+/// whole-registry metric samples, answered with `HISTORIED`), the
+/// `FLIGHT` opcode (span trees and incidents retained by the flight
+/// recorder, answered with `FLIGHTED`), and a trailing global
+/// watchdog/recorder block in `STATS` replies (`recorder_retained`,
+/// `stalled_shards`, `stalled_workers`, `watchdog_stalls`) — optional on
+/// decode like every earlier block.
+pub const VERSION: u8 = 0x08;
 /// Oldest protocol version the daemon still accepts. v2 frames are a
 /// strict subset of v3, so the shim is just a wider version check.
 pub const MIN_VERSION: u8 = 0x02;
@@ -64,6 +70,9 @@ pub const V6: u8 = 0x06;
 /// The v7 revision (durability: `SYNC`/`SYNCED`, `ReadOnly`, per-db
 /// durability stats). Same header layout as v5.
 pub const V7: u8 = 0x07;
+/// The v8 revision (forensics: `HISTORY`/`FLIGHT`, watchdog + recorder
+/// stats). Same header layout as v5.
+pub const V8: u8 = 0x08;
 /// Upper bound on a frame payload (queries and reload texts included).
 pub const MAX_PAYLOAD: usize = 16 << 20;
 /// Upper bound on a single string field.
@@ -214,6 +223,22 @@ pub enum Request {
         /// Name of a loaded database.
         db: String,
     },
+    /// Fetch ring-buffered metrics-history samples with sequence numbers
+    /// above `since_seq` (0 = everything still in the ring). Answered
+    /// with [`Response::History`]. Idempotent. Protocol v8.
+    History {
+        /// Return only samples with `seq > since_seq`.
+        since_seq: u64,
+        /// At most this many samples (0 = server cap).
+        limit: u64,
+    },
+    /// Fetch the flight recorder's retained span trees and incidents
+    /// (most recent `limit` of each, oldest first; 0 = server cap).
+    /// Answered with [`Response::Flight`]. Idempotent. Protocol v8.
+    Flight {
+        /// At most this many traces and incidents each (0 = server cap).
+        limit: u64,
+    },
 }
 
 /// One tuple edit inside a [`Request::Mutate`] batch.
@@ -326,6 +351,15 @@ pub struct StatsReply {
     /// Mutations that fell back from incremental maintenance to targeted
     /// cache invalidation (v6+).
     pub delta_fallbacks: u64,
+    /// Span trees retained by the flight recorder (v8+; zero when talking
+    /// to an older server).
+    pub recorder_retained: u64,
+    /// Reactor shards the watchdog currently flags as stalled (v8+).
+    pub stalled_shards: u64,
+    /// Pool workers the watchdog currently flags as stalled (v8+).
+    pub stalled_workers: u64,
+    /// Total stall edges the watchdog has ever flagged (v8+).
+    pub watchdog_stalls: u64,
 }
 
 /// Structural analysis results (mirrors `cqcount_core::WidthReport`, with
@@ -398,6 +432,83 @@ pub struct ProfileReply {
     pub root: SpanNode,
 }
 
+/// Upper bound on samples in one `HISTORY` reply.
+pub const MAX_HISTORY_SAMPLES: usize = 4096;
+/// Upper bound on metric entries in one history sample.
+pub const MAX_HISTORY_ENTRIES: usize = 4096;
+/// Upper bound on span trees in one `FLIGHT` reply.
+pub const MAX_FLIGHT_TRACES: usize = 256;
+/// Upper bound on incidents in one `FLIGHT` reply.
+pub const MAX_FLIGHT_INCIDENTS: usize = 4096;
+
+/// One metrics-history sample inside a [`Response::History`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistorySampleReply {
+    /// Monotonic sample sequence (ring-wide, starts at 1).
+    pub seq: u64,
+    /// Wall-clock sample time, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Milliseconds since server start.
+    pub uptime_ms: u64,
+    /// `(series, value)` pairs: counters and gauges by name, histograms
+    /// flattened to `_count`/`_sum`/`_p99` series.
+    pub entries: Vec<(String, u64)>,
+}
+
+/// The reply to a `HISTORY` request. Protocol v8.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistoryReply {
+    /// The server's advertised sampling interval (0 = history disabled).
+    pub interval_ms: u64,
+    /// The sequence the *next* sample will get; `next_seq - 1` is the
+    /// newest existing sample, pass it back as `since_seq` to poll.
+    pub next_seq: u64,
+    /// Matching samples, oldest first.
+    pub samples: Vec<HistorySampleReply>,
+}
+
+/// One retained span tree inside a [`Response::Flight`]. Protocol v8.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlightTrace {
+    /// Capture sequence (shared with incidents: one timeline).
+    pub seq: u64,
+    /// Opcode label (`count`, `mutate`, …).
+    pub op: String,
+    /// Why it was retained (`slow`, `error`, `degraded`, `delta_fault`,
+    /// `read_only`, `watchdog`).
+    pub reason: String,
+    /// End-to-end latency, microseconds.
+    pub latency_us: u64,
+    /// The retention threshold in force (0 for non-latency retentions).
+    pub threshold_us: u64,
+    /// Wall-clock capture time, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// The request's span tree.
+    pub root: SpanNode,
+}
+
+/// One discrete incident inside a [`Response::Flight`]. Protocol v8.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FlightIncident {
+    /// Capture sequence (shared with traces: one timeline).
+    pub seq: u64,
+    /// Short machine-readable kind (`stall`, `read_only`, …).
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+    /// Wall-clock capture time, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+}
+
+/// The reply to a `FLIGHT` request. Protocol v8.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FlightReply {
+    /// Retained span trees, oldest first.
+    pub traces: Vec<FlightTrace>,
+    /// Retained incidents, oldest first.
+    pub incidents: Vec<FlightIncident>,
+}
+
 /// A server-to-client message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Response {
@@ -460,6 +571,11 @@ pub enum Response {
         /// when the server has no `--data-dir` — nothing is durable).
         durable_seq: u64,
     },
+    /// Metrics-history samples for a `History` request. Protocol v8.
+    History(HistoryReply),
+    /// The flight recorder's retentions for a `Flight` request.
+    /// Protocol v8.
+    Flight(FlightReply),
     /// Anything that went wrong.
     Error {
         /// Machine-readable category.
@@ -734,6 +850,8 @@ const OP_INSERT: u8 = 0x09;
 const OP_DELETE: u8 = 0x0a;
 const OP_MUTATE: u8 = 0x0b;
 const OP_SYNC: u8 = 0x0c;
+const OP_HISTORY: u8 = 0x0d;
+const OP_FLIGHT: u8 = 0x0e;
 
 const OP_R_COUNT: u8 = 0x81;
 const OP_R_ROWS: u8 = 0x82;
@@ -744,6 +862,8 @@ const OP_R_PROFILE: u8 = 0x87;
 const OP_R_METRICS: u8 = 0x88;
 const OP_R_MUTATED: u8 = 0x89;
 const OP_R_SYNCED: u8 = 0x8a;
+const OP_R_HISTORY: u8 = 0x8b;
+const OP_R_FLIGHT: u8 = 0x8c;
 const OP_R_ERROR: u8 = 0xff;
 
 fn write_tuple(p: &mut Vec<u8>, values: &[String]) {
@@ -931,6 +1051,15 @@ impl Request {
                 write_str(&mut p, db);
                 OP_SYNC
             }
+            Request::History { since_seq, limit } => {
+                write_uleb(&mut p, *since_seq);
+                write_uleb(&mut p, *limit);
+                OP_HISTORY
+            }
+            Request::Flight { limit } => {
+                write_uleb(&mut p, *limit);
+                OP_FLIGHT
+            }
         };
         (opcode, p)
     }
@@ -1000,6 +1129,13 @@ impl Request {
             }
             OP_SYNC => Request::Sync {
                 db: read_str(buf, &mut pos)?,
+            },
+            OP_HISTORY => Request::History {
+                since_seq: read_uleb(buf, &mut pos)?,
+                limit: read_uleb(buf, &mut pos)?,
+            },
+            OP_FLIGHT => Request::Flight {
+                limit: read_uleb(buf, &mut pos)?,
             },
             other => return Err(format!("unknown request opcode 0x{other:02x}")),
         };
@@ -1116,6 +1252,16 @@ impl Response {
                     p.push(flags);
                     write_uleb(&mut p, d.recovered_records);
                 }
+                // v8 trailing fields: watchdog + flight recorder counters.
+                // Optional on decode like every earlier block.
+                for v in [
+                    s.recorder_retained,
+                    s.stalled_shards,
+                    s.stalled_workers,
+                    s.watchdog_stalls,
+                ] {
+                    write_uleb(&mut p, v);
+                }
                 OP_R_STATS
             }
             Response::Ok { epoch } => {
@@ -1154,6 +1300,42 @@ impl Response {
                 write_uleb(&mut p, *mutation_seq);
                 write_uleb(&mut p, *durable_seq);
                 OP_R_SYNCED
+            }
+            Response::History(h) => {
+                write_uleb(&mut p, h.interval_ms);
+                write_uleb(&mut p, h.next_seq);
+                write_uleb(&mut p, h.samples.len() as u64);
+                for s in &h.samples {
+                    write_uleb(&mut p, s.seq);
+                    write_uleb(&mut p, s.unix_ms);
+                    write_uleb(&mut p, s.uptime_ms);
+                    write_uleb(&mut p, s.entries.len() as u64);
+                    for (name, value) in &s.entries {
+                        write_str(&mut p, name);
+                        write_uleb(&mut p, *value);
+                    }
+                }
+                OP_R_HISTORY
+            }
+            Response::Flight(f) => {
+                write_uleb(&mut p, f.traces.len() as u64);
+                for t in &f.traces {
+                    write_uleb(&mut p, t.seq);
+                    write_str(&mut p, &t.op);
+                    write_str(&mut p, &t.reason);
+                    write_uleb(&mut p, t.latency_us);
+                    write_uleb(&mut p, t.threshold_us);
+                    write_uleb(&mut p, t.unix_ms);
+                    write_span_node(&mut p, &t.root);
+                }
+                write_uleb(&mut p, f.incidents.len() as u64);
+                for i in &f.incidents {
+                    write_uleb(&mut p, i.seq);
+                    write_str(&mut p, &i.kind);
+                    write_str(&mut p, &i.detail);
+                    write_uleb(&mut p, i.unix_ms);
+                }
+                OP_R_FLIGHT
             }
             Response::Error {
                 code,
@@ -1277,6 +1459,13 @@ impl Response {
                         d.recovered_records = read_uleb(buf, &mut pos)?;
                     }
                 }
+                // v8 trailing watchdog + recorder counters; absent before.
+                let mut forensics = [0u64; 4];
+                if pos != buf.len() {
+                    for v in &mut forensics {
+                        *v = read_uleb(buf, &mut pos)?;
+                    }
+                }
                 Response::Stats(StatsReply {
                     served: vals[0],
                     overloaded: vals[1],
@@ -1300,6 +1489,10 @@ impl Response {
                     mutations_applied: mutation[0],
                     delta_bags_touched: mutation[1],
                     delta_fallbacks: mutation[2],
+                    recorder_retained: forensics[0],
+                    stalled_shards: forensics[1],
+                    stalled_workers: forensics[2],
+                    watchdog_stalls: forensics[3],
                 })
             }
             OP_R_OK => Response::Ok {
@@ -1339,6 +1532,81 @@ impl Response {
                 mutation_seq: read_uleb(buf, &mut pos)?,
                 durable_seq: read_uleb(buf, &mut pos)?,
             },
+            OP_R_HISTORY => {
+                let interval_ms = read_uleb(buf, &mut pos)?;
+                let next_seq = read_uleb(buf, &mut pos)?;
+                let nsamples = read_uleb(buf, &mut pos)? as usize;
+                if nsamples > MAX_HISTORY_SAMPLES {
+                    return Err(format!("{nsamples} history samples exceeds cap"));
+                }
+                let mut samples = Vec::with_capacity(nsamples.min(1024));
+                for _ in 0..nsamples {
+                    let seq = read_uleb(buf, &mut pos)?;
+                    let unix_ms = read_uleb(buf, &mut pos)?;
+                    let uptime_ms = read_uleb(buf, &mut pos)?;
+                    let nentries = read_uleb(buf, &mut pos)? as usize;
+                    if nentries > MAX_HISTORY_ENTRIES {
+                        return Err(format!("{nentries} history entries exceeds cap"));
+                    }
+                    let mut entries = Vec::with_capacity(nentries.min(1024));
+                    for _ in 0..nentries {
+                        let name = read_str(buf, &mut pos)?;
+                        let value = read_uleb(buf, &mut pos)?;
+                        entries.push((name, value));
+                    }
+                    samples.push(HistorySampleReply {
+                        seq,
+                        unix_ms,
+                        uptime_ms,
+                        entries,
+                    });
+                }
+                Response::History(HistoryReply {
+                    interval_ms,
+                    next_seq,
+                    samples,
+                })
+            }
+            OP_R_FLIGHT => {
+                let ntraces = read_uleb(buf, &mut pos)? as usize;
+                if ntraces > MAX_FLIGHT_TRACES {
+                    return Err(format!("{ntraces} flight traces exceeds cap"));
+                }
+                let mut traces = Vec::with_capacity(ntraces.min(256));
+                for _ in 0..ntraces {
+                    let seq = read_uleb(buf, &mut pos)?;
+                    let op = read_str(buf, &mut pos)?;
+                    let reason = read_str(buf, &mut pos)?;
+                    let latency_us = read_uleb(buf, &mut pos)?;
+                    let threshold_us = read_uleb(buf, &mut pos)?;
+                    let unix_ms = read_uleb(buf, &mut pos)?;
+                    let mut remaining = MAX_SPAN_NODES;
+                    let root = read_span_node(buf, &mut pos, &mut remaining, 0)?;
+                    traces.push(FlightTrace {
+                        seq,
+                        op,
+                        reason,
+                        latency_us,
+                        threshold_us,
+                        unix_ms,
+                        root,
+                    });
+                }
+                let nincidents = read_uleb(buf, &mut pos)? as usize;
+                if nincidents > MAX_FLIGHT_INCIDENTS {
+                    return Err(format!("{nincidents} flight incidents exceeds cap"));
+                }
+                let mut incidents = Vec::with_capacity(nincidents.min(1024));
+                for _ in 0..nincidents {
+                    incidents.push(FlightIncident {
+                        seq: read_uleb(buf, &mut pos)?,
+                        kind: read_str(buf, &mut pos)?,
+                        detail: read_str(buf, &mut pos)?,
+                        unix_ms: read_uleb(buf, &mut pos)?,
+                    });
+                }
+                Response::Flight(FlightReply { traces, incidents })
+            }
             OP_R_ERROR => {
                 let code =
                     ErrorCode::from_u8(take_u8(buf, &mut pos)?).ok_or("bad error code byte")?;
@@ -1466,6 +1734,146 @@ mod tests {
             mutation_seq: u64::MAX,
             durable_seq: 0,
         });
+    }
+
+    #[test]
+    fn history_frames_roundtrip() {
+        roundtrip_request(Request::History {
+            since_seq: 0,
+            limit: 0,
+        });
+        roundtrip_request(Request::History {
+            since_seq: 41,
+            limit: 128,
+        });
+        roundtrip_response(Response::History(HistoryReply::default()));
+        roundtrip_response(Response::History(HistoryReply {
+            interval_ms: 250,
+            next_seq: 44,
+            samples: vec![
+                HistorySampleReply {
+                    seq: 42,
+                    unix_ms: 1_700_000_000_123,
+                    uptime_ms: 10_500,
+                    entries: vec![
+                        ("cqcount_requests_served_total".into(), 900),
+                        ("cqcount_request_latency_us_p99".into(), 4_800),
+                    ],
+                },
+                HistorySampleReply {
+                    seq: 43,
+                    unix_ms: 1_700_000_000_373,
+                    uptime_ms: 10_750,
+                    entries: vec![("cqcount_requests_served_total".into(), 907)],
+                },
+            ],
+        }));
+    }
+
+    #[test]
+    fn flight_frames_roundtrip() {
+        roundtrip_request(Request::Flight { limit: 0 });
+        roundtrip_request(Request::Flight { limit: 16 });
+        roundtrip_response(Response::Flight(FlightReply::default()));
+        roundtrip_response(Response::Flight(FlightReply {
+            traces: vec![FlightTrace {
+                seq: 7,
+                op: "mutate".into(),
+                reason: "slow".into(),
+                latency_us: 412_000,
+                threshold_us: 9_300,
+                unix_ms: 1_700_000_000_555,
+                root: SpanNode {
+                    name: "request".into(),
+                    start_ns: 0,
+                    duration_ns: 412_000_000,
+                    counters: vec![("wait_ns".into(), 1_000)],
+                    tags: vec![("op".into(), "mutate".into())],
+                    children: vec![SpanNode {
+                        name: "wal.fsync".into(),
+                        start_ns: 5_000,
+                        duration_ns: 400_000_000,
+                        ..SpanNode::default()
+                    }],
+                },
+            }],
+            incidents: vec![FlightIncident {
+                seq: 8,
+                kind: "stall".into(),
+                detail: "worker-1 busy 412ms > 100ms".into(),
+                unix_ms: 1_700_000_000_600,
+            }],
+        }));
+    }
+
+    #[test]
+    fn hostile_history_and_flight_replies_are_rejected_cleanly() {
+        // Declared sample count over the cap.
+        let mut p = Vec::new();
+        write_uleb(&mut p, 0); // interval
+        write_uleb(&mut p, 1); // next_seq
+        write_uleb(&mut p, MAX_HISTORY_SAMPLES as u64 + 1);
+        let frame = Frame {
+            version: V8,
+            req_id: 0,
+            opcode: OP_R_HISTORY,
+            payload: p,
+        };
+        let err = Response::decode(&frame).unwrap_err();
+        assert!(err.contains("exceeds cap"), "{err:?}");
+
+        // Declared trace count over the cap.
+        let mut p = Vec::new();
+        write_uleb(&mut p, MAX_FLIGHT_TRACES as u64 + 1);
+        let frame = Frame {
+            version: V8,
+            req_id: 0,
+            opcode: OP_R_FLIGHT,
+            payload: p,
+        };
+        let err = Response::decode(&frame).unwrap_err();
+        assert!(err.contains("exceeds cap"), "{err:?}");
+    }
+
+    #[test]
+    fn v7_stats_without_watchdog_block_still_parses() {
+        // A v7 peer stops after the per-db durability block; the v8
+        // decoder must treat the forensics counters as absent, not
+        // truncated.
+        let mut p = Vec::new();
+        for v in 0..12u64 {
+            write_uleb(&mut p, v);
+        }
+        write_uleb(&mut p, 1); // one db
+        write_str(&mut p, "main");
+        write_uleb(&mut p, 4); // epoch
+        write_u64_le(&mut p, 99); // fingerprint
+        write_uleb(&mut p, 12); // tuples
+        for v in 0..6u64 {
+            write_uleb(&mut p, v); // planner block
+        }
+        for v in 0..3u64 {
+            write_uleb(&mut p, v); // mutation block
+        }
+        write_uleb(&mut p, 7); // mutation_seq
+        write_uleb(&mut p, 7); // durable_seq
+        p.push(0x01); // persisted, not read-only
+        write_uleb(&mut p, 0); // recovered_records
+        let frame = Frame {
+            version: V7,
+            req_id: 0,
+            opcode: OP_R_STATS,
+            payload: p,
+        };
+        let Response::Stats(s) = Response::decode(&frame).unwrap() else {
+            panic!("expected stats");
+        };
+        assert_eq!(s.dbs[0].mutation_seq, 7);
+        assert!(s.dbs[0].persisted);
+        assert_eq!(s.recorder_retained, 0);
+        assert_eq!(s.stalled_shards, 0);
+        assert_eq!(s.stalled_workers, 0);
+        assert_eq!(s.watchdog_stalls, 0);
     }
 
     #[test]
@@ -1632,6 +2040,10 @@ mod tests {
             mutations_applied: 12,
             delta_bags_touched: 31,
             delta_fallbacks: 2,
+            recorder_retained: 2,
+            stalled_shards: 1,
+            stalled_workers: 0,
+            watchdog_stalls: 3,
         }));
         roundtrip_response(Response::Ok { epoch: 3 });
         roundtrip_response(Response::Stats(StatsReply::default()));
@@ -1760,7 +2172,7 @@ mod tests {
         assert_eq!(frame.req_id, 0, "pre-v5 frames carry no request id");
         assert_eq!(Request::decode(&frame).unwrap(), Request::Stats);
         // But versions outside [MIN_VERSION, VERSION] stay rejected.
-        for bad in [0x00, 0x01, 0x07, 0x7f] {
+        for bad in [0x00, 0x01, 0x09, 0x7f] {
             buf[2] = bad;
             assert!(read_frame(&mut Cursor::new(&buf)).is_err(), "version {bad}");
         }
@@ -1854,11 +2266,13 @@ mod tests {
         let frame = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
 
         // A v4/v5 server's STATS reply ends at the planner counters; the
-        // v6 decoder must read it with the mutation counters defaulting
-        // to zero. All trailing values are < 128 here, so the planner
-        // block is six bytes and the mutation block three.
+        // decoder must read it with the mutation and forensics counters
+        // defaulting to zero. All trailing values are < 128 here, so the
+        // planner block is six bytes, the mutation block three, and the
+        // v8 forensics block four (the db list is empty, so the v7 per-db
+        // block is zero bytes).
         let mut v5 = frame.clone();
-        v5.payload.truncate(v5.payload.len() - 3);
+        v5.payload.truncate(v5.payload.len() - 7);
         let got = match Response::decode(&v5).unwrap() {
             Response::Stats(s) => s,
             other => panic!("expected stats, got {other:?}"),
@@ -1867,9 +2281,9 @@ mod tests {
         assert_eq!(got.planner_blocks_solved, 9);
         assert_eq!(got.mutations_applied, 0);
 
-        // A v3 reply ends at the db list; both optional blocks default.
+        // A v3 reply ends at the db list; every optional block defaults.
         let mut v3 = frame.clone();
-        v3.payload.truncate(v3.payload.len() - 9);
+        v3.payload.truncate(v3.payload.len() - 13);
         let got = match Response::decode(&v3).unwrap() {
             Response::Stats(s) => s,
             other => panic!("expected stats, got {other:?}"),

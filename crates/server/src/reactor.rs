@@ -27,10 +27,13 @@
 
 use crate::faults::{ConnFaults, FaultyStream, JobFaults};
 use crate::protocol::{parse_frame_prefix, ErrorCode, Frame, Request, Response, MAX_PAYLOAD, V5};
-use crate::server::{counting_op, handle_admin, overload_response, try_fast_path, Job, Shared};
+use crate::server::{
+    counting_op, handle_admin, op_name, overload_response, try_fast_path, Job, Shared,
+};
 use cqcount_exec::poll::{poll_fds, PollFd, WakePipe, Waker, POLLIN, POLLOUT};
 use cqcount_exec::BoundedQueue;
 use cqcount_obs::trace;
+use cqcount_obs::watchdog::HeartbeatKind;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -163,6 +166,9 @@ struct PendingReq {
     /// `false` for frame-decode failures, which the blocking path never
     /// timed (they answered before the latency clock started).
     observe_latency: bool,
+    /// Opcode label for the per-op latency histogram (empty for frames
+    /// whose payload never decoded into a request).
+    op: &'static str,
 }
 
 struct Conn {
@@ -286,6 +292,16 @@ pub(crate) fn run_reactor(cfg: ReactorConfig) {
         listener,
     } = cfg;
     let mailbox = Arc::clone(&set.shards[shard]);
+    // Liveness contract with the stall watchdog: one beat per sweep. A
+    // shard wedged inside a sweep (or no longer polling at all) goes
+    // silent and gets flagged.
+    let heartbeat = shared.watchdog.as_ref().map(|w| {
+        w.register(
+            format!("reactor-{shard}"),
+            HeartbeatKind::Polled,
+            trace::now_ns(),
+        )
+    });
     let mut conns: HashMap<u64, Conn> = HashMap::new();
     let mut scratch = vec![0u8; READ_CHUNK];
     let mut jobs: Vec<Job> = Vec::new();
@@ -326,6 +342,10 @@ pub(crate) fn run_reactor(cfg: ReactorConfig) {
             let timeout = poll_timeout(&shared, &conns);
             let _ = poll_fds(&mut pollfds, Some(timeout));
             shared.metrics.reactor_wakeups.inc();
+        }
+
+        if let Some(hb) = &heartbeat {
+            hb.beat(trace::now_ns());
         }
 
         if pollfds[0].readable() {
@@ -377,6 +397,15 @@ pub(crate) fn run_reactor(cfg: ReactorConfig) {
         // Drain finished jobs. Worker completions count as served; their
         // trace lines are buffered locally and written once per sweep.
         let drained: Vec<Completion> = std::mem::take(&mut *mailbox.completions.lock().unwrap());
+        // One span per sweep that actually moves requests or responses —
+        // idle timeouts never record, so a quiet reactor stays silent.
+        let any_input = conns
+            .values()
+            .any(|c| (c.readable && c.wants_read()) || (!c.rbuf.is_empty() && !c.dead));
+        let sweep_span = (!drained.is_empty() || any_input).then(|| trace::span("reactor.sweep"));
+        if let Some(span) = &sweep_span {
+            span.add("completions", drained.len() as u64);
+        }
         for c in drained {
             if let Some(line) = c.trace_line {
                 trace_buf.push_str(&line);
@@ -437,6 +466,7 @@ pub(crate) fn run_reactor(cfg: ReactorConfig) {
             }
             trace_buf.clear();
         }
+        drop(sweep_span);
 
         reap(&shared, &mut conns);
         conns.retain(|_, c| !c.dead);
@@ -602,6 +632,7 @@ fn handle_frame(
                     req_id,
                     decode_start,
                     observe_latency: false,
+                    op: "",
                 },
             );
             if version < V5 {
@@ -625,6 +656,7 @@ fn handle_frame(
             req_id,
             decode_start,
             observe_latency: true,
+            op: op_name(&request),
         },
     );
     if version < V5 {
@@ -675,10 +707,11 @@ fn complete(shared: &Shared, conn: &mut Conn, seq: u64, response: Response) {
     };
     shared.account(&response);
     if p.observe_latency {
-        shared
-            .metrics
-            .latency_us
-            .observe(trace::now_ns().saturating_sub(p.decode_start) / 1_000);
+        let us = trace::now_ns().saturating_sub(p.decode_start) / 1_000;
+        shared.metrics.latency_us.observe(us);
+        if let Some(h) = shared.metrics.op_latency(p.op) {
+            h.observe(us);
+        }
     }
     let bytes = response.encode(p.version, p.req_id);
     if p.version >= V5 {

@@ -45,8 +45,10 @@
 use crate::cache::{CountCache, FingerprintCache, Fingerprinted, PlanCache, PlanEntry};
 use crate::faults::{FaultEvent, FaultInjector, JobFaults};
 use crate::protocol::{
-    CacheTier, DbSummary, ErrorCode, ProfileReply, ReportReply, Request, Response, SpanNode,
-    StatsReply, MAX_SPAN_DEPTH, MAX_SPAN_FIELDS, MAX_SPAN_NODES,
+    CacheTier, DbSummary, ErrorCode, FlightIncident, FlightReply, FlightTrace, HistoryReply,
+    HistorySampleReply, ProfileReply, ReportReply, Request, Response, SpanNode, StatsReply,
+    MAX_FLIGHT_INCIDENTS, MAX_FLIGHT_TRACES, MAX_HISTORY_ENTRIES, MAX_HISTORY_SAMPLES,
+    MAX_SPAN_DEPTH, MAX_SPAN_FIELDS, MAX_SPAN_NODES,
 };
 use crate::reactor::{run_reactor, Completion, ReactorConfig, ReactorSet};
 use cqcount_core::planner::{
@@ -54,8 +56,11 @@ use cqcount_core::planner::{
 };
 use cqcount_core::{for_each_answer, Budget, PlanError};
 use cqcount_exec::BoundedQueue;
+use cqcount_obs::flight::{FlightRecorder, RetainReason};
+use cqcount_obs::history::MetricsHistory;
 use cqcount_obs::metrics::{Counter, Gauge, Histogram, Registry};
 use cqcount_obs::trace;
+use cqcount_obs::watchdog::{HeartbeatKind, Watchdog};
 use cqcount_query::fingerprint::fingerprint;
 use cqcount_query::{parse_database, parse_query, ConjunctiveQuery, Var};
 use cqcount_relational::Database;
@@ -64,7 +69,7 @@ use std::io::Write;
 use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -131,6 +136,25 @@ pub struct ServerConfig {
     /// Fault injection: abort the process at a durability kill-point
     /// (`--crash-at`, or seeded via `--fault-profile crash`).
     pub crash_plan: Option<Arc<crate::faults::CrashPlan>>,
+    /// Flight-recorder capacity: span trees retained for forensics
+    /// (`--recorder-cap`; 0 disables the recorder entirely).
+    pub recorder_cap: usize,
+    /// Floor of the recorder's self-calibrating latency threshold in
+    /// microseconds (`--recorder-threshold-us`). The effective per-opcode
+    /// threshold is `max(this, live p99 of that opcode)`.
+    pub recorder_threshold_us: u64,
+    /// Metrics-history sampling interval (`--history-interval-ms`; 0
+    /// disables history).
+    pub history_interval_ms: u64,
+    /// Metrics-history ring capacity in samples (`--history-cap`).
+    pub history_cap: usize,
+    /// Watchdog stall threshold in milliseconds (`--watchdog-stall-ms`;
+    /// 0 disables the watchdog).
+    pub watchdog_stall_ms: u64,
+    /// Fault injection: on the Nth WAL fsync (1-based), sleep for the
+    /// given milliseconds before syncing (`--wal-fsync-stall N:MS`) —
+    /// the deterministic trigger for the forensics e2e test.
+    pub wal_fsync_stall: Option<(u64, u64)>,
 }
 
 impl Default for ServerConfig {
@@ -158,6 +182,12 @@ impl Default for ServerConfig {
             snapshot_every: 4096,
             wal_fail_after: None,
             crash_plan: None,
+            recorder_cap: 64,
+            recorder_threshold_us: 10_000,
+            history_interval_ms: 1_000,
+            history_cap: 512,
+            watchdog_stall_ms: 2_000,
+            wal_fsync_stall: None,
         }
     }
 }
@@ -217,6 +247,8 @@ pub(crate) struct Metrics {
     req_delete: Counter,
     req_mutate: Counter,
     req_sync: Counter,
+    req_history: Counter,
+    req_flight: Counter,
     // Per-ErrorCode outcome counters (`cqcount_errors_total{code=...}`).
     err_protocol: Counter,
     err_parse: Counter,
@@ -231,6 +263,10 @@ pub(crate) struct Metrics {
     pub(crate) reaped: Counter,
     pub(crate) queue_depth: Gauge,
     pub(crate) latency_us: Histogram,
+    /// Per-opcode request-latency series
+    /// (`cqcount_request_latency_by_op_us{op=...}`) — the flight
+    /// recorder's self-calibrating thresholds read their live p99.
+    latency_by_op: Vec<(&'static str, Histogram)>,
     pub(crate) reply_write_us: Histogram,
     /// Warm-hit requests answered inline on a reactor shard.
     pub(crate) fast_path_hits: Counter,
@@ -273,7 +309,38 @@ pub(crate) struct Metrics {
     pub(crate) recovery_truncated_bytes: Counter,
     /// Databases currently read-only (scrape-time gauge).
     pub(crate) read_only_dbs: Gauge,
+    /// Span trees retained by the flight recorder.
+    pub(crate) recorder_retained: Counter,
+    /// Incidents recorded by the flight recorder.
+    pub(crate) recorder_incidents: Counter,
+    /// Stall edges flagged by the watchdog (one per transition).
+    pub(crate) watchdog_stalls: Counter,
+    /// Reactor shards currently flagged as stalled.
+    pub(crate) watchdog_stalled_shards: Gauge,
+    /// Pool workers currently flagged as stalled.
+    pub(crate) watchdog_stalled_workers: Gauge,
+    /// Metrics-history samples taken.
+    pub(crate) history_samples: Counter,
 }
+
+/// Every opcode label, in wire order — the per-opcode latency family
+/// pre-registers one series per label so the hot path never allocates.
+const OP_LABELS: &[&str] = &[
+    "count",
+    "enumerate",
+    "width_report",
+    "stats",
+    "reload",
+    "flush",
+    "profile",
+    "metrics",
+    "insert",
+    "delete",
+    "mutate",
+    "sync",
+    "history",
+    "flight",
+];
 
 impl Metrics {
     fn new() -> Metrics {
@@ -312,6 +379,8 @@ impl Metrics {
             req_delete: req("delete"),
             req_mutate: req("mutate"),
             req_sync: req("sync"),
+            req_history: req("history"),
+            req_flight: req("flight"),
             err_protocol: err("protocol"),
             err_parse: err("parse"),
             err_unknown_db: err("unknown_db"),
@@ -341,6 +410,21 @@ impl Metrics {
                 "Request latency from decode to reply-ready, microseconds.",
                 LATENCY_BUCKETS_US,
             ),
+            latency_by_op: OP_LABELS
+                .iter()
+                .map(|op| {
+                    (
+                        *op,
+                        r.histogram_labeled(
+                            "cqcount_request_latency_by_op_us",
+                            "Request latency by opcode, microseconds.",
+                            "op",
+                            op,
+                            LATENCY_BUCKETS_US,
+                        ),
+                    )
+                })
+                .collect(),
             reply_write_us: r.histogram(
                 "cqcount_reply_write_us",
                 "Time spent encoding + writing a reply frame, microseconds.",
@@ -418,6 +502,30 @@ impl Metrics {
                 "cqcount_read_only_dbs",
                 "Databases currently degraded to read-only after a durability failure.",
             ),
+            recorder_retained: r.counter(
+                "cqcount_recorder_retained_total",
+                "Span trees retained by the flight recorder.",
+            ),
+            recorder_incidents: r.counter(
+                "cqcount_recorder_incidents_total",
+                "Discrete incidents recorded by the flight recorder.",
+            ),
+            watchdog_stalls: r.counter(
+                "cqcount_watchdog_stalls_total",
+                "Stall edges the watchdog flagged (one per transition into stalled).",
+            ),
+            watchdog_stalled_shards: r.gauge(
+                "cqcount_watchdog_stalled_shards",
+                "Reactor shards currently flagged as stalled.",
+            ),
+            watchdog_stalled_workers: r.gauge(
+                "cqcount_watchdog_stalled_workers",
+                "Pool workers currently flagged as stalled past their deadline budget.",
+            ),
+            history_samples: r.counter(
+                "cqcount_history_samples_total",
+                "Metrics-history samples recorded.",
+            ),
             registry: r,
         }
     }
@@ -460,7 +568,22 @@ impl Metrics {
             Request::Delete { .. } => &self.req_delete,
             Request::Mutate { .. } => &self.req_mutate,
             Request::Sync { .. } => &self.req_sync,
+            Request::History { .. } => &self.req_history,
+            Request::Flight { .. } => &self.req_flight,
         }
+    }
+
+    /// The registry backing every handle (the history sampler's input).
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The latency histogram for an opcode label, if registered.
+    pub(crate) fn op_latency(&self, op: &str) -> Option<&Histogram> {
+        self.latency_by_op
+            .iter()
+            .find(|(label, _)| *label == op)
+            .map(|(_, h)| h)
     }
 
     /// The outcome counter for an error code.
@@ -493,6 +616,8 @@ pub(crate) fn op_name(r: &Request) -> &'static str {
         Request::Delete { .. } => "delete",
         Request::Mutate { .. } => "mutate",
         Request::Sync { .. } => "sync",
+        Request::History { .. } => "history",
+        Request::Flight { .. } => "flight",
     }
 }
 
@@ -536,6 +661,13 @@ pub(crate) struct Shared {
     pub(crate) trace: Option<TraceSink>,
     /// Monotonic sequence number for trace-log lines.
     trace_seq: AtomicU64,
+    /// The flight recorder (`recorder_cap > 0`): every worker request is
+    /// speculatively traced and retained here when it proves interesting.
+    pub(crate) recorder: Option<Arc<FlightRecorder>>,
+    /// The metrics-history ring, fed by the sampler thread.
+    pub(crate) history: Option<Arc<MetricsHistory>>,
+    /// The stall watchdog; shards and workers register heartbeats here.
+    pub(crate) watchdog: Option<Arc<Watchdog>>,
 }
 
 impl Shared {
@@ -601,7 +733,23 @@ impl Shared {
             mutations_applied: self.metrics.mutations.get(),
             delta_bags_touched: self.metrics.delta_bags_touched.get(),
             delta_fallbacks: self.metrics.delta_fallbacks.get(),
+            recorder_retained: self.recorder.as_ref().map_or(0, |r| r.retained()),
+            stalled_shards: self.metrics.watchdog_stalled_shards.get(),
+            stalled_workers: self.metrics.watchdog_stalled_workers.get(),
+            watchdog_stalls: self.metrics.watchdog_stalls.get(),
         }
+    }
+
+    /// The flight recorder's latency threshold for one opcode: the live
+    /// p99 of that opcode's latency series, floored by the configured
+    /// minimum so a fast, healthy opcode doesn't retain its own noise.
+    pub(crate) fn retention_threshold_us(&self, op: &str) -> u64 {
+        let p99 = self
+            .metrics
+            .op_latency(op)
+            .and_then(|h| h.quantile(0.99))
+            .unwrap_or(0);
+        p99.max(self.config.recorder_threshold_us)
     }
 
     /// Renders the metrics registry, refreshing the scrape-time gauges.
@@ -736,6 +884,9 @@ pub struct ServerHandle {
     set: Arc<ReactorSet>,
     reactor_threads: Vec<JoinHandle<()>>,
     worker_threads: Vec<JoinHandle<()>>,
+    /// Sampler + watchdog threads, woken early at shutdown via `aux_stop`.
+    aux_threads: Vec<JoinHandle<()>>,
+    aux_stop: Arc<(Mutex<bool>, Condvar)>,
 }
 
 impl ServerHandle {
@@ -774,12 +925,20 @@ impl ServerHandle {
     /// lines before the threads exit.
     fn shutdown_inner(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
+        {
+            let (lock, cvar) = &*self.aux_stop;
+            *lock.lock().unwrap() = true;
+            cvar.notify_all();
+        }
         self.queue.close();
         for t in self.worker_threads.drain(..) {
             let _ = t.join();
         }
         self.set.wake_all();
         for t in self.reactor_threads.drain(..) {
+            let _ = t.join();
+        }
+        for t in self.aux_threads.drain(..) {
             let _ = t.join();
         }
         if let Some(trace) = &self.shared.trace {
@@ -860,7 +1019,21 @@ pub fn serve(
             config.snapshot_every,
             config.wal_fail_after,
             crash,
+            config.wal_fsync_stall,
         )
+    });
+    let recorder =
+        (config.recorder_cap > 0).then(|| Arc::new(FlightRecorder::new(config.recorder_cap, 256)));
+    let history = (config.history_interval_ms > 0).then(|| {
+        Arc::new(MetricsHistory::new(
+            config.history_cap,
+            config.history_interval_ms,
+        ))
+    });
+    let watchdog = (config.watchdog_stall_ms > 0).then(|| {
+        Arc::new(Watchdog::new(
+            config.watchdog_stall_ms.saturating_mul(1_000_000),
+        ))
     });
     let shared = Arc::new(Shared {
         plans,
@@ -874,6 +1047,9 @@ pub fn serve(
         stop: AtomicBool::new(false),
         trace,
         trace_seq: AtomicU64::new(0),
+        recorder,
+        history,
+        watchdog,
         config,
     });
     // Crash recovery comes first and wins over `initial`: a database that
@@ -896,13 +1072,24 @@ pub fn serve(
     let (set, pipes) = ReactorSet::new(nshards)?;
 
     let worker_threads: Vec<JoinHandle<()>> = (0..shared.config.workers.max(1))
-        .map(|_| {
+        .map(|i| {
             let queue = Arc::clone(&queue);
             let shared = Arc::clone(&shared);
             let set = Arc::clone(&set);
+            let heartbeat = shared.watchdog.as_ref().map(|dog| {
+                dog.register(
+                    format!("worker-{i}"),
+                    HeartbeatKind::Worker,
+                    trace::now_ns(),
+                )
+            });
             std::thread::spawn(move || {
                 while let Some(job) = queue.pop() {
                     shared.metrics.queue_depth.set(queue.len() as u64);
+                    if let Some(hb) = &heartbeat {
+                        let now = trace::now_ns();
+                        hb.begin_work(now, job_deadline_ns(&shared, &job.request, now));
+                    }
                     let (response, trace_line) = catch_unwind(AssertUnwindSafe(|| {
                         if job.faults.panic {
                             panic!("fault injection: forced worker panic");
@@ -920,6 +1107,9 @@ pub fn serve(
                             None,
                         )
                     });
+                    if let Some(hb) = &heartbeat {
+                        hb.end_work();
+                    }
                     set.post_completion(Completion {
                         conn_id: job.conn_id,
                         seq: job.seq,
@@ -930,6 +1120,57 @@ pub fn serve(
             })
         })
         .collect();
+
+    let aux_stop: Arc<(Mutex<bool>, Condvar)> = Arc::new((Mutex::new(false), Condvar::new()));
+    let mut aux_threads = Vec::new();
+    if let Some(history) = shared.history.clone() {
+        let shared = Arc::clone(&shared);
+        let stop = Arc::clone(&aux_stop);
+        let interval = Duration::from_millis(history.interval_ms().max(1));
+        aux_threads.push(std::thread::spawn(move || {
+            let (lock, cvar) = &*stop;
+            let mut stopped = lock.lock().unwrap();
+            while !*stopped {
+                let (guard, _) = cvar.wait_timeout(stopped, interval).unwrap();
+                stopped = guard;
+                if *stopped {
+                    break;
+                }
+                history.record(shared.metrics.registry());
+                shared.metrics.history_samples.inc();
+            }
+        }));
+    }
+    if let Some(watchdog) = shared.watchdog.clone() {
+        let shared = Arc::clone(&shared);
+        let stop = Arc::clone(&aux_stop);
+        let stall_ms = shared.config.watchdog_stall_ms;
+        // Scan a few times per stall window so a flagged member is caught
+        // promptly, but never busier than every 10ms.
+        let cadence = Duration::from_millis((stall_ms / 4).clamp(10, 250));
+        aux_threads.push(std::thread::spawn(move || {
+            let (lock, cvar) = &*stop;
+            let mut stopped = lock.lock().unwrap();
+            while !*stopped {
+                let (guard, _) = cvar.wait_timeout(stopped, cadence).unwrap();
+                stopped = guard;
+                if *stopped {
+                    break;
+                }
+                let report = watchdog.scan(trace::now_ns());
+                let m = &shared.metrics;
+                m.watchdog_stalled_shards.set(report.stalled_polled);
+                m.watchdog_stalled_workers.set(report.stalled_workers);
+                for name in &report.newly_stalled {
+                    m.watchdog_stalls.inc();
+                    if let Some(rec) = &shared.recorder {
+                        rec.incident("stall", format!("{name} unresponsive past {stall_ms}ms"));
+                        m.recorder_incidents.inc();
+                    }
+                }
+            }
+        }));
+    }
 
     let mut listener = Some(listener);
     let reactor_threads: Vec<JoinHandle<()>> = pipes
@@ -955,7 +1196,32 @@ pub fn serve(
         set,
         reactor_threads,
         worker_threads,
+        aux_threads,
+        aux_stop,
     })
+}
+
+/// The watchdog deadline for one job: double the request's wall-clock
+/// budget (the grace is folded in here — a job slightly over budget
+/// normally errors out on its own; the watchdog fires when it blows well
+/// past). Unbudgeted ops (mutations, syncs) rely on the generic
+/// busy-too-long rule instead.
+fn job_deadline_ns(shared: &Shared, request: &Request, now_ns: u64) -> u64 {
+    let budget_ms = match request {
+        Request::Count { budget_ms, .. }
+        | Request::Profile { budget_ms, .. }
+        | Request::Enumerate { budget_ms, .. } => *budget_ms,
+        _ => return 0,
+    };
+    let ms = if budget_ms == 0 {
+        shared.config.default_budget_ms
+    } else {
+        budget_ms
+    };
+    if ms == 0 {
+        return 0;
+    }
+    now_ns.saturating_add(ms.saturating_mul(2_000_000))
 }
 
 /// Answers an admin request inline (`None` for counting work). Admin
@@ -998,6 +1264,76 @@ pub(crate) fn handle_admin(
             shared.fingerprints.clear();
             shared.materialized.clear();
             Response::Ok { epoch: 0 }
+        }
+        Request::History { since_seq, limit } => {
+            shared.metrics.served.inc();
+            let limit = if *limit == 0 {
+                MAX_HISTORY_SAMPLES
+            } else {
+                (*limit as usize).min(MAX_HISTORY_SAMPLES)
+            };
+            match &shared.history {
+                Some(history) => {
+                    let (next_seq, samples) = history.since(*since_seq, limit);
+                    Response::History(HistoryReply {
+                        interval_ms: history.interval_ms(),
+                        next_seq,
+                        samples: samples
+                            .into_iter()
+                            .map(|s| HistorySampleReply {
+                                seq: s.seq,
+                                unix_ms: s.unix_ms,
+                                uptime_ms: s.uptime_ms,
+                                entries: s.entries.into_iter().take(MAX_HISTORY_ENTRIES).collect(),
+                            })
+                            .collect(),
+                    })
+                }
+                // History disabled: an empty reply with interval 0, not an
+                // error — a poller can tell the difference and move on.
+                None => Response::History(HistoryReply::default()),
+            }
+        }
+        Request::Flight { limit } => {
+            shared.metrics.served.inc();
+            let traces_limit = if *limit == 0 {
+                MAX_FLIGHT_TRACES
+            } else {
+                (*limit as usize).min(MAX_FLIGHT_TRACES)
+            };
+            let incidents_limit = if *limit == 0 {
+                MAX_FLIGHT_INCIDENTS
+            } else {
+                (*limit as usize).min(MAX_FLIGHT_INCIDENTS)
+            };
+            match &shared.recorder {
+                Some(rec) => Response::Flight(FlightReply {
+                    traces: rec
+                        .traces(traces_limit)
+                        .into_iter()
+                        .map(|t| FlightTrace {
+                            seq: t.seq,
+                            op: t.op,
+                            reason: t.reason.name().to_owned(),
+                            latency_us: t.latency_us,
+                            threshold_us: t.threshold_us,
+                            unix_ms: t.unix_ms,
+                            root: span_node_of(&t.root),
+                        })
+                        .collect(),
+                    incidents: rec
+                        .incidents(incidents_limit)
+                        .into_iter()
+                        .map(|i| FlightIncident {
+                            seq: i.seq,
+                            kind: i.kind,
+                            detail: i.detail,
+                            unix_ms: i.unix_ms,
+                        })
+                        .collect(),
+                }),
+                None => Response::Flight(FlightReply::default()),
+            }
         }
         _ => return None,
     })
@@ -1127,24 +1463,38 @@ pub(crate) fn counting_op(r: &Request) -> bool {
 /// stretches happened before the root existed.
 fn execute_job(shared: &Shared, job: &Job) -> (Response, Option<String>) {
     let profiling = matches!(job.request, Request::Profile { .. });
-    let _session =
-        (profiling || shared.trace.is_some()).then(cqcount_obs::trace::TraceSession::begin);
+    // The flight recorder traces *every* worker request speculatively:
+    // the session arms the thread-local rings, and the verdict below
+    // decides whether the collected tree is retained or dropped.
+    let _session = (profiling || shared.recorder.is_some() || shared.trace.is_some())
+        .then(cqcount_obs::trace::TraceSession::begin);
     let root = trace::span("request");
     let root_id = root.id();
-    root.tag("op", op_name(&job.request));
+    let op = op_name(&job.request);
+    root.tag("op", op);
     root.add("wait_ns", trace::now_ns().saturating_sub(job.submitted_ns));
     root.add("decode_ns", job.decode_ns);
+    let fallbacks_before = shared.metrics.delta_fallbacks.get();
     let response = run_job(shared, &job.request, job.faults);
     drop(root);
     if root_id.is_none() {
         return (response, None);
     }
     let tree = trace::build_tree(trace::collect(root_id), root_id);
+    if let (Some(recorder), Some(tree)) = (&shared.recorder, &tree) {
+        let latency_us = trace::now_ns().saturating_sub(job.submitted_ns) / 1_000;
+        let threshold_us = shared.retention_threshold_us(op);
+        let delta_fault = shared.metrics.delta_fallbacks.get() > fallbacks_before;
+        if let Some(reason) = retain_reason(&response, delta_fault, latency_us, threshold_us) {
+            shared.metrics.recorder_retained.inc();
+            recorder.retain(op, reason, latency_us, threshold_us, tree.clone());
+        }
+    }
     let mut trace_line = None;
     if let (Some(_sink), Some(tree)) = (&shared.trace, &tree) {
         let seq = shared.trace_seq.fetch_add(1, Ordering::Relaxed) + 1;
         let mut line = String::new();
-        write_trace_json(&mut line, seq, op_name(&job.request), tree);
+        write_trace_json(&mut line, seq, op, tree);
         line.push('\n');
         trace_line = Some(line);
     }
@@ -1179,6 +1529,34 @@ fn execute_job(shared: &Shared, job: &Job) -> (Response, Option<String>) {
         other => other,
     };
     (response, trace_line)
+}
+
+/// The flight-recorder verdict for one finished request. Outcome reasons
+/// (errors, degradation, delta fallback) outrank `Slow`: a request that is
+/// both broken *and* slow files under what broke, which is what an
+/// operator greps for.
+fn retain_reason(
+    response: &Response,
+    delta_fault: bool,
+    latency_us: u64,
+    threshold_us: u64,
+) -> Option<RetainReason> {
+    match response {
+        Response::Error { code, .. } => {
+            return Some(if *code == ErrorCode::ReadOnly {
+                RetainReason::ReadOnly
+            } else {
+                RetainReason::Error
+            });
+        }
+        Response::Count { degraded: true, .. } => return Some(RetainReason::Degraded),
+        Response::Profile(p) if p.degraded => return Some(RetainReason::Degraded),
+        _ => {}
+    }
+    if delta_fault {
+        return Some(RetainReason::DeltaFault);
+    }
+    (latency_us > threshold_us).then_some(RetainReason::Slow)
 }
 
 /// Converts a collected span tree into the wire form: times rebased to the

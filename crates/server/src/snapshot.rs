@@ -199,6 +199,7 @@ pub(crate) struct Recovered {
 /// starts empty and does **not** replay, reporting corruption instead of
 /// guessing.
 pub(crate) fn recover_db(db_dir: &Path) -> std::io::Result<Recovered> {
+    let replay_span = cqcount_obs::trace::span("recover.replay");
     let mut skipped = 0u64;
     let mut loaded: Option<(Database, u64, u64)> = None;
     let files = snapshot_files(db_dir);
@@ -264,6 +265,9 @@ pub(crate) fn recover_db(db_dir: &Path) -> std::io::Result<Recovered> {
         truncate_to(&wal, valid_len)?;
     }
 
+    replay_span.add("replayed", replayed);
+    replay_span.add("truncated_bytes", truncated_bytes);
+    drop(replay_span);
     Ok(Recovered {
         db,
         epoch,

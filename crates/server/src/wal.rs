@@ -165,16 +165,29 @@ pub(crate) struct WalWriter {
     /// (`--wal-fail-after N`). `None` = healthy disk.
     fail_after: Option<u64>,
     appended: u64,
+    /// Fault injection: `(nth, ms)` makes the `nth` fsync (1-based) sleep
+    /// `ms` milliseconds before syncing (`--wal-fsync-stall N:MS`) — a
+    /// deterministic stand-in for a disk that momentarily seizes up. The
+    /// sync still *succeeds*; only its latency is poisoned, which is what
+    /// the flight-recorder forensics tests need. `None` = healthy disk.
+    fsync_stall: Option<(u64, u64)>,
+    synced: u64,
 }
 
 impl WalWriter {
     /// Opens (creating if absent) the log at `path` for appending.
-    pub(crate) fn open(path: &Path, fail_after: Option<u64>) -> std::io::Result<WalWriter> {
+    pub(crate) fn open(
+        path: &Path,
+        fail_after: Option<u64>,
+        fsync_stall: Option<(u64, u64)>,
+    ) -> std::io::Result<WalWriter> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(WalWriter {
             out: BufWriter::new(file),
             fail_after,
             appended: 0,
+            fsync_stall,
+            synced: 0,
         })
     }
 
@@ -202,6 +215,12 @@ impl WalWriter {
 
     /// Flush + fsync: the record survives power loss after this returns.
     pub(crate) fn sync(&mut self) -> std::io::Result<()> {
+        self.synced += 1;
+        if let Some((nth, ms)) = self.fsync_stall {
+            if self.synced == nth {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+        }
         self.out.flush()?;
         self.out.get_ref().sync_data()
     }
@@ -399,7 +418,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("cqwal_fail_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join(WAL_FILE);
-        let mut w = WalWriter::open(&path, Some(2)).unwrap();
+        let mut w = WalWriter::open(&path, Some(2), None).unwrap();
         assert!(w.append(&rec(1, 1, 1)).is_ok());
         assert!(w.append(&rec(1, 2, 1)).is_ok());
         assert!(w.append(&rec(1, 3, 1)).is_err());
