@@ -1,0 +1,137 @@
+//! Cold-start benchmark: how fast can a daemon get a large database back
+//! into serving shape? Compares the two recovery substrates at 1M tuples:
+//!
+//! * **parse** — the facts-text path (`parse_database`), what `RELOAD`
+//!   does and what recovery cost before the store format: tokenize,
+//!   intern, dedup, index — O(data) work.
+//! * **mmap** — opening a store image (`open_store`): validate four CRCs
+//!   and adopt the pages in place — O(mmap) + checksum streaming, no
+//!   per-tuple work, no allocation proportional to the data.
+//!
+//! Emits `BENCH_cold_start.json` with the measured ratio; CI's
+//! `cold-start-guard` gates on `ratio >= 10`.
+
+use cqcount_bench::{fmt_duration, print_table, timed};
+use cqcount_query::parse_database;
+use cqcount_relational::store::{encode_store, open_store};
+use cqcount_relational::Database;
+use std::time::Duration;
+
+const TUPLES: usize = 1_000_000;
+const DOMAIN: u64 = 65_536;
+const ARITY: usize = 2;
+/// Median-of-N runs (each run re-parses / re-opens from scratch).
+const RUNS: usize = 5;
+
+/// A deterministic 1M-tuple edge database over a 65k constant domain —
+/// big enough that parse cost is dominated by real interning/index work,
+/// small enough to build quickly in CI.
+fn build_db() -> Database {
+    let mut db = Database::default();
+    let mut x = 0x2545F4914F6CDD1Du64;
+    let mut next = || {
+        // xorshift64*, deterministic across runs and hosts
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    for _ in 0..TUPLES {
+        let a = format!("c{}", next() % DOMAIN);
+        let b = format!("c{}", next() % DOMAIN);
+        db.add_fact("edge", &[&a, &b]);
+    }
+    db
+}
+
+fn facts_text(db: &Database) -> String {
+    let mut out = String::with_capacity(TUPLES * 16);
+    let interner = db.interner();
+    for (name, rel) in db.relations() {
+        for row in rel.iter() {
+            out.push_str(name);
+            out.push('(');
+            for (i, &v) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(interner.name(v));
+            }
+            out.push_str(").\n");
+        }
+    }
+    out
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let (db, build) = timed(build_db);
+    let tuples = db.total_tuples();
+    eprintln!("built {tuples} tuples in {}", fmt_duration(build));
+
+    let text = facts_text(&db);
+    let image = encode_store(&db, 1, 0);
+    let dir = std::env::temp_dir().join(format!("cq_cold_start_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snap = dir.join("snap.cqs");
+    std::fs::write(&snap, &image).expect("write store image");
+
+    let expected_fp = db.fingerprint();
+
+    let mut parse_ns = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let (parsed, t) = timed(|| parse_database(&text).expect("facts parse"));
+        assert_eq!(parsed.fingerprint(), expected_fp, "parse path diverged");
+        parse_ns.push(t.as_nanos() as f64);
+    }
+
+    let mut mmap_ns = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let (loaded, t) = timed(|| open_store(&snap).expect("store open"));
+        assert_eq!(loaded.db.fingerprint(), expected_fp, "mmap path diverged");
+        mmap_ns.push(t.as_nanos() as f64);
+    }
+
+    let parse = median(parse_ns);
+    let mmap = median(mmap_ns);
+    let ratio = parse / mmap;
+
+    println!("\n### bench: cold_start ({tuples} tuples, arity {ARITY}, domain {DOMAIN})\n");
+    print_table(
+        &["path", "time", "notes"],
+        &[
+            vec![
+                "parse".into(),
+                fmt_duration(Duration::from_nanos(parse as u64)),
+                "facts text -> Database (RELOAD / pre-store recovery)".into(),
+            ],
+            vec![
+                "mmap".into(),
+                fmt_duration(Duration::from_nanos(mmap as u64)),
+                "store image -> Database (snapshot recovery)".into(),
+            ],
+        ],
+    );
+    println!("\ncold-start speedup: {ratio:.1}x (store image is {} bytes; fingerprint verified on both paths)", image.len());
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"cold_start\",\n");
+    json.push_str(&format!("  \"tuples\": {tuples},\n"));
+    json.push_str(&format!("  \"domain\": {DOMAIN},\n"));
+    json.push_str(&format!("  \"image_bytes\": {},\n", image.len()));
+    json.push_str("  \"unit\": \"ns\",\n");
+    json.push_str(&format!("  \"parse_ns\": {parse:.0},\n"));
+    json.push_str(&format!("  \"mmap_ns\": {mmap:.0},\n"));
+    json.push_str(&format!("  \"ratio\": {ratio:.2}\n"));
+    json.push_str("}\n");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cold_start.json");
+    std::fs::write(out, &json).expect("write BENCH_cold_start.json");
+    println!("wrote {out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,12 +1,16 @@
 //! Microbenchmarks for the relational join/semijoin kernels: the
 //! allocation-free sort-merge kernels (sequential and on the worker pool)
-//! against the straw-man hash join they replaced. Emits a machine-readable
-//! `BENCH_join_kernels.json` at the workspace root alongside the table.
+//! against the straw-man hash join they replaced, plus the leapfrog
+//! worst-case-optimal kernel against a binary join plan on the cyclic
+//! workload it exists for (triangles: the binary plan materializes an
+//! O(m²/n) intermediate, leapfrog never leaves the AGM bound). Emits a
+//! machine-readable `BENCH_join_kernels.json` at the workspace root
+//! alongside the table.
 
 use cqcount_arith::prng::Rng;
 use cqcount_bench::{bench_ns, fmt_duration, print_table};
 use cqcount_relational::algebra::join_hash_baseline;
-use cqcount_relational::{Bindings, Value};
+use cqcount_relational::{wcoj_join, Bindings, Value, WcojInput};
 use std::time::Duration;
 
 struct Case {
@@ -32,6 +36,27 @@ fn instance(rows: usize, seed: u64) -> (Bindings, Bindings) {
         Bindings::from_rows(cols, data)
     };
     (mk(&mut rng, vec![0, 1]), mk(&mut rng, vec![0, 2]))
+}
+
+/// A triangle instance: three edge lists over columns {0,1}, {1,2}, {0,2}
+/// with `rows` random edges each. The domain is `rows / 4`, which keeps
+/// the pairwise joins dense (≈ 4·rows intermediate tuples) while the
+/// triangle output stays tiny — the regime where a binary plan does
+/// asymptotically more work than the multiway intersection.
+fn triangle_instance(rows: usize, seed: u64) -> (Bindings, Bindings, Bindings) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let domain = (rows / 4).max(4) as u32;
+    let mut mk = |cols: Vec<u32>| {
+        let data: Vec<Vec<Value>> = (0..rows)
+            .map(|_| {
+                (0..cols.len())
+                    .map(|_| Value(rng.range_u32(0, domain)))
+                    .collect()
+            })
+            .collect();
+        Bindings::from_rows(cols, data)
+    };
+    (mk(vec![0, 1]), mk(vec![1, 2]), mk(vec![0, 2]))
 }
 
 fn main() {
@@ -76,6 +101,35 @@ fn main() {
         }
     }
 
+    for rows in [1_000usize, 10_000, 100_000] {
+        let (r, s, t) = triangle_instance(rows, 0xCAFE + rows as u64);
+        cases.push(Case {
+            kernel: "triangle_sortmerge",
+            rows,
+            threads: 1,
+            ns_per_op: cqcount_exec::with_threads(1, || {
+                bench_ns(|| {
+                    std::hint::black_box(r.join(&s).join(&t));
+                })
+            }),
+        });
+        cases.push(Case {
+            kernel: "triangle_wcoj",
+            rows,
+            threads: 1,
+            ns_per_op: cqcount_exec::with_threads(1, || {
+                bench_ns(|| {
+                    let inputs = [
+                        WcojInput::from_bindings(&r),
+                        WcojInput::from_bindings(&s),
+                        WcojInput::from_bindings(&t),
+                    ];
+                    std::hint::black_box(wcoj_join(&inputs));
+                })
+            }),
+        });
+    }
+
     println!("\n### bench: join_kernels (hardware threads: {hw_threads})\n");
     let rows: Vec<Vec<String>> = cases
         .iter()
@@ -99,9 +153,10 @@ fn main() {
                 .unwrap_or(f64::NAN)
         };
         println!(
-            "rows {rows}: sort-merge vs hash baseline {:.2}x (1 thread), {par_threads}-thread join {:.2}x vs 1-thread",
+            "rows {rows}: sort-merge vs hash baseline {:.2}x (1 thread), {par_threads}-thread join {:.2}x vs 1-thread, wcoj triangle {:.2}x vs binary plan",
             ns_of("join_hash_baseline", 1) / ns_of("join", 1),
             ns_of("join", 1) / ns_of("join", par_threads),
+            ns_of("triangle_sortmerge", 1) / ns_of("triangle_wcoj", 1),
         );
     }
 

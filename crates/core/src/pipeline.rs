@@ -22,17 +22,30 @@ use cqcount_arith::Natural;
 use cqcount_decomp::Hypertree;
 use cqcount_query::ConjunctiveQuery;
 use cqcount_relational::consistency::full_reduce;
-use cqcount_relational::{Bindings, Database};
+use cqcount_relational::{Bindings, Database, JoinKernel};
 
 /// Counts `|π_free(Q')(Q'^D)|` given a decomposition of `Q'` whose bags
 /// cover every frontier of `FH(Q', free(Q'))` and whose `λ` indexes
-/// `Q'`'s atoms. This is the algorithm inside Theorem 3.7.
+/// `Q'`'s atoms. This is the algorithm inside Theorem 3.7. The bag join
+/// kernel comes from the environment (default `Auto`); use
+/// [`count_with_decomposition_kernel`] to pin it.
 pub fn count_with_decomposition(
     qprime: &ConjunctiveQuery,
     db: &Database,
     ht: &Hypertree,
 ) -> Natural {
-    let (complete, mut views) = crate::ps::completed_views(qprime, db, ht);
+    count_with_decomposition_kernel(qprime, db, ht, JoinKernel::from_env())
+}
+
+/// [`count_with_decomposition`] with an explicit per-bag join kernel —
+/// the planner's hook for steering cyclic bags onto the leapfrog path.
+pub fn count_with_decomposition_kernel(
+    qprime: &ConjunctiveQuery,
+    db: &Database,
+    ht: &Hypertree,
+    kernel: JoinKernel,
+) -> Natural {
+    let (complete, mut views) = crate::ps::completed_views_with_kernel(qprime, db, ht, kernel);
     full_reduce(&mut views, &complete.parent, &complete.order);
     if views.iter().any(Bindings::is_empty) {
         return Natural::ZERO;

@@ -5,13 +5,13 @@ use crate::brute::{count_brute_force, count_brute_force_budgeted};
 use crate::budget::Budget;
 use crate::error::PlanError;
 use crate::hybrid::count_hybrid;
-use crate::pipeline::{count_via_sharp_decomposition, count_with_decomposition};
+use crate::pipeline::{count_via_sharp_decomposition, count_with_decomposition_kernel};
 use crate::sharp::SharpDecomposition;
 use crate::width_search::WidthSearch;
 
 use cqcount_arith::Natural;
 use cqcount_query::{quantified_star_size, ConjunctiveQuery};
-use cqcount_relational::Database;
+use cqcount_relational::{Database, JoinKernel};
 
 /// Structural measurements of a query, for explainability and planning.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -164,6 +164,10 @@ pub struct PreparedPlan {
     /// *so far*", not "proven absent up to the cap". Degraded plans should
     /// not be cached.
     pub degraded: bool,
+    /// The per-bag join kernel for the sharp pipeline. `Auto` (the
+    /// default) runs leapfrog on cyclic bags and binary hash joins on
+    /// acyclic ones; `CQCOUNT_JOIN_KERNEL` pins it at plan time.
+    pub kernel: JoinKernel,
 }
 
 impl PreparedPlan {
@@ -228,6 +232,7 @@ pub fn prepare_plan_budgeted(
         width_cap,
         degree_cap: DEGREE_CAP,
         degraded,
+        kernel: JoinKernel::from_env(),
     }
 }
 
@@ -251,7 +256,7 @@ pub fn count_prepared_resilient(
         if sp.is_armed() {
             sp.add("width", sd.width as u64);
         }
-        let n = count_with_decomposition(&sd.qprime, db, &sd.hypertree);
+        let n = count_with_decomposition_kernel(&sd.qprime, db, &sd.hypertree, plan.kernel);
         budget.check()?;
         return Ok((n, Plan::SharpPipeline { width: sd.width }, false));
     }
@@ -338,7 +343,7 @@ pub fn count_prepared(
 ) -> Result<(Natural, Plan), PlanError> {
     budget.check()?;
     if let Some(sd) = &plan.sharp {
-        let n = count_with_decomposition(&sd.qprime, db, &sd.hypertree);
+        let n = count_with_decomposition_kernel(&sd.qprime, db, &sd.hypertree, plan.kernel);
         budget.check()?;
         return Ok((n, Plan::SharpPipeline { width: sd.width }));
     }

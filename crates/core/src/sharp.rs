@@ -2,12 +2,12 @@
 //! w.r.t. arbitrary view sets (Definition 1.4, Theorem 3.6).
 
 use cqcount_decomp::{tree_projection, Hypertree};
-use cqcount_hypergraph::{frontier_hypergraph, Hypergraph, NodeSet};
+use cqcount_hypergraph::{frontier_hypergraph, is_acyclic, Hypergraph, NodeSet};
 use cqcount_query::canonical::atom_bindings;
 use cqcount_query::color::{color, uncolor};
 use cqcount_query::hom::has_homomorphism;
-use cqcount_query::ConjunctiveQuery;
-use cqcount_relational::{Bindings, Database};
+use cqcount_query::{Atom, ConjunctiveQuery, Term};
+use cqcount_relational::{wcoj_join, Bindings, Database, JoinKernel, Relation, WcojInput};
 
 /// A `#`-hypertree decomposition (or a `#`-decomposition w.r.t. views):
 /// a decomposition covering both the hypergraph of (the uncolored version
@@ -132,19 +132,106 @@ pub fn sharp_decomposition_wrt_views(
 }
 
 /// Materializes the per-vertex relations `r_p = π_{χ(p)}(⋈_{a ∈ λ(p)} a^D)`
-/// of a decomposition whose `λ` indexes `q`'s atoms.
+/// of a decomposition whose `λ` indexes `q`'s atoms, with the join kernel
+/// taken from `CQCOUNT_JOIN_KERNEL` (default: [`JoinKernel::Auto`]).
 pub fn bag_views(q: &ConjunctiveQuery, db: &Database, ht: &Hypertree) -> Vec<Bindings> {
+    bag_views_with_kernel(q, db, ht, JoinKernel::from_env())
+}
+
+/// [`bag_views`] with an explicit kernel choice. `SortMerge` folds binary
+/// hash joins; `Wcoj` runs the leapfrog multiway intersection over every
+/// multi-atom bag; `Auto` reserves leapfrog for bags whose λ-atoms form a
+/// cyclic sub-hypergraph — exactly where a binary join order must
+/// materialize an intermediate larger than the AGM-bounded output.
+pub fn bag_views_with_kernel(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    ht: &Hypertree,
+    kernel: JoinKernel,
+) -> Vec<Bindings> {
     // One independent join-then-project per tree vertex: fan the vertices
     // out over the pool (results come back in vertex order).
     let vertices: Vec<usize> = (0..ht.len()).collect();
     cqcount_exec::par_map(&vertices, |&p| {
+        let chi_cols: Vec<u32> = ht.chi[p].to_vec();
+        let lam = &ht.lambda[p];
+        if wcoj_applies(q, lam, kernel) {
+            return wcoj_bag(q, db, lam).project(&chi_cols);
+        }
         let mut acc = Bindings::unit();
-        for &ai in &ht.lambda[p] {
+        for &ai in lam {
             acc = acc.join(&atom_bindings(&q.atoms()[ai], db));
         }
-        let chi_cols: Vec<u32> = ht.chi[p].to_vec();
         acc.project(&chi_cols)
     })
+}
+
+/// Should this bag's λ-atoms be joined with the leapfrog kernel?
+fn wcoj_applies(q: &ConjunctiveQuery, lam: &[usize], kernel: JoinKernel) -> bool {
+    match kernel {
+        JoinKernel::SortMerge => false,
+        JoinKernel::Wcoj => lam.len() >= 2,
+        JoinKernel::Auto => {
+            lam.len() >= 2 && {
+                let h = Hypergraph::from_edges(lam.iter().map(|&ai| {
+                    q.atoms()[ai]
+                        .vars()
+                        .iter()
+                        .map(|v| v.node())
+                        .collect::<Vec<_>>()
+                }));
+                !is_acyclic(&h)
+            }
+        }
+    }
+}
+
+/// A frozen relation usable directly as a leapfrog trie for `atom`: the
+/// atom's terms are pairwise-distinct variables whose column ids ascend
+/// with position (so the page's lexicographic row order *is* the trie
+/// order), and the stored relation is frozen with a matching arity.
+fn frozen_direct<'a>(atom: &Atom, db: &'a Database) -> Option<(&'a Relation, Vec<u32>)> {
+    let mut cols = Vec::with_capacity(atom.terms.len());
+    for t in &atom.terms {
+        match t {
+            Term::Var(v) if cols.last().is_none_or(|&c| c < v.node()) => cols.push(v.node()),
+            _ => return None,
+        }
+    }
+    let rel = db.relation(&atom.rel)?;
+    (rel.arity() == cols.len() && rel.sorted_values().is_some()).then_some((rel, cols))
+}
+
+/// Joins a bag's λ-atoms with the leapfrog kernel. Atoms whose relations
+/// sit on frozen store pages in trie order are intersected *in place on the
+/// page* (zero materialization); the rest are evaluated to canonical
+/// [`Bindings`] first (which also handles constants and repeated
+/// variables).
+fn wcoj_bag(q: &ConjunctiveQuery, db: &Database, lam: &[usize]) -> Bindings {
+    enum Part<'a> {
+        Frozen(&'a Relation, Vec<u32>),
+        Materialized(Bindings),
+    }
+    let parts: Vec<Part> = lam
+        .iter()
+        .map(|&ai| {
+            let atom = &q.atoms()[ai];
+            match frozen_direct(atom, db) {
+                Some((rel, cols)) => Part::Frozen(rel, cols),
+                None => Part::Materialized(atom_bindings(atom, db)),
+            }
+        })
+        .collect();
+    let inputs: Vec<WcojInput> = parts
+        .iter()
+        .map(|part| match part {
+            Part::Frozen(rel, cols) => {
+                WcojInput::from_frozen(rel, cols).expect("frozen_direct checked trie order")
+            }
+            Part::Materialized(b) => WcojInput::from_bindings(b),
+        })
+        .collect();
+    wcoj_join(&inputs)
 }
 
 #[cfg(test)]

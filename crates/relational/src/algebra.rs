@@ -213,6 +213,15 @@ impl Bindings {
         Bindings::from_parts(sorted_cols, out)
     }
 
+    /// Wraps rows the caller guarantees are already sorted, distinct, and
+    /// in sorted column order — the wcoj kernel emits in exactly that
+    /// order, so canonicalization is free there.
+    pub(crate) fn from_sorted_rows(cols: Vec<Col>, rows: Vec<Tuple>) -> Bindings {
+        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        Bindings { cols, rows }
+    }
+
     /// Canonicalizes pre-permuted rows: sort + dedup over sorted columns.
     /// The single chokepoint that makes every parallel production
     /// deterministic — whatever order chunks arrive in, the canonical form
@@ -233,7 +242,7 @@ impl Bindings {
         assert_eq!(terms.len(), relation.arity(), "atom arity mismatch");
         let sp = obs::trace::span("algebra.scan");
         if sp.is_armed() {
-            sp.add("rows_in", relation.rows().len() as u64);
+            sp.add("rows_in", relation.len() as u64);
         }
         // Per-position action, precomputed once (not per tuple): constants
         // to match, repeated variables to check against their first
@@ -264,9 +273,12 @@ impl Bindings {
         order.sort_unstable_by_key(|&i| cols[i]);
         let sorted_cols: Vec<Col> = order.iter().map(|&i| cols[i]).collect();
         let emit_pos: Vec<usize> = order.iter().map(|&i| first_pos[i]).collect();
-        let scan = |tuples: &[Tuple]| -> Vec<Tuple> {
-            tuples
-                .iter()
+        // The scan reads borrowed row slices straight out of the
+        // relation's flat value array — for a frozen relation that is the
+        // mapped page itself, no copy.
+        let scan_range = |start: usize, end: usize| -> Vec<Tuple> {
+            (start..end)
+                .map(|i| relation.row(i))
                 .filter(|tup| {
                     checks.iter().enumerate().all(|(i, c)| match c {
                         Check::Const(v) => tup[i] == *v,
@@ -277,14 +289,17 @@ impl Bindings {
                 .map(|tup| emit_pos.iter().map(|&p| tup[p]).collect())
                 .collect()
         };
-        let tuples = relation.rows();
-        let rows: Vec<Tuple> = if tuples.len() >= PAR_MIN_ROWS {
-            cqcount_exec::par_chunks(tuples, PAR_MIN_ROWS, |_, chunk| scan(chunk))
+        let n = relation.len();
+        let rows: Vec<Tuple> = if n >= PAR_MIN_ROWS {
+            let blocks: Vec<(usize, usize)> = (0..n.div_ceil(PAR_MIN_ROWS))
+                .map(|b| (b * PAR_MIN_ROWS, ((b + 1) * PAR_MIN_ROWS).min(n)))
+                .collect();
+            cqcount_exec::par_map(&blocks, |&(s, e)| scan_range(s, e))
                 .into_iter()
                 .flatten()
                 .collect()
         } else {
-            scan(tuples)
+            scan_range(0, n)
         };
         let out = Bindings::from_parts(sorted_cols, rows);
         if sp.is_armed() {
@@ -403,7 +418,14 @@ impl Bindings {
             }
             out
         };
-        let rows: Vec<Tuple> = if total_pairs >= PAR_MIN_ROWS && matches.len() > 1 {
+        // Parallelize only when the products dominate the group count:
+        // near-1:1 joins (avg fan-out < 4) spend their time in the final
+        // canonicalizing sort, not here, and chunked emission just adds
+        // allocator contention and a flatten copy — the measured 100k-row
+        // regression in BENCH_join_kernels.json.
+        let emit_dominates = total_pairs >= 4 * matches.len();
+        let rows: Vec<Tuple> = if total_pairs >= PAR_MIN_ROWS && matches.len() > 1 && emit_dominates
+        {
             cqcount_exec::par_chunks(&matches, 1, |_, chunk| emit_chunk(chunk))
                 .into_iter()
                 .flatten()

@@ -180,6 +180,43 @@ impl Database {
         Ok(changed)
     }
 
+    /// Assembles a database from recovered parts — the store loader's
+    /// entry point ([`crate::store`]): an interner rebuilt from persisted
+    /// names, relations (typically frozen pages), and the mutation
+    /// sequence the image captured.
+    pub fn from_parts(
+        values: Interner,
+        relations: Vec<(String, Relation)>,
+        mutation_seq: u64,
+    ) -> Database {
+        Database {
+            values,
+            relations: relations.into_iter().collect(),
+            mutation_seq,
+        }
+    }
+
+    /// Bytes owned by the process allocator: heap relation storage plus
+    /// the interner (approximate). Frozen pages in a real mmap region are
+    /// excluded — they show up in [`mapped_bytes`](Database::mapped_bytes).
+    pub fn resident_bytes(&self) -> usize {
+        self.values.resident_bytes()
+            + self
+                .relations
+                .values()
+                .map(Relation::resident_bytes)
+                .sum::<usize>()
+    }
+
+    /// Bytes borrowed from mmap'd store regions (shared page cache,
+    /// reclaimable by the OS without touching the allocator).
+    pub fn mapped_bytes(&self) -> usize {
+        self.relations
+            .values()
+            .map(Relation::mapped_bytes)
+            .sum::<usize>()
+    }
+
     /// How many effective single-tuple mutations this instance has absorbed
     /// since construction (reloads reset it: a fresh instance starts at 0).
     pub fn mutation_seq(&self) -> u64 {

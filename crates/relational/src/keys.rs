@@ -4,12 +4,12 @@
 //! freely use them as if they were free variables".
 
 use crate::fxhash::FxHashMap;
-use crate::{Relation, Tuple};
+use crate::{Relation, Tuple, Value};
 
 /// Returns `true` iff the positions `key` functionally determine the whole
 /// tuple in `rel` (no two tuples agree on `key` but differ elsewhere).
 pub fn positions_are_key(rel: &Relation, key: &[usize]) -> bool {
-    let mut seen: FxHashMap<Tuple, &Tuple> = FxHashMap::default();
+    let mut seen: FxHashMap<Tuple, &[Value]> = FxHashMap::default();
     for t in rel.iter() {
         let k: Tuple = key.iter().map(|&p| t[p]).collect();
         match seen.get(&k) {

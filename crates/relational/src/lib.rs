@@ -17,7 +17,12 @@
 //! * [`degree`] — the degree statistics `deg_D(X, r)` and per-vertex degree
 //!   `deg_D(F, v)` of Definition 6.1, the engine of hybrid decompositions;
 //! * [`fxhash`] — a tiny non-cryptographic hasher; joins and fixpoints are
-//!   hash-dominated and SipHash would be the bottleneck.
+//!   hash-dominated and SipHash would be the bottleneck;
+//! * [`store`] — the immutable mmap-able page format behind O(mmap)
+//!   startup: relations freeze to sorted pages + persisted dedup index,
+//!   thaw lazily on mutation, and share regions copy-on-write;
+//! * [`wcoj`] — a leapfrog worst-case-optimal multiway join over the same
+//!   sorted order, the planner's kernel for cyclic bags.
 //!
 //! Columns are opaque `u32` ids; the query crate maps variables onto them.
 
@@ -28,13 +33,17 @@ pub mod degree;
 pub mod fxhash;
 pub mod keys;
 pub mod relation;
+pub mod store;
 pub mod value;
+pub mod wcoj;
 
 pub use algebra::{Bindings, ColTerm};
 pub use database::{Database, MutationError};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use relation::Relation;
+pub use store::{LoadedStore, StoreError};
 pub use value::{Interner, Value};
+pub use wcoj::{wcoj_join, JoinKernel, WcojInput};
 
 /// A column identifier (the relational engine's view of a query variable).
 pub type Col = u32;

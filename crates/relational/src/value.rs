@@ -5,7 +5,12 @@ use std::fmt;
 
 /// An interned constant of the universe `U` (Section 2). Comparison and
 /// hashing are O(1); the owning [`Interner`] recovers the printable name.
+///
+/// `repr(transparent)`: a `Value` is exactly a `u32` in memory, so the
+/// store layer can view a mapped `&[u32]` page as `&[Value]` without
+/// copying (see [`crate::store`]).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct Value(pub u32);
 
 impl Value {
@@ -48,6 +53,29 @@ impl Interner {
     /// Interns the decimal form of `n` (convenient for generated data).
     pub fn intern_u64(&mut self, n: u64) -> Value {
         self.intern(&n.to_string())
+    }
+
+    /// Rebuilds an interner from names in id order (id `i` = `names[i]`),
+    /// as persisted by the store layer. Names must be distinct.
+    pub fn from_names(names: Vec<String>) -> Interner {
+        let map = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+        Interner { names, map }
+    }
+
+    /// Approximate heap footprint of the interner, in bytes (names plus
+    /// the name→id map); used by the per-db memory stats.
+    pub fn resident_bytes(&self) -> usize {
+        let strings: usize = self
+            .names
+            .iter()
+            .map(|s| s.capacity() + std::mem::size_of::<String>())
+            .sum();
+        // Each map entry holds a second copy of the name plus the id.
+        strings * 2 + self.names.len() * std::mem::size_of::<u32>()
     }
 
     /// Looks up a name without interning.

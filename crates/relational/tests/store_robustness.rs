@@ -1,0 +1,207 @@
+//! Corruption matrix for the store format, in the style of the server's
+//! durability tests: every damaged image must fail **closed** with a
+//! typed [`StoreError`] — never a panic, never a silently wrong database.
+//! Each case corrupts one specific section of a good image and asserts
+//! the exact error class, both through the byte loader and through a file
+//! (the mmap path when available, the heap fallback under
+//! `CQCOUNT_NO_MMAP=1`).
+
+use cqcount_relational::store::{encode_store, load_store_bytes, open_store, STORE_MAGIC};
+use cqcount_relational::{Database, StoreError};
+
+fn sample_db() -> Database {
+    let mut db = Database::default();
+    db.add_fact("edge", &["a", "b"]);
+    db.add_fact("edge", &["b", "c"]);
+    db.add_fact("edge", &["c", "a"]);
+    db.add_fact("label", &["a", "x y z"]);
+    db.add_fact("unit", &[]);
+    db.ensure_relation("empty", 3);
+    db
+}
+
+fn image() -> Vec<u8> {
+    encode_store(&sample_db(), 5, 17)
+}
+
+#[test]
+fn pristine_image_loads() {
+    let loaded = load_store_bytes(&image()).expect("good image");
+    assert_eq!(loaded.epoch, 5);
+    assert_eq!(loaded.seq, 17);
+    assert_eq!(loaded.db.fingerprint(), sample_db().fingerprint());
+}
+
+#[test]
+fn truncations_at_every_boundary_fail_closed() {
+    let full = image();
+    // Every strict prefix must load as a typed error — walk a spread of
+    // cut points including the header boundary and the last byte.
+    for cut in [0, 1, 8, 71, 72, 100, full.len() - 1] {
+        let err = load_store_bytes(&full[..cut]).expect_err("prefix must not load");
+        assert!(
+            matches!(
+                err,
+                StoreError::Truncated { .. } | StoreError::CrcMismatch { .. }
+            ),
+            "cut at {cut}: unexpected error {err}"
+        );
+    }
+}
+
+#[test]
+fn bad_magic_is_its_own_error() {
+    let mut bytes = image();
+    bytes[..8].copy_from_slice(b"NOTSTORE");
+    assert!(matches!(
+        load_store_bytes(&bytes),
+        Err(StoreError::BadMagic)
+    ));
+}
+
+#[test]
+fn unknown_version_is_rejected_before_any_parsing() {
+    let mut bytes = image();
+    // Version field lives at [8..12); bump it and fix the header CRC so
+    // the version check (not the checksum) is what fires.
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    patch_header_crc(&mut bytes);
+    assert!(matches!(
+        load_store_bytes(&bytes),
+        Err(StoreError::BadVersion { found: 99 })
+    ));
+}
+
+#[test]
+fn foreign_endianness_is_rejected() {
+    let mut bytes = image();
+    // The endian tag at [12..16) is written native; byte-swapping it
+    // simulates an image written on a foreign-endian host.
+    bytes[12..16].reverse();
+    patch_header_crc(&mut bytes);
+    assert!(matches!(
+        load_store_bytes(&bytes),
+        Err(StoreError::BadEndian { .. })
+    ));
+}
+
+#[test]
+fn header_corruption_is_caught_by_the_header_crc() {
+    let mut bytes = image();
+    // Flip a bit in the epoch field (inside the header-CRC span).
+    bytes[16] ^= 0x40;
+    match load_store_bytes(&bytes) {
+        Err(StoreError::CrcMismatch { section, .. }) => assert_eq!(section, "header"),
+        other => panic!("expected header CRC mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn meta_corruption_is_caught_by_the_meta_crc() {
+    let mut bytes = image();
+    // First byte past the header is interner-table territory.
+    bytes[72] ^= 0xff;
+    match load_store_bytes(&bytes) {
+        Err(StoreError::CrcMismatch { section, .. }) => assert_eq!(section, "meta"),
+        other => panic!("expected meta CRC mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn page_corruption_is_caught_by_the_page_crc() {
+    let mut bytes = image();
+    // Flip the last byte: pages are laid out after the meta section, so
+    // the tail of the image belongs to some relation's page span.
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    match load_store_bytes(&bytes) {
+        Err(StoreError::CrcMismatch { section, .. }) => assert_eq!(section, "page"),
+        other => panic!("expected page CRC mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut bytes = image();
+    bytes.extend_from_slice(b"garbage after the declared total_len");
+    assert!(matches!(
+        load_store_bytes(&bytes),
+        Err(StoreError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn every_single_byte_flip_is_detected() {
+    // The store's integrity boundary is its CRCs: no single-byte flip
+    // anywhere in the image may load as a *different valid* database.
+    let full = image();
+    let good_fp = sample_db().fingerprint();
+    for i in 0..full.len() {
+        let mut bytes = full.clone();
+        bytes[i] ^= 0x01;
+        if let Ok(loaded) = load_store_bytes(&bytes) {
+            assert_eq!(
+                loaded.db.fingerprint(),
+                good_fp,
+                "flip at byte {i} produced a different database"
+            );
+            // A surviving flip can only be the reserved word or padding;
+            // epoch/seq live under the header CRC, so they must match.
+            assert_eq!((loaded.epoch, loaded.seq), (5, 17), "flip at byte {i}");
+        }
+    }
+}
+
+#[test]
+fn zero_tuple_relations_round_trip() {
+    let loaded = load_store_bytes(&image()).unwrap();
+    let empty = loaded.db.relation("empty").expect("empty relation kept");
+    assert_eq!(empty.arity(), 3);
+    assert_eq!(empty.len(), 0);
+    // Arity-0 relations (the unit fact) survive too.
+    let unit = loaded.db.relation("unit").expect("unit relation kept");
+    assert_eq!(unit.arity(), 0);
+    assert_eq!(unit.len(), 1);
+}
+
+#[test]
+fn file_path_reports_io_and_corruption_like_the_byte_path() {
+    let dir = std::env::temp_dir().join(format!("cqstore_robust_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Missing file → Io.
+    assert!(matches!(
+        open_store(&dir.join("absent.cqs")),
+        Err(StoreError::Io(_))
+    ));
+
+    // Corrupt file → same typed error as the byte loader.
+    let mut bytes = image();
+    bytes[16] ^= 0x40;
+    let bad = dir.join("bad.cqs");
+    std::fs::write(&bad, &bytes).unwrap();
+    assert!(matches!(
+        open_store(&bad),
+        Err(StoreError::CrcMismatch {
+            section: "header",
+            ..
+        })
+    ));
+
+    // Good file → loads, and sanity-check the magic really is on disk.
+    let good = dir.join("good.cqs");
+    std::fs::write(&good, image()).unwrap();
+    let loaded = open_store(&good).unwrap();
+    assert_eq!(loaded.db.fingerprint(), sample_db().fingerprint());
+    assert_eq!(&std::fs::read(&good).unwrap()[..8], STORE_MAGIC);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Recomputes the header CRC at [68..72) over bytes [0..64), so tests can
+/// tamper with individual header fields and still reach the later checks.
+fn patch_header_crc(bytes: &mut [u8]) {
+    let crc = cqcount_relational::store::crc32(&bytes[..64]);
+    bytes[68..72].copy_from_slice(&crc.to_le_bytes());
+}

@@ -221,6 +221,17 @@ fn fmt_ns(ns: u64) -> String {
     }
 }
 
+/// `1_234_567` bytes → `"1.2 MiB"`; small values print raw.
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b} B")
+    }
+}
+
 /// Prints one span line (`name  duration  percent-of-request`) and recurses
 /// over the children with box-drawing connectors.
 fn render_span(
@@ -489,6 +500,11 @@ fn run(args: &[String]) -> Result<(), String> {
                 println!(
                     "db {}: epoch {}, fingerprint {:016x}, {} tuples{durability}",
                     d.name, d.epoch, d.fingerprint, d.tuples
+                );
+                println!(
+                    "    memory: {} resident, {} mmap-served",
+                    fmt_bytes(d.resident_bytes),
+                    fmt_bytes(d.mapped_bytes)
                 );
             }
             Ok(())

@@ -299,6 +299,13 @@ pub struct DbSummary {
     /// WAL records replayed when this database was last recovered at
     /// startup (v7+; 0 when it was born from `RELOAD`).
     pub recovered_records: u64,
+    /// Heap bytes held by this database's relations and interner
+    /// (trailing block after the v8 counters; zero when talking to an
+    /// older server).
+    pub resident_bytes: u64,
+    /// Bytes served in place from mmap'd store pages — frozen relations
+    /// a snapshot recovery left on disk (same trailing block).
+    pub mapped_bytes: u64,
 }
 
 /// Server and cache counters.
@@ -1262,6 +1269,13 @@ impl Response {
                 ] {
                     write_uleb(&mut p, v);
                 }
+                // Trailing per-db memory accounting (store epoch), in db
+                // list order: heap-resident vs. mmap-served bytes.
+                // Optional on decode like every earlier block.
+                for d in &s.dbs {
+                    write_uleb(&mut p, d.resident_bytes);
+                    write_uleb(&mut p, d.mapped_bytes);
+                }
                 OP_R_STATS
             }
             Response::Ok { epoch } => {
@@ -1464,6 +1478,14 @@ impl Response {
                 if pos != buf.len() {
                     for v in &mut forensics {
                         *v = read_uleb(buf, &mut pos)?;
+                    }
+                }
+                // Trailing per-db memory accounting; absent from servers
+                // without the mmap store.
+                if pos != buf.len() {
+                    for d in &mut dbs {
+                        d.resident_bytes = read_uleb(buf, &mut pos)?;
+                        d.mapped_bytes = read_uleb(buf, &mut pos)?;
                     }
                 }
                 Response::Stats(StatsReply {
@@ -1890,6 +1912,8 @@ mod tests {
                     persisted: true,
                     read_only: true,
                     recovered_records: 0,
+                    resident_bytes: 4096,
+                    mapped_bytes: 1 << 20,
                 },
                 DbSummary {
                     name: "b".into(),
@@ -1901,6 +1925,47 @@ mod tests {
             ],
             ..StatsReply::default()
         }));
+    }
+
+    #[test]
+    fn stats_without_memory_block_still_parses() {
+        // A peer predating the mmap store stops after the forensics
+        // counters; the decoder must treat the per-db memory block as
+        // absent, not truncated.
+        let mut p = Vec::new();
+        for v in 0..12u64 {
+            write_uleb(&mut p, v);
+        }
+        write_uleb(&mut p, 1); // one db
+        write_str(&mut p, "main");
+        write_uleb(&mut p, 4); // epoch
+        write_u64_le(&mut p, 99); // fingerprint
+        write_uleb(&mut p, 12); // tuples
+        for v in 0..6u64 {
+            write_uleb(&mut p, v); // planner block
+        }
+        for v in 0..3u64 {
+            write_uleb(&mut p, v); // mutation block
+        }
+        write_uleb(&mut p, 7); // mutation_seq
+        write_uleb(&mut p, 7); // durable_seq
+        p.push(0x01);
+        write_uleb(&mut p, 0); // recovered_records
+        for v in 0..4u64 {
+            write_uleb(&mut p, v); // forensics block
+        }
+        let frame = Frame {
+            version: V8,
+            req_id: 0,
+            opcode: OP_R_STATS,
+            payload: p,
+        };
+        let Response::Stats(s) = Response::decode(&frame).unwrap() else {
+            panic!("expected stats");
+        };
+        assert_eq!(s.watchdog_stalls, 3);
+        assert_eq!(s.dbs[0].resident_bytes, 0);
+        assert_eq!(s.dbs[0].mapped_bytes, 0);
     }
 
     #[test]
@@ -2030,6 +2095,8 @@ mod tests {
                 persisted: true,
                 read_only: false,
                 recovered_records: 3,
+                resident_bytes: 123,
+                mapped_bytes: 456,
             }],
             planner_blocks_solved: 321,
             planner_memo_hits: 100,

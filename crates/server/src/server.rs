@@ -692,9 +692,14 @@ impl Shared {
             .unwrap()
             .iter()
             .map(|(name, st)| {
-                let (tuples, mutation_seq) = {
+                let (tuples, mutation_seq, resident_bytes, mapped_bytes) = {
                     let db = st.db.read().unwrap();
-                    (db.total_tuples() as u64, db.mutation_seq())
+                    (
+                        db.total_tuples() as u64,
+                        db.mutation_seq(),
+                        db.resident_bytes() as u64,
+                        db.mapped_bytes() as u64,
+                    )
                 };
                 DbSummary {
                     name: name.clone(),
@@ -706,6 +711,8 @@ impl Shared {
                     persisted: st.durable.is_some(),
                     read_only: st.durable.as_ref().is_some_and(|d| d.read_only()),
                     recovered_records: st.durable.as_ref().map_or(0, |d| d.recovered_records),
+                    resident_bytes,
+                    mapped_bytes,
                 }
             })
             .collect();

@@ -1,21 +1,19 @@
-//! Checksummed database snapshots and the startup recovery path.
+//! Database snapshots and the startup recovery path.
 //!
 //! A snapshot is one self-verifying file holding a database's full
-//! content plus the `(epoch, mutation_seq)` point it captures:
+//! content plus the `(epoch, mutation_seq)` point it captures. Since the
+//! store format landed, snapshots *are* store images
+//! ([`cqcount_relational::store`], magic `CQSTORE2`): sorted columnar
+//! pages plus the persisted dedup index, CRC-guarded per section.
+//! Recovery maps the file read-only and serves straight off the pages —
+//! startup is O(mmap) + the WAL tail, not O(data). Relations stay frozen
+//! on the mapped region until a mutation thaws them, and consecutive
+//! epochs share unchanged pages copy-on-write.
 //!
-//! ```text
-//! "CQSNAP1\n" | body | u32 crc32(body) LE
-//! body = uleb epoch | uleb mutation_seq | uleb nrels
-//!        nrels × (str name | uleb arity | uleb ntuples
-//!                 | ntuples × arity × str value)
-//! ```
-//!
-//! relations sorted by name, `str` the protocol's length-prefixed UTF-8.
-//! The body is a *binary* dump rather than facts text: live mutations may
-//! insert constants that are arbitrary protocol strings (spaces, quotes,
-//! parentheses), which do not round-trip through the datalog parser. The
-//! DESIGN.md durability section records this deviation from the original
-//! facts-text sketch.
+//! The previous generation's format (`CQSNAP1\n` | uleb body | crc32) is
+//! still *read*: recovery dispatches on the 8-byte magic, so a daemon
+//! upgraded in place recovers its old snapshots and writes store images
+//! from then on.
 //!
 //! Writes are atomic: encode to `snapshot.tmp`, fsync, rename onto
 //! `snap-<epoch>-<seq>.cqs` (fixed-width hex, so lexicographic order is
@@ -24,14 +22,15 @@
 //! first one whose CRC checks out, then replays the WAL tail strictly
 //! above its sequence — see [`recover_db`] for the exact skip/stop rules.
 
-use crate::protocol::{read_str, read_uleb, write_str, write_uleb};
+use crate::protocol::{read_str, read_uleb};
 use crate::wal::{scan_wal, truncate_to, wal_path};
-use cqcount_relational::Database;
+use cqcount_relational::store::{encode_store, open_store};
+use cqcount_relational::{Database, StoreError};
 use std::fs::{self, File};
-use std::io::{Read, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
-const MAGIC: &[u8; 8] = b"CQSNAP1\n";
+const LEGACY_MAGIC: &[u8; 8] = b"CQSNAP1\n";
 const TMP_FILE: &str = "snapshot.tmp";
 /// How many generations survive pruning. Two: the newest, plus its
 /// predecessor as a fallback if the newest turns out unreadable later.
@@ -40,31 +39,32 @@ const KEEP_SNAPSHOTS: usize = 2;
 /// CRC-32 shared with the WAL (same polynomial, same table).
 use crate::wal::crc32;
 
-/// Encodes the snapshot body for `db` at `(epoch, seq)`.
-fn encode_body(db: &Database, epoch: u64, seq: u64) -> Vec<u8> {
-    let mut rels: Vec<_> = db.relations().collect();
-    rels.sort_by_key(|(name, _)| name.to_owned());
-    let mut body = Vec::with_capacity(64 + db.total_tuples() * 16);
-    write_uleb(&mut body, epoch);
-    write_uleb(&mut body, seq);
-    write_uleb(&mut body, rels.len() as u64);
-    let interner = db.interner();
-    for (name, rel) in rels {
-        write_str(&mut body, name);
-        write_uleb(&mut body, rel.arity() as u64);
-        write_uleb(&mut body, rel.len() as u64);
-        for tuple in rel.iter() {
-            for &v in tuple.iter() {
-                write_str(&mut body, interner.name(v));
-            }
-        }
+/// Loads one snapshot file of either generation: store images are opened
+/// through [`open_store`] (mmap when possible); anything starting with
+/// the legacy magic goes through the uleb decoder. Every failure is a
+/// `skip` for the caller — recovery falls back to the previous file.
+fn load_snapshot(path: &Path) -> Result<(Database, u64, u64), String> {
+    // Dispatch on the 8-byte magic (a legacy file can be shorter than a
+    // store header, so the store opener alone cannot classify it).
+    let mut magic = [0u8; 8];
+    {
+        use std::io::Read;
+        let mut f = File::open(path).map_err(|e| e.to_string())?;
+        f.read_exact(&mut magic).map_err(|e| e.to_string())?;
     }
-    body
+    if &magic == LEGACY_MAGIC {
+        let bytes = fs::read(path).map_err(|e| e.to_string())?;
+        return decode_legacy(&bytes);
+    }
+    let loaded = open_store(path).map_err(|e: StoreError| e.to_string())?;
+    Ok((loaded.db, loaded.epoch, loaded.seq))
 }
 
-/// Decodes and verifies a snapshot file's bytes.
-fn decode(bytes: &[u8]) -> Result<(Database, u64, u64), String> {
-    let rest = bytes.strip_prefix(MAGIC).ok_or("bad snapshot magic")?;
+/// Decodes and verifies a legacy (`CQSNAP1`) snapshot file's bytes.
+fn decode_legacy(bytes: &[u8]) -> Result<(Database, u64, u64), String> {
+    let rest = bytes
+        .strip_prefix(LEGACY_MAGIC)
+        .ok_or("bad snapshot magic")?;
     if rest.len() < 4 {
         return Err("snapshot too short for checksum".into());
     }
@@ -110,6 +110,10 @@ fn snap_file_name(epoch: u64, seq: u64) -> String {
 /// generations. Returns the encoded size in bytes. `mid_crash` fires
 /// between the durable temp file and the rename — the `mid-snapshot`
 /// kill-point: a crash there must leave the previous snapshot intact.
+///
+/// The file is a store image, so the *next* restart maps it instead of
+/// parsing it. Frozen relations pass their pages through byte-identical,
+/// which is what makes back-to-back snapshots of an idle database cheap.
 pub(crate) fn write_snapshot(
     db_dir: &Path,
     db: &Database,
@@ -117,13 +121,11 @@ pub(crate) fn write_snapshot(
     mid_crash: impl Fn(),
 ) -> std::io::Result<u64> {
     let seq = db.mutation_seq();
-    let body = encode_body(db, epoch, seq);
+    let image = encode_store(db, epoch, seq);
     let tmp = db_dir.join(TMP_FILE);
     {
         let mut f = File::create(&tmp)?;
-        f.write_all(MAGIC)?;
-        f.write_all(&body)?;
-        f.write_all(&crc32(&body).to_le_bytes())?;
+        f.write_all(&image)?;
         f.sync_data()?;
     }
     mid_crash();
@@ -133,7 +135,7 @@ pub(crate) fn write_snapshot(
         let _ = dir.sync_all();
     }
     prune_snapshots(db_dir);
-    Ok(MAGIC.len() as u64 + body.len() as u64 + 4)
+    Ok(image.len() as u64)
 }
 
 fn snapshot_files(db_dir: &Path) -> Vec<PathBuf> {
@@ -205,9 +207,7 @@ pub(crate) fn recover_db(db_dir: &Path) -> std::io::Result<Recovered> {
     let files = snapshot_files(db_dir);
     let had_snapshots = !files.is_empty();
     for path in files.iter().rev() {
-        let mut bytes = Vec::new();
-        File::open(path)?.read_to_end(&mut bytes)?;
-        match decode(&bytes) {
+        match load_snapshot(path) {
             Ok(parsed) => {
                 loaded = Some(parsed);
                 break;
@@ -369,6 +369,68 @@ mod tests {
         assert!(rec.snapshot_loaded);
         assert_eq!(rec.snapshots_skipped, 1);
         assert_eq!(rec.db.fingerprint(), old_fp);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Writes a previous-generation (`CQSNAP1`) snapshot file, as an
+    /// upgraded-in-place daemon would find on disk.
+    fn write_legacy_snapshot(db_dir: &Path, db: &Database, epoch: u64) {
+        use crate::protocol::{write_str, write_uleb};
+        let seq = db.mutation_seq();
+        let mut rels: Vec<_> = db.relations().collect();
+        rels.sort_by_key(|(name, _)| name.to_owned());
+        let mut body = Vec::new();
+        write_uleb(&mut body, epoch);
+        write_uleb(&mut body, seq);
+        write_uleb(&mut body, rels.len() as u64);
+        let interner = db.interner();
+        for (name, rel) in rels {
+            write_str(&mut body, name);
+            write_uleb(&mut body, rel.arity() as u64);
+            write_uleb(&mut body, rel.len() as u64);
+            for tuple in rel.iter() {
+                for &v in tuple.iter() {
+                    write_str(&mut body, interner.name(v));
+                }
+            }
+        }
+        let mut bytes = LEGACY_MAGIC.to_vec();
+        bytes.extend_from_slice(&body);
+        bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+        fs::write(db_dir.join(snap_file_name(epoch, seq)), bytes).unwrap();
+    }
+
+    #[test]
+    fn legacy_snapshots_still_recover() {
+        let dir = tmpdir("legacy");
+        let mut db = Database::default();
+        db.add_fact("r", &["a", "b"]);
+        db.add_fact("s", &["weird value", "has (parens)."]);
+        db.insert_tuple("r", &["b", "c"]).unwrap();
+        write_legacy_snapshot(&dir, &db, 7);
+        let rec = recover_db(&dir).unwrap();
+        assert!(rec.snapshot_loaded);
+        assert_eq!(rec.epoch, 7);
+        assert_eq!(rec.db.mutation_seq(), 1);
+        assert_eq!(rec.db.fingerprint(), db.fingerprint());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovered_relations_sit_on_the_snapshot_pages() {
+        let dir = tmpdir("frozen");
+        let mut db = Database::default();
+        db.add_fact("r", &["a", "b"]);
+        db.add_fact("r", &["b", "c"]);
+        write_snapshot(&dir, &db, 1, || {}).unwrap();
+        let rec = recover_db(&dir).unwrap();
+        let r = rec.db.relation("r").unwrap();
+        assert!(r.is_frozen(), "recovery must not copy pages into the heap");
+        assert!(rec.db.resident_bytes() + rec.db.mapped_bytes() > 0);
+        // A replayed mutation thaws the touched relation, nothing else.
+        let mut db2 = rec.db;
+        db2.insert_tuple("r", &["c", "d"]).unwrap();
+        assert!(!db2.relation("r").unwrap().is_frozen());
         fs::remove_dir_all(&dir).ok();
     }
 
